@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Section 4.1 ablation: the Lockless allocator versus a glibc-like
+ * allocator as the pthreads baseline.
+ *
+ * Paper: the Lockless allocator outperformed glibc by 16% on average
+ * (which is why it is the baseline everywhere), and allocator layout
+ * alone determines lu-ncb's false sharing.
+ */
+
+#include "bench_util.hh"
+
+using namespace tmi;
+using namespace tmi::bench;
+
+int
+main()
+{
+    std::uint64_t scale = benchScale(3);
+    header("Ablation: Lockless vs glibc-like allocator (pthreads)");
+    std::printf("%-16s %12s %12s %12s\n", "workload", "lockless(ms)",
+                "glibc(ms)", "lockless-gain");
+
+    std::vector<double> gains;
+    const char *names[] = {"histogram", "wordcount", "reverse",
+                           "ferret", "dedup", "leveldb",
+                           "streamcluster", "barnes"};
+    for (const char *name : names) {
+        ExperimentConfig cfg =
+            benchConfig(name, Treatment::Pthreads, scale);
+        cfg.allocator = AllocatorKind::Lockless;
+        RunResult lockless = runExperiment(cfg);
+        cfg.allocator = AllocatorKind::GlibcLike;
+        RunResult glibc = runExperiment(cfg);
+
+        double gain =
+            static_cast<double>(glibc.cycles) / lockless.cycles;
+        gains.push_back(gain);
+        std::printf("%-16s %12.3f %12.3f %11.2fx\n", name,
+                    lockless.seconds * 1e3, glibc.seconds * 1e3,
+                    gain);
+    }
+    std::printf("\ngeomean lockless advantage %.2fx (paper: 1.16x). "
+                "Allocation-churn-heavy programs\n(wordcount, dedup) "
+                "pay glibc's arena-lock transfers; lu-ncb (not shown) "
+                "adds\nthe false sharing glibc's packed small-object "
+                "layout induces.\n",
+                geomean(gains));
+    return 0;
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction drivers.
+ *
+ * Each bench binary regenerates one table or figure from the paper:
+ * it runs the relevant (workload x treatment) cells through the
+ * experiment driver and prints the same rows/series the paper
+ * reports, alongside the paper's numbers where useful. Absolute
+ * values differ from the paper's Haswell testbed -- the shape is
+ * what is reproduced (see EXPERIMENTS.md).
+ */
+
+#ifndef TMI_BENCH_BENCH_UTIL_HH
+#define TMI_BENCH_BENCH_UTIL_HH
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "workloads/workload.hh"
+
+namespace tmi::bench
+{
+
+/** Scale factor for bench runs (env TMI_BENCH_SCALE overrides). */
+inline std::uint64_t
+benchScale(std::uint64_t fallback = 4)
+{
+    if (const char *env = std::getenv("TMI_BENCH_SCALE"))
+        return std::strtoull(env, nullptr, 10);
+    return fallback;
+}
+
+/** Default experiment config for bench runs. */
+inline ExperimentConfig
+benchConfig(const std::string &workload, Treatment treatment,
+            std::uint64_t scale)
+{
+    ExperimentConfig cfg;
+    cfg.workload = workload;
+    cfg.treatment = treatment;
+    cfg.threads = 4;
+    cfg.scale = scale;
+    cfg.analysisInterval = 500'000;
+    cfg.budget = 60'000'000'000ULL;
+    return cfg;
+}
+
+/** All workloads in the Figure 7/8/10 overhead set, paper order. */
+inline std::vector<std::string>
+overheadSet()
+{
+    std::vector<std::string> names;
+    for (const auto &info : workloadRegistry()) {
+        if (info.inOverheadSet)
+            names.push_back(info.name);
+    }
+    return names;
+}
+
+/** The Figure 9 / Table 3 false sharing set, paper order. */
+inline std::vector<std::string>
+falseSharingSet()
+{
+    std::vector<std::string> names;
+    for (const auto &info : workloadRegistry()) {
+        if (info.knownFalseSharing)
+            names.push_back(info.name);
+    }
+    return names;
+}
+
+/** Outcome as a short string for tables. */
+inline const char *
+outcomeStr(const RunResult &res)
+{
+    if (res.compatible)
+        return "ok";
+    switch (res.outcome) {
+      case RunOutcome::Timeout:
+        return "HANG";
+      case RunOutcome::Deadlock:
+        return "DEADLOCK";
+      case RunOutcome::Completed:
+        return "WRONG";
+    }
+    return "?";
+}
+
+/** Geometric mean of a nonempty vector. */
+inline double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+/** Print a separator + header for a bench section. */
+inline void
+header(const char *title)
+{
+    std::printf("\n==== %s ====\n", title);
+}
+
+} // namespace tmi::bench
+
+#endif // TMI_BENCH_BENCH_UTIL_HH

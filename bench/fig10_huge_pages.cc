@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 10: overhead of 4 KB standard pages versus 2 MB huge pages
+ * for Tmi's process-shared, file-backed memory allocation.
+ *
+ * Paper shape: the large-footprint programs (canneal, reverse, fft,
+ * fmm, ocean-ncp, radix) fault heavily with 4 KB pages and gain the
+ * most; huge pages average a 6% speedup overall.
+ */
+
+#include "bench_util.hh"
+
+using namespace tmi;
+using namespace tmi::bench;
+
+int
+main()
+{
+    std::uint64_t scale = benchScale(3);
+    header("Figure 10: 4 KB vs 2 MB pages for Tmi's shm heap");
+    std::printf("%-16s %12s %12s %12s %12s\n", "workload",
+                "4k(ms)", "2m(ms)", "overhead%", "4k-faults");
+
+    std::vector<double> ratios;
+    for (const auto &name : overheadSet()) {
+        ExperimentConfig cfg =
+            benchConfig(name, Treatment::TmiAlloc, scale);
+        cfg.pageShift = smallPageShift;
+        RunResult small = runExperiment(cfg);
+        cfg.pageShift = hugePageShift;
+        RunResult huge = runExperiment(cfg);
+
+        double overhead = 100.0 * (static_cast<double>(small.cycles) /
+                                       huge.cycles -
+                                   1.0);
+        ratios.push_back(static_cast<double>(small.cycles) /
+                         huge.cycles);
+        std::printf("%-16s %12.3f %12.3f %11.1f%% %12llu\n",
+                    name.c_str(), small.seconds * 1e3,
+                    huge.seconds * 1e3, overhead,
+                    static_cast<unsigned long long>(small.softFaults));
+    }
+    std::printf("\nmean 4k-over-2m ratio %.3fx (paper: huge pages "
+                "give a 6%% average speedup)\n",
+                geomean(ratios));
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 11 case study: canneal's atomic element swaps under a PTSB.
+ *
+ * Without code-centric consistency the claim CAS operates on private
+ * page copies; the diff/merge replicates one element and loses
+ * another (netlist.cpp:84 in the paper). With it, the asm-region
+ * atomics run on shared memory and the multiset is preserved.
+ */
+
+#include "bench_util.hh"
+
+using namespace tmi;
+using namespace tmi::bench;
+
+int
+main()
+{
+    header("Figure 11: canneal atomic swaps vs the PTSB");
+    std::printf("%-24s %10s %10s %12s %12s\n", "treatment", "result",
+                "time(ms)", "repaired", "racy bytes");
+
+    const Treatment treatments[] = {
+        Treatment::Pthreads,
+        Treatment::TmiProtect,
+        Treatment::PtsbEverywhere,
+        Treatment::TmiProtectNoCcc,
+        Treatment::SheriffProtect,
+        Treatment::Laser,
+    };
+    for (Treatment t : treatments) {
+        ExperimentConfig cfg = benchConfig("canneal", t, 2);
+        cfg.repairThreshold = 1.0; // force the PTSB onto its pages
+        cfg.budget = 2'000'000'000ULL;
+        RunResult res = runExperiment(cfg);
+        std::printf("%-24s %10s %10.3f %12s %12llu\n",
+                    treatmentName(t), outcomeStr(res),
+                    res.seconds * 1e3,
+                    res.repairActive ? "yes" : "no",
+                    static_cast<unsigned long long>(
+                        res.conflictBytes));
+    }
+    std::printf("\npaper: sheriff-detect causes canneal to produce "
+                "an incorrect result; Tmi performs\ndetection and "
+                "repair without corrupting it. Sheriff's always-on "
+                "PTSB races canneal's\natomic claims (WRONG result, "
+                "racy-merge bytes); Tmi's targeted repair never even\n"
+                "engages here (the netlist is too diffuse), and with "
+                "ptsb-everywhere forced on,\ncode-centric consistency "
+                "keeps the asm-region atomics on shared memory.\n");
+    return 0;
+}

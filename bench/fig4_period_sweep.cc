@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Figure 4: performance and precision of HITM events reported by
+ * perf at various sampling periods, on leveldb.
+ *
+ * The paper's shape: small periods slow the application (each PEBS
+ * record costs a microcode assist) while large periods under-count
+ * events; "Total" is the true event count the period-n runs are
+ * estimating.
+ */
+
+#include "bench_util.hh"
+
+using namespace tmi;
+using namespace tmi::bench;
+
+int
+main()
+{
+    std::uint64_t scale = benchScale(4);
+    header("Figure 4: perf event period sweep (leveldb)");
+    std::printf("%-8s %12s %14s %16s\n", "period", "runtime(ms)",
+                "PEBS records", "estimated events");
+
+    std::uint64_t total_events = 0;
+    for (std::uint64_t period : {1, 5, 10, 50, 100, 1000}) {
+        ExperimentConfig cfg =
+            benchConfig("leveldb", Treatment::TmiDetect, scale);
+        cfg.perfPeriod = period;
+        RunResult res = runExperiment(cfg);
+        std::printf("%-8llu %12.3f %14llu %16.0f\n",
+                    static_cast<unsigned long long>(period),
+                    res.seconds * 1e3,
+                    static_cast<unsigned long long>(res.pebsRecords),
+                    res.fsEventsEstimated + res.tsEventsEstimated);
+        total_events = res.hitmEvents;
+    }
+    std::printf("%-8s %12s %14s %16llu\n", "total", "-", "-",
+                static_cast<unsigned long long>(total_events));
+    std::printf("\npaper shape: runtime drops sharply from period 1 "
+                "to 10 and flattens;\nrecorded events fall roughly "
+                "linearly with the period.\n");
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 8: memory usage of pthreads vs full Tmi across all 35
+ * workloads (MB, log scale in the paper).
+ *
+ * Paper shape: small-footprint apps (Phoenix, some Splash2) are
+ * dominated by a ~90 MB fixed cost (perf event rings + detector
+ * structures); large apps pay about 19% over baseline; lock-heavy
+ * apps (fluidanimate, water-spatial) pay extra for process-shared
+ * lock redirection.
+ */
+
+#include "bench_util.hh"
+
+using namespace tmi;
+using namespace tmi::bench;
+
+int
+main()
+{
+    std::uint64_t scale = benchScale(3);
+    header("Figure 8: memory usage (MB)");
+    std::printf("%-16s %12s %12s %10s\n", "workload", "pthreads",
+                "tmi-full", "ratio");
+
+    const double mb = 1024.0 * 1024.0;
+    // The modeled fixed cost: per-thread perf rings (threads + main).
+    const double fixed_mb = 16.0 * 5;
+    std::vector<double> small_overheads, large_ratios, large_var;
+    for (const auto &name : overheadSet()) {
+        RunResult base = runExperiment(
+            benchConfig(name, Treatment::Pthreads, scale));
+        RunResult tmi = runExperiment(
+            benchConfig(name, Treatment::TmiDetect, scale));
+
+        double base_mb = base.appBytesPeak / mb;
+        double tmi_mb =
+            (tmi.appBytesPeak + tmi.overheadBytes) / mb;
+        if (base_mb >= 8.0) {
+            large_ratios.push_back(tmi_mb / base_mb);
+            large_var.push_back(
+                (tmi_mb - fixed_mb) / base_mb);
+        } else {
+            small_overheads.push_back(tmi_mb - base_mb);
+        }
+        std::printf("%-16s %12.1f %12.1f %9.2fx\n", name.c_str(),
+                    base_mb, tmi_mb, tmi_mb / base_mb);
+    }
+    double small_mean = 0;
+    for (double v : small_overheads)
+        small_mean += v;
+    if (!small_overheads.empty())
+        small_mean /= small_overheads.size();
+    std::printf("\nsmall apps (<8 MB): +%.0f MB fixed overhead "
+                "(paper: ~90 MB for perf buffers +\ndetector). "
+                "large apps: %.2fx total; %.2fx excluding the fixed "
+                "ring model\n(paper: ~1.19x -- our scaled-down "
+                "'large' inputs are 10-30 MB, so the fixed\ncost "
+                "dominates where the paper's GB-scale inputs "
+                "amortize it)\n",
+                small_mean,
+                large_ratios.empty() ? 0.0 : geomean(large_ratios),
+                large_var.empty() ? 0.0 : geomean(large_var));
+    return 0;
+}

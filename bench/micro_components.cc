@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Component microbenchmarks (google-benchmark): host-side throughput
+ * of the substrates every experiment leans on. These are regression
+ * guards for the simulator itself, not paper figures.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache_sim.hh"
+#include "detect/detector.hh"
+#include "mem/mmu.hh"
+#include "ptsb/ptsb.hh"
+#include "sched/scheduler.hh"
+
+namespace tmi
+{
+
+namespace
+{
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    CacheSim cache;
+    AccessContext ctx;
+    ctx.pc = 0x400000;
+    ctx.width = 8;
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        ctx.core = i & 3;
+        ctx.paddr = (i * 64) & 0xfffff;
+        ctx.isWrite = i & 1;
+        benchmark::DoNotOptimize(cache.access(ctx));
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_CacheFalseSharingPingPong(benchmark::State &state)
+{
+    CacheSim cache;
+    AccessContext ctx;
+    ctx.pc = 0x400000;
+    ctx.width = 8;
+    ctx.paddr = 0x1000;
+    ctx.isWrite = true;
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        ctx.core = i++ & 1;
+        benchmark::DoNotOptimize(cache.access(ctx));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheFalseSharingPingPong);
+
+void
+BM_MmuTranslate(benchmark::State &state)
+{
+    Mmu mmu(smallPageShift);
+    ShmRegion region("bench", mmu.phys());
+    region.grow(256);
+    ProcessId pid = mmu.createAddressSpace();
+    mmu.mapShared(pid, 0x10000000, region, 0, 256);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        Addr va = 0x10000000 + ((i * 4096 + i * 8) % (256 * 4096));
+        benchmark::DoNotOptimize(mmu.translate(pid, va, i & 1));
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MmuTranslate);
+
+void
+BM_PtsbCommitDirtyPage(benchmark::State &state)
+{
+    Mmu mmu(smallPageShift);
+    ShmRegion region("bench", mmu.phys());
+    region.grow(4);
+    ProcessId pid = mmu.createAddressSpace();
+    mmu.mapShared(pid, 0x10000000, region, 0, 4);
+    Ptsb ptsb(mmu, pid);
+    mmu.setCowCallback([&](ProcessId, VPage vpage, PPage shared,
+                           PPage priv) -> Cycles {
+        return ptsb.onCowFault(vpage, shared, priv);
+    });
+    ptsb.protectPage(0x10000000 >> smallPageShift);
+    std::uint64_t v = 0;
+    for (auto _ : state) {
+        mmu.write(pid, 0x10000000 + (v % 512) * 8, &v, 8);
+        benchmark::DoNotOptimize(ptsb.commit());
+        ++v;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PtsbCommitDirtyPage);
+
+void
+BM_DetectorConsume(benchmark::State &state)
+{
+    InstructionTable instrs;
+    Addr pc = instrs.define("bench.store", MemKind::Store, 4);
+    AddressMap map;
+    map.add(0x10000000, 1 << 20, RangeKind::AppHeap, "heap");
+    Detector det(instrs, map, DetectorConfig{});
+    PebsRecord rec;
+    rec.pc = pc;
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        rec.tid = i & 3;
+        rec.vaddr = 0x10000000 + (i % 64) * 8;
+        benchmark::DoNotOptimize(det.consume(rec));
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DetectorConsume);
+
+void
+BM_SchedulerContextSwitch(benchmark::State &state)
+{
+    // Measures fiber round-trips: two threads yielding to each other
+    // for a fixed count, re-created per batch.
+    for (auto _ : state) {
+        state.PauseTiming();
+        SimScheduler sched(1);
+        constexpr int rounds = 2000;
+        for (int t = 0; t < 2; ++t) {
+            sched.spawn("t", [&sched] {
+                for (int i = 0; i < rounds; ++i)
+                    sched.advance(10);
+            });
+        }
+        state.ResumeTiming();
+        sched.run();
+    }
+    state.SetItemsProcessed(state.iterations() * 4000);
+}
+BENCHMARK(BM_SchedulerContextSwitch)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+} // namespace tmi
+
+BENCHMARK_MAIN();

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Extension study: predictive detection at larger cache line sizes
+ * (the Predator capability the paper's related work cites), and what
+ * it costs relative to Tmi's HITM sampling.
+ *
+ * The workload gives each thread a 64-byte-aligned slot: perfectly
+ * clean on this machine, false shared on any machine with 128-byte
+ * lines. HITM sampling is cheap but structurally blind to it;
+ * instrumentation sampling pays a Predator-sized tax and predicts it.
+ */
+
+#include "bench_util.hh"
+#include "detect/detector.hh"
+#include "runtime/tmi_runtime.hh"
+
+using namespace tmi;
+using namespace tmi::bench;
+
+namespace
+{
+
+struct Outcome
+{
+    Cycles cycles = 0;
+    std::uint64_t hitm = 0;
+    std::size_t predicted128 = 0;
+    double fsEstimated = 0;
+};
+
+Outcome
+run(bool instrumented, std::uint64_t iters)
+{
+    MachineConfig mc;
+    mc.instrumentationSampling = instrumented ? 7 : 0;
+    Machine machine(mc);
+    Addr pc_st =
+        machine.instructions().define("w.store", MemKind::Store, 8);
+    Addr pc_ld =
+        machine.instructions().define("w.load", MemKind::Load, 8);
+
+    Detector det(machine.instructions(), machine.addressMap(),
+                 DetectorConfig{});
+    if (instrumented) {
+        machine.setAccessSampler([&det](const AccessContext &ctx) {
+            det.consumeAccess(ctx.tid, ctx.vaddr, ctx.pc);
+        });
+    } else {
+        // HITM path: drain perf records directly (detect-only).
+        machine.perf().setPeriod(100);
+    }
+
+    machine.spawnThread("main", [&](ThreadApi &api) {
+        Addr slots = api.memalign(lineBytes, 4 * lineBytes);
+        api.fill(slots, 0, 4 * lineBytes);
+        std::vector<ThreadId> ws;
+        for (int t = 0; t < 4; ++t) {
+            Addr slot = slots + t * lineBytes;
+            ws.push_back(api.spawn("w", [&, slot, iters](ThreadApi &w) {
+                for (std::uint64_t i = 0; i < iters; ++i) {
+                    std::uint64_t v = w.load(pc_ld, slot);
+                    w.store(pc_st, slot, v + 1);
+                }
+            }));
+        }
+        for (ThreadId t : ws)
+            api.join(t);
+    });
+    machine.sched().run(60'000'000'000ULL);
+
+    if (!instrumented) {
+        std::vector<PebsRecord> records;
+        machine.perf().drainAll(records);
+        for (const auto &rec : records)
+            det.consume(rec);
+    }
+
+    Outcome out;
+    out.cycles = machine.elapsed();
+    out.hitm = machine.cache().hitmEvents();
+    out.predicted128 = det.predictFalseSharing(7).size();
+    out.fsEstimated = det.fsEventsEstimated();
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::uint64_t iters = 20000 * benchScale(4);
+    header("Extension: predicting false sharing at 128-byte lines");
+    std::printf("%-24s %12s %10s %14s %12s\n", "detection",
+                "runtime(ms)", "HITM", "FS@64 found", "FS@128 pred");
+
+    Outcome hitm = run(false, iters);
+    Outcome instr = run(true, iters);
+
+    std::printf("%-24s %12.3f %10llu %14.0f %12zu\n",
+                "HITM sampling (Tmi)", hitm.cycles / 3.4e6,
+                static_cast<unsigned long long>(hitm.hitm),
+                hitm.fsEstimated, hitm.predicted128);
+    std::printf("%-24s %12.3f %10llu %14s %12zu\n",
+                "instrumentation", instr.cycles / 3.4e6,
+                static_cast<unsigned long long>(instr.hitm), "n/a",
+                instr.predicted128);
+
+    std::printf("\nthe workload is clean at 64 B (zero HITM), so "
+                "HITM-based detection cannot see\nwhat a 128-B-line "
+                "machine would suffer; instrumentation predicts both "
+                "blocks at a\n%.2fx runtime cost -- the "
+                "accuracy/overhead divide between Tmi and Predator.\n",
+                static_cast<double>(instr.cycles) / hitm.cycles);
+    return 0;
+}

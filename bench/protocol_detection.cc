@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Extension study: HITM-based detection across coherence protocols.
+ *
+ * Tmi's detector relies on Intel's HITM event, which fires when a
+ * request hits a remote *Modified* line. Under an AMD-style MOESI
+ * protocol, some dirty hits are served from the Owned state instead
+ * and never raise that event. The study measures how much of the
+ * detection signal survives: false sharing keeps re-creating
+ * Modified lines through its invalidation/write cycle, so enough
+ * HITM events remain for detection under both protocols -- MOESI's
+ * real effect is replacing writebacks and some dirty hits with
+ * quiet Owned forwards. (This grounds the paper's portability remark
+ * in section 2.1: AMD exposes IBS, a different event family, but a
+ * MOESI machine would not starve HITM-style detection of false
+ * sharing either.)
+ */
+
+#include "bench_util.hh"
+#include "runtime/tmi_runtime.hh"
+
+using namespace tmi;
+using namespace tmi::bench;
+
+namespace
+{
+
+struct Outcome
+{
+    Cycles cycles = 0;
+    std::uint64_t hitm = 0;
+    std::uint64_t ownedForwards = 0;
+    std::uint64_t writebacks = 0;
+    double fsEstimated = 0;
+    bool repaired = false;
+};
+
+/**
+ * @param read_heavy false: every thread read-modify-writes its own
+ *        packed slot (write-write FS). true: one writer updates its
+ *        slot while the others continuously scan the line
+ *        (read-mostly FS).
+ */
+Outcome
+run(Protocol protocol, bool read_heavy, std::uint64_t iters)
+{
+    MachineConfig mc;
+    mc.cache.protocol = protocol;
+    mc.shmBackedHeap = true;
+    mc.tmiModifiedAllocator = true;
+    Machine machine(mc);
+    Addr pc_st =
+        machine.instructions().define("w.store", MemKind::Store, 8);
+    Addr pc_ld =
+        machine.instructions().define("w.load", MemKind::Load, 8);
+
+    TmiConfig tc;
+    tc.analysisInterval = 500'000;
+    TmiRuntime tmi(machine, tc);
+    tmi.attach();
+
+    machine.spawnThread("main", [&](ThreadApi &api) {
+        Addr slots = api.malloc(4 * 8); // packed: one line
+        api.fill(slots, 0, 4 * 8);
+        std::vector<ThreadId> ws;
+        for (int t = 0; t < 4; ++t) {
+            ws.push_back(api.spawn("w", [&, t, iters](ThreadApi &w) {
+                Addr mine = slots + t * 8;
+                for (std::uint64_t i = 0; i < iters; ++i) {
+                    if (!read_heavy || t == 0) {
+                        std::uint64_t v = w.load(pc_ld, mine);
+                        w.store(pc_st, mine, v + 1);
+                    } else {
+                        // Readers poll their own slots: disjoint
+                        // bytes, so this is false sharing against
+                        // the writer, carried entirely by loads.
+                        w.load(pc_ld, mine);
+                        w.load(pc_ld, mine);
+                        w.load(pc_ld, mine);
+                    }
+                }
+            }));
+        }
+        for (ThreadId t : ws)
+            api.join(t);
+    });
+    machine.sched().run(60'000'000'000ULL);
+
+    Outcome out;
+    out.cycles = machine.elapsed();
+    out.hitm = machine.cache().hitmEvents();
+    out.ownedForwards = machine.cache().ownedForwards();
+    out.writebacks = machine.cache().writebacks();
+    out.fsEstimated = tmi.detector().fsEventsEstimated();
+    out.repaired = tmi.repairActive();
+    return out;
+}
+
+void
+report(const char *pattern, bool read_heavy, std::uint64_t iters)
+{
+    for (Protocol p : {Protocol::Mesi, Protocol::Moesi}) {
+        Outcome o = run(p, read_heavy, iters);
+        std::printf("%-22s %-7s %10llu %10llu %10llu %10.0f %9s\n",
+                    pattern, p == Protocol::Mesi ? "MESI" : "MOESI",
+                    static_cast<unsigned long long>(o.hitm),
+                    static_cast<unsigned long long>(o.ownedForwards),
+                    static_cast<unsigned long long>(o.writebacks),
+                    o.fsEstimated, o.repaired ? "yes" : "NO");
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::uint64_t iters = 15000 * benchScale(4);
+    header("Extension: HITM visibility across coherence protocols");
+    std::printf("%-22s %-7s %10s %10s %10s %10s %9s\n", "pattern",
+                "proto", "HITM", "O-fwd", "wrbacks", "FS est",
+                "repaired");
+
+    report("write-write FS", false, iters);
+    report("read-mostly FS", true, iters);
+
+    std::printf("\nfalse sharing keeps re-creating Modified lines, so "
+                "HITM-based detection triggers\nunder both protocols; "
+                "MOESI's Owned state replaces writebacks and part of "
+                "the\ndirty-hit traffic with quiet forwards without "
+                "hiding the bug from the detector.\n");
+    return 0;
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Code-centric consistency demo: the three consistency artifacts of
+ * the paper in one program.
+ *
+ *  1. Figure 3: the AMBSA (word tearing) violation -- two racing
+ *     2-byte stores through PTSBs merge into a value neither thread
+ *     wrote. Run directly against the PTSB substrate.
+ *  2. Table 2: the cross-region semantics matrix the runtime
+ *     enforces.
+ *  3. Figures 11/12: canneal and cholesky, correct under Tmi with
+ *     CCC, broken under a PTSB without it.
+ */
+
+#include <cstdio>
+
+#include "consistency/ccc.hh"
+#include "core/experiment.hh"
+#include "ptsb/ptsb.hh"
+
+using namespace tmi;
+
+namespace
+{
+
+void
+figure3Demo()
+{
+    std::printf("-- Figure 3: aligned multi-byte store atomicity --\n");
+    Mmu mmu(smallPageShift);
+    ShmRegion region("demo", mmu.phys());
+    region.grow(1);
+    ProcessId p0 = mmu.createAddressSpace();
+    ProcessId p1 = mmu.createAddressSpace();
+    constexpr Addr va = 0x10000000;
+    mmu.mapShared(p0, va, region, 0, 1);
+    mmu.mapShared(p1, va, region, 0, 1);
+
+    Ptsb ptsb0(mmu, p0), ptsb1(mmu, p1);
+    mmu.setCowCallback([&](ProcessId pid, VPage vp, PPage sf,
+                           PPage pf) -> Cycles {
+        return (pid == p0 ? ptsb0 : ptsb1).onCowFault(vp, sf, pf);
+    });
+    ptsb0.protectPage(va >> smallPageShift);
+    ptsb1.protectPage(va >> smallPageShift);
+
+    // Thread 0: store x <- 0xAB00; Thread 1: store x <- 0x00CD.
+    std::uint16_t s0 = 0xAB00, s1 = 0x00CD;
+    mmu.write(p0, va, &s0, 2);
+    mmu.write(p1, va, &s1, 2);
+    ptsb0.commit();
+    ptsb1.commit();
+
+    std::uint16_t x = 0;
+    mmu.readShared(p0, va, &x, 2);
+    std::printf("racing stores 0xAB00 and 0x00CD -> x == 0x%04X "
+                "(a value NO thread stored)\n",
+                x);
+    std::printf("=> PTSBs are only safe where data races make "
+                "behaviour undefined.\n\n");
+}
+
+void
+table2Demo()
+{
+    std::printf("-- Table 2: where Tmi permits the PTSB --\n");
+    const RegionKind kinds[] = {RegionKind::Regular,
+                                RegionKind::Atomic, RegionKind::Asm};
+    for (RegionKind a : kinds) {
+        for (RegionKind b : kinds) {
+            std::printf("  %-8s x %-8s : case %d, PTSB %s\n",
+                        regionName(a), regionName(b),
+                        interactionCase(a, b),
+                        ptsbPermitted(a, b) ? "permitted"
+                                            : "FORBIDDEN");
+        }
+    }
+    std::printf("\n");
+}
+
+void
+caseStudy(const char *workload, Treatment broken_treatment)
+{
+    ExperimentConfig cfg;
+    cfg.workload = workload;
+    cfg.threads = 4;
+    cfg.scale = 2;
+    cfg.repairThreshold = 1.0; // force the PTSB onto its pages
+    cfg.analysisInterval = 300'000;
+    cfg.budget = 1'500'000'000ULL;
+
+    cfg.treatment = Treatment::TmiProtect;
+    RunResult with_ccc = runExperiment(cfg);
+    cfg.treatment = broken_treatment;
+    RunResult without = runExperiment(cfg);
+
+    auto describe = [](const RunResult &res) {
+        if (res.compatible)
+            return "correct";
+        return res.outcome == RunOutcome::Timeout ? "HANGS"
+                                                  : "CORRUPTED";
+    };
+    std::printf("  %-10s with CCC: %-9s without CCC: %s\n", workload,
+                describe(with_ccc), describe(without));
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== code-centric consistency demo ==\n\n");
+    figure3Demo();
+    table2Demo();
+    std::printf("-- Figures 11/12: case studies under the PTSB --\n");
+    caseStudy("canneal", Treatment::TmiProtectNoCcc);
+    caseStudy("cholesky", Treatment::TmiProtectNoCcc);
+    std::printf("\ncanneal's asm-region atomic swaps and cholesky's "
+                "volatile flag only survive\nthe PTSB because "
+                "code-centric consistency runs them on shared "
+                "memory.\n");
+    return 0;
+}

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * General-purpose experiment CLI: run any (workload x treatment)
+ * cell of the evaluation matrix with full control over the knobs,
+ * and optionally dump every component statistic.
+ *
+ * Usage:
+ *   experiment_cli --workload leveldb --treatment tmi-protect \
+ *       [--threads 4] [--scale 4] [--period 100] [--huge-pages]
+ *       [--threshold 100000] [--seed 42] [--stats] [--list]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/experiment.hh"
+#include "workloads/workload.hh"
+
+using namespace tmi;
+
+namespace
+{
+
+Treatment
+parseTreatment(const std::string &name)
+{
+    const Treatment all[] = {
+        Treatment::Pthreads,       Treatment::Manual,
+        Treatment::TmiAlloc,       Treatment::TmiDetect,
+        Treatment::TmiProtect,     Treatment::TmiProtectNoCcc,
+        Treatment::PtsbEverywhere, Treatment::SheriffDetect,
+        Treatment::SheriffProtect, Treatment::Laser,
+    };
+    for (Treatment t : all) {
+        if (name == treatmentName(t))
+            return t;
+    }
+    std::fprintf(stderr, "unknown treatment '%s'; one of:\n",
+                 name.c_str());
+    for (Treatment t : all)
+        std::fprintf(stderr, "  %s\n", treatmentName(t));
+    std::exit(2);
+}
+
+void
+listWorkloads()
+{
+    std::printf("%-16s %-6s %-10s %s\n", "name", "fs?", "overhead?",
+                "atomics/asm?");
+    for (const auto &info : workloadRegistry()) {
+        std::printf("%-16s %-6s %-10s %s\n", info.name.c_str(),
+                    info.knownFalseSharing ? "yes" : "-",
+                    info.inOverheadSet ? "yes" : "-",
+                    info.usesAtomicsOrAsm ? "yes" : "-");
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ExperimentConfig cfg;
+    cfg.workload = "histogramfs";
+    bool stats = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--workload") {
+            cfg.workload = next();
+        } else if (arg == "--treatment") {
+            cfg.treatment = parseTreatment(next());
+        } else if (arg == "--threads") {
+            cfg.threads = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--scale") {
+            cfg.scale = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--period") {
+            cfg.perfPeriod = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--threshold") {
+            cfg.repairThreshold = std::atof(next());
+        } else if (arg == "--seed") {
+            cfg.seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--budget") {
+            cfg.budget = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--huge-pages") {
+            cfg.pageShift = hugePageShift;
+        } else if (arg == "--glibc-allocator") {
+            cfg.allocator = AllocatorKind::GlibcLike;
+        } else if (arg == "--stats") {
+            stats = true;
+        } else if (arg == "--list") {
+            listWorkloads();
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+            return 2;
+        }
+    }
+    cfg.dumpStats = stats;
+
+    RunResult res = runExperiment(cfg);
+    std::printf("workload      : %s\n", res.workload.c_str());
+    std::printf("treatment     : %s\n", treatmentName(res.treatment));
+    std::printf("outcome       : %s%s\n",
+                res.outcome == RunOutcome::Completed ? "completed"
+                : res.outcome == RunOutcome::Timeout ? "TIMEOUT"
+                                                     : "DEADLOCK",
+                res.compatible       ? " (valid)"
+                : res.outcome == RunOutcome::Completed
+                    ? " (INVALID RESULT)"
+                    : "");
+    std::printf("simulated time: %.3f ms (%llu cycles)\n",
+                res.seconds * 1e3,
+                static_cast<unsigned long long>(res.cycles));
+    std::printf("memory ops    : %llu (%llu HITM, %llu PEBS "
+                "records)\n",
+                static_cast<unsigned long long>(res.memOps),
+                static_cast<unsigned long long>(res.hitmEvents),
+                static_cast<unsigned long long>(res.pebsRecords));
+    std::printf("app memory    : %.2f MB peak (+%.2f MB runtime "
+                "overhead)\n",
+                res.appBytesPeak / 1048576.0,
+                res.overheadBytes / 1048576.0);
+    if (res.repairActive) {
+        std::printf("repair        : engaged at %.3f ms; T2P %.1f us; "
+                    "%llu pages; %llu commits (%.0f/s)\n",
+                    res.repairStartCycles / 3.4e6,
+                    res.t2pCycles / 3.4e3,
+                    static_cast<unsigned long long>(
+                        res.pagesProtected),
+                    static_cast<unsigned long long>(res.commits),
+                    res.commitsPerSec);
+        if (res.conflictBytes) {
+            std::printf("WARNING       : %llu racy-merge bytes -- the "
+                        "PTSB raced with itself; results suspect\n",
+                        static_cast<unsigned long long>(
+                            res.conflictBytes));
+        }
+    }
+    if (res.fsEventsEstimated || res.tsEventsEstimated) {
+        std::printf("detector      : %.0f FS ev/s, %.0f TS ev/s "
+                    "estimated\n",
+                    res.fsEventsEstimated / res.seconds,
+                    res.tsEventsEstimated / res.seconds);
+    }
+    if (stats)
+        std::printf("\n%s", res.statsText.c_str());
+    return res.compatible ? 0 : 1;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The paper's real-world story end to end: a leveldb-like key-value
+ * store with an injected false sharing bug (per-thread op counters
+ * packed into one cache line), repaired online by Tmi while the
+ * database keeps serving requests -- no restart, no source access.
+ *
+ * Usage: leveldb_repair [threads] [scale]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/experiment.hh"
+
+using namespace tmi;
+
+int
+main(int argc, char **argv)
+{
+    unsigned threads = argc > 1 ? std::atoi(argv[1]) : 4;
+    std::uint64_t scale = argc > 2 ? std::atoll(argv[2]) : 8;
+
+    ExperimentConfig cfg;
+    cfg.workload = "leveldb";
+    cfg.threads = threads;
+    cfg.scale = scale;
+    cfg.analysisInterval = 500'000;
+
+    std::printf("== leveldb with an injected false sharing bug ==\n");
+    std::printf("(per-thread stat counters packed into one cache "
+                "line; %u client threads)\n\n",
+                threads);
+
+    cfg.treatment = Treatment::Pthreads;
+    RunResult base = runExperiment(cfg);
+    std::printf("unmodified run      : %8.3f ms, %llu HITM events, "
+                "%s\n",
+                base.seconds * 1e3,
+                static_cast<unsigned long long>(base.hitmEvents),
+                base.compatible ? "valid" : "INVALID");
+
+    cfg.treatment = Treatment::TmiProtect;
+    RunResult tmi = runExperiment(cfg);
+    std::printf("under tmi           : %8.3f ms, %llu HITM events, "
+                "%s\n\n",
+                tmi.seconds * 1e3,
+                static_cast<unsigned long long>(tmi.hitmEvents),
+                tmi.compatible ? "valid" : "INVALID");
+
+    std::printf("repair timeline:\n");
+    std::printf("  detection fired at %.3f ms (the 'unrepaired' "
+                "prefix)\n",
+                tmi.repairStartCycles / 3.4e6);
+    std::printf("  %u threads converted to processes in %.0f us "
+                "total\n",
+                threads + 1, tmi.t2pCycles / 3.4e3);
+    std::printf("  %llu page(s) placed under the PTSB (targeted: the "
+                "counter line's page)\n",
+                static_cast<unsigned long long>(tmi.pagesProtected));
+    std::printf("  %llu PTSB commits (%.0f/s) at sync operations and "
+                "seq_cst atomics\n\n",
+                static_cast<unsigned long long>(tmi.commits),
+                tmi.commitsPerSec);
+
+    cfg.treatment = Treatment::Manual;
+    RunResult manual = runExperiment(cfg);
+    double s_tmi = speedup(base, tmi);
+    double s_manual = speedup(base, manual);
+    std::printf("speedup: tmi %.2fx vs manual source fix %.2fx "
+                "(%.0f%% captured, zero code changes)\n",
+                s_tmi, s_manual,
+                s_manual > 1.0
+                    ? 100.0 * (s_tmi - 1.0) / (s_manual - 1.0)
+                    : 0.0);
+    std::printf("(paper: 3.8x, 88%% of the manual fix)\n");
+
+    // The database must still be correct: leveldb uses lock-free
+    // atomics that a less careful PTSB would corrupt.
+    cfg.treatment = Treatment::SheriffProtect;
+    cfg.budget = base.cycles * 25;
+    RunResult sheriff = runExperiment(cfg);
+    std::printf("\nfor contrast, a Sheriff-style always-on PTSB: %s\n",
+                sheriff.compatible
+                    ? "(unexpectedly survived)"
+                    : "CORRUPTS the store (its CAS claims race on "
+                      "private pages)");
+    return tmi.compatible ? 0 : 1;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Allocator interface for simulated application memory.
+ *
+ * Allocators hand out simulated virtual addresses inside the heap
+ * region. Their *layout policy* is what matters for false sharing:
+ * whether two threads' hot data can land on one cache line, and
+ * whether large allocations are cache-line aligned. Their *speed* is
+ * modeled by charging cycles per operation through the
+ * MemoryProvider (the paper's Lockless-vs-glibc gap is 16%).
+ */
+
+#ifndef TMI_ALLOC_ALLOCATOR_HH
+#define TMI_ALLOC_ALLOCATOR_HH
+
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace tmi
+{
+
+/** Services allocators need from the machine. */
+class MemoryProvider
+{
+  public:
+    virtual ~MemoryProvider() = default;
+
+    /**
+     * Extend the heap by @p bytes (rounded up to a page) and return
+     * the virtual address of the new contiguous chunk.
+     */
+    virtual Addr sbrk(std::uint64_t bytes) = 0;
+
+    /** Charge allocator bookkeeping cycles to @p tid. */
+    virtual void chargeCycles(ThreadId tid, Cycles cycles) = 0;
+};
+
+/** Allocation statistics shared by all allocator implementations. */
+struct AllocStats
+{
+    stats::Scalar mallocs;
+    stats::Scalar frees;
+    stats::Scalar bytesRequested;
+    std::uint64_t bytesLive = 0;
+    std::uint64_t bytesPeak = 0;
+
+    void
+    onMalloc(std::uint64_t bytes)
+    {
+        ++mallocs;
+        bytesRequested += static_cast<double>(bytes);
+        bytesLive += bytes;
+        if (bytesLive > bytesPeak)
+            bytesPeak = bytesLive;
+    }
+
+    void
+    onFree(std::uint64_t bytes)
+    {
+        ++frees;
+        bytesLive -= bytes;
+    }
+
+    void
+    regStats(stats::StatGroup &group)
+    {
+        group.addScalar("mallocs", &mallocs, "allocation calls");
+        group.addScalar("frees", &frees, "free calls");
+        group.addScalar("bytesRequested", &bytesRequested,
+                        "total bytes requested");
+    }
+};
+
+/** Abstract simulated-memory allocator. */
+class Allocator
+{
+  public:
+    virtual ~Allocator() = default;
+
+    /** Allocate @p bytes for @p tid; returns a simulated address. */
+    virtual Addr malloc(ThreadId tid, std::uint64_t bytes) = 0;
+
+    /** Release an allocation made by malloc. */
+    virtual void free(ThreadId tid, Addr addr) = 0;
+
+    /**
+     * Allocate with explicit alignment (posix_memalign); used by
+     * manual fixes that pad and align hot structures.
+     */
+    virtual Addr memalign(ThreadId tid, Addr alignment,
+                          std::uint64_t bytes) = 0;
+
+    /** Name for reports. */
+    virtual const char *name() const = 0;
+
+    /** Shared statistics. */
+    const AllocStats &allocStats() const { return _stats; }
+    AllocStats &allocStats() { return _stats; }
+
+  protected:
+    AllocStats _stats;
+};
+
+} // namespace tmi
+
+#endif // TMI_ALLOC_ALLOCATOR_HH

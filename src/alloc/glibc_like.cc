@@ -1,0 +1,79 @@
+#include "glibc_like.hh"
+
+namespace tmi
+{
+
+GlibcLikeAllocator::GlibcLikeAllocator(MemoryProvider &provider,
+                                       const GlibcLikeConfig &config)
+    : _provider(provider), _config(config)
+{
+}
+
+Addr
+GlibcLikeAllocator::malloc(ThreadId tid, std::uint64_t bytes)
+{
+    if (bytes == 0)
+        bytes = 1;
+    _stats.onMalloc(bytes);
+
+    Cycles cost = _config.baseCost;
+    if (_lastTid != tid && _lastTid != ~ThreadId{0})
+        cost += _config.contentionCost; // arena-lock ping-pong
+    _lastTid = tid;
+    _provider.chargeCycles(tid, cost);
+
+    std::uint64_t size = roundSize(bytes);
+    auto &list = _freeLists[size];
+    if (!list.empty()) {
+        Addr addr = list.back();
+        list.pop_back();
+        _sizes[addr] = bytes;
+        return addr;
+    }
+    if (_bump + size > _bumpEnd) {
+        std::uint64_t chunk =
+            std::max<std::uint64_t>(_config.chunkBytes, size);
+        _bump = _provider.sbrk(chunk);
+        _bumpEnd = _bump + chunk;
+    }
+    // Header skew: the usable address starts 8 bytes in, so large
+    // arrays are mis-aligned with respect to cache lines by default.
+    Addr addr = _bump + 8;
+    _bump += size;
+    _sizes[addr] = bytes;
+    return addr;
+}
+
+void
+GlibcLikeAllocator::free(ThreadId tid, Addr addr)
+{
+    if (addr == 0)
+        return;
+    Cycles cost = _config.baseCost;
+    if (_lastTid != tid && _lastTid != ~ThreadId{0})
+        cost += _config.contentionCost;
+    _lastTid = tid;
+    _provider.chargeCycles(tid, cost);
+
+    auto it = _sizes.find(addr);
+    TMI_ASSERT(it != _sizes.end(), "free of unknown address");
+    std::uint64_t bytes = it->second;
+    _stats.onFree(bytes);
+    _freeLists[roundSize(bytes)].push_back(addr);
+    _sizes.erase(it);
+}
+
+Addr
+GlibcLikeAllocator::memalign(ThreadId tid, Addr alignment,
+                             std::uint64_t bytes)
+{
+    TMI_ASSERT(isPowerOf2(alignment));
+    _stats.onMalloc(bytes);
+    _provider.chargeCycles(tid, _config.baseCost * 2);
+    Addr base = _provider.sbrk(bytes + alignment);
+    Addr addr = roundUp(base, alignment);
+    _sizes[addr] = bytes;
+    return addr;
+}
+
+} // namespace tmi

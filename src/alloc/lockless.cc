@@ -1,0 +1,103 @@
+#include "lockless.hh"
+
+#include <algorithm>
+
+namespace tmi
+{
+
+LocklessAllocator::LocklessAllocator(MemoryProvider &provider,
+                                     const LocklessConfig &config)
+    : _provider(provider), _config(config)
+{
+}
+
+unsigned
+LocklessAllocator::classFor(std::uint64_t bytes)
+{
+    std::uint64_t size = std::uint64_t{1} << minClassShift;
+    unsigned cls = 0;
+    while (size < bytes) {
+        size <<= 1;
+        ++cls;
+    }
+    return cls;
+}
+
+Addr
+LocklessAllocator::malloc(ThreadId tid, std::uint64_t bytes)
+{
+    if (bytes == 0)
+        bytes = 1;
+    _stats.onMalloc(bytes);
+
+    if (bytes > classBytes(numClasses - 1)) {
+        // Large path: straight from sbrk, page granular.
+        _provider.chargeCycles(tid, _config.fastPathCost * 2);
+        std::uint64_t need = bytes + lineBytes;
+        Addr base = _provider.sbrk(need);
+        Addr addr = base;
+        if (_config.alignLarge)
+            addr = roundUp(addr, lineBytes);
+        if (_config.forceMisalign)
+            addr += 8;
+        _largeSizes[addr] = bytes;
+        return addr;
+    }
+
+    unsigned cls = classFor(std::max(bytes, _config.minSmallBytes));
+    ThreadCache &tc = cache(tid);
+    auto &list = tc.freeLists[cls];
+    if (list.empty()) {
+        // Refill: carve a fresh slab for this thread only. This is
+        // the layout property that keeps different threads' small
+        // objects off each other's cache lines.
+        _provider.chargeCycles(tid, _config.slabRefillCost);
+        std::uint64_t obj = classBytes(cls);
+        Addr slab = _provider.sbrk(_config.slabBytes);
+        slab = roundUp(slab, lineBytes);
+        std::uint64_t count = (_config.slabBytes - lineBytes) / obj;
+        for (std::uint64_t i = count; i-- > 0;)
+            list.push_back(slab + i * obj);
+    }
+    _provider.chargeCycles(tid, _config.fastPathCost);
+    Addr addr = list.back();
+    list.pop_back();
+    _objClass[addr] = SmallObj{cls, bytes};
+    return addr;
+}
+
+void
+LocklessAllocator::free(ThreadId tid, Addr addr)
+{
+    if (addr == 0)
+        return;
+    _provider.chargeCycles(tid, _config.fastPathCost);
+
+    auto large = _largeSizes.find(addr);
+    if (large != _largeSizes.end()) {
+        _stats.onFree(large->second);
+        _largeSizes.erase(large);
+        return; // large chunks are not recycled (sbrk never shrinks)
+    }
+    auto it = _objClass.find(addr);
+    TMI_ASSERT(it != _objClass.end(), "free of unknown address");
+    unsigned cls = it->second.cls;
+    _stats.onFree(it->second.requested);
+    _objClass.erase(it);
+    cache(tid).freeLists[cls].push_back(addr);
+}
+
+Addr
+LocklessAllocator::memalign(ThreadId tid, Addr alignment,
+                            std::uint64_t bytes)
+{
+    TMI_ASSERT(isPowerOf2(alignment));
+    _stats.onMalloc(bytes);
+    _provider.chargeCycles(tid, _config.fastPathCost * 2);
+    Addr base = _provider.sbrk(bytes + alignment);
+    Addr addr = roundUp(base, alignment);
+    _largeSizes[addr] = bytes;
+    return addr;
+}
+
+} // namespace tmi

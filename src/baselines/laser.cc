@@ -1,0 +1,146 @@
+#include "laser.hh"
+
+namespace tmi
+{
+
+namespace
+{
+
+DetectorConfig
+detectorConfigFor(Machine &machine, const LaserConfig &config)
+{
+    DetectorConfig dc = config.detector;
+    dc.samplePeriod = machine.config().perf.period;
+    dc.cyclesPerSecond = machine.config().cyclesPerSecond;
+    dc.pageShift = machine.config().pageShift;
+    return dc;
+}
+
+} // namespace
+
+LaserRuntime::LaserRuntime(Machine &machine, const LaserConfig &config)
+    : _m(machine), _cfg(config),
+      _detector(machine.instructions(), machine.addressMap(),
+                detectorConfigFor(machine, config))
+{
+}
+
+void
+LaserRuntime::attach()
+{
+    _m.setHooks(this);
+    _m.spawnSystemThread(
+        "laser-detector",
+        [this](ThreadApi &api) { detectionLoop(api); },
+        /*daemon=*/true);
+}
+
+std::uint64_t
+LaserRuntime::syncOpsSoFar() const
+{
+    // Only full-fence operations force a TSO drain: lock operations
+    // and atomic read-modify-writes. Plain atomic loads/stores ride
+    // in the store buffer like ordinary accesses.
+    return _m.sync().acquires() + _rmwAtomics;
+}
+
+bool
+LaserRuntime::interceptAccess(ThreadId tid, Addr va, bool is_write,
+                              Cycles &cost)
+{
+    (void)tid;
+    if (_repairedPages.empty())
+        return false;
+    VPage vpage = va >> _m.config().pageShift;
+    if (!_repairedPages.count(vpage))
+        return false;
+    ++_statBufferedAccesses;
+    cost = is_write ? _cfg.bufferedStoreCost : _cfg.bufferedLoadCost;
+    return true;
+}
+
+void
+LaserRuntime::onSyncAcquire(ThreadId tid)
+{
+    (void)tid;
+    if (!_repairedPages.empty()) {
+        ++_statDrains;
+        _m.sched().advance(_cfg.drainCost);
+    }
+}
+
+void
+LaserRuntime::onSyncRelease(ThreadId tid)
+{
+    onSyncAcquire(tid);
+}
+
+void
+LaserRuntime::onAtomicOp(ThreadId tid, MemOrder order, bool is_rmw)
+{
+    (void)tid;
+    // TSO gives no relaxed escape hatch: every locked RMW is a full
+    // fence and drains the software store buffer, regardless of the
+    // C++ memory order.
+    (void)order;
+    if (!is_rmw)
+        return;
+    ++_rmwAtomics;
+    if (!_repairedPages.empty()) {
+        ++_statDrains;
+        _m.sched().advance(_cfg.drainCost);
+    }
+}
+
+void
+LaserRuntime::detectionLoop(ThreadApi &api)
+{
+    Machine &m = api.machine();
+    Cycles last = m.sched().now();
+    std::uint64_t last_syncs = 0;
+    std::vector<PebsRecord> records;
+    while (true) {
+        m.sched().sleepUntil(last + _cfg.analysisInterval);
+        Cycles now = m.sched().now();
+
+        records.clear();
+        m.perf().drainAll(records);
+        Cycles cost = 0;
+        for (const auto &rec : records)
+            cost += _detector.consume(rec);
+        AnalysisResult res = _detector.analyze(now - last);
+        cost += res.cost;
+        m.sched().advance(cost);
+
+        // Repair gate: frequent synchronization makes a TSO store
+        // buffer unprofitable, so LASER leaves such programs alone.
+        std::uint64_t syncs = syncOpsSoFar();
+        double window_sec = static_cast<double>(now - last) /
+                            m.config().cyclesPerSecond;
+        double sync_rate =
+            static_cast<double>(syncs - last_syncs) / window_sec;
+        last = now;
+        last_syncs = syncs;
+
+        if (res.pagesToRepair.empty())
+            continue;
+        if (sync_rate > _cfg.maxSyncRatePerSec) {
+            _declined = true;
+            continue;
+        }
+        for (VPage vpage : res.pagesToRepair)
+            _repairedPages.insert(vpage);
+    }
+}
+
+void
+LaserRuntime::regStats(stats::StatGroup &group)
+{
+    group.addScalar("bufferedAccesses", &_statBufferedAccesses,
+                    "accesses serviced by the software store buffer");
+    group.addScalar("drains", &_statDrains,
+                    "TSO store-buffer drains at sync/atomic ops");
+    _detector.regStats(group);
+}
+
+} // namespace tmi

@@ -1,0 +1,126 @@
+#include "sheriff.hh"
+
+namespace tmi
+{
+
+SheriffRuntime::SheriffRuntime(Machine &machine,
+                               const SheriffConfig &config)
+    : _m(machine), _cfg(config)
+{
+}
+
+void
+SheriffRuntime::attach()
+{
+    _m.setHooks(this);
+    _m.mmu().setCowCallback(
+        [this](ProcessId pid, VPage vpage, PPage shared_frame,
+               PPage private_frame) -> Cycles {
+            auto it = _ptsbs.find(pid);
+            if (it == _ptsbs.end())
+                return 0;
+            return it->second->onCowFault(vpage, shared_frame,
+                                          private_frame);
+        });
+}
+
+void
+SheriffRuntime::onThreadCreate(ThreadId tid)
+{
+    // Every thread runs as a process from birth, with all of the
+    // heap protected.
+    ProcessId pid = _m.mmu().cloneAddressSpace(_m.processOf(tid));
+    _m.setThreadProcess(tid, pid);
+    auto ptsb = std::make_unique<Ptsb>(_m.mmu(), pid, _cfg.ptsbCosts,
+                                       &_m.cache());
+    VPage heap_first = Machine::heapBase >> _m.config().pageShift;
+    std::uint64_t heap_pages = _m.heapRegion().pages();
+    Cycles cost = 0;
+    for (std::uint64_t i = 0; i < heap_pages; ++i)
+        cost += ptsb->protectPage(heap_first + i);
+    _ptsbs.emplace(pid, std::move(ptsb));
+    _m.sched().penalize(tid, _cfg.t2pCostPerThread + cost);
+    ++_statConversions;
+}
+
+Addr
+SheriffRuntime::onSyncObjectInit(ThreadId tid, Addr va)
+{
+    (void)tid;
+    (void)va;
+    // Processes cannot share plain pthread objects; Sheriff also
+    // places them in process-shared memory.
+    return _m.internalAlloc(lineBytes);
+}
+
+void
+SheriffRuntime::onSyncAcquire(ThreadId tid)
+{
+    commitThread(tid);
+}
+
+void
+SheriffRuntime::onSyncRelease(ThreadId tid)
+{
+    commitThread(tid);
+}
+
+void
+SheriffRuntime::onHeapGrow(VPage first, std::uint64_t n)
+{
+    Cycles cost = 0;
+    for (auto &[pid, ptsb] : _ptsbs) {
+        (void)pid;
+        for (std::uint64_t i = 0; i < n; ++i)
+            cost += ptsb->protectPage(first + i);
+    }
+    if (cost && _m.sched().current())
+        _m.sched().advance(cost);
+}
+
+void
+SheriffRuntime::commitThread(ThreadId tid)
+{
+    auto it = _ptsbs.find(_m.processOf(tid));
+    if (it == _ptsbs.end())
+        return;
+    CommitResult res = it->second->commit();
+    ++_statCommits;
+    Cycles cost = res.cost;
+    if (_cfg.detectMode)
+        cost += _cfg.detectAnalysisPerPage * res.pagesDiffed;
+    _m.sched().advance(cost);
+}
+
+std::uint64_t
+SheriffRuntime::totalCommits() const
+{
+    std::uint64_t n = 0;
+    for (const auto &[pid, ptsb] : _ptsbs) {
+        (void)pid;
+        n += ptsb->commits();
+    }
+    return n;
+}
+
+std::uint64_t
+SheriffRuntime::totalConflictBytes() const
+{
+    std::uint64_t n = 0;
+    for (const auto &[pid, ptsb] : _ptsbs) {
+        (void)pid;
+        n += ptsb->conflictBytes();
+    }
+    return n;
+}
+
+void
+SheriffRuntime::regStats(stats::StatGroup &group)
+{
+    group.addScalar("conversions", &_statConversions,
+                    "threads wrapped in processes");
+    group.addScalar("commitCalls", &_statCommits,
+                    "PTSB commit invocations");
+}
+
+} // namespace tmi

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * A Sheriff-like baseline runtime (Liu & Berger, OOPSLA 2011; paper
+ * sections 2.2 and 4).
+ *
+ * Sheriff wraps every thread in a process from the moment it is
+ * created and page-protects all of memory, running a PTSB
+ * everywhere, always. That gives excellent false sharing repair --
+ * close to manual fixes -- but two structural problems the paper
+ * documents:
+ *
+ *  1. overhead without contention: every written page is twinned,
+ *     diffed, and merged at every synchronization operation (27%
+ *     average overhead in the paper);
+ *  2. no code-centric consistency: atomics and inline assembly are
+ *     buffered like plain stores, so programs that rely on them
+ *     (canneal, leveldb, shptr-relaxed) produce wrong results or
+ *     hang. In this reproduction those failures are emergent: the
+ *     experiment driver observes validation failures and timeouts.
+ *
+ * sheriff-detect additionally pays a per-page analysis cost at each
+ * commit (it inspects diffs to report sharing), making it heavier
+ * than sheriff-protect.
+ */
+
+#ifndef TMI_BASELINES_SHERIFF_HH
+#define TMI_BASELINES_SHERIFF_HH
+
+#include <memory>
+#include <unordered_map>
+
+#include "core/machine.hh"
+#include "ptsb/ptsb.hh"
+
+namespace tmi
+{
+
+/** Sheriff configuration. */
+struct SheriffConfig
+{
+    /** Detection flavor: extra per-page diff analysis at commits. */
+    bool detectMode = false;
+    PtsbCosts ptsbCosts;
+    Cycles detectAnalysisPerPage = 2500;
+    Cycles t2pCostPerThread = 110'000;
+};
+
+/** Threads-as-processes, PTSB-everywhere runtime. */
+class SheriffRuntime : public RuntimeHooks
+{
+  public:
+    SheriffRuntime(Machine &machine, const SheriffConfig &config = {});
+
+    /** Install hooks and the COW callback. */
+    void attach();
+
+    void onThreadCreate(ThreadId tid) override;
+    void onThreadExit(ThreadId tid) override { commitThread(tid); }
+    bool atomicsBypassPrivate() override { return false; }
+    Addr onSyncObjectInit(ThreadId tid, Addr va) override;
+    void onSyncAcquire(ThreadId tid) override;
+    void onSyncRelease(ThreadId tid) override;
+    void onHeapGrow(VPage first, std::uint64_t n) override;
+
+    /** Total PTSB commits across all threads. */
+    std::uint64_t totalCommits() const;
+
+    /** Racy-merge bytes across all PTSBs: Sheriff has no code-centric
+     *  consistency, so atomics-based programs rack these up. */
+    std::uint64_t totalConflictBytes() const;
+
+    /** Register stats under @p group. */
+    void regStats(stats::StatGroup &group);
+
+  private:
+    void commitThread(ThreadId tid);
+
+    Machine &_m;
+    SheriffConfig _cfg;
+    std::unordered_map<ProcessId, std::unique_ptr<Ptsb>> _ptsbs;
+
+    stats::Scalar _statConversions;
+    stats::Scalar _statCommits;
+};
+
+} // namespace tmi
+
+#endif // TMI_BASELINES_SHERIFF_HH

@@ -1,0 +1,410 @@
+#include "cache_sim.hh"
+
+namespace tmi
+{
+
+void
+CacheSim::TagArray::init(unsigned s, unsigned w)
+{
+    sets = s;
+    ways = w;
+    lines.assign(static_cast<std::size_t>(s) * w, Line{});
+}
+
+CacheSim::Line *
+CacheSim::TagArray::find(Addr line_addr)
+{
+    unsigned set = setIndex(line_addr);
+    Line *base = &lines[static_cast<std::size_t>(set) * ways];
+    for (unsigned w = 0; w < ways; ++w) {
+        if (base[w].state != Mesi::Invalid && base[w].tag == line_addr)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+CacheSim::Line &
+CacheSim::TagArray::victim(Addr line_addr)
+{
+    unsigned set = setIndex(line_addr);
+    Line *base = &lines[static_cast<std::size_t>(set) * ways];
+    Line *lru = &base[0];
+    for (unsigned w = 0; w < ways; ++w) {
+        if (base[w].state == Mesi::Invalid)
+            return base[w];
+        if (base[w].lastUse < lru->lastUse)
+            lru = &base[w];
+    }
+    return *lru;
+}
+
+CacheSim::CacheSim(const CacheConfig &config) : _config(config)
+{
+    TMI_ASSERT(config.cores >= 1 && config.cores <= 32);
+    _l1.resize(config.cores);
+    for (auto &l1 : _l1)
+        l1.init(config.l1Sets, config.l1Ways);
+    _llc.init(config.llcSets, config.llcWays);
+}
+
+void
+CacheSim::dropFromCore(CoreId core, Addr line_addr)
+{
+    Line *line = _l1[core].find(line_addr);
+    if (line) {
+        if (line->state == Mesi::Modified ||
+            line->state == Mesi::Owned) {
+            ++_statWritebacks;
+            // Dirty data returns to the LLC.
+            llcLookupFill(line_addr);
+        }
+        line->state = Mesi::Invalid;
+    }
+    auto it = _dir.find(line_addr);
+    if (it != _dir.end()) {
+        it->second.sharers &= ~(std::uint32_t{1} << core);
+        if (it->second.owner == core)
+            it->second.ownerState = Mesi::Invalid;
+        if (it->second.sharers == 0)
+            _dir.erase(it);
+    }
+}
+
+bool
+CacheSim::llcLookupFill(Addr line_addr)
+{
+    Line *hit = _llc.find(line_addr);
+    if (hit) {
+        hit->lastUse = _useClock;
+        return true;
+    }
+    Line &v = _llc.victim(line_addr);
+    // LLC evictions have no side effects: data always lives in the
+    // simulated physical memory, and the LLC is non-inclusive.
+    v.tag = line_addr;
+    v.state = Mesi::Shared;
+    v.lastUse = _useClock;
+    return false;
+}
+
+void
+CacheSim::fillLine(CoreId core, Addr line_addr, Mesi state)
+{
+    Line &v = _l1[core].victim(line_addr);
+    if (v.state != Mesi::Invalid) {
+        // Evict the victim: update the directory, write back if dirty.
+        Addr victim_addr = v.tag;
+        if (v.state == Mesi::Modified || v.state == Mesi::Owned) {
+            ++_statWritebacks;
+            llcLookupFill(victim_addr);
+        }
+        auto it = _dir.find(victim_addr);
+        if (it != _dir.end()) {
+            it->second.sharers &= ~(std::uint32_t{1} << core);
+            if (it->second.owner == core)
+                it->second.ownerState = Mesi::Invalid;
+            if (it->second.sharers == 0)
+                _dir.erase(it);
+        }
+    }
+    v.tag = line_addr;
+    v.state = state;
+    v.lastUse = _useClock;
+
+    DirEntry &entry = _dir[line_addr];
+    entry.sharers |= std::uint32_t{1} << core;
+    if (state == Mesi::Modified || state == Mesi::Exclusive) {
+        entry.owner = core;
+        entry.ownerState = state;
+    }
+}
+
+AccessResult
+CacheSim::access(const AccessContext &ctx)
+{
+    TMI_ASSERT(ctx.core < _config.cores);
+    TMI_ASSERT(lineOffset(ctx.paddr) + ctx.width <= lineBytes,
+               "access spans a cache line");
+
+    AccessResult res;
+    ++_statAccesses;
+    ++_useClock;
+
+    Addr line_addr = lineNumber(ctx.paddr);
+    TagArray &l1 = _l1[ctx.core];
+    Line *line = l1.find(line_addr);
+
+    if (line) {
+        line->lastUse = _useClock;
+        if (!ctx.isWrite || line->state == Mesi::Modified) {
+            res.l1Hit = true;
+            res.latency = _config.l1HitLatency;
+            ++_statL1Hits;
+            return res;
+        }
+        if (line->state == Mesi::Exclusive) {
+            // Silent E->M upgrade.
+            line->state = Mesi::Modified;
+            DirEntry &entry = _dir[line_addr];
+            entry.owner = ctx.core;
+            entry.ownerState = Mesi::Modified;
+            res.l1Hit = true;
+            res.latency = _config.l1HitLatency;
+            ++_statL1Hits;
+            return res;
+        }
+        // S/O->M upgrade: invalidate every other sharer. A remote
+        // Owned copy is dirty and must be written back first.
+        ++_statUpgrades;
+        auto it = _dir.find(line_addr);
+        if (it != _dir.end()) {
+            std::uint32_t others =
+                it->second.sharers & ~(std::uint32_t{1} << ctx.core);
+            for (CoreId c = 0; c < _config.cores; ++c) {
+                if (others & (std::uint32_t{1} << c)) {
+                    ++_statInvalidations;
+                    Line *remote = _l1[c].find(line_addr);
+                    if (remote) {
+                        if (remote->state == Mesi::Owned) {
+                            ++_statWritebacks;
+                            llcLookupFill(line_addr);
+                        }
+                        remote->state = Mesi::Invalid;
+                    }
+                }
+            }
+            it->second.sharers = std::uint32_t{1} << ctx.core;
+            it->second.owner = ctx.core;
+            it->second.ownerState = Mesi::Modified;
+        }
+        line->state = Mesi::Modified;
+        res.l1Hit = true;
+        res.latency = _config.upgradeLatency;
+        return res;
+    }
+
+    // L1 miss: snoop the other private caches via the directory.
+    auto it = _dir.find(line_addr);
+    bool remote_modified = false;
+    bool remote_owned = false;
+    bool remote_clean = false;
+    CoreId owner = 0;
+
+    if (it != _dir.end() && it->second.sharers != 0) {
+        std::uint32_t others =
+            it->second.sharers & ~(std::uint32_t{1} << ctx.core);
+        if (others != 0) {
+            bool owner_remote =
+                it->second.owner != ctx.core &&
+                (others & (std::uint32_t{1} << it->second.owner));
+            if (it->second.ownerState == Mesi::Modified &&
+                owner_remote) {
+                remote_modified = true;
+                owner = it->second.owner;
+            } else if (it->second.ownerState == Mesi::Owned &&
+                       owner_remote) {
+                remote_owned = true;
+                owner = it->second.owner;
+            } else {
+                remote_clean = true;
+            }
+        }
+    }
+
+    if (remote_modified) {
+        // HITM: dirty hit in a remote private cache.
+        ++_statHitm;
+        if (ctx.isWrite)
+            ++_statHitmStores;
+        res.hitm = true;
+        res.latency = _config.hitmLatency;
+        if (_hitmCb)
+            res.latency += _hitmCb(ctx);
+
+        if (ctx.isWrite) {
+            // RFO: the owner is invalidated, we take Modified.
+            ++_statWritebacks;
+            llcLookupFill(line_addr);
+            dropFromCore(owner, line_addr);
+            ++_statInvalidations;
+            fillLine(ctx.core, line_addr, Mesi::Modified);
+        } else if (_config.protocol == Protocol::Moesi) {
+            // MOESI read: the owner keeps the dirty data in Owned
+            // state; no writeback happens at all.
+            Line *remote = _l1[owner].find(line_addr);
+            if (remote)
+                remote->state = Mesi::Owned;
+            DirEntry &entry = _dir[line_addr];
+            entry.ownerState = Mesi::Owned;
+            fillLine(ctx.core, line_addr, Mesi::Shared);
+        } else {
+            // MESI read: writeback, the owner downgrades to Shared.
+            ++_statWritebacks;
+            llcLookupFill(line_addr);
+            Line *remote = _l1[owner].find(line_addr);
+            if (remote)
+                remote->state = Mesi::Shared;
+            DirEntry &entry = _dir[line_addr];
+            entry.ownerState = Mesi::Invalid;
+            fillLine(ctx.core, line_addr, Mesi::Shared);
+        }
+        return res;
+    }
+
+    if (remote_owned) {
+        // MOESI dirty forward: served from the Owned copy. The line
+        // is not Modified, so Intel's HITM event does NOT fire --
+        // dirty sharing is cheaper and *quieter* under MOESI.
+        ++_statOwnedForwards;
+        res.latency = _config.ownedForwardLatency;
+        if (ctx.isWrite) {
+            std::uint32_t others =
+                it->second.sharers & ~(std::uint32_t{1} << ctx.core);
+            for (CoreId c = 0; c < _config.cores; ++c) {
+                if (others & (std::uint32_t{1} << c)) {
+                    ++_statInvalidations;
+                    dropFromCore(c, line_addr);
+                }
+            }
+            fillLine(ctx.core, line_addr, Mesi::Modified);
+        } else {
+            fillLine(ctx.core, line_addr, Mesi::Shared);
+        }
+        return res;
+    }
+
+    if (remote_clean) {
+        res.latency = _config.cleanForwardLatency;
+        if (ctx.isWrite) {
+            // Invalidate all remote clean copies, take Modified.
+            std::uint32_t others =
+                it->second.sharers & ~(std::uint32_t{1} << ctx.core);
+            for (CoreId c = 0; c < _config.cores; ++c) {
+                if (others & (std::uint32_t{1} << c)) {
+                    ++_statInvalidations;
+                    Line *remote = _l1[c].find(line_addr);
+                    if (remote)
+                        remote->state = Mesi::Invalid;
+                }
+            }
+            it->second.sharers &= std::uint32_t{1} << ctx.core;
+            fillLine(ctx.core, line_addr, Mesi::Modified);
+        } else {
+            // Downgrade a remote Exclusive copy if there is one.
+            if (it->second.ownerState == Mesi::Exclusive) {
+                Line *remote =
+                    _l1[it->second.owner].find(line_addr);
+                if (remote && remote->state == Mesi::Exclusive)
+                    remote->state = Mesi::Shared;
+                it->second.ownerState = Mesi::Invalid;
+            }
+            fillLine(ctx.core, line_addr, Mesi::Shared);
+        }
+        return res;
+    }
+
+    // No private copy anywhere: LLC, then memory.
+    bool llc_hit = llcLookupFill(line_addr);
+    if (llc_hit) {
+        res.latency = _config.llcHitLatency;
+        ++_statLlcHits;
+    } else {
+        res.latency = _config.dramLatency;
+        ++_statDramFills;
+    }
+    fillLine(ctx.core, line_addr,
+             ctx.isWrite ? Mesi::Modified : Mesi::Exclusive);
+    return res;
+}
+
+void
+CacheSim::invalidateLine(Addr paddr)
+{
+    Addr line_addr = lineNumber(paddr);
+    for (CoreId c = 0; c < _config.cores; ++c)
+        dropFromCore(c, line_addr);
+}
+
+void
+CacheSim::invalidatePage(PPage frame, unsigned page_shift)
+{
+    Addr base = frame << page_shift;
+    Addr lines = (Addr{1} << page_shift) >> lineShift;
+    for (Addr i = 0; i < lines; ++i)
+        invalidateLine(base + (i << lineShift));
+}
+
+bool
+CacheSim::auditCoherence() const
+{
+    // Gather every valid private-cache copy per line address.
+    std::unordered_map<Addr, std::vector<std::pair<CoreId, Mesi>>>
+        copies;
+    for (CoreId c = 0; c < _config.cores; ++c) {
+        for (const Line &line : _l1[c].lines) {
+            if (line.state != Mesi::Invalid)
+                copies[line.tag].push_back({c, line.state});
+        }
+    }
+
+    for (const auto &[line_addr, holders] : copies) {
+        unsigned exclusive_holders = 0;
+        unsigned owned_holders = 0;
+        for (const auto &[core, state] : holders) {
+            (void)core;
+            if (state == Mesi::Modified || state == Mesi::Exclusive)
+                ++exclusive_holders;
+            if (state == Mesi::Owned)
+                ++owned_holders;
+        }
+        // SWMR: an M/E copy must be the only copy of the line; at
+        // most one Owned copy, and never alongside an M/E copy.
+        if (exclusive_holders > 1 || owned_holders > 1)
+            return false;
+        if (exclusive_holders == 1 && holders.size() > 1)
+            return false;
+        if (owned_holders == 1 && exclusive_holders > 0)
+            return false;
+        if (owned_holders == 1 && _config.protocol == Protocol::Mesi)
+            return false;
+
+        // The directory must cover every cached copy.
+        auto it = _dir.find(line_addr);
+        if (it == _dir.end())
+            return false;
+        for (const auto &[core, state] : holders) {
+            if (!(it->second.sharers & (std::uint32_t{1} << core)))
+                return false;
+            if ((state == Mesi::Modified ||
+                 state == Mesi::Exclusive ||
+                 state == Mesi::Owned) &&
+                (it->second.owner != core ||
+                 it->second.ownerState != state)) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+void
+CacheSim::regStats(stats::StatGroup &group)
+{
+    group.addScalar("accesses", &_statAccesses, "data accesses");
+    group.addScalar("l1Hits", &_statL1Hits, "private-cache hits");
+    group.addScalar("llcHits", &_statLlcHits, "shared-cache hits");
+    group.addScalar("dramFills", &_statDramFills, "fills from memory");
+    group.addScalar("hitmEvents", &_statHitm,
+                    "remote-Modified (HITM) coherence events");
+    group.addScalar("hitmStoreEvents", &_statHitmStores,
+                    "HITM events triggered by stores");
+    group.addScalar("ownedForwards", &_statOwnedForwards,
+                    "dirty forwards from Owned lines (MOESI)");
+    group.addScalar("upgrades", &_statUpgrades, "S->M upgrades");
+    group.addScalar("invalidations", &_statInvalidations,
+                    "remote lines invalidated");
+    group.addScalar("writebacks", &_statWritebacks,
+                    "dirty lines written back");
+}
+
+} // namespace tmi

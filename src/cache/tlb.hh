@@ -1,0 +1,143 @@
+/**
+ * @file
+ * A per-core TLB model.
+ *
+ * Sized like the combined L1 DTLB + shared STLB of a Haswell core.
+ * Used to price translation: huge pages cover 512x more memory per
+ * entry, which is one of the two effects (with fewer soft faults)
+ * behind Figure 10's huge-page speedups.
+ */
+
+#ifndef TMI_CACHE_TLB_HH
+#define TMI_CACHE_TLB_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace tmi
+{
+
+/** TLB geometry and miss cost. */
+struct TlbConfig
+{
+    /** Effective entries (L1 DTLB + STLB) for 4 KB pages. */
+    unsigned entries4k = 1088;
+    /** Effective entries for 2 MB pages. */
+    unsigned entries2m = 544;
+    Cycles missLatency = 30; //!< page-walk cost
+};
+
+/** Set-associative (4-way) LRU TLB, one instance per core. */
+class Tlb
+{
+  public:
+    Tlb(const TlbConfig &config, unsigned page_shift)
+        : _missLatency(config.missLatency), _pageShift(page_shift)
+    {
+        unsigned n = page_shift >= hugePageShift ? config.entries2m
+                                                 : config.entries4k;
+        _sets = n / ways;
+        if (_sets == 0)
+            _sets = 1;
+        _entries.assign(static_cast<std::size_t>(_sets) * ways,
+                        Entry{});
+    }
+
+    /**
+     * Look up the page containing @p vaddr; fills on miss.
+     * @return the translation latency to charge (0 on hit).
+     */
+    Cycles
+    lookup(Addr vaddr)
+    {
+        VPage vpage = vaddr >> _pageShift;
+        Entry *set = setFor(vpage);
+        ++_clock;
+        Entry *victim = &set[0];
+        for (unsigned w = 0; w < ways; ++w) {
+            Entry &e = set[w];
+            if (e.valid && e.vpage == vpage) {
+                e.lastUse = _clock;
+                ++_statHits;
+                return 0;
+            }
+            if (!e.valid) {
+                victim = &e;
+            } else if (victim->valid &&
+                       e.lastUse < victim->lastUse) {
+                victim = &e;
+            }
+        }
+        ++_statMisses;
+        victim->valid = true;
+        victim->vpage = vpage;
+        victim->lastUse = _clock;
+        return _missLatency;
+    }
+
+    /** Drop every cached translation (mapping change). */
+    void
+    flush()
+    {
+        for (auto &e : _entries)
+            e.valid = false;
+    }
+
+    /** Drop the translation for one page if present. */
+    void
+    flushPage(VPage vpage)
+    {
+        Entry *set = setFor(vpage);
+        for (unsigned w = 0; w < ways; ++w) {
+            if (set[w].valid && set[w].vpage == vpage)
+                set[w].valid = false;
+        }
+    }
+
+    std::uint64_t misses() const
+    {
+        return static_cast<std::uint64_t>(_statMisses.value());
+    }
+
+    /** Register stats under @p group. */
+    void
+    regStats(stats::StatGroup &group)
+    {
+        group.addScalar("tlbHits", &_statHits, "TLB hits");
+        group.addScalar("tlbMisses", &_statMisses, "TLB misses");
+    }
+
+  private:
+    static constexpr unsigned ways = 4;
+
+    struct Entry
+    {
+        VPage vpage = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    Entry *
+    setFor(VPage vpage)
+    {
+        // Mix the page number so contiguous pages spread over sets.
+        std::uint64_t h = vpage * 0x9e3779b97f4a7c15ULL;
+        unsigned set = static_cast<unsigned>(h >> 40) % _sets;
+        return &_entries[static_cast<std::size_t>(set) * ways];
+    }
+
+    Cycles _missLatency;
+    unsigned _pageShift;
+    unsigned _sets = 1;
+    std::vector<Entry> _entries;
+    std::uint64_t _clock = 0;
+
+    stats::Scalar _statHits;
+    stats::Scalar _statMisses;
+};
+
+} // namespace tmi
+
+#endif // TMI_CACHE_TLB_HH

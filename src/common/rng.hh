@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workloads.
+ *
+ * Every source of randomness in the simulator is seeded explicitly so
+ * that experiments are exactly reproducible run-to-run. The generator
+ * is xoshiro256**, which is fast and has good statistical quality.
+ */
+
+#ifndef TMI_COMMON_RNG_HH
+#define TMI_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace tmi
+{
+
+/** Seedable xoshiro256** generator. */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed via splitmix64 expansion. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : s)
+            word = splitmix64(x);
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+        std::uint64_t t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = rotl(s[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound); bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire's multiply-shift rejection-free approximation is fine
+        // for workload generation purposes.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with success probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    static std::uint64_t
+    splitmix64(std::uint64_t &x)
+    {
+        std::uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    std::uint64_t s[4];
+};
+
+} // namespace tmi
+
+#endif // TMI_COMMON_RNG_HH

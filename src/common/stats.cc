@@ -1,0 +1,51 @@
+#include "stats.hh"
+
+#include <iomanip>
+
+namespace tmi::stats
+{
+
+void
+StatGroup::dump(std::ostream &os, int indent) const
+{
+    std::string pad(static_cast<size_t>(indent) * 2, ' ');
+    os << pad << _name << "\n";
+    for (const auto &s : _scalars) {
+        os << pad << "  " << std::left << std::setw(32) << s.name
+           << std::setw(16) << s.stat->value() << "# " << s.desc << "\n";
+    }
+    for (const auto &d : _dists) {
+        os << pad << "  " << std::left << std::setw(32)
+           << (d.name + ".mean") << std::setw(16) << d.stat->mean()
+           << "# " << d.desc << "\n";
+        os << pad << "  " << std::left << std::setw(32)
+           << (d.name + ".count") << std::setw(16)
+           << static_cast<double>(d.stat->count()) << "#\n";
+    }
+    for (const auto *c : _children)
+        c->dump(os, indent + 1);
+}
+
+bool
+StatGroup::lookupScalar(const std::string &path, double &out) const
+{
+    auto dot = path.find('.');
+    if (dot == std::string::npos) {
+        for (const auto &s : _scalars) {
+            if (s.name == path) {
+                out = s.stat->value();
+                return true;
+            }
+        }
+        return false;
+    }
+    std::string head = path.substr(0, dot);
+    std::string rest = path.substr(dot + 1);
+    for (const auto *c : _children) {
+        if (c->name() == head)
+            return c->lookupScalar(rest, out);
+    }
+    return false;
+}
+
+} // namespace tmi::stats

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * A small statistics package in the spirit of gem5's Stats.
+ *
+ * Components register named statistics with a StatGroup; groups nest to
+ * form a tree (machine -> core -> cache, runtime -> detector, ...). At
+ * the end of a run the tree can be dumped as text or harvested
+ * programmatically by the experiment driver.
+ */
+
+#ifndef TMI_COMMON_STATS_HH
+#define TMI_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tmi::stats
+{
+
+/** A monotonically accumulating scalar statistic. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    Scalar &operator++() { ++_value; return *this; }
+    Scalar &operator+=(double v) { _value += v; return *this; }
+    Scalar &operator=(double v) { _value = v; return *this; }
+
+    double value() const { return _value; }
+    void reset() { _value = 0; }
+
+  private:
+    double _value = 0;
+};
+
+/** Running mean / min / max / count over observed samples. */
+class Distribution
+{
+  public:
+    /** Record one sample. */
+    void
+    sample(double v)
+    {
+        if (_count == 0 || v < _min)
+            _min = v;
+        if (_count == 0 || v > _max)
+            _max = v;
+        _sum += v;
+        _sumSq += v * v;
+        ++_count;
+    }
+
+    std::uint64_t count() const { return _count; }
+    double sum() const { return _sum; }
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    double min() const { return _count ? _min : 0.0; }
+    double max() const { return _count ? _max : 0.0; }
+
+    /** Population variance of the observed samples. */
+    double
+    variance() const
+    {
+        if (_count == 0)
+            return 0.0;
+        double m = mean();
+        return _sumSq / _count - m * m;
+    }
+
+    void
+    reset()
+    {
+        _count = 0;
+        _sum = _sumSq = 0.0;
+        _min = _max = 0.0;
+    }
+
+  private:
+    std::uint64_t _count = 0;
+    double _sum = 0.0;
+    double _sumSq = 0.0;
+    double _min = 0.0;
+    double _max = 0.0;
+};
+
+/**
+ * A named collection of statistics with nested child groups.
+ *
+ * Groups do not own the registered Scalars/Distributions; the owning
+ * component must outlive the group's last dump.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : _name(std::move(name)) {}
+
+    /** Register a scalar under @p name with a one-line description. */
+    void
+    addScalar(const std::string &name, const Scalar *s,
+              const std::string &desc)
+    {
+        _scalars.push_back({name, desc, s});
+    }
+
+    /** Register a distribution under @p name. */
+    void
+    addDistribution(const std::string &name, const Distribution *d,
+                    const std::string &desc)
+    {
+        _dists.push_back({name, desc, d});
+    }
+
+    /** Attach a child group; the child must outlive this group. */
+    void addChild(const StatGroup *child) { _children.push_back(child); }
+
+    const std::string &name() const { return _name; }
+
+    /** Dump this group and all children as indented text. */
+    void dump(std::ostream &os, int indent = 0) const;
+
+    /**
+     * Find a scalar's current value by dotted path relative to this
+     * group, e.g. "core0.l1.hitmEvents".
+     *
+     * @retval true if found, with the value stored in @p out.
+     */
+    bool lookupScalar(const std::string &path, double &out) const;
+
+  private:
+    struct NamedScalar
+    {
+        std::string name;
+        std::string desc;
+        const Scalar *stat;
+    };
+
+    struct NamedDist
+    {
+        std::string name;
+        std::string desc;
+        const Distribution *stat;
+    };
+
+    std::string _name;
+    std::vector<NamedScalar> _scalars;
+    std::vector<NamedDist> _dists;
+    std::vector<const StatGroup *> _children;
+};
+
+} // namespace tmi::stats
+
+#endif // TMI_COMMON_STATS_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Fundamental types and machine constants shared by every Tmi module.
+ *
+ * The simulated machine uses 64-bit virtual and physical addresses,
+ * 64-byte cache lines, and either 4 KB standard pages or 2 MB huge
+ * pages, matching the Haswell systems the paper evaluates on.
+ */
+
+#ifndef TMI_COMMON_TYPES_HH
+#define TMI_COMMON_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tmi
+{
+
+/** A virtual or physical byte address in the simulated machine. */
+using Addr = std::uint64_t;
+
+/** A simulated-time duration or timestamp, in core clock cycles. */
+using Cycles = std::uint64_t;
+
+/** Identifier of a simulated hardware core. */
+using CoreId = std::uint32_t;
+
+/** Identifier of a simulated application thread. */
+using ThreadId = std::uint32_t;
+
+/** Identifier of a simulated process (address space). */
+using ProcessId = std::uint32_t;
+
+/** A virtual page number (address >> page shift). */
+using VPage = std::uint64_t;
+
+/** A physical page frame number. */
+using PPage = std::uint64_t;
+
+/** Log2 of the coherence granularity: 64-byte cache lines. */
+constexpr unsigned lineShift = 6;
+
+/** Size of a cache line in bytes. */
+constexpr Addr lineBytes = Addr{1} << lineShift;
+
+/** Log2 of the standard (small) page size: 4 KB. */
+constexpr unsigned smallPageShift = 12;
+
+/** Size of a standard page in bytes. */
+constexpr Addr smallPageBytes = Addr{1} << smallPageShift;
+
+/** Log2 of the huge page size: 2 MB (MAP_HUGE_2MB). */
+constexpr unsigned hugePageShift = 21;
+
+/** Size of a huge page in bytes. */
+constexpr Addr hugePageBytes = Addr{1} << hugePageShift;
+
+/** An invalid/unmapped physical page marker. */
+constexpr PPage invalidPPage = ~PPage{0};
+
+/** Extract the cache-line-aligned base of an address. */
+constexpr Addr
+lineAlign(Addr a)
+{
+    return a & ~(lineBytes - 1);
+}
+
+/** Extract the cache line number of an address. */
+constexpr Addr
+lineNumber(Addr a)
+{
+    return a >> lineShift;
+}
+
+/** Offset of an address within its cache line. */
+constexpr unsigned
+lineOffset(Addr a)
+{
+    return static_cast<unsigned>(a & (lineBytes - 1));
+}
+
+/** Round @p a up to the next multiple of @p align (a power of two). */
+constexpr Addr
+roundUp(Addr a, Addr align)
+{
+    return (a + align - 1) & ~(align - 1);
+}
+
+/** Round @p a down to a multiple of @p align (a power of two). */
+constexpr Addr
+roundDown(Addr a, Addr align)
+{
+    return a & ~(align - 1);
+}
+
+/** True if @p a is a power of two (and nonzero). */
+constexpr bool
+isPowerOf2(Addr a)
+{
+    return a != 0 && (a & (a - 1)) == 0;
+}
+
+/** Floor of log2 of @p a; a must be nonzero. */
+constexpr unsigned
+floorLog2(Addr a)
+{
+    unsigned l = 0;
+    while (a >>= 1)
+        ++l;
+    return l;
+}
+
+} // namespace tmi
+
+#endif // TMI_COMMON_TYPES_HH

@@ -1,0 +1,128 @@
+#include "ccc.hh"
+
+namespace tmi
+{
+
+InteractionSemantics
+interactionSemantics(RegionKind a, RegionKind b)
+{
+    // Normalize: the matrix is symmetric.
+    if (static_cast<int>(a) > static_cast<int>(b))
+        std::swap(a, b);
+
+    if (a == RegionKind::Regular) {
+        if (b == RegionKind::Regular || b == RegionKind::Atomic)
+            return InteractionSemantics::Undefined; // cases 1
+        return InteractionSemantics::Unknown;       // case 3
+    }
+    if (a == RegionKind::Atomic) {
+        if (b == RegionKind::Atomic)
+            return InteractionSemantics::Atomic;    // case 2
+        return InteractionSemantics::Unknown;       // case 4
+    }
+    return InteractionSemantics::Tso;               // case 5
+}
+
+int
+interactionCase(RegionKind a, RegionKind b)
+{
+    if (static_cast<int>(a) > static_cast<int>(b))
+        std::swap(a, b);
+    if (a == RegionKind::Regular) {
+        if (b == RegionKind::Regular || b == RegionKind::Atomic)
+            return 1;
+        return 3;
+    }
+    if (a == RegionKind::Atomic)
+        return b == RegionKind::Atomic ? 2 : 4;
+    return 5;
+}
+
+bool
+ptsbPermitted(RegionKind a, RegionKind b)
+{
+    // Only the undefined-semantics cells of Table 2 are shaded: a
+    // data race in C/C++ permits any behaviour, including AMBSA
+    // violations. Every cell involving asm, and atomic/atomic,
+    // forbids the PTSB.
+    return interactionSemantics(a, b) == InteractionSemantics::Undefined;
+}
+
+void
+CodeCentricConsistency::threadStart(ThreadId tid)
+{
+    _threads.emplace(tid, ThreadState{});
+}
+
+CodeCentricConsistency::ThreadState &
+CodeCentricConsistency::state(ThreadId tid)
+{
+    // Auto-register: system threads and pre-main code start in a
+    // Regular region like everything else.
+    return _threads[tid];
+}
+
+bool
+CodeCentricConsistency::regionEnter(ThreadId tid, RegionKind kind)
+{
+    ThreadState &st = state(tid);
+    ++_statTransitions;
+    bool was_regular = st.stack.empty();
+    st.stack.push_back(kind);
+    if (!_enabled)
+        return false;
+    // Flush when crossing from regular code into an atomic or asm
+    // region (cases 2-5); nested non-regular regions are already
+    // operating on shared memory.
+    bool flush = was_regular && kind != RegionKind::Regular;
+    if (flush)
+        ++_statFlushes;
+    return flush;
+}
+
+void
+CodeCentricConsistency::regionExit(ThreadId tid)
+{
+    ThreadState &st = state(tid);
+    TMI_ASSERT(!st.stack.empty(), "region exit without matching enter");
+    ++_statTransitions;
+    st.stack.pop_back();
+}
+
+RegionKind
+CodeCentricConsistency::currentRegion(ThreadId tid) const
+{
+    auto it = _threads.find(tid);
+    if (it == _threads.end() || it->second.stack.empty())
+        return RegionKind::Regular;
+    return it->second.stack.back();
+}
+
+bool
+CodeCentricConsistency::mustBypassPrivate(ThreadId tid) const
+{
+    if (!_enabled)
+        return false;
+    return currentRegion(tid) != RegionKind::Regular;
+}
+
+bool
+CodeCentricConsistency::atomicOpNeedsFlush(MemOrder order) const
+{
+    if (!_enabled)
+        return false;
+    // relaxed requires atomicity only; operating directly on the
+    // shared page satisfies it with no flush (section 3.4.1 case 2).
+    return order != MemOrder::Relaxed;
+}
+
+void
+CodeCentricConsistency::regStats(stats::StatGroup &group)
+{
+    group.addScalar("regionTransitions", &_statTransitions,
+                    "region enter/exit callbacks observed");
+    group.addScalar("flushesRequired", &_statFlushes,
+                    "region entries that required a PTSB flush");
+}
+
+} // namespace tmi

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Code-centric consistency (paper section 3.4).
+ *
+ * Code-centric consistency identifies the points where a program's
+ * effective memory model changes (regular C/C++ <-> atomics <->
+ * inline assembly) and lets a runtime adapt. This engine keeps a
+ * per-thread region stack fed by the instrumentation callbacks and
+ * answers the two questions Tmi needs:
+ *
+ *  1. may this thread's writes still go through its PTSB right now?
+ *  2. does entering this region require flushing the PTSB first?
+ *
+ * It also encodes the full Table-2 interaction matrix so tests and
+ * the table2 bench can check the policy against the paper.
+ */
+
+#ifndef TMI_CONSISTENCY_CCC_HH
+#define TMI_CONSISTENCY_CCC_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "isa/regions.hh"
+
+namespace tmi
+{
+
+/** Semantics of concurrent conflicting accesses between two regions. */
+enum class InteractionSemantics : std::uint8_t
+{
+    Undefined, //!< any behaviour permitted (C/C++ data race)
+    Atomic,    //!< atomicity guaranteed by the C/C++ memory model
+    Unknown,   //!< unaddressed by existing specifications
+    Tso,       //!< hardware TSO semantics
+};
+
+/** Table 2: semantics of a conflict between regions @p a and @p b. */
+InteractionSemantics interactionSemantics(RegionKind a, RegionKind b);
+
+/** Table 2 case number (1-5) for a conflict between @p a and @p b. */
+int interactionCase(RegionKind a, RegionKind b);
+
+/**
+ * Table 2 shading: whether Tmi permits PTSB use for a conflict
+ * between regions @p a and @p b. Only regular/regular and
+ * regular/atomic conflicts (undefined semantics) permit it.
+ */
+bool ptsbPermitted(RegionKind a, RegionKind b);
+
+/** Per-thread region tracking and PTSB policy decisions. */
+class CodeCentricConsistency
+{
+  public:
+    /**
+     * @param enabled when false the engine still tracks regions but
+     *        reports that no flush/bypass is ever needed -- used to
+     *        reproduce the Figure 11/12 failure modes.
+     */
+    explicit CodeCentricConsistency(bool enabled = true)
+        : _enabled(enabled)
+    {}
+
+    bool enabled() const { return _enabled; }
+
+    /** Register a thread (starts in a Regular region). */
+    void threadStart(ThreadId tid);
+
+    /**
+     * Instrumentation callback: enter a region of kind @p kind.
+     * @retval true if the caller must flush this thread's PTSB
+     *         before proceeding.
+     */
+    bool regionEnter(ThreadId tid, RegionKind kind);
+
+    /** Instrumentation callback: leave the innermost region. */
+    void regionExit(ThreadId tid);
+
+    /** Innermost region the thread is executing in. */
+    RegionKind currentRegion(ThreadId tid) const;
+
+    /**
+     * Must this thread's accesses bypass its private COW pages and
+     * operate on shared memory right now?
+     *
+     * True inside atomic and asm regions (cases 2, 4, 5 and the
+     * conservative case 3), when the engine is enabled.
+     */
+    bool mustBypassPrivate(ThreadId tid) const;
+
+    /**
+     * Policy for a single atomic operation of order @p order outside
+     * an explicit region: relaxed atomics need no flush (they only
+     * require atomicity, provided they run on shared pages); stronger
+     * orders do.
+     */
+    bool atomicOpNeedsFlush(MemOrder order) const;
+
+    /** Region-transition callbacks observed (diagnostics). */
+    std::uint64_t transitions() const
+    {
+        return static_cast<std::uint64_t>(_statTransitions.value());
+    }
+
+    /** Flushes the policy demanded. */
+    std::uint64_t flushesRequired() const
+    {
+        return static_cast<std::uint64_t>(_statFlushes.value());
+    }
+
+    /** Register stats under @p group. */
+    void regStats(stats::StatGroup &group);
+
+  private:
+    struct ThreadState
+    {
+        std::vector<RegionKind> stack;
+    };
+
+    ThreadState &state(ThreadId tid);
+
+    bool _enabled;
+    std::unordered_map<ThreadId, ThreadState> _threads;
+
+    stats::Scalar _statTransitions;
+    stats::Scalar _statFlushes;
+};
+
+} // namespace tmi
+
+#endif // TMI_CONSISTENCY_CCC_HH

@@ -1,0 +1,217 @@
+#include "experiment.hh"
+
+#include <sstream>
+
+#include "baselines/laser.hh"
+#include "baselines/sheriff.hh"
+#include "runtime/tmi_runtime.hh"
+#include "workloads/workload.hh"
+
+namespace tmi
+{
+
+const char *
+treatmentName(Treatment t)
+{
+    switch (t) {
+      case Treatment::Pthreads:
+        return "pthreads";
+      case Treatment::Manual:
+        return "manual";
+      case Treatment::TmiAlloc:
+        return "tmi-alloc";
+      case Treatment::TmiDetect:
+        return "tmi-detect";
+      case Treatment::TmiProtect:
+        return "tmi-protect";
+      case Treatment::TmiProtectNoCcc:
+        return "tmi-protect-no-ccc";
+      case Treatment::PtsbEverywhere:
+        return "ptsb-everywhere";
+      case Treatment::SheriffDetect:
+        return "sheriff-detect";
+      case Treatment::SheriffProtect:
+        return "sheriff-protect";
+      case Treatment::Laser:
+        return "laser";
+    }
+    return "?";
+}
+
+namespace
+{
+
+bool
+isTmiTreatment(Treatment t)
+{
+    return t == Treatment::TmiAlloc || t == Treatment::TmiDetect ||
+           t == Treatment::TmiProtect ||
+           t == Treatment::TmiProtectNoCcc ||
+           t == Treatment::PtsbEverywhere;
+}
+
+bool
+isSheriffTreatment(Treatment t)
+{
+    return t == Treatment::SheriffDetect ||
+           t == Treatment::SheriffProtect;
+}
+
+} // namespace
+
+RunResult
+runExperiment(const ExperimentConfig &config)
+{
+    const WorkloadInfo &info = findWorkload(config.workload);
+
+    MachineConfig mc;
+    mc.cores = config.threads;
+    mc.pageShift = config.pageShift;
+    mc.allocator = config.allocator;
+    mc.perf.period = config.perfPeriod;
+    mc.seed = config.seed;
+    // Tmi and Sheriff serve application memory from process-shared,
+    // file-backed mappings and use the modified small-object policy;
+    // pthreads/manual/LASER run the stock allocator on anonymous
+    // memory.
+    mc.shmBackedHeap =
+        isTmiTreatment(config.treatment) ||
+        isSheriffTreatment(config.treatment);
+    mc.tmiModifiedAllocator = mc.shmBackedHeap;
+
+    Machine machine(mc);
+
+    WorkloadParams params;
+    params.threads = config.threads;
+    params.scale = config.scale;
+    params.manualFix = config.treatment == Treatment::Manual;
+    params.seed = config.seed;
+    std::unique_ptr<Workload> workload = info.make(params);
+    workload->init(machine);
+
+    std::unique_ptr<TmiRuntime> tmi;
+    std::unique_ptr<SheriffRuntime> sheriff;
+    std::unique_ptr<LaserRuntime> laser;
+
+    switch (config.treatment) {
+      case Treatment::Pthreads:
+      case Treatment::Manual:
+        break;
+      case Treatment::TmiAlloc:
+      case Treatment::TmiDetect:
+      case Treatment::TmiProtect:
+      case Treatment::TmiProtectNoCcc:
+      case Treatment::PtsbEverywhere: {
+        TmiConfig tc;
+        tc.mode = config.treatment == Treatment::TmiAlloc
+                      ? TmiMode::AllocOnly
+                  : config.treatment == Treatment::TmiDetect
+                      ? TmiMode::DetectOnly
+                      : TmiMode::DetectAndRepair;
+        tc.cccEnabled = config.treatment != Treatment::TmiProtectNoCcc;
+        // The no-CCC ablation applies the PTSB indiscriminately: the
+        // Figure 11/12 question is what an unguarded PTSB does to
+        // atomics/asm, not whether targeted detection happens to
+        // choose their pages.
+        tc.ptsbEverywhere =
+            config.treatment == Treatment::PtsbEverywhere ||
+            config.treatment == Treatment::TmiProtectNoCcc;
+        tc.detector.repairThreshold = config.repairThreshold;
+        tc.analysisInterval = config.analysisInterval;
+        tmi = std::make_unique<TmiRuntime>(machine, tc);
+        tmi->attach();
+        break;
+      }
+      case Treatment::SheriffDetect:
+      case Treatment::SheriffProtect: {
+        SheriffConfig sc;
+        sc.detectMode = config.treatment == Treatment::SheriffDetect;
+        sheriff = std::make_unique<SheriffRuntime>(machine, sc);
+        sheriff->attach();
+        break;
+      }
+      case Treatment::Laser: {
+        LaserConfig lc;
+        lc.detector.repairThreshold = config.repairThreshold;
+        lc.analysisInterval = config.analysisInterval;
+        laser = std::make_unique<LaserRuntime>(machine, lc);
+        laser->attach();
+        break;
+      }
+    }
+
+    Workload *wl = workload.get();
+    machine.spawnThread(std::string(info.name) + "-main",
+                        [wl](ThreadApi &api) { wl->main(api); });
+
+    RunResult res;
+    res.workload = config.workload;
+    res.treatment = config.treatment;
+    res.outcome = machine.sched().run(config.budget);
+    res.valid = res.outcome == RunOutcome::Completed &&
+                workload->validate(machine);
+    res.compatible = res.valid;
+
+    res.cycles = machine.elapsed();
+    res.seconds = static_cast<double>(res.cycles) /
+                  machine.config().cyclesPerSecond;
+    res.hitmEvents = machine.cache().hitmEvents();
+    res.pebsRecords = machine.perf().recordsEmitted();
+    res.softFaults = machine.mmu().softFaults();
+    res.memOps = machine.memOpCount();
+    res.appBytesPeak = machine.allocator().allocStats().bytesPeak;
+
+    if (tmi) {
+        res.repairActive = tmi->repairActive();
+        res.repairStartCycles = tmi->repairStartCycles();
+        res.t2pCycles = tmi->t2pCycles();
+        res.commits = tmi->totalCommits();
+        res.conflictBytes = tmi->totalConflictBytes();
+        res.pagesProtected = tmi->protectedPageCount();
+        res.overheadBytes = tmi->overheadBytes();
+        res.fsEventsEstimated = tmi->detector().fsEventsEstimated();
+        res.tsEventsEstimated = tmi->detector().tsEventsEstimated();
+    } else if (sheriff) {
+        res.repairActive = true;
+        res.commits = sheriff->totalCommits();
+        res.conflictBytes = sheriff->totalConflictBytes();
+        res.overheadBytes = machine.internalBytes();
+    } else if (laser) {
+        res.repairActive = laser->repairActive();
+        res.fsEventsEstimated = laser->detector().fsEventsEstimated();
+        res.tsEventsEstimated = laser->detector().tsEventsEstimated();
+    }
+    if (res.seconds > 0) {
+        res.commitsPerSec =
+            static_cast<double>(res.commits) / res.seconds;
+    }
+
+    if (config.dumpStats) {
+        stats::StatGroup machine_group("machine");
+        machine.regStats(machine_group);
+        stats::StatGroup runtime_group("runtime");
+        if (tmi)
+            tmi->regStats(runtime_group);
+        else if (sheriff)
+            sheriff->regStats(runtime_group);
+        else if (laser)
+            laser->regStats(runtime_group);
+
+        std::ostringstream os;
+        machine_group.dump(os);
+        runtime_group.dump(os);
+        res.statsText = os.str();
+    }
+    return res;
+}
+
+double
+speedup(const RunResult &baseline, const RunResult &treated)
+{
+    if (treated.cycles == 0)
+        return 0.0;
+    return static_cast<double>(baseline.cycles) /
+           static_cast<double>(treated.cycles);
+}
+
+} // namespace tmi

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Experiment driver: runs one (workload x treatment) cell of the
+ * paper's evaluation matrix and extracts every number the tables and
+ * figures need.
+ *
+ * Treatments correspond to the bars in Figures 7 and 9:
+ * pthreads / manual are uninstrumented baselines; tmi-alloc /
+ * tmi-detect / tmi-protect are Tmi's three activation levels;
+ * sheriff-detect / sheriff-protect and laser are the prior systems;
+ * ptsb-everywhere and tmi-protect-no-ccc are the ablations of
+ * sections 4.3 and 4.5.
+ */
+
+#ifndef TMI_CORE_EXPERIMENT_HH
+#define TMI_CORE_EXPERIMENT_HH
+
+#include <string>
+
+#include "core/machine.hh"
+
+namespace tmi
+{
+
+/** Which runtime (if any) supervises the run. */
+enum class Treatment
+{
+    Pthreads,        //!< plain execution, Lockless allocator
+    Manual,          //!< source-level fix (padding/alignment)
+    TmiAlloc,        //!< Tmi's process-shared allocator only
+    TmiDetect,       //!< + perf monitoring and detection thread
+    TmiProtect,      //!< full Tmi with online repair
+    TmiProtectNoCcc, //!< PTSB everywhere, CCC off (Fig. 11/12)
+    PtsbEverywhere,  //!< repair protects the whole heap (ablation)
+    SheriffDetect,   //!< Sheriff detection tool
+    SheriffProtect,  //!< Sheriff repair tool
+    Laser,           //!< LASER detection + store-buffer repair
+};
+
+/** Name as used in reports. */
+const char *treatmentName(Treatment t);
+
+/** One cell of the evaluation matrix. */
+struct ExperimentConfig
+{
+    std::string workload;
+    Treatment treatment = Treatment::Pthreads;
+    unsigned threads = 4;
+    std::uint64_t scale = 1;
+    unsigned pageShift = smallPageShift;
+    AllocatorKind allocator = AllocatorKind::Lockless;
+    std::uint64_t perfPeriod = 100;
+    /** Detector repair threshold (estimated FS events/sec/page). */
+    double repairThreshold = 100000.0;
+    /** Detector analysis cadence in simulated cycles. */
+    Cycles analysisInterval = 2'000'000;
+    /** Simulated-cycle budget; exceeding it reports Timeout. */
+    Cycles budget = 400'000'000'000ULL;
+    std::uint64_t seed = 42;
+    /** Capture the full component statistics dump in the result. */
+    bool dumpStats = false;
+};
+
+/** Everything measured from one run. */
+struct RunResult
+{
+    std::string workload;
+    Treatment treatment = Treatment::Pthreads;
+    RunOutcome outcome = RunOutcome::Completed;
+    bool valid = false;
+    /** Completed with correct results. */
+    bool compatible = false;
+
+    Cycles cycles = 0;   //!< simulated makespan
+    double seconds = 0;  //!< cycles / cyclesPerSecond
+
+    std::uint64_t hitmEvents = 0;   //!< true coherence HITM count
+    std::uint64_t pebsRecords = 0;  //!< sampled records emitted
+    double fsEventsEstimated = 0;   //!< detector estimate
+    double tsEventsEstimated = 0;
+
+    bool repairActive = false;
+    Cycles repairStartCycles = 0;   //!< Table 3 "Unrepaired"
+    Cycles t2pCycles = 0;           //!< Table 3 "T2P"
+    std::uint64_t commits = 0;      //!< PTSB commits
+    double commitsPerSec = 0;       //!< Table 3 "Commits/s"
+    std::uint64_t pagesProtected = 0;
+    /** Racy-merge bytes (nonzero = the PTSB raced; Lemma 3.1). */
+    std::uint64_t conflictBytes = 0;
+
+    std::uint64_t appBytesPeak = 0;       //!< application memory
+    std::uint64_t overheadBytes = 0;      //!< runtime memory overhead
+    std::uint64_t softFaults = 0;
+    std::uint64_t memOps = 0;
+
+    /** Full stats dump (only when ExperimentConfig::dumpStats). */
+    std::string statsText;
+};
+
+/** Run one experiment cell. */
+RunResult runExperiment(const ExperimentConfig &config);
+
+/** Speedup of @p treated relative to @p baseline (by sim time). */
+double speedup(const RunResult &baseline, const RunResult &treated);
+
+} // namespace tmi
+
+#endif // TMI_CORE_EXPERIMENT_HH

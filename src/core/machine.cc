@@ -1,0 +1,646 @@
+#include "machine.hh"
+
+#include <cstring>
+
+#include "alloc/glibc_like.hh"
+#include "alloc/lockless.hh"
+
+namespace tmi
+{
+
+Machine::Machine(const MachineConfig &config)
+    : _config(config), _mmu(config.pageShift),
+      _heap("tmi_heap", _mmu.phys()),
+      _internal("tmi_internal", _mmu.phys()), _heapBrk(heapBase),
+      _internalBrk(internalBase), _sched(config.quantum),
+      _sync(_sched, config.syncCosts),
+      _cache([&config] {
+          CacheConfig c = config.cache;
+          c.cores = config.cores;
+          return c;
+      }()),
+      _perf(config.perf)
+{
+    for (unsigned c = 0; c < config.cores; ++c)
+        _tlbs.emplace_back(config.tlb, config.pageShift);
+
+    // The root address space all threads initially share.
+    ProcessId root = _mmu.createAddressSpace();
+    TMI_ASSERT(root == 0);
+
+    // PEBS wiring: HITM coherence events flow to the perf session,
+    // which charges the triggering access the assist cost when a
+    // record is emitted.
+    _cache.setHitmCallback([this](const AccessContext &ctx) {
+        return _perf.onHitm(ctx, _sched.current() ? _sched.now() : 0);
+    });
+
+    // The detector's /proc/pid/maps view: heap and globals are
+    // eligible; Tmi-internal memory is filtered like a system
+    // library, so Tmi never tries to repair its own lock objects.
+    _amap.add(heapBase, Addr{64} << 30, RangeKind::AppHeap, "heap");
+    _amap.add(internalBase, Addr{1} << 30, RangeKind::SystemLib,
+              "tmi-internal");
+
+    // Memory instructions the machine itself issues for sync-object
+    // traffic (the lock word CAS is what makes spinlockpool's false
+    // sharing visible to the coherence protocol).
+    _pcLockCas = _instrs.define("sync.lock.cas", MemKind::Store, 4);
+    _pcLockStore = _instrs.define("sync.lock.store", MemKind::Store, 4);
+    // The redirection word Tmi installs in a sync object. Modeled as
+    // 4 bytes so it fits even in a packed boost-style spinlock; the
+    // authoritative mapping is the runtime's redirect table.
+    _pcPtrLoad = _instrs.define("sync.ptr.load", MemKind::Load, 4);
+    _pcPtrStore = _instrs.define("sync.ptr.store", MemKind::Store, 4);
+
+    switch (config.allocator) {
+      case AllocatorKind::Lockless: {
+        LocklessConfig lc;
+        lc.forceMisalign = config.forceMisalign;
+        if (config.tmiModifiedAllocator)
+            lc.minSmallBytes = lineBytes;
+        _alloc = std::make_unique<LocklessAllocator>(*this, lc);
+        break;
+      }
+      case AllocatorKind::GlibcLike:
+        _alloc = std::make_unique<GlibcLikeAllocator>(*this);
+        break;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Threads
+
+ThreadId
+Machine::spawnCommon(std::string name,
+                     std::function<void(ThreadApi &)> fn, bool daemon,
+                     bool app_thread)
+{
+    ThreadId parent_tid =
+        _sched.current() ? _sched.current()->tid() : ~ThreadId{0};
+    ProcessId pid = 0;
+    if (parent_tid != ~ThreadId{0} && parent_tid < _threadProcess.size())
+        pid = _threadProcess[parent_tid];
+
+    ThreadId tid = _sched.spawn(
+        name,
+        [this, body = std::move(fn)]() {
+            ThreadId self = _sched.current()->tid();
+            ThreadApi api(*this, self);
+            body(api);
+            bool is_app = false;
+            for (ThreadId t : _appThreads) {
+                if (t == self) {
+                    is_app = true;
+                    break;
+                }
+            }
+            if (is_app && _hooks)
+                _hooks->onThreadExit(self);
+            auto it = _joiners.find(self);
+            if (it != _joiners.end()) {
+                for (ThreadId waiter : it->second)
+                    _sched.wake(waiter, _sched.now());
+                _joiners.erase(it);
+            }
+        },
+        daemon);
+
+    if (_threadProcess.size() <= tid) {
+        _threadProcess.resize(tid + 1, 0);
+        _threadRngs.resize(tid + 1);
+    }
+    _threadProcess[tid] = pid;
+    // Seed by app-thread creation index, not raw tid: runtimes add
+    // system threads that shift tids, and workload randomness must
+    // not depend on which runtime is attached.
+    std::uint64_t seed_index =
+        app_thread ? _appThreads.size() + 1 : 1000 + tid;
+    _threadRngs[tid] = std::make_unique<Rng>(
+        _config.seed ^ (0x9e3779b9ULL * (seed_index + 1)));
+
+    if (app_thread) {
+        _appThreads.push_back(tid);
+        _perf.attachThread(tid);
+        if (_hooks)
+            _hooks->onThreadCreate(tid);
+    }
+    return tid;
+}
+
+ThreadId
+Machine::spawnThread(std::string name,
+                     std::function<void(ThreadApi &)> fn)
+{
+    // pthread_create has release semantics: the child must observe
+    // everything the parent wrote before the create (e.g. input data
+    // the parent initialized while its pages were PTSB-buffered).
+    if (_hooks && _sched.current())
+        _hooks->onSyncRelease(_sched.current()->tid());
+    return spawnCommon(std::move(name), std::move(fn), false, true);
+}
+
+ThreadId
+Machine::spawnSystemThread(std::string name,
+                           std::function<void(ThreadApi &)> fn,
+                           bool daemon)
+{
+    return spawnCommon(std::move(name), std::move(fn), daemon, false);
+}
+
+void
+Machine::joinThread(ThreadId waiter, ThreadId target)
+{
+    if (_sched.thread(target).state() != SimThread::State::Finished) {
+        _joiners[target].push_back(waiter);
+        _sched.block();
+    }
+    // pthread_join has acquire semantics: drop any buffered pages so
+    // the joiner reads the target's published results.
+    if (_hooks)
+        _hooks->onSyncAcquire(waiter);
+}
+
+ProcessId
+Machine::processOf(ThreadId tid) const
+{
+    TMI_ASSERT(tid < _threadProcess.size());
+    return _threadProcess[tid];
+}
+
+void
+Machine::setThreadProcess(ThreadId tid, ProcessId pid)
+{
+    TMI_ASSERT(tid < _threadProcess.size());
+    _threadProcess[tid] = pid;
+}
+
+Rng &
+Machine::rng(ThreadId tid)
+{
+    TMI_ASSERT(tid < _threadRngs.size() && _threadRngs[tid]);
+    return *_threadRngs[tid];
+}
+
+// ---------------------------------------------------------------------
+// Memory
+
+Addr
+Machine::sbrk(std::uint64_t bytes)
+{
+    std::uint64_t page_bytes = _mmu.pageBytes();
+    std::uint64_t pages = (bytes + page_bytes - 1) / page_bytes;
+    std::uint64_t old_pages = _heap.grow(pages);
+    Addr vbase = heapBase + old_pages * page_bytes;
+    for (ProcessId pid = 0; pid < _mmu.spaceCount(); ++pid)
+        _mmu.mapShared(pid, vbase, _heap, old_pages, pages);
+    _heapBrk = vbase + pages * page_bytes;
+    if (_hooks)
+        _hooks->onHeapGrow(vbase >> _mmu.pageShift(), pages);
+    return vbase;
+}
+
+void
+Machine::chargeCycles(ThreadId tid, Cycles cycles)
+{
+    (void)tid; // charged to the calling thread by construction
+    if (_sched.current())
+        _sched.advance(cycles);
+}
+
+Addr
+Machine::internalAlloc(std::uint64_t bytes)
+{
+    bytes = roundUp(bytes, lineBytes);
+    std::uint64_t page_bytes = _mmu.pageBytes();
+    Addr mapped_end =
+        internalBase + _internal.pages() * page_bytes;
+    if (_internalBrk + bytes > mapped_end) {
+        std::uint64_t need = _internalBrk + bytes - mapped_end;
+        std::uint64_t pages = (need + page_bytes - 1) / page_bytes;
+        std::uint64_t old_pages = _internal.grow(pages);
+        Addr vbase = internalBase + old_pages * page_bytes;
+        for (ProcessId pid = 0; pid < _mmu.spaceCount(); ++pid)
+            _mmu.mapShared(pid, vbase, _internal, old_pages, pages);
+    }
+    Addr addr = _internalBrk;
+    _internalBrk += bytes;
+    return addr;
+}
+
+std::uint64_t
+Machine::readPhys(Addr paddr, unsigned width) const
+{
+    std::uint8_t buf[8] = {};
+    _mmu.phys().read(paddr, buf, width);
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < width; ++i)
+        v |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
+    return v;
+}
+
+void
+Machine::writePhys(Addr paddr, std::uint64_t value, unsigned width)
+{
+    std::uint8_t buf[8];
+    for (unsigned i = 0; i < width; ++i)
+        buf[i] = static_cast<std::uint8_t>(value >> (8 * i));
+    _mmu.phys().write(paddr, buf, width);
+}
+
+Addr
+Machine::sharedPaddr(ProcessId pid, Addr va) const
+{
+    const PageEntry *entry =
+        _mmu.space(pid).find(va >> _mmu.pageShift());
+    TMI_ASSERT(entry, "shared access to unmapped page");
+    PPage frame = entry->backing->frameFor(entry->filePage);
+    Addr off = va & (_mmu.pageBytes() - 1);
+    return (frame << _mmu.pageShift()) | off;
+}
+
+Cycles
+Machine::faultCost() const
+{
+    Cycles c = _config.shmBackedHeap ? _config.shmFaultCost
+                                     : _config.anonFaultCost;
+    if (_config.pageShift >= hugePageShift)
+        c += _config.hugeFaultExtra;
+    return c;
+}
+
+Addr
+Machine::accessPath(ThreadId tid, Addr pc, Addr va, bool is_write,
+                    bool bypass_private)
+{
+    const InstrInfo &info = _instrs.lookup(pc);
+    TMI_ASSERT((info.kind == MemKind::Store) == is_write,
+               "instruction kind does not match access");
+    ++_statMemOps;
+
+    CoreId core = coreOf(tid);
+    ProcessId pid = _threadProcess[tid];
+    Cycles lat = _tlbs[core].lookup(va);
+
+    // LASER-style interception: the runtime services the access from
+    // its software store buffer, with no coherence traffic.
+    Cycles intercept_cost = 0;
+    if (_hooks &&
+        _hooks->interceptAccess(tid, va, is_write, intercept_cost)) {
+        _sched.advance(lat + intercept_cost);
+        return sharedPaddr(pid, va);
+    }
+
+    if (!bypass_private && _hooks && _hooks->bypassPrivate(tid))
+        bypass_private = true;
+
+    Addr paddr;
+    if (bypass_private) {
+        paddr = sharedPaddr(pid, va);
+    } else {
+        TranslateResult tr = _mmu.translate(pid, va, is_write);
+        paddr = tr.paddr;
+        if (tr.softFault)
+            lat += faultCost();
+        lat += tr.extraCost;
+    }
+
+    AccessContext ctx;
+    ctx.core = core;
+    ctx.tid = tid;
+    ctx.paddr = paddr;
+    ctx.vaddr = va;
+    ctx.pc = pc;
+    ctx.width = info.width;
+    ctx.isWrite = is_write;
+    AccessResult res = _cache.access(ctx);
+
+    if (_config.instrumentationSampling) {
+        // Predator-style instrumentation: every access pays the tax;
+        // every Nth is reported to the sampler.
+        lat += _config.instrumentationCost;
+        if (++_accessSampleCounter >=
+            _config.instrumentationSampling) {
+            _accessSampleCounter = 0;
+            if (_accessSampler)
+                _accessSampler(ctx);
+        }
+    }
+
+    _sched.advance(lat + res.latency);
+    return paddr;
+}
+
+std::uint64_t
+Machine::memOp(ThreadId tid, Addr pc, Addr va, bool is_write,
+               std::uint64_t store_value, bool bypass_private)
+{
+    Addr paddr = accessPath(tid, pc, va, is_write, bypass_private);
+    unsigned width = _instrs.lookup(pc).width;
+    if (is_write) {
+        writePhys(paddr, store_value, width);
+        return 0;
+    }
+    return readPhys(paddr, width);
+}
+
+void
+Machine::bulkWrite(ThreadId tid, Addr va, const void *buf,
+                   std::size_t size)
+{
+    ProcessId pid = _threadProcess[tid];
+    const auto *in = static_cast<const std::uint8_t *>(buf);
+    std::uint64_t page_bytes = _mmu.pageBytes();
+    while (size > 0) {
+        Addr off = va & (page_bytes - 1);
+        std::size_t chunk =
+            std::min<std::size_t>(size, page_bytes - off);
+        TranslateResult tr = _mmu.translate(pid, va, true);
+        Cycles lat = tr.extraCost + (tr.softFault ? faultCost() : 0);
+        lat += 2 * (chunk / lineBytes + 1);
+        _mmu.phys().write(tr.paddr, in, chunk);
+        _statBulkBytes += static_cast<double>(chunk);
+        _sched.advance(lat);
+        in += chunk;
+        va += chunk;
+        size -= chunk;
+    }
+}
+
+void
+Machine::bulkFill(ThreadId tid, Addr va, std::uint8_t byte,
+                  std::size_t size)
+{
+    std::vector<std::uint8_t> chunk(
+        std::min<std::size_t>(size, smallPageBytes), byte);
+    while (size > 0) {
+        std::size_t n = std::min(size, chunk.size());
+        bulkWrite(tid, va, chunk.data(), n);
+        va += n;
+        size -= n;
+    }
+}
+
+void
+Machine::bulkRead(ThreadId tid, Addr va, void *buf, std::size_t size)
+{
+    ProcessId pid = _threadProcess[tid];
+    auto *out = static_cast<std::uint8_t *>(buf);
+    std::uint64_t page_bytes = _mmu.pageBytes();
+    while (size > 0) {
+        Addr off = va & (page_bytes - 1);
+        std::size_t chunk =
+            std::min<std::size_t>(size, page_bytes - off);
+        TranslateResult tr = _mmu.translate(pid, va, false);
+        Cycles lat = tr.softFault ? faultCost() : 0;
+        lat += 2 * (chunk / lineBytes + 1);
+        _mmu.phys().read(tr.paddr, out, chunk);
+        _sched.advance(lat);
+        out += chunk;
+        va += chunk;
+        size -= chunk;
+    }
+}
+
+std::uint64_t
+Machine::peek(Addr va, unsigned width) const
+{
+    Addr paddr = 0;
+    bool ok = _mmu.translatePeek(0, va, paddr);
+    TMI_ASSERT(ok, "peek of unmapped address");
+    return readPhys(paddr, width);
+}
+
+std::uint64_t
+Machine::peekShared(Addr va, unsigned width) const
+{
+    return readPhys(sharedPaddr(0, va), width);
+}
+
+void
+Machine::flushTlbs()
+{
+    for (auto &tlb : _tlbs)
+        tlb.flush();
+}
+
+// ---------------------------------------------------------------------
+// Atomics
+
+std::uint64_t
+Machine::atomicLoad(ThreadId tid, Addr pc, Addr va, MemOrder order)
+{
+    if (_hooks)
+        _hooks->onAtomicOp(tid, order, false);
+    ++_statAtomicOps;
+    bool bypass = !_hooks || _hooks->atomicsBypassPrivate();
+    return memOp(tid, pc, va, false, 0, bypass);
+}
+
+void
+Machine::atomicStore(ThreadId tid, Addr pc, Addr va, std::uint64_t v,
+                     MemOrder order)
+{
+    if (_hooks)
+        _hooks->onAtomicOp(tid, order, false);
+    ++_statAtomicOps;
+    bool bypass = !_hooks || _hooks->atomicsBypassPrivate();
+    memOp(tid, pc, va, true, v, bypass);
+}
+
+std::uint64_t
+Machine::atomicFetchAdd(ThreadId tid, Addr pc, Addr va,
+                        std::uint64_t delta, MemOrder order)
+{
+    if (_hooks)
+        _hooks->onAtomicOp(tid, order, true);
+    ++_statAtomicOps;
+    bool bypass = !_hooks || _hooks->atomicsBypassPrivate();
+    unsigned width = _instrs.lookup(pc).width;
+
+    // Charge one RFO write access; then perform the whole
+    // read-modify-write on the resolved frame without yielding, so
+    // the operation is indivisible.
+    Addr paddr = accessPath(tid, pc, va, true, bypass);
+    std::uint64_t old = readPhys(paddr, width);
+    writePhys(paddr, old + delta, width);
+    return old;
+}
+
+bool
+Machine::atomicCas(ThreadId tid, Addr pc, Addr va, std::uint64_t expect,
+                   std::uint64_t desired, MemOrder order)
+{
+    if (_hooks)
+        _hooks->onAtomicOp(tid, order, true);
+    ++_statAtomicOps;
+    bool bypass = !_hooks || _hooks->atomicsBypassPrivate();
+    unsigned width = _instrs.lookup(pc).width;
+
+    Addr paddr = accessPath(tid, pc, va, true, bypass);
+    std::uint64_t old = readPhys(paddr, width);
+    if (old != expect)
+        return false;
+    writePhys(paddr, desired, width);
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Regions
+
+void
+Machine::regionEnter(ThreadId tid, RegionKind kind)
+{
+    _sched.advance(_config.regionCallbackCost);
+    if (_hooks)
+        _hooks->onRegionEnter(tid, kind);
+}
+
+void
+Machine::regionExit(ThreadId tid)
+{
+    _sched.advance(_config.regionCallbackCost);
+    if (_hooks)
+        _hooks->onRegionExit(tid);
+}
+
+// ---------------------------------------------------------------------
+// Synchronization
+
+Addr
+Machine::syncAddr(ThreadId tid, Addr va)
+{
+    auto it = _syncRedirect.find(va);
+    TMI_ASSERT(it != _syncRedirect.end(),
+               "sync object used before init");
+    if (it->second != va) {
+        // Follow the indirection Tmi installed: one pointer load.
+        memOp(tid, _pcPtrLoad, va, false, 0, true);
+    }
+    return it->second;
+}
+
+void
+Machine::mutexInit(ThreadId tid, Addr va)
+{
+    Addr caddr = _hooks ? _hooks->onSyncObjectInit(tid, va) : va;
+    _syncRedirect[va] = caddr;
+    if (caddr != va)
+        memOp(tid, _pcPtrStore, va, true, caddr >> lineShift, true);
+    _sync.mutexInit(caddr);
+}
+
+void
+Machine::mutexLock(ThreadId tid, Addr va)
+{
+    Addr caddr = syncAddr(tid, va);
+    memOp(tid, _pcLockCas, caddr, true, 1, true);
+    _sync.mutexLock(caddr);
+    if (_hooks)
+        _hooks->onSyncAcquire(tid);
+}
+
+bool
+Machine::mutexTryLock(ThreadId tid, Addr va)
+{
+    Addr caddr = syncAddr(tid, va);
+    memOp(tid, _pcLockCas, caddr, true, 1, true);
+    bool got = _sync.mutexTryLock(caddr);
+    if (got && _hooks)
+        _hooks->onSyncAcquire(tid);
+    return got;
+}
+
+void
+Machine::mutexUnlock(ThreadId tid, Addr va)
+{
+    Addr caddr = syncAddr(tid, va);
+    if (_hooks)
+        _hooks->onSyncRelease(tid);
+    memOp(tid, _pcLockStore, caddr, true, 0, true);
+    _sync.mutexUnlock(caddr);
+}
+
+void
+Machine::barrierInit(ThreadId tid, Addr va, unsigned parties)
+{
+    Addr caddr = _hooks ? _hooks->onSyncObjectInit(tid, va) : va;
+    _syncRedirect[va] = caddr;
+    if (caddr != va)
+        memOp(tid, _pcPtrStore, va, true, caddr >> lineShift, true);
+    _sync.barrierInit(caddr, parties);
+}
+
+void
+Machine::barrierWait(ThreadId tid, Addr va)
+{
+    Addr caddr = syncAddr(tid, va);
+    if (_hooks)
+        _hooks->onSyncRelease(tid);
+    memOp(tid, _pcLockCas, caddr, true, 1, true);
+    _sync.barrierWait(caddr);
+    if (_hooks)
+        _hooks->onSyncAcquire(tid);
+}
+
+void
+Machine::condInit(ThreadId tid, Addr va)
+{
+    Addr caddr = _hooks ? _hooks->onSyncObjectInit(tid, va) : va;
+    _syncRedirect[va] = caddr;
+    if (caddr != va)
+        memOp(tid, _pcPtrStore, va, true, caddr >> lineShift, true);
+    _sync.condInit(caddr);
+}
+
+void
+Machine::condWait(ThreadId tid, Addr va, Addr mutex_va)
+{
+    Addr caddr = syncAddr(tid, va);
+    Addr cmutex = syncAddr(tid, mutex_va);
+    if (_hooks)
+        _hooks->onSyncRelease(tid);
+    memOp(tid, _pcLockCas, caddr, true, 1, true);
+    _sync.condWait(caddr, cmutex);
+    if (_hooks)
+        _hooks->onSyncAcquire(tid);
+}
+
+void
+Machine::condSignal(ThreadId tid, Addr va)
+{
+    Addr caddr = syncAddr(tid, va);
+    memOp(tid, _pcLockStore, caddr, true, 0, true);
+    _sync.condSignal(caddr);
+}
+
+void
+Machine::condBroadcast(ThreadId tid, Addr va)
+{
+    Addr caddr = syncAddr(tid, va);
+    memOp(tid, _pcLockStore, caddr, true, 0, true);
+    _sync.condBroadcast(caddr);
+}
+
+// ---------------------------------------------------------------------
+// Stats
+
+void
+Machine::regStats(stats::StatGroup &group)
+{
+    group.addScalar("memOps", &_statMemOps, "simulated data accesses");
+    group.addScalar("atomicOps", &_statAtomicOps,
+                    "simulated atomic operations");
+    group.addScalar("bulkBytes", &_statBulkBytes,
+                    "bytes moved by bulk operations");
+    _mmu.regStats(group);
+    _cache.regStats(group);
+    _sched.regStats(group);
+    _sync.regStats(group);
+    _perf.regStats(group);
+    _alloc->allocStats().regStats(group);
+    for (auto &tlb : _tlbs)
+        tlb.regStats(group);
+}
+
+} // namespace tmi

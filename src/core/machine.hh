@@ -1,0 +1,585 @@
+/**
+ * @file
+ * The simulated machine: the execution substrate every experiment
+ * runs on.
+ *
+ * A Machine couples the green-thread scheduler, the MMU, the MESI
+ * cache hierarchy, per-core TLBs, the PEBS/perf model, the
+ * application allocator, and the synchronization layer. Workloads
+ * program against ThreadApi; runtimes (Tmi, Sheriff, LASER) observe
+ * and steer execution through the RuntimeHooks interface.
+ *
+ * Simulated wall-clock time is SimScheduler::maxClock() -- the
+ * makespan across all thread clocks -- so speedups are ratios of
+ * simulated cycles, not host time.
+ */
+
+#ifndef TMI_CORE_MACHINE_HH
+#define TMI_CORE_MACHINE_HH
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "alloc/allocator.hh"
+#include "cache/cache_sim.hh"
+#include "cache/tlb.hh"
+#include "common/rng.hh"
+#include "detect/address_map.hh"
+#include "isa/instructions.hh"
+#include "mem/mmu.hh"
+#include "perf/pebs.hh"
+#include "sched/scheduler.hh"
+#include "sched/sync.hh"
+
+namespace tmi
+{
+
+class Machine;
+class ThreadApi;
+
+/** Which allocator serves application memory. */
+enum class AllocatorKind
+{
+    Lockless,  //!< per-thread size classes (the paper's baseline)
+    GlibcLike, //!< shared arena, packs threads' objects together
+};
+
+/** Full machine configuration. */
+struct MachineConfig
+{
+    unsigned cores = 4;
+    unsigned pageShift = smallPageShift;
+    CacheConfig cache;
+    TlbConfig tlb;
+    SyncCosts syncCosts;
+    PerfConfig perf;
+    Cycles quantum = 40;
+    double cyclesPerSecond = 3.4e9;
+
+    AllocatorKind allocator = AllocatorKind::Lockless;
+    bool forceMisalign = false; //!< expose known FS bugs (section 4.3)
+    /** Tmi's modified Lockless allocator: line-granular small
+     *  objects (fixes allocator-induced FS such as lu-ncb). */
+    bool tmiModifiedAllocator = false;
+
+    /**
+     * Heap backing: Tmi serves memory from a shared file-backed
+     * mapping, which takes more expensive soft faults than the
+     * anonymous private memory ordinary allocators use (section 4.4).
+     */
+    bool shmBackedHeap = false;
+    Cycles anonFaultCost = 1200;
+    Cycles shmFaultCost = 1800;
+    Cycles hugeFaultExtra = 1500; //!< per-fault extra for a 2 MB fill
+
+    Cycles regionCallbackCost = 4; //!< NOP CCC callback (section 3.4.2)
+    /**
+     * Predator-style compiler instrumentation: when nonzero, every
+     * Nth data access is reported to the access sampler and every
+     * access pays the instrumentation tax. Off (0) by default --
+     * this is the heavyweight alternative to HITM sampling that the
+     * related work uses for *predictive* detection.
+     */
+    std::uint64_t instrumentationSampling = 0;
+    Cycles instrumentationCost = 25; //!< per-access tax when enabled
+    std::uint64_t seed = 42;
+};
+
+/**
+ * Observation and steering interface for runtimes.
+ *
+ * The default implementations describe plain pthreads execution:
+ * nothing is intercepted and nothing costs anything extra.
+ */
+class RuntimeHooks
+{
+  public:
+    virtual ~RuntimeHooks() = default;
+
+    /** An application thread was created (pthread_create hook). */
+    virtual void onThreadCreate(ThreadId tid) { (void)tid; }
+
+    /** An application thread returned from its start routine. */
+    virtual void onThreadExit(ThreadId tid) { (void)tid; }
+
+    /**
+     * Should @p tid's plain accesses ignore PrivateCow divergence and
+     * operate on shared frames right now? (True inside atomic/asm
+     * regions under code-centric consistency.)
+     */
+    virtual bool bypassPrivate(ThreadId tid)
+    {
+        (void)tid;
+        return false;
+    }
+
+    /**
+     * Do atomic operations operate on shared pages? Tmi: yes (that
+     * is what preserves their semantics). Sheriff: no -- its PTSB
+     * buffers atomics too, which is exactly its correctness flaw.
+     */
+    virtual bool atomicsBypassPrivate() { return true; }
+
+    /**
+     * An atomic operation is about to execute.
+     * @param is_rmw true for read-modify-write operations (CAS,
+     *        fetch-add), which are full fences on x86-TSO.
+     */
+    virtual void onAtomicOp(ThreadId tid, MemOrder order, bool is_rmw)
+    {
+        (void)tid;
+        (void)order;
+        (void)is_rmw;
+    }
+
+    /** Region-transition callback (code-centric consistency). */
+    virtual void onRegionEnter(ThreadId tid, RegionKind kind)
+    {
+        (void)tid;
+        (void)kind;
+    }
+
+    /** Region-exit callback. */
+    virtual void onRegionExit(ThreadId tid) { (void)tid; }
+
+    /**
+     * Sync-object init interception (pthread_mutex_init and friends):
+     * may allocate a process-shared object and return its canonical
+     * simulated address; return @p va to leave the object in place.
+     */
+    virtual Addr onSyncObjectInit(ThreadId tid, Addr va)
+    {
+        (void)tid;
+        return va;
+    }
+
+    /** A lock/barrier/cond acquire completed (commit point). */
+    virtual void onSyncAcquire(ThreadId tid) { (void)tid; }
+
+    /** A release is about to publish (commit point). */
+    virtual void onSyncRelease(ThreadId tid) { (void)tid; }
+
+    /**
+     * LASER-style store-buffer interception: return true to service
+     * the access without coherence traffic, charging @p cost.
+     */
+    virtual bool
+    interceptAccess(ThreadId tid, Addr va, bool is_write, Cycles &cost)
+    {
+        (void)tid;
+        (void)va;
+        (void)is_write;
+        (void)cost;
+        return false;
+    }
+
+    /** The heap grew: pages [first, first+n) are now mapped. */
+    virtual void onHeapGrow(VPage first, std::uint64_t n)
+    {
+        (void)first;
+        (void)n;
+    }
+};
+
+/** The simulated machine. */
+class Machine : public MemoryProvider
+{
+  public:
+    /** Base virtual address of the application heap. */
+    static constexpr Addr heapBase = 0x100000000ULL;
+    /** Base virtual address of Tmi's internal process-shared region
+     *  (above the heap's 64 GB reservation). */
+    static constexpr Addr internalBase = 0x2000000000ULL;
+
+    explicit Machine(const MachineConfig &config = {});
+
+    const MachineConfig &config() const { return _config; }
+
+    /** @name Component access */
+    /// @{
+    Mmu &mmu() { return _mmu; }
+    CacheSim &cache() { return _cache; }
+    SimScheduler &sched() { return _sched; }
+    SyncManager &sync() { return _sync; }
+    PerfSession &perf() { return _perf; }
+    InstructionTable &instructions() { return _instrs; }
+    const InstructionTable &instructions() const { return _instrs; }
+    AddressMap &addressMap() { return _amap; }
+    Allocator &allocator() { return *_alloc; }
+    ShmRegion &heapRegion() { return _heap; }
+    /// @}
+
+    /** Install the runtime (may be null for plain pthreads). */
+    void setHooks(RuntimeHooks *hooks) { _hooks = hooks; }
+    RuntimeHooks *hooks() { return _hooks; }
+
+    /** Sink for sampled accesses under instrumentation mode. */
+    using AccessSampler = std::function<void(const AccessContext &)>;
+
+    /** Install the instrumentation sink (Predator-mode detection). */
+    void
+    setAccessSampler(AccessSampler sampler)
+    {
+        _accessSampler = std::move(sampler);
+    }
+
+    /** @name Thread management */
+    /// @{
+    /**
+     * Create an application thread (pthread_create). Fires the
+     * runtime hook, attaches perf, and seeds a per-thread RNG.
+     */
+    ThreadId spawnThread(std::string name,
+                         std::function<void(ThreadApi &)> fn);
+
+    /**
+     * Create an internal (runtime) thread: no app hooks, optionally
+     * daemon. Used for Tmi's detection thread.
+     */
+    ThreadId spawnSystemThread(std::string name,
+                               std::function<void(ThreadApi &)> fn,
+                               bool daemon = true);
+
+    /** Block until thread @p tid finishes (pthread_join). */
+    void joinThread(ThreadId waiter, ThreadId target);
+
+    /** Address space currently backing @p tid. */
+    ProcessId processOf(ThreadId tid) const;
+
+    /** Rebind @p tid to address space @p pid (T2P conversion). */
+    void setThreadProcess(ThreadId tid, ProcessId pid);
+
+    /** Core @p tid runs on. */
+    CoreId coreOf(ThreadId tid) const
+    {
+        return static_cast<CoreId>(tid % _config.cores);
+    }
+
+    /** All application thread ids spawned so far. */
+    const std::vector<ThreadId> &appThreads() const
+    {
+        return _appThreads;
+    }
+
+    /** Per-thread deterministic RNG. */
+    Rng &rng(ThreadId tid);
+    /// @}
+
+    /** @name Memory system */
+    /// @{
+    /** MemoryProvider: extend the heap; maps into every process. */
+    Addr sbrk(std::uint64_t bytes) override;
+
+    /** MemoryProvider: charge allocator bookkeeping cycles. */
+    void chargeCycles(ThreadId tid, Cycles cycles) override;
+
+    /**
+     * Allocate line-aligned bytes in the internal process-shared
+     * region (sync objects, Tmi state). Filtered from detection.
+     */
+    Addr internalAlloc(std::uint64_t bytes);
+
+    /** Bytes currently allocated in the internal region. */
+    std::uint64_t internalBytes() const
+    {
+        return _internalBrk - internalBase;
+    }
+
+    /**
+     * One simulated data access. Returns the loaded value (zero for
+     * stores). @p pc must name a registered instruction whose kind
+     * matches @p is_write; its width is used.
+     *
+     * @param bypass_private operate on the shared frame even if the
+     *        page is PrivateCow (atomics / asm regions).
+     */
+    std::uint64_t memOp(ThreadId tid, Addr pc, Addr va, bool is_write,
+                        std::uint64_t store_value, bool bypass_private);
+
+    /**
+     * Bulk initialization write: page-chunked, charged at line
+     * granularity rather than per byte. Takes soft faults normally.
+     */
+    void bulkWrite(ThreadId tid, Addr va, const void *buf,
+                   std::size_t size);
+
+    /** Bulk fill (memset) with the same costing as bulkWrite. */
+    void bulkFill(ThreadId tid, Addr va, std::uint8_t byte,
+                  std::size_t size);
+
+    /** Bulk read, charged at line granularity. */
+    void bulkRead(ThreadId tid, Addr va, void *buf, std::size_t size);
+
+    /** Debug read with no cost and no faults (validation). */
+    std::uint64_t peek(Addr va, unsigned width) const;
+
+    /** Debug read of the shared (committed) view of @p va. */
+    std::uint64_t peekShared(Addr va, unsigned width) const;
+
+    /** Flush every core's TLB (mapping change). */
+    void flushTlbs();
+    /// @}
+
+    /** @name Synchronization (pthread-like, with simulated traffic) */
+    /// @{
+    void mutexInit(ThreadId tid, Addr va);
+    void mutexLock(ThreadId tid, Addr va);
+    bool mutexTryLock(ThreadId tid, Addr va);
+    void mutexUnlock(ThreadId tid, Addr va);
+    void barrierInit(ThreadId tid, Addr va, unsigned parties);
+    void barrierWait(ThreadId tid, Addr va);
+    void condInit(ThreadId tid, Addr va);
+    void condWait(ThreadId tid, Addr va, Addr mutex_va);
+    void condSignal(ThreadId tid, Addr va);
+    void condBroadcast(ThreadId tid, Addr va);
+    /// @}
+
+    /** @name Atomics (always on the shared view under Tmi) */
+    /// @{
+    std::uint64_t atomicLoad(ThreadId tid, Addr pc, Addr va,
+                             MemOrder order);
+    void atomicStore(ThreadId tid, Addr pc, Addr va, std::uint64_t v,
+                     MemOrder order);
+    std::uint64_t atomicFetchAdd(ThreadId tid, Addr pc, Addr va,
+                                 std::uint64_t delta, MemOrder order);
+    bool atomicCas(ThreadId tid, Addr pc, Addr va, std::uint64_t expect,
+                   std::uint64_t desired, MemOrder order);
+    /// @}
+
+    /** @name Code regions */
+    /// @{
+    void regionEnter(ThreadId tid, RegionKind kind);
+    void regionExit(ThreadId tid);
+    /// @}
+
+    /** Pure compute time on @p tid. */
+    void compute(ThreadId tid, Cycles cycles)
+    {
+        (void)tid;
+        _sched.advance(cycles);
+    }
+
+    /** Soft-fault cost under the current backing configuration. */
+    Cycles faultCost() const;
+
+    /** Register every component's stats under @p group. */
+    void regStats(stats::StatGroup &group);
+
+    /** Simulated makespan so far. */
+    Cycles elapsed() const { return _sched.maxClock(); }
+
+    /** Total atomic operations executed (LASER's repair heuristic). */
+    std::uint64_t
+    atomicOpCount() const
+    {
+        return static_cast<std::uint64_t>(_statAtomicOps.value());
+    }
+
+    /** Total plain memory operations executed. */
+    std::uint64_t
+    memOpCount() const
+    {
+        return static_cast<std::uint64_t>(_statMemOps.value());
+    }
+
+  private:
+    friend class ThreadApi;
+
+    std::uint64_t readPhys(Addr paddr, unsigned width) const;
+    void writePhys(Addr paddr, std::uint64_t value, unsigned width);
+    /**
+     * Translation + coherence + timing for one access, without the
+     * data movement. Returns the physical address the data op should
+     * use. Shared by memOp and the atomic RMWs (which must not let
+     * the charge-phase clobber the location).
+     */
+    Addr accessPath(ThreadId tid, Addr pc, Addr va, bool is_write,
+                    bool bypass_private);
+    /** Physical address of @p va through the always-shared mapping. */
+    Addr sharedPaddr(ProcessId pid, Addr va) const;
+    ThreadId spawnCommon(std::string name,
+                         std::function<void(ThreadApi &)> fn,
+                         bool daemon, bool app_thread);
+    /** Canonical sync address, issuing redirection load traffic. */
+    Addr syncAddr(ThreadId tid, Addr va);
+
+    MachineConfig _config;
+    Mmu _mmu;
+    ShmRegion _heap;
+    ShmRegion _internal;
+    Addr _heapBrk;
+    Addr _internalBrk;
+    SimScheduler _sched;
+    SyncManager _sync;
+    CacheSim _cache;
+    std::vector<Tlb> _tlbs;
+    PerfSession _perf;
+    InstructionTable _instrs;
+    AddressMap _amap;
+    std::unique_ptr<Allocator> _alloc;
+    RuntimeHooks *_hooks = nullptr;
+
+    AccessSampler _accessSampler;
+    std::uint64_t _accessSampleCounter = 0;
+    std::vector<ProcessId> _threadProcess;
+    std::vector<std::unique_ptr<Rng>> _threadRngs;
+    std::vector<ThreadId> _appThreads;
+    std::unordered_map<ThreadId, std::vector<ThreadId>> _joiners;
+    std::unordered_map<Addr, Addr> _syncRedirect;
+
+    /** Machine-registered instruction PCs for sync-object traffic. */
+    Addr _pcLockCas = 0;
+    Addr _pcLockStore = 0;
+    Addr _pcPtrLoad = 0;
+    Addr _pcPtrStore = 0;
+    Addr _pcBulk = 0;
+    Addr _pcBulkStore = 0;
+
+    stats::Scalar _statMemOps;
+    stats::Scalar _statAtomicOps;
+    stats::Scalar _statBulkBytes;
+};
+
+/**
+ * The per-thread programming interface workloads use.
+ *
+ * A thin value type binding (Machine, tid); all methods forward.
+ */
+class ThreadApi
+{
+  public:
+    ThreadApi(Machine &machine, ThreadId tid)
+        : _machine(machine), _tid(tid)
+    {}
+
+    Machine &machine() { return _machine; }
+    ThreadId tid() const { return _tid; }
+
+    /** @name Plain accesses (PC selects kind and width) */
+    /// @{
+    std::uint64_t
+    load(Addr pc, Addr va)
+    {
+        return _machine.memOp(_tid, pc, va, false, 0, false);
+    }
+
+    void
+    store(Addr pc, Addr va, std::uint64_t value)
+    {
+        _machine.memOp(_tid, pc, va, true, value, false);
+    }
+    /// @}
+
+    /** @name Atomics */
+    /// @{
+    std::uint64_t
+    atomicLoad(Addr pc, Addr va, MemOrder order = MemOrder::SeqCst)
+    {
+        return _machine.atomicLoad(_tid, pc, va, order);
+    }
+
+    void
+    atomicStore(Addr pc, Addr va, std::uint64_t v,
+                MemOrder order = MemOrder::SeqCst)
+    {
+        _machine.atomicStore(_tid, pc, va, v, order);
+    }
+
+    std::uint64_t
+    fetchAdd(Addr pc, Addr va, std::uint64_t delta,
+             MemOrder order = MemOrder::SeqCst)
+    {
+        return _machine.atomicFetchAdd(_tid, pc, va, delta, order);
+    }
+
+    bool
+    cas(Addr pc, Addr va, std::uint64_t expect, std::uint64_t desired,
+        MemOrder order = MemOrder::SeqCst)
+    {
+        return _machine.atomicCas(_tid, pc, va, expect, desired, order);
+    }
+    /// @}
+
+    /** @name Code regions (instrumentation callbacks) */
+    /// @{
+    void enterAtomic() { _machine.regionEnter(_tid, RegionKind::Atomic); }
+    void exitAtomic() { _machine.regionExit(_tid); }
+    void enterAsm() { _machine.regionEnter(_tid, RegionKind::Asm); }
+    void exitAsm() { _machine.regionExit(_tid); }
+    /// @}
+
+    /** @name Synchronization */
+    /// @{
+    void mutexInit(Addr va) { _machine.mutexInit(_tid, va); }
+    void mutexLock(Addr va) { _machine.mutexLock(_tid, va); }
+    bool mutexTryLock(Addr va) { return _machine.mutexTryLock(_tid, va); }
+    void mutexUnlock(Addr va) { _machine.mutexUnlock(_tid, va); }
+    void barrierInit(Addr va, unsigned n)
+    {
+        _machine.barrierInit(_tid, va, n);
+    }
+    void barrierWait(Addr va) { _machine.barrierWait(_tid, va); }
+    void condInit(Addr va) { _machine.condInit(_tid, va); }
+    void condWait(Addr va, Addr m) { _machine.condWait(_tid, va, m); }
+    void condSignal(Addr va) { _machine.condSignal(_tid, va); }
+    void condBroadcast(Addr va) { _machine.condBroadcast(_tid, va); }
+    /// @}
+
+    /** @name Memory management */
+    /// @{
+    Addr malloc(std::uint64_t bytes)
+    {
+        return _machine.allocator().malloc(_tid, bytes);
+    }
+
+    void free(Addr addr) { _machine.allocator().free(_tid, addr); }
+
+    Addr memalign(Addr alignment, std::uint64_t bytes)
+    {
+        return _machine.allocator().memalign(_tid, alignment, bytes);
+    }
+    /// @}
+
+    /** @name Bulk and misc */
+    /// @{
+    void
+    fill(Addr va, std::uint8_t byte, std::size_t n)
+    {
+        _machine.bulkFill(_tid, va, byte, n);
+    }
+
+    void
+    writeBuf(Addr va, const void *buf, std::size_t n)
+    {
+        _machine.bulkWrite(_tid, va, buf, n);
+    }
+
+    void
+    readBuf(Addr va, void *buf, std::size_t n)
+    {
+        _machine.bulkRead(_tid, va, buf, n);
+    }
+
+    void compute(Cycles c) { _machine.compute(_tid, c); }
+
+    ThreadId
+    spawn(std::string name, std::function<void(ThreadApi &)> fn)
+    {
+        return _machine.spawnThread(std::move(name), std::move(fn));
+    }
+
+    void join(ThreadId target) { _machine.joinThread(_tid, target); }
+
+    Rng &rng() { return _machine.rng(_tid); }
+    /// @}
+
+  private:
+    Machine &_machine;
+    ThreadId _tid;
+};
+
+} // namespace tmi
+
+#endif // TMI_CORE_MACHINE_HH

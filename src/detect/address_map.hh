@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Model of the /proc/pid/maps address map (paper section 3.1).
+ *
+ * At startup Tmi's detection thread reads the address map to restrict
+ * detection and repair to the application's heap and globals,
+ * filtering out the stack and system libraries. Components register
+ * their simulated ranges here and the detector consults it per
+ * record.
+ */
+
+#ifndef TMI_DETECT_ADDRESS_MAP_HH
+#define TMI_DETECT_ADDRESS_MAP_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace tmi
+{
+
+/** What a mapped range contains. */
+enum class RangeKind : std::uint8_t
+{
+    AppHeap,    //!< application heap (detection allowed)
+    AppGlobals, //!< application globals (detection allowed)
+    Stack,      //!< thread stacks (filtered)
+    SystemLib,  //!< system libraries (filtered)
+};
+
+/** A simple sorted-range address map. */
+class AddressMap
+{
+  public:
+    /** Register [base, base+size) as @p kind. */
+    void
+    add(Addr base, Addr size, RangeKind kind, std::string name)
+    {
+        _ranges.push_back({base, base + size, kind, std::move(name)});
+    }
+
+    /** Kind of the range containing @p addr; SystemLib if unmapped. */
+    RangeKind
+    classify(Addr addr) const
+    {
+        for (const auto &r : _ranges) {
+            if (addr >= r.begin && addr < r.end)
+                return r.kind;
+        }
+        return RangeKind::SystemLib;
+    }
+
+    /** True if the detector should consider @p addr at all. */
+    bool
+    eligible(Addr addr) const
+    {
+        RangeKind k = classify(addr);
+        return k == RangeKind::AppHeap || k == RangeKind::AppGlobals;
+    }
+
+    /** Number of registered ranges. */
+    std::size_t size() const { return _ranges.size(); }
+
+  private:
+    struct Range
+    {
+        Addr begin;
+        Addr end;
+        RangeKind kind;
+        std::string name;
+    };
+
+    std::vector<Range> _ranges;
+};
+
+} // namespace tmi
+
+#endif // TMI_DETECT_ADDRESS_MAP_HH

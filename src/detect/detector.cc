@@ -1,0 +1,286 @@
+#include "detector.hh"
+
+#include <algorithm>
+
+namespace tmi
+{
+
+Detector::Detector(const InstructionTable &instrs, const AddressMap &map,
+                   const DetectorConfig &config)
+    : _instrs(instrs), _map(map), _config(config)
+{
+    TMI_ASSERT(config.samplePeriod >= 1);
+}
+
+Detector::Verdict
+Detector::classify(LineStats &line, const AccessSig &sig) const
+{
+    // Compare the incoming access against remembered signatures from
+    // *other* threads. Disjoint byte ranges are false sharing;
+    // overlapping ranges are true sharing. Load/load pairs count
+    // too: a HITM means the line was in Modified state in a remote
+    // private cache, so the line is write-contended by definition --
+    // the sampled loads just reveal which bytes each thread touches.
+    // (Stores under-sample badly here: a store that follows the
+    // thread's own load of the line upgrades S->M without missing,
+    // so it never triggers PEBS.)
+    bool saw_fs = false;
+    bool saw_ts = false;
+    unsigned new_lo = sig.offset;
+    unsigned new_hi = sig.offset + sig.width;
+    for (const auto &other : line.sigs) {
+        if (other.tid == sig.tid)
+            continue;
+        unsigned lo = other.offset;
+        unsigned hi = other.offset + other.width;
+        bool overlap = new_lo < hi && lo < new_hi;
+        if (overlap)
+            saw_ts = true;
+        else
+            saw_fs = true;
+    }
+    // True sharing dominates: if any conflicting access overlaps,
+    // repairing the line would not help.
+    if (saw_ts)
+        return Verdict::TrueSharing;
+    if (saw_fs)
+        return Verdict::FalseSharing;
+    return Verdict::Unknown;
+}
+
+Cycles
+Detector::consume(const PebsRecord &rec)
+{
+    if (!_map.eligible(rec.vaddr)) {
+        ++_statFiltered;
+        return 0;
+    }
+    if (!_instrs.contains(rec.pc)) {
+        // PC outside the analyzed binary (e.g. an imprecise sample).
+        ++_statFiltered;
+        return 0;
+    }
+    ++_statRecords;
+
+    const InstrInfo &info = _instrs.lookup(rec.pc);
+    AccessSig sig;
+    sig.tid = rec.tid;
+    sig.offset = static_cast<std::uint8_t>(lineOffset(rec.vaddr));
+    sig.width = static_cast<std::uint8_t>(info.width);
+    sig.isWrite = info.kind == MemKind::Store;
+
+    LineStats &line = _lines[lineNumber(rec.vaddr)];
+    Verdict verdict = classify(line, sig);
+
+    // Remember this signature if it is new and there is room.
+    bool known = false;
+    for (const auto &other : line.sigs) {
+        if (other.tid == sig.tid && other.offset == sig.offset &&
+            other.width == sig.width && other.isWrite == sig.isWrite) {
+            known = true;
+            break;
+        }
+    }
+    if (!known && line.sigs.size() < _config.maxSigsPerLine)
+        line.sigs.push_back(sig);
+
+    // With period n, each record stands for about n real events
+    // (section 3.1's under-reporting correction).
+    double events = static_cast<double>(_config.samplePeriod);
+    switch (verdict) {
+      case Verdict::FalseSharing:
+        line.fsEventsWindow += events;
+        line.fsEventsTotal += events;
+        _statFsEvents += events;
+        break;
+      case Verdict::TrueSharing:
+        line.tsEventsWindow += events;
+        line.tsEventsTotal += events;
+        _statTsEvents += events;
+        break;
+      case Verdict::Unknown:
+        break;
+    }
+    return _config.classifyCostPerRecord;
+}
+
+AnalysisResult
+Detector::analyze(Cycles window_cycles)
+{
+    AnalysisResult res;
+    ++_statAnalyses;
+    res.cost = _config.analyzeCostBase +
+               _config.analyzeCostPerLine *
+                   static_cast<Cycles>(_lines.size());
+    if (window_cycles == 0)
+        return res;
+
+    double window_sec =
+        static_cast<double>(window_cycles) / _config.cyclesPerSecond;
+
+    std::unordered_map<VPage, double> page_rate;
+    double fs_total = 0;
+    double ts_total = 0;
+    for (auto &[line_no, line] : _lines) {
+        fs_total += line.fsEventsWindow;
+        ts_total += line.tsEventsWindow;
+        if (line.fsEventsWindow > 0) {
+            Addr byte_addr = line_no << lineShift;
+            VPage vpage = byte_addr >> _config.pageShift;
+            page_rate[vpage] += line.fsEventsWindow / window_sec;
+        }
+        line.fsEventsWindow = 0;
+        line.tsEventsWindow = 0;
+    }
+
+    res.fsEventsPerSec = fs_total / window_sec;
+    res.tsEventsPerSec = ts_total / window_sec;
+    for (const auto &[vpage, rate] : page_rate) {
+        if (rate >= _config.repairThreshold) {
+            res.pagesToRepair.push_back(vpage);
+            ++_statRepairsNominated;
+        }
+    }
+    return res;
+}
+
+void
+Detector::consumeAccess(ThreadId tid, Addr vaddr, Addr pc)
+{
+    if (!_map.eligible(vaddr) || !_instrs.contains(pc))
+        return;
+    const InstrInfo &info = _instrs.lookup(pc);
+    AccessSig sig;
+    sig.tid = tid;
+    sig.offset = static_cast<std::uint8_t>(lineOffset(vaddr));
+    sig.width = static_cast<std::uint8_t>(info.width);
+    sig.isWrite = info.kind == MemKind::Store;
+
+    LineStats &line = _lines[lineNumber(vaddr)];
+    for (const auto &other : line.sigs) {
+        if (other.tid == sig.tid && other.offset == sig.offset &&
+            other.width == sig.width && other.isWrite == sig.isWrite) {
+            return;
+        }
+    }
+    if (line.sigs.size() < _config.maxSigsPerLine)
+        line.sigs.push_back(sig);
+}
+
+std::vector<Addr>
+Detector::predictFalseSharing(unsigned line_shift) const
+{
+    TMI_ASSERT(line_shift > lineShift && line_shift <= 16);
+    // Group tracked 64-byte lines into the larger blocks and look
+    // for cross-thread conflicts that only exist *across* current
+    // line boundaries: invisible to today's hardware, false sharing
+    // on a machine with bigger lines.
+    struct BlockAccess
+    {
+        ThreadId tid;
+        std::uint64_t lo; //!< byte offset within the big block
+        std::uint64_t hi;
+        bool isWrite;
+        Addr lineNo; //!< current 64-byte line it came from
+    };
+    std::unordered_map<Addr, std::vector<BlockAccess>> blocks;
+    for (const auto &[line_no, line] : _lines) {
+        Addr byte_addr = line_no << lineShift;
+        Addr block = byte_addr >> line_shift;
+        std::uint64_t base =
+            byte_addr & ((Addr{1} << line_shift) - 1);
+        for (const auto &sig : line.sigs) {
+            blocks[block].push_back({sig.tid, base + sig.offset,
+                                     base + sig.offset + sig.width,
+                                     sig.isWrite, line_no});
+        }
+    }
+
+    std::vector<Addr> predicted;
+    for (const auto &[block, accs] : blocks) {
+        bool new_conflict = false;
+        bool existing_conflict = false;
+        for (std::size_t i = 0;
+             i < accs.size() && !existing_conflict; ++i) {
+            for (std::size_t j = i + 1; j < accs.size(); ++j) {
+                const BlockAccess &a = accs[i];
+                const BlockAccess &b = accs[j];
+                if (a.tid == b.tid || (!a.isWrite && !b.isWrite))
+                    continue;
+                bool overlap = a.lo < b.hi && b.lo < a.hi;
+                if (overlap)
+                    continue; // true sharing at any line size
+                if (a.lineNo == b.lineNo) {
+                    // Conflicts already within one current line:
+                    // this is today's false sharing, not new.
+                    existing_conflict = true;
+                    break;
+                }
+                new_conflict = true;
+            }
+        }
+        if (new_conflict && !existing_conflict)
+            predicted.push_back(block << line_shift);
+    }
+    std::sort(predicted.begin(), predicted.end());
+    return predicted;
+}
+
+std::vector<LineReport>
+Detector::topContendedLines(std::size_t n) const
+{
+    std::vector<LineReport> reports;
+    reports.reserve(_lines.size());
+    for (const auto &[line_no, line] : _lines) {
+        LineReport rep;
+        rep.lineAddr = line_no << lineShift;
+        rep.fsEvents = line.fsEventsTotal;
+        rep.tsEvents = line.tsEventsTotal;
+        for (const auto &sig : line.sigs) {
+            rep.accesses.push_back({sig.tid, sig.offset, sig.width,
+                                    sig.isWrite});
+        }
+        reports.push_back(std::move(rep));
+    }
+    std::sort(reports.begin(), reports.end(),
+              [](const LineReport &a, const LineReport &b) {
+                  if (a.fsEvents != b.fsEvents)
+                      return a.fsEvents > b.fsEvents;
+                  return a.tsEvents > b.tsEvents;
+              });
+    if (reports.size() > n)
+        reports.resize(n);
+    return reports;
+}
+
+std::uint64_t
+Detector::metadataBytes() const
+{
+    // Line table buckets + signature vectors + static disassembly
+    // info. Constants approximate the C++ structures' real sizes.
+    std::uint64_t line_bytes = 0;
+    for (const auto &[line_no, line] : _lines) {
+        (void)line_no;
+        line_bytes += 96 + line.sigs.capacity() * sizeof(AccessSig);
+    }
+    return line_bytes + _instrs.metadataBytes();
+}
+
+void
+Detector::regStats(stats::StatGroup &group)
+{
+    group.addScalar("recordsClassified", &_statRecords,
+                    "PEBS records accepted for classification");
+    group.addScalar("recordsFiltered", &_statFiltered,
+                    "records dropped by the address-map filter");
+    group.addScalar("fsEventsEstimated", &_statFsEvents,
+                    "estimated false-sharing HITM events");
+    group.addScalar("tsEventsEstimated", &_statTsEvents,
+                    "estimated true-sharing HITM events");
+    group.addScalar("analyses", &_statAnalyses,
+                    "periodic analysis passes");
+    group.addScalar("repairsNominated", &_statRepairsNominated,
+                    "pages nominated for repair");
+}
+
+} // namespace tmi

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * The false sharing detector (paper section 3.1).
+ *
+ * The per-application detection thread drains PEBS records, filters
+ * them against the address map, disassembles each record's PC to
+ * recover load/store and access width, and classifies HITM traffic
+ * per cache line as read-write false sharing, true sharing, or
+ * not-yet-classifiable. Because sampling with period n hides n-1 of
+ * every n events, each record is scaled back to n estimated events.
+ * Once a line's estimated false-sharing rate crosses the repair
+ * threshold, its page is nominated for targeted repair.
+ */
+
+#ifndef TMI_DETECT_DETECTOR_HH
+#define TMI_DETECT_DETECTOR_HH
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/stats.hh"
+#include "detect/address_map.hh"
+#include "isa/instructions.hh"
+#include "perf/pebs.hh"
+
+namespace tmi
+{
+
+/** Detector tuning. */
+struct DetectorConfig
+{
+    /** Sampling period the perf session uses (for n/r scaling). */
+    std::uint64_t samplePeriod = 100;
+    /** Simulated core frequency, for events-per-second estimates. */
+    double cyclesPerSecond = 3.4e9;
+    /**
+     * Estimated false-sharing events/second on one page above which
+     * repair triggers. The paper repairs structures producing over
+     * 100,000 HITM events per second.
+     */
+    double repairThreshold = 100000.0;
+    /** Distinct access signatures remembered per line. */
+    unsigned maxSigsPerLine = 16;
+    /** Page shift used to aggregate lines to pages. */
+    unsigned pageShift = smallPageShift;
+    /** Analysis cost charged to the detection thread, per line. */
+    Cycles analyzeCostPerLine = 120;
+    /** Fixed analysis cost per invocation. */
+    Cycles analyzeCostBase = 5000;
+    /** Cost to classify one drained record. */
+    Cycles classifyCostPerRecord = 160;
+};
+
+/** One access signature in a line report. */
+struct ReportedAccess
+{
+    ThreadId tid;
+    unsigned offset; //!< within the 64-byte line
+    unsigned width;
+    bool isWrite;
+};
+
+/** Diagnostic summary of one contended cache line. */
+struct LineReport
+{
+    Addr lineAddr = 0;      //!< byte address of the line
+    double fsEvents = 0;    //!< lifetime estimated FS events
+    double tsEvents = 0;    //!< lifetime estimated TS events
+    std::vector<ReportedAccess> accesses;
+};
+
+/** Result of one periodic analysis pass. */
+struct AnalysisResult
+{
+    /** Pages whose false-sharing rate crossed the threshold. */
+    std::vector<VPage> pagesToRepair;
+    /** Estimated false-sharing events/sec across all lines. */
+    double fsEventsPerSec = 0;
+    /** Estimated true-sharing events/sec across all lines. */
+    double tsEventsPerSec = 0;
+    /** Cost to charge the detection thread. */
+    Cycles cost = 0;
+};
+
+/** Per-application false sharing detector. */
+class Detector
+{
+  public:
+    Detector(const InstructionTable &instrs, const AddressMap &map,
+             const DetectorConfig &config = {});
+
+    const DetectorConfig &config() const { return _config; }
+
+    /**
+     * Classify one drained PEBS record.
+     * @return the classification cost to charge the detection thread.
+     */
+    Cycles consume(const PebsRecord &rec);
+
+    /**
+     * Instrumentation feed (Predator mode): record an access
+     * observed by compiler instrumentation rather than a HITM
+     * sample. Populates the per-line signature tables -- including
+     * for lines with no coherence contention at all, which is what
+     * makes prediction at larger line sizes possible -- without
+     * contributing to HITM event estimates.
+     */
+    void consumeAccess(ThreadId tid, Addr vaddr, Addr pc);
+
+    /**
+     * Periodic analysis over the events observed since the previous
+     * call (the once-per-interval scan of section 3.1).
+     *
+     * @param window_cycles simulated cycles the window covered.
+     */
+    AnalysisResult analyze(Cycles window_cycles);
+
+    /** Lifetime estimated false-sharing events (period-scaled). */
+    double fsEventsEstimated() const { return _statFsEvents.value(); }
+
+    /** Lifetime estimated true-sharing events (period-scaled). */
+    double tsEventsEstimated() const { return _statTsEvents.value(); }
+
+    /** Records accepted (post address-map filter). */
+    std::uint64_t recordsClassified() const
+    {
+        return static_cast<std::uint64_t>(_statRecords.value());
+    }
+
+    /** Records rejected by the address-map filter. */
+    std::uint64_t recordsFiltered() const
+    {
+        return static_cast<std::uint64_t>(_statFiltered.value());
+    }
+
+    /**
+     * Approximate bytes of detector metadata (line table, signatures,
+     * disassembly info) for the Figure 8 memory accounting.
+     */
+    std::uint64_t metadataBytes() const;
+
+    /** Number of distinct contended lines tracked. */
+    std::size_t trackedLines() const { return _lines.size(); }
+
+    /**
+     * The @p n hottest lines by lifetime estimated false-sharing
+     * events, with the distinct per-thread access signatures seen on
+     * each -- the report a programmer would fix the bug from.
+     */
+    std::vector<LineReport> topContendedLines(std::size_t n) const;
+
+    /**
+     * Predator-style prediction (Liu et al., PPoPP 2014, cited in
+     * section 5): which line-sized blocks would *become* false
+     * shared on a machine with larger cache lines of
+     * 2^@p line_shift bytes? A block is predicted when distinct
+     * threads touch disjoint byte ranges that fall in the same
+     * bigger line but in different current lines (so today's
+     * hardware shows no contention there yet).
+     *
+     * @return base addresses of the predicted larger lines.
+     */
+    std::vector<Addr> predictFalseSharing(unsigned line_shift) const;
+
+    /** Register stats under @p group. */
+    void regStats(stats::StatGroup &group);
+
+  private:
+    /** One distinct (thread, offset, width, kind) access pattern. */
+    struct AccessSig
+    {
+        ThreadId tid;
+        std::uint8_t offset; //!< within the 64-byte line
+        std::uint8_t width;
+        bool isWrite;
+    };
+
+    struct LineStats
+    {
+        std::vector<AccessSig> sigs;
+        double fsEventsWindow = 0; //!< scaled events, current window
+        double tsEventsWindow = 0;
+        double fsEventsTotal = 0;
+        double tsEventsTotal = 0;
+    };
+
+    enum class Verdict
+    {
+        FalseSharing,
+        TrueSharing,
+        Unknown,
+    };
+
+    Verdict classify(LineStats &line, const AccessSig &sig) const;
+
+    const InstructionTable &_instrs;
+    const AddressMap &_map;
+    DetectorConfig _config;
+
+    std::unordered_map<Addr, LineStats> _lines; //!< keyed by line number
+
+    stats::Scalar _statRecords;
+    stats::Scalar _statFiltered;
+    stats::Scalar _statFsEvents;
+    stats::Scalar _statTsEvents;
+    stats::Scalar _statAnalyses;
+    stats::Scalar _statRepairsNominated;
+};
+
+} // namespace tmi
+
+#endif // TMI_DETECT_DETECTOR_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The simulated application "binary": a static instruction table.
+ *
+ * Real Tmi disassembles the application binary at detector startup to
+ * learn, for each instruction address, whether it is a load or a
+ * store and how wide the access is (paper section 3.1); PEBS records
+ * carry only a PC. Workloads in this reproduction register their
+ * memory instructions here, and the detector performs the same
+ * PC -> (kind, width) resolution a disassembler would.
+ */
+
+#ifndef TMI_ISA_INSTRUCTIONS_HH
+#define TMI_ISA_INSTRUCTIONS_HH
+
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "isa/regions.hh"
+
+namespace tmi
+{
+
+/** Whether an instruction reads or writes memory. */
+enum class MemKind : std::uint8_t
+{
+    Load,
+    Store,
+};
+
+/** Static information about one memory instruction. */
+struct InstrInfo
+{
+    std::string name;   //!< diagnostic label, e.g. "histogram.inc"
+    MemKind kind = MemKind::Load;
+    unsigned width = 1; //!< access size in bytes
+};
+
+/** Registry of the program's static memory instructions. */
+class InstructionTable
+{
+  public:
+    /** PCs start away from zero so they look like text addresses. */
+    static constexpr Addr textBase = 0x400000;
+
+    /**
+     * Register a memory instruction; returns its PC.
+     *
+     * @param name  diagnostic label.
+     * @param kind  load or store.
+     * @param width access width in bytes (1..8).
+     */
+    Addr
+    define(std::string name, MemKind kind, unsigned width)
+    {
+        TMI_ASSERT(width >= 1 && width <= 8);
+        _instrs.push_back({std::move(name), kind, width});
+        return textBase + (_instrs.size() - 1) * 4;
+    }
+
+    /** True if @p pc names a registered instruction. */
+    bool
+    contains(Addr pc) const
+    {
+        return pc >= textBase && (pc - textBase) % 4 == 0 &&
+               (pc - textBase) / 4 < _instrs.size();
+    }
+
+    /** Disassemble @p pc; panics if unknown (detector filters first). */
+    const InstrInfo &
+    lookup(Addr pc) const
+    {
+        TMI_ASSERT(contains(pc), "disassembly of unknown PC");
+        return _instrs[(pc - textBase) / 4];
+    }
+
+    /** Number of registered static instructions. */
+    std::size_t size() const { return _instrs.size(); }
+
+    /**
+     * Approximate detector-side memory cost of holding disassembly
+     * metadata for this binary (Figure 8 accounting).
+     */
+    std::uint64_t
+    metadataBytes() const
+    {
+        return _instrs.size() * 48;
+    }
+
+  private:
+    std::vector<InstrInfo> _instrs;
+};
+
+} // namespace tmi
+
+#endif // TMI_ISA_INSTRUCTIONS_HH

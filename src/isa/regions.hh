@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Code-region kinds and memory orders for code-centric consistency.
+ *
+ * The paper partitions static code into regular, atomic, and assembly
+ * regions (Table 2). Region transitions are announced by compiler-
+ * inserted callbacks; in this reproduction workloads call the region
+ * markers on their ThreadApi, which models the LLVM instrumentation
+ * pass of section 3.4.2.
+ */
+
+#ifndef TMI_ISA_REGIONS_HH
+#define TMI_ISA_REGIONS_HH
+
+#include <cstdint>
+
+namespace tmi
+{
+
+/** The language/consistency domain a piece of code executes under. */
+enum class RegionKind : std::uint8_t
+{
+    Regular, //!< plain C/C++ code: data races are undefined behaviour
+    Atomic,  //!< C/C++ atomic operations: atomicity guaranteed
+    Asm,     //!< (inline) assembly: full hardware TSO semantics
+};
+
+/** Memory orders that matter to the PTSB policy. */
+enum class MemOrder : std::uint8_t
+{
+    Relaxed, //!< atomicity only; no ordering -- needs no PTSB flush
+    SeqCst,  //!< any ordering-bearing order (acq/rel/seq_cst)
+};
+
+/** Human-readable region name (diagnostics). */
+constexpr const char *
+regionName(RegionKind kind)
+{
+    switch (kind) {
+      case RegionKind::Regular:
+        return "regular";
+      case RegionKind::Atomic:
+        return "atomic";
+      case RegionKind::Asm:
+        return "asm";
+    }
+    return "?";
+}
+
+} // namespace tmi
+
+#endif // TMI_ISA_REGIONS_HH

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * The simulated MMU: translation, protection, faults, and COW.
+ *
+ * The Mmu owns the physical memory and all address spaces. It is the
+ * single point through which every simulated memory access flows, and
+ * it is where Tmi's repair mechanism hooks in: protecting a page as
+ * PrivateCow makes the next write to it fault, copy the frame, and
+ * diverge that process's view of the page from shared memory until
+ * the PTSB commits it back.
+ */
+
+#ifndef TMI_MEM_MMU_HH
+#define TMI_MEM_MMU_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mem/address_space.hh"
+
+namespace tmi
+{
+
+/** Outcome metadata for one translation. */
+struct TranslateResult
+{
+    Addr paddr = 0;          //!< resulting physical address
+    bool softFault = false;  //!< first access to the page by this process
+    bool cowFault = false;   //!< write hit a PrivateCow page
+    Cycles extraCost = 0;    //!< cost reported by the COW callback
+};
+
+/**
+ * Called when a write faults on a PrivateCow page, after the private
+ * frame has been created. The PTSB uses this to snapshot the twin.
+ *
+ * @return cycles to charge the faulting access (twin-copy cost). The
+ *         callback must not yield to the scheduler.
+ */
+using CowCallback = std::function<Cycles(ProcessId pid, VPage vpage,
+                                         PPage shared_frame,
+                                         PPage private_frame)>;
+
+/** Simulated memory-management unit. */
+class Mmu
+{
+  public:
+    explicit Mmu(unsigned page_shift);
+
+    PhysicalMemory &phys() { return _phys; }
+    const PhysicalMemory &phys() const { return _phys; }
+
+    unsigned pageShift() const { return _phys.pageShift(); }
+    Addr pageBytes() const { return _phys.pageBytes(); }
+
+    /** Virtual page number of @p vaddr under the configured size. */
+    VPage vpageOf(Addr vaddr) const { return vaddr >> pageShift(); }
+
+    /** Create a fresh empty address space; returns its pid. */
+    ProcessId createAddressSpace();
+
+    /**
+     * Clone @p src's page table into a new address space (fork).
+     *
+     * Shared mappings alias the same frames; PrivateCow pages with a
+     * live private frame get their own copy (fork copies them).
+     */
+    ProcessId cloneAddressSpace(ProcessId src);
+
+    /** Access a space by pid. */
+    AddressSpace &space(ProcessId pid);
+    const AddressSpace &space(ProcessId pid) const;
+
+    /** Number of address spaces created so far. */
+    std::size_t spaceCount() const { return _spaces.size(); }
+
+    /**
+     * Map @p n_pages of @p region at virtual address @p vbase in
+     * process @p pid as a shared read-write mapping.
+     */
+    void mapShared(ProcessId pid, Addr vbase, ShmRegion &region,
+                   std::uint64_t file_page_start, std::uint64_t n_pages);
+
+    /**
+     * Switch @p vpage in @p pid to PrivateCow (repair protection).
+     *
+     * Subsequent writes by that process fault and copy the frame.
+     * No-op if already protected.
+     */
+    void protectPrivateCow(ProcessId pid, VPage vpage);
+
+    /**
+     * Revert @p vpage in @p pid to SharedRW, dropping any private
+     * frame. The caller (PTSB) must have merged wanted changes first.
+     */
+    void unprotect(ProcessId pid, VPage vpage);
+
+    /** True if @p vpage is currently PrivateCow in @p pid. */
+    bool isProtected(ProcessId pid, VPage vpage) const;
+
+    /**
+     * Drop a PrivateCow page's private frame without unprotecting,
+     * so the next write re-faults and re-twins (PTSB commit step 5).
+     */
+    void dropPrivateFrame(ProcessId pid, VPage vpage);
+
+    /** Install the COW-fault callback (at most one; PTSB). */
+    void setCowCallback(CowCallback cb) { _cowCallback = std::move(cb); }
+
+    /**
+     * Translate @p vaddr for an access by @p pid.
+     *
+     * Handles first-touch accounting and COW faults. Panics on an
+     * unmapped page (a simulated segfault is always a harness bug).
+     */
+    TranslateResult translate(ProcessId pid, Addr vaddr, bool is_write);
+
+    /**
+     * Translate without side effects (no faults, no accounting).
+     *
+     * Returns false if unmapped. Used by diagnostic readers.
+     */
+    bool translatePeek(ProcessId pid, Addr vaddr, Addr &paddr) const;
+
+    /** Data-path read: translate page-by-page and copy bytes out. */
+    void read(ProcessId pid, Addr vaddr, void *buf, std::size_t size);
+
+    /** Data-path write: translate page-by-page and copy bytes in. */
+    void write(ProcessId pid, Addr vaddr, const void *buf,
+               std::size_t size);
+
+    /**
+     * Read through the always-shared mapping, ignoring PrivateCow
+     * divergence (the paper's first mmap of the shm file).
+     */
+    void readShared(ProcessId pid, Addr vaddr, void *buf,
+                    std::size_t size);
+
+    /** Total soft (first-touch) page faults taken. */
+    std::uint64_t softFaults() const;
+
+    /** Total COW faults taken. */
+    std::uint64_t cowFaults() const;
+
+    /** Register stats under @p group. */
+    void regStats(stats::StatGroup &group);
+
+  private:
+    PageEntry &entryForAccess(ProcessId pid, Addr vaddr);
+
+    PhysicalMemory _phys;
+    std::vector<std::unique_ptr<AddressSpace>> _spaces;
+    CowCallback _cowCallback;
+
+    stats::Scalar _statSoftFaults;
+    stats::Scalar _statCowFaults;
+    stats::Scalar _statProtects;
+    stats::Scalar _statUnprotects;
+    stats::Scalar _statClones;
+};
+
+} // namespace tmi
+
+#endif // TMI_MEM_MMU_HH

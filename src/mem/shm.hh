@@ -1,0 +1,69 @@
+/**
+ * @file
+ * A simulated process-shared memory region (the shm_open file).
+ *
+ * Tmi's allocator serves all application memory from a shared,
+ * file-backed region so that page permissions and mappings can be
+ * changed per-process during execution (paper section 3.2). A
+ * ShmRegion models that file: an ordered sequence of shared physical
+ * frames that any address space can map.
+ */
+
+#ifndef TMI_MEM_SHM_HH
+#define TMI_MEM_SHM_HH
+
+#include <string>
+#include <vector>
+
+#include "mem/physical.hh"
+
+namespace tmi
+{
+
+/** A named, growable run of shared physical frames. */
+class ShmRegion
+{
+  public:
+    ShmRegion(std::string name, PhysicalMemory &phys)
+        : _name(std::move(name)), _phys(phys)
+    {}
+
+    /** Region name (diagnostic only, like a /dev/shm path). */
+    const std::string &name() const { return _name; }
+
+    /** Current size in pages. */
+    std::uint64_t pages() const { return _frames.size(); }
+
+    /** Current size in bytes. */
+    Addr bytes() const { return pages() * _phys.pageBytes(); }
+
+    /** Grow the region (ftruncate) by @p n pages; returns old size. */
+    std::uint64_t
+    grow(std::uint64_t n)
+    {
+        std::uint64_t old = _frames.size();
+        for (std::uint64_t i = 0; i < n; ++i)
+            _frames.push_back(_phys.allocFrame());
+        return old;
+    }
+
+    /** Shared frame backing file page @p file_page. */
+    PPage
+    frameFor(std::uint64_t file_page) const
+    {
+        TMI_ASSERT(file_page < _frames.size());
+        return _frames[file_page];
+    }
+
+    /** The physical memory this region allocates from. */
+    PhysicalMemory &phys() const { return _phys; }
+
+  private:
+    std::string _name;
+    PhysicalMemory &_phys;
+    std::vector<PPage> _frames;
+};
+
+} // namespace tmi
+
+#endif // TMI_MEM_SHM_HH

@@ -1,0 +1,113 @@
+#include "pebs.hh"
+
+namespace tmi
+{
+
+PerfSession::PerfSession(const PerfConfig &config)
+    : _config(config), _rng(config.seed)
+{
+    TMI_ASSERT(config.period >= 1);
+}
+
+void
+PerfSession::attachThread(ThreadId tid)
+{
+    _threads.emplace(tid, ThreadCtx{});
+}
+
+bool
+PerfSession::attached(ThreadId tid) const
+{
+    return _threads.count(tid) != 0;
+}
+
+Cycles
+PerfSession::onHitm(const AccessContext &ctx, Cycles now)
+{
+    auto it = _threads.find(ctx.tid);
+    if (it == _threads.end())
+        return 0;
+    ThreadCtx &tc = it->second;
+    ++_statEvents;
+
+    // Stores advance the counter at a reduced rate: the HITM PEBS
+    // event nominally covers loads, and store-triggered records are
+    // observed to appear less often (paper section 2.1).
+    if (ctx.isWrite && !_rng.chance(_config.storeSampleBias))
+        return 0;
+
+    if (++tc.counter < _config.period)
+        return 0;
+    tc.counter = 0;
+
+    PebsRecord rec;
+    rec.pc = ctx.pc;
+    rec.tid = ctx.tid;
+    rec.core = ctx.core;
+    rec.time = now;
+    rec.vaddr = ctx.vaddr;
+    if (_rng.chance(_config.addrNoiseProb)) {
+        // Imprecise data address: perturb within a small window, as
+        // LASER observed on real PEBS hardware.
+        std::uint64_t skid = _rng.below(2 * lineBytes);
+        rec.vaddr = (rec.vaddr > skid) ? rec.vaddr - skid
+                                       : rec.vaddr + skid;
+    }
+
+    if (tc.ring.size() >= _config.bufferRecords) {
+        ++_statLost;
+    } else {
+        tc.ring.push_back(rec);
+        ++_statEmitted;
+    }
+    return _config.recordCost;
+}
+
+std::size_t
+PerfSession::drain(ThreadId tid, std::vector<PebsRecord> &out)
+{
+    auto it = _threads.find(tid);
+    if (it == _threads.end())
+        return 0;
+    std::size_t n = it->second.ring.size();
+    for (auto &rec : it->second.ring)
+        out.push_back(rec);
+    it->second.ring.clear();
+    return n;
+}
+
+std::size_t
+PerfSession::drainAll(std::vector<PebsRecord> &out)
+{
+    std::size_t n = 0;
+    for (auto &[tid, tc] : _threads) {
+        (void)tid;
+        n += tc.ring.size();
+        for (auto &rec : tc.ring)
+            out.push_back(rec);
+        tc.ring.clear();
+    }
+    return n;
+}
+
+std::uint64_t
+PerfSession::bufferBytes() const
+{
+    // Each attached thread owns a fixed-size mmap'd ring in the real
+    // system; account for the full capacity, not current occupancy.
+    return static_cast<std::uint64_t>(_threads.size()) *
+           _config.bufferRecords * sizeof(PebsRecord);
+}
+
+void
+PerfSession::regStats(stats::StatGroup &group)
+{
+    group.addScalar("hitmEventsSeen", &_statEvents,
+                    "HITM events observed by perf");
+    group.addScalar("recordsEmitted", &_statEmitted,
+                    "PEBS records written to buffers");
+    group.addScalar("recordsLost", &_statLost,
+                    "records dropped on full buffers");
+}
+
+} // namespace tmi

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Model of Intel PEBS HITM sampling exposed through the Linux perf
+ * API (paper sections 2.1 and 3.1).
+ *
+ * A PerfSession subscribes to the cache simulator's HITM events and
+ * emits PEBS records into per-thread ring buffers at a configurable
+ * sampling period. The model reproduces the documented imprecision:
+ * the PC is reliable, the data address occasionally is not, and
+ * store-triggered HITM events produce records at a lower rate than
+ * loads. Each emitted record charges a microcode-assist cost to the
+ * triggering thread, which is what makes small periods expensive
+ * (Figure 4).
+ *
+ * Records do NOT say whether the access was a load or a store -- the
+ * detector recovers that by disassembling the PC, as on real
+ * hardware.
+ */
+
+#ifndef TMI_PERF_PEBS_HH
+#define TMI_PERF_PEBS_HH
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache_sim.hh"
+#include "common/rng.hh"
+
+namespace tmi
+{
+
+/** One PEBS sample as seen by a userspace perf client. */
+struct PebsRecord
+{
+    Addr vaddr = 0;    //!< sampled data address (may be imprecise)
+    Addr pc = 0;       //!< program counter (reliable)
+    ThreadId tid = 0;  //!< thread that triggered the event
+    CoreId core = 0;   //!< core it ran on
+    Cycles time = 0;   //!< simulated timestamp of the sample
+};
+
+/** Sampling configuration (perf_event_attr subset). */
+struct PerfConfig
+{
+    std::uint64_t period = 100;    //!< emit one record per N events
+    double storeSampleBias = 0.35; //!< stores count toward the period
+                                   //!< only this often (undercounting)
+    double addrNoiseProb = 0.02;   //!< data-address imprecision rate
+    std::size_t bufferRecords = 8192; //!< per-thread ring capacity
+    Cycles recordCost = 2200;      //!< assist cost charged per record
+    std::uint64_t seed = 12345;    //!< imprecision RNG seed
+};
+
+/** Per-thread HITM event counting and record buffering. */
+class PerfSession
+{
+  public:
+    explicit PerfSession(const PerfConfig &config = {});
+
+    const PerfConfig &config() const { return _config; }
+
+    /** Change the sampling period (takes effect immediately). */
+    void setPeriod(std::uint64_t period) { _config.period = period; }
+
+    /** Open a counting context for @p tid (pthread_create hook). */
+    void attachThread(ThreadId tid);
+
+    /** True if @p tid has an open context. */
+    bool attached(ThreadId tid) const;
+
+    /**
+     * Feed one HITM coherence event.
+     *
+     * @return extra cycles to charge the triggering thread (the PEBS
+     *         assist cost when a record was emitted, else 0).
+     */
+    Cycles onHitm(const AccessContext &ctx, Cycles now);
+
+    /**
+     * Move all buffered records for @p tid into @p out.
+     * @return number of records drained.
+     */
+    std::size_t drain(ThreadId tid, std::vector<PebsRecord> &out);
+
+    /** Drain every attached thread's buffer into @p out. */
+    std::size_t drainAll(std::vector<PebsRecord> &out);
+
+    /** Records emitted so far (before any loss). */
+    std::uint64_t recordsEmitted() const
+    {
+        return static_cast<std::uint64_t>(_statEmitted.value());
+    }
+
+    /** Records dropped because a ring buffer was full. */
+    std::uint64_t recordsLost() const
+    {
+        return static_cast<std::uint64_t>(_statLost.value());
+    }
+
+    /** Raw HITM events observed (what period scaling estimates). */
+    std::uint64_t eventsSeen() const
+    {
+        return static_cast<std::uint64_t>(_statEvents.value());
+    }
+
+    /** Approximate memory used by perf buffers, in bytes. */
+    std::uint64_t bufferBytes() const;
+
+    /** Register stats under @p group. */
+    void regStats(stats::StatGroup &group);
+
+  private:
+    struct ThreadCtx
+    {
+        std::uint64_t counter = 0;
+        std::deque<PebsRecord> ring;
+    };
+
+    PerfConfig _config;
+    Rng _rng;
+    std::unordered_map<ThreadId, ThreadCtx> _threads;
+
+    stats::Scalar _statEvents;
+    stats::Scalar _statEmitted;
+    stats::Scalar _statLost;
+};
+
+} // namespace tmi
+
+#endif // TMI_PERF_PEBS_HH

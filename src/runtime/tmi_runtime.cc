@@ -1,0 +1,299 @@
+#include "tmi_runtime.hh"
+
+namespace tmi
+{
+
+namespace
+{
+
+DetectorConfig
+detectorConfigFor(Machine &machine, const TmiConfig &config)
+{
+    DetectorConfig dc = config.detector;
+    dc.samplePeriod = machine.config().perf.period;
+    dc.cyclesPerSecond = machine.config().cyclesPerSecond;
+    dc.pageShift = machine.config().pageShift;
+    return dc;
+}
+
+} // namespace
+
+TmiRuntime::TmiRuntime(Machine &machine, const TmiConfig &config)
+    : _m(machine), _cfg(config), _ccc(config.cccEnabled),
+      _detector(machine.instructions(), machine.addressMap(),
+                detectorConfigFor(machine, config))
+{
+}
+
+void
+TmiRuntime::attach()
+{
+    _m.setHooks(this);
+    _m.mmu().setCowCallback(
+        [this](ProcessId pid, VPage vpage, PPage shared_frame,
+               PPage private_frame) -> Cycles {
+            auto it = _ptsbs.find(pid);
+            if (it == _ptsbs.end())
+                return 0;
+            return it->second->onCowFault(vpage, shared_frame,
+                                          private_frame);
+        });
+    if (_cfg.mode != TmiMode::AllocOnly) {
+        _m.spawnSystemThread(
+            "tmi-detector",
+            [this](ThreadApi &api) { detectionLoop(api); },
+            /*daemon=*/true);
+    }
+}
+
+void
+TmiRuntime::onThreadCreate(ThreadId tid)
+{
+    _ccc.threadStart(tid);
+    if (_converted) {
+        // Repair is already active: a newly created pthread is born
+        // converted, with every targeted page protected.
+        ProcessId pid = convertThread(tid);
+        Ptsb &ptsb = *_ptsbs.at(pid);
+        for (VPage vpage : _protectedPages)
+            ptsb.protectPage(vpage);
+    }
+}
+
+void
+TmiRuntime::onThreadExit(ThreadId tid)
+{
+    // Thread exit has release semantics (a joiner must observe all
+    // of the thread's writes): publish any buffered pages.
+    commitThread(tid);
+}
+
+bool
+TmiRuntime::bypassPrivate(ThreadId tid)
+{
+    return _ccc.mustBypassPrivate(tid);
+}
+
+bool
+TmiRuntime::atomicsBypassPrivate()
+{
+    // Running atomics directly on shared pages is how Tmi preserves
+    // their atomicity (section 3.4.1 case 2). Disabling CCC removes
+    // that protection, reproducing the Sheriff failure mode.
+    return _cfg.cccEnabled;
+}
+
+void
+TmiRuntime::onAtomicOp(ThreadId tid, MemOrder order, bool is_rmw)
+{
+    // Code-centric consistency keys the flush on the memory order
+    // alone: relaxed operations only require atomicity, which
+    // running on shared pages already provides (section 3.4.1).
+    (void)is_rmw;
+    if (_ccc.atomicOpNeedsFlush(order))
+        commitThread(tid);
+}
+
+void
+TmiRuntime::onRegionEnter(ThreadId tid, RegionKind kind)
+{
+    if (_ccc.regionEnter(tid, kind))
+        commitThread(tid);
+}
+
+void
+TmiRuntime::onRegionExit(ThreadId tid)
+{
+    _ccc.regionExit(tid);
+}
+
+Addr
+TmiRuntime::onSyncObjectInit(ThreadId tid, Addr va)
+{
+    (void)tid;
+    if (_cfg.mode == TmiMode::AllocOnly)
+        return va;
+    // Sync objects must be process-shared in case repair engages, so
+    // every one is replaced by a pointer to a cache-line-sized object
+    // in Tmi's internal region (section 3.2). This indirection is
+    // also what fixes spinlockpool's false sharing automatically.
+    ++_statSyncRedirects;
+    return _m.internalAlloc(lineBytes);
+}
+
+void
+TmiRuntime::onSyncAcquire(ThreadId tid)
+{
+    commitThread(tid);
+}
+
+void
+TmiRuntime::onSyncRelease(ThreadId tid)
+{
+    commitThread(tid);
+}
+
+void
+TmiRuntime::onHeapGrow(VPage first, std::uint64_t n)
+{
+    if (!_converted || !_cfg.ptsbEverywhere)
+        return;
+    for (std::uint64_t i = 0; i < n; ++i)
+        protectPageEverywhere(first + i);
+}
+
+void
+TmiRuntime::commitThread(ThreadId tid)
+{
+    if (!_converted)
+        return;
+    auto it = _ptsbs.find(_m.processOf(tid));
+    if (it == _ptsbs.end())
+        return;
+    CommitResult res = it->second->commit();
+    ++_statFlushCommits;
+    _m.sched().advance(res.cost);
+}
+
+ProcessId
+TmiRuntime::convertThread(ThreadId tid)
+{
+    ProcessId pid = _m.mmu().cloneAddressSpace(_m.processOf(tid));
+    _m.setThreadProcess(tid, pid);
+    _ptsbs.emplace(pid, std::make_unique<Ptsb>(_m.mmu(), pid,
+                                               _cfg.ptsbCosts,
+                                               &_m.cache()));
+    // The converted thread was stopped under ptrace, ran the
+    // trampoline, and forked; charge it that stall.
+    _m.sched().penalize(tid, _cfg.t2pCostPerThread);
+    _t2pTotal += _cfg.t2pCostPerThread;
+    ++_statConversions;
+    return pid;
+}
+
+void
+TmiRuntime::convertAllThreads()
+{
+    for (ThreadId tid : _m.appThreads()) {
+        if (_m.sched().thread(tid).state() ==
+            SimThread::State::Finished) {
+            continue;
+        }
+        convertThread(tid);
+    }
+    _converted = true;
+    _m.flushTlbs();
+}
+
+void
+TmiRuntime::protectPageEverywhere(VPage vpage)
+{
+    if (!_protectedPages.insert(vpage).second)
+        return;
+    ++_statPageProtections;
+    Cycles cost = 0;
+    for (auto &[pid, ptsb] : _ptsbs) {
+        (void)pid;
+        cost += ptsb->protectPage(vpage);
+    }
+    _m.flushTlbs();
+    _m.sched().advance(cost);
+}
+
+void
+TmiRuntime::detectionLoop(ThreadApi &api)
+{
+    Machine &m = api.machine();
+    Cycles last = m.sched().now();
+    std::vector<PebsRecord> records;
+    while (true) {
+        m.sched().sleepUntil(last + _cfg.analysisInterval);
+        Cycles now = m.sched().now();
+
+        records.clear();
+        m.perf().drainAll(records);
+        Cycles cost = 0;
+        for (const auto &rec : records)
+            cost += _detector.consume(rec);
+
+        AnalysisResult res = _detector.analyze(now - last);
+        cost += res.cost;
+        m.sched().advance(cost);
+        last = now;
+
+        if (_cfg.mode != TmiMode::DetectAndRepair)
+            continue;
+        if (res.pagesToRepair.empty())
+            continue;
+
+        if (!_converted) {
+            _repairStart = m.sched().now();
+            convertAllThreads();
+        }
+        for (VPage vpage : res.pagesToRepair)
+            protectPageEverywhere(vpage);
+        if (_cfg.ptsbEverywhere) {
+            VPage heap_first =
+                Machine::heapBase >> m.config().pageShift;
+            std::uint64_t heap_pages = m.heapRegion().pages();
+            for (std::uint64_t i = 0; i < heap_pages; ++i)
+                protectPageEverywhere(heap_first + i);
+        }
+    }
+}
+
+std::uint64_t
+TmiRuntime::totalCommits() const
+{
+    std::uint64_t n = 0;
+    for (const auto &[pid, ptsb] : _ptsbs) {
+        (void)pid;
+        n += ptsb->commits();
+    }
+    return n;
+}
+
+std::uint64_t
+TmiRuntime::totalConflictBytes() const
+{
+    std::uint64_t n = 0;
+    for (const auto &[pid, ptsb] : _ptsbs) {
+        (void)pid;
+        n += ptsb->conflictBytes();
+    }
+    return n;
+}
+
+std::uint64_t
+TmiRuntime::overheadBytes() const
+{
+    std::uint64_t twin_bytes = 0;
+    for (const auto &[pid, ptsb] : _ptsbs) {
+        (void)pid;
+        twin_bytes += ptsb->twinBytes();
+    }
+    std::uint64_t ring_bytes = 0;
+    if (_cfg.mode != TmiMode::AllocOnly) {
+        ring_bytes = _cfg.modeledRingBytesPerThread *
+                     _m.appThreads().size();
+    }
+    return ring_bytes + _detector.metadataBytes() + twin_bytes +
+           _m.internalBytes();
+}
+
+void
+TmiRuntime::regStats(stats::StatGroup &group)
+{
+    group.addScalar("t2pConversions", &_statConversions,
+                    "threads converted to processes");
+    group.addScalar("pagesProtected", &_statPageProtections,
+                    "distinct pages placed under the PTSB");
+    group.addScalar("syncRedirects", &_statSyncRedirects,
+                    "sync objects moved to process-shared memory");
+    group.addScalar("flushCommits", &_statFlushCommits,
+                    "PTSB commits triggered by hooks");
+    _detector.regStats(group);
+    _ccc.regStats(group);
+}
+
+} // namespace tmi

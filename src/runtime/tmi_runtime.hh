@@ -1,0 +1,168 @@
+/**
+ * @file
+ * The Tmi runtime (paper section 3).
+ *
+ * Tmi is compatible-by-default: applications run essentially
+ * untouched while a detection thread consumes PEBS HITM records.
+ * Only when meaningful false sharing is detected does Tmi stop the
+ * application, convert each thread into a process (giving it a
+ * private page table), and enable the page twinning store buffer on
+ * exactly the pages that exhibit false sharing. Code-centric
+ * consistency keeps the PTSB out of atomic and assembly regions so
+ * their memory-model guarantees survive.
+ *
+ * Modes:
+ *  - AllocOnly: only the process-shared allocator redirection
+ *    (the paper's tmi-alloc bars in Figure 7);
+ *  - DetectOnly: adds perf monitoring, the detection thread, and
+ *    process-shared sync redirection (tmi-detect);
+ *  - DetectAndRepair: full system (tmi-protect).
+ */
+
+#ifndef TMI_RUNTIME_TMI_RUNTIME_HH
+#define TMI_RUNTIME_TMI_RUNTIME_HH
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "consistency/ccc.hh"
+#include "core/machine.hh"
+#include "detect/detector.hh"
+#include "ptsb/ptsb.hh"
+
+namespace tmi
+{
+
+/** Operating mode of the runtime. */
+enum class TmiMode
+{
+    AllocOnly,
+    DetectOnly,
+    DetectAndRepair,
+};
+
+/** Tmi runtime configuration. */
+struct TmiConfig
+{
+    TmiMode mode = TmiMode::DetectAndRepair;
+    /** Code-centric consistency on/off (off reproduces Fig. 11/12). */
+    bool cccEnabled = true;
+    /** Ablation: protect the whole heap instead of targeted pages. */
+    bool ptsbEverywhere = false;
+
+    DetectorConfig detector;
+    PtsbCosts ptsbCosts;
+
+    /**
+     * Simulated cycles between detector analyses. The paper analyzes
+     * once per second on minute-long runs; our runs are ~10-100 ms
+     * of simulated time, so the cadence is scaled to match
+     * (documented in EXPERIMENTS.md).
+     */
+    Cycles analysisInterval = 2'000'000;
+
+    /** ptrace stop + trampoline + fork, charged per converted thread
+     *  (Table 3 reports the total under 200 us). */
+    Cycles t2pCostPerThread = 110'000;
+
+    /** Modeled per-thread perf ring size for Figure 8 accounting
+     *  (the paper attributes ~90 MB to perf buffers + detector
+     *  structures on small apps). */
+    std::uint64_t modeledRingBytesPerThread = 16ULL << 20;
+};
+
+/** The Tmi runtime: implements every Machine hook. */
+class TmiRuntime : public RuntimeHooks
+{
+  public:
+    TmiRuntime(Machine &machine, const TmiConfig &config = {});
+
+    /**
+     * Install hooks, wire the COW callback, and (except in AllocOnly
+     * mode) launch the per-application detection thread. Call before
+     * spawning any application thread.
+     */
+    void attach();
+
+    /** @name RuntimeHooks */
+    /// @{
+    void onThreadCreate(ThreadId tid) override;
+    void onThreadExit(ThreadId tid) override;
+    bool bypassPrivate(ThreadId tid) override;
+    bool atomicsBypassPrivate() override;
+    void onAtomicOp(ThreadId tid, MemOrder order,
+                    bool is_rmw) override;
+    void onRegionEnter(ThreadId tid, RegionKind kind) override;
+    void onRegionExit(ThreadId tid) override;
+    Addr onSyncObjectInit(ThreadId tid, Addr va) override;
+    void onSyncAcquire(ThreadId tid) override;
+    void onSyncRelease(ThreadId tid) override;
+    void onHeapGrow(VPage first, std::uint64_t n) override;
+    /// @}
+
+    /** @name Experiment queries */
+    /// @{
+    /** True once threads have been converted and repair is on. */
+    bool repairActive() const { return _converted; }
+
+    /** Simulated time at which repair engaged (Table 3 Unrepaired). */
+    Cycles repairStartCycles() const { return _repairStart; }
+
+    /** Total thread-to-process conversion time (Table 3 T2P). */
+    Cycles t2pCycles() const { return _t2pTotal; }
+
+    /** Total PTSB commits across all converted threads. */
+    std::uint64_t totalCommits() const;
+
+    /** Racy-merge bytes observed across all PTSBs (should be zero
+     *  for data-race-free programs, Lemma 3.1). */
+    std::uint64_t totalConflictBytes() const;
+
+    /** Pages currently under targeted protection. */
+    std::size_t protectedPageCount() const
+    {
+        return _protectedPages.size();
+    }
+
+    /**
+     * Tmi's memory overhead beyond the application's own
+     * allocations: perf rings, detector metadata, twins, and the
+     * internal process-shared region (Figure 8).
+     */
+    std::uint64_t overheadBytes() const;
+
+    Detector &detector() { return _detector; }
+    CodeCentricConsistency &ccc() { return _ccc; }
+    /// @}
+
+    /** Register stats under @p group. */
+    void regStats(stats::StatGroup &group);
+
+  private:
+    void detectionLoop(ThreadApi &api);
+    void convertAllThreads();
+    ProcessId convertThread(ThreadId tid);
+    void protectPageEverywhere(VPage vpage);
+    void commitThread(ThreadId tid);
+
+    Machine &_m;
+    TmiConfig _cfg;
+    CodeCentricConsistency _ccc;
+    Detector _detector;
+
+    std::unordered_map<ProcessId, std::unique_ptr<Ptsb>> _ptsbs;
+    std::unordered_set<VPage> _protectedPages;
+    bool _converted = false;
+    Cycles _repairStart = 0;
+    Cycles _t2pTotal = 0;
+
+    stats::Scalar _statConversions;
+    stats::Scalar _statPageProtections;
+    stats::Scalar _statSyncRedirects;
+    stats::Scalar _statFlushCommits;
+};
+
+} // namespace tmi
+
+#endif // TMI_RUNTIME_TMI_RUNTIME_HH

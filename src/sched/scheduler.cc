@@ -1,0 +1,247 @@
+#include "scheduler.hh"
+
+namespace tmi
+{
+
+namespace
+{
+/// Scheduler whose thread is currently executing; single host thread.
+SimScheduler *activeScheduler = nullptr;
+} // namespace
+
+SimThread::SimThread(ThreadId tid, std::string name, Func fn,
+                     bool daemon, std::size_t stack_bytes)
+    : _tid(tid), _name(std::move(name)), _fn(std::move(fn)),
+      _daemon(daemon),
+      _stack(std::make_unique<std::uint8_t[]>(stack_bytes)),
+      _stackBytes(stack_bytes)
+{
+}
+
+SimScheduler::SimScheduler(Cycles quantum) : _quantum(quantum)
+{
+    TMI_ASSERT(quantum > 0);
+}
+
+ThreadId
+SimScheduler::spawn(std::string name, SimThread::Func fn, bool daemon)
+{
+    auto tid = static_cast<ThreadId>(_threads.size());
+    auto thread = std::make_unique<SimThread>(
+        tid, std::move(name), std::move(fn), daemon,
+        std::size_t{256} * 1024);
+    if (_current)
+        thread->_clock = _current->_clock;
+
+    getcontext(&thread->_ctx);
+    thread->_ctx.uc_stack.ss_sp = thread->_stack.get();
+    thread->_ctx.uc_stack.ss_size = thread->_stackBytes;
+    thread->_ctx.uc_link = nullptr;
+    auto ptr = reinterpret_cast<std::uintptr_t>(thread.get());
+    makecontext(&thread->_ctx,
+                reinterpret_cast<void (*)()>(&SimScheduler::trampoline),
+                2, static_cast<unsigned>(ptr >> 32),
+                static_cast<unsigned>(ptr & 0xffffffffu));
+
+    _threads.push_back(std::move(thread));
+    ++_statSpawns;
+    // A freshly spawned thread is runnable at the creator's clock:
+    // cap the creator's remaining slice like wake() does.
+    if (_current) {
+        Cycles ready_at = _threads.back()->_clock;
+        if (_current->_deadline > ready_at + _quantum)
+            _current->_deadline = ready_at + _quantum;
+    }
+    return tid;
+}
+
+void
+SimScheduler::trampoline(unsigned hi, unsigned lo)
+{
+    auto ptr = (static_cast<std::uintptr_t>(hi) << 32) |
+               static_cast<std::uintptr_t>(lo);
+    auto *thread = reinterpret_cast<SimThread *>(ptr);
+    thread->_fn();
+    activeScheduler->finishCurrent();
+    panic("resumed a finished SimThread");
+}
+
+SimThread &
+SimScheduler::thread(ThreadId tid)
+{
+    TMI_ASSERT(tid < _threads.size());
+    return *_threads[tid];
+}
+
+std::size_t
+SimScheduler::liveNonDaemonThreads() const
+{
+    std::size_t n = 0;
+    for (const auto &t : _threads) {
+        if (!t->_daemon && t->_state != SimThread::State::Finished)
+            ++n;
+    }
+    return n;
+}
+
+SimThread *
+SimScheduler::pickNext(Cycles &runner_up) const
+{
+    SimThread *best = nullptr;
+    runner_up = ~Cycles{0};
+    for (const auto &t : _threads) {
+        if (t->_state != SimThread::State::Ready)
+            continue;
+        if (!best || t->_clock < best->_clock) {
+            if (best)
+                runner_up = std::min(runner_up, best->_clock);
+            best = t.get();
+        } else {
+            runner_up = std::min(runner_up, t->_clock);
+        }
+    }
+    return best;
+}
+
+RunOutcome
+SimScheduler::run(Cycles max_cycles)
+{
+    TMI_ASSERT(!_running, "SimScheduler::run is not reentrant");
+    _running = true;
+    activeScheduler = this;
+
+    RunOutcome outcome = RunOutcome::Completed;
+    while (true) {
+        if (liveNonDaemonThreads() == 0) {
+            outcome = RunOutcome::Completed;
+            break;
+        }
+        Cycles runner_up = 0;
+        SimThread *next = pickNext(runner_up);
+        if (!next) {
+            outcome = RunOutcome::Deadlock;
+            break;
+        }
+        if (next->_clock > max_cycles) {
+            outcome = RunOutcome::Timeout;
+            break;
+        }
+        Cycles base = (runner_up == ~Cycles{0}) ? next->_clock
+                                                : runner_up;
+        next->_deadline = base + _quantum;
+        next->_state = SimThread::State::Running;
+        _current = next;
+        ++_statSwitches;
+        swapcontext(&_schedCtx, &next->_ctx);
+        _current = nullptr;
+    }
+
+    _running = false;
+    activeScheduler = nullptr;
+    return outcome;
+}
+
+void
+SimScheduler::advance(Cycles cycles)
+{
+    TMI_ASSERT(_current, "advance outside a simulated thread");
+    _current->_clock += cycles;
+    // Daemons (e.g. the detection thread) never extend the makespan:
+    // elapsed time is defined by application threads.
+    if (!_current->_daemon && _current->_clock > _maxClock)
+        _maxClock = _current->_clock;
+    if (_current->_clock >= _current->_deadline)
+        yield();
+}
+
+void
+SimScheduler::yield()
+{
+    TMI_ASSERT(_current);
+    SimThread *self = _current;
+    self->_state = SimThread::State::Ready;
+    swapcontext(&self->_ctx, &_schedCtx);
+}
+
+void
+SimScheduler::block()
+{
+    TMI_ASSERT(_current);
+    SimThread *self = _current;
+    if (self->_wakePending) {
+        self->_wakePending = false;
+        if (self->_clock < self->_wakeClock)
+            self->_clock = self->_wakeClock;
+        return;
+    }
+    self->_state = SimThread::State::Blocked;
+    swapcontext(&self->_ctx, &_schedCtx);
+}
+
+void
+SimScheduler::wake(ThreadId tid, Cycles at_least)
+{
+    SimThread &t = thread(tid);
+    if (t._state != SimThread::State::Blocked) {
+        // Target has not blocked yet (it is Ready or Running between
+        // enqueueing itself and calling block()). Record the wake so
+        // block() becomes a no-op.
+        TMI_ASSERT(t._state != SimThread::State::Finished,
+                   "wake of finished thread");
+        t._wakePending = true;
+        if (t._wakeClock < at_least)
+            t._wakeClock = at_least;
+        return;
+    }
+    t._state = SimThread::State::Ready;
+    if (t._clock < at_least)
+        t._clock = at_least;
+    // The woken thread may now be the earliest runnable one. Shorten
+    // the current runner's slice so it does not race arbitrarily far
+    // ahead of a thread that was blocked when the slice began.
+    if (_current && _current->_deadline > t._clock + _quantum)
+        _current->_deadline = t._clock + _quantum;
+}
+
+void
+SimScheduler::sleepUntil(Cycles t)
+{
+    TMI_ASSERT(_current);
+    if (_current->_clock < t)
+        _current->_clock = t;
+    if (!_current->_daemon && _current->_clock > _maxClock)
+        _maxClock = _current->_clock;
+    yield();
+}
+
+void
+SimScheduler::penalize(ThreadId tid, Cycles cycles)
+{
+    SimThread &t = thread(tid);
+    if (t._state == SimThread::State::Finished)
+        return;
+    t._clock += cycles;
+    if (!t._daemon && t._clock > _maxClock)
+        _maxClock = t._clock;
+}
+
+void
+SimScheduler::finishCurrent()
+{
+    SimThread *self = _current;
+    self->_state = SimThread::State::Finished;
+    // The stack stays allocated until the scheduler is destroyed: we
+    // are still executing on it until the swap below completes.
+    swapcontext(&self->_ctx, &_schedCtx);
+}
+
+void
+SimScheduler::regStats(stats::StatGroup &group)
+{
+    group.addScalar("contextSwitches", &_statSwitches,
+                    "fiber switches performed");
+    group.addScalar("threadsSpawned", &_statSpawns,
+                    "simulated threads created");
+}
+
+} // namespace tmi

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Deterministic green-thread scheduler for the simulated machine.
+ *
+ * Simulated application threads are ucontext fibers with per-thread
+ * cycle clocks. The scheduler always resumes the runnable thread with
+ * the smallest clock and lets it run until it blocks or exceeds its
+ * quantum, approximating a globally time-ordered interleaving while
+ * keeping context-switch costs amortized over many accesses.
+ *
+ * All scheduling decisions are deterministic: ties break by thread id
+ * and every source of randomness in workloads is seeded, so a given
+ * experiment configuration always produces the same execution.
+ */
+
+#ifndef TMI_SCHED_SCHEDULER_HH
+#define TMI_SCHED_SCHEDULER_HH
+
+#include <ucontext.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace tmi
+{
+
+/** Why SimScheduler::run returned. */
+enum class RunOutcome
+{
+    Completed, //!< all non-daemon threads finished
+    Timeout,   //!< simulated time exceeded the budget (hang/livelock)
+    Deadlock,  //!< every live thread is blocked
+};
+
+/** One simulated thread (a ucontext fiber with a cycle clock). */
+class SimThread
+{
+  public:
+    using Func = std::function<void()>;
+
+    enum class State : std::uint8_t
+    {
+        Ready,
+        Running,
+        Blocked,
+        Finished,
+    };
+
+    SimThread(ThreadId tid, std::string name, Func fn, bool daemon,
+              std::size_t stack_bytes);
+
+    ThreadId tid() const { return _tid; }
+    const std::string &name() const { return _name; }
+    bool daemon() const { return _daemon; }
+    State state() const { return _state; }
+    Cycles clock() const { return _clock; }
+
+  private:
+    friend class SimScheduler;
+
+    ThreadId _tid;
+    std::string _name;
+    Func _fn;
+    bool _daemon;
+    State _state = State::Ready;
+    Cycles _clock = 0;
+    Cycles _deadline = 0;
+    /// A wake() arrived while we were still running (e.g. a condvar
+    /// signal between releasing the mutex and blocking); consume it
+    /// in block() instead of sleeping.
+    bool _wakePending = false;
+    Cycles _wakeClock = 0;
+    std::unique_ptr<std::uint8_t[]> _stack;
+    std::size_t _stackBytes;
+    ucontext_t _ctx{};
+};
+
+/** Min-clock-first cooperative scheduler over SimThreads. */
+class SimScheduler
+{
+  public:
+    /** @param quantum cycles a thread may run past the runner-up. */
+    explicit SimScheduler(Cycles quantum = 200);
+
+    /**
+     * Create a simulated thread.
+     *
+     * May be called before run() or from inside a running thread
+     * (pthread_create). The new thread's clock starts at the
+     * creator's clock (or 0 from outside).
+     *
+     * @param daemon daemon threads do not keep the simulation alive;
+     *               they are abandoned when all others finish.
+     */
+    ThreadId spawn(std::string name, SimThread::Func fn,
+                   bool daemon = false);
+
+    /**
+     * Run until completion, deadlock, or @p max_cycles of simulated
+     * time. Must be called from outside any simulated thread.
+     */
+    RunOutcome run(Cycles max_cycles = ~Cycles{0});
+
+    /** The currently executing simulated thread; null outside run. */
+    SimThread *current() { return _current; }
+
+    /** Clock of the current thread (call only from inside a thread). */
+    Cycles
+    now() const
+    {
+        TMI_ASSERT(_current);
+        return _current->_clock;
+    }
+
+    /** Largest clock any thread has reached (global time bound). */
+    Cycles maxClock() const { return _maxClock; }
+
+    /**
+     * Charge @p cycles to the current thread and yield if its
+     * quantum expired. This is the only way simulated time advances.
+     */
+    void advance(Cycles cycles);
+
+    /** Voluntarily return to the scheduler (stay runnable). */
+    void yield();
+
+    /** Block the current thread until another thread wakes it. */
+    void block();
+
+    /**
+     * Make @p tid runnable again, no earlier than simulated time
+     * @p at_least (the waker's clock, so causality is preserved).
+     */
+    void wake(ThreadId tid, Cycles at_least);
+
+    /** Sleep the current thread until simulated time @p t. */
+    void sleepUntil(Cycles t);
+
+    /**
+     * Add @p cycles to @p tid's clock without running it -- used to
+     * charge stopped threads for work done *to* them (e.g. the
+     * ptrace stop during thread-to-process conversion).
+     */
+    void penalize(ThreadId tid, Cycles cycles);
+
+    /** Thread accessor (valid for any spawned tid). */
+    SimThread &thread(ThreadId tid);
+
+    /** Number of threads ever spawned. */
+    std::size_t threadCount() const { return _threads.size(); }
+
+    /** Count of live (not finished) non-daemon threads. */
+    std::size_t liveNonDaemonThreads() const;
+
+    /** Total context switches performed (diagnostic). */
+    std::uint64_t contextSwitches() const
+    {
+        return static_cast<std::uint64_t>(_statSwitches.value());
+    }
+
+    /** Register stats under @p group. */
+    void regStats(stats::StatGroup &group);
+
+  private:
+    static void trampoline(unsigned hi, unsigned lo);
+    void finishCurrent();
+    void switchToScheduler();
+    SimThread *pickNext(Cycles &runner_up) const;
+
+    Cycles _quantum;
+    std::vector<std::unique_ptr<SimThread>> _threads;
+    SimThread *_current = nullptr;
+    ucontext_t _schedCtx{};
+    bool _running = false;
+    Cycles _maxClock = 0;
+
+    stats::Scalar _statSwitches;
+    stats::Scalar _statSpawns;
+};
+
+} // namespace tmi
+
+#endif // TMI_SCHED_SCHEDULER_HH

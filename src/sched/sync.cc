@@ -1,0 +1,184 @@
+#include "sync.hh"
+
+namespace tmi
+{
+
+SyncManager::MutexState &
+SyncManager::mutexRef(std::uint64_t id)
+{
+    auto it = _mutexes.find(id);
+    TMI_ASSERT(it != _mutexes.end(), "use of uninitialized mutex");
+    return it->second;
+}
+
+SyncManager::BarrierState &
+SyncManager::barrierRef(std::uint64_t id)
+{
+    auto it = _barriers.find(id);
+    TMI_ASSERT(it != _barriers.end(), "use of uninitialized barrier");
+    return it->second;
+}
+
+SyncManager::CondState &
+SyncManager::condRef(std::uint64_t id)
+{
+    auto it = _conds.find(id);
+    TMI_ASSERT(it != _conds.end(), "use of uninitialized condvar");
+    return it->second;
+}
+
+void
+SyncManager::mutexInit(std::uint64_t id)
+{
+    _mutexes[id] = MutexState{};
+}
+
+bool
+SyncManager::mutexExists(std::uint64_t id) const
+{
+    return _mutexes.count(id) != 0;
+}
+
+void
+SyncManager::mutexLock(std::uint64_t id)
+{
+    MutexState &m = mutexRef(id);
+    _sched.advance(_costs.mutexUncontended);
+    ++_statAcquires;
+    if (!m.locked) {
+        m.locked = true;
+        m.owner = _sched.current()->tid();
+        return;
+    }
+    ++_statContended;
+    m.waiters.push_back(_sched.current()->tid());
+    _sched.block();
+    // Woken by unlock with ownership already transferred to us.
+    TMI_ASSERT(m.locked && m.owner == _sched.current()->tid());
+}
+
+bool
+SyncManager::mutexTryLock(std::uint64_t id)
+{
+    MutexState &m = mutexRef(id);
+    _sched.advance(_costs.mutexUncontended);
+    if (m.locked)
+        return false;
+    ++_statAcquires;
+    m.locked = true;
+    m.owner = _sched.current()->tid();
+    return true;
+}
+
+void
+SyncManager::mutexUnlock(std::uint64_t id)
+{
+    MutexState &m = mutexRef(id);
+    TMI_ASSERT(m.locked && m.owner == _sched.current()->tid(),
+               "unlock by non-owner");
+    _sched.advance(_costs.mutexUncontended);
+    if (m.waiters.empty()) {
+        m.locked = false;
+        return;
+    }
+    ThreadId next = m.waiters.front();
+    m.waiters.pop_front();
+    m.owner = next;
+    _sched.wake(next, _sched.now() + _costs.mutexHandoff);
+}
+
+bool
+SyncManager::mutexHeld(std::uint64_t id) const
+{
+    auto it = _mutexes.find(id);
+    return it != _mutexes.end() && it->second.locked;
+}
+
+void
+SyncManager::barrierInit(std::uint64_t id, unsigned parties)
+{
+    TMI_ASSERT(parties > 0);
+    BarrierState b;
+    b.parties = parties;
+    _barriers[id] = b;
+}
+
+void
+SyncManager::barrierWait(std::uint64_t id)
+{
+    BarrierState &b = barrierRef(id);
+    _sched.advance(_costs.barrier);
+    ++_statBarrierWaits;
+    Cycles now = _sched.now();
+    if (now > b.maxArrival)
+        b.maxArrival = now;
+    ++b.arrived;
+    if (b.arrived == b.parties) {
+        Cycles release = b.maxArrival;
+        for (ThreadId tid : b.waiting)
+            _sched.wake(tid, release);
+        b.waiting.clear();
+        b.arrived = 0;
+        b.maxArrival = 0;
+        if (release > now)
+            _sched.advance(release - now);
+        return;
+    }
+    b.waiting.push_back(_sched.current()->tid());
+    _sched.block();
+}
+
+void
+SyncManager::condInit(std::uint64_t id)
+{
+    _conds[id] = CondState{};
+}
+
+void
+SyncManager::condWait(std::uint64_t id, std::uint64_t mutex_id)
+{
+    CondState &c = condRef(id);
+    ++_statCondWaits;
+    c.waiters.push_back(_sched.current()->tid());
+    mutexUnlock(mutex_id);
+    _sched.block();
+    mutexLock(mutex_id);
+}
+
+void
+SyncManager::condSignal(std::uint64_t id)
+{
+    CondState &c = condRef(id);
+    _sched.advance(_costs.condSignal);
+    if (c.waiters.empty())
+        return;
+    ThreadId next = c.waiters.front();
+    c.waiters.pop_front();
+    _sched.wake(next, _sched.now());
+}
+
+void
+SyncManager::condBroadcast(std::uint64_t id)
+{
+    CondState &c = condRef(id);
+    _sched.advance(_costs.condSignal);
+    Cycles now = _sched.now();
+    for (ThreadId tid : c.waiters)
+        _sched.wake(tid, now);
+    c.waiters.clear();
+}
+
+void
+SyncManager::regStats(stats::StatGroup &group)
+{
+    group.addScalar("lockAcquires", &_statAcquires,
+                    "mutex acquisitions");
+    group.addScalar("lockContended", &_statContended,
+                    "acquisitions that blocked");
+    group.addScalar("barrierWaits", &_statBarrierWaits,
+                    "barrier arrivals");
+    group.addScalar("condWaits", &_statCondWaits,
+                    "condition-variable waits");
+}
+
+} // namespace tmi

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Scheduling semantics for simulated synchronization objects.
+ *
+ * A SyncManager tracks mutex/barrier/condvar state keyed by a
+ * canonical 64-bit id (the simulated address of the object, or of the
+ * process-shared object Tmi redirects it to). The *memory traffic* a
+ * sync operation performs (e.g. the CAS on the lock word that causes
+ * spinlockpool's false sharing) is issued by the Machine layer; this
+ * class only provides blocking/wakeup semantics and base costs.
+ */
+
+#ifndef TMI_SCHED_SYNC_HH
+#define TMI_SCHED_SYNC_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "sched/scheduler.hh"
+
+namespace tmi
+{
+
+/** Base cycle costs of synchronization operations. */
+struct SyncCosts
+{
+    Cycles mutexUncontended = 25;  //!< lock/unlock fast path
+    Cycles mutexHandoff = 120;     //!< wakeup latency to a waiter
+    Cycles barrier = 150;          //!< per-thread barrier overhead
+    Cycles condSignal = 60;        //!< signal/broadcast base cost
+};
+
+/** Mutexes, barriers, and condition variables for simulated threads. */
+class SyncManager
+{
+  public:
+    explicit SyncManager(SimScheduler &sched, SyncCosts costs = {})
+        : _sched(sched), _costs(costs)
+    {}
+
+    /** @name Mutexes */
+    /// @{
+    void mutexInit(std::uint64_t id);
+    bool mutexExists(std::uint64_t id) const;
+    void mutexLock(std::uint64_t id);
+    /** @retval true if the lock was acquired. */
+    bool mutexTryLock(std::uint64_t id);
+    void mutexUnlock(std::uint64_t id);
+    /** True if currently held (by anyone). */
+    bool mutexHeld(std::uint64_t id) const;
+    /// @}
+
+    /** @name Barriers */
+    /// @{
+    void barrierInit(std::uint64_t id, unsigned parties);
+    void barrierWait(std::uint64_t id);
+    /// @}
+
+    /** @name Condition variables */
+    /// @{
+    void condInit(std::uint64_t id);
+    /** Atomically release @p mutex_id and wait; reacquires on wake. */
+    void condWait(std::uint64_t id, std::uint64_t mutex_id);
+    void condSignal(std::uint64_t id);
+    void condBroadcast(std::uint64_t id);
+    /// @}
+
+    /** Total lock acquisitions that had to block. */
+    std::uint64_t contendedAcquires() const
+    {
+        return static_cast<std::uint64_t>(_statContended.value());
+    }
+
+    /** Total lock acquisitions. */
+    std::uint64_t acquires() const
+    {
+        return static_cast<std::uint64_t>(_statAcquires.value());
+    }
+
+    /** Register stats under @p group. */
+    void regStats(stats::StatGroup &group);
+
+  private:
+    struct MutexState
+    {
+        bool locked = false;
+        ThreadId owner = 0;
+        std::deque<ThreadId> waiters;
+    };
+
+    struct BarrierState
+    {
+        unsigned parties = 0;
+        unsigned arrived = 0;
+        Cycles maxArrival = 0;
+        std::vector<ThreadId> waiting;
+    };
+
+    struct CondState
+    {
+        std::deque<ThreadId> waiters;
+    };
+
+    MutexState &mutexRef(std::uint64_t id);
+    BarrierState &barrierRef(std::uint64_t id);
+    CondState &condRef(std::uint64_t id);
+
+    SimScheduler &_sched;
+    SyncCosts _costs;
+    std::unordered_map<std::uint64_t, MutexState> _mutexes;
+    std::unordered_map<std::uint64_t, BarrierState> _barriers;
+    std::unordered_map<std::uint64_t, CondState> _conds;
+
+    stats::Scalar _statAcquires;
+    stats::Scalar _statContended;
+    stats::Scalar _statBarrierWaits;
+    stats::Scalar _statCondWaits;
+};
+
+} // namespace tmi
+
+#endif // TMI_SCHED_SYNC_HH

@@ -1,0 +1,165 @@
+#include "boost_micro.hh"
+
+namespace tmi
+{
+
+// ---------------------------------------------------------------------
+// spinlockpool
+
+void
+SpinlockPoolWorkload::init(Machine &machine)
+{
+    InstructionTable &instrs = machine.instructions();
+    _pcDataLoad = instrs.define("spinlockpool.data.load",
+                                MemKind::Load, 8);
+    _pcDataStore = instrs.define("spinlockpool.data.store",
+                                 MemKind::Store, 8);
+}
+
+void
+SpinlockPoolWorkload::main(ThreadApi &api)
+{
+    unsigned threads = _params.threads;
+    _opsPerThread = 16000 * _params.scale;
+
+    // boost::detail::spinlock_pool<..>::pool_: 41 packed spinlocks
+    // of 4 bytes each -- sixteen locks per cache line, so distinct
+    // locks false-share heavily. The manual fix pads each to 64 B.
+    _lockStride = _params.manualFix ? lineBytes : 4;
+    _locks = _params.manualFix
+                 ? api.memalign(lineBytes, _lockStride * poolSize)
+                 : api.malloc(_lockStride * poolSize + 8) + 8;
+    for (unsigned i = 0; i < poolSize; ++i)
+        api.mutexInit(_locks + i * _lockStride);
+
+    // The data the locks protect: padded, so the contention under
+    // study is purely the lock array's.
+    _data = api.memalign(lineBytes, lineBytes * threads);
+    api.fill(_data, 0, lineBytes * threads);
+
+    std::vector<ThreadId> workers;
+    for (unsigned t = 0; t < threads; ++t) {
+        workers.push_back(api.spawn(
+            "spinlockpool-" + std::to_string(t),
+            [this, t](ThreadApi &wapi) { worker(wapi, t); }));
+    }
+    for (ThreadId t : workers)
+        api.join(t);
+}
+
+void
+SpinlockPoolWorkload::worker(ThreadApi &api, unsigned t)
+{
+    // Each thread uses its own lock (spinlock_pool hashes by address,
+    // different addresses -> different locks), but the packed array
+    // makes neighbouring locks' CAS traffic collide.
+    unsigned my_lock = (t * 7) % poolSize;
+    Addr lock = _locks + my_lock * _lockStride;
+    Addr slot = _data + t * lineBytes;
+    for (std::uint64_t i = 0; i < _opsPerThread; ++i) {
+        api.mutexLock(lock);
+        // Mostly-read critical sections (weak_ptr lock checks);
+        // the occasional refcount write.
+        std::uint64_t v = api.load(_pcDataLoad, slot);
+        if (i % 16 == 0)
+            api.store(_pcDataStore, slot, v + 1);
+        api.mutexUnlock(lock);
+    }
+}
+
+bool
+SpinlockPoolWorkload::validate(Machine &machine)
+{
+    std::uint64_t total = 0;
+    for (unsigned t = 0; t < _params.threads; ++t)
+        total += machine.peekShared(_data + t * lineBytes, 8);
+    std::uint64_t writes_per_thread = (_opsPerThread + 15) / 16;
+    return total == writes_per_thread * _params.threads;
+}
+
+// ---------------------------------------------------------------------
+// shptr-relaxed / shptr-lock
+
+void
+SharedPtrWorkload::init(Machine &machine)
+{
+    InstructionTable &instrs = machine.instructions();
+    _pcFsLoad = instrs.define("shptr.fs.load", MemKind::Load, 8);
+    _pcFsStore = instrs.define("shptr.fs.store", MemKind::Store, 8);
+    _pcRefAdd = instrs.define("shptr.ref.add", MemKind::Store, 8);
+    _pcRefLoad = instrs.define("shptr.ref.load", MemKind::Load, 8);
+    _pcRefStore = instrs.define("shptr.ref.store", MemKind::Store, 8);
+}
+
+void
+SharedPtrWorkload::main(ThreadApi &api)
+{
+    unsigned threads = _params.threads;
+    _opsPerThread = 20000 * _params.scale;
+
+    // The false sharing page: packed 8-byte per-thread slots, all on
+    // one line for up to 8 threads.
+    _slotBytes = 8;
+    _fsArray = api.malloc(_slotBytes * threads);
+    if (_params.manualFix) {
+        _slotBytes = lineBytes;
+        _fsArray = api.memalign(lineBytes, _slotBytes * threads);
+    }
+    api.fill(_fsArray, 0, _slotBytes * threads);
+
+    // The smart-pointer refcount lives on its own page.
+    _refcount = api.memalign(lineBytes, lineBytes);
+    api.fill(_refcount, 0, lineBytes);
+    _refLock = api.memalign(lineBytes, lineBytes);
+    api.mutexInit(_refLock);
+
+    std::vector<ThreadId> workers;
+    for (unsigned t = 0; t < threads; ++t) {
+        workers.push_back(api.spawn(
+            std::string(name()) + "-" + std::to_string(t),
+            [this, t](ThreadApi &wapi) { worker(wapi, t); }));
+    }
+    for (ThreadId t : workers)
+        api.join(t);
+}
+
+void
+SharedPtrWorkload::worker(ThreadApi &api, unsigned t)
+{
+    Addr slot = _fsArray + t * _slotBytes;
+    for (std::uint64_t i = 0; i < _opsPerThread; ++i) {
+        // Hot loop: false sharing on the packed slots.
+        std::uint64_t v = api.load(_pcFsLoad, slot);
+        api.store(_pcFsStore, slot, v + 1);
+
+        if (i % refPeriod == 0) {
+            // Occasional smart-pointer copy: refcount bump + drop.
+            if (_useLock) {
+                api.mutexLock(_refLock);
+                std::uint64_t r = api.load(_pcRefLoad, _refcount);
+                api.store(_pcRefStore, _refcount, r + 1);
+                api.mutexUnlock(_refLock);
+            } else {
+                api.fetchAdd(_pcRefAdd, _refcount, 1,
+                             MemOrder::Relaxed);
+            }
+        }
+    }
+}
+
+bool
+SharedPtrWorkload::validate(Machine &machine)
+{
+    std::uint64_t total = 0;
+    for (unsigned t = 0; t < _params.threads; ++t)
+        total += machine.peekShared(_fsArray + t * _slotBytes, 8);
+    if (total != _opsPerThread * _params.threads)
+        return false;
+
+    std::uint64_t refs = machine.peekShared(_refcount, 8);
+    std::uint64_t expected =
+        ((_opsPerThread + refPeriod - 1) / refPeriod) * _params.threads;
+    return refs == expected;
+}
+
+} // namespace tmi

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The Boost microbenchmarks (paper section 4.1, Figure 9 right).
+ *
+ * spinlockpool: boost::detail::spinlock_pool keeps 41 spinlocks in a
+ * packed array, so locks protecting unrelated data share cache lines
+ * and every lock CAS false-shares with its neighbours. Tmi fixes it
+ * as a side effect of moving sync objects to process-shared memory
+ * (one cache-line-sized object each); the manual fix pads the array.
+ *
+ * shptr-relaxed / shptr-lock: reference-counted smart-pointer
+ * operations on one page while unrelated false sharing runs on a
+ * separate page. The refcounts use relaxed atomics (Boost's default)
+ * or a mutex. Under code-centric consistency relaxed atomics need no
+ * PTSB flush, so Tmi repairs the false sharing at full speed; with a
+ * mutex every acquire/release commits the PTSB and the repair gains
+ * almost nothing (1.04x in the paper).
+ */
+
+#ifndef TMI_WORKLOADS_BOOST_MICRO_HH
+#define TMI_WORKLOADS_BOOST_MICRO_HH
+
+#include "workloads/workload.hh"
+
+namespace tmi
+{
+
+/** boost::spinlock_pool false sharing. */
+class SpinlockPoolWorkload : public Workload
+{
+  public:
+    using Workload::Workload;
+
+    const char *name() const override { return "spinlockpool"; }
+
+    void init(Machine &machine) override;
+    void main(ThreadApi &api) override;
+    bool validate(Machine &machine) override;
+
+  private:
+    void worker(ThreadApi &api, unsigned t);
+
+    Addr _pcDataLoad = 0;
+    Addr _pcDataStore = 0;
+
+    Addr _locks = 0;     //!< packed lock array (41 x 40 B)
+    Addr _data = 0;      //!< per-thread payload slots (padded)
+    std::uint64_t _lockStride = 0;
+    std::uint64_t _opsPerThread = 0;
+    static constexpr unsigned poolSize = 41;
+};
+
+/** Smart-pointer refcounts: relaxed atomics or mutex-protected. */
+class SharedPtrWorkload : public Workload
+{
+  public:
+    SharedPtrWorkload(const WorkloadParams &params, bool use_lock)
+        : Workload(params), _useLock(use_lock)
+    {}
+
+    const char *
+    name() const override
+    {
+        return _useLock ? "shptr-lock" : "shptr-relaxed";
+    }
+
+    void init(Machine &machine) override;
+    void main(ThreadApi &api) override;
+    bool validate(Machine &machine) override;
+
+  private:
+    void worker(ThreadApi &api, unsigned t);
+
+    bool _useLock;
+    Addr _pcFsLoad = 0;
+    Addr _pcFsStore = 0;
+    Addr _pcRefAdd = 0;
+    Addr _pcRefLoad = 0;
+    Addr _pcRefStore = 0;
+
+    Addr _fsArray = 0;   //!< packed per-thread slots (the FS page)
+    Addr _refcount = 0;  //!< shared refcount (separate page)
+    Addr _refLock = 0;   //!< mutex for shptr-lock
+    std::uint64_t _slotBytes = 0;
+    std::uint64_t _opsPerThread = 0;
+    /** Smart-pointer op every N false-sharing iterations. */
+    static constexpr std::uint64_t refPeriod = 64;
+};
+
+} // namespace tmi
+
+#endif // TMI_WORKLOADS_BOOST_MICRO_HH

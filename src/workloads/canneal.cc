@@ -1,0 +1,112 @@
+#include "canneal.hh"
+
+namespace tmi
+{
+
+namespace
+{
+/// Claim marker: no real element uses this value.
+constexpr std::uint64_t sentinel = ~std::uint64_t{0};
+} // namespace
+
+void
+CannealWorkload::init(Machine &machine)
+{
+    InstructionTable &instrs = machine.instructions();
+    _pcSlotCas = instrs.define("canneal.slot.cas", MemKind::Store, 8);
+    _pcSlotLoad = instrs.define("canneal.slot.load", MemKind::Load, 8);
+    _pcSlotStore = instrs.define("canneal.slot.store", MemKind::Store, 8);
+    _pcCostLoad = instrs.define("canneal.cost.load", MemKind::Load, 8);
+    _pcCostStore = instrs.define("canneal.cost.store", MemKind::Store, 8);
+}
+
+void
+CannealWorkload::main(ThreadApi &api)
+{
+    unsigned threads = _params.threads;
+    // A large netlist spreads the swap traffic thin: real canneal's
+    // contention never concentrates enough per page to cross Tmi's
+    // repair threshold (section 4.5).
+    _slotCount = 131072;
+    _swapsPerThread = 6000 * _params.scale;
+
+    _slots = api.malloc(_slotCount * 8);
+    std::vector<std::uint64_t> init(_slotCount);
+    _expectedSum = 0;
+    for (std::uint64_t i = 0; i < _slotCount; ++i) {
+        init[i] = i + 1;
+        _expectedSum += i + 1;
+    }
+    api.writeBuf(_slots, init.data(), init.size() * 8);
+
+    _costs = api.memalign(lineBytes, lineBytes * threads);
+    api.fill(_costs, 0, lineBytes * threads);
+
+    std::vector<ThreadId> workers;
+    for (unsigned t = 0; t < threads; ++t) {
+        workers.push_back(api.spawn(
+            "canneal-" + std::to_string(t),
+            [this, t](ThreadApi &wapi) { worker(wapi, t); }));
+    }
+    for (ThreadId t : workers)
+        api.join(t);
+}
+
+void
+CannealWorkload::worker(ThreadApi &api, unsigned t)
+{
+    Rng &rng = api.rng();
+    Addr cost_slot = _costs + t * lineBytes;
+
+    for (std::uint64_t i = 0; i < _swapsPerThread; ++i) {
+        std::uint64_t ia = rng.below(_slotCount);
+        std::uint64_t ib = rng.below(_slotCount);
+        if (ia == ib)
+            continue;
+        if (ia > ib)
+            std::swap(ia, ib); // address order avoids deadlock
+        Addr slot_a = _slots + ia * 8;
+        Addr slot_b = _slots + ib * 8;
+
+        // canneal's pointer swap: inline-assembly atomics.
+        api.enterAsm();
+        std::uint64_t va = api.atomicLoad(_pcSlotLoad, slot_a);
+        if (va == sentinel || !api.cas(_pcSlotCas, slot_a, va, sentinel)) {
+            api.exitAsm();
+            --i; // retry the swap
+            continue;
+        }
+        std::uint64_t vb = api.atomicLoad(_pcSlotLoad, slot_b);
+        if (vb == sentinel || !api.cas(_pcSlotCas, slot_b, vb, sentinel)) {
+            // Release the first claim and retry.
+            api.atomicStore(_pcSlotStore, slot_a, va);
+            api.exitAsm();
+            --i;
+            continue;
+        }
+        api.atomicStore(_pcSlotStore, slot_a, vb);
+        api.atomicStore(_pcSlotStore, slot_b, va);
+        api.exitAsm();
+
+        // Annealing cost bookkeeping in padded per-thread slots.
+        std::uint64_t c = api.load(_pcCostLoad, cost_slot);
+        api.store(_pcCostStore, cost_slot, c + (va ^ vb));
+    }
+}
+
+bool
+CannealWorkload::validate(Machine &machine)
+{
+    // The multiset of elements is invariant under correct swaps: the
+    // sum matches and no claim sentinel is left behind.
+    std::uint64_t sum = 0;
+    for (std::uint64_t i = 0; i < _slotCount; ++i) {
+        std::uint64_t v = machine.peekShared(_slots + i * 8, 8);
+        if (v == sentinel)
+            return false;
+        sum += v;
+    }
+    return sum == _expectedSum;
+}
+
+} // namespace tmi

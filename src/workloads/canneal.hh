@@ -1,0 +1,58 @@
+/**
+ * @file
+ * PARSEC canneal's atomic element swaps (Figure 11).
+ *
+ * Threads repeatedly swap two random netlist slots using lock-free
+ * claims built from inline-assembly atomics (canneal's
+ * atomic-pointer implementation): each slot is claimed with a CAS to
+ * a sentinel, both values are exchanged, and the claims released.
+ * Natively this is linearizable, so the multiset of elements -- and
+ * therefore their sum -- is invariant.
+ *
+ * Under a PTSB without code-centric consistency the CAS operates on
+ * the thread's private page copy: two threads can claim the same
+ * slot in their own copies, and the later diff/merge replicates one
+ * element and loses another, exactly the corruption of Figure 11.
+ * With code-centric consistency Tmi runs the asm region directly on
+ * shared memory and the invariant holds.
+ */
+
+#ifndef TMI_WORKLOADS_CANNEAL_HH
+#define TMI_WORKLOADS_CANNEAL_HH
+
+#include "workloads/workload.hh"
+
+namespace tmi
+{
+
+/** PARSEC canneal stand-in focused on its atomic swaps. */
+class CannealWorkload : public Workload
+{
+  public:
+    using Workload::Workload;
+
+    const char *name() const override { return "canneal"; }
+
+    void init(Machine &machine) override;
+    void main(ThreadApi &api) override;
+    bool validate(Machine &machine) override;
+
+  private:
+    void worker(ThreadApi &api, unsigned t);
+
+    Addr _pcSlotCas = 0;
+    Addr _pcSlotLoad = 0;
+    Addr _pcSlotStore = 0;
+    Addr _pcCostLoad = 0;
+    Addr _pcCostStore = 0;
+
+    Addr _slots = 0;   //!< netlist element grid
+    Addr _costs = 0;   //!< per-thread cost accumulators (padded)
+    std::uint64_t _slotCount = 0;
+    std::uint64_t _swapsPerThread = 0;
+    std::uint64_t _expectedSum = 0;
+};
+
+} // namespace tmi
+
+#endif // TMI_WORKLOADS_CANNEAL_HH

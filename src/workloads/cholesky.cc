@@ -1,0 +1,99 @@
+#include "cholesky.hh"
+
+namespace tmi
+{
+
+void
+CholeskyWorkload::init(Machine &machine)
+{
+    InstructionTable &instrs = machine.instructions();
+    _pcScratchLoad = instrs.define("cholesky.scratch.load",
+                                   MemKind::Load, 8);
+    _pcScratchStore = instrs.define("cholesky.scratch.store",
+                                    MemKind::Store, 8);
+    _pcFlagLoad = instrs.define("cholesky.flag.load", MemKind::Load, 8);
+    _pcFlagStore = instrs.define("cholesky.flag.store",
+                                 MemKind::Store, 8);
+    _pcDoneStore = instrs.define("cholesky.done.store",
+                                 MemKind::Store, 8);
+}
+
+void
+CholeskyWorkload::main(ThreadApi &api)
+{
+    unsigned threads = std::max(2u, _params.threads);
+    _phase1Iters = 20000 * _params.scale;
+
+    // Scratch slots (8 B per thread, packed -- the false sharing
+    // that triggers protection) and the volatile flag share a page.
+    _page = api.malloc(256);
+    api.fill(_page, 0, 256);
+    _flag = _page + 8 * threads;
+
+    _done = api.memalign(lineBytes, lineBytes);
+    api.fill(_done, 0, lineBytes);
+
+    _barrier = api.malloc(lineBytes);
+    api.barrierInit(_barrier, threads);
+
+    std::vector<ThreadId> workers;
+    for (unsigned t = 0; t < threads; ++t) {
+        workers.push_back(api.spawn(
+            "cholesky-" + std::to_string(t),
+            [this, t](ThreadApi &wapi) { worker(wapi, t); }));
+    }
+    for (ThreadId t : workers)
+        api.join(t);
+}
+
+void
+CholeskyWorkload::worker(ThreadApi &api, unsigned t)
+{
+    Addr slot = _page + t * 8;
+
+    // Phase 1: false sharing on the packed scratch slots, long
+    // enough for a detector to notice and protect the page.
+    for (std::uint64_t i = 0; i < _phase1Iters; ++i) {
+        std::uint64_t v = api.load(_pcScratchLoad, slot);
+        api.store(_pcScratchStore, slot, v + 1);
+    }
+
+    // Phase 2: volatile-flag handshake with NO synchronization
+    // between the scratch write and the flag accesses. Code-centric
+    // consistency treats the volatile accesses as an asm region.
+    if (t == 0) {
+        std::uint64_t v = api.load(_pcScratchLoad, slot);
+        api.store(_pcScratchStore, slot, v + 1); // page now dirty
+
+        // while (!flag) {} -- simplified from mf.C:135-156.
+        while (true) {
+            api.enterAsm();
+            std::uint64_t f = api.load(_pcFlagLoad, _flag);
+            api.exitAsm();
+            if (f != 0)
+                break;
+            api.compute(500);
+        }
+        api.store(_pcDoneStore, _done, 1);
+    } else if (t == 1) {
+        std::uint64_t v = api.load(_pcScratchLoad, slot);
+        api.store(_pcScratchStore, slot, v + 1);
+
+        api.compute(20000); // let t0 reach the spin first
+        api.enterAsm();
+        api.store(_pcFlagStore, _flag, 1);
+        api.exitAsm();
+    }
+
+    api.barrierWait(_barrier);
+}
+
+bool
+CholeskyWorkload::validate(Machine &machine)
+{
+    // If the handshake hung, the run times out before this; the done
+    // marker is belt-and-braces.
+    return machine.peekShared(_done, 8) == 1;
+}
+
+} // namespace tmi

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * SPLASH-2 cholesky's volatile-flag synchronization (Figure 12).
+ *
+ * Old C code synchronizes with a volatile flag: thread 1 stores to
+ * the flag and thread 0 busy-waits on it. Phase 1 makes every thread
+ * dirty its scratch slot on the flag's page (creating false sharing
+ * that gets the page protected); then, with no intervening
+ * synchronization, thread 0 dirties its slot again and spins reading
+ * the flag while thread 1 sets it.
+ *
+ * Natively the store becomes visible and the loop exits. Under a
+ * PTSB without code-centric consistency thread 1's store sits in its
+ * private copy (and thread 0 reads its own stale copy), so the loop
+ * never exits -- the run times out, reproducing the paper's "sheriff
+ * hangs on cholesky". With code-centric consistency the volatile
+ * accesses are treated as an assembly region and operate on shared
+ * memory directly.
+ */
+
+#ifndef TMI_WORKLOADS_CHOLESKY_HH
+#define TMI_WORKLOADS_CHOLESKY_HH
+
+#include "workloads/workload.hh"
+
+namespace tmi
+{
+
+/** SPLASH-2 cholesky stand-in focused on its flag-based sync. */
+class CholeskyWorkload : public Workload
+{
+  public:
+    using Workload::Workload;
+
+    const char *name() const override { return "cholesky"; }
+
+    void init(Machine &machine) override;
+    void main(ThreadApi &api) override;
+    bool validate(Machine &machine) override;
+
+  private:
+    void worker(ThreadApi &api, unsigned t);
+
+    Addr _pcScratchLoad = 0;
+    Addr _pcScratchStore = 0;
+    Addr _pcFlagLoad = 0;
+    Addr _pcFlagStore = 0;
+    Addr _pcDoneStore = 0;
+
+    Addr _page = 0;    //!< scratch slots + flag, all on one page
+    Addr _flag = 0;
+    Addr _done = 0;    //!< completion marker (padded, separate)
+    Addr _barrier = 0;
+    std::uint64_t _phase1Iters = 0;
+};
+
+} // namespace tmi
+
+#endif // TMI_WORKLOADS_CHOLESKY_HH

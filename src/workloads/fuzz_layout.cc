@@ -1,0 +1,97 @@
+#include "fuzz_layout.hh"
+
+namespace tmi
+{
+
+void
+FuzzLayoutWorkload::init(Machine &machine)
+{
+    InstructionTable &instrs = machine.instructions();
+    _pcLoad = instrs.define("fuzz.load", MemKind::Load, 8);
+    _pcStore = instrs.define("fuzz.store", MemKind::Store, 8);
+}
+
+void
+FuzzLayoutWorkload::main(ThreadApi &api)
+{
+    unsigned threads = std::max(2u, _params.threads);
+    _itersPerThread = 6000 * _params.scale;
+
+    _base = api.memalign(lineBytes, _mix.lines * lineBytes);
+    api.fill(_base, 0, _mix.lines * lineBytes);
+
+    // Deterministic per-seed behaviour assignment.
+    Rng rng(_params.seed * 0x5851f42dULL + 7);
+    _behaviours.clear();
+    for (unsigned i = 0; i < _mix.lines; ++i) {
+        unsigned roll = static_cast<unsigned>(rng.below(100));
+        if (roll < _mix.falseSharedPct)
+            _behaviours.push_back(LineBehaviour::FalseShared);
+        else if (roll < _mix.falseSharedPct + _mix.trueSharedPct)
+            _behaviours.push_back(LineBehaviour::TrueShared);
+        else if (roll < _mix.falseSharedPct + _mix.trueSharedPct +
+                            _mix.privatePct)
+            _behaviours.push_back(LineBehaviour::PrivateHot);
+        else
+            _behaviours.push_back(LineBehaviour::ReadShared);
+    }
+
+    std::vector<ThreadId> workers;
+    for (unsigned t = 0; t < threads; ++t) {
+        workers.push_back(api.spawn(
+            "fuzz-" + std::to_string(t),
+            [this, t](ThreadApi &wapi) { worker(wapi, t); }));
+    }
+    for (ThreadId t : workers)
+        api.join(t);
+}
+
+void
+FuzzLayoutWorkload::worker(ThreadApi &api, unsigned t)
+{
+    Rng &rng = api.rng();
+    const unsigned lines = _mix.lines;
+
+    for (std::uint64_t i = 0; i < _itersPerThread; ++i) {
+        unsigned li = static_cast<unsigned>(rng.below(lines));
+        Addr line = _base + li * lineBytes;
+        switch (_behaviours[li]) {
+          case LineBehaviour::FalseShared: {
+            // Every thread read-modify-writes its own word of the
+            // line: disjoint bytes, maximal coherence conflict.
+            Addr slot = line + 8 * (t % 8);
+            std::uint64_t v = api.load(_pcLoad, slot);
+            api.store(_pcStore, slot, v + 1);
+            break;
+          }
+          case LineBehaviour::TrueShared: {
+            // Everyone read-modify-writes the same word (racy on
+            // purpose: contention is the point, counts are not).
+            std::uint64_t v = api.load(_pcLoad, line);
+            api.store(_pcStore, line, v + 1);
+            break;
+          }
+          case LineBehaviour::PrivateHot: {
+            // Owned by one thread; others skip it.
+            if (t == li % _params.threads) {
+                std::uint64_t v = api.load(_pcLoad, line + 16);
+                api.store(_pcStore, line + 16, v + 1);
+            }
+            break;
+          }
+          case LineBehaviour::ReadShared:
+            api.load(_pcLoad, line + 24);
+            break;
+        }
+    }
+}
+
+bool
+FuzzLayoutWorkload::validate(Machine &machine)
+{
+    (void)machine;
+    // The fuzzer's races are intentional; completion is the check.
+    return true;
+}
+
+} // namespace tmi

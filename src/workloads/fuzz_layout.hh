@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Layout fuzzer: a synthetic workload with *known ground truth* for
+ * measuring detector accuracy.
+ *
+ * The fuzzer lays out a configurable number of cache lines, each
+ * randomly assigned one of four behaviours:
+ *
+ *  - FalseShared: two threads read-modify-write disjoint halves;
+ *  - TrueShared: two threads read-modify-write the same word;
+ *  - PrivateHot: one thread hammers it alone;
+ *  - ReadShared: every thread only reads it.
+ *
+ * Only FalseShared lines should be classified as false sharing and
+ * nominated for repair; everything else is a potential false
+ * positive. Because the generator knows each line's label, the
+ * detector's precision and recall are directly measurable
+ * (bench/detector_accuracy, tests/detect).
+ */
+
+#ifndef TMI_WORKLOADS_FUZZ_LAYOUT_HH
+#define TMI_WORKLOADS_FUZZ_LAYOUT_HH
+
+#include "workloads/workload.hh"
+
+namespace tmi
+{
+
+/** Ground-truth behaviour of one fuzzed line. */
+enum class LineBehaviour : std::uint8_t
+{
+    FalseShared,
+    TrueShared,
+    PrivateHot,
+    ReadShared,
+};
+
+/** Synthetic layout with known sharing behaviour per line. */
+class FuzzLayoutWorkload : public Workload
+{
+  public:
+    /** Mix of behaviours, in percent (rest becomes ReadShared). */
+    struct Mix
+    {
+        unsigned falseSharedPct = 25;
+        unsigned trueSharedPct = 25;
+        unsigned privatePct = 25;
+        unsigned lines = 32;
+    };
+
+    FuzzLayoutWorkload(const WorkloadParams &params, const Mix &mix)
+        : Workload(params), _mix(mix)
+    {}
+
+    const char *name() const override { return "fuzz-layout"; }
+
+    void init(Machine &machine) override;
+    void main(ThreadApi &api) override;
+    bool validate(Machine &machine) override;
+
+    /** Ground truth, indexed by fuzzed line; valid after main(). */
+    const std::vector<LineBehaviour> &groundTruth() const
+    {
+        return _behaviours;
+    }
+
+    /** Simulated byte address of fuzzed line @p i. */
+    Addr lineAddr(std::size_t i) const { return _base + i * lineBytes; }
+
+  private:
+    void worker(ThreadApi &api, unsigned t);
+
+    Mix _mix;
+    Addr _pcLoad = 0;
+    Addr _pcStore = 0;
+    Addr _base = 0;
+    std::vector<LineBehaviour> _behaviours;
+    std::uint64_t _itersPerThread = 0;
+};
+
+} // namespace tmi
+
+#endif // TMI_WORKLOADS_FUZZ_LAYOUT_HH

@@ -1,0 +1,218 @@
+#include "generic_kernel.hh"
+
+namespace tmi
+{
+
+void
+GenericKernelWorkload::init(Machine &machine)
+{
+    InstructionTable &instrs = machine.instructions();
+    std::string base = _spec.name;
+    _pcRead = instrs.define(base + ".read", MemKind::Load, 8);
+    _pcWrite = instrs.define(base + ".write", MemKind::Store, 8);
+    _pcHotLoad = instrs.define(base + ".hot.load", MemKind::Load, 8);
+    _pcHotStore = instrs.define(base + ".hot.store", MemKind::Store, 8);
+    _pcAtomic = instrs.define(base + ".atomic", MemKind::Store, 8);
+    _pcDoneStore = instrs.define(base + ".done", MemKind::Store, 8);
+}
+
+void
+GenericKernelWorkload::main(ThreadApi &api)
+{
+    unsigned threads = _params.threads;
+    _iters = _spec.itersPerThread * _params.scale;
+
+    std::uint64_t total = _spec.footprintKb * 1024;
+    _partBytes = roundDown(total / threads, lineBytes);
+    if (_partBytes < lineBytes)
+        _partBytes = lineBytes;
+    _data = api.memalign(lineBytes, _partBytes * threads);
+    // First-touch initialization by the main thread, page-chunked.
+    api.fill(_data, 1, _partBytes * threads);
+
+    _hot = api.memalign(lineBytes, hotBytes);
+    api.fill(_hot, 0, hotBytes);
+
+    unsigned locks = std::max(1u, _spec.lockCount);
+    if (_spec.sync == KernelSync::CoarseLock ||
+        _spec.sync == KernelSync::FineLocks) {
+        _locks = api.memalign(lineBytes, lineBytes * locks);
+        for (unsigned i = 0; i < locks; ++i)
+            api.mutexInit(_locks + i * lineBytes);
+    }
+    if (_spec.sync == KernelSync::Barrier) {
+        _barrier = api.memalign(lineBytes, lineBytes);
+        api.barrierInit(_barrier, threads);
+    }
+    if (_spec.atomics) {
+        _atomicCtr = api.memalign(lineBytes, lineBytes);
+        api.fill(_atomicCtr, 0, lineBytes);
+    }
+
+    _doneSlots = api.memalign(lineBytes, lineBytes * threads);
+    api.fill(_doneSlots, 0, lineBytes * threads);
+
+    std::vector<ThreadId> workers;
+    for (unsigned t = 0; t < threads; ++t) {
+        workers.push_back(api.spawn(
+            std::string(_spec.name) + "-" + std::to_string(t),
+            [this, t](ThreadApi &wapi) { worker(wapi, t); }));
+    }
+    for (ThreadId t : workers)
+        api.join(t);
+}
+
+void
+GenericKernelWorkload::worker(ThreadApi &api, unsigned t)
+{
+    Rng &rng = api.rng();
+    Addr part = _data + t * _partBytes;
+    std::uint64_t part_slots = _partBytes / 8;
+    std::uint64_t hot_slots = hotBytes / 8;
+    unsigned locks = std::max(1u, _spec.lockCount);
+    std::uint64_t wr_cursor = 0;
+
+    for (std::uint64_t i = 0; i < _iters; ++i) {
+        for (unsigned r = 0; r < _spec.partitionReads; ++r) {
+            if (rng.uniform() < _spec.hotReadFrac) {
+                api.load(_pcHotLoad, _hot + rng.below(hot_slots) * 8);
+            } else {
+                api.load(_pcRead, part + rng.below(part_slots) * 8);
+            }
+        }
+        for (unsigned w = 0; w < _spec.partitionWrites; ++w) {
+            Addr slot = part + (wr_cursor % part_slots) * 8;
+            ++wr_cursor;
+            api.store(_pcWrite, slot, i);
+        }
+        for (unsigned w = 0; w < _spec.hotWrites; ++w) {
+            std::uint64_t idx = rng.below(hot_slots);
+            Addr slot = _hot + idx * 8;
+            if (_spec.sync == KernelSync::FineLocks) {
+                Addr lock = _locks + (idx % locks) * lineBytes;
+                api.mutexLock(lock);
+                std::uint64_t v = api.load(_pcHotLoad, slot);
+                api.store(_pcHotStore, slot, v + 1);
+                api.mutexUnlock(lock);
+            } else {
+                std::uint64_t v = api.load(_pcHotLoad, slot);
+                api.store(_pcHotStore, slot, v + 1);
+            }
+        }
+        if (_spec.computeCycles)
+            api.compute(_spec.computeCycles);
+
+        if (_spec.allocEvery && i % _spec.allocEvery == 0) {
+            // Allocation churn (dedup/wordcount-style): the arena
+            // policy and per-op cost of the allocator show up here.
+            Addr scratch = api.malloc(48);
+            api.store(_pcWrite, scratch, i);
+            api.free(scratch);
+        }
+
+        if (_spec.atomics && i % 16 == 0)
+            api.fetchAdd(_pcAtomic, _atomicCtr, 1, MemOrder::SeqCst);
+
+        if (_spec.asmRegions && i % 8 == 0) {
+            // e.g. openssl's SHA rounds in dedup: compute inside an
+            // inline-assembly region.
+            api.enterAsm();
+            api.compute(180);
+            api.exitAsm();
+        }
+
+        if (_spec.syncEvery && i % _spec.syncEvery == 0) {
+            switch (_spec.sync) {
+              case KernelSync::CoarseLock: {
+                api.mutexLock(_locks);
+                std::uint64_t v = api.load(_pcHotLoad, _hot);
+                api.store(_pcHotStore, _hot, v + 1);
+                api.mutexUnlock(_locks);
+                break;
+              }
+              case KernelSync::Barrier:
+                api.barrierWait(_barrier);
+                break;
+              case KernelSync::FineLocks:
+              case KernelSync::None:
+                break;
+            }
+        }
+    }
+    api.store(_pcDoneStore, _doneSlots + t * lineBytes, _iters);
+}
+
+bool
+GenericKernelWorkload::validate(Machine &machine)
+{
+    std::uint64_t total = 0;
+    for (unsigned t = 0; t < _params.threads; ++t)
+        total += machine.peekShared(_doneSlots + t * lineBytes, 8);
+    return total == _iters * _params.threads;
+}
+
+const std::vector<KernelSpec> &
+kernelSpecs()
+{
+    // Footprints are scaled-down stand-ins for the native inputs;
+    // the *relative* footprint classes match the paper (ocean-ncp
+    // largest; canneal/reverse/fft/fmm/radix page-fault heavy,
+    // section 4.4). lockCount models sync-object populations
+    // (fluidanimate and water-spatial use fine-grained locks, which
+    // drives their Figure 8 memory overhead).
+    static const std::vector<KernelSpec> specs = {
+        {"blackscholes", 512, 6000, 4, 0.00, 2, 0, 120,
+         KernelSync::None, 0, 1, 0, false, false},
+        {"bodytrack", 1024, 4000, 4, 0.05, 2, 0, 90,
+         KernelSync::Barrier, 128, 1, 0, false, false},
+        {"dedup", 2048, 3500, 4, 0.05, 1, 1, 60,
+         KernelSync::CoarseLock, 8, 1, 4, false, true},
+        {"facesim", 1024, 4000, 5, 0.02, 3, 0, 110,
+         KernelSync::Barrier, 256, 1, 0, false, false},
+        {"ferret", 768, 3500, 4, 0.08, 1, 1, 80,
+         KernelSync::CoarseLock, 16, 1, 8, false, false},
+        {"fluidanimate", 1024, 3000, 3, 0.04, 2, 2, 50,
+         KernelSync::FineLocks, 0, 2048, 0, false, false},
+        {"streamcluster", 768, 4500, 6, 0.10, 1, 0, 70,
+         KernelSync::Barrier, 64, 1, 0, false, false},
+        {"swaptions", 256, 6000, 4, 0.00, 2, 0, 140,
+         KernelSync::None, 0, 1, 0, false, false},
+        {"kmeans", 512, 4000, 5, 0.15, 2, 2, 60,
+         KernelSync::Barrier, 200, 1, 0, false, false},
+        {"matrix", 768, 5000, 6, 0.00, 2, 0, 50,
+         KernelSync::None, 0, 1, 0, false, false},
+        {"pca", 512, 4500, 5, 0.02, 1, 0, 70,
+         KernelSync::Barrier, 512, 1, 0, false, false},
+        {"reverse", 16384, 9000, 3, 0.04, 3, 1, 40,
+         KernelSync::FineLocks, 0, 256, 6, false, false},
+        {"wordcount", 768, 4500, 4, 0.03, 2, 0, 50,
+         KernelSync::CoarseLock, 512, 1, 4, false, false},
+        {"barnes", 1024, 3500, 5, 0.08, 2, 1, 80,
+         KernelSync::FineLocks, 0, 128, 24, false, false},
+        {"fft", 12288, 9000, 4, 0.02, 3, 0, 60,
+         KernelSync::Barrier, 128, 1, 0, false, false},
+        {"fmm", 10240, 9000, 4, 0.05, 2, 1, 70,
+         KernelSync::FineLocks, 0, 256, 32, false, false},
+        {"lu-cb", 768, 4000, 4, 0.03, 2, 0, 60,
+         KernelSync::Barrier, 96, 1, 0, false, false},
+        {"ocean-cp", 8192, 9000, 5, 0.04, 3, 0, 50,
+         KernelSync::Barrier, 64, 1, 0, false, false},
+        {"ocean-ncp", 20480, 9000, 5, 0.04, 3, 0, 50,
+         KernelSync::Barrier, 64, 1, 0, false, false},
+        {"radiosity", 1024, 3500, 4, 0.06, 2, 1, 70,
+         KernelSync::FineLocks, 0, 192, 16, false, false},
+        {"radix", 14336, 9000, 3, 0.02, 4, 0, 40,
+         KernelSync::Barrier, 96, 1, 0, false, false},
+        {"raytrace", 1024, 3500, 6, 0.05, 1, 0, 90,
+         KernelSync::None, 0, 1, 32, false, false},
+        {"volrend", 768, 3500, 5, 0.05, 1, 1, 80,
+         KernelSync::FineLocks, 0, 64, 24, false, false},
+        {"water-nsquare", 768, 3500, 4, 0.04, 2, 1, 70,
+         KernelSync::Barrier, 160, 1, 0, false, false},
+        {"water-spatial", 768, 3500, 4, 0.04, 2, 1, 70,
+         KernelSync::FineLocks, 0, 1536, 0, false, false},
+    };
+    return specs;
+}
+
+} // namespace tmi

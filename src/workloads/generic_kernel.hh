@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Parameterized kernels standing in for the PARSEC / Phoenix /
+ * SPLASH-2x programs without repairable false sharing (the Figure
+ * 7/8/10 overhead set).
+ *
+ * Each program is described by a KernelSpec capturing the properties
+ * that matter to Tmi: memory footprint class, read/write mix,
+ * synchronization style and frequency (coarse lock, many fine locks,
+ * barriers), hot-data true sharing, atomics, and inline-assembly
+ * regions. These are not ports of the originals -- they reproduce
+ * the sharing-relevant behaviour the paper names for each program
+ * (e.g. fluidanimate's thousands of fine-grained locks, dedup's
+ * openssl asm regions, ocean's huge grids that stress paging).
+ */
+
+#ifndef TMI_WORKLOADS_GENERIC_KERNEL_HH
+#define TMI_WORKLOADS_GENERIC_KERNEL_HH
+
+#include "workloads/workload.hh"
+
+namespace tmi
+{
+
+/** Synchronization style of a kernel. */
+enum class KernelSync
+{
+    None,       //!< embarrassingly parallel, join only
+    CoarseLock, //!< one global lock (queues, pipelines)
+    FineLocks,  //!< many small locks (fluidanimate, fmm)
+    Barrier,    //!< iterative barrier phases (SPLASH kernels)
+};
+
+/** Static description of one stand-in program. */
+struct KernelSpec
+{
+    const char *name;
+    /** Shared-data footprint in KB (scaled-down from the original). */
+    std::uint64_t footprintKb = 2048;
+    /** Work-loop iterations per thread (multiplied by scale). */
+    std::uint64_t itersPerThread = 4000;
+    /** Reads per iteration from this thread's partition. */
+    unsigned partitionReads = 4;
+    /** Fraction of reads redirected at the shared hot region. */
+    double hotReadFrac = 0.05;
+    /** Writes per iteration into this thread's partition. */
+    unsigned partitionWrites = 2;
+    /** Read-modify-writes on the hot region per iteration
+     *  (true sharing; 0 for clean data-parallel codes). */
+    unsigned hotWrites = 0;
+    /** Pure compute cycles per iteration. */
+    unsigned computeCycles = 60;
+    KernelSync sync = KernelSync::None;
+    /** Sync operation every N iterations. */
+    unsigned syncEvery = 64;
+    /** Lock count for FineLocks (memory overhead driver). */
+    unsigned lockCount = 1;
+    /** malloc/free a scratch object every N iterations (0 = never);
+     *  dedup/wordcount/reverse-style allocation churn. */
+    unsigned allocEvery = 0;
+    /** Occasional seq_cst atomics (canneal/leveldb-style). */
+    bool atomics = false;
+    /** Occasional inline-assembly regions (dedup's openssl). */
+    bool asmRegions = false;
+};
+
+/** A workload driven by a KernelSpec. */
+class GenericKernelWorkload : public Workload
+{
+  public:
+    GenericKernelWorkload(const WorkloadParams &params,
+                          const KernelSpec &spec)
+        : Workload(params), _spec(spec)
+    {}
+
+    const char *name() const override { return _spec.name; }
+
+    void init(Machine &machine) override;
+    void main(ThreadApi &api) override;
+    bool validate(Machine &machine) override;
+
+  private:
+    void worker(ThreadApi &api, unsigned t);
+
+    KernelSpec _spec;
+    Addr _pcRead = 0;
+    Addr _pcWrite = 0;
+    Addr _pcHotLoad = 0;
+    Addr _pcHotStore = 0;
+    Addr _pcAtomic = 0;
+    Addr _pcDoneStore = 0;
+
+    Addr _data = 0;      //!< partitioned shared data
+    Addr _hot = 0;       //!< small hot region (true sharing)
+    Addr _locks = 0;     //!< lock array (padded)
+    Addr _barrier = 0;
+    Addr _atomicCtr = 0;
+    Addr _doneSlots = 0; //!< per-thread padded completion counters
+    std::uint64_t _partBytes = 0;
+    std::uint64_t _iters = 0;
+
+    static constexpr std::uint64_t hotBytes = 512;
+};
+
+/** Specs for every stand-in program, in Figure 7 order. */
+const std::vector<KernelSpec> &kernelSpecs();
+
+} // namespace tmi
+
+#endif // TMI_WORKLOADS_GENERIC_KERNEL_HH

@@ -1,0 +1,148 @@
+#include "histogram.hh"
+
+namespace tmi
+{
+
+void
+HistogramWorkload::init(Machine &machine)
+{
+    InstructionTable &instrs = machine.instructions();
+    _pcPixelLoad = instrs.define("histogram.pixel.load",
+                                 MemKind::Load, 4);
+    _pcCountLoad = instrs.define("histogram.count.load",
+                                 MemKind::Load, 4);
+    _pcCountStore = instrs.define("histogram.count.store",
+                                  MemKind::Store, 4);
+    _pcStageStore = instrs.define("histogram.stage.store",
+                                  MemKind::Store, 8);
+    _pcOutStore = instrs.define("histogram.out.store",
+                                MemKind::Store, 8);
+}
+
+void
+HistogramWorkload::main(ThreadApi &api)
+{
+    unsigned threads = _params.threads;
+    _pixelsPerThread = 24000 * _params.scale;
+    _totalPixels = _pixelsPerThread * threads;
+
+    // Counter layout: 768 u32 counters per thread.
+    std::uint64_t block = 768 * 4;
+    if (_params.manualFix) {
+        _rowBytes = roundUp(block, lineBytes);
+        _counts = api.memalign(lineBytes, _rowBytes * threads);
+    } else {
+        // Unpadded rows; the 8-byte skew recreates the mis-aligned
+        // allocation the paper forces to expose the bug.
+        _rowBytes = block;
+        _counts = api.malloc(_rowBytes * threads + 8) + 8;
+    }
+    api.fill(_counts, 0, _rowBytes * threads);
+
+    // Map-phase intermediate output: one u32 per pixel, written by
+    // the owning thread. No false sharing (page-aligned partitions),
+    // but an indiscriminate PTSB pays twin+diff for every output
+    // page at every barrier -- the section 4.3 effect.
+    _output = api.memalign(smallPageBytes,
+                           roundUp(_totalPixels * 8, smallPageBytes));
+
+    // Per-thread staging buffers for the chunked reduce phase: two
+    // pages each, disjoint and line-aligned -- no false sharing, but
+    // an indiscriminate (PTSB-everywhere) repair pays twin+diff for
+    // them at every barrier.
+    _stageBytes = 2 * smallPageBytes;
+    _staging = api.memalign(smallPageBytes, _stageBytes * threads);
+    api.fill(_staging, 0, _stageBytes * threads);
+
+    _barrier = api.malloc(lineBytes);
+    api.barrierInit(_barrier, threads);
+
+    // Input image. The standard input is a natural image: clipped
+    // shadows and highlights put ~25% of pixels in the extreme bins,
+    // so some increments land on the row-boundary lines. The "fs"
+    // input is crafted so nearly every pixel does.
+    _pixels = api.malloc(_totalPixels * 4);
+    Rng &rng = api.rng();
+    std::vector<std::uint32_t> img(_totalPixels);
+    for (auto &px : img) {
+        if (_fsInput) {
+            std::uint32_t g = static_cast<std::uint32_t>(rng.below(4));
+            px = (0u) | (g << 8) | (255u << 16);
+        } else if (rng.chance(0.25)) {
+            // Clipped pixel: dark red channel, blown-out blue.
+            std::uint32_t r = static_cast<std::uint32_t>(rng.below(3));
+            std::uint32_t g = static_cast<std::uint32_t>(rng.below(256));
+            std::uint32_t b = 253 + static_cast<std::uint32_t>(
+                                        rng.below(3));
+            px = r | (g << 8) | (b << 16);
+        } else {
+            px = static_cast<std::uint32_t>(rng.next());
+        }
+    }
+    api.writeBuf(_pixels, img.data(), img.size() * 4);
+
+    std::vector<ThreadId> workers;
+    for (unsigned t = 0; t < threads; ++t) {
+        workers.push_back(api.spawn(
+            "histogram-" + std::to_string(t),
+            [this, t](ThreadApi &wapi) { worker(wapi, t); }));
+    }
+    for (ThreadId t : workers)
+        api.join(t);
+}
+
+void
+HistogramWorkload::worker(ThreadApi &api, unsigned t)
+{
+    Addr my_counts = _counts + t * _rowBytes;
+    Addr my_pixels = _pixels + t * _pixelsPerThread * 4;
+    Addr my_stage = _staging + t * _stageBytes;
+
+    std::uint64_t per_chunk = _pixelsPerThread / chunks;
+    std::uint64_t stage_slots = _stageBytes / 8;
+
+    for (unsigned c = 0; c < chunks; ++c) {
+        std::uint64_t base = c * per_chunk;
+        std::uint64_t end = (c == chunks - 1) ? _pixelsPerThread
+                                              : base + per_chunk;
+        for (std::uint64_t i = base; i < end; ++i) {
+            auto px = static_cast<std::uint32_t>(
+                api.load(_pcPixelLoad, my_pixels + i * 4));
+            unsigned r = px & 0xff;
+            unsigned g = (px >> 8) & 0xff;
+            unsigned b = (px >> 16) & 0xff;
+            // Map-phase intermediate emit (key-value pair).
+            api.store(_pcOutStore,
+                      _output + (t * _pixelsPerThread + i) * 8,
+                      (static_cast<std::uint64_t>(px) << 32) | i);
+            for (unsigned chan = 0; chan < 3; ++chan) {
+                unsigned idx =
+                    chan * 256 + (chan == 0 ? r : chan == 1 ? g : b);
+                Addr slot = my_counts + idx * 4;
+                std::uint64_t v = api.load(_pcCountLoad, slot);
+                api.store(_pcCountStore, slot, v + 1);
+            }
+        }
+        // Emit this chunk's intermediate results into the private
+        // staging buffer (map-reduce style), then synchronize.
+        for (std::uint64_t s = 0; s < stage_slots; s += 8)
+            api.store(_pcStageStore, my_stage + s * 8, c + s);
+        api.barrierWait(_barrier);
+    }
+}
+
+bool
+HistogramWorkload::validate(Machine &machine)
+{
+    // Every pixel contributes one count per channel per thread.
+    std::uint64_t total = 0;
+    for (unsigned t = 0; t < _params.threads; ++t) {
+        for (unsigned idx = 0; idx < 768; ++idx) {
+            total += machine.peekShared(
+                _counts + t * _rowBytes + idx * 4, 4);
+        }
+    }
+    return total == _totalPixels * 3;
+}
+
+} // namespace tmi

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Phoenix histogram, with its known false sharing bug.
+ *
+ * Each thread scans a chunk of RGB pixels and increments its own
+ * 768-counter block (256 per channel). The counter blocks for all
+ * threads live in one allocation whose rows are not padded to cache
+ * lines -- and the allocation is 8-byte skewed like the paper's
+ * forced mis-alignment -- so the line at each row boundary is shared
+ * between adjacent threads.
+ *
+ * The standard input (uniform random pixels) touches boundary
+ * counters occasionally; the "fs" input concentrates pixel values on
+ * r=0 / b=255 so adjacent threads hammer exactly the boundary line,
+ * accentuating the bug (the paper's histogramfs image).
+ *
+ * The manual fix pads each thread's block to a cache-line multiple
+ * and aligns the allocation.
+ */
+
+#ifndef TMI_WORKLOADS_HISTOGRAM_HH
+#define TMI_WORKLOADS_HISTOGRAM_HH
+
+#include "workloads/workload.hh"
+
+namespace tmi
+{
+
+/** Phoenix histogram (standard or FS-accentuating input). */
+class HistogramWorkload : public Workload
+{
+  public:
+    HistogramWorkload(const WorkloadParams &params, bool fs_input)
+        : Workload(params), _fsInput(fs_input)
+    {}
+
+    const char *
+    name() const override
+    {
+        return _fsInput ? "histogramfs" : "histogram";
+    }
+
+    void init(Machine &machine) override;
+    void main(ThreadApi &api) override;
+    bool validate(Machine &machine) override;
+
+  private:
+    void worker(ThreadApi &api, unsigned t);
+
+    bool _fsInput;
+    Addr _pcPixelLoad = 0;
+    Addr _pcCountLoad = 0;
+    Addr _pcCountStore = 0;
+    Addr _pcStageStore = 0;
+    Addr _pcOutStore = 0;
+
+    /** Map-reduce chunks; a barrier separates them. */
+    static constexpr unsigned chunks = 8;
+
+    Addr _pixels = 0;      //!< u32 packed rgb per pixel
+    Addr _counts = 0;      //!< per-thread counter blocks
+    Addr _output = 0;      //!< map-phase intermediate output
+    Addr _staging = 0;     //!< per-thread reduce staging (paged)
+    Addr _barrier = 0;
+    std::uint64_t _pixelsPerThread = 0;
+    std::uint64_t _rowBytes = 0; //!< stride between thread blocks
+    std::uint64_t _stageBytes = 0;
+    std::uint64_t _totalPixels = 0;
+};
+
+} // namespace tmi
+
+#endif // TMI_WORKLOADS_HISTOGRAM_HH

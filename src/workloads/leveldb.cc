@@ -1,0 +1,263 @@
+#include "leveldb.hh"
+
+namespace tmi
+{
+
+namespace
+{
+constexpr std::uint64_t emptyKey = 0;
+/// Compaction's claim marker; no real key uses it.
+constexpr std::uint64_t claimKey = ~std::uint64_t{0};
+/// Keyspace is larger than the table so probe chains overlap.
+constexpr std::uint64_t keySpace = 1024;
+
+std::uint64_t
+hashKey(std::uint64_t key)
+{
+    key ^= key >> 33;
+    key *= 0xff51afd7ed558ccdULL;
+    key ^= key >> 33;
+    return key;
+}
+
+std::uint64_t
+valueFor(std::uint64_t key)
+{
+    return key * 31 + 1;
+}
+} // namespace
+
+void
+LevelDbWorkload::init(Machine &machine)
+{
+    InstructionTable &instrs = machine.instructions();
+    _pcSlotKeyLoad = instrs.define("leveldb.slot.key.load",
+                                   MemKind::Load, 8);
+    _pcSlotKeyCas = instrs.define("leveldb.slot.key.cas",
+                                  MemKind::Store, 8);
+    _pcSlotValLoad = instrs.define("leveldb.slot.val.load",
+                                   MemKind::Load, 8);
+    _pcSlotValStore = instrs.define("leveldb.slot.val.store",
+                                    MemKind::Store, 8);
+    _pcCountLoad = instrs.define("leveldb.count.load", MemKind::Load, 8);
+    _pcCountStore = instrs.define("leveldb.count.store",
+                                  MemKind::Store, 8);
+    _pcVersionLoad = instrs.define("leveldb.version.load",
+                                   MemKind::Load, 8);
+    _pcVersionCas = instrs.define("leveldb.version.cas",
+                                  MemKind::Store, 8);
+    _pcQueueStore = instrs.define("leveldb.queue.store",
+                                  MemKind::Store, 8);
+    _pcQueueLoad = instrs.define("leveldb.queue.load", MemKind::Load, 8);
+}
+
+void
+LevelDbWorkload::main(ThreadApi &api)
+{
+    unsigned threads = _params.threads;
+    _opsPerThread = 12000 * _params.scale;
+    _buckets = 2048;
+
+    _table = api.malloc(_buckets * 16);
+    api.fill(_table, 0, _buckets * 16);
+
+    // The injected bug: per-thread stat counters (ops, bytes,
+    // micros) packed back to back -- 24 bytes per thread, so up to
+    // two threads and a neighbour's counters share each line.
+    // Manual fix: one cache line per thread.
+    _counterStride = _params.manualFix ? lineBytes : statSlots * 8;
+    _counters = _params.manualFix
+                    ? api.memalign(lineBytes, _counterStride * threads)
+                    : api.malloc(_counterStride * threads + 8) + 8;
+    api.fill(_counters, 0, _counterStride * threads);
+
+    _version = api.memalign(lineBytes, lineBytes);
+    api.fill(_version, 0, lineBytes);
+
+    _queue = api.memalign(lineBytes, queueSlots * 8);
+    api.fill(_queue, 0, queueSlots * 8);
+    _queueLock = api.memalign(lineBytes, lineBytes);
+    api.mutexInit(_queueLock);
+
+    std::vector<ThreadId> workers;
+    for (unsigned t = 0; t < threads; ++t) {
+        workers.push_back(api.spawn(
+            "leveldb-" + std::to_string(t),
+            [this, t](ThreadApi &wapi) { worker(wapi, t); }));
+    }
+    for (ThreadId t : workers)
+        api.join(t);
+}
+
+void
+LevelDbWorkload::put(ThreadApi &api, std::uint64_t key,
+                     std::uint64_t value)
+{
+    std::uint64_t bucket = hashKey(key) & (_buckets - 1);
+    // Lock-free put-if-absent, like a memtable skiplist insert:
+    // probe with relaxed atomic loads, claim an empty slot with a
+    // CAS, publish the value exactly once. Code-centric consistency
+    // services the relaxed operations without any PTSB flush.
+    for (std::uint64_t probe = 0; probe < _buckets; ++probe) {
+        Addr slot = _table + ((bucket + probe) & (_buckets - 1)) * 16;
+        std::uint64_t k = api.atomicLoad(_pcSlotKeyLoad, slot,
+                                         MemOrder::Relaxed);
+        if (k == key)
+            break; // already present; values never change
+        if (k == emptyKey) {
+            if (api.cas(_pcSlotKeyCas, slot, emptyKey, key,
+                        MemOrder::SeqCst)) {
+                api.atomicStore(_pcSlotValStore, slot + 8, value,
+                                MemOrder::Relaxed);
+                break;
+            }
+            // Lost the claim race: re-check this slot.
+            --probe;
+            continue;
+        }
+    }
+}
+
+std::uint64_t
+LevelDbWorkload::get(ThreadApi &api, std::uint64_t key)
+{
+    std::uint64_t bucket = hashKey(key) & (_buckets - 1);
+    std::uint64_t value = 0;
+    for (std::uint64_t probe = 0; probe < _buckets; ++probe) {
+        Addr slot = _table + ((bucket + probe) & (_buckets - 1)) * 16;
+        std::uint64_t k = api.atomicLoad(_pcSlotKeyLoad, slot,
+                                         MemOrder::Relaxed);
+        if (k == emptyKey)
+            break;
+        if (k == key) {
+            value = api.atomicLoad(_pcSlotValLoad, slot + 8,
+                                   MemOrder::Relaxed);
+            break;
+        }
+    }
+    return value;
+}
+
+void
+LevelDbWorkload::compactionSwap(ThreadApi &api, Rng &rng)
+{
+    // Background compaction relocates entries: claim two slots with
+    // the asm-atomic protocol, exchange them, release.
+    std::uint64_t ia = rng.below(_buckets);
+    std::uint64_t ib = rng.below(_buckets);
+    if (ia == ib)
+        return;
+    if (ia > ib)
+        std::swap(ia, ib);
+    Addr slot_a = _table + ia * 16;
+    Addr slot_b = _table + ib * 16;
+
+    api.enterAsm();
+    // Only fully published entries move: a nonzero value means the
+    // inserting put has completed, and values are immutable after
+    // publication, so the claimed entries are stable.
+    std::uint64_t ka = api.atomicLoad(_pcSlotKeyLoad, slot_a,
+                                      MemOrder::Relaxed);
+    std::uint64_t va = api.atomicLoad(_pcSlotValLoad, slot_a + 8,
+                                      MemOrder::Relaxed);
+    if (ka == claimKey || ka == emptyKey || va == 0 ||
+        !api.cas(_pcSlotKeyCas, slot_a, ka, claimKey)) {
+        api.exitAsm();
+        return;
+    }
+    std::uint64_t kb = api.atomicLoad(_pcSlotKeyLoad, slot_b,
+                                      MemOrder::Relaxed);
+    std::uint64_t vb = api.atomicLoad(_pcSlotValLoad, slot_b + 8,
+                                      MemOrder::Relaxed);
+    if (kb == claimKey || kb == emptyKey || vb == 0 ||
+        !api.cas(_pcSlotKeyCas, slot_b, kb, claimKey)) {
+        api.atomicStore(_pcSlotKeyCas, slot_a, ka); // release
+        api.exitAsm();
+        return;
+    }
+    api.atomicStore(_pcSlotValStore, slot_a + 8, vb,
+                    MemOrder::Relaxed);
+    api.atomicStore(_pcSlotValStore, slot_b + 8, va,
+                    MemOrder::Relaxed);
+    api.atomicStore(_pcSlotKeyCas, slot_a, kb);
+    api.atomicStore(_pcSlotKeyCas, slot_b, ka);
+    api.exitAsm();
+}
+
+void
+LevelDbWorkload::bumpCounters(ThreadApi &api, unsigned t,
+                              std::uint64_t bytes)
+{
+    // The injected bug: three plain read-modify-writes per
+    // operation on the packed per-thread stat counters.
+    Addr base = _counters + t * _counterStride;
+    std::uint64_t deltas[statSlots] = {1, bytes, 7};
+    for (unsigned s = 0; s < statSlots; ++s) {
+        Addr slot = base + s * 8;
+        std::uint64_t v = api.load(_pcCountLoad, slot);
+        api.store(_pcCountStore, slot, v + deltas[s]);
+    }
+}
+
+void
+LevelDbWorkload::worker(ThreadApi &api, unsigned t)
+{
+    Rng &rng = api.rng();
+    for (std::uint64_t i = 0; i < _opsPerThread; ++i) {
+        std::uint64_t key = 1 + rng.below(keySpace);
+        if (rng.chance(0.1))
+            put(api, key, valueFor(key));
+        else
+            (void)get(api, key);
+        bumpCounters(api, t, 16);
+
+        if (i % 64 == 0) {
+            // Version check on the read path (asm atomics).
+            api.enterAsm();
+            api.atomicLoad(_pcVersionLoad, _version,
+                           MemOrder::Relaxed);
+            api.exitAsm();
+        }
+        if (t == 0 && i % 128 == 0)
+            compactionSwap(api, rng);
+
+        if (i % 32 == 0) {
+            // Group-commit write queue: heavily synchronized, true
+            // sharing under the queue lock.
+            api.mutexLock(_queueLock);
+            Addr slot = _queue + (i % queueSlots) * 8;
+            std::uint64_t old = api.load(_pcQueueLoad, slot);
+            api.store(_pcQueueStore, slot, old + key);
+            api.mutexUnlock(_queueLock);
+        }
+    }
+}
+
+bool
+LevelDbWorkload::validate(Machine &machine)
+{
+    // The injected op counters must account for every operation.
+    std::uint64_t total = 0;
+    for (unsigned t = 0; t < _params.threads; ++t)
+        total += machine.peekShared(_counters + t * _counterStride, 8);
+    if (total != _opsPerThread * _params.threads)
+        return false;
+
+    // Table invariants: no claim marker left behind; every stored
+    // key is a real key and its value is consistent with it. (A key
+    // may legitimately appear twice if a put raced a compaction
+    // relocation, but both copies must carry the right value.)
+    for (std::uint64_t b = 0; b < _buckets; ++b) {
+        std::uint64_t k = machine.peekShared(_table + b * 16, 8);
+        if (k == emptyKey)
+            continue;
+        if (k == claimKey || k > keySpace)
+            return false;
+        std::uint64_t v = machine.peekShared(_table + b * 16 + 8, 8);
+        if (v != valueFor(k))
+            return false;
+    }
+    return true;
+}
+
+} // namespace tmi

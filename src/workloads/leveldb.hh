@@ -1,0 +1,78 @@
+/**
+ * @file
+ * A miniature leveldb-like key-value store (the paper's real-world
+ * workload), with the injected false sharing bug.
+ *
+ * Like real leveldb, the memtable read/insert paths are lock-free:
+ * gets traverse with relaxed atomic loads and puts claim slots with
+ * CAS, both implemented with leveldb's inline-assembly atomic
+ * pointers (asm regions). A background "compaction" (thread 0)
+ * relocates entries with the same claim protocol. Writes also pass
+ * through a heavily synchronized group-commit queue (the std::deque
+ * the paper found minor, true-sharing-dominated contention in).
+ *
+ * The injected bug matches the paper's: each thread keeps per-thread
+ * stats (ops, bytes, micros) that the buggy version packs into
+ * adjacent cache lines; the manual fix pads them.
+ *
+ * The lock-free CAS protocol is exactly what a Sheriff-style PTSB
+ * breaks: claims made on private page copies collide and the merge
+ * interleaves keys and values from different puts.
+ */
+
+#ifndef TMI_WORKLOADS_LEVELDB_HH
+#define TMI_WORKLOADS_LEVELDB_HH
+
+#include "workloads/workload.hh"
+
+namespace tmi
+{
+
+/** leveldb-mini with injected per-thread counter false sharing. */
+class LevelDbWorkload : public Workload
+{
+  public:
+    using Workload::Workload;
+
+    const char *name() const override { return "leveldb"; }
+
+    void init(Machine &machine) override;
+    void main(ThreadApi &api) override;
+    bool validate(Machine &machine) override;
+
+  private:
+    void worker(ThreadApi &api, unsigned t);
+    void put(ThreadApi &api, std::uint64_t key, std::uint64_t value);
+    std::uint64_t get(ThreadApi &api, std::uint64_t key);
+    void compactionSwap(ThreadApi &api, Rng &rng);
+    void bumpCounters(ThreadApi &api, unsigned t,
+                      std::uint64_t bytes);
+
+    Addr _pcSlotKeyLoad = 0;
+    Addr _pcSlotKeyCas = 0;
+    Addr _pcSlotValLoad = 0;
+    Addr _pcSlotValStore = 0;
+    Addr _pcCountLoad = 0;
+    Addr _pcCountStore = 0;
+    Addr _pcVersionLoad = 0;
+    Addr _pcVersionCas = 0;
+    Addr _pcQueueStore = 0;
+    Addr _pcQueueLoad = 0;
+
+    static constexpr std::uint64_t queueSlots = 64;
+    /** Per-thread stat counters: ops, bytes, micros. */
+    static constexpr unsigned statSlots = 3;
+
+    Addr _table = 0;       //!< (key, value) u64 pairs
+    Addr _counters = 0;    //!< per-thread stat counters (the bug)
+    Addr _version = 0;     //!< atomic version (asm region)
+    Addr _queue = 0;       //!< group-commit write queue ring
+    Addr _queueLock = 0;
+    std::uint64_t _buckets = 0;
+    std::uint64_t _counterStride = 0;
+    std::uint64_t _opsPerThread = 0;
+};
+
+} // namespace tmi
+
+#endif // TMI_WORKLOADS_LEVELDB_HH

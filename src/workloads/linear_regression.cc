@@ -1,0 +1,99 @@
+#include "linear_regression.hh"
+
+namespace tmi
+{
+
+namespace
+{
+/// Field offsets within one args slot (all u64).
+constexpr unsigned fieldSX = 0;
+constexpr unsigned fieldSY = 8;
+constexpr unsigned fieldSXX = 16;
+constexpr unsigned fieldSYY = 24;
+constexpr unsigned fieldSXY = 32;
+constexpr unsigned fieldCount = 40;
+constexpr std::uint64_t slotPayload = 48;
+} // namespace
+
+void
+LinearRegressionWorkload::init(Machine &machine)
+{
+    InstructionTable &instrs = machine.instructions();
+    _pcPointLoad = instrs.define("lreg.point.load", MemKind::Load, 8);
+    _pcSumLoad = instrs.define("lreg.sum.load", MemKind::Load, 8);
+    _pcSumStore = instrs.define("lreg.sum.store", MemKind::Store, 8);
+}
+
+void
+LinearRegressionWorkload::main(ThreadApi &api)
+{
+    unsigned threads = _params.threads;
+    _pointsPerThread = 40000 * _params.scale;
+    _expectedCount = _pointsPerThread * threads;
+
+    if (_params.manualFix) {
+        _slotBytes = roundUp(slotPayload, lineBytes);
+        _args = api.memalign(lineBytes, _slotBytes * threads);
+    } else {
+        _slotBytes = slotPayload;
+        _args = api.malloc(_slotBytes * threads + 8) + 8;
+    }
+    api.fill(_args, 0, _slotBytes * threads);
+
+    _points = api.malloc(_expectedCount * 8);
+    Rng &rng = api.rng();
+    std::vector<std::uint64_t> pts(_expectedCount);
+    for (auto &p : pts) {
+        std::uint64_t x = rng.below(1000);
+        std::uint64_t y = 3 * x + rng.below(50);
+        p = (x << 32) | y;
+    }
+    api.writeBuf(_points, pts.data(), pts.size() * 8);
+
+    std::vector<ThreadId> workers;
+    for (unsigned t = 0; t < threads; ++t) {
+        workers.push_back(api.spawn(
+            "lreg-" + std::to_string(t),
+            [this, t](ThreadApi &wapi) { worker(wapi, t); }));
+    }
+    for (ThreadId t : workers)
+        api.join(t);
+}
+
+void
+LinearRegressionWorkload::worker(ThreadApi &api, unsigned t)
+{
+    Addr slot = _args + t * _slotBytes;
+    Addr my_points = _points + t * _pointsPerThread * 8;
+
+    auto bump = [&](unsigned field, std::uint64_t delta) {
+        Addr a = slot + field;
+        std::uint64_t v = api.load(_pcSumLoad, a);
+        api.store(_pcSumStore, a, v + delta);
+    };
+
+    for (std::uint64_t i = 0; i < _pointsPerThread; ++i) {
+        std::uint64_t p = api.load(_pcPointLoad, my_points + i * 8);
+        std::uint64_t x = p >> 32;
+        std::uint64_t y = p & 0xffffffffu;
+        bump(fieldSX, x);
+        bump(fieldSY, y);
+        bump(fieldSXX, x * x);
+        bump(fieldSYY, y * y);
+        bump(fieldSXY, x * y);
+        bump(fieldCount, 1);
+    }
+}
+
+bool
+LinearRegressionWorkload::validate(Machine &machine)
+{
+    std::uint64_t count = 0;
+    for (unsigned t = 0; t < _params.threads; ++t) {
+        count += machine.peekShared(
+            _args + t * _slotBytes + fieldCount, 8);
+    }
+    return count == _expectedCount;
+}
+
+} // namespace tmi

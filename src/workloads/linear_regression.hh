@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Phoenix linear-regression, with its known false sharing bug.
+ *
+ * Every worker accumulates five partial sums (SX, SY, SXX, SYY, SXY)
+ * plus a count into its slot of a shared args array. Each slot is 48
+ * bytes, so slots straddle cache lines and adjacent threads fight
+ * over every update -- the canonical Phoenix false sharing bug ("an
+ * args array that is not 64-byte aligned by default").
+ *
+ * The manual fix pads each slot to 64 bytes and aligns the array.
+ */
+
+#ifndef TMI_WORKLOADS_LINEAR_REGRESSION_HH
+#define TMI_WORKLOADS_LINEAR_REGRESSION_HH
+
+#include "workloads/workload.hh"
+
+namespace tmi
+{
+
+/** Phoenix linear-regression (lreg). */
+class LinearRegressionWorkload : public Workload
+{
+  public:
+    using Workload::Workload;
+
+    const char *name() const override { return "lreg"; }
+
+    void init(Machine &machine) override;
+    void main(ThreadApi &api) override;
+    bool validate(Machine &machine) override;
+
+  private:
+    void worker(ThreadApi &api, unsigned t);
+
+    Addr _pcPointLoad = 0;
+    Addr _pcSumLoad = 0;
+    Addr _pcSumStore = 0;
+
+    Addr _points = 0; //!< packed (x, y) u32 pairs
+    Addr _args = 0;   //!< per-thread accumulator slots
+    std::uint64_t _slotBytes = 0;
+    std::uint64_t _pointsPerThread = 0;
+    std::uint64_t _expectedCount = 0;
+};
+
+} // namespace tmi
+
+#endif // TMI_WORKLOADS_LINEAR_REGRESSION_HH

@@ -1,0 +1,97 @@
+#include "lu_ncb.hh"
+
+namespace tmi
+{
+
+void
+LuNcbWorkload::init(Machine &machine)
+{
+    InstructionTable &instrs = machine.instructions();
+    _pcMatLoad = instrs.define("lu.mat.load", MemKind::Load, 8);
+    _pcAccLoad = instrs.define("lu.acc.load", MemKind::Load, 8);
+    _pcAccStore = instrs.define("lu.acc.store", MemKind::Store, 8);
+}
+
+void
+LuNcbWorkload::main(ThreadApi &api)
+{
+    unsigned threads = _params.threads;
+    _n = 96;
+    _iters = 30 * _params.scale;
+
+    _matrix = api.malloc(_n * _n * 8);
+    std::vector<std::uint64_t> init(_n * _n);
+    for (std::uint64_t i = 0; i < init.size(); ++i)
+        init[i] = i % 17 + 1;
+    api.writeBuf(_matrix, init.data(), init.size() * 8);
+
+    // One small accumulator buffer per thread, allocated in a burst
+    // from the main thread exactly like lu-ncb's init code does. The
+    // allocator's small-object policy decides whether these share
+    // cache lines.
+    _accBufs.clear();
+    for (unsigned t = 0; t < threads; ++t) {
+        Addr buf = _params.manualFix ? api.memalign(lineBytes, 32)
+                                     : api.malloc(32);
+        api.fill(buf, 0, 32);
+        _accBufs.push_back(buf);
+    }
+
+    _barrier = api.malloc(lineBytes);
+    api.barrierInit(_barrier, threads);
+
+    std::vector<ThreadId> workers;
+    for (unsigned t = 0; t < threads; ++t) {
+        workers.push_back(api.spawn(
+            "lu-" + std::to_string(t),
+            [this, t](ThreadApi &wapi) { worker(wapi, t); }));
+    }
+    for (ThreadId t : workers)
+        api.join(t);
+}
+
+void
+LuNcbWorkload::worker(ThreadApi &api, unsigned t)
+{
+    unsigned threads = _params.threads;
+    std::uint64_t rows = _n / threads;
+    std::uint64_t row0 = t * rows;
+    Addr acc = _accBufs[t];
+
+    for (std::uint64_t it = 0; it < _iters; ++it) {
+        // daxpy sweep over this thread's rows, accumulating into the
+        // thread's small buffer on every element.
+        for (std::uint64_t r = row0; r < row0 + rows; ++r) {
+            for (std::uint64_t c = 0; c < _n; ++c) {
+                std::uint64_t v =
+                    api.load(_pcMatLoad, _matrix + (r * _n + c) * 8);
+                Addr slot = acc + (c % 4) * 8;
+                std::uint64_t a = api.load(_pcAccLoad, slot);
+                api.store(_pcAccStore, slot, a + v);
+            }
+        }
+        api.barrierWait(_barrier);
+    }
+}
+
+bool
+LuNcbWorkload::validate(Machine &machine)
+{
+    // Each thread accumulated its rows' elements _iters times; the
+    // grand total must match a host-side recomputation over the rows
+    // that were actually assigned.
+    std::uint64_t rows = _n / _params.threads;
+    std::uint64_t expected = 0;
+    for (std::uint64_t i = 0; i < _params.threads * rows * _n; ++i)
+        expected += i % 17 + 1;
+    expected *= _iters;
+
+    std::uint64_t got = 0;
+    for (unsigned t = 0; t < _params.threads; ++t) {
+        for (unsigned s = 0; s < 4; ++s)
+            got += machine.peekShared(_accBufs[t] + s * 8, 8);
+    }
+    return got == expected;
+}
+
+} // namespace tmi

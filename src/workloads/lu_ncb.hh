@@ -1,0 +1,54 @@
+/**
+ * @file
+ * SPLASH-2 lu (non-contiguous blocks), with its allocator-dependent
+ * false sharing.
+ *
+ * The daxpy inner loop updates per-thread accumulator buffers that
+ * the program allocates as separate 32-byte mallocs from the main
+ * thread. Under an allocator that packs small objects contiguously
+ * (the baseline's 32-byte size class puts two buffers per cache
+ * line), adjacent threads' daxpy updates false-share. Tmi's modified
+ * allocator hands out small objects at cache-line granularity, so
+ * running under any Tmi mode repairs the bug with no PTSB at all --
+ * "automatically repaired by changing the allocator" (section 4.3).
+ *
+ * The manual fix uses posix_memalign per buffer.
+ */
+
+#ifndef TMI_WORKLOADS_LU_NCB_HH
+#define TMI_WORKLOADS_LU_NCB_HH
+
+#include "workloads/workload.hh"
+
+namespace tmi
+{
+
+/** SPLASH-2 lu-ncb. */
+class LuNcbWorkload : public Workload
+{
+  public:
+    using Workload::Workload;
+
+    const char *name() const override { return "lu-ncb"; }
+
+    void init(Machine &machine) override;
+    void main(ThreadApi &api) override;
+    bool validate(Machine &machine) override;
+
+  private:
+    void worker(ThreadApi &api, unsigned t);
+
+    Addr _pcMatLoad = 0;
+    Addr _pcAccLoad = 0;
+    Addr _pcAccStore = 0;
+
+    Addr _matrix = 0;
+    std::vector<Addr> _accBufs; //!< one 32 B buffer per thread
+    Addr _barrier = 0;
+    std::uint64_t _n = 0;     //!< matrix dimension
+    std::uint64_t _iters = 0; //!< daxpy sweeps
+};
+
+} // namespace tmi
+
+#endif // TMI_WORKLOADS_LU_NCB_HH

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Registry of all 35 evaluation programs plus cholesky.
+ */
+
+#include "workloads/workload.hh"
+
+#include "workloads/boost_micro.hh"
+#include "workloads/canneal.hh"
+#include "workloads/cholesky.hh"
+#include "workloads/generic_kernel.hh"
+#include "workloads/histogram.hh"
+#include "workloads/leveldb.hh"
+#include "workloads/linear_regression.hh"
+#include "workloads/lu_ncb.hh"
+#include "workloads/stringmatch.hh"
+
+namespace tmi
+{
+
+namespace
+{
+
+template <typename T, typename... Args>
+WorkloadFactory
+makeFactory(Args... args)
+{
+    return [args...](const WorkloadParams &params) {
+        return std::make_unique<T>(params, args...);
+    };
+}
+
+std::vector<WorkloadInfo>
+buildRegistry()
+{
+    std::vector<WorkloadInfo> reg;
+
+    auto add_generic = [&reg](const KernelSpec &spec,
+                              bool uses_atomics_or_asm) {
+        WorkloadInfo info;
+        info.name = spec.name;
+        info.make = [spec](const WorkloadParams &params) {
+            return std::make_unique<GenericKernelWorkload>(params, spec);
+        };
+        info.knownFalseSharing = false;
+        info.inOverheadSet = true;
+        info.usesAtomicsOrAsm = uses_atomics_or_asm;
+        reg.push_back(std::move(info));
+    };
+
+    // Figure 7 order: PARSEC, then Phoenix, then Splash2x, then
+    // leveldb and the Boost microbenchmarks.
+    const auto &specs = kernelSpecs();
+    auto spec = [&specs](const char *name) -> const KernelSpec & {
+        for (const auto &s : specs) {
+            if (std::string(s.name) == name)
+                return s;
+        }
+        fatal("unknown kernel spec '%s'", name);
+    };
+
+    add_generic(spec("blackscholes"), false);
+    add_generic(spec("bodytrack"), false);
+    reg.push_back({"canneal", makeFactory<CannealWorkload>(), false,
+                   true, true});
+    add_generic(spec("dedup"), true);
+    add_generic(spec("facesim"), false);
+    add_generic(spec("ferret"), false);
+    add_generic(spec("fluidanimate"), false);
+    add_generic(spec("streamcluster"), false);
+    add_generic(spec("swaptions"), false);
+
+    reg.push_back({"histogram", makeFactory<HistogramWorkload>(false),
+                   true, true, false});
+    reg.push_back({"histogramfs", makeFactory<HistogramWorkload>(true),
+                   true, true, false});
+    add_generic(spec("kmeans"), false);
+    reg.push_back({"lreg", makeFactory<LinearRegressionWorkload>(),
+                   true, true, false});
+    add_generic(spec("matrix"), false);
+    add_generic(spec("pca"), false);
+    add_generic(spec("reverse"), false);
+    reg.push_back({"stringmatch", makeFactory<StringMatchWorkload>(),
+                   true, true, false});
+    add_generic(spec("wordcount"), false);
+
+    add_generic(spec("barnes"), false);
+    add_generic(spec("fft"), false);
+    add_generic(spec("fmm"), false);
+    add_generic(spec("lu-cb"), false);
+    reg.push_back({"lu-ncb", makeFactory<LuNcbWorkload>(), true, true,
+                   false});
+    add_generic(spec("ocean-cp"), false);
+    add_generic(spec("ocean-ncp"), false);
+    add_generic(spec("radiosity"), false);
+    add_generic(spec("radix"), false);
+    add_generic(spec("raytrace"), false);
+    add_generic(spec("volrend"), false);
+    add_generic(spec("water-nsquare"), false);
+    add_generic(spec("water-spatial"), false);
+
+    reg.push_back({"leveldb", makeFactory<LevelDbWorkload>(), true,
+                   true, true});
+    reg.push_back({"spinlockpool", makeFactory<SpinlockPoolWorkload>(),
+                   true, true, false});
+    reg.push_back({"shptr-relaxed", makeFactory<SharedPtrWorkload>(false),
+                   true, true, true});
+    reg.push_back({"shptr-lock", makeFactory<SharedPtrWorkload>(true),
+                   true, true, false});
+
+    // cholesky: excluded from the timing set (section 4.1) but used
+    // for the Figure 12 consistency case study.
+    reg.push_back({"cholesky", makeFactory<CholeskyWorkload>(), false,
+                   false, true});
+
+    return reg;
+}
+
+} // namespace
+
+const std::vector<WorkloadInfo> &
+workloadRegistry()
+{
+    static const std::vector<WorkloadInfo> registry = buildRegistry();
+    return registry;
+}
+
+const WorkloadInfo &
+findWorkload(const std::string &name)
+{
+    for (const auto &info : workloadRegistry()) {
+        if (info.name == name)
+            return info;
+    }
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+} // namespace tmi

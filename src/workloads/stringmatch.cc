@@ -1,0 +1,118 @@
+#include "stringmatch.hh"
+
+namespace tmi
+{
+
+namespace
+{
+/// cur_word (32 B) + cur_word_final (32 B).
+constexpr std::uint64_t scratchPayload = 64;
+/// Trivial "encryption": the match targets below are pre-encrypted.
+constexpr std::uint64_t
+encrypt(std::uint64_t w)
+{
+    return w * 0x9e3779b97f4a7c15ULL;
+}
+constexpr std::uint64_t matchTarget = 1234567;
+} // namespace
+
+void
+StringMatchWorkload::init(Machine &machine)
+{
+    InstructionTable &instrs = machine.instructions();
+    _pcKeyLoad = instrs.define("stringmatch.key.load", MemKind::Load, 8);
+    _pcScratchStore =
+        instrs.define("stringmatch.scratch.store", MemKind::Store, 8);
+    _pcMatchLoad =
+        instrs.define("stringmatch.match.load", MemKind::Load, 8);
+    _pcMatchStore =
+        instrs.define("stringmatch.match.store", MemKind::Store, 8);
+}
+
+void
+StringMatchWorkload::main(ThreadApi &api)
+{
+    unsigned threads = _params.threads;
+    _keysPerThread = 30000 * _params.scale;
+
+    if (_params.manualFix) {
+        // Manual fix: a full aligned cache line per scratch pair.
+        _areaBytes = roundUp(scratchPayload, lineBytes) + lineBytes;
+        _scratch = api.memalign(lineBytes, _areaBytes * threads);
+    } else {
+        // 64-byte pairs at an 8-byte skew: each pair straddles into
+        // the neighbouring thread's line.
+        _areaBytes = scratchPayload;
+        _scratch = api.malloc(_areaBytes * threads + 8) + 8;
+    }
+    api.fill(_scratch, 0, _areaBytes * threads);
+
+    _matches = api.memalign(lineBytes, lineBytes * threads);
+    api.fill(_matches, 0, lineBytes * threads);
+
+    // Dictionary: every 97th key matches.
+    std::uint64_t total = _keysPerThread * threads;
+    std::vector<std::uint64_t> keys(total);
+    Rng &rng = api.rng();
+    _expectedMatches = 0;
+    for (std::uint64_t i = 0; i < total; ++i) {
+        if (i % 97 == 0) {
+            keys[i] = encrypt(matchTarget);
+            ++_expectedMatches;
+        } else {
+            keys[i] = encrypt(rng.next() | 1);
+        }
+    }
+    _keys = api.malloc(total * 8);
+    api.writeBuf(_keys, keys.data(), keys.size() * 8);
+
+    std::vector<ThreadId> workers;
+    for (unsigned t = 0; t < threads; ++t) {
+        workers.push_back(api.spawn(
+            "stringmatch-" + std::to_string(t),
+            [this, t](ThreadApi &wapi) { worker(wapi, t); }));
+    }
+    for (ThreadId t : workers)
+        api.join(t);
+}
+
+void
+StringMatchWorkload::worker(ThreadApi &api, unsigned t)
+{
+    Addr area = _scratch + t * _areaBytes;
+    // cur_word sits at the head of the thread's area; cur_word_final
+    // at the tail. With the unpadded 8-byte-skewed layout the tail
+    // lands on the line holding the NEXT thread's cur_word -- the
+    // partial overlap the paper describes.
+    Addr cur_word = area;
+    Addr cur_word_final = area + (_areaBytes == scratchPayload
+                                      ? scratchPayload - 8
+                                      : 32);
+    Addr match_slot = _matches + t * lineBytes;
+
+    std::uint64_t found = 0;
+    for (std::uint64_t i = 0; i < _keysPerThread; ++i) {
+        Addr key_addr = _keys + (t * _keysPerThread + i) * 8;
+        std::uint64_t key = api.load(_pcKeyLoad, key_addr);
+        // "Decrypt" the candidate into cur_word, then the processed
+        // form into cur_word_final -- both are per-iteration stores
+        // into the thread-private scratch (the false sharing source).
+        api.store(_pcScratchStore, cur_word, key);
+        std::uint64_t candidate = encrypt(matchTarget);
+        api.store(_pcScratchStore, cur_word_final, candidate);
+        if (key == candidate)
+            ++found;
+    }
+    api.store(_pcMatchStore, match_slot, found);
+}
+
+bool
+StringMatchWorkload::validate(Machine &machine)
+{
+    std::uint64_t total = 0;
+    for (unsigned t = 0; t < _params.threads; ++t)
+        total += machine.peekShared(_matches + t * lineBytes, 8);
+    return total == _expectedMatches;
+}
+
+} // namespace tmi

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Phoenix string-match, with its known false sharing bug.
+ *
+ * Each worker hashes candidate keys against an encrypted dictionary
+ * chunk, repeatedly writing two thread-private scratch buffers,
+ * cur_word and cur_word_final. The buffers are 32 bytes each and
+ * allocated back-to-back for all threads, so a pair can partially
+ * overlap a neighbouring thread's pair on one cache line. The manual
+ * fix pads each thread's scratch area to a full cache line.
+ */
+
+#ifndef TMI_WORKLOADS_STRINGMATCH_HH
+#define TMI_WORKLOADS_STRINGMATCH_HH
+
+#include "workloads/workload.hh"
+
+namespace tmi
+{
+
+/** Phoenix string-match. */
+class StringMatchWorkload : public Workload
+{
+  public:
+    using Workload::Workload;
+
+    const char *name() const override { return "stringmatch"; }
+
+    void init(Machine &machine) override;
+    void main(ThreadApi &api) override;
+    bool validate(Machine &machine) override;
+
+  private:
+    void worker(ThreadApi &api, unsigned t);
+
+    Addr _pcKeyLoad = 0;
+    Addr _pcScratchStore = 0;
+    Addr _pcMatchLoad = 0;
+    Addr _pcMatchStore = 0;
+
+    Addr _keys = 0;     //!< dictionary of 8-byte encrypted keys
+    Addr _scratch = 0;  //!< per-thread cur_word / cur_word_final
+    Addr _matches = 0;  //!< per-thread match counters (padded)
+    std::uint64_t _areaBytes = 0;
+    std::uint64_t _keysPerThread = 0;
+    std::uint64_t _expectedMatches = 0;
+};
+
+} // namespace tmi
+
+#endif // TMI_WORKLOADS_STRINGMATCH_HH

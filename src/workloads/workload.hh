@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Workload framework: the evaluation programs from the paper.
+ *
+ * Each workload registers its static memory instructions (so the
+ * detector can disassemble PEBS PCs), then runs as a simulated main
+ * thread that allocates its data, spawns workers, and joins them.
+ * validate() checks results after the run -- this is how baseline
+ * incompatibilities (Sheriff corrupting canneal, Figure 11) surface
+ * as measurements instead of assertions.
+ */
+
+#ifndef TMI_WORKLOADS_WORKLOAD_HH
+#define TMI_WORKLOADS_WORKLOAD_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/machine.hh"
+
+namespace tmi
+{
+
+/** Knobs common to every workload. */
+struct WorkloadParams
+{
+    unsigned threads = 4;
+    /** Input-size multiplier: tests use 1, benches use more. */
+    std::uint64_t scale = 1;
+    /** Apply the manual source-level fix (padding/alignment). */
+    bool manualFix = false;
+    std::uint64_t seed = 7;
+};
+
+/** Base class for all evaluation programs. */
+class Workload
+{
+  public:
+    explicit Workload(const WorkloadParams &params) : _params(params) {}
+    virtual ~Workload() = default;
+
+    /** Workload name as it appears in the paper's figures. */
+    virtual const char *name() const = 0;
+
+    /**
+     * Register static instructions and stash their PCs. Called once,
+     * before the machine starts running.
+     */
+    virtual void init(Machine &machine) = 0;
+
+    /**
+     * Body of the simulated main thread: allocate and initialize
+     * data, spawn workers, join them.
+     */
+    virtual void main(ThreadApi &api) = 0;
+
+    /** Check results after the run completed. */
+    virtual bool validate(Machine &machine)
+    {
+        (void)machine;
+        return true;
+    }
+
+    const WorkloadParams &params() const { return _params; }
+
+  protected:
+    WorkloadParams _params;
+};
+
+/** Factory signature used by the registry. */
+using WorkloadFactory =
+    std::function<std::unique_ptr<Workload>(const WorkloadParams &)>;
+
+/** Registry entry describing one evaluation program. */
+struct WorkloadInfo
+{
+    std::string name;
+    WorkloadFactory make;
+    /** Appears in Figure 9 / Table 3 (repairable false sharing). */
+    bool knownFalseSharing = false;
+    /** Part of the 35-workload Figure 7/8 overhead set. */
+    bool inOverheadSet = true;
+    /** Uses atomics or inline asm (Sheriff-incompatible risk). */
+    bool usesAtomicsOrAsm = false;
+};
+
+/** All registered workloads, in the paper's figure order. */
+const std::vector<WorkloadInfo> &workloadRegistry();
+
+/** Look up one workload by name; fatal if unknown. */
+const WorkloadInfo &findWorkload(const std::string &name);
+
+} // namespace tmi
+
+#endif // TMI_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Unit tests for the TLB model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/tlb.hh"
+
+namespace tmi
+{
+
+TEST(Tlb, MissThenHit)
+{
+    Tlb tlb(TlbConfig{}, smallPageShift);
+    EXPECT_GT(tlb.lookup(0x1000), 0u);
+    EXPECT_EQ(tlb.lookup(0x1008), 0u); // same page
+    EXPECT_GT(tlb.lookup(0x2000), 0u); // new page
+    EXPECT_EQ(tlb.misses(), 2u);
+}
+
+TEST(Tlb, CapacityEviction)
+{
+    TlbConfig cfg;
+    cfg.entries4k = 4;
+    Tlb tlb(cfg, smallPageShift);
+    for (Addr p = 0; p < 5; ++p)
+        tlb.lookup(p * smallPageBytes);
+    // Page 0 was LRU and is gone.
+    EXPECT_GT(tlb.lookup(0), 0u);
+    // Page 4 is still resident.
+    EXPECT_EQ(tlb.lookup(4 * smallPageBytes), 0u);
+}
+
+TEST(Tlb, HugePagesCoverMoreMemory)
+{
+    TlbConfig cfg;
+    cfg.entries4k = 64;
+    cfg.entries2m = 32;
+    Tlb small(cfg, smallPageShift);
+    Tlb huge(cfg, hugePageShift);
+    // Touch 16 MB at 4 KB strides: thrashes the 4K TLB (4096 pages,
+    // 64 entries) but fits easily in the 2M TLB (8 pages).
+    for (int rep = 0; rep < 2; ++rep) {
+        for (Addr a = 0; a < (16 << 20); a += smallPageBytes) {
+            small.lookup(a);
+            huge.lookup(a);
+        }
+    }
+    EXPECT_GT(small.misses(), 1000u);
+    EXPECT_LE(huge.misses(), 8u);
+}
+
+TEST(Tlb, FlushDropsEverything)
+{
+    Tlb tlb(TlbConfig{}, smallPageShift);
+    tlb.lookup(0x1000);
+    tlb.flush();
+    EXPECT_GT(tlb.lookup(0x1000), 0u);
+}
+
+TEST(Tlb, FlushPageIsSelective)
+{
+    Tlb tlb(TlbConfig{}, smallPageShift);
+    tlb.lookup(0x1000);
+    tlb.lookup(0x2000);
+    tlb.flushPage(0x1000 >> smallPageShift);
+    EXPECT_GT(tlb.lookup(0x1000), 0u);
+    EXPECT_EQ(tlb.lookup(0x2000), 0u);
+}
+
+} // namespace tmi

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hh"
+
+namespace tmi::stats
+{
+
+TEST(Scalar, Accumulates)
+{
+    Scalar s;
+    EXPECT_EQ(s.value(), 0.0);
+    ++s;
+    s += 2.5;
+    EXPECT_DOUBLE_EQ(s.value(), 3.5);
+    s.reset();
+    EXPECT_EQ(s.value(), 0.0);
+}
+
+TEST(Distribution, Moments)
+{
+    Distribution d;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        d.sample(v);
+    EXPECT_EQ(d.count(), 4u);
+    EXPECT_DOUBLE_EQ(d.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 4.0);
+    EXPECT_DOUBLE_EQ(d.variance(), 1.25);
+}
+
+TEST(Distribution, EmptyIsZero)
+{
+    Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.mean(), 0.0);
+    EXPECT_EQ(d.variance(), 0.0);
+}
+
+TEST(StatGroup, LookupNested)
+{
+    Scalar inner;
+    inner = 42;
+    StatGroup child("cache");
+    child.addScalar("hits", &inner, "test stat");
+    StatGroup root("machine");
+    root.addChild(&child);
+
+    double out = 0;
+    EXPECT_TRUE(root.lookupScalar("cache.hits", out));
+    EXPECT_EQ(out, 42.0);
+    EXPECT_FALSE(root.lookupScalar("cache.misses", out));
+    EXPECT_FALSE(root.lookupScalar("cpu.hits", out));
+    EXPECT_FALSE(root.lookupScalar("hits", out));
+}
+
+TEST(StatGroup, DumpContainsNamesAndValues)
+{
+    Scalar s;
+    s = 7;
+    StatGroup g("top");
+    g.addScalar("things", &s, "number of things");
+    std::ostringstream os;
+    g.dump(os);
+    std::string text = os.str();
+    EXPECT_NE(text.find("top"), std::string::npos);
+    EXPECT_NE(text.find("things"), std::string::npos);
+    EXPECT_NE(text.find("7"), std::string::npos);
+    EXPECT_NE(text.find("number of things"), std::string::npos);
+}
+
+} // namespace tmi::stats

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Unit tests for address/alignment helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/types.hh"
+
+namespace tmi
+{
+
+TEST(Types, LineConstants)
+{
+    EXPECT_EQ(lineBytes, 64u);
+    EXPECT_EQ(smallPageBytes, 4096u);
+    EXPECT_EQ(hugePageBytes, 2u * 1024 * 1024);
+}
+
+TEST(Types, LineAlign)
+{
+    EXPECT_EQ(lineAlign(0), 0u);
+    EXPECT_EQ(lineAlign(63), 0u);
+    EXPECT_EQ(lineAlign(64), 64u);
+    EXPECT_EQ(lineAlign(130), 128u);
+}
+
+TEST(Types, LineNumberAndOffset)
+{
+    EXPECT_EQ(lineNumber(64), 1u);
+    EXPECT_EQ(lineNumber(127), 1u);
+    EXPECT_EQ(lineOffset(127), 63u);
+    EXPECT_EQ(lineOffset(128), 0u);
+}
+
+TEST(Types, RoundUpDown)
+{
+    EXPECT_EQ(roundUp(1, 64), 64u);
+    EXPECT_EQ(roundUp(64, 64), 64u);
+    EXPECT_EQ(roundUp(65, 64), 128u);
+    EXPECT_EQ(roundDown(65, 64), 64u);
+    EXPECT_EQ(roundDown(63, 64), 0u);
+}
+
+TEST(Types, PowerOfTwo)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(64));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(65));
+}
+
+TEST(Types, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(64), 6u);
+    EXPECT_EQ(floorLog2(65), 6u);
+    EXPECT_EQ(floorLog2(1ull << 40), 40u);
+}
+
+/** Property sweep: roundUp/roundDown bracket the value. */
+class AlignSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(AlignSweep, RoundBrackets)
+{
+    Addr a = GetParam();
+    for (Addr align : {8ull, 64ull, 4096ull}) {
+        EXPECT_LE(roundDown(a, align), a);
+        EXPECT_GE(roundUp(a, align), a);
+        EXPECT_EQ(roundUp(a, align) % align, 0u);
+        EXPECT_EQ(roundDown(a, align) % align, 0u);
+        EXPECT_LT(roundUp(a, align) - roundDown(a, align), 2 * align);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, AlignSweep,
+                         ::testing::Values(0, 1, 7, 63, 64, 65, 4095,
+                                           4096, 4097, 123456789));
+
+} // namespace tmi

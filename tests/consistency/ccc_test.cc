@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for code-centric consistency: the Table 2 matrix and
+ * the per-thread region policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "consistency/ccc.hh"
+
+namespace tmi
+{
+
+TEST(Table2, SemanticsMatrix)
+{
+    using RK = RegionKind;
+    using IS = InteractionSemantics;
+    // Case 1: regular/regular and regular/atomic are undefined.
+    EXPECT_EQ(interactionSemantics(RK::Regular, RK::Regular),
+              IS::Undefined);
+    EXPECT_EQ(interactionSemantics(RK::Regular, RK::Atomic),
+              IS::Undefined);
+    EXPECT_EQ(interactionSemantics(RK::Atomic, RK::Regular),
+              IS::Undefined);
+    // Case 2: atomic/atomic has atomic semantics.
+    EXPECT_EQ(interactionSemantics(RK::Atomic, RK::Atomic), IS::Atomic);
+    // Cases 3 and 4: asm with regular or atomic is unknown.
+    EXPECT_EQ(interactionSemantics(RK::Regular, RK::Asm), IS::Unknown);
+    EXPECT_EQ(interactionSemantics(RK::Asm, RK::Regular), IS::Unknown);
+    EXPECT_EQ(interactionSemantics(RK::Atomic, RK::Asm), IS::Unknown);
+    // Case 5: asm/asm is TSO.
+    EXPECT_EQ(interactionSemantics(RK::Asm, RK::Asm), IS::Tso);
+}
+
+TEST(Table2, CaseNumbers)
+{
+    using RK = RegionKind;
+    EXPECT_EQ(interactionCase(RK::Regular, RK::Regular), 1);
+    EXPECT_EQ(interactionCase(RK::Regular, RK::Atomic), 1);
+    EXPECT_EQ(interactionCase(RK::Atomic, RK::Atomic), 2);
+    EXPECT_EQ(interactionCase(RK::Regular, RK::Asm), 3);
+    EXPECT_EQ(interactionCase(RK::Atomic, RK::Asm), 4);
+    EXPECT_EQ(interactionCase(RK::Asm, RK::Asm), 5);
+}
+
+TEST(Table2, PtsbPermittedOnlyForUndefinedCells)
+{
+    using RK = RegionKind;
+    EXPECT_TRUE(ptsbPermitted(RK::Regular, RK::Regular));
+    EXPECT_TRUE(ptsbPermitted(RK::Regular, RK::Atomic));
+    EXPECT_FALSE(ptsbPermitted(RK::Atomic, RK::Atomic));
+    EXPECT_FALSE(ptsbPermitted(RK::Regular, RK::Asm));
+    EXPECT_FALSE(ptsbPermitted(RK::Atomic, RK::Asm));
+    EXPECT_FALSE(ptsbPermitted(RK::Asm, RK::Asm));
+}
+
+TEST(Ccc, StartsInRegularRegion)
+{
+    CodeCentricConsistency ccc;
+    ccc.threadStart(0);
+    EXPECT_EQ(ccc.currentRegion(0), RegionKind::Regular);
+    EXPECT_FALSE(ccc.mustBypassPrivate(0));
+}
+
+TEST(Ccc, AtomicRegionRequiresFlushAndBypass)
+{
+    CodeCentricConsistency ccc;
+    ccc.threadStart(0);
+    EXPECT_TRUE(ccc.regionEnter(0, RegionKind::Atomic));
+    EXPECT_EQ(ccc.currentRegion(0), RegionKind::Atomic);
+    EXPECT_TRUE(ccc.mustBypassPrivate(0));
+    ccc.regionExit(0);
+    EXPECT_FALSE(ccc.mustBypassPrivate(0));
+}
+
+TEST(Ccc, AsmRegionRequiresFlushAndBypass)
+{
+    CodeCentricConsistency ccc;
+    ccc.threadStart(0);
+    EXPECT_TRUE(ccc.regionEnter(0, RegionKind::Asm));
+    EXPECT_TRUE(ccc.mustBypassPrivate(0));
+    ccc.regionExit(0);
+}
+
+TEST(Ccc, NestedRegionsFlushOnce)
+{
+    CodeCentricConsistency ccc;
+    ccc.threadStart(0);
+    EXPECT_TRUE(ccc.regionEnter(0, RegionKind::Atomic));
+    // Already operating on shared memory: no second flush.
+    EXPECT_FALSE(ccc.regionEnter(0, RegionKind::Asm));
+    EXPECT_EQ(ccc.currentRegion(0), RegionKind::Asm);
+    ccc.regionExit(0);
+    EXPECT_EQ(ccc.currentRegion(0), RegionKind::Atomic);
+    EXPECT_TRUE(ccc.mustBypassPrivate(0));
+    ccc.regionExit(0);
+    EXPECT_FALSE(ccc.mustBypassPrivate(0));
+}
+
+TEST(Ccc, RelaxedAtomicsNeedNoFlush)
+{
+    CodeCentricConsistency ccc;
+    EXPECT_FALSE(ccc.atomicOpNeedsFlush(MemOrder::Relaxed));
+    EXPECT_TRUE(ccc.atomicOpNeedsFlush(MemOrder::SeqCst));
+}
+
+TEST(Ccc, DisabledEngineNeverFlushes)
+{
+    CodeCentricConsistency ccc(/*enabled=*/false);
+    ccc.threadStart(0);
+    EXPECT_FALSE(ccc.regionEnter(0, RegionKind::Asm));
+    EXPECT_FALSE(ccc.mustBypassPrivate(0));
+    EXPECT_FALSE(ccc.atomicOpNeedsFlush(MemOrder::SeqCst));
+    // It still tracks regions for diagnostics.
+    EXPECT_EQ(ccc.currentRegion(0), RegionKind::Asm);
+}
+
+TEST(Ccc, ThreadsAreIndependent)
+{
+    CodeCentricConsistency ccc;
+    ccc.threadStart(0);
+    ccc.threadStart(1);
+    ccc.regionEnter(0, RegionKind::Asm);
+    EXPECT_TRUE(ccc.mustBypassPrivate(0));
+    EXPECT_FALSE(ccc.mustBypassPrivate(1));
+}
+
+TEST(Ccc, UnknownThreadDefaultsToRegular)
+{
+    CodeCentricConsistency ccc;
+    EXPECT_EQ(ccc.currentRegion(42), RegionKind::Regular);
+    EXPECT_FALSE(ccc.mustBypassPrivate(42));
+}
+
+TEST(Ccc, CountsTransitionsAndFlushes)
+{
+    CodeCentricConsistency ccc;
+    ccc.threadStart(0);
+    ccc.regionEnter(0, RegionKind::Atomic);
+    ccc.regionExit(0);
+    ccc.regionEnter(0, RegionKind::Asm);
+    ccc.regionExit(0);
+    EXPECT_EQ(ccc.transitions(), 4u);
+    EXPECT_EQ(ccc.flushesRequired(), 2u);
+}
+
+} // namespace tmi

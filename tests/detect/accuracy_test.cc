@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Ground-truth accuracy tests: the detector, run end-to-end through
+ * the machine + perf stack on the layout fuzzer, must find the
+ * false-shared lines and not flag the true-shared/private/read-only
+ * ones, at the paper's default sampling period.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "runtime/tmi_runtime.hh"
+#include "workloads/fuzz_layout.hh"
+
+namespace tmi
+{
+
+namespace
+{
+
+struct Verdicts
+{
+    std::map<Addr, std::pair<double, double>> byLine; //!< (fs, ts)
+};
+
+Verdicts
+runFuzz(std::uint64_t seed, FuzzLayoutWorkload &workload)
+{
+    MachineConfig mc;
+    mc.cores = 4;
+    mc.shmBackedHeap = true;
+    mc.tmiModifiedAllocator = true;
+    mc.seed = seed;
+    Machine machine(mc);
+
+    workload.init(machine);
+    TmiConfig tc;
+    tc.mode = TmiMode::DetectOnly;
+    tc.analysisInterval = 500'000;
+    TmiRuntime tmi(machine, tc);
+    tmi.attach();
+
+    machine.spawnThread("fuzz-main", [&workload](ThreadApi &api) {
+        workload.main(api);
+    });
+    EXPECT_EQ(machine.sched().run(60'000'000'000ULL),
+              RunOutcome::Completed);
+
+    Verdicts verdicts;
+    for (const auto &rep : tmi.detector().topContendedLines(10000))
+        verdicts.byLine[rep.lineAddr] = {rep.fsEvents, rep.tsEvents};
+    return verdicts;
+}
+
+} // namespace
+
+class FuzzAccuracy : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(FuzzAccuracy, DefaultPeriodFindsMostFalseSharing)
+{
+    WorkloadParams params;
+    params.threads = 4;
+    params.scale = 3;
+    params.seed = GetParam();
+    FuzzLayoutWorkload::Mix mix;
+    FuzzLayoutWorkload workload(params, mix);
+    Verdicts verdicts = runFuzz(GetParam(), workload);
+
+    unsigned tp = 0, fp = 0, fn = 0;
+    const auto &truth = workload.groundTruth();
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+        auto it = verdicts.byLine.find(workload.lineAddr(i));
+        bool flagged = it != verdicts.byLine.end() &&
+                       it->second.first > it->second.second &&
+                       it->second.first > 0;
+        bool is_fs = truth[i] == LineBehaviour::FalseShared;
+        tp += is_fs && flagged;
+        fp += !is_fs && flagged;
+        fn += is_fs && !flagged;
+    }
+    // At the paper's period (100), recall should be high and false
+    // positives few (address noise can bleed onto neighbours).
+    EXPECT_GE(tp, (tp + fn) * 8 / 10) << "recall below 80%";
+    EXPECT_LE(fp, 4u) << "too many false positives";
+}
+
+TEST_P(FuzzAccuracy, PrivateAndReadOnlyLinesStayQuiet)
+{
+    WorkloadParams params;
+    params.threads = 4;
+    params.scale = 3;
+    params.seed = GetParam();
+    FuzzLayoutWorkload::Mix mix;
+    mix.falseSharedPct = 0;
+    mix.trueSharedPct = 0;
+    mix.privatePct = 50;
+    FuzzLayoutWorkload workload(params, mix);
+    Verdicts verdicts = runFuzz(GetParam(), workload);
+
+    // Without cross-thread writes there is no HITM at all: nothing
+    // to classify anywhere.
+    double total_fs = 0;
+    for (const auto &[addr, v] : verdicts.byLine) {
+        (void)addr;
+        total_fs += v.first;
+    }
+    EXPECT_EQ(total_fs, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzAccuracy,
+                         ::testing::Values(3u, 17u, 99u));
+
+} // namespace tmi

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Unit tests for the false sharing detector.
+ */
+
+#include <gtest/gtest.h>
+
+#include "detect/detector.hh"
+
+namespace tmi
+{
+
+namespace
+{
+
+struct DetectorFixture : public ::testing::Test
+{
+    DetectorFixture()
+    {
+        pc_store4 = instrs.define("w.store4", MemKind::Store, 4);
+        pc_load4 = instrs.define("w.load4", MemKind::Load, 4);
+        pc_store8 = instrs.define("w.store8", MemKind::Store, 8);
+        map.add(heapBase, 1 << 20, RangeKind::AppHeap, "heap");
+        map.add(libBase, 1 << 20, RangeKind::SystemLib, "libc");
+        cfg.samplePeriod = 10;
+        cfg.cyclesPerSecond = 1e9;
+        cfg.repairThreshold = 1000.0;
+        det = std::make_unique<Detector>(instrs, map, cfg);
+    }
+
+    PebsRecord
+    rec(ThreadId tid, Addr vaddr, Addr pc)
+    {
+        PebsRecord r;
+        r.tid = tid;
+        r.vaddr = vaddr;
+        r.pc = pc;
+        return r;
+    }
+
+    static constexpr Addr heapBase = 0x10000000;
+    static constexpr Addr libBase = 0x70000000;
+    InstructionTable instrs;
+    AddressMap map;
+    DetectorConfig cfg;
+    std::unique_ptr<Detector> det;
+    Addr pc_store4 = 0, pc_load4 = 0, pc_store8 = 0;
+};
+
+} // namespace
+
+TEST_F(DetectorFixture, AddressMapFiltersSystemRanges)
+{
+    det->consume(rec(0, libBase + 64, pc_store4));
+    EXPECT_EQ(det->recordsClassified(), 0u);
+    EXPECT_EQ(det->recordsFiltered(), 1u);
+
+    det->consume(rec(0, heapBase + 64, pc_store4));
+    EXPECT_EQ(det->recordsClassified(), 1u);
+}
+
+TEST_F(DetectorFixture, UnknownPcFiltered)
+{
+    det->consume(rec(0, heapBase, 0x123457));
+    EXPECT_EQ(det->recordsClassified(), 0u);
+    EXPECT_EQ(det->recordsFiltered(), 1u);
+}
+
+TEST_F(DetectorFixture, DisjointWritesClassifyAsFalseSharing)
+{
+    // Thread 0 stores bytes [0,4); thread 1 stores [8,12): same
+    // line, disjoint ranges -> false sharing.
+    det->consume(rec(0, heapBase + 0, pc_store4));
+    det->consume(rec(1, heapBase + 8, pc_store4));
+    EXPECT_GT(det->fsEventsEstimated(), 0.0);
+    EXPECT_EQ(det->tsEventsEstimated(), 0.0);
+}
+
+TEST_F(DetectorFixture, OverlappingWriteIsTrueSharing)
+{
+    det->consume(rec(0, heapBase + 0, pc_store4));
+    det->consume(rec(1, heapBase + 0, pc_store4));
+    EXPECT_EQ(det->fsEventsEstimated(), 0.0);
+    EXPECT_GT(det->tsEventsEstimated(), 0.0);
+}
+
+TEST_F(DetectorFixture, PartialOverlapIsTrueSharing)
+{
+    // 8-byte store at offset 0 overlaps a 4-byte store at offset 4.
+    det->consume(rec(0, heapBase + 0, pc_store8));
+    det->consume(rec(1, heapBase + 4, pc_store4));
+    EXPECT_GT(det->tsEventsEstimated(), 0.0);
+    EXPECT_EQ(det->fsEventsEstimated(), 0.0);
+}
+
+TEST_F(DetectorFixture, ReadWriteDisjointIsFalseSharing)
+{
+    det->consume(rec(0, heapBase + 0, pc_store4));
+    det->consume(rec(1, heapBase + 32, pc_load4));
+    EXPECT_GT(det->fsEventsEstimated(), 0.0);
+}
+
+TEST_F(DetectorFixture, DisjointLoadsOnHitmLineAreFalseSharing)
+{
+    // A HITM line is remote-Modified by definition, so even pure
+    // load records with disjoint per-thread offsets indicate false
+    // sharing (the stores upgrade without missing and are rarely
+    // sampled -- the shptr-lock pattern).
+    det->consume(rec(0, heapBase + 0, pc_load4));
+    det->consume(rec(1, heapBase + 8, pc_load4));
+    EXPECT_GT(det->fsEventsEstimated(), 0.0);
+}
+
+TEST_F(DetectorFixture, OverlappingLoadsAreTrueSharing)
+{
+    det->consume(rec(0, heapBase + 0, pc_load4));
+    det->consume(rec(1, heapBase + 0, pc_load4));
+    EXPECT_GT(det->tsEventsEstimated(), 0.0);
+    EXPECT_EQ(det->fsEventsEstimated(), 0.0);
+}
+
+TEST_F(DetectorFixture, SameThreadNeverConflicts)
+{
+    det->consume(rec(0, heapBase + 0, pc_store4));
+    det->consume(rec(0, heapBase + 8, pc_store4));
+    det->consume(rec(0, heapBase + 8, pc_store4));
+    EXPECT_EQ(det->fsEventsEstimated(), 0.0);
+    EXPECT_EQ(det->tsEventsEstimated(), 0.0);
+}
+
+TEST_F(DetectorFixture, PeriodScalingMultipliesEvents)
+{
+    det->consume(rec(0, heapBase + 0, pc_store4));
+    det->consume(rec(1, heapBase + 8, pc_store4));
+    det->consume(rec(0, heapBase + 0, pc_store4));
+    // Two FS-classified records at period 10 -> ~20 events... the
+    // first record has no conflicting signature yet, so exactly the
+    // 2nd and 3rd records count.
+    EXPECT_DOUBLE_EQ(det->fsEventsEstimated(), 20.0);
+}
+
+TEST_F(DetectorFixture, AnalyzeNominatesHotPages)
+{
+    // 100 records x period 10 = 1000 estimated events in a window
+    // of 0.5e9 cycles (0.5 s) -> 2000 ev/s > threshold 1000.
+    for (int i = 0; i < 50; ++i) {
+        det->consume(rec(0, heapBase + 0, pc_store4));
+        det->consume(rec(1, heapBase + 8, pc_store4));
+    }
+    AnalysisResult res = det->analyze(500'000'000);
+    ASSERT_EQ(res.pagesToRepair.size(), 1u);
+    EXPECT_EQ(res.pagesToRepair[0], heapBase >> smallPageShift);
+    EXPECT_GT(res.fsEventsPerSec, cfg.repairThreshold);
+}
+
+TEST_F(DetectorFixture, BelowThresholdNotNominated)
+{
+    det->consume(rec(0, heapBase + 0, pc_store4));
+    det->consume(rec(1, heapBase + 8, pc_store4));
+    // 10 events over 1 second = 10 ev/s << 1000.
+    AnalysisResult res = det->analyze(1'000'000'000);
+    EXPECT_TRUE(res.pagesToRepair.empty());
+}
+
+TEST_F(DetectorFixture, TrueSharingPagesNotNominated)
+{
+    for (int i = 0; i < 200; ++i) {
+        det->consume(rec(0, heapBase + 0, pc_store4));
+        det->consume(rec(1, heapBase + 0, pc_store4));
+    }
+    AnalysisResult res = det->analyze(1'000'000);
+    EXPECT_TRUE(res.pagesToRepair.empty());
+    EXPECT_GT(res.tsEventsPerSec, 0.0);
+}
+
+TEST_F(DetectorFixture, WindowResetsBetweenAnalyses)
+{
+    for (int i = 0; i < 50; ++i) {
+        det->consume(rec(0, heapBase + 0, pc_store4));
+        det->consume(rec(1, heapBase + 8, pc_store4));
+    }
+    AnalysisResult first = det->analyze(1'000'000);
+    EXPECT_FALSE(first.pagesToRepair.empty());
+    // No new records: the next window is quiet.
+    AnalysisResult second = det->analyze(1'000'000);
+    EXPECT_TRUE(second.pagesToRepair.empty());
+    EXPECT_EQ(second.fsEventsPerSec, 0.0);
+}
+
+TEST_F(DetectorFixture, HugePageAggregation)
+{
+    cfg.pageShift = hugePageShift;
+    Detector hdet(instrs, map, cfg);
+    for (int i = 0; i < 50; ++i) {
+        hdet.consume(rec(0, heapBase + 0, pc_store4));
+        hdet.consume(rec(1, heapBase + 8, pc_store4));
+    }
+    AnalysisResult res = hdet.analyze(1'000'000);
+    ASSERT_EQ(res.pagesToRepair.size(), 1u);
+    EXPECT_EQ(res.pagesToRepair[0], heapBase >> hugePageShift);
+}
+
+TEST_F(DetectorFixture, MetadataBytesGrowWithTrackedLines)
+{
+    std::uint64_t before = det->metadataBytes();
+    for (int i = 0; i < 10; ++i)
+        det->consume(rec(0, heapBase + i * 64, pc_store4));
+    EXPECT_GT(det->metadataBytes(), before);
+    EXPECT_EQ(det->trackedLines(), 10u);
+}
+
+TEST_F(DetectorFixture, TopContendedLinesRanksByFsEvents)
+{
+    // Line A: heavy false sharing; line B: one true-sharing pair.
+    for (int i = 0; i < 20; ++i) {
+        det->consume(rec(0, heapBase + 0, pc_store4));
+        det->consume(rec(1, heapBase + 8, pc_store4));
+    }
+    det->consume(rec(0, heapBase + 256, pc_store4));
+    det->consume(rec(1, heapBase + 256, pc_store4));
+
+    auto top = det->topContendedLines(10);
+    ASSERT_EQ(top.size(), 2u);
+    EXPECT_EQ(top[0].lineAddr, heapBase);
+    EXPECT_GT(top[0].fsEvents, top[1].fsEvents);
+    EXPECT_GT(top[1].tsEvents, 0.0);
+
+    // The report carries the signatures a fix needs: two threads,
+    // disjoint 4-byte stores.
+    ASSERT_EQ(top[0].accesses.size(), 2u);
+    EXPECT_NE(top[0].accesses[0].tid, top[0].accesses[1].tid);
+    EXPECT_TRUE(top[0].accesses[0].isWrite);
+    EXPECT_EQ(top[0].accesses[0].width, 4u);
+}
+
+TEST_F(DetectorFixture, TopContendedLinesTruncates)
+{
+    for (int i = 0; i < 8; ++i)
+        det->consume(rec(0, heapBase + i * 64, pc_store4));
+    EXPECT_EQ(det->topContendedLines(3).size(), 3u);
+    EXPECT_EQ(det->topContendedLines(100).size(), 8u);
+}
+
+TEST_F(DetectorFixture, SignatureTableIsBounded)
+{
+    cfg.maxSigsPerLine = 4;
+    Detector bounded(instrs, map, cfg);
+    for (unsigned t = 0; t < 12; ++t)
+        bounded.consume(rec(t, heapBase + (t % 16) * 4, pc_store4));
+    auto top = bounded.topContendedLines(1);
+    ASSERT_EQ(top.size(), 1u);
+    EXPECT_LE(top[0].accesses.size(), 4u);
+}
+
+TEST_F(DetectorFixture, ConsumeReturnsCost)
+{
+    EXPECT_EQ(det->consume(rec(0, heapBase, pc_store4)),
+              cfg.classifyCostPerRecord);
+    EXPECT_EQ(det->consume(rec(0, libBase, pc_store4)), 0u);
+}
+
+} // namespace tmi

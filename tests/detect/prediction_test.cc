@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests for Predator-style false sharing prediction at larger line
+ * sizes, fed by instrumentation sampling rather than HITM events.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/machine.hh"
+#include "detect/detector.hh"
+
+namespace tmi
+{
+
+namespace
+{
+
+struct PredictionFixture : public ::testing::Test
+{
+    PredictionFixture()
+    {
+        pc_store = instrs.define("p.store", MemKind::Store, 8);
+        pc_load = instrs.define("p.load", MemKind::Load, 8);
+        map.add(base, 1 << 20, RangeKind::AppHeap, "heap");
+        det = std::make_unique<Detector>(instrs, map,
+                                         DetectorConfig{});
+    }
+
+    static constexpr Addr base = 0x10000000;
+    InstructionTable instrs;
+    AddressMap map;
+    std::unique_ptr<Detector> det;
+    Addr pc_store = 0, pc_load = 0;
+};
+
+} // namespace
+
+TEST_F(PredictionFixture, AdjacentLineWritersPredictedAt128)
+{
+    // Thread 0 owns line 0, thread 1 owns line 1: invisible on
+    // 64-byte hardware, false sharing at 128 bytes.
+    det->consumeAccess(0, base + 0, pc_store);
+    det->consumeAccess(1, base + 64, pc_store);
+
+    auto predicted = det->predictFalseSharing(7);
+    ASSERT_EQ(predicted.size(), 1u);
+    EXPECT_EQ(predicted[0], base);
+    // Nothing contends on current hardware.
+    EXPECT_EQ(det->fsEventsEstimated(), 0.0);
+}
+
+TEST_F(PredictionFixture, ExistingFalseSharingNotDoubleReported)
+{
+    // Both threads already conflict within one 64-byte line: that is
+    // today's false sharing, not a prediction.
+    det->consumeAccess(0, base + 0, pc_store);
+    det->consumeAccess(1, base + 8, pc_store);
+    EXPECT_TRUE(det->predictFalseSharing(7).empty());
+}
+
+TEST_F(PredictionFixture, SameThreadAcrossLinesNotPredicted)
+{
+    det->consumeAccess(0, base + 0, pc_store);
+    det->consumeAccess(0, base + 64, pc_store);
+    EXPECT_TRUE(det->predictFalseSharing(7).empty());
+}
+
+TEST_F(PredictionFixture, ReadOnlyNeighboursNotPredicted)
+{
+    det->consumeAccess(0, base + 0, pc_load);
+    det->consumeAccess(1, base + 64, pc_load);
+    EXPECT_TRUE(det->predictFalseSharing(7).empty());
+}
+
+TEST_F(PredictionFixture, ReadWriteAcrossLinesIsPredicted)
+{
+    det->consumeAccess(0, base + 0, pc_store);
+    det->consumeAccess(1, base + 64, pc_load);
+    EXPECT_EQ(det->predictFalseSharing(7).size(), 1u);
+}
+
+TEST_F(PredictionFixture, SeparateBlocksNotMerged)
+{
+    // Lines 0 and 2 are in different 128-byte blocks.
+    det->consumeAccess(0, base + 0, pc_store);
+    det->consumeAccess(1, base + 128, pc_store);
+    EXPECT_TRUE(det->predictFalseSharing(7).empty());
+    // At 256-byte lines they do collide.
+    EXPECT_EQ(det->predictFalseSharing(8).size(), 1u);
+}
+
+TEST(PredictionEndToEnd, InstrumentationFeedsTheDetector)
+{
+    // Per-thread 64-byte-aligned slots: clean on this machine, false
+    // shared at 128 bytes. The full pipeline: machine instrumentation
+    // sampler -> detector -> prediction.
+    MachineConfig mc;
+    mc.instrumentationSampling = 1; // sample every access
+    Machine machine(mc);
+    Addr pc_st = machine.instructions().define("w.store",
+                                               MemKind::Store, 8);
+    Addr pc_ld = machine.instructions().define("w.load",
+                                               MemKind::Load, 8);
+
+    Detector det(machine.instructions(), machine.addressMap(),
+                 DetectorConfig{});
+    machine.setAccessSampler([&det](const AccessContext &ctx) {
+        det.consumeAccess(ctx.tid, ctx.vaddr, ctx.pc);
+    });
+
+    Addr slots = 0;
+    machine.spawnThread("main", [&](ThreadApi &api) {
+        slots = api.memalign(lineBytes, 4 * lineBytes);
+        api.fill(slots, 0, 4 * lineBytes);
+        std::vector<ThreadId> ws;
+        for (int t = 0; t < 4; ++t) {
+            Addr slot = slots + t * lineBytes;
+            ws.push_back(api.spawn("w", [&, slot](ThreadApi &w) {
+                for (int i = 0; i < 500; ++i) {
+                    std::uint64_t v = w.load(pc_ld, slot);
+                    w.store(pc_st, slot, v + 1);
+                }
+            }));
+        }
+        for (ThreadId t : ws)
+            api.join(t);
+    });
+    ASSERT_EQ(machine.sched().run(10'000'000'000ULL),
+              RunOutcome::Completed);
+
+    // No contention on 64-byte hardware...
+    EXPECT_EQ(machine.cache().hitmEvents(), 0u);
+    // ...but both 128-byte blocks are predicted.
+    auto predicted = det.predictFalseSharing(7);
+    ASSERT_EQ(predicted.size(), 2u);
+    EXPECT_EQ(predicted[0], slots);
+    EXPECT_EQ(predicted[1], slots + 128);
+    // And one 256-byte block covers everything.
+    EXPECT_EQ(det.predictFalseSharing(8).size(), 1u);
+}
+
+TEST(PredictionEndToEnd, InstrumentationCostsShowUp)
+{
+    // The instrumentation tax is real: the same program runs slower
+    // with sampling enabled (Predator-style overhead).
+    auto run = [](std::uint64_t sampling) {
+        MachineConfig mc;
+        mc.instrumentationSampling = sampling;
+        Machine machine(mc);
+        Addr pc_st = machine.instructions().define(
+            "w.store", MemKind::Store, 8);
+        machine.spawnThread("main", [&](ThreadApi &api) {
+            Addr a = api.malloc(64);
+            for (int i = 0; i < 5000; ++i)
+                api.store(pc_st, a, i);
+        });
+        machine.sched().run(10'000'000'000ULL);
+        return machine.elapsed();
+    };
+    EXPECT_GT(run(1), run(0) * 3 / 2);
+}
+
+} // namespace tmi

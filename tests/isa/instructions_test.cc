@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Unit tests for the instruction table and region matrix helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/instructions.hh"
+
+namespace tmi
+{
+
+TEST(InstructionTable, DefineAndLookup)
+{
+    InstructionTable tab;
+    Addr pc1 = tab.define("load8", MemKind::Load, 8);
+    Addr pc2 = tab.define("store4", MemKind::Store, 4);
+    EXPECT_NE(pc1, pc2);
+    EXPECT_GE(pc1, InstructionTable::textBase);
+
+    const InstrInfo &i1 = tab.lookup(pc1);
+    EXPECT_EQ(i1.kind, MemKind::Load);
+    EXPECT_EQ(i1.width, 8u);
+    EXPECT_EQ(i1.name, "load8");
+
+    const InstrInfo &i2 = tab.lookup(pc2);
+    EXPECT_EQ(i2.kind, MemKind::Store);
+    EXPECT_EQ(i2.width, 4u);
+}
+
+TEST(InstructionTable, ContainsRejectsForeignPcs)
+{
+    InstructionTable tab;
+    Addr pc = tab.define("x", MemKind::Load, 1);
+    EXPECT_TRUE(tab.contains(pc));
+    EXPECT_FALSE(tab.contains(pc + 4)); // past the end
+    EXPECT_FALSE(tab.contains(pc + 1)); // misaligned
+    EXPECT_FALSE(tab.contains(0));
+    EXPECT_FALSE(tab.contains(0x1234));
+}
+
+TEST(InstructionTable, PcsAreDenselySpaced)
+{
+    InstructionTable tab;
+    Addr prev = tab.define("a", MemKind::Load, 1);
+    for (int i = 0; i < 10; ++i) {
+        Addr pc = tab.define("b", MemKind::Load, 1);
+        EXPECT_EQ(pc, prev + 4);
+        prev = pc;
+    }
+    EXPECT_EQ(tab.size(), 11u);
+}
+
+TEST(InstructionTable, MetadataBytesGrowWithSize)
+{
+    InstructionTable tab;
+    std::uint64_t before = tab.metadataBytes();
+    tab.define("a", MemKind::Load, 8);
+    EXPECT_GT(tab.metadataBytes(), before);
+}
+
+TEST(Regions, NamesResolve)
+{
+    EXPECT_STREQ(regionName(RegionKind::Regular), "regular");
+    EXPECT_STREQ(regionName(RegionKind::Atomic), "atomic");
+    EXPECT_STREQ(regionName(RegionKind::Asm), "asm");
+}
+
+} // namespace tmi

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Unit tests for the MMU: mapping, translation, COW, cloning.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/mmu.hh"
+
+namespace tmi
+{
+
+namespace
+{
+
+struct MmuFixture : public ::testing::Test
+{
+    MmuFixture()
+        : mmu(smallPageShift), region("shm", mmu.phys())
+    {
+        pid = mmu.createAddressSpace();
+        region.grow(4);
+        mmu.mapShared(pid, vbase, region, 0, 4);
+    }
+
+    static constexpr Addr vbase = 0x10000000;
+    Mmu mmu;
+    ShmRegion region;
+    ProcessId pid;
+};
+
+} // namespace
+
+TEST_F(MmuFixture, TranslateSharedMapping)
+{
+    TranslateResult tr = mmu.translate(pid, vbase + 123, false);
+    EXPECT_EQ(tr.paddr,
+              (region.frameFor(0) << smallPageShift) + 123);
+    EXPECT_TRUE(tr.softFault); // first touch
+    EXPECT_FALSE(tr.cowFault);
+
+    tr = mmu.translate(pid, vbase + 124, true);
+    EXPECT_FALSE(tr.softFault); // page already touched
+}
+
+TEST_F(MmuFixture, WriteVisibleThroughSecondSpace)
+{
+    ProcessId pid2 = mmu.createAddressSpace();
+    mmu.mapShared(pid2, vbase, region, 0, 4);
+
+    std::uint32_t v = 77;
+    mmu.write(pid, vbase + 8, &v, 4);
+    std::uint32_t out = 0;
+    mmu.read(pid2, vbase + 8, &out, 4);
+    EXPECT_EQ(out, 77u);
+}
+
+TEST_F(MmuFixture, ProtectTriggersCowOnWriteOnly)
+{
+    VPage vp = mmu.vpageOf(vbase);
+    mmu.protectPrivateCow(pid, vp);
+    EXPECT_TRUE(mmu.isProtected(pid, vp));
+
+    // Reads do not fault and still see shared data.
+    std::uint32_t v = 5;
+    // Seed shared data via a second space.
+    ProcessId pid2 = mmu.createAddressSpace();
+    mmu.mapShared(pid2, vbase, region, 0, 4);
+    mmu.write(pid2, vbase, &v, 4);
+
+    std::uint32_t out = 0;
+    mmu.read(pid, vbase, &out, 4);
+    EXPECT_EQ(out, 5u);
+    EXPECT_EQ(mmu.cowFaults(), 0u);
+
+    // First write copies the frame.
+    std::uint32_t w = 9;
+    TranslateResult tr = mmu.translate(pid, vbase, true);
+    EXPECT_TRUE(tr.cowFault);
+    mmu.phys().write(tr.paddr, &w, 4);
+    EXPECT_EQ(mmu.cowFaults(), 1u);
+
+    // Private write invisible to the other space.
+    mmu.read(pid2, vbase, &out, 4);
+    EXPECT_EQ(out, 5u);
+    mmu.read(pid, vbase, &out, 4);
+    EXPECT_EQ(out, 9u);
+}
+
+TEST_F(MmuFixture, CowCallbackReceivesFrames)
+{
+    VPage vp = mmu.vpageOf(vbase);
+    mmu.protectPrivateCow(pid, vp);
+    bool called = false;
+    mmu.setCowCallback([&](ProcessId p, VPage v, PPage shared,
+                           PPage priv) -> Cycles {
+        called = true;
+        EXPECT_EQ(p, pid);
+        EXPECT_EQ(v, vp);
+        EXPECT_EQ(shared, region.frameFor(0));
+        EXPECT_NE(priv, shared);
+        return 123;
+    });
+    TranslateResult tr = mmu.translate(pid, vbase, true);
+    EXPECT_TRUE(called);
+    EXPECT_EQ(tr.extraCost, 123u);
+}
+
+TEST_F(MmuFixture, DropPrivateFrameReArms)
+{
+    VPage vp = mmu.vpageOf(vbase);
+    mmu.protectPrivateCow(pid, vp);
+    mmu.translate(pid, vbase, true);
+    EXPECT_EQ(mmu.cowFaults(), 1u);
+
+    mmu.dropPrivateFrame(pid, vp);
+    EXPECT_TRUE(mmu.isProtected(pid, vp));
+    mmu.translate(pid, vbase, true);
+    EXPECT_EQ(mmu.cowFaults(), 2u);
+}
+
+TEST_F(MmuFixture, UnprotectRestoresSharing)
+{
+    VPage vp = mmu.vpageOf(vbase);
+    mmu.protectPrivateCow(pid, vp);
+    mmu.translate(pid, vbase, true);
+    mmu.dropPrivateFrame(pid, vp);
+    mmu.unprotect(pid, vp);
+    EXPECT_FALSE(mmu.isProtected(pid, vp));
+
+    TranslateResult tr = mmu.translate(pid, vbase, true);
+    EXPECT_FALSE(tr.cowFault);
+    EXPECT_EQ(tr.paddr, region.frameFor(0) << smallPageShift);
+}
+
+TEST_F(MmuFixture, CloneSharesFramesUntilProtected)
+{
+    std::uint64_t v = 42;
+    mmu.write(pid, vbase + 64, &v, 8);
+
+    ProcessId clone = mmu.cloneAddressSpace(pid);
+    std::uint64_t out = 0;
+    mmu.read(clone, vbase + 64, &out, 8);
+    EXPECT_EQ(out, 42u);
+
+    // Writes through either space stay visible to both (shared).
+    std::uint64_t w = 43;
+    mmu.write(clone, vbase + 64, &w, 8);
+    mmu.read(pid, vbase + 64, &out, 8);
+    EXPECT_EQ(out, 43u);
+}
+
+TEST_F(MmuFixture, ClonedPrivatePagesAreCopied)
+{
+    VPage vp = mmu.vpageOf(vbase);
+    mmu.protectPrivateCow(pid, vp);
+    std::uint64_t v = 7;
+    mmu.write(pid, vbase, &v, 8); // COW into pid's private frame
+
+    ProcessId clone = mmu.cloneAddressSpace(pid);
+    std::uint64_t out = 0;
+    mmu.read(clone, vbase, &out, 8);
+    EXPECT_EQ(out, 7u); // fork copies the dirty private page
+
+    std::uint64_t w = 8;
+    mmu.write(clone, vbase, &w, 8);
+    mmu.read(pid, vbase, &out, 8);
+    EXPECT_EQ(out, 7u); // and the copies are independent
+}
+
+TEST_F(MmuFixture, ReadSharedBypassesPrivate)
+{
+    VPage vp = mmu.vpageOf(vbase);
+    mmu.protectPrivateCow(pid, vp);
+    std::uint64_t v = 11;
+    mmu.write(pid, vbase, &v, 8); // private
+
+    std::uint64_t out = 99;
+    mmu.readShared(pid, vbase, &out, 8);
+    EXPECT_EQ(out, 0u); // shared frame still zero
+}
+
+TEST_F(MmuFixture, TranslatePeekHasNoSideEffects)
+{
+    Addr paddr = 0;
+    EXPECT_TRUE(mmu.translatePeek(pid, vbase + 5, paddr));
+    EXPECT_EQ(mmu.softFaults(), 0u);
+    EXPECT_FALSE(mmu.translatePeek(pid, 0xdead0000, paddr));
+}
+
+TEST_F(MmuFixture, PageSpanningDataOps)
+{
+    std::vector<std::uint8_t> data(smallPageBytes + 100, 0xab);
+    mmu.write(pid, vbase + 50, data.data(), data.size());
+    std::vector<std::uint8_t> out(data.size());
+    mmu.read(pid, vbase + 50, out.data(), out.size());
+    EXPECT_EQ(out, data);
+}
+
+} // namespace tmi

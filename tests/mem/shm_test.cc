@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Unit tests for shared-memory regions and address-space basics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/address_space.hh"
+#include "mem/shm.hh"
+
+namespace tmi
+{
+
+TEST(ShmRegion, GrowAllocatesFreshFrames)
+{
+    PhysicalMemory phys(smallPageShift);
+    ShmRegion region("r", phys);
+    EXPECT_EQ(region.pages(), 0u);
+
+    EXPECT_EQ(region.grow(3), 0u);
+    EXPECT_EQ(region.pages(), 3u);
+    EXPECT_EQ(region.bytes(), 3 * smallPageBytes);
+
+    EXPECT_EQ(region.grow(2), 3u);
+    EXPECT_EQ(region.pages(), 5u);
+
+    // Frames are distinct and live.
+    for (std::uint64_t i = 0; i < 5; ++i) {
+        EXPECT_TRUE(phys.frameLive(region.frameFor(i)));
+        for (std::uint64_t j = i + 1; j < 5; ++j)
+            EXPECT_NE(region.frameFor(i), region.frameFor(j));
+    }
+}
+
+TEST(ShmRegion, FramesAreStableAcrossGrowth)
+{
+    PhysicalMemory phys(smallPageShift);
+    ShmRegion region("r", phys);
+    region.grow(2);
+    PPage first = region.frameFor(0);
+    region.grow(100);
+    EXPECT_EQ(region.frameFor(0), first);
+}
+
+TEST(ShmRegion, TwoRegionsDoNotShareFrames)
+{
+    PhysicalMemory phys(smallPageShift);
+    ShmRegion a("a", phys), b("b", phys);
+    a.grow(2);
+    b.grow(2);
+    for (int i = 0; i < 2; ++i) {
+        for (int j = 0; j < 2; ++j)
+            EXPECT_NE(a.frameFor(i), b.frameFor(j));
+    }
+}
+
+TEST(AddressSpace, InstallFindErase)
+{
+    PhysicalMemory phys(smallPageShift);
+    ShmRegion region("r", phys);
+    region.grow(1);
+
+    AddressSpace as(7);
+    EXPECT_EQ(as.pid(), 7u);
+    EXPECT_EQ(as.find(100), nullptr);
+
+    PageEntry entry;
+    entry.backing = &region;
+    entry.filePage = 0;
+    as.install(100, entry);
+    ASSERT_NE(as.find(100), nullptr);
+    EXPECT_EQ(as.mappedPages(), 1u);
+    EXPECT_EQ(as.find(100)->activeFrame(), region.frameFor(0));
+
+    as.erase(100);
+    EXPECT_EQ(as.find(100), nullptr);
+}
+
+TEST(AddressSpace, ActiveFrameFollowsPrivateCopy)
+{
+    PhysicalMemory phys(smallPageShift);
+    ShmRegion region("r", phys);
+    region.grow(1);
+
+    PageEntry entry;
+    entry.backing = &region;
+    entry.filePage = 0;
+    EXPECT_EQ(entry.activeFrame(), region.frameFor(0));
+
+    entry.kind = MapKind::PrivateCow;
+    // Protected but not yet copied: still reads the shared frame.
+    EXPECT_EQ(entry.activeFrame(), region.frameFor(0));
+
+    entry.privateFrame = phys.allocFrame();
+    EXPECT_EQ(entry.activeFrame(), entry.privateFrame);
+}
+
+} // namespace tmi

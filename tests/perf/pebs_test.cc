@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Unit tests for the PEBS/perf sampling model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "perf/pebs.hh"
+
+namespace tmi
+{
+
+namespace
+{
+
+AccessContext
+hitmCtx(ThreadId tid, Addr vaddr, bool write)
+{
+    AccessContext c;
+    c.core = tid;
+    c.tid = tid;
+    c.paddr = vaddr;
+    c.vaddr = vaddr;
+    c.pc = 0x400000;
+    c.width = 8;
+    c.isWrite = write;
+    return c;
+}
+
+} // namespace
+
+TEST(Pebs, PeriodControlsRecordRate)
+{
+    PerfConfig cfg;
+    cfg.period = 10;
+    PerfSession perf(cfg);
+    perf.attachThread(3);
+    for (int i = 0; i < 1000; ++i)
+        perf.onHitm(hitmCtx(3, 0x1000, false), 100);
+    EXPECT_EQ(perf.recordsEmitted(), 100u);
+    EXPECT_EQ(perf.eventsSeen(), 1000u);
+}
+
+TEST(Pebs, UnattachedThreadIgnored)
+{
+    PerfSession perf;
+    EXPECT_EQ(perf.onHitm(hitmCtx(9, 0x1000, false), 0), 0u);
+    EXPECT_EQ(perf.eventsSeen(), 0u);
+}
+
+TEST(Pebs, EmittedRecordChargesAssistCost)
+{
+    PerfConfig cfg;
+    cfg.period = 1;
+    cfg.addrNoiseProb = 0;
+    PerfSession perf(cfg);
+    perf.attachThread(0);
+    EXPECT_EQ(perf.onHitm(hitmCtx(0, 0x1000, false), 5),
+              cfg.recordCost);
+}
+
+TEST(Pebs, StoresUnderReported)
+{
+    PerfConfig cfg;
+    cfg.period = 1;
+    cfg.storeSampleBias = 0.3;
+    PerfSession perf(cfg);
+    perf.attachThread(0);
+    perf.attachThread(1);
+    for (int i = 0; i < 10000; ++i) {
+        perf.onHitm(hitmCtx(0, 0x1000, false), 0); // loads
+        perf.onHitm(hitmCtx(1, 0x2000, true), 0);  // stores
+    }
+    std::vector<PebsRecord> loads, stores;
+    perf.drain(0, loads);
+    perf.drain(1, stores);
+    // All 10000 load events produce records (some lost to the full
+    // ring); stores count toward the period only ~30% of the time.
+    EXPECT_EQ(loads.size() + perf.recordsLost(), 10000u);
+    EXPECT_LT(stores.size(), loads.size() / 2);
+    EXPECT_GT(stores.size(), 1000u);
+}
+
+TEST(Pebs, BufferOverflowDropsRecords)
+{
+    PerfConfig cfg;
+    cfg.period = 1;
+    cfg.bufferRecords = 16;
+    cfg.storeSampleBias = 1.0;
+    PerfSession perf(cfg);
+    perf.attachThread(0);
+    for (int i = 0; i < 100; ++i)
+        perf.onHitm(hitmCtx(0, 0x1000, false), 0);
+    EXPECT_EQ(perf.recordsLost(), 84u);
+    std::vector<PebsRecord> out;
+    EXPECT_EQ(perf.drain(0, out), 16u);
+}
+
+TEST(Pebs, DrainEmptiesBuffer)
+{
+    PerfConfig cfg;
+    cfg.period = 1;
+    PerfSession perf(cfg);
+    perf.attachThread(0);
+    perf.onHitm(hitmCtx(0, 0x1234, false), 77);
+    std::vector<PebsRecord> out;
+    EXPECT_EQ(perf.drain(0, out), 1u);
+    EXPECT_EQ(out[0].tid, 0u);
+    EXPECT_EQ(out[0].pc, 0x400000u);
+    EXPECT_EQ(out[0].time, 77u);
+    out.clear();
+    EXPECT_EQ(perf.drain(0, out), 0u);
+}
+
+TEST(Pebs, DrainAllCoversThreads)
+{
+    PerfConfig cfg;
+    cfg.period = 1;
+    PerfSession perf(cfg);
+    perf.attachThread(0);
+    perf.attachThread(1);
+    perf.onHitm(hitmCtx(0, 0x1000, false), 0);
+    perf.onHitm(hitmCtx(1, 0x2000, false), 0);
+    std::vector<PebsRecord> out;
+    EXPECT_EQ(perf.drainAll(out), 2u);
+}
+
+TEST(Pebs, AddressNoiseStaysNearTruth)
+{
+    PerfConfig cfg;
+    cfg.period = 1;
+    cfg.addrNoiseProb = 1.0; // always perturb
+    PerfSession perf(cfg);
+    perf.attachThread(0);
+    for (int i = 0; i < 100; ++i)
+        perf.onHitm(hitmCtx(0, 0x10000, false), 0);
+    std::vector<PebsRecord> out;
+    perf.drain(0, out);
+    int moved = 0;
+    for (const auto &rec : out) {
+        EXPECT_LE(rec.vaddr, 0x10000u + 2 * lineBytes);
+        EXPECT_GE(rec.vaddr, 0x10000u - 2 * lineBytes);
+        if (rec.vaddr != 0x10000u)
+            ++moved;
+    }
+    EXPECT_GT(moved, 50);
+}
+
+TEST(Pebs, PcIsAlwaysExact)
+{
+    PerfConfig cfg;
+    cfg.period = 1;
+    cfg.addrNoiseProb = 1.0;
+    PerfSession perf(cfg);
+    perf.attachThread(0);
+    for (int i = 0; i < 50; ++i)
+        perf.onHitm(hitmCtx(0, 0x9000, false), 0);
+    std::vector<PebsRecord> out;
+    perf.drain(0, out);
+    for (const auto &rec : out)
+        EXPECT_EQ(rec.pc, 0x400000u);
+}
+
+TEST(Pebs, BufferBytesScalesWithThreads)
+{
+    PerfSession perf;
+    perf.attachThread(0);
+    std::uint64_t one = perf.bufferBytes();
+    perf.attachThread(1);
+    EXPECT_EQ(perf.bufferBytes(), 2 * one);
+}
+
+} // namespace tmi

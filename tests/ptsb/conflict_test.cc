@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the PTSB's racy-merge (conflict) diagnostic: Lemma 3.1
+ * operationalized. Race-free commit orders never conflict; racing
+ * commits to the same bytes are flagged.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "ptsb/ptsb.hh"
+
+namespace tmi
+{
+
+namespace
+{
+
+struct ConflictFixture : public ::testing::Test
+{
+    ConflictFixture() : mmu(smallPageShift), region("shm", mmu.phys())
+    {
+        region.grow(1);
+        for (int i = 0; i < 2; ++i) {
+            pids[i] = mmu.createAddressSpace();
+            mmu.mapShared(pids[i], vbase, region, 0, 1);
+            ptsbs[i] = std::make_unique<Ptsb>(mmu, pids[i]);
+            ptsbs[i]->protectPage(vbase >> smallPageShift);
+        }
+        mmu.setCowCallback([this](ProcessId pid, VPage vp, PPage sf,
+                                  PPage pf) -> Cycles {
+            for (int i = 0; i < 2; ++i) {
+                if (pids[i] == pid)
+                    return ptsbs[i]->onCowFault(vp, sf, pf);
+            }
+            return 0;
+        });
+    }
+
+    static constexpr Addr vbase = 0x10000000;
+    Mmu mmu;
+    ShmRegion region;
+    ProcessId pids[2] = {};
+    std::unique_ptr<Ptsb> ptsbs[2];
+};
+
+} // namespace
+
+TEST_F(ConflictFixture, RacingSameByteWritesFlagConflict)
+{
+    std::uint8_t a = 1, b = 2;
+    mmu.write(pids[0], vbase, &a, 1);
+    mmu.write(pids[1], vbase, &b, 1);
+    CommitResult r0 = ptsbs[0]->commit();
+    CommitResult r1 = ptsbs[1]->commit();
+    EXPECT_EQ(r0.conflictBytes, 0u); // first merge sees clean shared
+    EXPECT_EQ(r1.conflictBytes, 1u); // second overwrites a racy byte
+    EXPECT_EQ(ptsbs[1]->conflictBytes(), 1u);
+}
+
+TEST_F(ConflictFixture, DisjointRacingWritesDoNotConflict)
+{
+    std::uint64_t a = 1, b = 2;
+    mmu.write(pids[0], vbase, &a, 8);
+    mmu.write(pids[1], vbase + 8, &b, 8);
+    EXPECT_EQ(ptsbs[0]->commit().conflictBytes, 0u);
+    EXPECT_EQ(ptsbs[1]->commit().conflictBytes, 0u);
+}
+
+TEST_F(ConflictFixture, SerializedWritesNeverConflict)
+{
+    // Commit-between-writes = synchronization: no conflicts, ever.
+    for (int round = 0; round < 10; ++round) {
+        std::uint64_t v = round;
+        mmu.write(pids[round % 2], vbase, &v, 8);
+        EXPECT_EQ(ptsbs[round % 2]->commit().conflictBytes, 0u);
+    }
+}
+
+TEST_F(ConflictFixture, Figure3TearingReportsConflicts)
+{
+    // The Figure 3 AMBSA program: the halves that overlap in the
+    // merge are racy; the diagnostic sees the second commit touch a
+    // line whose bytes... in this specific pattern the two stores
+    // change DISJOINT bytes (0xAB00 changes the high byte, 0x00CD
+    // the low byte), which is exactly why tearing is silent: no
+    // conflict is flagged even though AMBSA broke.
+    std::uint16_t s0 = 0xAB00, s1 = 0x00CD;
+    mmu.write(pids[0], vbase, &s0, 2);
+    mmu.write(pids[1], vbase, &s1, 2);
+    EXPECT_EQ(ptsbs[0]->commit().conflictBytes, 0u);
+    EXPECT_EQ(ptsbs[1]->commit().conflictBytes, 0u);
+
+    std::uint16_t x = 0;
+    mmu.readShared(pids[0], vbase, &x, 2);
+    EXPECT_EQ(x, 0xABCD); // torn, yet conflict-free: races on
+                          // distinct bytes evade byte-level checks
+}
+
+/** Randomized: conflicts appear iff byte ranges race. */
+class ConflictSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ConflictSweep, RandomRaceFreeScheduleIsConflictFree)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    Mmu mmu(smallPageShift);
+    ShmRegion region("shm", mmu.phys());
+    region.grow(1);
+    constexpr Addr vbase = 0x10000000;
+    ProcessId pids[2];
+    std::unique_ptr<Ptsb> ptsbs[2];
+    for (int i = 0; i < 2; ++i) {
+        pids[i] = mmu.createAddressSpace();
+        mmu.mapShared(pids[i], vbase, region, 0, 1);
+        ptsbs[i] = std::make_unique<Ptsb>(mmu, pids[i]);
+        ptsbs[i]->protectPage(vbase >> smallPageShift);
+    }
+    Ptsb *p0 = ptsbs[0].get();
+    Ptsb *p1 = ptsbs[1].get();
+    mmu.setCowCallback([&](ProcessId pid, VPage vp, PPage sf,
+                           PPage pf) -> Cycles {
+        return (pid == pids[0] ? p0 : p1)->onCowFault(vp, sf, pf);
+    });
+
+    // Race-free: one writer at a time, commit before handover.
+    std::uint64_t total_conflicts = 0;
+    for (int round = 0; round < 50; ++round) {
+        int who = static_cast<int>(rng.below(2));
+        for (int w = 0; w < 10; ++w) {
+            std::uint64_t v = rng.next() | 1;
+            Addr off = rng.below(smallPageBytes / 8) * 8;
+            mmu.write(pids[who], vbase + off, &v, 8);
+        }
+        total_conflicts +=
+            ptsbs[who]->commit().conflictBytes;
+    }
+    EXPECT_EQ(total_conflicts, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConflictSweep,
+                         ::testing::Values(11, 22, 33, 44));
+
+} // namespace tmi

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Unit tests for the Machine facade: data integrity, atomics, sync
+ * traffic, threads, bulk operations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/machine.hh"
+
+namespace tmi
+{
+
+namespace
+{
+
+struct MachineFixture : public ::testing::Test
+{
+    MachineFixture() : machine(MachineConfig{})
+    {
+        pc_load = machine.instructions().define("t.load",
+                                                MemKind::Load, 8);
+        pc_store = machine.instructions().define("t.store",
+                                                 MemKind::Store, 8);
+        pc_load4 = machine.instructions().define("t.load4",
+                                                 MemKind::Load, 4);
+        pc_store4 = machine.instructions().define("t.store4",
+                                                  MemKind::Store, 4);
+    }
+
+    /** Run @p fn as a single app thread to completion. */
+    RunOutcome
+    runAs(std::function<void(ThreadApi &)> fn)
+    {
+        machine.spawnThread("test", std::move(fn));
+        return machine.sched().run(10'000'000'000ULL);
+    }
+
+    Machine machine;
+    Addr pc_load = 0, pc_store = 0, pc_load4 = 0, pc_store4 = 0;
+};
+
+} // namespace
+
+TEST_F(MachineFixture, StoreLoadRoundTrip)
+{
+    runAs([&](ThreadApi &api) {
+        Addr a = api.malloc(64);
+        api.store(pc_store, a, 0x1122334455667788ULL);
+        EXPECT_EQ(api.load(pc_load, a), 0x1122334455667788ULL);
+        api.store(pc_store4, a + 8, 0xabcd);
+        EXPECT_EQ(api.load(pc_load4, a + 8), 0xabcdu);
+    });
+}
+
+TEST_F(MachineFixture, NarrowLoadSeesPartOfWideStore)
+{
+    runAs([&](ThreadApi &api) {
+        Addr a = api.malloc(64);
+        api.store(pc_store, a, 0x1122334455667788ULL);
+        // Little-endian: low 4 bytes.
+        EXPECT_EQ(api.load(pc_load4, a), 0x55667788u);
+    });
+}
+
+TEST_F(MachineFixture, AccessesAdvanceSimTime)
+{
+    runAs([&](ThreadApi &api) {
+        Addr a = api.malloc(64);
+        Cycles before = api.machine().sched().now();
+        api.store(pc_store, a, 1);
+        EXPECT_GT(api.machine().sched().now(), before);
+    });
+}
+
+TEST_F(MachineFixture, AtomicFetchAddAccumulates)
+{
+    runAs([&](ThreadApi &api) {
+        Addr a = api.malloc(64);
+        EXPECT_EQ(api.fetchAdd(pc_store, a, 5), 0u);
+        EXPECT_EQ(api.fetchAdd(pc_store, a, 3), 5u);
+        EXPECT_EQ(api.atomicLoad(pc_load, a), 8u);
+    });
+}
+
+TEST_F(MachineFixture, CasSucceedsAndFails)
+{
+    runAs([&](ThreadApi &api) {
+        Addr a = api.malloc(64);
+        api.atomicStore(pc_store, a, 10);
+        EXPECT_TRUE(api.cas(pc_store, a, 10, 20));
+        EXPECT_FALSE(api.cas(pc_store, a, 10, 30));
+        EXPECT_EQ(api.atomicLoad(pc_load, a), 20u);
+    });
+}
+
+TEST_F(MachineFixture, MultiThreadCounterWithMutex)
+{
+    Addr counter = 0;
+    Addr lock = 0;
+    machine.spawnThread("main", [&](ThreadApi &api) {
+        counter = api.memalign(lineBytes, 8);
+        api.fill(counter, 0, 8);
+        lock = api.memalign(lineBytes, lineBytes);
+        api.mutexInit(lock);
+        std::vector<ThreadId> workers;
+        for (int t = 0; t < 4; ++t) {
+            workers.push_back(
+                api.spawn("w" + std::to_string(t), [&](ThreadApi &w) {
+                    for (int i = 0; i < 200; ++i) {
+                        w.mutexLock(lock);
+                        std::uint64_t v = w.load(pc_load, counter);
+                        w.store(pc_store, counter, v + 1);
+                        w.mutexUnlock(lock);
+                    }
+                }));
+        }
+        for (ThreadId t : workers)
+            api.join(t);
+        EXPECT_EQ(api.load(pc_load, counter), 800u);
+    });
+    EXPECT_EQ(machine.sched().run(10'000'000'000ULL),
+              RunOutcome::Completed);
+}
+
+TEST_F(MachineFixture, RacyIncrementWithoutLockLosesUpdates)
+{
+    // Sanity check that contention is real in the simulation: two
+    // threads doing read-modify-write without a lock interleave and
+    // lose updates (with a quantum small enough to interleave).
+    Addr counter = 0;
+    machine.spawnThread("main", [&](ThreadApi &api) {
+        counter = api.memalign(lineBytes, 8);
+        api.fill(counter, 0, 8);
+        std::vector<ThreadId> workers;
+        for (int t = 0; t < 4; ++t) {
+            workers.push_back(
+                api.spawn("w" + std::to_string(t), [&](ThreadApi &w) {
+                    for (int i = 0; i < 500; ++i) {
+                        std::uint64_t v = w.load(pc_load, counter);
+                        w.compute(100); // widen the race window
+                        w.store(pc_store, counter, v + 1);
+                    }
+                }));
+        }
+        for (ThreadId t : workers)
+            api.join(t);
+        EXPECT_LT(api.load(pc_load, counter), 2000u);
+    });
+    EXPECT_EQ(machine.sched().run(10'000'000'000ULL),
+              RunOutcome::Completed);
+}
+
+TEST_F(MachineFixture, FalseSharingGeneratesHitm)
+{
+    machine.spawnThread("main", [&](ThreadApi &api) {
+        Addr arr = api.memalign(lineBytes, 16); // two slots, one line
+        api.fill(arr, 0, 16);
+        std::vector<ThreadId> workers;
+        for (int t = 0; t < 2; ++t) {
+            Addr slot = arr + t * 8;
+            workers.push_back(
+                api.spawn("w" + std::to_string(t),
+                          [&, slot](ThreadApi &w) {
+                              for (int i = 0; i < 2000; ++i)
+                                  w.store(pc_store, slot, i);
+                          }));
+        }
+        for (ThreadId t : workers)
+            api.join(t);
+    });
+    machine.sched().run(10'000'000'000ULL);
+    EXPECT_GT(machine.cache().hitmEvents(), 100u);
+}
+
+TEST_F(MachineFixture, PaddedSlotsGenerateNoHitm)
+{
+    machine.spawnThread("main", [&](ThreadApi &api) {
+        Addr arr = api.memalign(lineBytes, 2 * lineBytes);
+        api.fill(arr, 0, 2 * lineBytes);
+        std::vector<ThreadId> workers;
+        for (int t = 0; t < 2; ++t) {
+            Addr slot = arr + t * lineBytes;
+            workers.push_back(
+                api.spawn("w" + std::to_string(t),
+                          [&, slot](ThreadApi &w) {
+                              for (int i = 0; i < 2000; ++i)
+                                  w.store(pc_store, slot, i);
+                          }));
+        }
+        for (ThreadId t : workers)
+            api.join(t);
+    });
+    machine.sched().run(10'000'000'000ULL);
+    EXPECT_EQ(machine.cache().hitmEvents(), 0u);
+}
+
+TEST_F(MachineFixture, BulkWriteReadRoundTrip)
+{
+    runAs([&](ThreadApi &api) {
+        Addr a = api.malloc(10000);
+        std::vector<std::uint8_t> data(10000);
+        for (std::size_t i = 0; i < data.size(); ++i)
+            data[i] = static_cast<std::uint8_t>(i * 7);
+        api.writeBuf(a, data.data(), data.size());
+        std::vector<std::uint8_t> out(10000);
+        api.readBuf(a, out.data(), out.size());
+        EXPECT_EQ(out, data);
+    });
+}
+
+TEST_F(MachineFixture, JoinWaitsForTarget)
+{
+    machine.spawnThread("main", [&](ThreadApi &api) {
+        Addr flag = api.malloc(8);
+        api.fill(flag, 0, 8);
+        ThreadId w = api.spawn("worker", [&](ThreadApi &wapi) {
+            wapi.compute(100000);
+            wapi.store(pc_store, flag, 1);
+        });
+        api.join(w);
+        EXPECT_EQ(api.load(pc_load, flag), 1u);
+        EXPECT_GE(api.machine().sched().now(), 100000u);
+    });
+    EXPECT_EQ(machine.sched().run(10'000'000'000ULL),
+              RunOutcome::Completed);
+}
+
+TEST_F(MachineFixture, JoinOfFinishedThreadReturnsImmediately)
+{
+    machine.spawnThread("main", [&](ThreadApi &api) {
+        ThreadId w = api.spawn("worker", [](ThreadApi &) {});
+        api.compute(1'000'000); // let the worker finish
+        api.join(w);
+        api.join(w); // idempotent
+    });
+    EXPECT_EQ(machine.sched().run(10'000'000'000ULL),
+              RunOutcome::Completed);
+}
+
+TEST_F(MachineFixture, InternalAllocIsLineAlignedAndFiltered)
+{
+    Addr a = machine.internalAlloc(10);
+    Addr b = machine.internalAlloc(10);
+    EXPECT_EQ(a % lineBytes, 0u);
+    EXPECT_GE(b, a + lineBytes);
+    EXPECT_FALSE(machine.addressMap().eligible(a));
+    EXPECT_EQ(machine.internalBytes(), 2 * lineBytes);
+}
+
+TEST_F(MachineFixture, HeapIsEligibleForDetection)
+{
+    runAs([&](ThreadApi &api) {
+        Addr a = api.malloc(64);
+        EXPECT_TRUE(api.machine().addressMap().eligible(a));
+    });
+}
+
+TEST_F(MachineFixture, SoftFaultsChargedOnFirstTouch)
+{
+    runAs([&](ThreadApi &api) {
+        Addr a = api.malloc(smallPageBytes * 4);
+        Cycles t0 = api.machine().sched().now();
+        api.store(pc_store, a, 1); // first touch: fault
+        Cycles faulted = api.machine().sched().now() - t0;
+        t0 = api.machine().sched().now();
+        api.store(pc_store, a + 8, 2); // same page: no fault
+        Cycles warm = api.machine().sched().now() - t0;
+        EXPECT_GT(faulted, warm);
+    });
+}
+
+TEST_F(MachineFixture, PeekMatchesStoredData)
+{
+    Addr a = 0;
+    runAs([&](ThreadApi &api) {
+        a = api.malloc(64);
+        api.store(pc_store, a, 424242);
+    });
+    EXPECT_EQ(machine.peek(a, 8), 424242u);
+    EXPECT_EQ(machine.peekShared(a, 8), 424242u);
+}
+
+} // namespace tmi

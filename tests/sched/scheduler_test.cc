@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Unit tests for the green-thread scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sched/scheduler.hh"
+
+namespace tmi
+{
+
+TEST(Scheduler, RunsSingleThreadToCompletion)
+{
+    SimScheduler sched;
+    bool ran = false;
+    sched.spawn("t", [&] { ran = true; });
+    EXPECT_EQ(sched.run(), RunOutcome::Completed);
+    EXPECT_TRUE(ran);
+}
+
+TEST(Scheduler, AdvanceAccumulatesClock)
+{
+    SimScheduler sched;
+    sched.spawn("t", [&] {
+        sched.advance(100);
+        sched.advance(250);
+    });
+    sched.run();
+    EXPECT_EQ(sched.maxClock(), 350u);
+}
+
+TEST(Scheduler, MinClockFirstInterleaving)
+{
+    // The slow thread advances in big steps; the fast one in small
+    // steps. Min-clock scheduling must interleave them so that the
+    // fast thread's events stay between the slow thread's.
+    SimScheduler sched(10);
+    std::vector<int> order;
+    sched.spawn("slow", [&] {
+        for (int i = 0; i < 3; ++i) {
+            order.push_back(100 + i);
+            sched.advance(100);
+        }
+    });
+    sched.spawn("fast", [&] {
+        for (int i = 0; i < 3; ++i) {
+            order.push_back(200 + i);
+            sched.advance(10);
+        }
+    });
+    sched.run();
+    // fast(200,201,202) all run before slow's second step (101)
+    // because their clocks (0,10,20) are below 100.
+    auto pos = [&](int v) {
+        for (std::size_t i = 0; i < order.size(); ++i) {
+            if (order[i] == v)
+                return i;
+        }
+        return order.size();
+    };
+    EXPECT_LT(pos(202), pos(101));
+}
+
+TEST(Scheduler, BlockAndWake)
+{
+    SimScheduler sched;
+    bool woke = false;
+    ThreadId sleeper = sched.spawn("sleeper", [&] {
+        sched.block();
+        woke = true;
+    });
+    sched.spawn("waker", [&] {
+        sched.advance(500);
+        sched.wake(sleeper, sched.now());
+    });
+    EXPECT_EQ(sched.run(), RunOutcome::Completed);
+    EXPECT_TRUE(woke);
+    // The sleeper resumed no earlier than the waker's clock.
+    EXPECT_GE(sched.thread(sleeper).clock(), 500u);
+}
+
+TEST(Scheduler, WakeBeforeBlockIsNotLost)
+{
+    // A wake that arrives while the target is still Running must be
+    // consumed by the next block() instead of losing the wakeup.
+    SimScheduler sched(1000000); // huge quantum: no preemption
+    ThreadId a = sched.spawn("a", [&] {
+        sched.yield(); // let b run first
+        sched.block(); // b already woke us: must not sleep
+    });
+    sched.spawn("b", [&] { sched.wake(a, 42); });
+    EXPECT_EQ(sched.run(), RunOutcome::Completed);
+}
+
+TEST(Scheduler, DeadlockDetected)
+{
+    SimScheduler sched;
+    sched.spawn("stuck", [&] { sched.block(); });
+    EXPECT_EQ(sched.run(), RunOutcome::Deadlock);
+}
+
+TEST(Scheduler, TimeoutOnRunawayThread)
+{
+    SimScheduler sched;
+    sched.spawn("spin", [&] {
+        while (true)
+            sched.advance(100);
+    });
+    EXPECT_EQ(sched.run(50000), RunOutcome::Timeout);
+}
+
+TEST(Scheduler, DaemonDoesNotKeepSimulationAlive)
+{
+    SimScheduler sched;
+    sched.spawn(
+        "daemon",
+        [&] {
+            while (true)
+                sched.sleepUntil(sched.now() + 1000);
+        },
+        /*daemon=*/true);
+    sched.spawn("app", [&] { sched.advance(5000); });
+    EXPECT_EQ(sched.run(), RunOutcome::Completed);
+}
+
+TEST(Scheduler, SleepUntilAdvancesClock)
+{
+    SimScheduler sched;
+    sched.spawn("s", [&] {
+        sched.sleepUntil(12345);
+        EXPECT_GE(sched.now(), 12345u);
+    });
+    sched.run();
+    EXPECT_GE(sched.maxClock(), 12345u);
+}
+
+TEST(Scheduler, SpawnFromInsideThreadInheritsClock)
+{
+    SimScheduler sched;
+    Cycles child_start = 0;
+    sched.spawn("parent", [&] {
+        sched.advance(700);
+        sched.spawn("child",
+                    [&] { child_start = sched.now(); });
+    });
+    sched.run();
+    EXPECT_GE(child_start, 700u);
+}
+
+TEST(Scheduler, PenalizeAddsTime)
+{
+    SimScheduler sched;
+    ThreadId t = sched.spawn("t", [&] { sched.block(); });
+    sched.spawn("p", [&] {
+        sched.penalize(t, 9000);
+        sched.wake(t, 0);
+    });
+    EXPECT_EQ(sched.run(), RunOutcome::Completed);
+    EXPECT_GE(sched.thread(t).clock(), 9000u);
+    EXPECT_GE(sched.maxClock(), 9000u);
+}
+
+TEST(Scheduler, ManyThreadsAllComplete)
+{
+    SimScheduler sched;
+    int done = 0;
+    for (int i = 0; i < 32; ++i) {
+        sched.spawn("w" + std::to_string(i), [&, i] {
+            for (int k = 0; k < i + 1; ++k)
+                sched.advance(10);
+            ++done;
+        });
+    }
+    EXPECT_EQ(sched.run(), RunOutcome::Completed);
+    EXPECT_EQ(done, 32);
+    EXPECT_GT(sched.contextSwitches(), 32u);
+}
+
+} // namespace tmi

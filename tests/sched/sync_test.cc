@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Unit tests for simulated synchronization primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sched/sync.hh"
+
+namespace tmi
+{
+
+namespace
+{
+
+struct SyncFixture : public ::testing::Test
+{
+    SyncFixture() : sched(100), sync(sched) {}
+
+    SimScheduler sched;
+    SyncManager sync;
+};
+
+} // namespace
+
+TEST_F(SyncFixture, MutexProvidesMutualExclusion)
+{
+    sync.mutexInit(1);
+    int in_critical = 0;
+    bool overlap = false;
+    for (int i = 0; i < 4; ++i) {
+        sched.spawn("t" + std::to_string(i), [&] {
+            for (int k = 0; k < 50; ++k) {
+                sync.mutexLock(1);
+                ++in_critical;
+                if (in_critical > 1)
+                    overlap = true;
+                sched.advance(500); // long critical section
+                --in_critical;
+                sync.mutexUnlock(1);
+                sched.advance(50);
+            }
+        });
+    }
+    EXPECT_EQ(sched.run(), RunOutcome::Completed);
+    EXPECT_FALSE(overlap);
+    EXPECT_EQ(sync.acquires(), 200u);
+    EXPECT_GT(sync.contendedAcquires(), 0u);
+}
+
+TEST_F(SyncFixture, TryLockFailsWhenHeld)
+{
+    sync.mutexInit(1);
+    sched.spawn("holder", [&] {
+        EXPECT_TRUE(sync.mutexTryLock(1));
+        sched.spawn("prober", [&] {
+            EXPECT_FALSE(sync.mutexTryLock(1));
+        });
+        sched.advance(10000);
+        sync.mutexUnlock(1);
+    });
+    EXPECT_EQ(sched.run(), RunOutcome::Completed);
+}
+
+TEST_F(SyncFixture, MutexHandoffIsFifo)
+{
+    sync.mutexInit(1);
+    std::vector<int> order;
+    sched.spawn("t0", [&] {
+        sync.mutexLock(1);
+        sched.advance(10000); // let waiters queue in spawn order
+        sync.mutexUnlock(1);
+    });
+    for (int i = 1; i <= 3; ++i) {
+        sched.spawn("t" + std::to_string(i), [&, i] {
+            sched.advance(static_cast<Cycles>(i)); // queue in order
+            sync.mutexLock(1);
+            order.push_back(i);
+            sync.mutexUnlock(1);
+        });
+    }
+    EXPECT_EQ(sched.run(), RunOutcome::Completed);
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], 1);
+    EXPECT_EQ(order[1], 2);
+    EXPECT_EQ(order[2], 3);
+}
+
+TEST_F(SyncFixture, BarrierReleasesAllAtMaxArrival)
+{
+    sync.barrierInit(7, 3);
+    Cycles release[3] = {};
+    for (int i = 0; i < 3; ++i) {
+        sched.spawn("t" + std::to_string(i), [&, i] {
+            sched.advance(static_cast<Cycles>(1000 * (i + 1)));
+            sync.barrierWait(7);
+            release[i] = sched.now();
+        });
+    }
+    EXPECT_EQ(sched.run(), RunOutcome::Completed);
+    // Nobody leaves the barrier before the last arrival (~3000).
+    for (int i = 0; i < 3; ++i)
+        EXPECT_GE(release[i], 3000u);
+}
+
+TEST_F(SyncFixture, BarrierIsReusable)
+{
+    sync.barrierInit(7, 2);
+    int rounds_done = 0;
+    for (int i = 0; i < 2; ++i) {
+        sched.spawn("t" + std::to_string(i), [&, i] {
+            for (int r = 0; r < 5; ++r) {
+                sched.advance(static_cast<Cycles>(100 * (i + 1)));
+                sync.barrierWait(7);
+            }
+            ++rounds_done;
+        });
+    }
+    EXPECT_EQ(sched.run(), RunOutcome::Completed);
+    EXPECT_EQ(rounds_done, 2);
+}
+
+TEST_F(SyncFixture, CondSignalWakesOneWaiter)
+{
+    sync.mutexInit(1);
+    sync.condInit(2);
+    int woken = 0;
+    for (int i = 0; i < 2; ++i) {
+        sched.spawn("waiter" + std::to_string(i), [&] {
+            sync.mutexLock(1);
+            sync.condWait(2, 1);
+            ++woken;
+            sync.mutexUnlock(1);
+        });
+    }
+    sched.spawn("signaler", [&] {
+        sched.advance(5000);
+        sync.mutexLock(1);
+        sync.condSignal(2);
+        sync.mutexUnlock(1);
+        sched.advance(5000);
+        sync.mutexLock(1);
+        sync.condSignal(2);
+        sync.mutexUnlock(1);
+    });
+    EXPECT_EQ(sched.run(), RunOutcome::Completed);
+    EXPECT_EQ(woken, 2);
+}
+
+TEST_F(SyncFixture, CondBroadcastWakesAll)
+{
+    sync.mutexInit(1);
+    sync.condInit(2);
+    int woken = 0;
+    for (int i = 0; i < 4; ++i) {
+        sched.spawn("waiter" + std::to_string(i), [&] {
+            sync.mutexLock(1);
+            sync.condWait(2, 1);
+            ++woken;
+            sync.mutexUnlock(1);
+        });
+    }
+    sched.spawn("bcast", [&] {
+        sched.advance(5000);
+        sync.mutexLock(1);
+        sync.condBroadcast(2);
+        sync.mutexUnlock(1);
+    });
+    EXPECT_EQ(sched.run(), RunOutcome::Completed);
+    EXPECT_EQ(woken, 4);
+}
+
+TEST_F(SyncFixture, SignalBetweenUnlockAndBlockNotLost)
+{
+    // Regression for the classic lost-wakeup window: the signaler
+    // runs in the gap where the waiter has released the mutex but
+    // has not yet blocked.
+    sync.mutexInit(1);
+    sync.condInit(2);
+    SimScheduler tight(1); // quantum 1: maximum interleaving
+    SyncManager tsync(tight);
+    tsync.mutexInit(1);
+    tsync.condInit(2);
+    bool woke = false;
+    tight.spawn("waiter", [&] {
+        tsync.mutexLock(1);
+        tsync.condWait(2, 1);
+        woke = true;
+        tsync.mutexUnlock(1);
+    });
+    tight.spawn("signaler", [&] {
+        tight.advance(2);
+        tsync.mutexLock(1);
+        tsync.condSignal(2);
+        tsync.mutexUnlock(1);
+    });
+    EXPECT_EQ(tight.run(1000000), RunOutcome::Completed);
+    EXPECT_TRUE(woke);
+}
+
+} // namespace tmi

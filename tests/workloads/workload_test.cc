@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Parameterized correctness sweep: every registered workload must
+ * complete and validate under plain pthreads and under the manual
+ * fix, at small scale.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "workloads/workload.hh"
+
+namespace tmi
+{
+
+namespace
+{
+
+std::vector<std::string>
+allWorkloadNames()
+{
+    std::vector<std::string> names;
+    for (const auto &info : workloadRegistry())
+        names.push_back(info.name);
+    return names;
+}
+
+} // namespace
+
+class WorkloadSweep : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadSweep, ValidUnderPthreads)
+{
+    ExperimentConfig cfg;
+    cfg.workload = GetParam();
+    cfg.threads = 4;
+    cfg.scale = 1;
+    RunResult res = runExperiment(cfg);
+    EXPECT_EQ(res.outcome, RunOutcome::Completed);
+    EXPECT_TRUE(res.valid) << GetParam();
+    EXPECT_GT(res.cycles, 0u);
+    EXPECT_GT(res.memOps, 0u);
+}
+
+TEST_P(WorkloadSweep, ValidUnderManualFix)
+{
+    ExperimentConfig cfg;
+    cfg.workload = GetParam();
+    cfg.treatment = Treatment::Manual;
+    cfg.threads = 4;
+    cfg.scale = 1;
+    RunResult res = runExperiment(cfg);
+    EXPECT_TRUE(res.compatible) << GetParam();
+}
+
+TEST_P(WorkloadSweep, DeterministicAcrossRuns)
+{
+    ExperimentConfig cfg;
+    cfg.workload = GetParam();
+    cfg.threads = 2;
+    cfg.scale = 1;
+    RunResult a = runExperiment(cfg);
+    RunResult b = runExperiment(cfg);
+    EXPECT_EQ(a.cycles, b.cycles) << GetParam();
+    EXPECT_EQ(a.hitmEvents, b.hitmEvents) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, WorkloadSweep, ::testing::ValuesIn(allWorkloadNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(WorkloadRegistry, HasThePapersThirtyFiveWorkloadsPlusCholesky)
+{
+    unsigned overhead_set = 0;
+    for (const auto &info : workloadRegistry())
+        overhead_set += info.inOverheadSet;
+    EXPECT_EQ(overhead_set, 35u);
+    EXPECT_EQ(workloadRegistry().size(), 36u);
+}
+
+TEST(WorkloadRegistry, FalseSharingSetMatchesFigure9)
+{
+    std::vector<std::string> expected = {
+        "histogram", "histogramfs", "lreg", "stringmatch", "lu-ncb",
+        "leveldb", "spinlockpool", "shptr-relaxed", "shptr-lock"};
+    std::vector<std::string> got;
+    for (const auto &info : workloadRegistry()) {
+        if (info.knownFalseSharing)
+            got.push_back(info.name);
+    }
+    EXPECT_EQ(got, expected);
+}
+
+TEST(WorkloadRegistry, FindWorkloadReturnsEntry)
+{
+    EXPECT_EQ(findWorkload("leveldb").name, "leveldb");
+    EXPECT_TRUE(findWorkload("canneal").usesAtomicsOrAsm);
+    EXPECT_DEATH_IF_SUPPORTED(
+        { findWorkload("does-not-exist"); }, "unknown workload");
+}
+
+} // namespace tmi
