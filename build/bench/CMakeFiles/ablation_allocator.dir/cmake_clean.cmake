@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_allocator.dir/ablation_allocator.cc.o"
+  "CMakeFiles/ablation_allocator.dir/ablation_allocator.cc.o.d"
+  "ablation_allocator"
+  "ablation_allocator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_allocator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ptsb_everywhere.dir/ablation_ptsb_everywhere.cc.o"
+  "CMakeFiles/ablation_ptsb_everywhere.dir/ablation_ptsb_everywhere.cc.o.d"
+  "ablation_ptsb_everywhere"
+  "ablation_ptsb_everywhere.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ptsb_everywhere.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

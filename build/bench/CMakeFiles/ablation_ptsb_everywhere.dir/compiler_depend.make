@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_ptsb_everywhere.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detector_accuracy.dir/detector_accuracy.cc.o"
+  "CMakeFiles/detector_accuracy.dir/detector_accuracy.cc.o.d"
+  "detector_accuracy"
+  "detector_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detector_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

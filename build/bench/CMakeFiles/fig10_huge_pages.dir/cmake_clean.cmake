@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_huge_pages.dir/fig10_huge_pages.cc.o"
+  "CMakeFiles/fig10_huge_pages.dir/fig10_huge_pages.cc.o.d"
+  "fig10_huge_pages"
+  "fig10_huge_pages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_huge_pages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_canneal_consistency.dir/fig11_canneal_consistency.cc.o"
+  "CMakeFiles/fig11_canneal_consistency.dir/fig11_canneal_consistency.cc.o.d"
+  "fig11_canneal_consistency"
+  "fig11_canneal_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_canneal_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

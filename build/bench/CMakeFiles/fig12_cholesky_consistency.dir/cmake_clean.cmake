@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_cholesky_consistency.dir/fig12_cholesky_consistency.cc.o"
+  "CMakeFiles/fig12_cholesky_consistency.dir/fig12_cholesky_consistency.cc.o.d"
+  "fig12_cholesky_consistency"
+  "fig12_cholesky_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_cholesky_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

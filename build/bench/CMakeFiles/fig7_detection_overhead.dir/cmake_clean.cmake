@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_detection_overhead.dir/fig7_detection_overhead.cc.o"
+  "CMakeFiles/fig7_detection_overhead.dir/fig7_detection_overhead.cc.o.d"
+  "fig7_detection_overhead"
+  "fig7_detection_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_detection_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_memory_overhead.dir/fig8_memory_overhead.cc.o"
+  "CMakeFiles/fig8_memory_overhead.dir/fig8_memory_overhead.cc.o.d"
+  "fig8_memory_overhead"
+  "fig8_memory_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_memory_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

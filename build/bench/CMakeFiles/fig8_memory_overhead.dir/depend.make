@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_memory_overhead.
+# This may be replaced when dependencies are built.

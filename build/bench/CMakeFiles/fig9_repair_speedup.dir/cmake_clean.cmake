@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_repair_speedup.dir/fig9_repair_speedup.cc.o"
+  "CMakeFiles/fig9_repair_speedup.dir/fig9_repair_speedup.cc.o.d"
+  "fig9_repair_speedup"
+  "fig9_repair_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_repair_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

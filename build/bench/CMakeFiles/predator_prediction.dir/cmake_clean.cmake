@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predator_prediction.dir/predator_prediction.cc.o"
+  "CMakeFiles/predator_prediction.dir/predator_prediction.cc.o.d"
+  "predator_prediction"
+  "predator_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predator_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_detection.dir/protocol_detection.cc.o"
+  "CMakeFiles/protocol_detection.dir/protocol_detection.cc.o.d"
+  "protocol_detection"
+  "protocol_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_threads.dir/sweep_threads.cc.o"
+  "CMakeFiles/sweep_threads.dir/sweep_threads.cc.o.d"
+  "sweep_threads"
+  "sweep_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_requirements.dir/table1_requirements.cc.o"
+  "CMakeFiles/table1_requirements.dir/table1_requirements.cc.o.d"
+  "table1_requirements"
+  "table1_requirements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_requirements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_policy.dir/table2_policy.cc.o"
+  "CMakeFiles/table2_policy.dir/table2_policy.cc.o.d"
+  "table2_policy"
+  "table2_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

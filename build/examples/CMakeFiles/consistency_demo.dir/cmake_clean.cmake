@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consistency_demo.dir/consistency_demo.cpp.o"
+  "CMakeFiles/consistency_demo.dir/consistency_demo.cpp.o.d"
+  "consistency_demo"
+  "consistency_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consistency_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

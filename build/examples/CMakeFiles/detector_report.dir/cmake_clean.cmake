@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detector_report.dir/detector_report.cpp.o"
+  "CMakeFiles/detector_report.dir/detector_report.cpp.o.d"
+  "detector_report"
+  "detector_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detector_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/experiment_cli.dir/experiment_cli.cpp.o"
+  "CMakeFiles/experiment_cli.dir/experiment_cli.cpp.o.d"
+  "experiment_cli"
+  "experiment_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/experiment_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leveldb_repair.dir/leveldb_repair.cpp.o"
+  "CMakeFiles/leveldb_repair.dir/leveldb_repair.cpp.o.d"
+  "leveldb_repair"
+  "leveldb_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leveldb_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("mem")
+subdirs("sched")
+subdirs("cache")
+subdirs("perf")
+subdirs("isa")
+subdirs("ptsb")
+subdirs("consistency")
+subdirs("detect")
+subdirs("alloc")
+subdirs("runtime")
+subdirs("baselines")
+subdirs("workloads")
+subdirs("core")

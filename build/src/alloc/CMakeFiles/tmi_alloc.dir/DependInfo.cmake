@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/glibc_like.cc" "src/alloc/CMakeFiles/tmi_alloc.dir/glibc_like.cc.o" "gcc" "src/alloc/CMakeFiles/tmi_alloc.dir/glibc_like.cc.o.d"
+  "/root/repo/src/alloc/lockless.cc" "src/alloc/CMakeFiles/tmi_alloc.dir/lockless.cc.o" "gcc" "src/alloc/CMakeFiles/tmi_alloc.dir/lockless.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tmi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

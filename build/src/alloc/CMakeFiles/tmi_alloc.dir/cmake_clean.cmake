@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmi_alloc.dir/glibc_like.cc.o"
+  "CMakeFiles/tmi_alloc.dir/glibc_like.cc.o.d"
+  "CMakeFiles/tmi_alloc.dir/lockless.cc.o"
+  "CMakeFiles/tmi_alloc.dir/lockless.cc.o.d"
+  "libtmi_alloc.a"
+  "libtmi_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmi_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

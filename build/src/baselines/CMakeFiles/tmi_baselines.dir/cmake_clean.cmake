@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmi_baselines.dir/laser.cc.o"
+  "CMakeFiles/tmi_baselines.dir/laser.cc.o.d"
+  "CMakeFiles/tmi_baselines.dir/sheriff.cc.o"
+  "CMakeFiles/tmi_baselines.dir/sheriff.cc.o.d"
+  "libtmi_baselines.a"
+  "libtmi_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmi_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

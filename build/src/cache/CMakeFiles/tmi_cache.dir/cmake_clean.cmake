@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmi_cache.dir/cache_sim.cc.o"
+  "CMakeFiles/tmi_cache.dir/cache_sim.cc.o.d"
+  "libtmi_cache.a"
+  "libtmi_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmi_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

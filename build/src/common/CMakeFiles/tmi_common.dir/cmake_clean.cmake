@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmi_common.dir/logging.cc.o"
+  "CMakeFiles/tmi_common.dir/logging.cc.o.d"
+  "CMakeFiles/tmi_common.dir/stats.cc.o"
+  "CMakeFiles/tmi_common.dir/stats.cc.o.d"
+  "libtmi_common.a"
+  "libtmi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmi_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

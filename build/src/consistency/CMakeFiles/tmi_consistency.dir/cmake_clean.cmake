@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmi_consistency.dir/ccc.cc.o"
+  "CMakeFiles/tmi_consistency.dir/ccc.cc.o.d"
+  "libtmi_consistency.a"
+  "libtmi_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmi_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmi_experiment.dir/experiment.cc.o"
+  "CMakeFiles/tmi_experiment.dir/experiment.cc.o.d"
+  "libtmi_experiment.a"
+  "libtmi_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmi_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmi_machine.dir/machine.cc.o"
+  "CMakeFiles/tmi_machine.dir/machine.cc.o.d"
+  "libtmi_machine.a"
+  "libtmi_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmi_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

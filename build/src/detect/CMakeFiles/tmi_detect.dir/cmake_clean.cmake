@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmi_detect.dir/detector.cc.o"
+  "CMakeFiles/tmi_detect.dir/detector.cc.o.d"
+  "libtmi_detect.a"
+  "libtmi_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmi_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmi_mem.dir/mmu.cc.o"
+  "CMakeFiles/tmi_mem.dir/mmu.cc.o.d"
+  "CMakeFiles/tmi_mem.dir/physical.cc.o"
+  "CMakeFiles/tmi_mem.dir/physical.cc.o.d"
+  "libtmi_mem.a"
+  "libtmi_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmi_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmi_perf.dir/pebs.cc.o"
+  "CMakeFiles/tmi_perf.dir/pebs.cc.o.d"
+  "libtmi_perf.a"
+  "libtmi_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmi_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmi_ptsb.dir/ptsb.cc.o"
+  "CMakeFiles/tmi_ptsb.dir/ptsb.cc.o.d"
+  "libtmi_ptsb.a"
+  "libtmi_ptsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmi_ptsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tmi_ptsb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/tmi_runtime.cc" "src/runtime/CMakeFiles/tmi_runtime.dir/tmi_runtime.cc.o" "gcc" "src/runtime/CMakeFiles/tmi_runtime.dir/tmi_runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tmi_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/tmi_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/ptsb/CMakeFiles/tmi_ptsb.dir/DependInfo.cmake"
+  "/root/repo/build/src/consistency/CMakeFiles/tmi_consistency.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/tmi_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/tmi_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/tmi_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tmi_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/tmi_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tmi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

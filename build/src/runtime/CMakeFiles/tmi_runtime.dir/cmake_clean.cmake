@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmi_runtime.dir/tmi_runtime.cc.o"
+  "CMakeFiles/tmi_runtime.dir/tmi_runtime.cc.o.d"
+  "libtmi_runtime.a"
+  "libtmi_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmi_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

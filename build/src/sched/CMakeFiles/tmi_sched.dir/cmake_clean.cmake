@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmi_sched.dir/scheduler.cc.o"
+  "CMakeFiles/tmi_sched.dir/scheduler.cc.o.d"
+  "CMakeFiles/tmi_sched.dir/sync.cc.o"
+  "CMakeFiles/tmi_sched.dir/sync.cc.o.d"
+  "libtmi_sched.a"
+  "libtmi_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmi_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

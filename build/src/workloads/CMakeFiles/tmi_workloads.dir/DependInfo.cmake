@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/boost_micro.cc" "src/workloads/CMakeFiles/tmi_workloads.dir/boost_micro.cc.o" "gcc" "src/workloads/CMakeFiles/tmi_workloads.dir/boost_micro.cc.o.d"
+  "/root/repo/src/workloads/canneal.cc" "src/workloads/CMakeFiles/tmi_workloads.dir/canneal.cc.o" "gcc" "src/workloads/CMakeFiles/tmi_workloads.dir/canneal.cc.o.d"
+  "/root/repo/src/workloads/cholesky.cc" "src/workloads/CMakeFiles/tmi_workloads.dir/cholesky.cc.o" "gcc" "src/workloads/CMakeFiles/tmi_workloads.dir/cholesky.cc.o.d"
+  "/root/repo/src/workloads/fuzz_layout.cc" "src/workloads/CMakeFiles/tmi_workloads.dir/fuzz_layout.cc.o" "gcc" "src/workloads/CMakeFiles/tmi_workloads.dir/fuzz_layout.cc.o.d"
+  "/root/repo/src/workloads/generic_kernel.cc" "src/workloads/CMakeFiles/tmi_workloads.dir/generic_kernel.cc.o" "gcc" "src/workloads/CMakeFiles/tmi_workloads.dir/generic_kernel.cc.o.d"
+  "/root/repo/src/workloads/histogram.cc" "src/workloads/CMakeFiles/tmi_workloads.dir/histogram.cc.o" "gcc" "src/workloads/CMakeFiles/tmi_workloads.dir/histogram.cc.o.d"
+  "/root/repo/src/workloads/leveldb.cc" "src/workloads/CMakeFiles/tmi_workloads.dir/leveldb.cc.o" "gcc" "src/workloads/CMakeFiles/tmi_workloads.dir/leveldb.cc.o.d"
+  "/root/repo/src/workloads/linear_regression.cc" "src/workloads/CMakeFiles/tmi_workloads.dir/linear_regression.cc.o" "gcc" "src/workloads/CMakeFiles/tmi_workloads.dir/linear_regression.cc.o.d"
+  "/root/repo/src/workloads/lu_ncb.cc" "src/workloads/CMakeFiles/tmi_workloads.dir/lu_ncb.cc.o" "gcc" "src/workloads/CMakeFiles/tmi_workloads.dir/lu_ncb.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/tmi_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/tmi_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/stringmatch.cc" "src/workloads/CMakeFiles/tmi_workloads.dir/stringmatch.cc.o" "gcc" "src/workloads/CMakeFiles/tmi_workloads.dir/stringmatch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tmi_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tmi_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/tmi_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/tmi_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/tmi_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/tmi_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/tmi_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tmi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

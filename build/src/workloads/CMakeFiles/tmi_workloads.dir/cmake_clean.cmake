@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmi_workloads.dir/boost_micro.cc.o"
+  "CMakeFiles/tmi_workloads.dir/boost_micro.cc.o.d"
+  "CMakeFiles/tmi_workloads.dir/canneal.cc.o"
+  "CMakeFiles/tmi_workloads.dir/canneal.cc.o.d"
+  "CMakeFiles/tmi_workloads.dir/cholesky.cc.o"
+  "CMakeFiles/tmi_workloads.dir/cholesky.cc.o.d"
+  "CMakeFiles/tmi_workloads.dir/fuzz_layout.cc.o"
+  "CMakeFiles/tmi_workloads.dir/fuzz_layout.cc.o.d"
+  "CMakeFiles/tmi_workloads.dir/generic_kernel.cc.o"
+  "CMakeFiles/tmi_workloads.dir/generic_kernel.cc.o.d"
+  "CMakeFiles/tmi_workloads.dir/histogram.cc.o"
+  "CMakeFiles/tmi_workloads.dir/histogram.cc.o.d"
+  "CMakeFiles/tmi_workloads.dir/leveldb.cc.o"
+  "CMakeFiles/tmi_workloads.dir/leveldb.cc.o.d"
+  "CMakeFiles/tmi_workloads.dir/linear_regression.cc.o"
+  "CMakeFiles/tmi_workloads.dir/linear_regression.cc.o.d"
+  "CMakeFiles/tmi_workloads.dir/lu_ncb.cc.o"
+  "CMakeFiles/tmi_workloads.dir/lu_ncb.cc.o.d"
+  "CMakeFiles/tmi_workloads.dir/registry.cc.o"
+  "CMakeFiles/tmi_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/tmi_workloads.dir/stringmatch.cc.o"
+  "CMakeFiles/tmi_workloads.dir/stringmatch.cc.o.d"
+  "libtmi_workloads.a"
+  "libtmi_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmi_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtmi_workloads.a"
+)

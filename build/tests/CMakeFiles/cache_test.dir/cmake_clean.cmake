@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_test.dir/cache/cache_sim_test.cc.o"
+  "CMakeFiles/cache_test.dir/cache/cache_sim_test.cc.o.d"
+  "CMakeFiles/cache_test.dir/cache/coherence_property_test.cc.o"
+  "CMakeFiles/cache_test.dir/cache/coherence_property_test.cc.o.d"
+  "CMakeFiles/cache_test.dir/cache/moesi_test.cc.o"
+  "CMakeFiles/cache_test.dir/cache/moesi_test.cc.o.d"
+  "CMakeFiles/cache_test.dir/cache/tlb_test.cc.o"
+  "CMakeFiles/cache_test.dir/cache/tlb_test.cc.o.d"
+  "cache_test"
+  "cache_test.pdb"
+  "cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detect_test.dir/detect/accuracy_test.cc.o"
+  "CMakeFiles/detect_test.dir/detect/accuracy_test.cc.o.d"
+  "CMakeFiles/detect_test.dir/detect/detector_test.cc.o"
+  "CMakeFiles/detect_test.dir/detect/detector_test.cc.o.d"
+  "CMakeFiles/detect_test.dir/detect/prediction_test.cc.o"
+  "CMakeFiles/detect_test.dir/detect/prediction_test.cc.o.d"
+  "detect_test"
+  "detect_test.pdb"
+  "detect_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

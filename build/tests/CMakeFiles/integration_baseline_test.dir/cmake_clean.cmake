@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_baseline_test.dir/integration/baseline_test.cc.o"
+  "CMakeFiles/integration_baseline_test.dir/integration/baseline_test.cc.o.d"
+  "integration_baseline_test"
+  "integration_baseline_test.pdb"
+  "integration_baseline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_baseline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_consistency_test.dir/integration/consistency_test.cc.o"
+  "CMakeFiles/integration_consistency_test.dir/integration/consistency_test.cc.o.d"
+  "integration_consistency_test"
+  "integration_consistency_test.pdb"
+  "integration_consistency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_consistency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_repair_test.dir/integration/repair_test.cc.o"
+  "CMakeFiles/integration_repair_test.dir/integration/repair_test.cc.o.d"
+  "integration_repair_test"
+  "integration_repair_test.pdb"
+  "integration_repair_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_repair_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_test.dir/mem/mmu_test.cc.o"
+  "CMakeFiles/mem_test.dir/mem/mmu_test.cc.o.d"
+  "CMakeFiles/mem_test.dir/mem/physical_test.cc.o"
+  "CMakeFiles/mem_test.dir/mem/physical_test.cc.o.d"
+  "CMakeFiles/mem_test.dir/mem/shm_test.cc.o"
+  "CMakeFiles/mem_test.dir/mem/shm_test.cc.o.d"
+  "mem_test"
+  "mem_test.pdb"
+  "mem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptsb_test.dir/ptsb/conflict_test.cc.o"
+  "CMakeFiles/ptsb_test.dir/ptsb/conflict_test.cc.o.d"
+  "CMakeFiles/ptsb_test.dir/ptsb/ptsb_test.cc.o"
+  "CMakeFiles/ptsb_test.dir/ptsb/ptsb_test.cc.o.d"
+  "ptsb_test"
+  "ptsb_test.pdb"
+  "ptsb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptsb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
