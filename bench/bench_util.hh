@@ -14,8 +14,10 @@
 #define TMI_BENCH_BENCH_UTIL_HH
 
 #include <cmath>
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -107,6 +109,90 @@ inline void
 header(const char *title)
 {
     std::printf("\n==== %s ====\n", title);
+}
+
+/**
+ * Optional machine-readable sink next to the human tables: when the
+ * TMI_BENCH_CSV env var names a file, every row() lands there too.
+ * Silently inert otherwise, so drivers call it unconditionally.
+ */
+class CsvSink
+{
+  public:
+    explicit CsvSink(const char *header_line)
+    {
+        if (const char *path = std::getenv("TMI_BENCH_CSV")) {
+            _f = std::fopen(path, "w");
+            if (_f)
+                std::fprintf(_f, "%s\n", header_line);
+        }
+    }
+
+    ~CsvSink()
+    {
+        if (_f)
+            std::fclose(_f);
+    }
+
+    CsvSink(const CsvSink &) = delete;
+    CsvSink &operator=(const CsvSink &) = delete;
+
+    explicit operator bool() const { return _f != nullptr; }
+
+    void
+    row(const char *fmt, ...)
+    {
+        if (!_f)
+            return;
+        va_list args;
+        va_start(args, fmt);
+        std::vfprintf(_f, fmt, args);
+        va_end(args);
+        std::fputc('\n', _f);
+    }
+
+  private:
+    std::FILE *_f = nullptr;
+};
+
+/** A pthreads baseline plus treated runs for one workload. */
+struct TreatmentRow
+{
+    RunResult base;
+    std::vector<RunResult> treated; //!< parallel to the request
+};
+
+/**
+ * Run the pthreads baseline, then each treatment, for one workload.
+ * Sheriff treatments can be pathologically slow or hang outright, so
+ * they get a budget of base cycles x @p sheriff_budget_factor
+ * instead of the default; extra config tweaks go through @p tweak.
+ */
+inline TreatmentRow
+runTreatmentRow(const std::string &workload,
+                const std::vector<Treatment> &treatments,
+                std::uint64_t scale,
+                Cycles sheriff_budget_factor = 25,
+                const std::function<void(ExperimentConfig &)> &tweak =
+                    {})
+{
+    TreatmentRow row;
+    ExperimentConfig base_cfg =
+        benchConfig(workload, Treatment::Pthreads, scale);
+    if (tweak)
+        tweak(base_cfg);
+    row.base = runExperiment(base_cfg);
+    for (Treatment t : treatments) {
+        ExperimentConfig cfg = benchConfig(workload, t, scale);
+        if (t == Treatment::SheriffDetect ||
+            t == Treatment::SheriffProtect) {
+            cfg.budget = row.base.cycles * sheriff_budget_factor;
+        }
+        if (tweak)
+            tweak(cfg);
+        row.treated.push_back(runExperiment(cfg));
+    }
+    return row;
 }
 
 } // namespace tmi::bench

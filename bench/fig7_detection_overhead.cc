@@ -22,20 +22,20 @@ main()
     std::printf("%-16s %10s %10s %10s %14s\n", "workload",
                 "tmi-alloc", "tmi-detect", "sheriff", "sheriff-state");
 
+    CsvSink csv("workload,tmi_alloc,tmi_detect,sheriff,sheriff_state");
     std::vector<double> alloc_over, detect_over, detect_over_clean;
     unsigned sheriff_ok = 0;
     for (const auto &name : overheadSet()) {
         bool has_fs = findWorkload(name).knownFalseSharing;
-        RunResult base = runExperiment(
-            benchConfig(name, Treatment::Pthreads, scale));
-        RunResult alloc = runExperiment(
-            benchConfig(name, Treatment::TmiAlloc, scale));
-        RunResult detect = runExperiment(
-            benchConfig(name, Treatment::TmiDetect, scale));
-        ExperimentConfig sheriff_cfg =
-            benchConfig(name, Treatment::SheriffDetect, scale);
-        sheriff_cfg.budget = base.cycles * 25;
-        RunResult sheriff = runExperiment(sheriff_cfg);
+        TreatmentRow row = runTreatmentRow(
+            name,
+            {Treatment::TmiAlloc, Treatment::TmiDetect,
+             Treatment::SheriffDetect},
+            scale);
+        const RunResult &base = row.base;
+        const RunResult &alloc = row.treated[0];
+        const RunResult &detect = row.treated[1];
+        const RunResult &sheriff = row.treated[2];
 
         double a = static_cast<double>(alloc.cycles) / base.cycles;
         double d = static_cast<double>(detect.cycles) / base.cycles;
@@ -49,6 +49,8 @@ main()
         std::printf("%-16s %9.3fx %9.3fx %9.3fx %14s\n", name.c_str(),
                     a, d, sheriff.compatible ? s : 0.0,
                     outcomeStr(sheriff));
+        csv.row("%s,%.4f,%.4f,%.4f,%s", name.c_str(), a, d,
+                sheriff.compatible ? s : 0.0, outcomeStr(sheriff));
     }
 
     std::printf("\ngeomean: tmi-alloc %.3fx; tmi-detect %.3fx over "

@@ -23,25 +23,19 @@ main()
     std::printf("%-16s %8s %10s %8s %8s   %s\n", "workload", "manual",
                 "sheriff", "laser", "tmi", "notes");
 
+    CsvSink csv("workload,manual,sheriff,laser,tmi");
     std::vector<double> tmi_speedups, capture;
     for (const auto &name : falseSharingSet()) {
-        ExperimentConfig cfg =
-            benchConfig(name, Treatment::Pthreads, scale);
-        RunResult base = runExperiment(cfg);
-
-        cfg.treatment = Treatment::Manual;
-        RunResult manual = runExperiment(cfg);
-
-        cfg.treatment = Treatment::SheriffProtect;
-        cfg.budget = base.cycles * 25;
-        RunResult sheriff = runExperiment(cfg);
-        cfg.budget = 60'000'000'000ULL;
-
-        cfg.treatment = Treatment::Laser;
-        RunResult laser = runExperiment(cfg);
-
-        cfg.treatment = Treatment::TmiProtect;
-        RunResult tmi = runExperiment(cfg);
+        TreatmentRow row = runTreatmentRow(
+            name,
+            {Treatment::Manual, Treatment::SheriffProtect,
+             Treatment::Laser, Treatment::TmiProtect},
+            scale);
+        const RunResult &base = row.base;
+        const RunResult &manual = row.treated[0];
+        const RunResult &sheriff = row.treated[1];
+        const RunResult &laser = row.treated[2];
+        const RunResult &tmi = row.treated[3];
 
         double m = speedup(base, manual);
         double s = sheriff.compatible ? speedup(base, sheriff) : 0.0;
@@ -55,6 +49,7 @@ main()
                     name.c_str(), m, s, l, t,
                     sheriff.compatible ? "" : "sheriff-incompatible ",
                     laser.repairActive ? "" : "laser-no-repair");
+        csv.row("%s,%.4f,%.4f,%.4f,%.4f", name.c_str(), m, s, l, t);
     }
 
     double mean_t = 0;

@@ -84,7 +84,7 @@ BM_PtsbCommitDirtyPage(benchmark::State &state)
     mmu.mapShared(pid, 0x10000000, region, 0, 4);
     Ptsb ptsb(mmu, pid);
     mmu.setCowCallback([&](ProcessId, VPage vpage, PPage shared,
-                           PPage priv) -> Cycles {
+                           PPage priv) -> CowOutcome {
         return ptsb.onCowFault(vpage, shared, priv);
     });
     ptsb.protectPage(0x10000000 >> smallPageShift);

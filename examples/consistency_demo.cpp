@@ -38,7 +38,7 @@ figure3Demo()
 
     Ptsb ptsb0(mmu, p0), ptsb1(mmu, p1);
     mmu.setCowCallback([&](ProcessId pid, VPage vp, PPage sf,
-                           PPage pf) -> Cycles {
+                           PPage pf) -> CowOutcome {
         return (pid == p0 ? ptsb0 : ptsb1).onCowFault(vp, sf, pf);
     });
     ptsb0.protectPage(va >> smallPageShift);

@@ -15,10 +15,10 @@ SheriffRuntime::attach()
     _m.setHooks(this);
     _m.mmu().setCowCallback(
         [this](ProcessId pid, VPage vpage, PPage shared_frame,
-               PPage private_frame) -> Cycles {
+               PPage private_frame) -> CowOutcome {
             auto it = _ptsbs.find(pid);
             if (it == _ptsbs.end())
-                return 0;
+                return {};
             return it->second->onCowFault(vpage, shared_frame,
                                           private_frame);
         });
@@ -30,6 +30,12 @@ SheriffRuntime::onThreadCreate(ThreadId tid)
     // Every thread runs as a process from birth, with all of the
     // heap protected.
     ProcessId pid = _m.mmu().cloneAddressSpace(_m.processOf(tid));
+    if (pid == invalidProcessId) {
+        warn("sheriff: could not isolate thread %u; it stays a "
+             "plain thread",
+             static_cast<unsigned>(tid));
+        return;
+    }
     _m.setThreadProcess(tid, pid);
     auto ptsb = std::make_unique<Ptsb>(_m.mmu(), pid, _cfg.ptsbCosts,
                                        &_m.cache());

@@ -58,6 +58,9 @@ constexpr Addr hugePageBytes = Addr{1} << hugePageShift;
 /** An invalid/unmapped physical page marker. */
 constexpr PPage invalidPPage = ~PPage{0};
 
+/** An invalid process id (e.g. a failed address-space clone). */
+constexpr ProcessId invalidProcessId = ~ProcessId{0};
+
 /** Extract the cache-line-aligned base of an address. */
 constexpr Addr
 lineAlign(Addr a)

@@ -78,6 +78,8 @@ runExperiment(const ExperimentConfig &config)
         isTmiTreatment(config.treatment) ||
         isSheriffTreatment(config.treatment);
     mc.tmiModifiedAllocator = mc.shmBackedHeap;
+    mc.faults = config.faults;
+    mc.faultSeed = config.faultSeed;
 
     Machine machine(mc);
 
@@ -118,6 +120,19 @@ runExperiment(const ExperimentConfig &config)
             config.treatment == Treatment::TmiProtectNoCcc;
         tc.detector.repairThreshold = config.repairThreshold;
         tc.analysisInterval = config.analysisInterval;
+        // The ablation treatments exist to reproduce the paper's
+        // failure modes (Fig. 11/12 hangs and racy merges), so the
+        // self-healing machinery defaults off for them and the
+        // failure is allowed to unfold unless explicitly overridden.
+        bool ablation =
+            config.treatment == Treatment::TmiProtectNoCcc ||
+            config.treatment == Treatment::PtsbEverywhere;
+        tc.robust.watchdogEnabled =
+            config.watchdog == -1 ? !ablation : config.watchdog != 0;
+        tc.robust.monitorEnabled =
+            config.monitor == -1 ? !ablation : config.monitor != 0;
+        if (config.watchdogTimeout != 0)
+            tc.robust.watchdogTimeout = config.watchdogTimeout;
         tmi = std::make_unique<TmiRuntime>(machine, tc);
         tmi->attach();
         break;
@@ -159,6 +174,7 @@ runExperiment(const ExperimentConfig &config)
     res.pebsRecords = machine.perf().recordsEmitted();
     res.softFaults = machine.mmu().softFaults();
     res.memOps = machine.memOpCount();
+    res.faultFires = machine.faults().totalFires();
     res.appBytesPeak = machine.allocator().allocStats().bytesPeak;
 
     if (tmi) {
@@ -171,6 +187,12 @@ runExperiment(const ExperimentConfig &config)
         res.overheadBytes = tmi->overheadBytes();
         res.fsEventsEstimated = tmi->detector().fsEventsEstimated();
         res.tsEventsEstimated = tmi->detector().tsEventsEstimated();
+        res.ladderRung = tmiModeName(tmi->rung());
+        res.t2pAborts = tmi->t2pAborts();
+        res.unrepairs = tmi->unrepairs();
+        res.watchdogFlushes = tmi->watchdogFires();
+        res.cowFallbacks = tmi->cowFallbacks();
+        res.ladderDrops = tmi->ladderDrops();
     } else if (sheriff) {
         res.repairActive = true;
         res.commits = sheriff->totalCommits();

@@ -16,6 +16,8 @@
 #define TMI_CORE_EXPERIMENT_HH
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/machine.hh"
 
@@ -59,6 +61,19 @@ struct ExperimentConfig
     std::uint64_t seed = 42;
     /** Capture the full component statistics dump in the result. */
     bool dumpStats = false;
+
+    /** Fault points to arm on the machine (robustness experiments;
+     *  empty = no injection anywhere on the hot path). */
+    std::vector<std::pair<std::string, FaultSpec>> faults;
+    std::uint64_t faultSeed = 0xfa17u;
+    /** PTSB livelock watchdog: -1 treatment default (off for the
+     *  no-CCC/everywhere ablations, which exist to reproduce the
+     *  paper's failure modes), 0 force off, 1 force on. */
+    int watchdog = -1;
+    /** Override RobustnessConfig::watchdogTimeout (0 = keep). */
+    Cycles watchdogTimeout = 0;
+    /** Post-repair effectiveness monitor: same -1/0/1 convention. */
+    int monitor = -1;
 };
 
 /** Everything measured from one run. */
@@ -92,6 +107,19 @@ struct RunResult
     std::uint64_t overheadBytes = 0;      //!< runtime memory overhead
     std::uint64_t softFaults = 0;
     std::uint64_t memOps = 0;
+
+    /** @name Robustness telemetry (Tmi treatments only) */
+    /// @{
+    /** Final degradation-ladder rung ("detect-and-repair" when
+     *  nothing degraded; empty for non-Tmi treatments). */
+    std::string ladderRung;
+    std::uint64_t faultFires = 0;      //!< injected faults that fired
+    std::uint64_t t2pAborts = 0;       //!< rolled-back conversions
+    std::uint64_t unrepairs = 0;       //!< repair rollbacks
+    std::uint64_t watchdogFlushes = 0; //!< livelock force-commits
+    std::uint64_t cowFallbacks = 0;    //!< pages degraded to shared
+    std::uint64_t ladderDrops = 0;     //!< rung transitions taken
+    /// @}
 
     /** Full stats dump (only when ExperimentConfig::dumpStats). */
     std::string statsText;

@@ -19,10 +19,18 @@ Machine::Machine(const MachineConfig &config)
           c.cores = config.cores;
           return c;
       }()),
-      _perf(config.perf)
+      _perf(config.perf), _faults(config.faultSeed)
 {
     for (unsigned c = 0; c < config.cores; ++c)
         _tlbs.emplace_back(config.tlb, config.pageShift);
+
+    // Fault injection: arm the configured points and wire the
+    // injector into the layers that can fail. With no armed points
+    // the wiring is free (a null-check or an empty-table probe).
+    for (const auto &[point, spec] : config.faults)
+        _faults.arm(point, spec);
+    _mmu.setFaultInjector(&_faults);
+    _perf.setFaultInjector(&_faults);
 
     // The root address space all threads initially share.
     ProcessId root = _mmu.createAddressSpace();
@@ -638,6 +646,7 @@ Machine::regStats(stats::StatGroup &group)
     _sched.regStats(group);
     _sync.regStats(group);
     _perf.regStats(group);
+    _faults.regStats(group);
     _alloc->allocStats().regStats(group);
     for (auto &tlb : _tlbs)
         tlb.regStats(group);

@@ -27,6 +27,7 @@
 #include "cache/tlb.hh"
 #include "common/rng.hh"
 #include "detect/address_map.hh"
+#include "fault/fault_injector.hh"
 #include "isa/instructions.hh"
 #include "mem/mmu.hh"
 #include "perf/pebs.hh"
@@ -85,6 +86,11 @@ struct MachineConfig
     std::uint64_t instrumentationSampling = 0;
     Cycles instrumentationCost = 25; //!< per-access tax when enabled
     std::uint64_t seed = 42;
+
+    /** Named fault points to arm at construction (robustness runs). */
+    std::vector<std::pair<std::string, FaultSpec>> faults;
+    /** Seed for the fault injector's per-point streams. */
+    std::uint64_t faultSeed = 0xfa17u;
 };
 
 /**
@@ -204,6 +210,7 @@ class Machine : public MemoryProvider
     SimScheduler &sched() { return _sched; }
     SyncManager &sync() { return _sync; }
     PerfSession &perf() { return _perf; }
+    FaultInjector &faults() { return _faults; }
     InstructionTable &instructions() { return _instrs; }
     const InstructionTable &instructions() const { return _instrs; }
     AddressMap &addressMap() { return _amap; }
@@ -416,6 +423,7 @@ class Machine : public MemoryProvider
     CacheSim _cache;
     std::vector<Tlb> _tlbs;
     PerfSession _perf;
+    FaultInjector _faults;
     InstructionTable _instrs;
     AddressMap _amap;
     std::unique_ptr<Allocator> _alloc;

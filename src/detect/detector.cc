@@ -9,7 +9,24 @@ Detector::Detector(const InstructionTable &instrs, const AddressMap &map,
                    const DetectorConfig &config)
     : _instrs(instrs), _map(map), _config(config)
 {
-    TMI_ASSERT(config.samplePeriod >= 1);
+    if (config.samplePeriod < 1) {
+        fatal("DetectorConfig.samplePeriod must be >= 1 (got %lu): "
+              "the n/r period-scaling correction would multiply every "
+              "record by zero and no page could ever cross the repair "
+              "threshold",
+              static_cast<unsigned long>(config.samplePeriod));
+    }
+    if (config.cyclesPerSecond <= 0) {
+        fatal("DetectorConfig.cyclesPerSecond must be positive (got "
+              "%g): rate estimates would divide by zero",
+              config.cyclesPerSecond);
+    }
+    if (config.repairThreshold <= 0) {
+        fatal("DetectorConfig.repairThreshold must be positive (got "
+              "%g): a zero threshold nominates every sampled page for "
+              "repair on the first analysis pass",
+              config.repairThreshold);
+    }
 }
 
 Detector::Verdict

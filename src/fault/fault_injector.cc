@@ -1,0 +1,111 @@
+#include "fault_injector.hh"
+
+#include "common/logging.hh"
+
+namespace tmi
+{
+
+namespace
+{
+
+/** FNV-1a over the point name: stable across runs and platforms. */
+std::uint64_t
+hashName(std::string_view name)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : name) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+} // namespace
+
+FaultInjector::FaultInjector(std::uint64_t seed) : _seed(seed) {}
+
+void
+FaultInjector::arm(std::string_view point, const FaultSpec &spec)
+{
+    TMI_ASSERT(!point.empty(), "fault point needs a name");
+    // Derive the stream from (seed, name) only: the fire pattern of
+    // one point is independent of what else is armed or queried.
+    std::uint64_t stream_seed = _seed ^ hashName(point);
+    _points.insert_or_assign(std::string(point),
+                             Point(spec, stream_seed));
+    inform("fault: armed %s (p=%.3g fireAt=%lu everyNth=%lu "
+           "maxFires=%lu)",
+           std::string(point).c_str(), spec.probability,
+           static_cast<unsigned long>(spec.fireAt),
+           static_cast<unsigned long>(spec.everyNth),
+           static_cast<unsigned long>(spec.maxFires));
+}
+
+void
+FaultInjector::disarm(std::string_view point)
+{
+    _points.erase(std::string(point));
+}
+
+bool
+FaultInjector::shouldFail(std::string_view point)
+{
+    if (_points.empty())
+        return false;
+    auto it = _points.find(std::string(point));
+    if (it == _points.end())
+        return false;
+
+    Point &p = it->second;
+    ++p.queries;
+    ++_statQueries;
+
+    // Draw the random trigger unconditionally (when armed) so the
+    // stream position is a pure function of the query index.
+    bool fired = p.spec.probability > 0.0 &&
+                 p.rng.chance(p.spec.probability);
+    if (p.spec.fireAt != 0 && p.queries == p.spec.fireAt)
+        fired = true;
+    if (p.spec.everyNth != 0 && p.queries % p.spec.everyNth == 0)
+        fired = true;
+    if (fired && p.spec.maxFires != 0 && p.fires >= p.spec.maxFires)
+        fired = false;
+    if (!fired)
+        return false;
+
+    ++p.fires;
+    ++_statFires;
+    return true;
+}
+
+const FaultInjector::Point *
+FaultInjector::findPoint(std::string_view point) const
+{
+    auto it = _points.find(std::string(point));
+    return it == _points.end() ? nullptr : &it->second;
+}
+
+std::uint64_t
+FaultInjector::queries(std::string_view point) const
+{
+    const Point *p = findPoint(point);
+    return p ? p->queries : 0;
+}
+
+std::uint64_t
+FaultInjector::fires(std::string_view point) const
+{
+    const Point *p = findPoint(point);
+    return p ? p->fires : 0;
+}
+
+void
+FaultInjector::regStats(stats::StatGroup &group)
+{
+    group.addScalar("faultQueries", &_statQueries,
+                    "fault-point queries on armed points");
+    group.addScalar("faultFires", &_statFires,
+                    "fault-point fires (injected failures)");
+}
+
+} // namespace tmi

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection for the simulated stack.
+ *
+ * Real deployments of Tmi sit on unreliable foundations: PEBS drops
+ * and corrupts records, fork can fail mid-conversion, twin pages may
+ * be unobtainable under memory pressure, and a thread can refuse to
+ * stop at the T2P stop point. The FaultInjector lets experiments and
+ * tests arm *named fault points* at those layers and have them fire
+ * on a deterministic, replayable schedule.
+ *
+ * Each armed point owns its own xoshiro stream seeded from
+ * (global seed, hash(point name)), so a point's fire pattern depends
+ * only on its own query sequence -- arming or querying other points
+ * never perturbs it, and a failing run replays exactly from the seed.
+ *
+ * Querying an unarmed point is a hash lookup on a usually-empty
+ * table; the `enabled()` fast path lets hot code skip even that.
+ * Fault checks never charge simulated cycles, so a run with no armed
+ * points is cycle-identical to one on a build without the framework.
+ */
+
+#ifndef TMI_FAULT_FAULT_INJECTOR_HH
+#define TMI_FAULT_FAULT_INJECTOR_HH
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+namespace tmi
+{
+
+/** Canonical fault point names (one per injectable failure). */
+namespace faultpoint
+{
+/** PEBS ring buffer full: the record is dropped and counted lost. */
+inline constexpr const char *perfRingOverflow = "perf.ring_overflow";
+/** The PEBS assist loses the record entirely (no ring slot used). */
+inline constexpr const char *perfDropRecord = "perf.drop_record";
+/** The sampled data address is corrupted beyond the usual skid. */
+inline constexpr const char *perfCorruptAddr = "perf.corrupt_addr";
+/** The sampled PC misses the instruction table (wild PC). */
+inline constexpr const char *perfWildPc = "perf.wild_pc";
+/** Physical memory exhausted at a COW fault: no private frame. */
+inline constexpr const char *memFrameExhausted = "mem.frame_exhausted";
+/** fork() fails while cloning an address space mid-T2P. */
+inline constexpr const char *memCloneFail = "mem.clone_fail";
+/** Twin snapshot allocation fails at a COW fault. */
+inline constexpr const char *ptsbTwinAllocFail = "ptsb.twin_alloc_fail";
+/** A commit degenerates (cold caches, huge diff): cost inflates. */
+inline constexpr const char *ptsbOversizeCommit = "ptsb.oversize_commit";
+/** A thread refuses to stop at the T2P stop point in budget. */
+inline constexpr const char *schedStopTimeout = "sched.stop_timeout";
+} // namespace faultpoint
+
+/**
+ * When an armed point fires. Triggers compose: a query fires if ANY
+ * armed trigger matches, subject to the @ref maxFires cap.
+ */
+struct FaultSpec
+{
+    /** Per-query fire probability (0 disables the random trigger). */
+    double probability = 0.0;
+    /** Fire on exactly the Nth query, 1-based (0 disables). */
+    std::uint64_t fireAt = 0;
+    /** Fire on every Nth query (0 disables). */
+    std::uint64_t everyNth = 0;
+    /** Stop firing after this many fires (0 = unlimited). */
+    std::uint64_t maxFires = 0;
+
+    /** A point that always fires. */
+    static FaultSpec
+    always()
+    {
+        FaultSpec spec;
+        spec.probability = 1.0;
+        return spec;
+    }
+
+    /** A point that fires once, on the Nth query. */
+    static FaultSpec
+    once(std::uint64_t nth = 1)
+    {
+        FaultSpec spec;
+        spec.fireAt = nth;
+        spec.maxFires = 1;
+        return spec;
+    }
+
+    /** A point that fires each query with probability @p p. */
+    static FaultSpec
+    withProbability(double p)
+    {
+        FaultSpec spec;
+        spec.probability = p;
+        return spec;
+    }
+};
+
+/** Registry of armed fault points; owned by the Machine. */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(std::uint64_t seed = 0xfa17u);
+
+    /** Arm (or re-arm, resetting counters) @p point with @p spec. */
+    void arm(std::string_view point, const FaultSpec &spec);
+
+    /** Disarm @p point; later queries return false again. */
+    void disarm(std::string_view point);
+
+    /** True if at least one point is armed (hot-path gate). */
+    bool enabled() const { return !_points.empty(); }
+
+    /**
+     * Query @p point: should the operation it guards fail now?
+     *
+     * Deterministic given the seed and this point's query count;
+     * unarmed points never fail.
+     */
+    bool shouldFail(std::string_view point);
+
+    /** Times @p point has been queried. */
+    std::uint64_t queries(std::string_view point) const;
+
+    /** Times @p point has fired. */
+    std::uint64_t fires(std::string_view point) const;
+
+    /** Total fires across all points. */
+    std::uint64_t
+    totalFires() const
+    {
+        return static_cast<std::uint64_t>(_statFires.value());
+    }
+
+    /** Seed the per-point streams derive from. */
+    std::uint64_t seed() const { return _seed; }
+
+    /** Register stats under @p group. */
+    void regStats(stats::StatGroup &group);
+
+  private:
+    struct Point
+    {
+        FaultSpec spec;
+        Rng rng;
+        std::uint64_t queries = 0;
+        std::uint64_t fires = 0;
+
+        explicit Point(const FaultSpec &s, std::uint64_t stream_seed)
+            : spec(s), rng(stream_seed)
+        {}
+    };
+
+    const Point *findPoint(std::string_view point) const;
+
+    std::uint64_t _seed;
+    std::unordered_map<std::string, Point> _points;
+
+    stats::Scalar _statQueries;
+    stats::Scalar _statFires;
+};
+
+} // namespace tmi
+
+#endif // TMI_FAULT_FAULT_INJECTOR_HH

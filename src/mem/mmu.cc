@@ -1,5 +1,7 @@
 #include "mmu.hh"
 
+#include "fault/fault_injector.hh"
+
 namespace tmi
 {
 
@@ -16,6 +18,12 @@ Mmu::createAddressSpace()
 ProcessId
 Mmu::cloneAddressSpace(ProcessId src)
 {
+    if (_faults && _faults->shouldFail(faultpoint::memCloneFail)) {
+        ++_statCloneFails;
+        warn("mmu: address-space clone of pid %u failed (injected)",
+             src);
+        return invalidProcessId;
+    }
     ProcessId pid = createAddressSpace();
     AddressSpace &dst = *_spaces[pid];
     const AddressSpace &from = space(src);
@@ -118,6 +126,20 @@ Mmu::entryForAccess(ProcessId pid, Addr vaddr)
     return *entry;
 }
 
+void
+Mmu::abandonCow(ProcessId pid, VPage vpage, PageEntry &entry)
+{
+    // The process cannot take a private copy right now (no frame or
+    // no twin). Reverting to SharedRW is always memory-safe: writes
+    // land directly in shared memory, which is exactly the unrepaired
+    // behaviour -- we merely lose the isolation benefit on this page.
+    entry.kind = MapKind::SharedRW;
+    entry.privateFrame = invalidPPage;
+    ++_statCowAborts;
+    if (_cowAbortCallback)
+        _cowAbortCallback(pid, vpage);
+}
+
 TranslateResult
 Mmu::translate(ProcessId pid, Addr vaddr, bool is_write)
 {
@@ -130,13 +152,31 @@ Mmu::translate(ProcessId pid, Addr vaddr, bool is_write)
     }
     if (is_write && entry.kind == MapKind::PrivateCow &&
         entry.privateFrame == invalidPPage) {
-        PPage shared = entry.backing->frameFor(entry.filePage);
-        entry.privateFrame = _phys.allocCopy(shared);
-        res.cowFault = true;
-        ++_statCowFaults;
-        if (_cowCallback) {
-            res.extraCost = _cowCallback(pid, vpageOf(vaddr), shared,
-                                         entry.privateFrame);
+        VPage vpage = vpageOf(vaddr);
+        if (_faults &&
+            _faults->shouldFail(faultpoint::memFrameExhausted)) {
+            res.cowAborted = true;
+            abandonCow(pid, vpage, entry);
+        } else {
+            PPage shared = entry.backing->frameFor(entry.filePage);
+            entry.privateFrame = _phys.allocCopy(shared);
+            res.cowFault = true;
+            ++_statCowFaults;
+            if (_cowCallback) {
+                CowOutcome out = _cowCallback(pid, vpage, shared,
+                                              entry.privateFrame);
+                if (out.ok) {
+                    res.extraCost = out.cost;
+                } else {
+                    // The handler (PTSB) could not twin the page:
+                    // undo the divergence before any write lands in
+                    // the private frame.
+                    _phys.freeFrame(entry.privateFrame);
+                    res.cowFault = false;
+                    res.cowAborted = true;
+                    abandonCow(pid, vpage, entry);
+                }
+            }
         }
     }
     Addr off = vaddr & (pageBytes() - 1);
@@ -224,12 +264,16 @@ Mmu::regStats(stats::StatGroup &group)
                     "first-touch page faults");
     group.addScalar("cowFaults", &_statCowFaults,
                     "copy-on-write faults on protected pages");
+    group.addScalar("cowAborts", &_statCowAborts,
+                    "COW faults abandoned (no frame or twin)");
     group.addScalar("protects", &_statProtects,
                     "pages switched to PrivateCow");
     group.addScalar("unprotects", &_statUnprotects,
                     "pages reverted to SharedRW");
     group.addScalar("clones", &_statClones,
                     "address-space clones (T2P conversions)");
+    group.addScalar("cloneFails", &_statCloneFails,
+                    "address-space clones that failed (injected)");
     _phys.regStats(group);
 }
 

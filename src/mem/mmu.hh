@@ -22,25 +22,43 @@
 namespace tmi
 {
 
+class FaultInjector;
+
 /** Outcome metadata for one translation. */
 struct TranslateResult
 {
     Addr paddr = 0;          //!< resulting physical address
     bool softFault = false;  //!< first access to the page by this process
     bool cowFault = false;   //!< write hit a PrivateCow page
+    bool cowAborted = false; //!< COW failed; page reverted to SharedRW
     Cycles extraCost = 0;    //!< cost reported by the COW callback
+};
+
+/** What the COW-fault callback did. */
+struct CowOutcome
+{
+    /** Cycles to charge the faulting access (twin-copy cost). */
+    Cycles cost = 0;
+    /** False: the handler could not take the page (e.g. the twin
+     *  allocation failed); the MMU must abandon the divergence. */
+    bool ok = true;
 };
 
 /**
  * Called when a write faults on a PrivateCow page, after the private
  * frame has been created. The PTSB uses this to snapshot the twin.
- *
- * @return cycles to charge the faulting access (twin-copy cost). The
- *         callback must not yield to the scheduler.
+ * The callback must not yield to the scheduler.
  */
-using CowCallback = std::function<Cycles(ProcessId pid, VPage vpage,
-                                         PPage shared_frame,
-                                         PPage private_frame)>;
+using CowCallback = std::function<CowOutcome(ProcessId pid, VPage vpage,
+                                             PPage shared_frame,
+                                             PPage private_frame)>;
+
+/**
+ * Called when a COW fault could not be serviced (frame exhaustion or
+ * a failed twin allocation) and the page reverted to SharedRW in that
+ * process. Lets the runtime drop its own protection bookkeeping.
+ */
+using CowAbortCallback = std::function<void(ProcessId pid, VPage vpage)>;
 
 /** Simulated memory-management unit. */
 class Mmu
@@ -65,6 +83,9 @@ class Mmu
      *
      * Shared mappings alias the same frames; PrivateCow pages with a
      * live private frame get their own copy (fork copies them).
+     *
+     * @return the new pid, or invalidProcessId if the clone failed
+     *         (the mem.clone_fail fault point; real fork can fail).
      */
     ProcessId cloneAddressSpace(ProcessId src);
 
@@ -108,6 +129,22 @@ class Mmu
     /** Install the COW-fault callback (at most one; PTSB). */
     void setCowCallback(CowCallback cb) { _cowCallback = std::move(cb); }
 
+    /** Install the COW-abort callback (at most one; runtime). */
+    void
+    setCowAbortCallback(CowAbortCallback cb)
+    {
+        _cowAbortCallback = std::move(cb);
+    }
+
+    /** Wire the fault injector (null disables injection). */
+    void setFaultInjector(FaultInjector *faults) { _faults = faults; }
+
+    /** COW faults abandoned because no frame/twin was available. */
+    std::uint64_t cowAborts() const
+    {
+        return static_cast<std::uint64_t>(_statCowAborts.value());
+    }
+
     /**
      * Translate @p vaddr for an access by @p pid.
      *
@@ -148,16 +185,22 @@ class Mmu
 
   private:
     PageEntry &entryForAccess(ProcessId pid, Addr vaddr);
+    /** Revert @p entry to SharedRW after an unserviceable COW fault. */
+    void abandonCow(ProcessId pid, VPage vpage, PageEntry &entry);
 
     PhysicalMemory _phys;
     std::vector<std::unique_ptr<AddressSpace>> _spaces;
     CowCallback _cowCallback;
+    CowAbortCallback _cowAbortCallback;
+    FaultInjector *_faults = nullptr;
 
     stats::Scalar _statSoftFaults;
     stats::Scalar _statCowFaults;
+    stats::Scalar _statCowAborts;
     stats::Scalar _statProtects;
     stats::Scalar _statUnprotects;
     stats::Scalar _statClones;
+    stats::Scalar _statCloneFails;
 };
 
 } // namespace tmi

@@ -1,12 +1,19 @@
 #include "pebs.hh"
 
+#include "fault/fault_injector.hh"
+
 namespace tmi
 {
 
 PerfSession::PerfSession(const PerfConfig &config)
     : _config(config), _rng(config.seed)
 {
-    TMI_ASSERT(config.period >= 1);
+    if (config.period < 1) {
+        fatal("PerfConfig.period must be >= 1 (got %lu): a zero "
+              "sampling period would emit a record per event and "
+              "divide by zero in the n/r correction",
+              static_cast<unsigned long>(config.period));
+    }
 }
 
 void
@@ -54,7 +61,25 @@ PerfSession::onHitm(const AccessContext &ctx, Cycles now)
                                        : rec.vaddr + skid;
     }
 
-    if (tc.ring.size() >= _config.bufferRecords) {
+    bool ring_full = tc.ring.size() >= _config.bufferRecords;
+    if (_faults && _faults->enabled()) {
+        // Injected PEBS pathologies (CounterPoint-class failures).
+        if (_faults->shouldFail(faultpoint::perfDropRecord))
+            return _config.recordCost; // assist ran, record vanished
+        if (_faults->shouldFail(faultpoint::perfWildPc)) {
+            // PC outside the analyzed binary (JIT stub, vdso...):
+            // the detector must filter it, not crash on it.
+            rec.pc = 0xdead0000ULL | (rec.pc & 0xffffULL);
+        }
+        if (_faults->shouldFail(faultpoint::perfCorruptAddr)) {
+            // Gross data-address corruption, far beyond normal skid.
+            rec.vaddr ^= 0x5a5a5a5a5a40ULL;
+        }
+        ring_full = ring_full ||
+                    _faults->shouldFail(faultpoint::perfRingOverflow);
+    }
+
+    if (ring_full) {
         ++_statLost;
     } else {
         tc.ring.push_back(rec);

@@ -30,6 +30,8 @@
 namespace tmi
 {
 
+class FaultInjector;
+
 /** One PEBS sample as seen by a userspace perf client. */
 struct PebsRecord
 {
@@ -62,6 +64,9 @@ class PerfSession
 
     /** Change the sampling period (takes effect immediately). */
     void setPeriod(std::uint64_t period) { _config.period = period; }
+
+    /** Wire the fault injector (null disables injection). */
+    void setFaultInjector(FaultInjector *faults) { _faults = faults; }
 
     /** Open a counting context for @p tid (pthread_create hook). */
     void attachThread(ThreadId tid);
@@ -119,6 +124,7 @@ class PerfSession
 
     PerfConfig _config;
     Rng _rng;
+    FaultInjector *_faults = nullptr;
     std::unordered_map<ThreadId, ThreadCtx> _threads;
 
     stats::Scalar _statEvents;

@@ -2,12 +2,15 @@
 
 #include <cstring>
 
+#include "fault/fault_injector.hh"
+
 namespace tmi
 {
 
 Ptsb::Ptsb(Mmu &mmu, ProcessId pid, const PtsbCosts &costs,
-           CacheSim *cache)
-    : _mmu(mmu), _pid(pid), _costs(costs), _cache(cache)
+           CacheSim *cache, FaultInjector *faults)
+    : _mmu(mmu), _pid(pid), _costs(costs), _cache(cache),
+      _faults(faults)
 {
 }
 
@@ -33,18 +36,49 @@ Ptsb::unprotectPage(VPage vpage)
     _protected.erase(it);
 }
 
+void
+Ptsb::forgetPage(VPage vpage)
+{
+    TMI_ASSERT(_twins.find(vpage) == _twins.end(),
+               "forget of a dirty PTSB page");
+    _protected.erase(vpage);
+}
+
+Cycles
+Ptsb::dissolve()
+{
+    CommitResult res = commit();
+    Cycles cost = res.cost;
+    for (const auto &[vpage, armed] : _protected) {
+        (void)armed;
+        _mmu.unprotect(_pid, vpage);
+        cost += _costs.unprotectPage;
+    }
+    _protected.clear();
+    return cost;
+}
+
 bool
 Ptsb::isProtected(VPage vpage) const
 {
     return _protected.count(vpage) != 0;
 }
 
-Cycles
+CowOutcome
 Ptsb::onCowFault(VPage vpage, PPage shared_frame, PPage private_frame)
 {
     TMI_ASSERT(_protected.count(vpage), "COW fault on unprotected page");
     TMI_ASSERT(_twins.find(vpage) == _twins.end(),
                "double COW fault without commit");
+
+    if (_faults &&
+        _faults->shouldFail(faultpoint::ptsbTwinAllocFail)) {
+        // Under memory pressure the twin snapshot cannot be taken;
+        // report failure so the MMU abandons the divergence and the
+        // page falls back to direct shared writes.
+        ++_statTwinAllocFails;
+        return {0, false};
+    }
 
     Twin twin;
     twin.sharedFrame = shared_frame;
@@ -67,7 +101,7 @@ Ptsb::onCowFault(VPage vpage, PPage shared_frame, PPage private_frame)
     Cycles chunks = page_bytes / smallPageBytes;
     if (chunks == 0)
         chunks = 1;
-    return _costs.twinCopyPer4k * chunks;
+    return {_costs.twinCopyPer4k * chunks, true};
 }
 
 CommitResult
@@ -132,6 +166,15 @@ Ptsb::commit()
     _statBytesMerged += static_cast<double>(res.bytesChanged);
     _statConflictBytes += static_cast<double>(res.conflictBytes);
     _twins.clear();
+
+    if (_faults &&
+        _faults->shouldFail(faultpoint::ptsbOversizeCommit)) {
+        // Pathological commit (evicted twins, cold caches): the same
+        // merge costs dramatically more. The effectiveness monitor is
+        // what must notice this and un-repair.
+        res.cost *= _costs.oversizeFactor;
+        ++_statOversizeCommits;
+    }
     return res;
 }
 
@@ -153,6 +196,10 @@ Ptsb::regStats(stats::StatGroup &group)
                     "twin snapshots taken (COW faults)");
     group.addScalar("conflictBytes", &_statConflictBytes,
                     "racy-merge bytes (nonzero implies a data race)");
+    group.addScalar("twinAllocFails", &_statTwinAllocFails,
+                    "twin allocations that failed (injected)");
+    group.addScalar("oversizeCommits", &_statOversizeCommits,
+                    "commits with injected pathological cost");
 }
 
 } // namespace tmi

@@ -33,11 +33,15 @@ namespace tmi
 struct PtsbCosts
 {
     Cycles protectPage = 700;    //!< mprotect + TLB shootdown, per page
+    Cycles unprotectPage = 700;  //!< mprotect back + shootdown, per page
     Cycles twinCopyPer4k = 500;  //!< copying one 4 KB chunk at fault
     Cycles diffPer4k = 400;      //!< scanning one 4 KB chunk at commit
     Cycles memcmpPer4k = 90;     //!< huge-page memcmp pre-filter per 4 KB
     Cycles mergePerLine = 45;    //!< writing one changed line + coherence
     Cycles commitBase = 150;     //!< fixed cost per dirty commit
+    /** Cost multiplier when the ptsb.oversize_commit fault fires
+     *  (cold caches / pathological diff). */
+    Cycles oversizeFactor = 64;
 };
 
 /** Result of one commit. */
@@ -66,9 +70,11 @@ class Ptsb
     /**
      * @param cache optional: merged lines are invalidated there so
      *              commit's coherence traffic is visible to timing.
+     * @param faults optional fault injector (twin allocation failure,
+     *               oversized commits).
      */
     Ptsb(Mmu &mmu, ProcessId pid, const PtsbCosts &costs = {},
-         CacheSim *cache = nullptr);
+         CacheSim *cache = nullptr, FaultInjector *faults = nullptr);
 
     ProcessId pid() const { return _pid; }
 
@@ -82,6 +88,22 @@ class Ptsb
     /** Stop buffering @p vpage (changes must be committed first). */
     void unprotectPage(VPage vpage);
 
+    /**
+     * Drop @p vpage from the protected set without touching the MMU.
+     *
+     * Used when the MMU already reverted the page to SharedRW after
+     * an unserviceable COW fault; the page must not hold a twin.
+     */
+    void forgetPage(VPage vpage);
+
+    /**
+     * Tear the whole buffer down: commit outstanding twins, then
+     * unprotect every page (un-repair / rollback path).
+     *
+     * @return the total cycle cost (commit + per-page mprotect).
+     */
+    Cycles dissolve();
+
     /** True if @p vpage is currently under the PTSB. */
     bool isProtected(VPage vpage) const;
 
@@ -90,11 +112,13 @@ class Ptsb
      *
      * Wired to the Mmu's CowCallback by the runtime; must be called
      * exactly when the private frame is created.
-     * @return the cost of the fault + twin copy, to charge the
-     *         faulting thread.
+     * @return cost of the fault + twin copy to charge the faulting
+     *         thread; `ok == false` when the twin allocation failed
+     *         (injected), in which case no twin was taken and the
+     *         MMU must abandon the COW.
      */
-    Cycles onCowFault(VPage vpage, PPage shared_frame,
-                      PPage private_frame);
+    CowOutcome onCowFault(VPage vpage, PPage shared_frame,
+                          PPage private_frame);
 
     /**
      * Diff every dirty page against its twin, merge changed bytes
@@ -141,6 +165,7 @@ class Ptsb
     ProcessId _pid;
     PtsbCosts _costs;
     CacheSim *_cache;
+    FaultInjector *_faults;
 
     std::unordered_map<VPage, bool> _protected;
     std::unordered_map<VPage, Twin> _twins;
@@ -150,6 +175,8 @@ class Ptsb
     stats::Scalar _statBytesMerged;
     stats::Scalar _statTwinsCreated;
     stats::Scalar _statConflictBytes;
+    stats::Scalar _statTwinAllocFails;
+    stats::Scalar _statOversizeCommits;
 };
 
 } // namespace tmi

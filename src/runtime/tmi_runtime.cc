@@ -18,25 +18,71 @@ detectorConfigFor(Machine &machine, const TmiConfig &config)
 
 } // namespace
 
+const char *
+tmiModeName(TmiMode mode)
+{
+    switch (mode) {
+      case TmiMode::AllocOnly:
+        return "alloc-only";
+      case TmiMode::DetectOnly:
+        return "detect-only";
+      case TmiMode::DetectAndRepair:
+        return "detect-and-repair";
+    }
+    return "unknown";
+}
+
 TmiRuntime::TmiRuntime(Machine &machine, const TmiConfig &config)
     : _m(machine), _cfg(config), _ccc(config.cccEnabled),
       _detector(machine.instructions(), machine.addressMap(),
-                detectorConfigFor(machine, config))
+                detectorConfigFor(machine, config)),
+      _rung(config.mode)
 {
 }
 
 void
 TmiRuntime::attach()
 {
+    if (_cfg.analysisInterval == 0) {
+        fatal("TmiConfig.analysisInterval must be nonzero: the "
+              "detection thread would re-run analysis every cycle "
+              "without ever letting the application advance");
+    }
+    if (_cfg.robust.t2pMaxAttempts == 0) {
+        fatal("RobustnessConfig.t2pMaxAttempts must be >= 1: zero "
+              "attempts means repair can never engage, which is "
+              "DetectOnly mode spelled confusingly");
+    }
+    if (_cfg.robust.watchdogEnabled &&
+        _cfg.robust.watchdogTimeout < _cfg.analysisInterval) {
+        fatal("RobustnessConfig.watchdogTimeout (%lu) is below the "
+              "analysis interval (%lu): every window with a dirty "
+              "twin would be flushed, destroying the PTSB's benefit",
+              static_cast<unsigned long>(_cfg.robust.watchdogTimeout),
+              static_cast<unsigned long>(_cfg.analysisInterval));
+    }
     _m.setHooks(this);
     _m.mmu().setCowCallback(
         [this](ProcessId pid, VPage vpage, PPage shared_frame,
-               PPage private_frame) -> Cycles {
+               PPage private_frame) -> CowOutcome {
             auto it = _ptsbs.find(pid);
             if (it == _ptsbs.end())
-                return 0;
-            return it->second->onCowFault(vpage, shared_frame,
-                                          private_frame);
+                return {};
+            CowOutcome out = it->second->onCowFault(
+                vpage, shared_frame, private_frame);
+            if (out.ok)
+                _windowOverhead += out.cost;
+            return out;
+        });
+    _m.mmu().setCowAbortCallback(
+        [this](ProcessId pid, VPage vpage) {
+            // The MMU reverted the page to SharedRW (no frame or no
+            // twin). Writes go straight to shared memory -- exactly
+            // the unrepaired behaviour -- so only isolation is lost.
+            auto it = _ptsbs.find(pid);
+            if (it != _ptsbs.end())
+                it->second->forgetPage(vpage);
+            ++_statCowFallbacks;
         });
     if (_cfg.mode != TmiMode::AllocOnly) {
         _m.spawnSystemThread(
@@ -54,6 +100,15 @@ TmiRuntime::onThreadCreate(ThreadId tid)
         // Repair is already active: a newly created pthread is born
         // converted, with every targeted page protected.
         ProcessId pid = convertThread(tid);
+        if (pid == invalidProcessId) {
+            // Clone failed: the thread stays in its parent's process
+            // and shares its parent's PTSB view. Less isolation, same
+            // semantics (a per-process buffer, as in Sheriff).
+            warn("tmi: could not isolate new thread %u; it remains "
+                 "in its parent's process",
+                 static_cast<unsigned>(tid));
+            return;
+        }
         Ptsb &ptsb = *_ptsbs.at(pid);
         for (VPage vpage : _protectedPages)
             ptsb.protectPage(vpage);
@@ -136,7 +191,7 @@ TmiRuntime::onSyncRelease(ThreadId tid)
 void
 TmiRuntime::onHeapGrow(VPage first, std::uint64_t n)
 {
-    if (!_converted || !_cfg.ptsbEverywhere)
+    if (!repairActive() || !_cfg.ptsbEverywhere)
         return;
     for (std::uint64_t i = 0; i < n; ++i)
         protectPageEverywhere(first + i);
@@ -152,6 +207,7 @@ TmiRuntime::commitThread(ThreadId tid)
         return;
     CommitResult res = it->second->commit();
     ++_statFlushCommits;
+    _windowOverhead += res.cost;
     _m.sched().advance(res.cost);
 }
 
@@ -159,10 +215,13 @@ ProcessId
 TmiRuntime::convertThread(ThreadId tid)
 {
     ProcessId pid = _m.mmu().cloneAddressSpace(_m.processOf(tid));
+    if (pid == invalidProcessId)
+        return invalidProcessId;
     _m.setThreadProcess(tid, pid);
     _ptsbs.emplace(pid, std::make_unique<Ptsb>(_m.mmu(), pid,
                                                _cfg.ptsbCosts,
-                                               &_m.cache()));
+                                               &_m.cache(),
+                                               &_m.faults()));
     // The converted thread was stopped under ptrace, ran the
     // trampoline, and forked; charge it that stall.
     _m.sched().penalize(tid, _cfg.t2pCostPerThread);
@@ -171,18 +230,77 @@ TmiRuntime::convertThread(ThreadId tid)
     return pid;
 }
 
-void
-TmiRuntime::convertAllThreads()
+bool
+TmiRuntime::tryConvertAllThreads()
 {
+    struct Conversion
+    {
+        ThreadId tid;
+        ProcessId oldPid;
+        ProcessId newPid;
+    };
+    std::vector<Conversion> done;
+    FaultInjector &faults = _m.faults();
+
+    auto rollback = [&](const char *why, ThreadId culprit) {
+        warn("tmi: T2P transaction aborted at thread %u (%s); "
+             "rolling back %zu converted thread(s)",
+             static_cast<unsigned>(culprit), why, done.size());
+        for (auto it = done.rbegin(); it != done.rend(); ++it) {
+            _m.setThreadProcess(it->tid, it->oldPid);
+            _ptsbs.erase(it->newPid);
+            // Un-fork + resume stall for the victim of the rollback.
+            _m.sched().penalize(it->tid, _cfg.robust.t2pAbortCost);
+        }
+        ++_statT2pAborts;
+    };
+
     for (ThreadId tid : _m.appThreads()) {
         if (_m.sched().thread(tid).state() ==
             SimThread::State::Finished) {
             continue;
         }
-        convertThread(tid);
+        if (faults.enabled() &&
+            faults.shouldFail(faultpoint::schedStopTimeout)) {
+            // The thread never reached its ptrace stop point (stuck
+            // in an uninterruptible syscall, say): without a stopped
+            // thread there is nothing safe to fork.
+            rollback("refused to stop", tid);
+            return false;
+        }
+        ProcessId old_pid = _m.processOf(tid);
+        ProcessId new_pid = convertThread(tid);
+        if (new_pid == invalidProcessId) {
+            rollback("address-space clone failed", tid);
+            return false;
+        }
+        done.push_back({tid, old_pid, new_pid});
     }
     _converted = true;
     _m.flushTlbs();
+    return true;
+}
+
+bool
+TmiRuntime::engageRepair()
+{
+    const RobustnessConfig &rc = _cfg.robust;
+    Cycles backoff = rc.t2pRetryBackoff;
+    for (unsigned attempt = 1; attempt <= rc.t2pMaxAttempts;
+         ++attempt) {
+        if (tryConvertAllThreads())
+            return true;
+        if (attempt == rc.t2pMaxAttempts)
+            break;
+        warn("tmi: T2P attempt %u/%u failed; backing off %lu cycles",
+             attempt, rc.t2pMaxAttempts,
+             static_cast<unsigned long>(backoff));
+        _m.sched().sleepUntil(_m.sched().now() + backoff);
+        backoff *= 2;
+    }
+    degradeTo(TmiMode::DetectOnly,
+              "T2P conversion failed on every attempt");
+    return false;
 }
 
 void
@@ -200,6 +318,176 @@ TmiRuntime::protectPageEverywhere(VPage vpage)
     _m.sched().advance(cost);
 }
 
+Cycles
+TmiRuntime::unrepair(const char *reason)
+{
+    Cycles cost = 0;
+    for (auto &[pid, ptsb] : _ptsbs) {
+        (void)pid;
+        cost += ptsb->dissolve();
+    }
+    _protectedPages.clear();
+    _m.flushTlbs();
+    _watch.clear();
+    _regressStreak = 0;
+    _windowsSinceRepair = 0;
+    _windowsSinceUnrepair = 0;
+    _watchdogFires = 0;
+    ++_unrepairs;
+    ++_statUnrepairs;
+    warn("tmi: un-repaired (%s); rollback %u of %u", reason,
+         _unrepairs, _cfg.robust.maxUnrepairs);
+    if (_unrepairs >= _cfg.robust.maxUnrepairs) {
+        degradeTo(TmiMode::DetectOnly,
+                  "repair rollback budget exhausted");
+    }
+    return cost;
+}
+
+void
+TmiRuntime::degradeTo(TmiMode mode, const char *reason)
+{
+    if (static_cast<int>(mode) >= static_cast<int>(_rung))
+        return;
+    warn("tmi: degrading %s -> %s (%s)", tmiModeName(_rung),
+         tmiModeName(mode), reason);
+    _rung = mode;
+    ++_statLadderDrops;
+}
+
+void
+TmiRuntime::checkPerfHealth(Cycles window)
+{
+    (void)window;
+    const RobustnessConfig &rc = _cfg.robust;
+    std::uint64_t lost = _m.perf().recordsLost();
+    std::uint64_t emitted = _m.perf().recordsEmitted();
+    std::uint64_t d_lost = lost - _lastLost;
+    std::uint64_t d_kept = emitted - _lastEmitted;
+    _lastLost = lost;
+    _lastEmitted = emitted;
+
+    if (d_lost + d_kept < rc.lostRecordsMinSamples)
+        return; // too few samples to judge this window
+    double frac =
+        static_cast<double>(d_lost) /
+        static_cast<double>(d_lost + d_kept);
+    if (frac > rc.lostRecordsFraction)
+        ++_lossStreak;
+    else
+        _lossStreak = 0;
+    if (_lossStreak < rc.lostRecordsWindows)
+        return;
+    _lossStreak = 0;
+
+    if (_rung == TmiMode::DetectAndRepair) {
+        // Repair decisions based on samples this lossy would be
+        // noise; keep observing, stop acting.
+        if (repairActive()) {
+            _m.sched().advance(
+                unrepair("perf sampling unreliable"));
+        }
+        degradeTo(TmiMode::DetectOnly,
+                  "perf rings persistently overflowing");
+    } else if (_rung == TmiMode::DetectOnly) {
+        degradeTo(TmiMode::AllocOnly,
+                  "perf still unreliable; stopping the sampler");
+    }
+}
+
+void
+TmiRuntime::updateEffectiveness(Cycles window)
+{
+    const RobustnessConfig &rc = _cfg.robust;
+    std::uint64_t hitm = _m.cache().hitmEvents();
+    std::uint64_t window_hitm = hitm - _lastHitm;
+    _lastHitm = hitm;
+    Cycles overhead = _windowOverhead;
+    _windowOverhead = 0;
+    if (window == 0)
+        return;
+
+    if (!repairActive()) {
+        // Learn the baseline HITM rate so a later repair has
+        // something to be compared against.
+        double rate = static_cast<double>(window_hitm) /
+                      static_cast<double>(window);
+        _preRepairHitmRate = _preRepairHitmRate == 0.0
+                                 ? rate
+                                 : 0.75 * _preRepairHitmRate +
+                                       0.25 * rate;
+        ++_windowsSinceUnrepair;
+        return;
+    }
+    if (!rc.monitorEnabled)
+        return;
+    if (++_windowsSinceRepair <= rc.monitorWarmupWindows)
+        return;
+
+    double avoided = _preRepairHitmRate *
+                         static_cast<double>(window) -
+                     static_cast<double>(window_hitm);
+    double benefit =
+        avoided > 0
+            ? avoided * static_cast<double>(rc.hitmCostEstimate)
+            : 0.0;
+    bool regressed =
+        static_cast<double>(overhead) >
+            static_cast<double>(window) * rc.minOverheadFraction &&
+        static_cast<double>(overhead) >
+            benefit * rc.regressFactor;
+    _regressStreak = regressed ? _regressStreak + 1 : 0;
+    if (_regressStreak >= rc.regressWindows) {
+        _m.sched().advance(
+            unrepair("repair overhead dwarfs its HITM benefit"));
+    }
+}
+
+void
+TmiRuntime::runWatchdog(Cycles window)
+{
+    const RobustnessConfig &rc = _cfg.robust;
+    if (!rc.watchdogEnabled || !repairActive())
+        return;
+    Cycles flush_cost = 0;
+    bool fired = false;
+    for (auto &[pid, ptsb] : _ptsbs) {
+        PtsbWatch &w = _watch[pid];
+        std::uint64_t commits = ptsb->commits();
+        if (ptsb->dirtyPages() == 0 || commits != w.lastCommits) {
+            w.lastCommits = commits;
+            w.stall = 0;
+            continue;
+        }
+        w.stall += window;
+        if (w.stall < rc.watchdogTimeout)
+            continue;
+        // This process has buffered writes nobody else can see and
+        // has not committed for the whole stall: the Figure 12
+        // cholesky livelock. Committing on its behalf is always
+        // safe -- it is the flush the thread would eventually issue.
+        CommitResult res = ptsb->commit();
+        flush_cost += res.cost;
+        w.stall = 0;
+        w.lastCommits = ptsb->commits();
+        fired = true;
+    }
+    if (!fired)
+        return;
+    ++_watchdogFires;
+    ++_statWatchdogFlushes;
+    warn("tmi: watchdog force-committed stalled PTSB(s), fire %u "
+         "of %u",
+         _watchdogFires, rc.watchdogMaxFlushes);
+    _m.sched().advance(flush_cost);
+    if (_watchdogFires >= rc.watchdogMaxFlushes) {
+        _m.sched().advance(
+            unrepair("repeated PTSB-induced livelock"));
+        degradeTo(TmiMode::DetectOnly,
+                  "watchdog flush budget exhausted");
+    }
+}
+
 void
 TmiRuntime::detectionLoop(ThreadApi &api)
 {
@@ -209,6 +497,17 @@ TmiRuntime::detectionLoop(ThreadApi &api)
     while (true) {
         m.sched().sleepUntil(last + _cfg.analysisInterval);
         Cycles now = m.sched().now();
+        Cycles window = now - last;
+        last = now;
+
+        if (_rung == TmiMode::AllocOnly) {
+            // Ladder floor: sampling proved useless, so records are
+            // discarded undecoded. Only the allocator and sync
+            // redirection (which need no thread) keep working.
+            records.clear();
+            m.perf().drainAll(records);
+            continue;
+        }
 
         records.clear();
         m.perf().drainAll(records);
@@ -216,19 +515,29 @@ TmiRuntime::detectionLoop(ThreadApi &api)
         for (const auto &rec : records)
             cost += _detector.consume(rec);
 
-        AnalysisResult res = _detector.analyze(now - last);
+        AnalysisResult res = _detector.analyze(window);
         cost += res.cost;
         m.sched().advance(cost);
-        last = now;
 
-        if (_cfg.mode != TmiMode::DetectAndRepair)
+        checkPerfHealth(window);
+        updateEffectiveness(window);
+        runWatchdog(window);
+
+        if (_rung != TmiMode::DetectAndRepair)
             continue;
         if (res.pagesToRepair.empty())
             continue;
+        if (_unrepairs > 0 &&
+            _windowsSinceUnrepair <
+                _cfg.robust.repairCooldownWindows) {
+            continue; // hysteresis: no repair/un-repair flapping
+        }
 
         if (!_converted) {
-            _repairStart = m.sched().now();
-            convertAllThreads();
+            Cycles t0 = m.sched().now();
+            if (!engageRepair())
+                continue;
+            _repairStart = t0;
         }
         for (VPage vpage : res.pagesToRepair)
             protectPageEverywhere(vpage);
@@ -292,6 +601,16 @@ TmiRuntime::regStats(stats::StatGroup &group)
                     "sync objects moved to process-shared memory");
     group.addScalar("flushCommits", &_statFlushCommits,
                     "PTSB commits triggered by hooks");
+    group.addScalar("t2pAborts", &_statT2pAborts,
+                    "T2P transactions aborted and rolled back");
+    group.addScalar("unrepairs", &_statUnrepairs,
+                    "repairs rolled back (PTSB dissolved)");
+    group.addScalar("watchdogFlushes", &_statWatchdogFlushes,
+                    "watchdog force-commits of stalled PTSBs");
+    group.addScalar("ladderDrops", &_statLadderDrops,
+                    "degradation-ladder transitions");
+    group.addScalar("cowFallbacks", &_statCowFallbacks,
+                    "COW faults degraded to shared writes");
     _detector.regStats(group);
     _ccc.regStats(group);
 }

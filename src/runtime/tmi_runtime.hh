@@ -17,6 +17,14 @@
  *  - DetectOnly: adds perf monitoring, the detection thread, and
  *    process-shared sync redirection (tmi-detect);
  *  - DetectAndRepair: full system (tmi-protect).
+ *
+ * The configured mode is also the top of a *degradation ladder*: the
+ * runtime drops one rung at a time (DetectAndRepair -> DetectOnly ->
+ * AllocOnly) when its own machinery misbehaves -- T2P conversion
+ * failing repeatedly, a repair that costs more than it saves, a
+ * PTSB-induced livelock, or persistently unreliable perf sampling.
+ * Every rung keeps the application correct; each drop only sheds an
+ * optimization. Transitions are logged with warn() and counted.
  */
 
 #ifndef TMI_RUNTIME_TMI_RUNTIME_HH
@@ -34,12 +42,71 @@
 namespace tmi
 {
 
-/** Operating mode of the runtime. */
+/** Operating mode of the runtime (also a ladder rung, see above). */
 enum class TmiMode
 {
     AllocOnly,
     DetectOnly,
     DetectAndRepair,
+};
+
+/** Human-readable rung name ("alloc-only", ..., for logs and CSVs). */
+const char *tmiModeName(TmiMode mode);
+
+/** Self-healing policy knobs (see detectionLoop's helper passes). */
+struct RobustnessConfig
+{
+    /** @name Transactional thread-to-process conversion */
+    /// @{
+    /** Attempts before giving up on repair entirely (>= 1). */
+    unsigned t2pMaxAttempts = 4;
+    /** Wait after an aborted attempt; doubles per retry. */
+    Cycles t2pRetryBackoff = 50'000;
+    /** Stall charged to each rolled-back thread (un-fork + resume). */
+    Cycles t2pAbortCost = 20'000;
+    /// @}
+
+    /** @name Post-repair effectiveness monitor */
+    /// @{
+    bool monitorEnabled = true;
+    /** Analysis windows to let caches settle before judging. */
+    unsigned monitorWarmupWindows = 2;
+    /** Regressed when overhead > benefit * regressFactor... */
+    double regressFactor = 4.0;
+    /** ...for this many consecutive windows. */
+    unsigned regressWindows = 3;
+    /** Overhead below this fraction of a window is never a
+     *  regression (ignores noise when both sides are tiny). */
+    double minOverheadFraction = 0.02;
+    /** Estimated cycles saved per avoided HITM (~remote-dirty
+     *  transfer latency). */
+    Cycles hitmCostEstimate = 70;
+    /** Windows to wait after an un-repair before repairing again. */
+    unsigned repairCooldownWindows = 10;
+    /** Un-repairs before conceding this workload (drop a rung). */
+    unsigned maxUnrepairs = 2;
+    /// @}
+
+    /** @name PTSB livelock watchdog (cholesky, Figure 12) */
+    /// @{
+    bool watchdogEnabled = true;
+    /** A PTSB holding dirty twins with no commits for this long is
+     *  force-committed. Must be far above any honest inter-sync
+     *  distance; the default only trips genuinely stuck runs. */
+    Cycles watchdogTimeout = 2'000'000'000;
+    /** Watchdog fires before un-repairing and dropping a rung. */
+    unsigned watchdogMaxFlushes = 3;
+    /// @}
+
+    /** @name Perf-sampling health */
+    /// @{
+    /** A window whose lost-record fraction exceeds this is bad... */
+    double lostRecordsFraction = 0.5;
+    /** ...and this many consecutive bad windows drop a rung. */
+    unsigned lostRecordsWindows = 5;
+    /** Windows with fewer records than this are not judged. */
+    std::uint64_t lostRecordsMinSamples = 16;
+    /// @}
 };
 
 /** Tmi runtime configuration. */
@@ -53,6 +120,7 @@ struct TmiConfig
 
     DetectorConfig detector;
     PtsbCosts ptsbCosts;
+    RobustnessConfig robust;
 
     /**
      * Simulated cycles between detector analyses. The paper analyzes
@@ -79,9 +147,10 @@ class TmiRuntime : public RuntimeHooks
     TmiRuntime(Machine &machine, const TmiConfig &config = {});
 
     /**
-     * Install hooks, wire the COW callback, and (except in AllocOnly
+     * Install hooks, wire the COW callbacks, and (except in AllocOnly
      * mode) launch the per-application detection thread. Call before
-     * spawning any application thread.
+     * spawning any application thread. Rejects nonsensical configs
+     * with fatal().
      */
     void attach();
 
@@ -103,8 +172,12 @@ class TmiRuntime : public RuntimeHooks
 
     /** @name Experiment queries */
     /// @{
-    /** True once threads have been converted and repair is on. */
-    bool repairActive() const { return _converted; }
+    /** True while converted threads have pages under the PTSB (an
+     *  un-repair turns this back off). */
+    bool repairActive() const
+    {
+        return _converted && !_protectedPages.empty();
+    }
 
     /** Simulated time at which repair engaged (Table 3 Unrepaired). */
     Cycles repairStartCycles() const { return _repairStart; }
@@ -136,15 +209,90 @@ class TmiRuntime : public RuntimeHooks
     CodeCentricConsistency &ccc() { return _ccc; }
     /// @}
 
+    /** @name Robustness queries */
+    /// @{
+    /** Current degradation-ladder rung (== cfg.mode until a drop). */
+    TmiMode rung() const { return _rung; }
+
+    /** Aborted-and-rolled-back T2P transactions. */
+    std::uint64_t t2pAborts() const
+    {
+        return static_cast<std::uint64_t>(_statT2pAborts.value());
+    }
+
+    /** Times repair was rolled back (dissolved) after engaging. */
+    unsigned unrepairs() const { return _unrepairs; }
+
+    /** Watchdog force-flush events. */
+    unsigned watchdogFires() const { return _watchdogFires; }
+
+    /** COW faults degraded to plain shared writes (page lost its
+     *  isolation but stayed correct). */
+    std::uint64_t cowFallbacks() const
+    {
+        return static_cast<std::uint64_t>(_statCowFallbacks.value());
+    }
+
+    /** Ladder transitions taken. */
+    std::uint64_t ladderDrops() const
+    {
+        return static_cast<std::uint64_t>(_statLadderDrops.value());
+    }
+    /// @}
+
     /** Register stats under @p group. */
     void regStats(stats::StatGroup &group);
 
   private:
     void detectionLoop(ThreadApi &api);
-    void convertAllThreads();
+
+    /**
+     * Transactionally convert every running thread. On any per-thread
+     * failure (clone fault, thread refusing to stop) the whole batch
+     * is rolled back: already-converted threads rejoin their original
+     * process and their PTSBs are destroyed, leaving the address-space
+     * state exactly as before the attempt.
+     *
+     * @return true when every thread converted.
+     */
+    bool tryConvertAllThreads();
+
+    /**
+     * Drive tryConvertAllThreads with exponential backoff up to
+     * robust.t2pMaxAttempts; exhausting the budget degrades to
+     * DetectOnly.
+     */
+    bool engageRepair();
+
+    /** @return the new pid, or invalidProcessId when the clone
+     *  failed (caller decides how to degrade). */
     ProcessId convertThread(ThreadId tid);
+
     void protectPageEverywhere(VPage vpage);
     void commitThread(ThreadId tid);
+
+    /**
+     * Roll repair back: commit and unprotect everything, everywhere.
+     * Threads stay processes (their page tables are now all-shared,
+     * which is behaviourally identical to unconverted threads), so
+     * repair can re-engage later by re-protecting pages.
+     *
+     * @return cycle cost of the dissolution, to charge the caller.
+     */
+    Cycles unrepair(const char *reason);
+
+    /** One-way ladder transition with logging (no-op if already at
+     *  or below @p mode). */
+    void degradeTo(TmiMode mode, const char *reason);
+
+    /** Drop a rung due to persistently lossy perf sampling. */
+    void checkPerfHealth(Cycles window);
+
+    /** Un-repair when measured overhead dwarfs the HITM benefit. */
+    void updateEffectiveness(Cycles window);
+
+    /** Force-commit PTSBs stuck with old dirty twins (livelock). */
+    void runWatchdog(Cycles window);
 
     Machine &_m;
     TmiConfig _cfg;
@@ -157,10 +305,40 @@ class TmiRuntime : public RuntimeHooks
     Cycles _repairStart = 0;
     Cycles _t2pTotal = 0;
 
+    TmiMode _rung;
+
+    // Effectiveness-monitor state.
+    double _preRepairHitmRate = 0;  //!< EMA while un-repaired
+    std::uint64_t _lastHitm = 0;
+    Cycles _windowOverhead = 0;     //!< commits + twin copies
+    unsigned _regressStreak = 0;
+    unsigned _windowsSinceRepair = 0;
+    unsigned _windowsSinceUnrepair = 0;
+    unsigned _unrepairs = 0;
+
+    // Perf-health state.
+    std::uint64_t _lastLost = 0;
+    std::uint64_t _lastEmitted = 0;
+    unsigned _lossStreak = 0;
+
+    // Watchdog state.
+    struct PtsbWatch
+    {
+        std::uint64_t lastCommits = 0;
+        Cycles stall = 0;
+    };
+    std::unordered_map<ProcessId, PtsbWatch> _watch;
+    unsigned _watchdogFires = 0;
+
     stats::Scalar _statConversions;
     stats::Scalar _statPageProtections;
     stats::Scalar _statSyncRedirects;
     stats::Scalar _statFlushCommits;
+    stats::Scalar _statT2pAborts;
+    stats::Scalar _statUnrepairs;
+    stats::Scalar _statWatchdogFlushes;
+    stats::Scalar _statLadderDrops;
+    stats::Scalar _statCowFallbacks;
 };
 
 } // namespace tmi

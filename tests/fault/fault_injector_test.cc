@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Unit tests for the fault-injection framework: trigger semantics,
+ * exact seeded replay, and stream independence between points.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fault/fault_injector.hh"
+
+namespace tmi
+{
+
+namespace
+{
+
+std::vector<bool>
+firePattern(FaultInjector &inj, const char *point, unsigned n)
+{
+    std::vector<bool> fires;
+    for (unsigned i = 0; i < n; ++i)
+        fires.push_back(inj.shouldFail(point));
+    return fires;
+}
+
+} // namespace
+
+TEST(FaultInjector, UnarmedPointsNeverFail)
+{
+    FaultInjector inj;
+    EXPECT_FALSE(inj.enabled());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_FALSE(inj.shouldFail(faultpoint::memCloneFail));
+    EXPECT_EQ(inj.totalFires(), 0u);
+}
+
+TEST(FaultInjector, AlwaysFiresEveryQuery)
+{
+    FaultInjector inj;
+    inj.arm(faultpoint::memCloneFail, FaultSpec::always());
+    EXPECT_TRUE(inj.enabled());
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(inj.shouldFail(faultpoint::memCloneFail));
+    EXPECT_EQ(inj.queries(faultpoint::memCloneFail), 10u);
+    EXPECT_EQ(inj.fires(faultpoint::memCloneFail), 10u);
+}
+
+TEST(FaultInjector, FireAtHitsExactlyTheNthQuery)
+{
+    FaultInjector inj;
+    inj.arm(faultpoint::schedStopTimeout, FaultSpec::once(3));
+    std::vector<bool> fires =
+        firePattern(inj, faultpoint::schedStopTimeout, 6);
+    EXPECT_EQ(fires, (std::vector<bool>{false, false, true, false,
+                                        false, false}));
+}
+
+TEST(FaultInjector, EveryNthFiresPeriodically)
+{
+    FaultInjector inj;
+    FaultSpec spec;
+    spec.everyNth = 4;
+    inj.arm(faultpoint::ptsbOversizeCommit, spec);
+    std::vector<bool> fires =
+        firePattern(inj, faultpoint::ptsbOversizeCommit, 8);
+    EXPECT_EQ(fires, (std::vector<bool>{false, false, false, true,
+                                        false, false, false, true}));
+}
+
+TEST(FaultInjector, MaxFiresCapsTheCount)
+{
+    FaultInjector inj;
+    FaultSpec spec = FaultSpec::always();
+    spec.maxFires = 3;
+    inj.arm(faultpoint::perfDropRecord, spec);
+    unsigned fired = 0;
+    for (int i = 0; i < 20; ++i)
+        fired += inj.shouldFail(faultpoint::perfDropRecord);
+    EXPECT_EQ(fired, 3u);
+    EXPECT_EQ(inj.fires(faultpoint::perfDropRecord), 3u);
+    EXPECT_EQ(inj.queries(faultpoint::perfDropRecord), 20u);
+}
+
+TEST(FaultInjector, ProbabilityRoughlyMatchesRate)
+{
+    FaultInjector inj(1234);
+    inj.arm(faultpoint::memFrameExhausted,
+            FaultSpec::withProbability(0.25));
+    unsigned fired = 0;
+    const unsigned n = 10000;
+    for (unsigned i = 0; i < n; ++i)
+        fired += inj.shouldFail(faultpoint::memFrameExhausted);
+    EXPECT_GT(fired, n / 5);     // > 20%
+    EXPECT_LT(fired, 3 * n / 10); // < 30%
+}
+
+TEST(FaultInjector, SameSeedReplaysExactly)
+{
+    FaultInjector a(777), b(777);
+    a.arm(faultpoint::perfCorruptAddr, FaultSpec::withProbability(0.3));
+    b.arm(faultpoint::perfCorruptAddr, FaultSpec::withProbability(0.3));
+    EXPECT_EQ(firePattern(a, faultpoint::perfCorruptAddr, 500),
+              firePattern(b, faultpoint::perfCorruptAddr, 500));
+}
+
+TEST(FaultInjector, DifferentSeedsDiffer)
+{
+    FaultInjector a(777), b(778);
+    a.arm(faultpoint::perfCorruptAddr, FaultSpec::withProbability(0.3));
+    b.arm(faultpoint::perfCorruptAddr, FaultSpec::withProbability(0.3));
+    EXPECT_NE(firePattern(a, faultpoint::perfCorruptAddr, 500),
+              firePattern(b, faultpoint::perfCorruptAddr, 500));
+}
+
+TEST(FaultInjector, PointStreamsAreInterleavingIndependent)
+{
+    // A point's pattern is a function of its own query index alone:
+    // interleaving queries to other points must not perturb it.
+    FaultInjector solo(99), mixed(99);
+    solo.arm(faultpoint::memFrameExhausted,
+             FaultSpec::withProbability(0.4));
+    mixed.arm(faultpoint::memFrameExhausted,
+              FaultSpec::withProbability(0.4));
+    mixed.arm(faultpoint::perfWildPc, FaultSpec::withProbability(0.4));
+
+    std::vector<bool> solo_fires, mixed_fires;
+    for (unsigned i = 0; i < 300; ++i) {
+        solo_fires.push_back(
+            solo.shouldFail(faultpoint::memFrameExhausted));
+        // Noise queries between the observed point's queries.
+        mixed.shouldFail(faultpoint::perfWildPc);
+        mixed_fires.push_back(
+            mixed.shouldFail(faultpoint::memFrameExhausted));
+        mixed.shouldFail(faultpoint::perfWildPc);
+    }
+    EXPECT_EQ(solo_fires, mixed_fires);
+}
+
+TEST(FaultInjector, RearmResetsCounters)
+{
+    FaultInjector inj;
+    inj.arm(faultpoint::memCloneFail, FaultSpec::once(1));
+    EXPECT_TRUE(inj.shouldFail(faultpoint::memCloneFail));
+    EXPECT_FALSE(inj.shouldFail(faultpoint::memCloneFail));
+    inj.arm(faultpoint::memCloneFail, FaultSpec::once(1));
+    EXPECT_TRUE(inj.shouldFail(faultpoint::memCloneFail));
+}
+
+TEST(FaultInjector, DisarmStopsFiring)
+{
+    FaultInjector inj;
+    inj.arm(faultpoint::memCloneFail, FaultSpec::always());
+    EXPECT_TRUE(inj.shouldFail(faultpoint::memCloneFail));
+    inj.disarm(faultpoint::memCloneFail);
+    EXPECT_FALSE(inj.enabled());
+    EXPECT_FALSE(inj.shouldFail(faultpoint::memCloneFail));
+}
+
+TEST(FaultInjector, StatsCountAcrossPoints)
+{
+    FaultInjector inj;
+    inj.arm(faultpoint::memCloneFail, FaultSpec::always());
+    inj.arm(faultpoint::perfDropRecord, FaultSpec::once(2));
+    inj.shouldFail(faultpoint::memCloneFail);   // fires
+    inj.shouldFail(faultpoint::perfDropRecord); // no
+    inj.shouldFail(faultpoint::perfDropRecord); // fires
+    EXPECT_EQ(inj.totalFires(), 2u);
+
+    stats::StatGroup g("fault");
+    inj.regStats(g);
+    double queries = 0, fired = 0;
+    EXPECT_TRUE(g.lookupScalar("faultQueries", queries));
+    EXPECT_TRUE(g.lookupScalar("faultFires", fired));
+    EXPECT_EQ(queries, 3.0);
+    EXPECT_EQ(fired, 2.0);
+}
+
+} // namespace tmi

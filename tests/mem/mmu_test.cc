@@ -93,13 +93,13 @@ TEST_F(MmuFixture, CowCallbackReceivesFrames)
     mmu.protectPrivateCow(pid, vp);
     bool called = false;
     mmu.setCowCallback([&](ProcessId p, VPage v, PPage shared,
-                           PPage priv) -> Cycles {
+                           PPage priv) -> CowOutcome {
         called = true;
         EXPECT_EQ(p, pid);
         EXPECT_EQ(v, vp);
         EXPECT_EQ(shared, region.frameFor(0));
         EXPECT_NE(priv, shared);
-        return 123;
+        return {123, true};
     });
     TranslateResult tr = mmu.translate(pid, vbase, true);
     EXPECT_TRUE(called);

@@ -28,12 +28,12 @@ struct ConflictFixture : public ::testing::Test
             ptsbs[i]->protectPage(vbase >> smallPageShift);
         }
         mmu.setCowCallback([this](ProcessId pid, VPage vp, PPage sf,
-                                  PPage pf) -> Cycles {
+                                  PPage pf) -> CowOutcome {
             for (int i = 0; i < 2; ++i) {
                 if (pids[i] == pid)
                     return ptsbs[i]->onCowFault(vp, sf, pf);
             }
-            return 0;
+            return {};
         });
     }
 
@@ -120,7 +120,7 @@ TEST_P(ConflictSweep, RandomRaceFreeScheduleIsConflictFree)
     Ptsb *p0 = ptsbs[0].get();
     Ptsb *p1 = ptsbs[1].get();
     mmu.setCowCallback([&](ProcessId pid, VPage vp, PPage sf,
-                           PPage pf) -> Cycles {
+                           PPage pf) -> CowOutcome {
         return (pid == pids[0] ? p0 : p1)->onCowFault(vp, sf, pf);
     });
 

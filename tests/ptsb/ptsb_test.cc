@@ -28,12 +28,12 @@ struct PtsbFixture : public ::testing::Test
         ptsb0 = std::make_unique<Ptsb>(mmu, p0);
         ptsb1 = std::make_unique<Ptsb>(mmu, p1);
         mmu.setCowCallback([this](ProcessId pid, VPage vpage,
-                                  PPage shared, PPage priv) -> Cycles {
+                                  PPage shared, PPage priv) -> CowOutcome {
             if (pid == p0)
                 return ptsb0->onCowFault(vpage, shared, priv);
             if (pid == p1)
                 return ptsb1->onCowFault(vpage, shared, priv);
-            return 0;
+            return {};
         });
     }
 
@@ -227,7 +227,7 @@ TEST(PtsbHuge, HugePageCommitUsesMemcmpPrefilter)
     PtsbCosts costs;
     Ptsb ptsb(mmu, p0, costs);
     mmu.setCowCallback([&](ProcessId, VPage vpage, PPage shared,
-                           PPage priv) -> Cycles {
+                           PPage priv) -> CowOutcome {
         return ptsb.onCowFault(vpage, shared, priv);
     });
 
