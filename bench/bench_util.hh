@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "core/config.hh"
 #include "core/experiment.hh"
 #include "workloads/workload.hh"
 
@@ -49,6 +50,17 @@ benchConfig(const std::string &workload, Treatment treatment,
     cfg.analysisInterval = 500'000;
     cfg.budget = 60'000'000'000ULL;
     return cfg;
+}
+
+/** The same defaults as a fluent builder; drivers chain their
+ *  per-figure knobs on top (.perfPeriod(...), .fault(...), ...). */
+inline ExperimentBuilder
+benchBuilder(const std::string &workload, Treatment treatment,
+             std::uint64_t scale)
+{
+    Config base;
+    base.run = benchConfig(workload, treatment, scale);
+    return Experiment::builder(base);
 }
 
 /** All workloads in the Figure 7/8/10 overhead set, paper order. */
@@ -163,34 +175,35 @@ struct TreatmentRow
 };
 
 /**
- * Run the pthreads baseline, then each treatment, for one workload.
+ * Run the pthreads baseline, then each treatment, from one base
+ * builder (the treatment on @p base is overwritten per run).
  * Sheriff treatments can be pathologically slow or hang outright, so
  * they get a budget of base cycles x @p sheriff_budget_factor
- * instead of the default; extra config tweaks go through @p tweak.
+ * instead of the default; extra knobs go through @p tweak.
  */
 inline TreatmentRow
-runTreatmentRow(const std::string &workload,
+runTreatmentRow(const ExperimentBuilder &base,
                 const std::vector<Treatment> &treatments,
-                std::uint64_t scale,
                 Cycles sheriff_budget_factor = 25,
-                const std::function<void(ExperimentConfig &)> &tweak =
+                const std::function<void(ExperimentBuilder &)> &tweak =
                     {})
 {
     TreatmentRow row;
-    ExperimentConfig base_cfg =
-        benchConfig(workload, Treatment::Pthreads, scale);
+    ExperimentBuilder base_b = base;
+    base_b.treatment(Treatment::Pthreads);
     if (tweak)
-        tweak(base_cfg);
-    row.base = runExperiment(base_cfg);
+        tweak(base_b);
+    row.base = base_b.run();
     for (Treatment t : treatments) {
-        ExperimentConfig cfg = benchConfig(workload, t, scale);
+        ExperimentBuilder b = base;
+        b.treatment(t);
         if (t == Treatment::SheriffDetect ||
             t == Treatment::SheriffProtect) {
-            cfg.budget = row.base.cycles * sheriff_budget_factor;
+            b.budget(row.base.cycles * sheriff_budget_factor);
         }
         if (tweak)
-            tweak(cfg);
-        row.treated.push_back(runExperiment(cfg));
+            tweak(b);
+        row.treated.push_back(b.run());
     }
     return row;
 }

@@ -24,10 +24,10 @@ main()
 
     std::uint64_t total_events = 0;
     for (std::uint64_t period : {1, 5, 10, 50, 100, 1000}) {
-        ExperimentConfig cfg =
-            benchConfig("leveldb", Treatment::TmiDetect, scale);
-        cfg.perfPeriod = period;
-        RunResult res = runExperiment(cfg);
+        RunResult res =
+            benchBuilder("leveldb", Treatment::TmiDetect, scale)
+                .perfPeriod(period)
+                .run();
         std::printf("%-8llu %12.3f %14llu %16.0f\n",
                     static_cast<unsigned long long>(period),
                     res.seconds * 1e3,

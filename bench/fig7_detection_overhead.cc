@@ -28,10 +28,9 @@ main()
     for (const auto &name : overheadSet()) {
         bool has_fs = findWorkload(name).knownFalseSharing;
         TreatmentRow row = runTreatmentRow(
-            name,
+            benchBuilder(name, Treatment::Pthreads, scale),
             {Treatment::TmiAlloc, Treatment::TmiDetect,
-             Treatment::SheriffDetect},
-            scale);
+             Treatment::SheriffDetect});
         const RunResult &base = row.base;
         const RunResult &alloc = row.treated[0];
         const RunResult &detect = row.treated[1];

@@ -27,10 +27,9 @@ main()
     std::vector<double> tmi_speedups, capture;
     for (const auto &name : falseSharingSet()) {
         TreatmentRow row = runTreatmentRow(
-            name,
+            benchBuilder(name, Treatment::Pthreads, scale),
             {Treatment::Manual, Treatment::SheriffProtect,
-             Treatment::Laser, Treatment::TmiProtect},
-            scale);
+             Treatment::Laser, Treatment::TmiProtect});
         const RunResult &base = row.base;
         const RunResult &manual = row.treated[0];
         const RunResult &sheriff = row.treated[1];

@@ -60,11 +60,11 @@ RunResult
 runWithFault(const std::string &workload, std::uint64_t scale,
              const char *point, const FaultSpec &spec)
 {
-    ExperimentConfig cfg =
-        benchConfig(workload, Treatment::TmiProtect, scale);
+    ExperimentBuilder b =
+        benchBuilder(workload, Treatment::TmiProtect, scale);
     if (point)
-        cfg.faults.emplace_back(point, spec);
-    return runExperiment(cfg);
+        b.fault(point, spec);
+    return b.run();
 }
 
 } // namespace
@@ -73,8 +73,7 @@ int
 main()
 {
     std::uint64_t scale = benchScale(3);
-    CsvSink csv("workload,scenario,outcome,rung,slowdown,fires,"
-                "t2p_aborts,unrepairs,watchdog,cow_fallbacks");
+    CsvSink csv(robustnessCsvHeader());
 
     header("Degradation ladder: forced faults, one point at a time");
     std::printf("%-14s %-16s %6s %-18s %9s %7s %11s\n", "workload",
@@ -87,8 +86,7 @@ main()
         std::printf("%-14s %-16s %6s %-18s %9s %7s %11s\n",
                     name.c_str(), "none", outcomeStr(clean),
                     clean.ladderRung.c_str(), "1.000x", "0", "-");
-        csv.row("%s,none,%s,%s,1.0,0,0,0,0,0", name.c_str(),
-                outcomeStr(clean), clean.ladderRung.c_str());
+        csv.row("%s", robustnessCsvRow(clean, "none", 1.0).c_str());
         for (const Scenario &sc : scenarios()) {
             RunResult res =
                 runWithFault(name, scale, sc.point, sc.spec);
@@ -110,14 +108,8 @@ main()
                         res.ladderRung.c_str(), slow,
                         static_cast<unsigned long>(res.faultFires),
                         healing);
-            csv.row("%s,%s,%s,%s,%.4f,%lu,%lu,%lu,%lu,%lu",
-                    name.c_str(), sc.label, outcomeStr(res),
-                    res.ladderRung.c_str(), slow,
-                    static_cast<unsigned long>(res.faultFires),
-                    static_cast<unsigned long>(res.t2pAborts),
-                    static_cast<unsigned long>(res.unrepairs),
-                    static_cast<unsigned long>(res.watchdogFlushes),
-                    static_cast<unsigned long>(res.cowFallbacks));
+            csv.row("%s",
+                    robustnessCsvRow(res, sc.label, slow).c_str());
             bad += !res.compatible;
         }
     }
@@ -139,15 +131,11 @@ main()
             std::printf("%-18s %8.2f %6s %-18s %8.3fx\n", point,
                         rate, outcomeStr(res),
                         res.ladderRung.c_str(), slow);
-            csv.row("histogramfs,%s@%.2f,%s,%s,%.4f,%lu,%lu,%lu,%lu,"
-                    "%lu",
-                    point, rate, outcomeStr(res),
-                    res.ladderRung.c_str(), slow,
-                    static_cast<unsigned long>(res.faultFires),
-                    static_cast<unsigned long>(res.t2pAborts),
-                    static_cast<unsigned long>(res.unrepairs),
-                    static_cast<unsigned long>(res.watchdogFlushes),
-                    static_cast<unsigned long>(res.cowFallbacks));
+            char scenario[48];
+            std::snprintf(scenario, sizeof(scenario), "%s@%.2f",
+                          point, rate);
+            csv.row("%s",
+                    robustnessCsvRow(res, scenario, slow).c_str());
             bad += !res.compatible;
         }
     }

@@ -15,7 +15,7 @@
 #include <cstdio>
 
 #include "consistency/ccc.hh"
-#include "core/experiment.hh"
+#include "core/config.hh"
 #include "ptsb/ptsb.hh"
 
 using namespace tmi;
@@ -81,18 +81,21 @@ table2Demo()
 void
 caseStudy(const char *workload, Treatment broken_treatment)
 {
-    ExperimentConfig cfg;
-    cfg.workload = workload;
-    cfg.threads = 4;
-    cfg.scale = 2;
-    cfg.repairThreshold = 1.0; // force the PTSB onto its pages
-    cfg.analysisInterval = 300'000;
-    cfg.budget = 1'500'000'000ULL;
+    ExperimentBuilder cell = Experiment::builder()
+                                 .workload(workload)
+                                 .threads(4)
+                                 .scale(2)
+                                 // force the PTSB onto its pages
+                                 .repairThreshold(1.0)
+                                 .analysisInterval(300'000)
+                                 .budget(1'500'000'000ULL);
+    auto run = [&cell](Treatment t) {
+        ExperimentBuilder b = cell;
+        return b.treatment(t).run();
+    };
 
-    cfg.treatment = Treatment::TmiProtect;
-    RunResult with_ccc = runExperiment(cfg);
-    cfg.treatment = broken_treatment;
-    RunResult without = runExperiment(cfg);
+    RunResult with_ccc = run(Treatment::TmiProtect);
+    RunResult without = run(broken_treatment);
 
     auto describe = [](const RunResult &res) {
         if (res.compatible)

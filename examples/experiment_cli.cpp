@@ -2,20 +2,35 @@
  * @file
  * General-purpose experiment CLI: run any (workload x treatment)
  * cell of the evaluation matrix with full control over the knobs,
- * and optionally dump every component statistic.
+ * and export what happened -- component statistics, a Chrome trace
+ * of the run, a CSV time series, or a human-readable report.
  *
  * Usage:
  *   experiment_cli --workload leveldb --treatment tmi-protect \
  *       [--threads 4] [--scale 4] [--period 100] [--huge-pages]
- *       [--threshold 100000] [--seed 42] [--stats] [--list]
+ *       [--threshold 100000] [--interval 2000000] [--seed 42]
+ *       [--budget N] [--glibc-allocator] [--stats] [--list]
+ *       [--fault point:SPEC]... [--fault-seed N]
+ *       [--watchdog 0|1] [--monitor 0|1] [--watchdog-timeout N]
+ *       [--trace] [--ring N] [--trace-out run.json]
+ *       [--trace-csv run.csv] [--report] [--csv-out row.csv]
+ *
+ * Fault SPECs: always | once | once=N | p=0.5 | every=N.
+ *
+ * --trace-out writes Chrome trace_event JSON: load it in
+ * chrome://tracing or https://ui.perfetto.dev to scrub through the
+ * detect -> repair -> fault -> ladder-drop timeline.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <string>
 
-#include "core/experiment.hh"
+#include "core/config.hh"
+#include "obs/export.hh"
 #include "workloads/workload.hh"
 
 using namespace tmi;
@@ -44,6 +59,43 @@ parseTreatment(const std::string &name)
     std::exit(2);
 }
 
+/** Parse "point:SPEC" (SPEC: always|once|once=N|p=0.5|every=N). */
+std::pair<std::string, FaultSpec>
+parseFault(const std::string &arg)
+{
+    auto colon = arg.find(':');
+    if (colon == std::string::npos || colon == 0) {
+        std::fprintf(stderr,
+                     "--fault wants point:SPEC, got '%s'\n",
+                     arg.c_str());
+        std::exit(2);
+    }
+    std::string point = arg.substr(0, colon);
+    std::string spec = arg.substr(colon + 1);
+    if (spec == "always")
+        return {point, FaultSpec::always()};
+    if (spec == "once")
+        return {point, FaultSpec::once()};
+    if (spec.rfind("once=", 0) == 0) {
+        return {point, FaultSpec::once(std::strtoull(
+                           spec.c_str() + 5, nullptr, 10))};
+    }
+    if (spec.rfind("p=", 0) == 0) {
+        return {point, FaultSpec::withProbability(
+                           std::atof(spec.c_str() + 2))};
+    }
+    if (spec.rfind("every=", 0) == 0) {
+        FaultSpec s;
+        s.everyNth = std::strtoull(spec.c_str() + 6, nullptr, 10);
+        return {point, s};
+    }
+    std::fprintf(stderr,
+                 "bad fault SPEC '%s'; one of always, once, once=N, "
+                 "p=0.5, every=N\n",
+                 spec.c_str());
+    std::exit(2);
+}
+
 void
 listWorkloads()
 {
@@ -57,14 +109,28 @@ listWorkloads()
     }
 }
 
+/** Open @p path for writing or die. */
+std::ofstream
+openOut(const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os) {
+        std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+        std::exit(2);
+    }
+    return os;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    ExperimentConfig cfg;
-    cfg.workload = "histogramfs";
+    ExperimentBuilder builder = Experiment::builder();
+    builder.workload("histogramfs");
     bool stats = false;
+    bool report = false;
+    std::string trace_out, trace_csv, csv_out;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -77,25 +143,55 @@ main(int argc, char **argv)
             return argv[++i];
         };
         if (arg == "--workload") {
-            cfg.workload = next();
+            builder.workload(next());
         } else if (arg == "--treatment") {
-            cfg.treatment = parseTreatment(next());
+            builder.treatment(parseTreatment(next()));
         } else if (arg == "--threads") {
-            cfg.threads = static_cast<unsigned>(std::atoi(next()));
+            builder.threads(static_cast<unsigned>(std::atoi(next())));
         } else if (arg == "--scale") {
-            cfg.scale = std::strtoull(next(), nullptr, 10);
+            builder.scale(std::strtoull(next(), nullptr, 10));
         } else if (arg == "--period") {
-            cfg.perfPeriod = std::strtoull(next(), nullptr, 10);
+            builder.perfPeriod(std::strtoull(next(), nullptr, 10));
         } else if (arg == "--threshold") {
-            cfg.repairThreshold = std::atof(next());
+            builder.repairThreshold(std::atof(next()));
+        } else if (arg == "--interval") {
+            builder.analysisInterval(
+                std::strtoull(next(), nullptr, 10));
         } else if (arg == "--seed") {
-            cfg.seed = std::strtoull(next(), nullptr, 10);
+            builder.seed(std::strtoull(next(), nullptr, 10));
         } else if (arg == "--budget") {
-            cfg.budget = std::strtoull(next(), nullptr, 10);
+            builder.budget(std::strtoull(next(), nullptr, 10));
         } else if (arg == "--huge-pages") {
-            cfg.pageShift = hugePageShift;
+            builder.pageShift(hugePageShift);
         } else if (arg == "--glibc-allocator") {
-            cfg.allocator = AllocatorKind::GlibcLike;
+            builder.allocator(AllocatorKind::GlibcLike);
+        } else if (arg == "--fault") {
+            auto [point, spec] = parseFault(next());
+            builder.fault(point, spec);
+        } else if (arg == "--fault-seed") {
+            builder.faultSeed(std::strtoull(next(), nullptr, 10));
+        } else if (arg == "--watchdog") {
+            builder.watchdog(std::atoi(next()));
+        } else if (arg == "--monitor") {
+            builder.monitor(std::atoi(next()));
+        } else if (arg == "--watchdog-timeout") {
+            builder.watchdogTimeout(
+                std::strtoull(next(), nullptr, 10));
+        } else if (arg == "--trace") {
+            builder.trace(true);
+        } else if (arg == "--ring") {
+            obs::TraceConfig tc;
+            tc.enabled = true;
+            tc.ringCapacity = std::strtoull(next(), nullptr, 10);
+            builder.trace(tc);
+        } else if (arg == "--trace-out") {
+            trace_out = next();
+        } else if (arg == "--trace-csv") {
+            trace_csv = next();
+        } else if (arg == "--csv-out") {
+            csv_out = next();
+        } else if (arg == "--report") {
+            report = true;
         } else if (arg == "--stats") {
             stats = true;
         } else if (arg == "--list") {
@@ -106,9 +202,15 @@ main(int argc, char **argv)
             return 2;
         }
     }
-    cfg.dumpStats = stats;
+    builder.dumpStats(stats);
+    // Any trace consumer implies recording.
+    if (!trace_out.empty() || !trace_csv.empty() || report)
+        builder.trace(true);
 
+    Config cfg = builder.build();
+    double cps = cfg.machine.cyclesPerSecond;
     RunResult res = runExperiment(cfg);
+
     std::printf("workload      : %s\n", res.workload.c_str());
     std::printf("treatment     : %s\n", treatmentName(res.treatment));
     std::printf("outcome       : %s%s\n",
@@ -134,8 +236,8 @@ main(int argc, char **argv)
     if (res.repairActive) {
         std::printf("repair        : engaged at %.3f ms; T2P %.1f us; "
                     "%llu pages; %llu commits (%.0f/s)\n",
-                    res.repairStartCycles / 3.4e6,
-                    res.t2pCycles / 3.4e3,
+                    res.repairStartCycles / (cps / 1e3),
+                    res.t2pCycles / (cps / 1e6),
                     static_cast<unsigned long long>(
                         res.pagesProtected),
                     static_cast<unsigned long long>(res.commits),
@@ -152,6 +254,44 @@ main(int argc, char **argv)
                     "estimated\n",
                     res.fsEventsEstimated / res.seconds,
                     res.tsEventsEstimated / res.seconds);
+    }
+    if (cfg.run.trace.enabled) {
+        std::printf("trace         : %llu events recorded, %llu lost "
+                    "to ring wraparound\n",
+                    static_cast<unsigned long long>(res.traceRecorded),
+                    static_cast<unsigned long long>(
+                        res.traceOverwritten));
+    }
+
+    if (!trace_out.empty()) {
+        obs::ChromeTraceMeta meta;
+        meta.cyclesPerSecond = cps;
+        meta.processName = std::string(res.workload) + " / " +
+                           treatmentName(res.treatment);
+        std::ofstream os = openOut(trace_out);
+        obs::writeChromeTrace(os, res.traceEvents, meta);
+        std::printf("trace-out     : %s (%zu events; open in "
+                    "ui.perfetto.dev)\n",
+                    trace_out.c_str(), res.traceEvents.size());
+    }
+    if (!trace_csv.empty()) {
+        std::ofstream os = openOut(trace_csv);
+        obs::writeCsvTimeSeries(os, res.traceEvents, cps,
+                                cfg.run.analysisInterval);
+        std::printf("trace-csv     : %s (%llu-cycle windows)\n",
+                    trace_csv.c_str(),
+                    static_cast<unsigned long long>(
+                        cfg.run.analysisInterval));
+    }
+    if (!csv_out.empty()) {
+        std::ofstream os = openOut(csv_out);
+        os << robustnessCsvHeader() << "\n"
+           << robustnessCsvRow(res, "cli", 1.0) << "\n";
+        std::printf("csv-out       : %s\n", csv_out.c_str());
+    }
+    if (report) {
+        std::printf("\n");
+        obs::writeTraceReport(std::cout, res.traceEvents, cps);
     }
     if (stats)
         std::printf("\n%s", res.statsText.c_str());

@@ -11,7 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/experiment.hh"
+#include "core/config.hh"
 
 using namespace tmi;
 
@@ -21,27 +21,29 @@ main(int argc, char **argv)
     unsigned threads = argc > 1 ? std::atoi(argv[1]) : 4;
     std::uint64_t scale = argc > 2 ? std::atoll(argv[2]) : 8;
 
-    ExperimentConfig cfg;
-    cfg.workload = "leveldb";
-    cfg.threads = threads;
-    cfg.scale = scale;
-    cfg.analysisInterval = 500'000;
+    ExperimentBuilder cell = Experiment::builder()
+                                 .workload("leveldb")
+                                 .threads(threads)
+                                 .scale(scale)
+                                 .analysisInterval(500'000);
+    auto run = [&cell](Treatment t) {
+        ExperimentBuilder b = cell;
+        return b.treatment(t).run();
+    };
 
     std::printf("== leveldb with an injected false sharing bug ==\n");
     std::printf("(per-thread stat counters packed into one cache "
                 "line; %u client threads)\n\n",
                 threads);
 
-    cfg.treatment = Treatment::Pthreads;
-    RunResult base = runExperiment(cfg);
+    RunResult base = run(Treatment::Pthreads);
     std::printf("unmodified run      : %8.3f ms, %llu HITM events, "
                 "%s\n",
                 base.seconds * 1e3,
                 static_cast<unsigned long long>(base.hitmEvents),
                 base.compatible ? "valid" : "INVALID");
 
-    cfg.treatment = Treatment::TmiProtect;
-    RunResult tmi = runExperiment(cfg);
+    RunResult tmi = run(Treatment::TmiProtect);
     std::printf("under tmi           : %8.3f ms, %llu HITM events, "
                 "%s\n\n",
                 tmi.seconds * 1e3,
@@ -63,8 +65,7 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(tmi.commits),
                 tmi.commitsPerSec);
 
-    cfg.treatment = Treatment::Manual;
-    RunResult manual = runExperiment(cfg);
+    RunResult manual = run(Treatment::Manual);
     double s_tmi = speedup(base, tmi);
     double s_manual = speedup(base, manual);
     std::printf("speedup: tmi %.2fx vs manual source fix %.2fx "
@@ -77,9 +78,10 @@ main(int argc, char **argv)
 
     // The database must still be correct: leveldb uses lock-free
     // atomics that a less careful PTSB would corrupt.
-    cfg.treatment = Treatment::SheriffProtect;
-    cfg.budget = base.cycles * 25;
-    RunResult sheriff = runExperiment(cfg);
+    ExperimentBuilder sheriff_b = cell;
+    RunResult sheriff = sheriff_b.treatment(Treatment::SheriffProtect)
+                            .budget(base.cycles * 25)
+                            .run();
     std::printf("\nfor contrast, a Sheriff-style always-on PTSB: %s\n",
                 sheriff.compatible
                     ? "(unexpectedly survived)"

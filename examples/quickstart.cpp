@@ -14,7 +14,7 @@
 #include <cstdlib>
 #include <string>
 
-#include "core/experiment.hh"
+#include "core/config.hh"
 
 using namespace tmi;
 
@@ -25,24 +25,26 @@ main(int argc, char **argv)
     unsigned threads = argc > 2 ? std::atoi(argv[2]) : 4;
     std::uint64_t scale = argc > 3 ? std::atoll(argv[3]) : 2;
 
-    ExperimentConfig cfg;
-    cfg.workload = workload;
-    cfg.threads = threads;
-    cfg.scale = scale;
+    ExperimentBuilder cell = Experiment::builder()
+                                 .workload(workload)
+                                 .threads(threads)
+                                 .scale(scale);
+    auto run = [&cell](Treatment t) {
+        ExperimentBuilder b = cell;
+        return b.treatment(t).run();
+    };
 
     std::printf("== quickstart: %s, %u threads, scale %llu ==\n",
                 workload.c_str(), threads,
                 static_cast<unsigned long long>(scale));
 
-    cfg.treatment = Treatment::Pthreads;
-    RunResult base = runExperiment(cfg);
+    RunResult base = run(Treatment::Pthreads);
     std::printf("pthreads    : %8.3f ms   HITM events %10llu   %s\n",
                 base.seconds * 1e3,
                 static_cast<unsigned long long>(base.hitmEvents),
                 base.compatible ? "ok" : "FAILED");
 
-    cfg.treatment = Treatment::TmiProtect;
-    RunResult repaired = runExperiment(cfg);
+    RunResult repaired = run(Treatment::TmiProtect);
     std::printf("tmi-protect : %8.3f ms   HITM events %10llu   %s\n",
                 repaired.seconds * 1e3,
                 static_cast<unsigned long long>(repaired.hitmEvents),
@@ -56,8 +58,7 @@ main(int argc, char **argv)
                 repaired.fsEventsEstimated /
                     (repaired.seconds > 0 ? repaired.seconds : 1));
 
-    cfg.treatment = Treatment::Manual;
-    RunResult manual = runExperiment(cfg);
+    RunResult manual = run(Treatment::Manual);
     std::printf("manual fix  : %8.3f ms\n", manual.seconds * 1e3);
 
     double tmi_speedup = speedup(base, repaired);

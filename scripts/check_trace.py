@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Validate a TMI Chrome trace JSON file against the event schema.
+
+The exporter (src/obs/export.cc) writes Chrome trace_event JSON: one
+"M" (metadata) process_name record followed by "i" (instant) events,
+one per recorded TraceEvent.  This checker keeps that contract honest
+from the outside -- CI runs a traced experiment and pipes the output
+file through here, so a format drift that chrome://tracing or
+Perfetto would reject fails the build instead of a demo.
+
+Usage:
+    scripts/check_trace.py trace.json
+    scripts/check_trace.py trace.json --require fault.fire,ladder.drop
+    scripts/check_trace.py trace.json --min-events 100
+
+Exit status is non-zero on any schema violation or unmet requirement.
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+# Keep in lockstep with eventKindName() in src/obs/trace.cc.
+KNOWN_KINDS = {
+    "hitm.sample",
+    "pebs.record_drop",
+    "t2p.begin",
+    "t2p.commit",
+    "t2p.rollback",
+    "cow.fault",
+    "cow.fallback",
+    "ptsb.commit",
+    "watchdog.flush",
+    "repair.engage",
+    "repair.page_protect",
+    "repair.unrepair",
+    "ladder.drop",
+    "fault.fire",
+    "detect.window",
+    "alloc.fallback",
+}
+
+
+def check(path, require, min_events):
+    errors = []
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        return ["%s: not readable as JSON: %s" % (path, exc)], {}
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return ["top level must be an object with a traceEvents array"], {}
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return ["traceEvents must be an array"], {}
+
+    counts = collections.Counter()
+    last_ts = None
+    saw_meta = False
+    for i, ev in enumerate(events):
+        where = "traceEvents[%d]" % i
+        if not isinstance(ev, dict):
+            errors.append("%s: not an object" % where)
+            continue
+        ph = ev.get("ph")
+        if ph == "M":
+            saw_meta = True
+            continue
+        if ph != "i":
+            errors.append("%s: ph=%r, expected 'i' or 'M'" % (where, ph))
+            continue
+        name = ev.get("name")
+        if name not in KNOWN_KINDS:
+            errors.append("%s: unknown event kind %r" % (where, name))
+        for field in ("ts", "pid", "tid"):
+            if not isinstance(ev.get(field), (int, float)):
+                errors.append("%s: missing numeric %r" % (where, field))
+        args = ev.get("args")
+        if not isinstance(args, dict) or not isinstance(
+            args.get("cycles"), int
+        ):
+            errors.append("%s: args.cycles missing" % where)
+        ts = ev.get("ts")
+        if isinstance(ts, (int, float)):
+            if last_ts is not None and ts < last_ts:
+                errors.append(
+                    "%s: timestamps go backwards (%s < %s)"
+                    % (where, ts, last_ts)
+                )
+            last_ts = ts
+        if isinstance(name, str):
+            counts[name] += 1
+
+    if not saw_meta:
+        errors.append("no process_name metadata record")
+    total = sum(counts.values())
+    if total < min_events:
+        errors.append(
+            "only %d instant events, need at least %d" % (total, min_events)
+        )
+    for kind in require:
+        if kind not in KNOWN_KINDS:
+            errors.append("--require names unknown kind %r" % kind)
+        elif counts[kind] == 0:
+            errors.append("required event kind %r never fired" % kind)
+    return errors, counts
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", help="Chrome trace JSON file to validate")
+    ap.add_argument(
+        "--require",
+        default="",
+        metavar="KIND[,KIND...]",
+        help="comma-separated event kinds that must appear at least once",
+    )
+    ap.add_argument(
+        "--min-events",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fail unless at least N instant events are present",
+    )
+    opts = ap.parse_args()
+    require = [k for k in opts.require.split(",") if k]
+
+    errors, counts = check(opts.trace, require, opts.min_events)
+    if errors:
+        for err in errors:
+            print("check_trace: %s" % err, file=sys.stderr)
+        return 1
+    total = sum(counts.values())
+    summary = ", ".join(
+        "%s=%d" % (k, counts[k]) for k in sorted(counts)
+    )
+    print("check_trace: OK, %d events (%s)" % (total, summary))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

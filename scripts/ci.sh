@@ -28,4 +28,18 @@ for preset in "${@:-default asan-ubsan}"; do
     done
 done
 
+# Observability smoke: one traced, fault-injected robustness run must
+# emit Chrome trace JSON that passes the schema checker, including the
+# fault-fire and ladder-drop events the robustness figure depends on.
+echo "=== traced robustness sweep + trace schema check ==="
+trace_out="$(mktemp -t tmi_trace.XXXXXX.json)"
+trap 'rm -f "$trace_out"' EXIT
+./build/examples/experiment_cli \
+    --workload histogramfs --treatment tmi-protect --scale 2 \
+    --fault mem.clone_fail:always \
+    --trace-out "$trace_out"
+python3 scripts/check_trace.py "$trace_out" \
+    --require fault.fire,ladder.drop,t2p.rollback,hitm.sample \
+    --min-events 100
+
 echo "=== CI green ==="

@@ -21,6 +21,13 @@
 namespace tmi
 {
 
+class FaultInjector;
+
+namespace obs
+{
+class TraceRecorder;
+} // namespace obs
+
 /** Services allocators need from the machine. */
 class MemoryProvider
 {
@@ -99,8 +106,22 @@ class Allocator
     const AllocStats &allocStats() const { return _stats; }
     AllocStats &allocStats() { return _stats; }
 
+    /** Wire the fault injector: arms the alloc.* points (metadata
+     *  corruption at free, size-class exhaustion at refill). */
+    void setFaultInjector(FaultInjector *faults) { _faults = faults; }
+
+    /** Wire the trace recorder: degraded-path allocations emit
+     *  AllocFallback events (null disables). */
+    void setTrace(obs::TraceRecorder *trace) { _trace = trace; }
+
+    /** Objects leaked because their metadata was corrupted. */
+    std::uint64_t leakedObjects() const { return _leakedObjects; }
+
   protected:
     AllocStats _stats;
+    FaultInjector *_faults = nullptr;
+    obs::TraceRecorder *_trace = nullptr;
+    std::uint64_t _leakedObjects = 0;
 };
 
 } // namespace tmi

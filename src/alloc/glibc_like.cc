@@ -1,5 +1,8 @@
 #include "glibc_like.hh"
 
+#include "fault/fault_injector.hh"
+#include "obs/trace.hh"
+
 namespace tmi
 {
 
@@ -59,8 +62,19 @@ GlibcLikeAllocator::free(ThreadId tid, Addr addr)
     TMI_ASSERT(it != _sizes.end(), "free of unknown address");
     std::uint64_t bytes = it->second;
     _stats.onFree(bytes);
-    _freeLists[roundSize(bytes)].push_back(addr);
     _sizes.erase(it);
+    if (_faults &&
+        _faults->shouldFail(faultpoint::allocMetadataCorrupt)) {
+        // Chunk header corrupted: leak rather than recycle a chunk
+        // whose bin size can no longer be trusted.
+        ++_leakedObjects;
+        if (_trace) {
+            _trace->recordHere(obs::EventKind::AllocFallback, bytes,
+                               1, "leak-on-corrupt");
+        }
+        return;
+    }
+    _freeLists[roundSize(bytes)].push_back(addr);
 }
 
 Addr

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "fault/fault_injector.hh"
+#include "obs/trace.hh"
+
 namespace tmi
 {
 
@@ -48,6 +51,23 @@ LocklessAllocator::malloc(ThreadId tid, std::uint64_t bytes)
     ThreadCache &tc = cache(tid);
     auto &list = tc.freeLists[cls];
     if (list.empty()) {
+        if (_faults &&
+            _faults->shouldFail(faultpoint::allocSizeClassExhausted)) {
+            // The slab carve failed (arena exhaustion): serve the
+            // request from the large path instead. The allocation
+            // succeeds but the per-thread layout guarantee is lost
+            // for this object.
+            if (_trace) {
+                _trace->recordHere(obs::EventKind::AllocFallback,
+                                   bytes, 0, "size-class->large");
+            }
+            _provider.chargeCycles(tid, _config.fastPathCost * 2);
+            Addr base = _provider.sbrk(bytes + lineBytes);
+            Addr addr =
+                _config.alignLarge ? roundUp(base, lineBytes) : base;
+            _largeSizes[addr] = bytes;
+            return addr;
+        }
         // Refill: carve a fresh slab for this thread only. This is
         // the layout property that keeps different threads' small
         // objects off each other's cache lines.
@@ -82,8 +102,21 @@ LocklessAllocator::free(ThreadId tid, Addr addr)
     auto it = _objClass.find(addr);
     TMI_ASSERT(it != _objClass.end(), "free of unknown address");
     unsigned cls = it->second.cls;
-    _stats.onFree(it->second.requested);
+    std::uint64_t requested = it->second.requested;
+    _stats.onFree(requested);
     _objClass.erase(it);
+    if (_faults &&
+        _faults->shouldFail(faultpoint::allocMetadataCorrupt)) {
+        // The object header is unreadable: recycling the address
+        // into a free list could poison the size class, so the safe
+        // response is to leak the object.
+        ++_leakedObjects;
+        if (_trace) {
+            _trace->recordHere(obs::EventKind::AllocFallback,
+                               requested, 1, "leak-on-corrupt");
+        }
+        return;
+    }
     cache(tid).freeLists[cls].push_back(addr);
 }
 

@@ -64,6 +64,8 @@ struct CacheConfig
     Cycles cleanForwardLatency = 70; //!< clean remote hit (E/S)
     Cycles dramLatency = 230;      //!< LLC miss to memory
     Cycles upgradeLatency = 55;    //!< S->M invalidation round
+
+    bool operator==(const CacheConfig &) const = default;
 };
 
 /** Everything the memory system needs to know about one access. */

@@ -27,6 +27,8 @@ struct TlbConfig
     /** Effective entries for 2 MB pages. */
     unsigned entries2m = 544;
     Cycles missLatency = 30; //!< page-walk cost
+
+    bool operator==(const TlbConfig &) const = default;
 };
 
 /** Set-associative (4-way) LRU TLB, one instance per core. */

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Structured configuration-error reporting.
+ *
+ * Validators collect ConfigError records -- one per violated
+ * constraint, each naming the offending field -- instead of calling
+ * fatal() at the first problem. tmi::Config::validate() aggregates
+ * every subsystem's validator into one list a caller can inspect;
+ * component constructors keep their historical fail-fast behaviour
+ * through fatalIfConfigErrors(), now a thin wrapper over the same
+ * validators.
+ */
+
+#ifndef TMI_COMMON_CONFIG_ERROR_HH
+#define TMI_COMMON_CONFIG_ERROR_HH
+
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace tmi
+{
+
+/** One violated configuration constraint. */
+struct ConfigError
+{
+    /** Dotted field path, e.g. "TmiConfig.robust.watchdogTimeout". */
+    std::string field;
+    /** What is wrong and why it matters. */
+    std::string message;
+};
+
+/** One error per line as "field: message". */
+inline std::string
+formatConfigErrors(const std::vector<ConfigError> &errors)
+{
+    std::string out;
+    for (const ConfigError &err : errors) {
+        if (!out.empty())
+            out += '\n';
+        out += err.field;
+        out += ": ";
+        out += err.message;
+    }
+    return out;
+}
+
+/**
+ * The historical fatal() path as a thin wrapper: exit with every
+ * collected error listed, or do nothing if the list is empty.
+ */
+inline void
+fatalIfConfigErrors(const std::vector<ConfigError> &errors)
+{
+    if (errors.empty())
+        return;
+    fatal("invalid configuration:\n%s",
+          formatConfigErrors(errors).c_str());
+}
+
+} // namespace tmi
+
+#endif // TMI_COMMON_CONFIG_ERROR_HH

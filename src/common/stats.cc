@@ -26,6 +26,37 @@ StatGroup::dump(std::ostream &os, int indent) const
         c->dump(os, indent + 1);
 }
 
+void
+StatGroup::visitScalars(
+    const std::function<void(const std::string &, double,
+                             const std::string &)> &fn) const
+{
+    for (const auto &s : _scalars)
+        fn(s.name, s.stat->value(), s.desc);
+    for (const auto *c : _children) {
+        c->visitScalars([&](const std::string &path, double value,
+                            const std::string &desc) {
+            fn(c->name() + "." + path, value, desc);
+        });
+    }
+}
+
+void
+StatGroup::visitDistributions(
+    const std::function<void(const std::string &, const Distribution &,
+                             const std::string &)> &fn) const
+{
+    for (const auto &d : _dists)
+        fn(d.name, *d.stat, d.desc);
+    for (const auto *c : _children) {
+        c->visitDistributions([&](const std::string &path,
+                                  const Distribution &dist,
+                                  const std::string &desc) {
+            fn(c->name() + "." + path, dist, desc);
+        });
+    }
+}
+
 bool
 StatGroup::lookupScalar(const std::string &path, double &out) const
 {

@@ -12,6 +12,7 @@
 #define TMI_COMMON_STATS_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <ostream>
 #include <string>
@@ -128,6 +129,22 @@ class StatGroup
      * @retval true if found, with the value stored in @p out.
      */
     bool lookupScalar(const std::string &path, double &out) const;
+
+    /** Visitor over every scalar in the tree, depth first. @p fn is
+     *  called with the dotted path relative to (and excluding) this
+     *  group's own name, the current value, and the description.
+     *  This is the generic bridge that lets external consumers (the
+     *  obs::MetricsRegistry in particular) ingest any component's
+     *  registered statistics without per-class export code. */
+    void visitScalars(
+        const std::function<void(const std::string &path, double value,
+                                 const std::string &desc)> &fn) const;
+
+    /** Visitor over every distribution in the tree, depth first. */
+    void visitDistributions(
+        const std::function<void(const std::string &path,
+                                 const Distribution &dist,
+                                 const std::string &desc)> &fn) const;
 
   private:
     struct NamedScalar

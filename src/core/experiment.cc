@@ -1,9 +1,11 @@
 #include "experiment.hh"
 
+#include <cstdio>
 #include <sstream>
 
 #include "baselines/laser.hh"
 #include "baselines/sheriff.hh"
+#include "core/config.hh"
 #include "runtime/tmi_runtime.hh"
 #include "workloads/workload.hh"
 
@@ -59,12 +61,94 @@ isSheriffTreatment(Treatment t)
 
 } // namespace
 
+void
+validateConfig(const ExperimentConfig &config,
+               std::vector<ConfigError> &errors,
+               const std::string &prefix)
+{
+    if (config.workload.empty()) {
+        errors.push_back({prefix + ".workload",
+                          "must name a registered workload"});
+    } else if (!tryFindWorkload(config.workload)) {
+        errors.push_back({prefix + ".workload",
+                          "unknown workload '" + config.workload +
+                              "'"});
+    }
+    if (config.threads == 0) {
+        errors.push_back({prefix + ".threads", "must be >= 1"});
+    }
+    if (config.scale == 0) {
+        errors.push_back({prefix + ".scale",
+                          "must be >= 1: a zero input size runs "
+                          "nothing"});
+    }
+    if (config.pageShift < smallPageShift ||
+        config.pageShift > hugePageShift) {
+        errors.push_back({prefix + ".pageShift",
+                          "must be between 12 (4 KB) and 21 (2 MB)"});
+    }
+    if (config.perfPeriod == 0) {
+        errors.push_back({prefix + ".perfPeriod",
+                          "must be >= 1: PEBS cannot sample every "
+                          "zeroth event"});
+    }
+    if (config.repairThreshold <= 0) {
+        errors.push_back({prefix + ".repairThreshold",
+                          "must be positive: a free threshold would "
+                          "repair every sampled page"});
+    }
+    if (config.analysisInterval == 0) {
+        errors.push_back({prefix + ".analysisInterval",
+                          "must be positive: the detection thread "
+                          "needs a wakeup cadence"});
+    }
+    if (config.budget == 0) {
+        errors.push_back({prefix + ".budget",
+                          "must be positive: a zero budget times out "
+                          "immediately"});
+    }
+    if (config.watchdog < -1 || config.watchdog > 1) {
+        errors.push_back({prefix + ".watchdog",
+                          "must be -1 (treatment default), 0 (off) "
+                          "or 1 (on)"});
+    }
+    if (config.monitor < -1 || config.monitor > 1) {
+        errors.push_back({prefix + ".monitor",
+                          "must be -1 (treatment default), 0 (off) "
+                          "or 1 (on)"});
+    }
+    for (const auto &[point, spec] : config.faults) {
+        if (point.empty()) {
+            errors.push_back({prefix + ".faults",
+                              "fault points need non-empty names"});
+        }
+        if (spec.probability < 0.0 || spec.probability > 1.0) {
+            errors.push_back({prefix + ".faults[" + point + "]",
+                              "probability must be in [0, 1]"});
+        }
+    }
+    obs::validateConfig(config.trace, errors, prefix + ".trace");
+}
+
 RunResult
 runExperiment(const ExperimentConfig &config)
 {
+    Config full;
+    full.run = config;
+    return runExperiment(full);
+}
+
+RunResult
+runExperiment(const Config &full)
+{
+    full.validateOrDie();
+    const ExperimentConfig &config = full.run;
     const WorkloadInfo &info = findWorkload(config.workload);
 
-    MachineConfig mc;
+    // Start from the deep template, overlay every run.* scalar: the
+    // run view is always authoritative over the template (see
+    // config.hh for the rule).
+    MachineConfig mc = full.machine;
     mc.cores = config.threads;
     mc.pageShift = config.pageShift;
     mc.allocator = config.allocator;
@@ -80,6 +164,7 @@ runExperiment(const ExperimentConfig &config)
     mc.tmiModifiedAllocator = mc.shmBackedHeap;
     mc.faults = config.faults;
     mc.faultSeed = config.faultSeed;
+    mc.trace = config.trace;
 
     Machine machine(mc);
 
@@ -104,7 +189,7 @@ runExperiment(const ExperimentConfig &config)
       case Treatment::TmiProtect:
       case Treatment::TmiProtectNoCcc:
       case Treatment::PtsbEverywhere: {
-        TmiConfig tc;
+        TmiConfig tc = full.tmi;
         tc.mode = config.treatment == Treatment::TmiAlloc
                       ? TmiMode::AllocOnly
                   : config.treatment == Treatment::TmiDetect
@@ -208,7 +293,10 @@ runExperiment(const ExperimentConfig &config)
             static_cast<double>(res.commits) / res.seconds;
     }
 
-    if (config.dumpStats) {
+    // Observability harvest: the stats dump and the metrics registry
+    // are two views over the same StatGroup tree, so one registration
+    // pass serves both.
+    if (config.dumpStats || machine.trace()) {
         stats::StatGroup machine_group("machine");
         machine.regStats(machine_group);
         stats::StatGroup runtime_group("runtime");
@@ -219,12 +307,67 @@ runExperiment(const ExperimentConfig &config)
         else if (laser)
             laser->regStats(runtime_group);
 
-        std::ostringstream os;
-        machine_group.dump(os);
-        runtime_group.dump(os);
-        res.statsText = os.str();
+        if (config.dumpStats) {
+            std::ostringstream os;
+            machine_group.dump(os);
+            runtime_group.dump(os);
+            res.statsText = os.str();
+        }
+
+        res.metrics = std::make_shared<obs::MetricsRegistry>();
+        res.metrics->importStats(machine_group, "machine");
+        res.metrics->importStats(runtime_group, "runtime");
+    }
+
+    if (obs::TraceRecorder *rec = machine.trace()) {
+        res.traceRecorded = rec->recorded();
+        res.traceOverwritten = rec->overwritten();
+        // Per-kind totals survive ring wraparound, so export them as
+        // metrics even when the timeline itself lost its tail.
+        for (obs::EventKind kind : obs::allEventKinds()) {
+            res.metrics
+                ->counter(std::string("obs.event.") +
+                              obs::eventKindName(kind),
+                          "events recorded (incl. overwritten)")
+                .add(static_cast<double>(rec->count(kind)));
+        }
+        res.metrics->counter("obs.trace.recorded")
+            .add(static_cast<double>(rec->recorded()));
+        res.metrics->counter("obs.trace.overwritten")
+            .add(static_cast<double>(rec->overwritten()));
+        res.traceEvents = rec->drain();
     }
     return res;
+}
+
+const char *
+robustnessCsvHeader()
+{
+    return "workload,scenario,outcome,rung,slowdown,fires,"
+           "t2p_aborts,unrepairs,watchdog,cow_fallbacks";
+}
+
+std::string
+robustnessCsvRow(const RunResult &res, const std::string &scenario,
+                 double slowdown)
+{
+    const char *outcome = res.compatible ? "ok"
+                          : res.outcome == RunOutcome::Timeout
+                              ? "HANG"
+                          : res.outcome == RunOutcome::Deadlock
+                              ? "DEADLOCK"
+                              : "WRONG";
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s,%s,%s,%s,%.4f,%llu,%llu,%llu,%llu,%llu",
+                  res.workload.c_str(), scenario.c_str(), outcome,
+                  res.ladderRung.c_str(), slowdown,
+                  static_cast<unsigned long long>(res.faultFires),
+                  static_cast<unsigned long long>(res.t2pAborts),
+                  static_cast<unsigned long long>(res.unrepairs),
+                  static_cast<unsigned long long>(res.watchdogFlushes),
+                  static_cast<unsigned long long>(res.cowFallbacks));
+    return buf;
 }
 
 double

@@ -15,11 +15,13 @@
 #ifndef TMI_CORE_EXPERIMENT_HH
 #define TMI_CORE_EXPERIMENT_HH
 
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/machine.hh"
+#include "obs/metrics.hh"
 
 namespace tmi
 {
@@ -74,7 +76,18 @@ struct ExperimentConfig
     Cycles watchdogTimeout = 0;
     /** Post-repair effectiveness monitor: same -1/0/1 convention. */
     int monitor = -1;
+
+    /** Structured event tracing: enabled, the run's drained timeline
+     *  and a unified metrics registry land in the RunResult. */
+    obs::TraceConfig trace;
+
+    bool operator==(const ExperimentConfig &) const = default;
 };
+
+/** Collect ExperimentConfig constraint violations under @p prefix. */
+void validateConfig(const ExperimentConfig &config,
+                    std::vector<ConfigError> &errors,
+                    const std::string &prefix = "ExperimentConfig");
 
 /** Everything measured from one run. */
 struct RunResult
@@ -123,6 +136,21 @@ struct RunResult
 
     /** Full stats dump (only when ExperimentConfig::dumpStats). */
     std::string statsText;
+
+    /** @name Observability capture (only when trace.enabled) */
+    /// @{
+    /** Time-ordered timeline drained from the recorder at run end. */
+    std::vector<obs::TraceEvent> traceEvents;
+    /** Lifetime events accepted by the recorder. */
+    std::uint64_t traceRecorded = 0;
+    /** Events lost to per-thread ring wraparound. */
+    std::uint64_t traceOverwritten = 0;
+    /// @}
+
+    /** Unified metrics registry built from every component's stats
+     *  (populated when dumpStats or tracing is on; shared so
+     *  RunResult stays copyable). */
+    std::shared_ptr<obs::MetricsRegistry> metrics;
 };
 
 /** Run one experiment cell. */
@@ -130,6 +158,22 @@ RunResult runExperiment(const ExperimentConfig &config);
 
 /** Speedup of @p treated relative to @p baseline (by sim time). */
 double speedup(const RunResult &baseline, const RunResult &treated);
+
+/** @name Robustness-sweep CSV format
+ *  The column set the robustness figures consume; shared between the
+ *  robustness_degradation bench and experiment_cli --csv-out so both
+ *  produce byte-identical rows. */
+/// @{
+/** "workload,scenario,outcome,rung,slowdown,..." header line. */
+const char *robustnessCsvHeader();
+
+/** One run as a robustness-sweep row. @p scenario labels the fault
+ *  configuration ("none", "clone-fail", ...); @p slowdown is cycles
+ *  relative to the fault-free run (1.0 when there is no baseline). */
+std::string robustnessCsvRow(const RunResult &res,
+                             const std::string &scenario,
+                             double slowdown);
+/// @}
 
 } // namespace tmi
 

@@ -8,6 +8,45 @@
 namespace tmi
 {
 
+void
+validateConfig(const MachineConfig &config,
+               std::vector<ConfigError> &errors,
+               const std::string &prefix)
+{
+    if (config.cores == 0) {
+        errors.push_back({prefix + ".cores",
+                          "must be >= 1: something has to run the "
+                          "threads"});
+    }
+    if (config.pageShift < smallPageShift ||
+        config.pageShift > hugePageShift) {
+        errors.push_back({prefix + ".pageShift",
+                          "must be between 12 (4 KB) and 21 (2 MB)"});
+    }
+    if (config.quantum == 0) {
+        errors.push_back({prefix + ".quantum",
+                          "must be positive: a zero quantum never "
+                          "preempts and single-threads the machine"});
+    }
+    if (config.cyclesPerSecond <= 0) {
+        errors.push_back({prefix + ".cyclesPerSecond",
+                          "must be positive: wall-clock conversions "
+                          "would divide by zero"});
+    }
+    for (const auto &[point, spec] : config.faults) {
+        if (point.empty()) {
+            errors.push_back({prefix + ".faults",
+                              "fault points need non-empty names"});
+        }
+        if (spec.probability < 0.0 || spec.probability > 1.0) {
+            errors.push_back({prefix + ".faults[" + point + "]",
+                              "probability must be in [0, 1]"});
+        }
+    }
+    validateConfig(config.perf, errors, prefix + ".perf");
+    obs::validateConfig(config.trace, errors, prefix + ".trace");
+}
+
 Machine::Machine(const MachineConfig &config)
     : _config(config), _mmu(config.pageShift),
       _heap("tmi_heap", _mmu.phys()),
@@ -21,6 +60,10 @@ Machine::Machine(const MachineConfig &config)
       }()),
       _perf(config.perf), _faults(config.faultSeed)
 {
+    std::vector<ConfigError> errors;
+    validateConfig(config, errors);
+    fatalIfConfigErrors(errors);
+
     for (unsigned c = 0; c < config.cores; ++c)
         _tlbs.emplace_back(config.tlb, config.pageShift);
 
@@ -31,6 +74,20 @@ Machine::Machine(const MachineConfig &config)
         _faults.arm(point, spec);
     _mmu.setFaultInjector(&_faults);
     _perf.setFaultInjector(&_faults);
+
+    // Observability: the recorder exists only when tracing is on, so
+    // the disabled path costs one null-pointer check per emit site.
+    if (config.trace.enabled && obs::TraceRecorder::compiledIn) {
+        _trace = std::make_unique<obs::TraceRecorder>(config.trace);
+        _trace->setClock(
+            [this] { return _sched.current() ? _sched.now() : 0; });
+        _trace->setThreadSource([this]() -> ThreadId {
+            return _sched.current() ? _sched.current()->tid() : 0;
+        });
+        _mmu.setTrace(_trace.get());
+        _perf.setTrace(_trace.get());
+        _faults.setTrace(_trace.get());
+    }
 
     // The root address space all threads initially share.
     ProcessId root = _mmu.createAddressSpace();
@@ -74,6 +131,8 @@ Machine::Machine(const MachineConfig &config)
         _alloc = std::make_unique<GlibcLikeAllocator>(*this);
         break;
     }
+    _alloc->setFaultInjector(&_faults);
+    _alloc->setTrace(_trace.get());
 }
 
 // ---------------------------------------------------------------------

@@ -30,6 +30,7 @@
 #include "fault/fault_injector.hh"
 #include "isa/instructions.hh"
 #include "mem/mmu.hh"
+#include "obs/trace.hh"
 #include "perf/pebs.hh"
 #include "sched/scheduler.hh"
 #include "sched/sync.hh"
@@ -91,7 +92,18 @@ struct MachineConfig
     std::vector<std::pair<std::string, FaultSpec>> faults;
     /** Seed for the fault injector's per-point streams. */
     std::uint64_t faultSeed = 0xfa17u;
+
+    /** Structured event tracing. Disabled, no recorder is allocated
+     *  and every emit site reduces to a null-pointer check. */
+    obs::TraceConfig trace;
+
+    bool operator==(const MachineConfig &) const = default;
 };
+
+/** Collect MachineConfig constraint violations under @p prefix. */
+void validateConfig(const MachineConfig &config,
+                    std::vector<ConfigError> &errors,
+                    const std::string &prefix = "MachineConfig");
 
 /**
  * Observation and steering interface for runtimes.
@@ -216,6 +228,9 @@ class Machine : public MemoryProvider
     AddressMap &addressMap() { return _amap; }
     Allocator &allocator() { return *_alloc; }
     ShmRegion &heapRegion() { return _heap; }
+
+    /** The trace recorder, or null when tracing is disabled. */
+    obs::TraceRecorder *trace() { return _trace.get(); }
     /// @}
 
     /** Install the runtime (may be null for plain pthreads). */
@@ -427,6 +442,7 @@ class Machine : public MemoryProvider
     InstructionTable _instrs;
     AddressMap _amap;
     std::unique_ptr<Allocator> _alloc;
+    std::unique_ptr<obs::TraceRecorder> _trace;
     RuntimeHooks *_hooks = nullptr;
 
     AccessSampler _accessSampler;

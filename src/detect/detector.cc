@@ -5,28 +5,43 @@
 namespace tmi
 {
 
+void
+validateConfig(const DetectorConfig &config,
+               std::vector<ConfigError> &errors,
+               const std::string &prefix)
+{
+    if (config.samplePeriod < 1) {
+        errors.push_back(
+            {prefix + ".samplePeriod",
+             "must be >= 1: the n/r period-scaling correction would "
+             "multiply every record by zero and no page could ever "
+             "cross the repair threshold"});
+    }
+    if (config.cyclesPerSecond <= 0) {
+        errors.push_back({prefix + ".cyclesPerSecond",
+                          "must be positive: rate estimates would "
+                          "divide by zero"});
+    }
+    if (config.repairThreshold <= 0) {
+        errors.push_back(
+            {prefix + ".repairThreshold",
+             "must be positive: a zero threshold nominates every "
+             "sampled page for repair on the first analysis pass"});
+    }
+    if (config.maxSigsPerLine == 0) {
+        errors.push_back({prefix + ".maxSigsPerLine",
+                          "must be >= 1: with no remembered "
+                          "signatures nothing can ever be classified"});
+    }
+}
+
 Detector::Detector(const InstructionTable &instrs, const AddressMap &map,
                    const DetectorConfig &config)
     : _instrs(instrs), _map(map), _config(config)
 {
-    if (config.samplePeriod < 1) {
-        fatal("DetectorConfig.samplePeriod must be >= 1 (got %lu): "
-              "the n/r period-scaling correction would multiply every "
-              "record by zero and no page could ever cross the repair "
-              "threshold",
-              static_cast<unsigned long>(config.samplePeriod));
-    }
-    if (config.cyclesPerSecond <= 0) {
-        fatal("DetectorConfig.cyclesPerSecond must be positive (got "
-              "%g): rate estimates would divide by zero",
-              config.cyclesPerSecond);
-    }
-    if (config.repairThreshold <= 0) {
-        fatal("DetectorConfig.repairThreshold must be positive (got "
-              "%g): a zero threshold nominates every sampled page for "
-              "repair on the first analysis pass",
-              config.repairThreshold);
-    }
+    std::vector<ConfigError> errors;
+    validateConfig(config, errors);
+    fatalIfConfigErrors(errors);
 }
 
 Detector::Verdict

@@ -19,6 +19,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/config_error.hh"
 #include "common/stats.hh"
 #include "detect/address_map.hh"
 #include "isa/instructions.hh"
@@ -50,7 +51,14 @@ struct DetectorConfig
     Cycles analyzeCostBase = 5000;
     /** Cost to classify one drained record. */
     Cycles classifyCostPerRecord = 160;
+
+    bool operator==(const DetectorConfig &) const = default;
 };
+
+/** Collect DetectorConfig constraint violations under @p prefix. */
+void validateConfig(const DetectorConfig &config,
+                    std::vector<ConfigError> &errors,
+                    const std::string &prefix = "DetectorConfig");
 
 /** One access signature in a line report. */
 struct ReportedAccess

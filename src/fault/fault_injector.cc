@@ -1,6 +1,7 @@
 #include "fault_injector.hh"
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 
 namespace tmi
 {
@@ -75,6 +76,10 @@ FaultInjector::shouldFail(std::string_view point)
 
     ++p.fires;
     ++_statFires;
+    if (_trace) {
+        _trace->recordHere(obs::EventKind::FaultFire, p.fires, 0,
+                           it->first.c_str());
+    }
     return true;
 }
 

@@ -33,6 +33,11 @@
 namespace tmi
 {
 
+namespace obs
+{
+class TraceRecorder;
+} // namespace obs
+
 /** Canonical fault point names (one per injectable failure). */
 namespace faultpoint
 {
@@ -54,6 +59,15 @@ inline constexpr const char *ptsbTwinAllocFail = "ptsb.twin_alloc_fail";
 inline constexpr const char *ptsbOversizeCommit = "ptsb.oversize_commit";
 /** A thread refuses to stop at the T2P stop point in budget. */
 inline constexpr const char *schedStopTimeout = "sched.stop_timeout";
+/** The allocator's per-object metadata is corrupted at free(): the
+ *  size-class record is unreadable, so the object leaks instead of
+ *  being recycled. */
+inline constexpr const char *allocMetadataCorrupt =
+    "alloc.metadata_corrupt";
+/** A size class cannot refill its slab (address space / arena
+ *  exhaustion); the request falls back to the large-object path. */
+inline constexpr const char *allocSizeClassExhausted =
+    "alloc.size_class_exhausted";
 } // namespace faultpoint
 
 /**
@@ -98,6 +112,8 @@ struct FaultSpec
         spec.probability = p;
         return spec;
     }
+
+    bool operator==(const FaultSpec &) const = default;
 };
 
 /** Registry of armed fault points; owned by the Machine. */
@@ -139,6 +155,10 @@ class FaultInjector
     /** Seed the per-point streams derive from. */
     std::uint64_t seed() const { return _seed; }
 
+    /** Wire the trace recorder: every fire emits a FaultFire event
+     *  carrying the point name and fire ordinal (null disables). */
+    void setTrace(obs::TraceRecorder *trace) { _trace = trace; }
+
     /** Register stats under @p group. */
     void regStats(stats::StatGroup &group);
 
@@ -159,6 +179,7 @@ class FaultInjector
 
     std::uint64_t _seed;
     std::unordered_map<std::string, Point> _points;
+    obs::TraceRecorder *_trace = nullptr;
 
     stats::Scalar _statQueries;
     stats::Scalar _statFires;

@@ -1,6 +1,7 @@
 #include "mmu.hh"
 
 #include "fault/fault_injector.hh"
+#include "obs/trace.hh"
 
 namespace tmi
 {
@@ -176,6 +177,10 @@ Mmu::translate(ProcessId pid, Addr vaddr, bool is_write)
                     res.cowAborted = true;
                     abandonCow(pid, vpage, entry);
                 }
+            }
+            if (res.cowFault && _trace) {
+                _trace->recordHere(obs::EventKind::CowFault, vpage,
+                                   pid);
             }
         }
     }

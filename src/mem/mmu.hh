@@ -24,6 +24,11 @@ namespace tmi
 
 class FaultInjector;
 
+namespace obs
+{
+class TraceRecorder;
+} // namespace obs
+
 /** Outcome metadata for one translation. */
 struct TranslateResult
 {
@@ -139,6 +144,10 @@ class Mmu
     /** Wire the fault injector (null disables injection). */
     void setFaultInjector(FaultInjector *faults) { _faults = faults; }
 
+    /** Wire the trace recorder: serviced COW faults emit CowFault
+     *  events (null disables). */
+    void setTrace(obs::TraceRecorder *trace) { _trace = trace; }
+
     /** COW faults abandoned because no frame/twin was available. */
     std::uint64_t cowAborts() const
     {
@@ -193,6 +202,7 @@ class Mmu
     CowCallback _cowCallback;
     CowAbortCallback _cowAbortCallback;
     FaultInjector *_faults = nullptr;
+    obs::TraceRecorder *_trace = nullptr;
 
     stats::Scalar _statSoftFaults;
     stats::Scalar _statCowFaults;

@@ -1,0 +1,189 @@
+#include "export.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+namespace tmi::obs
+{
+
+namespace
+{
+
+/** JSON string escape for the small ASCII detail strings we emit. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+formatMicros(Cycles cycles, double cycles_per_second)
+{
+    double us = static_cast<double>(cycles) / cycles_per_second * 1e6;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", us);
+    return buf;
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &os,
+                 const std::vector<TraceEvent> &events,
+                 const ChromeTraceMeta &meta)
+{
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+          "\"tid\":0,\"args\":{\"name\":\""
+       << jsonEscape(meta.processName) << "\"}}";
+    for (const TraceEvent &ev : events) {
+        os << ",\n{\"name\":\"" << eventKindName(ev.kind)
+           << "\",\"cat\":\"tmi\",\"ph\":\"i\",\"s\":\"t\",\"ts\":"
+           << formatMicros(ev.time, meta.cyclesPerSecond)
+           << ",\"pid\":1,\"tid\":" << ev.tid << ",\"args\":{";
+        os << "\"cycles\":" << ev.time << ",\"a0\":" << ev.a0
+           << ",\"a1\":" << ev.a1;
+        if (ev.detail[0] != '\0')
+            os << ",\"detail\":\"" << jsonEscape(ev.detail) << "\"";
+        os << "}}";
+    }
+    os << "]}\n";
+}
+
+void
+writeCsvTimeSeries(std::ostream &os,
+                   const std::vector<TraceEvent> &events,
+                   double cycles_per_second, Cycles bucket)
+{
+    if (bucket == 0)
+        bucket = 1;
+    os << "window,start_ms";
+    for (EventKind kind : allEventKinds())
+        os << ',' << eventKindName(kind);
+    os << '\n';
+
+    // events are time-ordered (drain() sorts), so one forward pass
+    // fills each window in turn.
+    Cycles last_time = events.empty() ? 0 : events.back().time;
+    std::uint64_t windows = last_time / bucket + 1;
+    std::size_t next = 0;
+    for (std::uint64_t w = 0; w < windows; ++w) {
+        std::uint64_t counts[numEventKinds] = {};
+        Cycles end = (w + 1) * bucket;
+        while (next < events.size() && events[next].time < end) {
+            ++counts[static_cast<unsigned>(events[next].kind)];
+            ++next;
+        }
+        double start_ms = static_cast<double>(w * bucket) /
+                          cycles_per_second * 1e3;
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.3f", start_ms);
+        os << w << ',' << buf;
+        for (unsigned k = 0; k < numEventKinds; ++k)
+            os << ',' << counts[k];
+        os << '\n';
+    }
+}
+
+TraceSummary
+summarizeTrace(const std::vector<TraceEvent> &events)
+{
+    TraceSummary sum;
+    for (const TraceEvent &ev : events) {
+        ++sum.counts[static_cast<unsigned>(ev.kind)];
+        ++sum.total;
+        if (sum.total == 1 || ev.time < sum.firstTime)
+            sum.firstTime = ev.time;
+        if (ev.time > sum.lastTime)
+            sum.lastTime = ev.time;
+    }
+    return sum;
+}
+
+void
+writeTraceReport(std::ostream &os,
+                 const std::vector<TraceEvent> &events,
+                 double cycles_per_second)
+{
+    TraceSummary sum = summarizeTrace(events);
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "trace: %" PRIu64 " events spanning %.3f ms\n",
+                  sum.total,
+                  static_cast<double>(sum.lastTime - sum.firstTime) /
+                      cycles_per_second * 1e3);
+    os << buf;
+    for (EventKind kind : allEventKinds()) {
+        if (sum.count(kind) == 0)
+            continue;
+        std::snprintf(buf, sizeof(buf), "  %-20s %12" PRIu64 "\n",
+                      eventKindName(kind), sum.count(kind));
+        os << buf;
+    }
+
+    // Fault fires by point.
+    std::map<std::string, std::uint64_t> fires;
+    for (const TraceEvent &ev : events) {
+        if (ev.kind == EventKind::FaultFire)
+            ++fires[ev.detail];
+    }
+    if (!fires.empty()) {
+        os << "fault points fired:\n";
+        for (const auto &[point, n] : fires) {
+            std::snprintf(buf, sizeof(buf), "  %-28s %8" PRIu64 "\n",
+                          point.c_str(), n);
+            os << buf;
+        }
+    }
+
+    // Every state transition the self-healing machinery took, with
+    // reason and timestamp -- the narrative of the run.
+    bool have_transitions = false;
+    for (const TraceEvent &ev : events) {
+        switch (ev.kind) {
+          case EventKind::T2pCommit:
+          case EventKind::T2pRollback:
+          case EventKind::Unrepair:
+          case EventKind::LadderDrop:
+          case EventKind::WatchdogFlush:
+            if (!have_transitions) {
+                os << "transitions:\n";
+                have_transitions = true;
+            }
+            std::snprintf(
+                buf, sizeof(buf), "  %10.3f ms  %-16s %s\n",
+                static_cast<double>(ev.time) / cycles_per_second * 1e3,
+                eventKindName(ev.kind), ev.detail);
+            os << buf;
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+} // namespace tmi::obs

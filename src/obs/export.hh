@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Exporters over a drained trace timeline and a metrics registry.
+ *
+ * Three consumers, one substrate:
+ *  - writeChromeTrace() emits Chrome trace_event JSON: load the file
+ *    in chrome://tracing or https://ui.perfetto.dev to scrub through
+ *    a detect -> repair -> fault -> ladder-drop run visually. Every
+ *    event becomes an instant event on its thread's track with the
+ *    kind-specific arguments attached.
+ *  - writeCsvTimeSeries() buckets the timeline into fixed windows and
+ *    emits one row per window with a count column per event kind --
+ *    the robustness-figure input format.
+ *  - writeTraceReport() prints the human summary: per-kind totals,
+ *    the fault points that fired, and every ladder/repair transition
+ *    with its reason and timestamp.
+ *
+ * All output is deterministic for a given timeline (goldens in
+ * tests/obs/export_test.cc pin the formats).
+ */
+
+#ifndef TMI_OBS_EXPORT_HH
+#define TMI_OBS_EXPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace tmi::obs
+{
+
+/** Run context the Chrome exporter embeds. */
+struct ChromeTraceMeta
+{
+    /** Simulated-cycle to wall-clock conversion for the ts field. */
+    double cyclesPerSecond = 3.4e9;
+    /** Process name shown in the UI. */
+    std::string processName = "tmi";
+};
+
+/**
+ * Write the timeline as Chrome trace_event JSON ("traceEvents"
+ * array format). Timestamps are microseconds of simulated time.
+ */
+void writeChromeTrace(std::ostream &os,
+                      const std::vector<TraceEvent> &events,
+                      const ChromeTraceMeta &meta = {});
+
+/**
+ * Write the timeline as a CSV time series: header
+ * "window,start_ms,<kind>,..." with one count column per event kind
+ * and one row per @p bucket-cycle window (empty windows included, so
+ * rows are uniformly spaced for plotting).
+ */
+void writeCsvTimeSeries(std::ostream &os,
+                        const std::vector<TraceEvent> &events,
+                        double cyclesPerSecond, Cycles bucket);
+
+/** Per-kind totals of a timeline. */
+struct TraceSummary
+{
+    std::uint64_t counts[numEventKinds] = {};
+    std::uint64_t total = 0;
+    Cycles firstTime = 0;
+    Cycles lastTime = 0;
+
+    std::uint64_t
+    count(EventKind kind) const
+    {
+        return counts[static_cast<unsigned>(kind)];
+    }
+};
+
+/** Summarize a drained timeline. */
+TraceSummary summarizeTrace(const std::vector<TraceEvent> &events);
+
+/** Human-readable trace summary (the --report body). */
+void writeTraceReport(std::ostream &os,
+                      const std::vector<TraceEvent> &events,
+                      double cyclesPerSecond);
+
+} // namespace tmi::obs
+
+#endif // TMI_OBS_EXPORT_HH

@@ -1,0 +1,195 @@
+#include "metrics.hh"
+
+#include <cmath>
+#include <iomanip>
+
+#include "common/logging.hh"
+
+namespace tmi::obs
+{
+
+const char *
+metricKindName(MetricKind kind)
+{
+    switch (kind) {
+      case MetricKind::Counter:
+        return "counter";
+      case MetricKind::Gauge:
+        return "gauge";
+      case MetricKind::Histogram:
+        return "histogram";
+    }
+    return "?";
+}
+
+void
+Histogram::sample(double v)
+{
+    if (_count == 0 || v < _min)
+        _min = v;
+    if (_count == 0 || v > _max)
+        _max = v;
+    _sum += v;
+    ++_count;
+
+    unsigned bucket = 0;
+    if (v >= 1.0) {
+        bucket = 1 + static_cast<unsigned>(std::ilogb(v));
+        if (bucket >= numBuckets)
+            bucket = numBuckets - 1;
+    }
+    ++_buckets[bucket];
+}
+
+MetricsRegistry::Entry *
+MetricsRegistry::find(const std::string &name, MetricKind want)
+{
+    auto it = _entries.find(name);
+    if (it == _entries.end())
+        return nullptr;
+    if (it->second.kind != want) {
+        ++_collisions;
+        warn("metrics: '%s' already registered as a %s; %s "
+             "registration ignored",
+             name.c_str(), metricKindName(it->second.kind),
+             metricKindName(want));
+    }
+    return &it->second;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name,
+                         const std::string &desc)
+{
+    if (Entry *e = find(name, MetricKind::Counter))
+        return e->counter ? *e->counter : _scrapCounter;
+    Counter &c = _counters.emplace_back();
+    Entry e;
+    e.kind = MetricKind::Counter;
+    e.desc = desc;
+    e.counter = &c;
+    _entries.emplace(name, e);
+    return c;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name, const std::string &desc)
+{
+    if (Entry *e = find(name, MetricKind::Gauge))
+        return e->gauge ? *e->gauge : _scrapGauge;
+    Gauge &g = _gauges.emplace_back();
+    Entry e;
+    e.kind = MetricKind::Gauge;
+    e.desc = desc;
+    e.gauge = &g;
+    _entries.emplace(name, e);
+    return g;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           const std::string &desc)
+{
+    if (Entry *e = find(name, MetricKind::Histogram))
+        return e->histogram ? *e->histogram : _scrapHistogram;
+    Histogram &h = _histograms.emplace_back();
+    Entry e;
+    e.kind = MetricKind::Histogram;
+    e.desc = desc;
+    e.histogram = &h;
+    _entries.emplace(name, e);
+    return h;
+}
+
+bool
+MetricsRegistry::contains(const std::string &name) const
+{
+    return _entries.count(name) != 0;
+}
+
+MetricKind
+MetricsRegistry::kindOf(const std::string &name) const
+{
+    auto it = _entries.find(name);
+    return it == _entries.end() ? MetricKind::Counter
+                                : it->second.kind;
+}
+
+bool
+MetricsRegistry::value(const std::string &name, double &out) const
+{
+    auto it = _entries.find(name);
+    if (it == _entries.end())
+        return false;
+    const Entry &e = it->second;
+    switch (e.kind) {
+      case MetricKind::Counter:
+        out = e.counter->value();
+        return true;
+      case MetricKind::Gauge:
+        out = e.gauge->value();
+        return true;
+      case MetricKind::Histogram:
+        out = e.histogram->mean();
+        return true;
+    }
+    return false;
+}
+
+std::vector<std::string>
+MetricsRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(_entries.size());
+    for (const auto &[name, entry] : _entries) {
+        (void)entry;
+        out.push_back(name);
+    }
+    return out; // std::map iterates in lexicographic order
+}
+
+void
+MetricsRegistry::importStats(const stats::StatGroup &group,
+                             const std::string &prefix)
+{
+    std::string base = prefix.empty() ? "" : prefix + ".";
+    group.visitScalars([&](const std::string &path, double value,
+                           const std::string &desc) {
+        counter(base + path, desc).add(value);
+    });
+    group.visitDistributions([&](const std::string &path,
+                                 const stats::Distribution &dist,
+                                 const std::string &desc) {
+        gauge(base + path + ".mean", desc).set(dist.mean());
+        gauge(base + path + ".max", desc).set(dist.max());
+        gauge(base + path + ".count", desc)
+            .set(static_cast<double>(dist.count()));
+    });
+}
+
+void
+MetricsRegistry::dump(std::ostream &os) const
+{
+    for (const auto &[name, e] : _entries) {
+        os << std::left << std::setw(10) << metricKindName(e.kind)
+           << std::setw(44) << name;
+        switch (e.kind) {
+          case MetricKind::Counter:
+            os << std::setw(16) << e.counter->value();
+            break;
+          case MetricKind::Gauge:
+            os << std::setw(16) << e.gauge->value();
+            break;
+          case MetricKind::Histogram:
+            os << "n=" << e.histogram->count()
+               << " mean=" << e.histogram->mean()
+               << " max=" << e.histogram->max();
+            break;
+        }
+        if (!e.desc.empty())
+            os << " # " << e.desc;
+        os << "\n";
+    }
+}
+
+} // namespace tmi::obs

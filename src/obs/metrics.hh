@@ -1,0 +1,226 @@
+/**
+ * @file
+ * A unified metrics registry over the per-component statistics.
+ *
+ * The stats:: package gives each component cheap in-situ Scalars and
+ * Distributions registered into a StatGroup tree. The MetricsRegistry
+ * generalizes that into one flat, queryable namespace of *named*
+ * counters, gauges, and histograms with hierarchical dotted names
+ * ("machine.cache.hitmEvents", "runtime.t2p.aborts"). It is the
+ * substrate every exporter and report consumes:
+ *
+ *  - native metrics can be registered directly (the observability
+ *    layer's own counters and histograms live here);
+ *  - any existing StatGroup tree can be imported wholesale through
+ *    importStats(), which walks the tree with the stats visitors --
+ *    so components keep their regStats() registration and gain
+ *    export/query support with no per-class glue;
+ *  - name collisions (same name registered under two kinds) are
+ *    detected, warned about, and counted rather than silently
+ *    aliased.
+ */
+
+#ifndef TMI_OBS_METRICS_HH
+#define TMI_OBS_METRICS_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace tmi::obs
+{
+
+/** What a registered name refers to. */
+enum class MetricKind
+{
+    Counter,   //!< monotonically accumulating value
+    Gauge,     //!< last-written value
+    Histogram, //!< sampled value distribution with log2 buckets
+};
+
+/** Kind name for dumps ("counter", "gauge", "histogram"). */
+const char *metricKindName(MetricKind kind);
+
+/** Monotonic counter. */
+class Counter
+{
+  public:
+    Counter &operator++() { _value += 1.0; return *this; }
+    void add(double v) { _value += v; }
+    double value() const { return _value; }
+
+  private:
+    double _value = 0.0;
+};
+
+/** Last-value gauge. */
+class Gauge
+{
+  public:
+    void set(double v) { _value = v; }
+    double value() const { return _value; }
+
+  private:
+    double _value = 0.0;
+};
+
+/** Log2-bucketed histogram: bucket i counts samples in [2^(i-1), 2^i)
+ *  for i >= 1, bucket 0 counts samples < 1. */
+class Histogram
+{
+  public:
+    static constexpr unsigned numBuckets = 48;
+
+    void sample(double v);
+
+    std::uint64_t count() const { return _count; }
+    double sum() const { return _sum; }
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    double min() const { return _count ? _min : 0.0; }
+    double max() const { return _count ? _max : 0.0; }
+    std::uint64_t bucket(unsigned i) const { return _buckets[i]; }
+
+  private:
+    std::uint64_t _buckets[numBuckets] = {};
+    std::uint64_t _count = 0;
+    double _sum = 0.0;
+    double _min = 0.0;
+    double _max = 0.0;
+};
+
+/** The registry. Returned references stay valid for its lifetime. */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /**
+     * Register (or re-fetch) a counter under @p name. Registering a
+     * name that already exists with the same kind returns the same
+     * object; with a different kind it is a collision -- warned,
+     * counted, and served from a scrap metric so the caller's writes
+     * cannot corrupt the legitimate registrant.
+     */
+    Counter &counter(const std::string &name,
+                     const std::string &desc = "");
+
+    /** Register (or re-fetch) a gauge; collision rules as counter(). */
+    Gauge &gauge(const std::string &name, const std::string &desc = "");
+
+    /** Register (or re-fetch) a histogram; collision rules as
+     *  counter(). */
+    Histogram &histogram(const std::string &name,
+                         const std::string &desc = "");
+
+    /** True if @p name is registered (any kind). */
+    bool contains(const std::string &name) const;
+
+    /** Kind of @p name; only meaningful when contains(name). */
+    MetricKind kindOf(const std::string &name) const;
+
+    /**
+     * Current value of @p name: counter/gauge value, histogram mean.
+     * @retval true when the metric exists.
+     */
+    bool value(const std::string &name, double &out) const;
+
+    /** Registered names in lexicographic (= hierarchical) order. */
+    std::vector<std::string> names() const;
+
+    /** Metrics registered so far. */
+    std::size_t size() const { return _entries.size(); }
+
+    /** Kind-mismatch registrations observed. */
+    std::uint64_t collisions() const { return _collisions; }
+
+    /**
+     * Import a StatGroup tree: every Scalar becomes a counter named
+     * "<prefix>.<group path>.<stat>" (prefix omitted when empty) and
+     * every Distribution becomes a histogram-flavoured gauge triple
+     * (.mean/.max/.count). Values are snapshots taken now.
+     */
+    void importStats(const stats::StatGroup &group,
+                     const std::string &prefix = "");
+
+    /** Dump every metric as "kind name value  # desc", sorted. */
+    void dump(std::ostream &os) const;
+
+  private:
+    struct Entry
+    {
+        MetricKind kind;
+        std::string desc;
+        Counter *counter = nullptr;
+        Gauge *gauge = nullptr;
+        Histogram *histogram = nullptr;
+    };
+
+    Entry *find(const std::string &name, MetricKind want);
+
+    // Deques: stable addresses across growth.
+    std::deque<Counter> _counters;
+    std::deque<Gauge> _gauges;
+    std::deque<Histogram> _histograms;
+    std::map<std::string, Entry> _entries;
+    std::uint64_t _collisions = 0;
+    // Scrap metrics returned on kind collisions.
+    Counter _scrapCounter;
+    Gauge _scrapGauge;
+    Histogram _scrapHistogram;
+};
+
+/** Dotted-prefix view: scope("runtime").counter("commits") registers
+ *  "runtime.commits". Cheap to copy; holds a registry reference. */
+class MetricScope
+{
+  public:
+    MetricScope(MetricsRegistry &registry, std::string prefix)
+        : _registry(registry), _prefix(std::move(prefix))
+    {}
+
+    Counter &
+    counter(const std::string &name, const std::string &desc = "")
+    {
+        return _registry.counter(join(name), desc);
+    }
+
+    Gauge &
+    gauge(const std::string &name, const std::string &desc = "")
+    {
+        return _registry.gauge(join(name), desc);
+    }
+
+    Histogram &
+    histogram(const std::string &name, const std::string &desc = "")
+    {
+        return _registry.histogram(join(name), desc);
+    }
+
+    MetricScope scope(const std::string &sub) const
+    {
+        return {_registry, join(sub)};
+    }
+
+    const std::string &prefix() const { return _prefix; }
+
+  private:
+    std::string
+    join(const std::string &name) const
+    {
+        return _prefix.empty() ? name : _prefix + "." + name;
+    }
+
+    MetricsRegistry &_registry;
+    std::string _prefix;
+};
+
+} // namespace tmi::obs
+
+#endif // TMI_OBS_METRICS_HH

@@ -1,0 +1,145 @@
+#include "trace.hh"
+
+#include <algorithm>
+
+namespace tmi::obs
+{
+
+const char *
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::HitmSample:
+        return "hitm.sample";
+      case EventKind::PebsRecordDrop:
+        return "pebs.record_drop";
+      case EventKind::T2pBegin:
+        return "t2p.begin";
+      case EventKind::T2pCommit:
+        return "t2p.commit";
+      case EventKind::T2pRollback:
+        return "t2p.rollback";
+      case EventKind::CowFault:
+        return "cow.fault";
+      case EventKind::CowFallback:
+        return "cow.fallback";
+      case EventKind::PtsbCommit:
+        return "ptsb.commit";
+      case EventKind::WatchdogFlush:
+        return "watchdog.flush";
+      case EventKind::RepairEngage:
+        return "repair.engage";
+      case EventKind::PageProtect:
+        return "repair.page_protect";
+      case EventKind::Unrepair:
+        return "repair.unrepair";
+      case EventKind::LadderDrop:
+        return "ladder.drop";
+      case EventKind::FaultFire:
+        return "fault.fire";
+      case EventKind::AnalysisWindow:
+        return "detect.window";
+      case EventKind::AllocFallback:
+        return "alloc.fallback";
+    }
+    return "unknown";
+}
+
+const std::vector<EventKind> &
+allEventKinds()
+{
+    static const std::vector<EventKind> kinds = [] {
+        std::vector<EventKind> v;
+        for (unsigned i = 0; i < numEventKinds; ++i)
+            v.push_back(static_cast<EventKind>(i));
+        return v;
+    }();
+    return kinds;
+}
+
+void
+validateConfig(const TraceConfig &config,
+               std::vector<ConfigError> &errors,
+               const std::string &prefix)
+{
+    if (config.enabled && config.ringCapacity == 0) {
+        errors.push_back(
+            {prefix + ".ringCapacity",
+             "must be positive when tracing is enabled: a zero-slot "
+             "ring would drop every event it is meant to keep"});
+    }
+}
+
+TraceRecorder::TraceRecorder(const TraceConfig &config)
+    : _config(config)
+{
+    std::vector<ConfigError> errors;
+    validateConfig(_config, errors);
+    fatalIfConfigErrors(errors);
+}
+
+void
+TraceRecorder::recordAt(Cycles time, EventKind kind, ThreadId tid,
+                        std::uint64_t a0, std::uint64_t a1,
+                        const char *detail)
+{
+    if constexpr (!compiledIn)
+        return;
+    TraceEvent ev;
+    ev.time = time;
+    ev.tid = tid;
+    ev.kind = kind;
+    ev.a0 = a0;
+    ev.a1 = a1;
+    ev.setDetail(detail);
+
+    Ring &ring = _rings[tid];
+    if (ring.slots.size() < _config.ringCapacity) {
+        ring.slots.push_back(ev);
+    } else {
+        // Wraparound: overwrite the oldest slot and account the loss.
+        ring.slots[ring.next] = ev;
+        ring.next = (ring.next + 1) % _config.ringCapacity;
+        ++_overwritten;
+    }
+    ++ring.total;
+    ++_recorded;
+    ++_kindCounts[static_cast<unsigned>(kind)];
+}
+
+std::size_t
+TraceRecorder::retained() const
+{
+    std::size_t n = 0;
+    for (const auto &[tid, ring] : _rings) {
+        (void)tid;
+        n += ring.slots.size();
+    }
+    return n;
+}
+
+std::vector<TraceEvent>
+TraceRecorder::drain()
+{
+    std::vector<TraceEvent> out;
+    out.reserve(retained());
+    for (auto &[tid, ring] : _rings) {
+        (void)tid;
+        // Oldest first: a wrapped ring's oldest live event sits at
+        // the overwrite cursor.
+        for (std::size_t i = 0; i < ring.slots.size(); ++i) {
+            std::size_t idx = (ring.next + i) % ring.slots.size();
+            out.push_back(ring.slots[idx]);
+        }
+        ring.slots.clear();
+        ring.next = 0;
+    }
+    _rings.clear();
+    std::stable_sort(out.begin(), out.end(),
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         return a.time < b.time;
+                     });
+    return out;
+}
+
+} // namespace tmi::obs

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Structured event tracing for the whole simulated stack.
+ *
+ * Every layer that does something an evaluation figure might need --
+ * the PEBS model emitting or losing a record, the MMU taking a COW
+ * fault, the runtime converting threads, the watchdog flushing a
+ * stuck PTSB, the degradation ladder dropping a rung, a fault point
+ * firing -- records a typed TraceEvent into a per-thread ring buffer.
+ * Events carry the simulated-cycle timestamp plus two kind-specific
+ * integer arguments (page numbers, thread ids, costs) and an optional
+ * short detail string (fault-point name, degradation reason).
+ *
+ * Rings are fixed capacity: when one wraps, the oldest events are
+ * overwritten and counted, so a runaway event source can never grow
+ * memory -- the newest window of every thread's history survives.
+ * drain() merges all rings into one time-ordered timeline for the
+ * exporters (Chrome trace JSON, CSV time series, text report).
+ *
+ * Cost discipline: nothing in the simulator charges simulated cycles
+ * for tracing, so a traced run is cycle-identical to an untraced one.
+ * Host-side cost when tracing is off is a single null-pointer check
+ * at each emit site (the Machine only allocates a recorder when
+ * tracing is enabled). Compiling with TMI_TRACING=0 removes even the
+ * record bodies; TraceRecorder::compiledIn lets tests and callers
+ * check that path at compile time.
+ */
+
+#ifndef TMI_OBS_TRACE_HH
+#define TMI_OBS_TRACE_HH
+
+#include <cstring>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config_error.hh"
+#include "common/types.hh"
+
+#ifndef TMI_TRACING
+#define TMI_TRACING 1
+#endif
+
+namespace tmi::obs
+{
+
+/**
+ * Event taxonomy. Argument conventions (a0, a1) per kind:
+ *  - HitmSample:     a0 = sampled vaddr, a1 = pc
+ *  - PebsRecordDrop: a0 = sampled vaddr, a1 = 1 if ring overflow,
+ *                    0 if the assist lost the record outright
+ *  - T2pBegin:       a0 = attempt number (1-based)
+ *  - T2pCommit:      a0 = threads converted, a1 = total T2P cycles
+ *  - T2pRollback:    a0 = culprit tid, detail = why
+ *  - CowFault:       a0 = vpage, a1 = pid
+ *  - CowFallback:    a0 = vpage, a1 = pid (page degraded to shared)
+ *  - PtsbCommit:     a0 = bytes changed, a1 = commit cost (cycles)
+ *  - WatchdogFlush:  a0 = pid of the flushed PTSB
+ *  - RepairEngage:   a0 = pages nominated this window
+ *  - PageProtect:    a0 = vpage
+ *  - Unrepair:       a0 = un-repair ordinal, detail = reason
+ *  - LadderDrop:     a0 = from rung, a1 = to rung, detail = reason
+ *  - FaultFire:      a0 = fire ordinal for that point,
+ *                    detail = fault-point name
+ *  - AnalysisWindow: a0 = records drained, a1 = pages nominated
+ *  - AllocFallback:  a0 = requested bytes, detail = which fallback
+ */
+enum class EventKind : std::uint8_t
+{
+    HitmSample,
+    PebsRecordDrop,
+    T2pBegin,
+    T2pCommit,
+    T2pRollback,
+    CowFault,
+    CowFallback,
+    PtsbCommit,
+    WatchdogFlush,
+    RepairEngage,
+    PageProtect,
+    Unrepair,
+    LadderDrop,
+    FaultFire,
+    AnalysisWindow,
+    AllocFallback,
+};
+
+inline constexpr unsigned numEventKinds = 16;
+
+/** Dotted event name for exporters ("t2p.rollback", "ladder.drop"). */
+const char *eventKindName(EventKind kind);
+
+/** Every defined kind, in declaration order (schema enumeration). */
+const std::vector<EventKind> &allEventKinds();
+
+/** One recorded event. Self-contained value type: the detail string
+ *  is copied (truncated) into the event so a drained timeline stays
+ *  valid after the emitting component is destroyed. */
+struct TraceEvent
+{
+    static constexpr std::size_t detailCapacity = 32;
+
+    Cycles time = 0;
+    ThreadId tid = 0;
+    EventKind kind = EventKind::HitmSample;
+    std::uint64_t a0 = 0;
+    std::uint64_t a1 = 0;
+    char detail[detailCapacity] = {};
+
+    void
+    setDetail(const char *s)
+    {
+        if (!s)
+            return;
+        std::strncpy(detail, s, detailCapacity - 1);
+        detail[detailCapacity - 1] = '\0';
+    }
+};
+
+/** Trace-recorder configuration. */
+struct TraceConfig
+{
+    /** Master switch; when false the Machine allocates no recorder
+     *  and every emit site reduces to a null-pointer check. */
+    bool enabled = false;
+    /** Events retained per thread ring; older events are overwritten
+     *  (and counted) once a ring wraps. */
+    std::size_t ringCapacity = 4096;
+
+    bool operator==(const TraceConfig &) const = default;
+};
+
+/** Collect TraceConfig constraint violations under @p prefix. */
+void validateConfig(const TraceConfig &config,
+                    std::vector<ConfigError> &errors,
+                    const std::string &prefix = "TraceConfig");
+
+/** Per-thread ring-buffer trace recorder. */
+class TraceRecorder
+{
+  public:
+    /** False when the tree was built with -DTMI_TRACING=0: record()
+     *  compiles to nothing and no ring is ever touched. */
+    static constexpr bool compiledIn = TMI_TRACING != 0;
+
+    explicit TraceRecorder(const TraceConfig &config = {});
+
+    const TraceConfig &config() const { return _config; }
+
+    /** Timestamp source for record(); typically the machine's
+     *  scheduler clock. Unset, events are stamped 0. */
+    void setClock(std::function<Cycles()> clock)
+    {
+        _clock = std::move(clock);
+    }
+
+    /** Current-thread source for recordHere(); typically the
+     *  scheduler's running thread. Unset, events land on thread 0. */
+    void setThreadSource(std::function<ThreadId()> source)
+    {
+        _tidSource = std::move(source);
+    }
+
+    /** Record one event, stamped with the current clock. */
+    void
+    record(EventKind kind, ThreadId tid, std::uint64_t a0 = 0,
+           std::uint64_t a1 = 0, const char *detail = nullptr)
+    {
+        if constexpr (!compiledIn)
+            return;
+        recordAt(_clock ? _clock() : 0, kind, tid, a0, a1, detail);
+    }
+
+    /** Record one event with an explicit timestamp. */
+    void recordAt(Cycles time, EventKind kind, ThreadId tid,
+                  std::uint64_t a0 = 0, std::uint64_t a1 = 0,
+                  const char *detail = nullptr);
+
+    /**
+     * Record one event stamped with the current clock AND the
+     * current thread -- for emitters (MMU, fault injector, runtime)
+     * that do not track which thread is running.
+     */
+    void
+    recordHere(EventKind kind, std::uint64_t a0 = 0,
+               std::uint64_t a1 = 0, const char *detail = nullptr)
+    {
+        if constexpr (!compiledIn)
+            return;
+        recordAt(_clock ? _clock() : 0, kind,
+                 _tidSource ? _tidSource() : 0, a0, a1, detail);
+    }
+
+    /** Lifetime record() calls accepted (including overwritten). */
+    std::uint64_t recorded() const { return _recorded; }
+
+    /** Events lost to ring wraparound (oldest-first overwrite). */
+    std::uint64_t overwritten() const { return _overwritten; }
+
+    /** Events of @p kind recorded so far. */
+    std::uint64_t
+    count(EventKind kind) const
+    {
+        return _kindCounts[static_cast<unsigned>(kind)];
+    }
+
+    /** Threads that have recorded at least one event. */
+    std::size_t threadsTraced() const { return _rings.size(); }
+
+    /** Events currently retained across all rings. */
+    std::size_t retained() const;
+
+    /**
+     * Merge every ring into one time-ordered timeline and clear the
+     * rings. Counters (recorded/overwritten/count) are preserved.
+     */
+    std::vector<TraceEvent> drain();
+
+  private:
+    struct Ring
+    {
+        std::vector<TraceEvent> slots; //!< grows up to ringCapacity
+        std::size_t next = 0;          //!< overwrite cursor once full
+        std::uint64_t total = 0;       //!< lifetime events from this thread
+    };
+
+    TraceConfig _config;
+    std::function<Cycles()> _clock;
+    std::function<ThreadId()> _tidSource;
+    std::unordered_map<ThreadId, Ring> _rings;
+    std::uint64_t _recorded = 0;
+    std::uint64_t _overwritten = 0;
+    std::uint64_t _kindCounts[numEventKinds] = {};
+};
+
+} // namespace tmi::obs
+
+#endif // TMI_OBS_TRACE_HH

@@ -1,19 +1,44 @@
 #include "pebs.hh"
 
 #include "fault/fault_injector.hh"
+#include "obs/trace.hh"
 
 namespace tmi
 {
 
+void
+validateConfig(const PerfConfig &config,
+               std::vector<ConfigError> &errors,
+               const std::string &prefix)
+{
+    if (config.period < 1) {
+        errors.push_back(
+            {prefix + ".period",
+             "must be >= 1: a zero sampling period would emit a "
+             "record per event and divide by zero in the n/r "
+             "correction"});
+    }
+    if (config.storeSampleBias < 0.0 || config.storeSampleBias > 1.0) {
+        errors.push_back({prefix + ".storeSampleBias",
+                          "is a probability and must be in [0, 1]"});
+    }
+    if (config.addrNoiseProb < 0.0 || config.addrNoiseProb > 1.0) {
+        errors.push_back({prefix + ".addrNoiseProb",
+                          "is a probability and must be in [0, 1]"});
+    }
+    if (config.bufferRecords == 0) {
+        errors.push_back({prefix + ".bufferRecords",
+                          "must be positive: a zero-slot ring drops "
+                          "every record"});
+    }
+}
+
 PerfSession::PerfSession(const PerfConfig &config)
     : _config(config), _rng(config.seed)
 {
-    if (config.period < 1) {
-        fatal("PerfConfig.period must be >= 1 (got %lu): a zero "
-              "sampling period would emit a record per event and "
-              "divide by zero in the n/r correction",
-              static_cast<unsigned long>(config.period));
-    }
+    std::vector<ConfigError> errors;
+    validateConfig(config, errors);
+    fatalIfConfigErrors(errors);
 }
 
 void
@@ -64,8 +89,13 @@ PerfSession::onHitm(const AccessContext &ctx, Cycles now)
     bool ring_full = tc.ring.size() >= _config.bufferRecords;
     if (_faults && _faults->enabled()) {
         // Injected PEBS pathologies (CounterPoint-class failures).
-        if (_faults->shouldFail(faultpoint::perfDropRecord))
+        if (_faults->shouldFail(faultpoint::perfDropRecord)) {
+            if (_trace) {
+                _trace->recordAt(now, obs::EventKind::PebsRecordDrop,
+                                 ctx.tid, rec.vaddr, 0);
+            }
             return _config.recordCost; // assist ran, record vanished
+        }
         if (_faults->shouldFail(faultpoint::perfWildPc)) {
             // PC outside the analyzed binary (JIT stub, vdso...):
             // the detector must filter it, not crash on it.
@@ -81,9 +111,17 @@ PerfSession::onHitm(const AccessContext &ctx, Cycles now)
 
     if (ring_full) {
         ++_statLost;
+        if (_trace) {
+            _trace->recordAt(now, obs::EventKind::PebsRecordDrop,
+                             ctx.tid, rec.vaddr, 1);
+        }
     } else {
         tc.ring.push_back(rec);
         ++_statEmitted;
+        if (_trace) {
+            _trace->recordAt(now, obs::EventKind::HitmSample, ctx.tid,
+                             rec.vaddr, rec.pc);
+        }
     }
     return _config.recordCost;
 }

@@ -25,12 +25,18 @@
 #include <vector>
 
 #include "cache/cache_sim.hh"
+#include "common/config_error.hh"
 #include "common/rng.hh"
 
 namespace tmi
 {
 
 class FaultInjector;
+
+namespace obs
+{
+class TraceRecorder;
+} // namespace obs
 
 /** One PEBS sample as seen by a userspace perf client. */
 struct PebsRecord
@@ -52,7 +58,14 @@ struct PerfConfig
     std::size_t bufferRecords = 8192; //!< per-thread ring capacity
     Cycles recordCost = 2200;      //!< assist cost charged per record
     std::uint64_t seed = 12345;    //!< imprecision RNG seed
+
+    bool operator==(const PerfConfig &) const = default;
 };
+
+/** Collect PerfConfig constraint violations under @p prefix. */
+void validateConfig(const PerfConfig &config,
+                    std::vector<ConfigError> &errors,
+                    const std::string &prefix = "PerfConfig");
 
 /** Per-thread HITM event counting and record buffering. */
 class PerfSession
@@ -67,6 +80,10 @@ class PerfSession
 
     /** Wire the fault injector (null disables injection). */
     void setFaultInjector(FaultInjector *faults) { _faults = faults; }
+
+    /** Wire the trace recorder: emitted records become HitmSample
+     *  events, lost ones PebsRecordDrop (null disables). */
+    void setTrace(obs::TraceRecorder *trace) { _trace = trace; }
 
     /** Open a counting context for @p tid (pthread_create hook). */
     void attachThread(ThreadId tid);
@@ -125,6 +142,7 @@ class PerfSession
     PerfConfig _config;
     Rng _rng;
     FaultInjector *_faults = nullptr;
+    obs::TraceRecorder *_trace = nullptr;
     std::unordered_map<ThreadId, ThreadCtx> _threads;
 
     stats::Scalar _statEvents;

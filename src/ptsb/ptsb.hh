@@ -42,6 +42,8 @@ struct PtsbCosts
     /** Cost multiplier when the ptsb.oversize_commit fault fires
      *  (cold caches / pathological diff). */
     Cycles oversizeFactor = 64;
+
+    bool operator==(const PtsbCosts &) const = default;
 };
 
 /** Result of one commit. */

@@ -33,7 +33,8 @@ tmiModeName(TmiMode mode)
 }
 
 TmiRuntime::TmiRuntime(Machine &machine, const TmiConfig &config)
-    : _m(machine), _cfg(config), _ccc(config.cccEnabled),
+    : _m(machine), _cfg(config), _trace(machine.trace()),
+      _ccc(config.cccEnabled),
       _detector(machine.instructions(), machine.addressMap(),
                 detectorConfigFor(machine, config)),
       _rung(config.mode)
@@ -41,26 +42,40 @@ TmiRuntime::TmiRuntime(Machine &machine, const TmiConfig &config)
 }
 
 void
+validateConfig(const TmiConfig &config,
+               std::vector<ConfigError> &errors,
+               const std::string &prefix)
+{
+    if (config.analysisInterval == 0) {
+        errors.push_back(
+            {prefix + ".analysisInterval",
+             "must be nonzero: the detection thread would re-run "
+             "analysis every cycle without ever letting the "
+             "application advance"});
+    }
+    if (config.robust.t2pMaxAttempts == 0) {
+        errors.push_back(
+            {prefix + ".robust.t2pMaxAttempts",
+             "must be >= 1: zero attempts means repair can never "
+             "engage, which is DetectOnly mode spelled confusingly"});
+    }
+    if (config.robust.watchdogEnabled &&
+        config.robust.watchdogTimeout < config.analysisInterval) {
+        errors.push_back(
+            {prefix + ".robust.watchdogTimeout",
+             "is below the analysis interval: every window with a "
+             "dirty twin would be flushed, destroying the PTSB's "
+             "benefit"});
+    }
+    validateConfig(config.detector, errors, prefix + ".detector");
+}
+
+void
 TmiRuntime::attach()
 {
-    if (_cfg.analysisInterval == 0) {
-        fatal("TmiConfig.analysisInterval must be nonzero: the "
-              "detection thread would re-run analysis every cycle "
-              "without ever letting the application advance");
-    }
-    if (_cfg.robust.t2pMaxAttempts == 0) {
-        fatal("RobustnessConfig.t2pMaxAttempts must be >= 1: zero "
-              "attempts means repair can never engage, which is "
-              "DetectOnly mode spelled confusingly");
-    }
-    if (_cfg.robust.watchdogEnabled &&
-        _cfg.robust.watchdogTimeout < _cfg.analysisInterval) {
-        fatal("RobustnessConfig.watchdogTimeout (%lu) is below the "
-              "analysis interval (%lu): every window with a dirty "
-              "twin would be flushed, destroying the PTSB's benefit",
-              static_cast<unsigned long>(_cfg.robust.watchdogTimeout),
-              static_cast<unsigned long>(_cfg.analysisInterval));
-    }
+    std::vector<ConfigError> errors;
+    validateConfig(_cfg, errors);
+    fatalIfConfigErrors(errors);
     _m.setHooks(this);
     _m.mmu().setCowCallback(
         [this](ProcessId pid, VPage vpage, PPage shared_frame,
@@ -83,6 +98,10 @@ TmiRuntime::attach()
             if (it != _ptsbs.end())
                 it->second->forgetPage(vpage);
             ++_statCowFallbacks;
+            if (_trace) {
+                _trace->recordHere(obs::EventKind::CowFallback, vpage,
+                                   pid);
+            }
         });
     if (_cfg.mode != TmiMode::AllocOnly) {
         _m.spawnSystemThread(
@@ -208,6 +227,10 @@ TmiRuntime::commitThread(ThreadId tid)
     CommitResult res = it->second->commit();
     ++_statFlushCommits;
     _windowOverhead += res.cost;
+    if (_trace && res.pagesDiffed > 0) {
+        _trace->recordHere(obs::EventKind::PtsbCommit,
+                           res.bytesChanged, res.cost);
+    }
     _m.sched().advance(res.cost);
 }
 
@@ -253,6 +276,10 @@ TmiRuntime::tryConvertAllThreads()
             _m.sched().penalize(it->tid, _cfg.robust.t2pAbortCost);
         }
         ++_statT2pAborts;
+        if (_trace) {
+            _trace->recordHere(obs::EventKind::T2pRollback, culprit,
+                               0, why);
+        }
     };
 
     for (ThreadId tid : _m.appThreads()) {
@@ -278,6 +305,10 @@ TmiRuntime::tryConvertAllThreads()
     }
     _converted = true;
     _m.flushTlbs();
+    if (_trace) {
+        _trace->recordHere(obs::EventKind::T2pCommit, done.size(),
+                           done.size() * _cfg.t2pCostPerThread);
+    }
     return true;
 }
 
@@ -288,6 +319,8 @@ TmiRuntime::engageRepair()
     Cycles backoff = rc.t2pRetryBackoff;
     for (unsigned attempt = 1; attempt <= rc.t2pMaxAttempts;
          ++attempt) {
+        if (_trace)
+            _trace->recordHere(obs::EventKind::T2pBegin, attempt);
         if (tryConvertAllThreads())
             return true;
         if (attempt == rc.t2pMaxAttempts)
@@ -309,6 +342,8 @@ TmiRuntime::protectPageEverywhere(VPage vpage)
     if (!_protectedPages.insert(vpage).second)
         return;
     ++_statPageProtections;
+    if (_trace)
+        _trace->recordHere(obs::EventKind::PageProtect, vpage);
     Cycles cost = 0;
     for (auto &[pid, ptsb] : _ptsbs) {
         (void)pid;
@@ -335,6 +370,10 @@ TmiRuntime::unrepair(const char *reason)
     _watchdogFires = 0;
     ++_unrepairs;
     ++_statUnrepairs;
+    if (_trace) {
+        _trace->recordHere(obs::EventKind::Unrepair, _unrepairs, 0,
+                           reason);
+    }
     warn("tmi: un-repaired (%s); rollback %u of %u", reason,
          _unrepairs, _cfg.robust.maxUnrepairs);
     if (_unrepairs >= _cfg.robust.maxUnrepairs) {
@@ -351,6 +390,11 @@ TmiRuntime::degradeTo(TmiMode mode, const char *reason)
         return;
     warn("tmi: degrading %s -> %s (%s)", tmiModeName(_rung),
          tmiModeName(mode), reason);
+    if (_trace) {
+        _trace->recordHere(obs::EventKind::LadderDrop,
+                           static_cast<std::uint64_t>(_rung),
+                           static_cast<std::uint64_t>(mode), reason);
+    }
     _rung = mode;
     ++_statLadderDrops;
 }
@@ -471,6 +515,8 @@ TmiRuntime::runWatchdog(Cycles window)
         w.stall = 0;
         w.lastCommits = ptsb->commits();
         fired = true;
+        if (_trace)
+            _trace->recordHere(obs::EventKind::WatchdogFlush, pid);
     }
     if (!fired)
         return;
@@ -518,6 +564,11 @@ TmiRuntime::detectionLoop(ThreadApi &api)
         AnalysisResult res = _detector.analyze(window);
         cost += res.cost;
         m.sched().advance(cost);
+        if (_trace) {
+            _trace->recordHere(obs::EventKind::AnalysisWindow,
+                               records.size(),
+                               res.pagesToRepair.size());
+        }
 
         checkPerfHealth(window);
         updateEffectiveness(window);
@@ -533,6 +584,10 @@ TmiRuntime::detectionLoop(ThreadApi &api)
             continue; // hysteresis: no repair/un-repair flapping
         }
 
+        if (_trace) {
+            _trace->recordHere(obs::EventKind::RepairEngage,
+                               res.pagesToRepair.size());
+        }
         if (!_converted) {
             Cycles t0 = m.sched().now();
             if (!engageRepair())

@@ -107,6 +107,8 @@ struct RobustnessConfig
     /** Windows with fewer records than this are not judged. */
     std::uint64_t lostRecordsMinSamples = 16;
     /// @}
+
+    bool operator==(const RobustnessConfig &) const = default;
 };
 
 /** Tmi runtime configuration. */
@@ -138,7 +140,14 @@ struct TmiConfig
      *  (the paper attributes ~90 MB to perf buffers + detector
      *  structures on small apps). */
     std::uint64_t modeledRingBytesPerThread = 16ULL << 20;
+
+    bool operator==(const TmiConfig &) const = default;
 };
+
+/** Collect TmiConfig constraint violations under @p prefix. */
+void validateConfig(const TmiConfig &config,
+                    std::vector<ConfigError> &errors,
+                    const std::string &prefix = "TmiConfig");
 
 /** The Tmi runtime: implements every Machine hook. */
 class TmiRuntime : public RuntimeHooks
@@ -296,6 +305,8 @@ class TmiRuntime : public RuntimeHooks
 
     Machine &_m;
     TmiConfig _cfg;
+    /** The machine's recorder, or null when tracing is off. */
+    obs::TraceRecorder *_trace;
     CodeCentricConsistency _ccc;
     Detector _detector;
 

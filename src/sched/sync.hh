@@ -30,6 +30,8 @@ struct SyncCosts
     Cycles mutexHandoff = 120;     //!< wakeup latency to a waiter
     Cycles barrier = 150;          //!< per-thread barrier overhead
     Cycles condSignal = 60;        //!< signal/broadcast base cost
+
+    bool operator==(const SyncCosts &) const = default;
 };
 
 /** Mutexes, barriers, and condition variables for simulated threads. */

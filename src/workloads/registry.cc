@@ -125,13 +125,21 @@ workloadRegistry()
     return registry;
 }
 
-const WorkloadInfo &
-findWorkload(const std::string &name)
+const WorkloadInfo *
+tryFindWorkload(const std::string &name)
 {
     for (const auto &info : workloadRegistry()) {
         if (info.name == name)
-            return info;
+            return &info;
     }
+    return nullptr;
+}
+
+const WorkloadInfo &
+findWorkload(const std::string &name)
+{
+    if (const WorkloadInfo *info = tryFindWorkload(name))
+        return *info;
     fatal("unknown workload '%s'", name.c_str());
 }
 

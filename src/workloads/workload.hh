@@ -92,6 +92,9 @@ const std::vector<WorkloadInfo> &workloadRegistry();
 /** Look up one workload by name; fatal if unknown. */
 const WorkloadInfo &findWorkload(const std::string &name);
 
+/** Look up one workload by name; null if unknown (validation). */
+const WorkloadInfo *tryFindWorkload(const std::string &name);
+
 } // namespace tmi
 
 #endif // TMI_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Exporter golden tests: the Chrome trace JSON and CSV time-series
+ * formats are pinned byte for byte on a tiny fixed timeline, so a
+ * format drift fails loudly instead of silently breaking downstream
+ * tooling (Perfetto, the plotting scripts, scripts/check_trace.py).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/export.hh"
+
+using namespace tmi;
+using namespace tmi::obs;
+
+namespace
+{
+
+/** Two-event timeline: one sample, one ladder drop with a detail
+ *  string that needs JSON escaping. cyclesPerSecond = 1e6 makes one
+ *  cycle == one microsecond, so timestamps are easy to eyeball. */
+std::vector<TraceEvent>
+tinyTimeline()
+{
+    std::vector<TraceEvent> events;
+    TraceEvent a;
+    a.time = 1000;
+    a.tid = 1;
+    a.kind = EventKind::HitmSample;
+    a.a0 = 5;
+    a.a1 = 6;
+    events.push_back(a);
+    TraceEvent b;
+    b.time = 2000;
+    b.tid = 2;
+    b.kind = EventKind::LadderDrop;
+    b.a0 = 0;
+    b.a1 = 1;
+    b.setDetail("T2P \"failed\"");
+    events.push_back(b);
+    return events;
+}
+
+} // namespace
+
+TEST(ExportGolden, ChromeTraceJson)
+{
+    ChromeTraceMeta meta;
+    meta.cyclesPerSecond = 1e6;
+    meta.processName = "golden";
+    std::ostringstream os;
+    writeChromeTrace(os, tinyTimeline(), meta);
+
+    const std::string expected =
+        "{\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+        "\"tid\":0,\"args\":{\"name\":\"golden\"}},\n"
+        "{\"name\":\"hitm.sample\",\"cat\":\"tmi\",\"ph\":\"i\","
+        "\"s\":\"t\",\"ts\":1000.000,\"pid\":1,\"tid\":1,"
+        "\"args\":{\"cycles\":1000,\"a0\":5,\"a1\":6}},\n"
+        "{\"name\":\"ladder.drop\",\"cat\":\"tmi\",\"ph\":\"i\","
+        "\"s\":\"t\",\"ts\":2000.000,\"pid\":1,\"tid\":2,"
+        "\"args\":{\"cycles\":2000,\"a0\":0,\"a1\":1,"
+        "\"detail\":\"T2P \\\"failed\\\"\"}}]}\n";
+    EXPECT_EQ(os.str(), expected);
+}
+
+TEST(ExportGolden, ChromeTraceEmptyTimelineIsValidJson)
+{
+    std::ostringstream os;
+    writeChromeTrace(os, {});
+    EXPECT_EQ(os.str(),
+              "{\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+              "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+              "\"tid\":0,\"args\":{\"name\":\"tmi\"}}]}\n");
+}
+
+TEST(ExportGolden, CsvTimeSeries)
+{
+    std::ostringstream os;
+    writeCsvTimeSeries(os, tinyTimeline(), 1e6, /*bucket=*/1000);
+
+    const std::string expected =
+        "window,start_ms,hitm.sample,pebs.record_drop,t2p.begin,"
+        "t2p.commit,t2p.rollback,cow.fault,cow.fallback,ptsb.commit,"
+        "watchdog.flush,repair.engage,repair.page_protect,"
+        "repair.unrepair,ladder.drop,fault.fire,detect.window,"
+        "alloc.fallback\n"
+        // Empty windows are emitted too: rows stay uniformly spaced.
+        "0,0.000,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0\n"
+        "1,1.000,1,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0\n"
+        "2,2.000,0,0,0,0,0,0,0,0,0,0,0,0,1,0,0,0\n";
+    EXPECT_EQ(os.str(), expected);
+}
+
+TEST(ExportGolden, CsvZeroBucketDoesNotDivideByZero)
+{
+    std::ostringstream os;
+    writeCsvTimeSeries(os, {}, 1e6, 0);
+    EXPECT_NE(os.str().find("window,start_ms"), std::string::npos);
+}
+
+TEST(Export, SummarizeCountsAndSpan)
+{
+    TraceSummary sum = summarizeTrace(tinyTimeline());
+    EXPECT_EQ(sum.total, 2u);
+    EXPECT_EQ(sum.count(EventKind::HitmSample), 1u);
+    EXPECT_EQ(sum.count(EventKind::LadderDrop), 1u);
+    EXPECT_EQ(sum.firstTime, 1000u);
+    EXPECT_EQ(sum.lastTime, 2000u);
+}
+
+TEST(Export, ReportNamesKindsAndTransitions)
+{
+    std::ostringstream os;
+    writeTraceReport(os, tinyTimeline(), 1e6);
+    std::string text = os.str();
+    EXPECT_NE(text.find("trace: 2 events"), std::string::npos);
+    EXPECT_NE(text.find("hitm.sample"), std::string::npos);
+    EXPECT_NE(text.find("transitions:"), std::string::npos);
+    EXPECT_NE(text.find("T2P \"failed\""), std::string::npos);
+    // Non-transition kinds do not show up in the narrative.
+    EXPECT_EQ(text.find("fault points fired"), std::string::npos);
+}

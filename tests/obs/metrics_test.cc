@@ -1,0 +1,143 @@
+/**
+ * @file
+ * MetricsRegistry unit tests: registration/re-fetch identity, kind
+ * collisions, histogram bucketing, StatGroup import, scoping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hh"
+#include "obs/metrics.hh"
+
+using namespace tmi;
+using namespace tmi::obs;
+
+TEST(Metrics, CounterRegisterAndRefetchSameObject)
+{
+    MetricsRegistry reg;
+    Counter &a = reg.counter("runtime.commits", "PTSB commits");
+    a.add(3);
+    ++a;
+    Counter &b = reg.counter("runtime.commits");
+    EXPECT_EQ(&a, &b);
+    EXPECT_DOUBLE_EQ(b.value(), 4.0);
+    EXPECT_EQ(reg.size(), 1u);
+    EXPECT_TRUE(reg.contains("runtime.commits"));
+    EXPECT_EQ(reg.kindOf("runtime.commits"), MetricKind::Counter);
+}
+
+TEST(Metrics, NameCollisionServesScrapAndCounts)
+{
+    MetricsRegistry reg;
+    Counter &real = reg.counter("x");
+    real.add(7);
+
+    // Same name, different kind: warned, counted, scrap returned.
+    Gauge &scrap = reg.gauge("x");
+    scrap.set(99);
+    EXPECT_EQ(reg.collisions(), 1u);
+
+    // The legitimate registrant is unharmed and still a counter.
+    double v = 0;
+    ASSERT_TRUE(reg.value("x", v));
+    EXPECT_DOUBLE_EQ(v, 7.0);
+    EXPECT_EQ(reg.kindOf("x"), MetricKind::Counter);
+
+    // Scrap writes from two collisions never alias each other's
+    // legitimate metrics.
+    Histogram &scrap2 = reg.histogram("x");
+    scrap2.sample(1);
+    EXPECT_EQ(reg.collisions(), 2u);
+    EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(Metrics, HistogramLog2Buckets)
+{
+    MetricsRegistry reg;
+    Histogram &h = reg.histogram("lat", "commit latency");
+    h.sample(0.5); // bucket 0: < 1
+    h.sample(1);   // bucket 1: [1, 2)
+    h.sample(3);   // bucket 2: [2, 4)
+    h.sample(4);   // bucket 3: [4, 8)
+    h.sample(1e30); // clamps to the last bucket
+
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(2), 1u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.bucket(Histogram::numBuckets - 1), 1u);
+    EXPECT_DOUBLE_EQ(h.min(), 0.5);
+    EXPECT_DOUBLE_EQ(h.max(), 1e30);
+}
+
+TEST(Metrics, NamesAreSorted)
+{
+    MetricsRegistry reg;
+    reg.counter("b.two");
+    reg.gauge("a.one");
+    reg.histogram("c.three");
+    auto names = reg.names();
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_EQ(names[0], "a.one");
+    EXPECT_EQ(names[1], "b.two");
+    EXPECT_EQ(names[2], "c.three");
+}
+
+TEST(Metrics, ImportStatsBridgesScalarsAndDistributions)
+{
+    stats::Scalar hits;
+    hits += 42;
+    stats::Distribution lat;
+    lat.sample(10);
+    lat.sample(30);
+
+    stats::StatGroup root("machine");
+    stats::StatGroup child("cache");
+    child.addScalar("hitmEvents", &hits, "true HITM count");
+    child.addDistribution("commitLat", &lat, "commit latency");
+    root.addChild(&child);
+
+    MetricsRegistry reg;
+    reg.importStats(root, "machine");
+
+    double v = 0;
+    ASSERT_TRUE(reg.value("machine.cache.hitmEvents", v));
+    EXPECT_DOUBLE_EQ(v, 42.0);
+    ASSERT_TRUE(reg.value("machine.cache.commitLat.mean", v));
+    EXPECT_DOUBLE_EQ(v, 20.0);
+    ASSERT_TRUE(reg.value("machine.cache.commitLat.max", v));
+    EXPECT_DOUBLE_EQ(v, 30.0);
+    ASSERT_TRUE(reg.value("machine.cache.commitLat.count", v));
+    EXPECT_DOUBLE_EQ(v, 2.0);
+    EXPECT_FALSE(reg.value("machine.cache.missing", v));
+}
+
+TEST(Metrics, ScopePrefixesAndNests)
+{
+    MetricsRegistry reg;
+    MetricScope runtime(reg, "runtime");
+    runtime.counter("commits").add(1);
+    MetricScope t2p = runtime.scope("t2p");
+    t2p.gauge("attempts").set(3);
+
+    EXPECT_TRUE(reg.contains("runtime.commits"));
+    EXPECT_TRUE(reg.contains("runtime.t2p.attempts"));
+    EXPECT_EQ(t2p.prefix(), "runtime.t2p");
+}
+
+TEST(Metrics, DumpListsEveryMetric)
+{
+    MetricsRegistry reg;
+    reg.counter("a", "first").add(1);
+    reg.gauge("b").set(2);
+    reg.histogram("c").sample(5);
+    std::ostringstream os;
+    reg.dump(os);
+    std::string text = os.str();
+    EXPECT_NE(text.find("counter"), std::string::npos);
+    EXPECT_NE(text.find("# first"), std::string::npos);
+    EXPECT_NE(text.find("n=1 mean=5 max=5"), std::string::npos);
+}

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * TraceRecorder unit tests: ring wraparound, drain ordering, the
+ * clock/thread-source closures, and config validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.hh"
+
+using namespace tmi;
+using namespace tmi::obs;
+
+// Tests that need events to actually land skip under the tracing-off
+// preset (-DTMI_TRACING=0 turns record bodies into no-ops).
+#define SKIP_IF_TRACING_COMPILED_OUT()                                 \
+    if (!TraceRecorder::compiledIn)                                    \
+    GTEST_SKIP() << "built with TMI_TRACING=0"
+
+TEST(TraceRecorder, RecordsAndCountsPerKind)
+{
+    SKIP_IF_TRACING_COMPILED_OUT();
+    TraceConfig cfg;
+    cfg.enabled = true;
+    TraceRecorder rec(cfg);
+
+    rec.recordAt(10, EventKind::HitmSample, 1, 0xdead, 0xbeef);
+    rec.recordAt(20, EventKind::HitmSample, 2);
+    rec.recordAt(30, EventKind::LadderDrop, 1, 2, 1, "why");
+
+    EXPECT_EQ(rec.recorded(), 3u);
+    EXPECT_EQ(rec.overwritten(), 0u);
+    EXPECT_EQ(rec.count(EventKind::HitmSample), 2u);
+    EXPECT_EQ(rec.count(EventKind::LadderDrop), 1u);
+    EXPECT_EQ(rec.count(EventKind::CowFault), 0u);
+    EXPECT_EQ(rec.threadsTraced(), 2u);
+    EXPECT_EQ(rec.retained(), 3u);
+}
+
+TEST(TraceRecorder, DrainMergesTimeSorted)
+{
+    SKIP_IF_TRACING_COMPILED_OUT();
+    TraceConfig cfg;
+    cfg.enabled = true;
+    TraceRecorder rec(cfg);
+
+    // Interleave two threads with out-of-order arrival.
+    rec.recordAt(30, EventKind::PtsbCommit, 2);
+    rec.recordAt(10, EventKind::HitmSample, 1);
+    rec.recordAt(20, EventKind::CowFault, 2);
+    rec.recordAt(40, EventKind::HitmSample, 1);
+
+    auto events = rec.drain();
+    ASSERT_EQ(events.size(), 4u);
+    for (std::size_t i = 1; i < events.size(); ++i)
+        EXPECT_LE(events[i - 1].time, events[i].time);
+    EXPECT_EQ(events[0].kind, EventKind::HitmSample);
+    EXPECT_EQ(events[3].tid, 1u);
+
+    // Drain clears the rings but keeps the counters.
+    EXPECT_EQ(rec.retained(), 0u);
+    EXPECT_EQ(rec.recorded(), 4u);
+    EXPECT_TRUE(rec.drain().empty());
+}
+
+TEST(TraceRecorder, RingWrapsOverwritingOldest)
+{
+    SKIP_IF_TRACING_COMPILED_OUT();
+    TraceConfig cfg;
+    cfg.enabled = true;
+    cfg.ringCapacity = 4;
+    TraceRecorder rec(cfg);
+
+    for (std::uint64_t i = 0; i < 10; ++i)
+        rec.recordAt(i, EventKind::HitmSample, 1, /*a0=*/i);
+
+    EXPECT_EQ(rec.recorded(), 10u);
+    EXPECT_EQ(rec.overwritten(), 6u);
+    EXPECT_EQ(rec.retained(), 4u);
+
+    // The newest window survives, oldest-first.
+    auto events = rec.drain();
+    ASSERT_EQ(events.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(events[i].a0, 6u + i);
+}
+
+TEST(TraceRecorder, WrapIsPerThread)
+{
+    SKIP_IF_TRACING_COMPILED_OUT();
+    TraceConfig cfg;
+    cfg.enabled = true;
+    cfg.ringCapacity = 2;
+    TraceRecorder rec(cfg);
+
+    for (std::uint64_t i = 0; i < 5; ++i)
+        rec.recordAt(i, EventKind::HitmSample, /*tid=*/7);
+    rec.recordAt(100, EventKind::CowFault, /*tid=*/8);
+
+    // Thread 7 wrapped; thread 8 did not lose anything.
+    EXPECT_EQ(rec.overwritten(), 3u);
+    auto events = rec.drain();
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events.back().tid, 8u);
+}
+
+TEST(TraceRecorder, ClockAndThreadSourceStampRecordHere)
+{
+    SKIP_IF_TRACING_COMPILED_OUT();
+    TraceConfig cfg;
+    cfg.enabled = true;
+    TraceRecorder rec(cfg);
+    Cycles now = 123;
+    ThreadId tid = 9;
+    rec.setClock([&now] { return now; });
+    rec.setThreadSource([&tid] { return tid; });
+
+    rec.recordHere(EventKind::FaultFire, 1, 0, "mem.clone_fail");
+    now = 456;
+    tid = 2;
+    rec.recordHere(EventKind::T2pRollback, 2);
+
+    auto events = rec.drain();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].time, 123u);
+    EXPECT_EQ(events[0].tid, 9u);
+    EXPECT_STREQ(events[0].detail, "mem.clone_fail");
+    EXPECT_EQ(events[1].time, 456u);
+    EXPECT_EQ(events[1].tid, 2u);
+}
+
+TEST(TraceRecorder, DetailTruncatesSafely)
+{
+    TraceEvent ev;
+    std::string long_detail(100, 'x');
+    ev.setDetail(long_detail.c_str());
+    EXPECT_EQ(std::string(ev.detail).size(),
+              TraceEvent::detailCapacity - 1);
+    ev.setDetail(nullptr); // no-op, no crash
+}
+
+TEST(TraceRecorder, EventKindNamesAreDottedAndComplete)
+{
+    EXPECT_EQ(allEventKinds().size(), numEventKinds);
+    for (EventKind kind : allEventKinds()) {
+        std::string name = eventKindName(kind);
+        EXPECT_NE(name.find('.'), std::string::npos) << name;
+    }
+    EXPECT_STREQ(eventKindName(EventKind::LadderDrop), "ladder.drop");
+    EXPECT_STREQ(eventKindName(EventKind::FaultFire), "fault.fire");
+}
+
+TEST(TraceConfigValidation, RejectsZeroRing)
+{
+    TraceConfig cfg;
+    cfg.enabled = true;
+    cfg.ringCapacity = 0;
+    std::vector<ConfigError> errors;
+    validateConfig(cfg, errors);
+    ASSERT_EQ(errors.size(), 1u);
+    EXPECT_EQ(errors[0].field, "TraceConfig.ringCapacity");
+}
+
+TEST(TraceConfigValidation, DisabledConfigIsAlwaysValid)
+{
+    TraceConfig cfg; // enabled = false
+    cfg.ringCapacity = 0;
+    std::vector<ConfigError> errors;
+    validateConfig(cfg, errors);
+    EXPECT_TRUE(errors.empty());
+}
