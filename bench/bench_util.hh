@@ -23,6 +23,7 @@
 
 #include "core/config.hh"
 #include "core/experiment.hh"
+#include "driver/runner.hh"
 #include "workloads/workload.hh"
 
 namespace tmi::bench
@@ -206,6 +207,83 @@ runTreatmentRow(const ExperimentBuilder &base,
         row.treated.push_back(b.run());
     }
     return row;
+}
+
+/** Sweep workers for bench runs (env TMI_BENCH_WORKERS overrides).
+ *  Defaults to 1: serial, and therefore bit-for-bit the historical
+ *  bench output order. The sweep driver delivers results in job-id
+ *  order either way, so raising it only changes wall-clock time. */
+inline unsigned
+benchWorkers()
+{
+    if (const char *env = std::getenv("TMI_BENCH_WORKERS")) {
+        long v = std::strtol(env, nullptr, 10);
+        if (v >= 1)
+            return static_cast<unsigned>(v);
+    }
+    return 1;
+}
+
+/**
+ * The whole-figure variant of runTreatmentRow: every (workload x
+ * treatment) cell as one job matrix through the sweep driver, with
+ * TMI_BENCH_WORKERS host threads. Runs in two phases because the
+ * sheriff budget is derived from each workload's measured pthreads
+ * baseline: phase 1 is all baselines, phase 2 all treated cells.
+ * Row i corresponds to workloads[i]; treated[j] to treatments[j].
+ */
+inline std::vector<TreatmentRow>
+runTreatmentMatrix(const std::vector<std::string> &workloads,
+                   const std::vector<Treatment> &treatments,
+                   std::uint64_t scale,
+                   Cycles sheriff_budget_factor = 25,
+                   const std::function<void(ExperimentBuilder &)> &tweak =
+                       {})
+{
+    driver::RunnerOptions opts;
+    opts.workers = benchWorkers();
+    driver::Runner runner(opts);
+
+    auto cell = [&](const std::string &workload, Treatment t,
+                    Cycles budget) {
+        ExperimentBuilder b = benchBuilder(workload, t, scale);
+        if (budget)
+            b.budget(budget);
+        if (tweak)
+            tweak(b);
+        driver::Job job;
+        job.config = b.peek();
+        return job;
+    };
+
+    std::vector<driver::Job> base_jobs;
+    for (const std::string &w : workloads)
+        base_jobs.push_back(cell(w, Treatment::Pthreads, 0));
+    std::vector<driver::JobResult> bases =
+        runner.run(std::move(base_jobs));
+
+    std::vector<driver::Job> treated_jobs;
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        for (Treatment t : treatments) {
+            Cycles budget = 0;
+            if (t == Treatment::SheriffDetect ||
+                t == Treatment::SheriffProtect) {
+                budget = bases[i].run.cycles * sheriff_budget_factor;
+            }
+            treated_jobs.push_back(cell(workloads[i], t, budget));
+        }
+    }
+    std::vector<driver::JobResult> treated =
+        runner.run(std::move(treated_jobs));
+
+    std::vector<TreatmentRow> rows(workloads.size());
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        rows[i].base = bases[i].run;
+        for (std::size_t j = 0; j < treatments.size(); ++j)
+            rows[i].treated.push_back(
+                treated[i * treatments.size() + j].run);
+    }
+    return rows;
 }
 
 } // namespace tmi::bench

@@ -25,12 +25,18 @@ main()
     CsvSink csv("workload,tmi_alloc,tmi_detect,sheriff,sheriff_state");
     std::vector<double> alloc_over, detect_over, detect_over_clean;
     unsigned sheriff_ok = 0;
-    for (const auto &name : overheadSet()) {
+    std::vector<std::string> names = overheadSet();
+    // All (workload x treatment) cells through the sweep driver;
+    // TMI_BENCH_WORKERS parallelizes, output order is fixed.
+    std::vector<TreatmentRow> rows = runTreatmentMatrix(
+        names,
+        {Treatment::TmiAlloc, Treatment::TmiDetect,
+         Treatment::SheriffDetect},
+        scale);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const std::string &name = names[i];
         bool has_fs = findWorkload(name).knownFalseSharing;
-        TreatmentRow row = runTreatmentRow(
-            benchBuilder(name, Treatment::Pthreads, scale),
-            {Treatment::TmiAlloc, Treatment::TmiDetect,
-             Treatment::SheriffDetect});
+        const TreatmentRow &row = rows[i];
         const RunResult &base = row.base;
         const RunResult &alloc = row.treated[0];
         const RunResult &detect = row.treated[1];

@@ -25,11 +25,17 @@ main()
 
     CsvSink csv("workload,manual,sheriff,laser,tmi");
     std::vector<double> tmi_speedups, capture;
-    for (const auto &name : falseSharingSet()) {
-        TreatmentRow row = runTreatmentRow(
-            benchBuilder(name, Treatment::Pthreads, scale),
-            {Treatment::Manual, Treatment::SheriffProtect,
-             Treatment::Laser, Treatment::TmiProtect});
+    std::vector<std::string> names = falseSharingSet();
+    // One sweep-driver job matrix instead of a serial loop; set
+    // TMI_BENCH_WORKERS to parallelize (output order is fixed).
+    std::vector<TreatmentRow> rows = runTreatmentMatrix(
+        names,
+        {Treatment::Manual, Treatment::SheriffProtect,
+         Treatment::Laser, Treatment::TmiProtect},
+        scale);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const std::string &name = names[i];
+        const TreatmentRow &row = rows[i];
         const RunResult &base = row.base;
         const RunResult &manual = row.treated[0];
         const RunResult &sheriff = row.treated[1];

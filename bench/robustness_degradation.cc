@@ -12,6 +12,12 @@
  * rung, slowdown vs the same treatment with no faults, injected
  * fires, and which self-healing mechanisms engaged (T2P aborts,
  * un-repairs, watchdog flushes, COW fallbacks).
+ *
+ * The closing campaign is the ROADMAP fault-rate sweep: every FS
+ * workload x the two highest-leverage fault points x a rate ladder,
+ * at scale 8, expressed as a driver::SweepSpec and executed on the
+ * sweep runner (TMI_BENCH_WORKERS host threads; output order is
+ * fixed by job id regardless).
  */
 
 #include "bench_util.hh"
@@ -139,6 +145,52 @@ main()
             bad += !res.compatible;
         }
     }
+
+    header("Campaign: fault-rate x FS-workload sweep (sweep driver)");
+    std::printf("%-14s %-24s %6s %-18s %9s\n", "workload", "scenario",
+                "state", "rung", "slowdown");
+
+    driver::SweepSpec spec;
+    spec.base = benchBuilder("histogramfs", Treatment::TmiProtect,
+                             benchScale(8))
+                    .peek();
+    spec.workloads = falseSharingSet();
+    spec.faultPoints = {faultpoint::memFrameExhausted,
+                        faultpoint::perfDropRecord};
+    // Rate 0 cells are the clean controls the slowdown column is
+    // computed against (expansion order keeps them first per point).
+    spec.faultRates = {0.0, 0.01, 0.1, 0.5, 1.0};
+
+    driver::RunnerOptions opts;
+    opts.workers = benchWorkers();
+    driver::Runner runner(opts);
+
+    std::uint64_t clean_cycles = 0;
+    driver::FunctionSink sink([&](const driver::JobResult &r) {
+        std::string scenario = r.job.scenario();
+        if (r.status != driver::JobStatus::Ok) {
+            std::printf("%-14s %-24s %6s %-18s %9s\n",
+                        r.job.config.run.workload.c_str(),
+                        scenario.c_str(),
+                        driver::jobStatusName(r.status), "-", "-");
+            ++bad;
+            return;
+        }
+        if (r.job.faultRate == 0.0)
+            clean_cycles = r.run.cycles;
+        double slow = clean_cycles
+                          ? static_cast<double>(r.run.cycles) /
+                                static_cast<double>(clean_cycles)
+                          : 0.0;
+        std::printf("%-14s %-24s %6s %-18s %8.3fx\n",
+                    r.job.config.run.workload.c_str(),
+                    scenario.c_str(), outcomeStr(r.run),
+                    r.run.ladderRung.c_str(), slow);
+        csv.row("%s",
+                robustnessCsvRow(r.run, scenario, slow).c_str());
+        bad += !r.run.compatible;
+    });
+    runner.run(spec, &sink);
 
     std::printf("\n%u faulted run(s) lost correctness or hung "
                 "(contract: 0)\n",

@@ -9,7 +9,8 @@
  *   experiment_cli --workload leveldb --treatment tmi-protect \
  *       [--threads 4] [--scale 4] [--period 100] [--huge-pages]
  *       [--threshold 100000] [--interval 2000000] [--seed 42]
- *       [--budget N] [--glibc-allocator] [--stats] [--list]
+ *       [--budget N] [--glibc-allocator] [--stats]
+ *       [--list-workloads] [--list-treatments]
  *       [--fault point:SPEC]... [--fault-seed N]
  *       [--watchdog 0|1] [--monitor 0|1] [--watchdog-timeout N]
  *       [--trace] [--ring N] [--trace-out run.json]
@@ -41,22 +42,20 @@ namespace
 Treatment
 parseTreatment(const std::string &name)
 {
-    const Treatment all[] = {
-        Treatment::Pthreads,       Treatment::Manual,
-        Treatment::TmiAlloc,       Treatment::TmiDetect,
-        Treatment::TmiProtect,     Treatment::TmiProtectNoCcc,
-        Treatment::PtsbEverywhere, Treatment::SheriffDetect,
-        Treatment::SheriffProtect, Treatment::Laser,
-    };
-    for (Treatment t : all) {
-        if (name == treatmentName(t))
-            return t;
-    }
+    if (const Treatment *t = tryParseTreatment(name))
+        return *t;
     std::fprintf(stderr, "unknown treatment '%s'; one of:\n",
                  name.c_str());
-    for (Treatment t : all)
+    for (Treatment t : allTreatments())
         std::fprintf(stderr, "  %s\n", treatmentName(t));
     std::exit(2);
+}
+
+void
+listTreatments()
+{
+    for (Treatment t : allTreatments())
+        std::printf("%s\n", treatmentName(t));
 }
 
 /** Parse "point:SPEC" (SPEC: always|once|once=N|p=0.5|every=N). */
@@ -194,8 +193,11 @@ main(int argc, char **argv)
             report = true;
         } else if (arg == "--stats") {
             stats = true;
-        } else if (arg == "--list") {
+        } else if (arg == "--list" || arg == "--list-workloads") {
             listWorkloads();
+            return 0;
+        } else if (arg == "--list-treatments") {
+            listTreatments();
             return 0;
         } else {
             std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * tmi-sweep: run a whole experiment matrix in one command.
+ *
+ * A sweep is a base configuration plus value lists for the evaluation
+ * axes (workload x treatment x scale x period x fault-point x
+ * fault-rate x seed). The matrix is expanded once, executed on a host
+ * worker pool with retries and per-job timeouts, and streamed as the
+ * canonical sweep CSV (schema: scripts/check_sweep.py) in job-id
+ * order -- the CSV is byte-identical for any --workers value.
+ *
+ * Usage:
+ *   tmi-sweep --workloads histogramfs,counterarray \
+ *       --treatments pthreads,tmi-protect [--scales 2,4] \
+ *       [--periods 100,1000] [--seeds 1,2,3] \
+ *       [--fault-points mem.frame_exhausted] \
+ *       [--fault-rates 0,0.1,0.5] \
+ *       [--threads N] [--budget N] [--spec sweep.conf] \
+ *       [--workers N] [--retries N] [--timeout-ms N] \
+ *       [--csv out.csv] [--no-progress] [--dry-run] [--verbose] \
+ *       [--list-workloads] [--list-treatments]
+ *
+ * --spec reads the same keys from a key=value file (one per line,
+ * #-comments); flags apply after the file, appending to axis lists.
+ * CSV goes to stdout unless --csv is given; progress and the summary
+ * go to stderr. Exit status: 0 = every job ok, 1 = some job failed
+ * or timed out, 2 = usage error.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/logging.hh"
+#include "driver/runner.hh"
+#include "workloads/workload.hh"
+
+using namespace tmi;
+
+namespace
+{
+
+[[noreturn]] void
+usageError(const std::string &message)
+{
+    std::fprintf(stderr, "tmi-sweep: %s\n", message.c_str());
+    std::exit(2);
+}
+
+void
+applyOrDie(driver::SweepSpec &spec, const std::string &key,
+           const std::string &value)
+{
+    std::string err;
+    if (!driver::applySpecEntry(spec, key, value, err))
+        usageError(err);
+}
+
+void
+loadSpecFile(driver::SweepSpec &spec, const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        usageError("cannot read spec file '" + path + "'");
+    std::ostringstream text;
+    text << is.rdbuf();
+    std::string err;
+    if (!driver::parseSpecText(spec, text.str(), err))
+        usageError(path + ": " + err);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    driver::SweepSpec spec;
+    driver::RunnerOptions opts;
+    opts.workers = 1;
+    opts.progress = true;
+    std::string csv_path;
+    bool dry_run = false;
+    bool verbose = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usageError("'" + arg + "' needs a value");
+            return argv[++i];
+        };
+        if (arg == "--spec") {
+            loadSpecFile(spec, next());
+        } else if (arg == "--workloads") {
+            applyOrDie(spec, "workloads", next());
+        } else if (arg == "--treatments") {
+            applyOrDie(spec, "treatments", next());
+        } else if (arg == "--scales") {
+            applyOrDie(spec, "scales", next());
+        } else if (arg == "--periods") {
+            applyOrDie(spec, "periods", next());
+        } else if (arg == "--fault-points") {
+            applyOrDie(spec, "fault_points", next());
+        } else if (arg == "--fault-rates") {
+            applyOrDie(spec, "fault_rates", next());
+        } else if (arg == "--seeds") {
+            applyOrDie(spec, "seeds", next());
+        } else if (arg == "--threads") {
+            applyOrDie(spec, "threads", next());
+        } else if (arg == "--budget") {
+            applyOrDie(spec, "budget", next());
+        } else if (arg == "--interval") {
+            applyOrDie(spec, "interval", next());
+        } else if (arg == "--watchdog") {
+            applyOrDie(spec, "watchdog", next());
+        } else if (arg == "--monitor") {
+            applyOrDie(spec, "monitor", next());
+        } else if (arg == "--workers") {
+            opts.workers =
+                static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--retries") {
+            // N retries = N+1 attempts.
+            opts.maxAttempts =
+                static_cast<unsigned>(std::atoi(next())) + 1;
+        } else if (arg == "--timeout-ms") {
+            opts.jobTimeout = std::chrono::milliseconds(
+                std::strtoll(next(), nullptr, 10));
+        } else if (arg == "--csv") {
+            csv_path = next();
+        } else if (arg == "--no-progress") {
+            opts.progress = false;
+        } else if (arg == "--verbose") {
+            verbose = true;
+        } else if (arg == "--dry-run") {
+            dry_run = true;
+        } else if (arg == "--list-workloads") {
+            for (const auto &info : workloadRegistry())
+                std::printf("%s\n", info.name.c_str());
+            return 0;
+        } else if (arg == "--list-treatments") {
+            for (Treatment t : allTreatments())
+                std::printf("%s\n", treatmentName(t));
+            return 0;
+        } else {
+            usageError("unknown flag '" + arg + "'");
+        }
+    }
+
+    // Worker-thread inform() lines would interleave with the CSV
+    // (and with each other) nondeterministically; quiet by default.
+    if (!verbose)
+        setLogLevel(LogLevel::Quiet);
+
+    std::vector<ConfigError> errors = spec.validate();
+    if (!errors.empty()) {
+        for (const ConfigError &e : errors) {
+            std::fprintf(stderr, "tmi-sweep: %s: %s\n",
+                         e.field.c_str(), e.message.c_str());
+        }
+        return 2;
+    }
+
+    if (dry_run) {
+        // The expansion, one line per job, without running anything.
+        for (const driver::Job &job : spec.expand()) {
+            std::printf(
+                "%llu %s %s scale=%llu period=%llu seed=%llu %s\n",
+                static_cast<unsigned long long>(job.id),
+                job.config.run.workload.c_str(),
+                treatmentName(job.config.run.treatment),
+                static_cast<unsigned long long>(job.config.run.scale),
+                static_cast<unsigned long long>(
+                    job.config.run.perfPeriod),
+                static_cast<unsigned long long>(job.config.run.seed),
+                job.scenario().c_str());
+        }
+        return 0;
+    }
+
+    std::ofstream csv_file;
+    if (!csv_path.empty()) {
+        csv_file.open(csv_path);
+        if (!csv_file)
+            usageError("cannot write '" + csv_path + "'");
+    }
+    std::ostream &os = csv_path.empty() ? std::cout : csv_file;
+    // Progress uses \r; keep it off a terminal that is also
+    // receiving the CSV.
+    if (csv_path.empty())
+        opts.progress = false;
+
+    driver::SweepCsvSink sink(os);
+    driver::Runner runner(opts);
+    runner.run(spec, &sink);
+
+    const driver::SweepStats &stats = runner.stats();
+    std::fprintf(stderr,
+                 "[sweep] %llu jobs: %llu ok, %llu failed, %llu "
+                 "timed out, %llu cancelled; %llu retries; %.1fs\n",
+                 static_cast<unsigned long long>(stats.total),
+                 static_cast<unsigned long long>(stats.ok),
+                 static_cast<unsigned long long>(stats.failed),
+                 static_cast<unsigned long long>(stats.timedOut),
+                 static_cast<unsigned long long>(stats.cancelled),
+                 static_cast<unsigned long long>(stats.retries),
+                 stats.wallSeconds);
+    return stats.ok == stats.total ? 0 : 1;
+}

@@ -42,4 +42,20 @@ python3 scripts/check_trace.py "$trace_out" \
     --require fault.fire,ladder.drop,t2p.rollback,hitm.sample \
     --min-events 100
 
+# Sweep-driver smoke: a small matrix through tmi-sweep on 2 workers
+# must produce a schema-valid CSV that is byte-identical to the same
+# sweep on 1 worker (the driver's determinism contract).
+echo "=== tmi-sweep smoke + CSV schema check ==="
+sweep1="$(mktemp -t tmi_sweep1.XXXXXX.csv)"
+sweep2="$(mktemp -t tmi_sweep2.XXXXXX.csv)"
+trap 'rm -f "$trace_out" "$sweep1" "$sweep2"' EXIT
+sweep_args=(--workloads histogramfs,spinlockpool
+    --treatments pthreads,tmi-protect --scales 2
+    --fault-points mem.frame_exhausted --fault-rates 0,0.5
+    --no-progress)
+./build/examples/tmi-sweep "${sweep_args[@]}" --workers 1 --csv "$sweep1"
+./build/examples/tmi-sweep "${sweep_args[@]}" --workers 2 --csv "$sweep2"
+python3 scripts/check_sweep.py "$sweep1" --expect-rows 8 --expect-ok
+cmp "$sweep1" "$sweep2"
+
 echo "=== CI green ==="

@@ -15,6 +15,18 @@
  *    non-relaxed atomic operation, so LASER declines to repair
  *    workloads with frequent synchronization (the Boost
  *    microbenchmarks).
+ *
+ * For apples-to-apples robustness sweeps, LASER carries the same
+ * RobustnessConfig as Tmi and Sheriff: when armed, an effectiveness
+ * monitor un-repairs pages whose instrumentation tax dwarfs the
+ * avoided-HITM benefit (the paper's histogram slowdown becomes a
+ * recoverable event instead of a permanent tax), and a perf-health
+ * pass stops repairing off persistently lossy sampling. Both default
+ * *off*: stock LASER keeps its documented behaviour unless a sweep
+ * arms them via ExperimentConfig::monitor. A PTSB watchdog does not
+ * apply -- LASER's store buffer drains at every sync by
+ * construction, so it cannot livelock the way an uncommitted PTSB
+ * can.
  */
 
 #ifndef TMI_BASELINES_LASER_HH
@@ -24,6 +36,7 @@
 
 #include "core/machine.hh"
 #include "detect/detector.hh"
+#include "runtime/robustness.hh"
 
 namespace tmi
 {
@@ -45,6 +58,11 @@ struct LaserConfig
      * would thrash and LASER leaves the program unrepaired.
      */
     double maxSyncRatePerSec = 1e6;
+
+    /** Self-healing parity knobs (see file comment for defaults;
+     *  watchdogEnabled is ignored -- no PTSB to watch). */
+    RobustnessConfig robust{.monitorEnabled = false,
+                            .watchdogEnabled = false};
 };
 
 /** HITM detection + software-store-buffer repair runtime. */
@@ -71,6 +89,25 @@ class LaserRuntime : public RuntimeHooks
 
     Detector &detector() { return _detector; }
 
+    /** @name Robustness queries (parity with TmiRuntime) */
+    /// @{
+    /** "detect-and-repair", or "detect-only" once the monitor gave
+     *  up on store-buffer repair for this run. */
+    const char *rungName() const
+    {
+        return _repairAllowed ? "detect-and-repair" : "detect-only";
+    }
+
+    /** Times repair was rolled back (instrumentation removed). */
+    unsigned unrepairs() const { return _unrepairs; }
+
+    /** Ladder transitions taken (at most 1: repair -> detect-only). */
+    std::uint64_t ladderDrops() const
+    {
+        return static_cast<std::uint64_t>(_statLadderDrops.value());
+    }
+    /// @}
+
     /** Register stats under @p group. */
     void regStats(stats::StatGroup &group);
 
@@ -78,15 +115,47 @@ class LaserRuntime : public RuntimeHooks
     void detectionLoop(ThreadApi &api);
     std::uint64_t syncOpsSoFar() const;
 
+    /** Un-repair when the DBI tax dwarfs the avoided-HITM benefit. */
+    void updateEffectiveness(Cycles window);
+
+    /** Stop repairing off persistently lossy perf sampling. */
+    void checkPerfHealth(Cycles window);
+
+    /** Remove the instrumentation from every repaired page. */
+    void unrepair(const char *reason);
+
+    /** One-way drop to detect-only with logging. */
+    void degradeToDetectOnly(const char *reason);
+
     Machine &_m;
     LaserConfig _cfg;
+    /** The machine's recorder, or null when tracing is off. */
+    obs::TraceRecorder *_trace;
     Detector _detector;
     std::unordered_set<VPage> _repairedPages;
     bool _declined = false;
     std::uint64_t _rmwAtomics = 0;
 
+    bool _repairAllowed = true;
+
+    // Effectiveness-monitor state (mirrors TmiRuntime).
+    double _preRepairHitmRate = 0; //!< EMA while un-repaired
+    std::uint64_t _lastHitm = 0;
+    Cycles _windowOverhead = 0; //!< DBI taxes + drains
+    unsigned _regressStreak = 0;
+    unsigned _windowsSinceRepair = 0;
+    unsigned _windowsSinceUnrepair = 0;
+    unsigned _unrepairs = 0;
+
+    // Perf-health state.
+    std::uint64_t _lastLost = 0;
+    std::uint64_t _lastEmitted = 0;
+    unsigned _lossStreak = 0;
+
     stats::Scalar _statBufferedAccesses;
     stats::Scalar _statDrains;
+    stats::Scalar _statUnrepairs;
+    stats::Scalar _statLadderDrops;
 };
 
 } // namespace tmi

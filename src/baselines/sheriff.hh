@@ -21,6 +21,16 @@
  * sheriff-detect additionally pays a per-page analysis cost at each
  * commit (it inspects diffs to report sharing), making it heavier
  * than sheriff-protect.
+ *
+ * For apples-to-apples robustness sweeps against Tmi, Sheriff carries
+ * the same RobustnessConfig and its own degradation ladder:
+ * full-isolation -> partial-isolation (a clone failure exhausted its
+ * retry budget, so some threads run plain) -> dissolved (the watchdog
+ * or effectiveness monitor gave up on isolation entirely). The clone
+ * retry loop is always armed; the watchdog and monitor default *off*
+ * because stock Sheriff has no such machinery -- its documented
+ * failure modes must stay emergent unless a sweep arms them via
+ * ExperimentConfig::watchdog / ::monitor.
  */
 
 #ifndef TMI_BASELINES_SHERIFF_HH
@@ -31,9 +41,21 @@
 
 #include "core/machine.hh"
 #include "ptsb/ptsb.hh"
+#include "runtime/robustness.hh"
 
 namespace tmi
 {
+
+/** Sheriff's degradation ladder (top to bottom). */
+enum class SheriffRung
+{
+    Dissolved,        //!< isolation abandoned; plain execution
+    PartialIsolation, //!< some threads could not be isolated
+    FullIsolation,    //!< every thread in its own process
+};
+
+/** Human-readable rung name for logs and CSVs. */
+const char *sheriffRungName(SheriffRung rung);
 
 /** Sheriff configuration. */
 struct SheriffConfig
@@ -43,6 +65,12 @@ struct SheriffConfig
     PtsbCosts ptsbCosts;
     Cycles detectAnalysisPerPage = 2500;
     Cycles t2pCostPerThread = 110'000;
+
+    /** Self-healing parity knobs (see file comment for defaults). */
+    RobustnessConfig robust{.monitorEnabled = false,
+                            .watchdogEnabled = false};
+    /** Watchdog/monitor daemon cadence in simulated cycles. */
+    Cycles monitorInterval = 2'000'000;
 };
 
 /** Threads-as-processes, PTSB-everywhere runtime. */
@@ -51,7 +79,8 @@ class SheriffRuntime : public RuntimeHooks
   public:
     SheriffRuntime(Machine &machine, const SheriffConfig &config = {});
 
-    /** Install hooks and the COW callback. */
+    /** Install hooks, the COW callbacks, and (when the watchdog or
+     *  monitor is armed) the supervision daemon. */
     void attach();
 
     void onThreadCreate(ThreadId tid) override;
@@ -69,18 +98,92 @@ class SheriffRuntime : public RuntimeHooks
      *  consistency, so atomics-based programs rack these up. */
     std::uint64_t totalConflictBytes() const;
 
+    /** @name Robustness queries (parity with TmiRuntime) */
+    /// @{
+    SheriffRung rung() const { return _rung; }
+    const char *rungName() const { return sheriffRungName(_rung); }
+
+    /** Aborted address-space clone attempts. */
+    std::uint64_t t2pAborts() const
+    {
+        return static_cast<std::uint64_t>(_statT2pAborts.value());
+    }
+
+    /** Times isolation was torn down after engaging (0 or 1: a
+     *  dissolution is final for Sheriff). */
+    std::uint64_t unrepairs() const
+    {
+        return static_cast<std::uint64_t>(_statUnrepairs.value());
+    }
+
+    /** Watchdog force-flush events. */
+    unsigned watchdogFires() const { return _watchdogFires; }
+
+    /** COW faults degraded to plain shared writes. */
+    std::uint64_t cowFallbacks() const
+    {
+        return static_cast<std::uint64_t>(_statCowFallbacks.value());
+    }
+
+    /** Ladder transitions taken. */
+    std::uint64_t ladderDrops() const
+    {
+        return static_cast<std::uint64_t>(_statLadderDrops.value());
+    }
+    /// @}
+
     /** Register stats under @p group. */
     void regStats(stats::StatGroup &group);
 
   private:
     void commitThread(ThreadId tid);
+    void supervisionLoop(ThreadApi &api);
+
+    /** Force-commit PTSBs stuck with old dirty twins (the same
+     *  livelock Tmi's watchdog breaks, e.g. cholesky's flag spin). */
+    void runWatchdog(Cycles window);
+
+    /** Dissolve isolation when its measured overhead dwarfs the
+     *  coherence traffic it avoids. */
+    void updateEffectiveness(Cycles window);
+
+    /** Tear every PTSB down and fall to the Dissolved rung. */
+    void dissolve(const char *reason);
+
+    /** One-way ladder transition with logging. */
+    void degradeTo(SheriffRung rung, const char *reason);
 
     Machine &_m;
     SheriffConfig _cfg;
+    /** The machine's recorder, or null when tracing is off. */
+    obs::TraceRecorder *_trace;
     std::unordered_map<ProcessId, std::unique_ptr<Ptsb>> _ptsbs;
+
+    SheriffRung _rung = SheriffRung::FullIsolation;
+
+    // Effectiveness-monitor state: per-window isolation overhead
+    // (commit + COW costs) against a merged-lines benefit proxy.
+    Cycles _windowOverhead = 0;
+    std::uint64_t _windowLinesMerged = 0;
+    unsigned _windows = 0;
+    unsigned _regressStreak = 0;
+
+    // Watchdog state.
+    struct PtsbWatch
+    {
+        std::uint64_t lastCommits = 0;
+        Cycles stall = 0;
+    };
+    std::unordered_map<ProcessId, PtsbWatch> _watch;
+    unsigned _watchdogFires = 0;
 
     stats::Scalar _statConversions;
     stats::Scalar _statCommits;
+    stats::Scalar _statT2pAborts;
+    stats::Scalar _statUnrepairs;
+    stats::Scalar _statWatchdogFlushes;
+    stats::Scalar _statLadderDrops;
+    stats::Scalar _statCowFallbacks;
 };
 
 } // namespace tmi

@@ -1,5 +1,6 @@
 #include "logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -9,19 +10,21 @@ namespace tmi
 
 namespace
 {
-LogLevel globalLevel = LogLevel::Normal;
+/// Atomic: sweep workers read the level while a host main thread may
+/// still be configuring it.
+std::atomic<LogLevel> globalLevel = LogLevel::Normal;
 } // namespace
 
 void
 setLogLevel(LogLevel level)
 {
-    globalLevel = level;
+    globalLevel.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return globalLevel;
+    return globalLevel.load(std::memory_order_relaxed);
 }
 
 std::string

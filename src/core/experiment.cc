@@ -40,6 +40,29 @@ treatmentName(Treatment t)
     return "?";
 }
 
+const std::vector<Treatment> &
+allTreatments()
+{
+    static const std::vector<Treatment> all = {
+        Treatment::Pthreads,        Treatment::Manual,
+        Treatment::TmiAlloc,        Treatment::TmiDetect,
+        Treatment::TmiProtect,      Treatment::TmiProtectNoCcc,
+        Treatment::PtsbEverywhere,  Treatment::SheriffDetect,
+        Treatment::SheriffProtect,  Treatment::Laser,
+    };
+    return all;
+}
+
+const Treatment *
+tryParseTreatment(const std::string &name)
+{
+    for (const Treatment &t : allTreatments()) {
+        if (name == treatmentName(t))
+            return &t;
+    }
+    return nullptr;
+}
+
 namespace
 {
 
@@ -226,6 +249,14 @@ runExperiment(const Config &full)
       case Treatment::SheriffProtect: {
         SheriffConfig sc;
         sc.detectMode = config.treatment == Treatment::SheriffDetect;
+        // Stock Sheriff has no self-healing, so -1 keeps the watchdog
+        // and monitor off and lets its documented failure modes
+        // unfold; robustness sweeps arm them explicitly for
+        // apples-to-apples ladder comparisons against Tmi.
+        sc.robust.watchdogEnabled = config.watchdog == 1;
+        sc.robust.monitorEnabled = config.monitor == 1;
+        if (config.watchdogTimeout != 0)
+            sc.robust.watchdogTimeout = config.watchdogTimeout;
         sheriff = std::make_unique<SheriffRuntime>(machine, sc);
         sheriff->attach();
         break;
@@ -234,6 +265,10 @@ runExperiment(const Config &full)
         LaserConfig lc;
         lc.detector.repairThreshold = config.repairThreshold;
         lc.analysisInterval = config.analysisInterval;
+        // Same convention as Sheriff: the effectiveness/perf-health
+        // monitor is opt-in, preserving stock LASER behaviour (e.g.
+        // the histogram slowdown) unless a sweep arms it.
+        lc.robust.monitorEnabled = config.monitor == 1;
         laser = std::make_unique<LaserRuntime>(machine, lc);
         laser->attach();
         break;
@@ -243,6 +278,8 @@ runExperiment(const Config &full)
     Workload *wl = workload.get();
     machine.spawnThread(std::string(info.name) + "-main",
                         [wl](ThreadApi &api) { wl->main(api); });
+
+    machine.sched().setAbortFlag(config.cancel);
 
     RunResult res;
     res.workload = config.workload;
@@ -283,10 +320,19 @@ runExperiment(const Config &full)
         res.commits = sheriff->totalCommits();
         res.conflictBytes = sheriff->totalConflictBytes();
         res.overheadBytes = machine.internalBytes();
+        res.ladderRung = sheriff->rungName();
+        res.t2pAborts = sheriff->t2pAborts();
+        res.unrepairs = sheriff->unrepairs();
+        res.watchdogFlushes = sheriff->watchdogFires();
+        res.cowFallbacks = sheriff->cowFallbacks();
+        res.ladderDrops = sheriff->ladderDrops();
     } else if (laser) {
         res.repairActive = laser->repairActive();
         res.fsEventsEstimated = laser->detector().fsEventsEstimated();
         res.tsEventsEstimated = laser->detector().tsEventsEstimated();
+        res.ladderRung = laser->rungName();
+        res.unrepairs = laser->unrepairs();
+        res.ladderDrops = laser->ladderDrops();
     }
     if (res.seconds > 0) {
         res.commitsPerSec =

@@ -15,6 +15,7 @@
 #ifndef TMI_CORE_EXPERIMENT_HH
 #define TMI_CORE_EXPERIMENT_HH
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <utility>
@@ -43,6 +44,12 @@ enum class Treatment
 
 /** Name as used in reports. */
 const char *treatmentName(Treatment t);
+
+/** Every treatment, in declaration (= report) order. */
+const std::vector<Treatment> &allTreatments();
+
+/** Parse a report-style name ("tmi-protect"); null on no match. */
+const Treatment *tryParseTreatment(const std::string &name);
 
 /** One cell of the evaluation matrix. */
 struct ExperimentConfig
@@ -76,6 +83,12 @@ struct ExperimentConfig
     Cycles watchdogTimeout = 0;
     /** Post-repair effectiveness monitor: same -1/0/1 convention. */
     int monitor = -1;
+
+    /** Host-side cancellation token (not owned; null = none). When it
+     *  becomes true the scheduler stops at the next fiber switch and
+     *  the run reports RunOutcome::Timeout. The sweep driver uses
+     *  this for per-job timeouts and sweep-wide cancellation. */
+    const std::atomic<bool> *cancel = nullptr;
 
     /** Structured event tracing: enabled, the run's drained timeline
      *  and a unified metrics registry land in the RunResult. */
@@ -121,10 +134,13 @@ struct RunResult
     std::uint64_t softFaults = 0;
     std::uint64_t memOps = 0;
 
-    /** @name Robustness telemetry (Tmi treatments only) */
+    /** @name Robustness telemetry (Tmi, Sheriff and LASER; zero /
+     *  empty for pthreads/manual) */
     /// @{
     /** Final degradation-ladder rung ("detect-and-repair" when
-     *  nothing degraded; empty for non-Tmi treatments). */
+     *  nothing degraded; Sheriff reports "full-isolation" /
+     *  "partial-isolation" / "dissolved"; empty for the
+     *  uninstrumented baselines). */
     std::string ladderRung;
     std::uint64_t faultFires = 0;      //!< injected faults that fired
     std::uint64_t t2pAborts = 0;       //!< rolled-back conversions

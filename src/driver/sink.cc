@@ -1,0 +1,100 @@
+#include "sink.hh"
+
+#include <cstdio>
+
+namespace tmi::driver
+{
+
+const char *
+sweepCsvHeader()
+{
+    return "job_id,workload,treatment,threads,scale,period,"
+           "fault_point,fault_rate,seed,status,attempts,error,"
+           "outcome,valid,rung,cycles,seconds,hitm_events,"
+           "pebs_records,pages_protected,commits,conflict_bytes,"
+           "fault_fires,t2p_aborts,unrepairs,watchdog_flushes,"
+           "cow_fallbacks,ladder_drops";
+}
+
+namespace
+{
+
+const char *
+outcomeStr(RunOutcome outcome)
+{
+    switch (outcome) {
+      case RunOutcome::Completed:
+        return "completed";
+      case RunOutcome::Timeout:
+        return "timeout";
+      case RunOutcome::Deadlock:
+        return "deadlock";
+    }
+    return "?";
+}
+
+/** CSV cells must not sprout new columns or rows. */
+std::string
+sanitize(std::string s)
+{
+    for (char &c : s) {
+        if (c == ',' || c == '\n' || c == '\r')
+            c = ';';
+    }
+    return s;
+}
+
+} // namespace
+
+std::string
+sweepCsvRow(const JobResult &r)
+{
+    const ExperimentConfig &run = r.job.config.run;
+    bool ok = r.status == JobStatus::Ok;
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%llu,%s,%s,%u,%llu,%llu,%s,%.4f,%llu,%s,%u,%s,"
+        "%s,%d,%s,%llu,%.9f,%llu,%llu,%llu,%llu,%llu,"
+        "%llu,%llu,%llu,%llu,%llu,%llu",
+        static_cast<unsigned long long>(r.job.id),
+        run.workload.c_str(), treatmentName(run.treatment),
+        run.threads, static_cast<unsigned long long>(run.scale),
+        static_cast<unsigned long long>(run.perfPeriod),
+        r.job.faultPoint.empty() ? "-" : r.job.faultPoint.c_str(),
+        r.job.faultRate, static_cast<unsigned long long>(run.seed),
+        jobStatusName(r.status), r.attempts,
+        r.error.empty() ? "-" : sanitize(r.error).c_str(),
+        ok ? outcomeStr(r.run.outcome) : "-", ok && r.run.valid,
+        ok && !r.run.ladderRung.empty() ? r.run.ladderRung.c_str()
+                                        : "-",
+        static_cast<unsigned long long>(ok ? r.run.cycles : 0),
+        ok ? r.run.seconds : 0.0,
+        static_cast<unsigned long long>(ok ? r.run.hitmEvents : 0),
+        static_cast<unsigned long long>(ok ? r.run.pebsRecords : 0),
+        static_cast<unsigned long long>(ok ? r.run.pagesProtected
+                                           : 0),
+        static_cast<unsigned long long>(ok ? r.run.commits : 0),
+        static_cast<unsigned long long>(ok ? r.run.conflictBytes : 0),
+        static_cast<unsigned long long>(ok ? r.run.faultFires : 0),
+        static_cast<unsigned long long>(ok ? r.run.t2pAborts : 0),
+        static_cast<unsigned long long>(ok ? r.run.unrepairs : 0),
+        static_cast<unsigned long long>(ok ? r.run.watchdogFlushes
+                                           : 0),
+        static_cast<unsigned long long>(ok ? r.run.cowFallbacks : 0),
+        static_cast<unsigned long long>(ok ? r.run.ladderDrops : 0));
+    return buf;
+}
+
+SweepCsvSink::SweepCsvSink(std::ostream &os) : _os(os)
+{
+    _os << sweepCsvHeader() << '\n';
+}
+
+void
+SweepCsvSink::onResult(const JobResult &result)
+{
+    _os << sweepCsvRow(result) << '\n';
+}
+
+} // namespace tmi::driver

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Result sinks for the sweep driver.
+ *
+ * The Runner delivers every JobResult to one ResultSink, strictly in
+ * job-id order and from one thread at a time (the delivery lock),
+ * regardless of which worker finished which job when. A sink can
+ * therefore stream CSV rows, update aggregates, or forward to the
+ * existing exporters without any synchronization of its own -- and
+ * its output is byte-identical for any worker count.
+ *
+ * sweepCsvHeader()/sweepCsvRow() define the canonical aggregated
+ * sweep schema; scripts/check_sweep.py validates files against it.
+ */
+
+#ifndef TMI_DRIVER_SINK_HH
+#define TMI_DRIVER_SINK_HH
+
+#include <functional>
+#include <ostream>
+
+#include "driver/sweep.hh"
+
+namespace tmi::driver
+{
+
+/** Receives results in job-id order; calls are serialized. */
+class ResultSink
+{
+  public:
+    virtual ~ResultSink() = default;
+    virtual void onResult(const JobResult &result) = 0;
+};
+
+/** @name Canonical sweep CSV schema */
+/// @{
+/** The header line (no trailing newline). */
+const char *sweepCsvHeader();
+
+/** One result as a schema row (no trailing newline). Commas and
+ *  newlines in the error message are sanitized to ';'. */
+std::string sweepCsvRow(const JobResult &result);
+/// @}
+
+/** Streams the canonical CSV; writes the header on construction. */
+class SweepCsvSink : public ResultSink
+{
+  public:
+    explicit SweepCsvSink(std::ostream &os);
+    void onResult(const JobResult &result) override;
+
+  private:
+    std::ostream &_os;
+};
+
+/** Adapts a lambda (benches, tests). */
+class FunctionSink : public ResultSink
+{
+  public:
+    explicit FunctionSink(std::function<void(const JobResult &)> fn)
+        : _fn(std::move(fn))
+    {
+    }
+
+    void
+    onResult(const JobResult &result) override
+    {
+        _fn(result);
+    }
+
+  private:
+    std::function<void(const JobResult &)> _fn;
+};
+
+/** Fans one result stream out to several sinks, in order. */
+class TeeSink : public ResultSink
+{
+  public:
+    explicit TeeSink(std::vector<ResultSink *> sinks)
+        : _sinks(std::move(sinks))
+    {
+    }
+
+    void
+    onResult(const JobResult &result) override
+    {
+        for (ResultSink *sink : _sinks)
+            sink->onResult(result);
+    }
+
+  private:
+    std::vector<ResultSink *> _sinks;
+};
+
+} // namespace tmi::driver
+
+#endif // TMI_DRIVER_SINK_HH

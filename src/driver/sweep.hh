@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Declarative sweep specification for the experiment driver.
+ *
+ * A SweepSpec is a base tmi::Config plus value lists for the
+ * evaluation axes (workload x treatment x scale x period x
+ * fault-point x fault-rate x seed). expand() takes the cross product
+ * in a fixed row-major order and assigns each cell a dense job id;
+ * everything downstream (the Runner, the CSV sink, check_sweep.py)
+ * keys on that id, which is what makes sweep output byte-identical
+ * regardless of worker count or completion order.
+ *
+ * Specs can be built three ways: directly in code (benches), from
+ * key=value text (the tmi-sweep --spec file), or flag by flag
+ * (tmi-sweep command line) -- the last two share applySpecEntry so a
+ * spec file and the equivalent flags cannot drift apart.
+ */
+
+#ifndef TMI_DRIVER_SWEEP_HH
+#define TMI_DRIVER_SWEEP_HH
+
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+
+namespace tmi::driver
+{
+
+/** One expanded cell of the sweep matrix. */
+struct Job
+{
+    /** Dense index in expansion order; the determinism key. */
+    std::uint64_t id = 0;
+    /** Fully resolved configuration (fault already folded in). */
+    Config config;
+    /** Fault axis echo ("" = no injected fault). */
+    std::string faultPoint;
+    double faultRate = 0.0;
+
+    /** Robustness-CSV scenario label: "none" or "point@rate". */
+    std::string scenario() const;
+};
+
+/** How a job's execution concluded. */
+enum class JobStatus
+{
+    Ok,        //!< ran to a RunResult (possibly sim-level Timeout)
+    Failed,    //!< invalid config or exhausted its retry budget
+    TimedOut,  //!< killed by the host-side per-job timeout
+    Cancelled, //!< sweep stopped before the job ran
+};
+
+/** Lower-case status name as written to the sweep CSV. */
+const char *jobStatusName(JobStatus status);
+
+/** One job's outcome, as delivered to the ResultSink in id order. */
+struct JobResult
+{
+    Job job;
+    JobStatus status = JobStatus::Cancelled;
+    /** Execution attempts consumed (0 when cancelled before any). */
+    unsigned attempts = 0;
+    /** Last failure message (empty on success). */
+    std::string error;
+    /** The measurement; meaningful only when status == Ok. */
+    RunResult run;
+};
+
+/** The declarative sweep: base config + axis value lists. */
+struct SweepSpec
+{
+    /** Template every job starts from; axis values overlay run.*. */
+    Config base;
+
+    /** Workloads to sweep (required: at least one). */
+    std::vector<std::string> workloads;
+    /** Empty = just base.run.treatment. */
+    std::vector<Treatment> treatments;
+    /** Empty = just base.run.scale. */
+    std::vector<std::uint64_t> scales;
+    /** PEBS periods; empty = just base.run.perfPeriod. */
+    std::vector<std::uint64_t> periods;
+    /** Fault points to arm one at a time; empty = no fault axis. */
+    std::vector<std::string> faultPoints;
+    /** Probabilities for each armed point; 0 = clean control cell.
+     *  Empty = {0} (no injection). */
+    std::vector<double> faultRates;
+    /** Empty = just base.run.seed. */
+    std::vector<std::uint64_t> seeds;
+
+    /** Cells in the cross product (0 when the spec is invalid). */
+    std::uint64_t matrixSize() const;
+
+    /** Every constraint violation (empty = runnable). */
+    std::vector<ConfigError> validate() const;
+
+    /**
+     * Cross product in row-major axis order (workload outermost,
+     * then treatment, scale, period, fault point, fault rate, seed
+     * innermost), ids dense from 0. Call validate() first; expansion
+     * of an invalid spec is allowed but its jobs may fail.
+     */
+    std::vector<Job> expand() const;
+};
+
+/** @name Spec text format
+ *  One `key = value` per line; blank lines and #-comments ignored.
+ *  List values are comma-separated. Keys: workloads, treatments,
+ *  scales, periods, fault_points, fault_rates, seeds, threads,
+ *  budget, interval, period, watchdog, monitor, seed. */
+/// @{
+/** Apply one entry; false + @p err on unknown key or bad value. */
+bool applySpecEntry(SweepSpec &spec, const std::string &key,
+                    const std::string &value, std::string &err);
+
+/** Parse a whole spec text; false + @p err (with line number) on the
+ *  first bad line. */
+bool parseSpecText(SweepSpec &spec, const std::string &text,
+                   std::string &err);
+/// @}
+
+/** @name List-parsing helpers (shared with the tmi-sweep flags) */
+/// @{
+/** Split on commas, trimming whitespace; empty items dropped. */
+std::vector<std::string> splitList(const std::string &csv);
+
+/** Parse a comma list of non-negative integers; false on garbage. */
+bool parseU64List(const std::string &csv,
+                  std::vector<std::uint64_t> &out, std::string &err);
+
+/** Parse a comma list of doubles; false on garbage. */
+bool parseDoubleList(const std::string &csv, std::vector<double> &out,
+                     std::string &err);
+
+/** Parse a comma list of treatment names; false on an unknown one. */
+bool parseTreatmentList(const std::string &csv,
+                        std::vector<Treatment> &out, std::string &err);
+/// @}
+
+} // namespace tmi::driver
+
+#endif // TMI_DRIVER_SWEEP_HH

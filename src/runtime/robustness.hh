@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Self-healing policy knobs shared by every supervising runtime.
+ *
+ * Tmi introduced the degradation ladder (tmi_runtime.hh); the
+ * Sheriff and LASER baselines reuse the same policy structure so
+ * robustness sweeps compare apples to apples: one config vocabulary,
+ * one set of thresholds, three runtimes interpreting them on their
+ * own machinery (Tmi's PTSB + detector, Sheriff's always-on
+ * isolation, LASER's software store buffer).
+ */
+
+#ifndef TMI_RUNTIME_ROBUSTNESS_HH
+#define TMI_RUNTIME_ROBUSTNESS_HH
+
+#include "common/types.hh"
+
+namespace tmi
+{
+
+/** Self-healing policy knobs (see each runtime's monitor passes). */
+struct RobustnessConfig
+{
+    /** @name Transactional thread-to-process conversion */
+    /// @{
+    /** Attempts before giving up on repair entirely (>= 1). */
+    unsigned t2pMaxAttempts = 4;
+    /** Wait after an aborted attempt; doubles per retry. */
+    Cycles t2pRetryBackoff = 50'000;
+    /** Stall charged to each rolled-back thread (un-fork + resume). */
+    Cycles t2pAbortCost = 20'000;
+    /// @}
+
+    /** @name Post-repair effectiveness monitor */
+    /// @{
+    bool monitorEnabled = true;
+    /** Analysis windows to let caches settle before judging. */
+    unsigned monitorWarmupWindows = 2;
+    /** Regressed when overhead > benefit * regressFactor... */
+    double regressFactor = 4.0;
+    /** ...for this many consecutive windows. */
+    unsigned regressWindows = 3;
+    /** Overhead below this fraction of a window is never a
+     *  regression (ignores noise when both sides are tiny). */
+    double minOverheadFraction = 0.02;
+    /** Estimated cycles saved per avoided HITM (~remote-dirty
+     *  transfer latency). */
+    Cycles hitmCostEstimate = 70;
+    /** Windows to wait after an un-repair before repairing again. */
+    unsigned repairCooldownWindows = 10;
+    /** Un-repairs before conceding this workload (drop a rung). */
+    unsigned maxUnrepairs = 2;
+    /// @}
+
+    /** @name PTSB livelock watchdog (cholesky, Figure 12) */
+    /// @{
+    bool watchdogEnabled = true;
+    /** A PTSB holding dirty twins with no commits for this long is
+     *  force-committed. Must be far above any honest inter-sync
+     *  distance; the default only trips genuinely stuck runs. */
+    Cycles watchdogTimeout = 2'000'000'000;
+    /** Watchdog fires before un-repairing and dropping a rung. */
+    unsigned watchdogMaxFlushes = 3;
+    /// @}
+
+    /** @name Perf-sampling health */
+    /// @{
+    /** A window whose lost-record fraction exceeds this is bad... */
+    double lostRecordsFraction = 0.5;
+    /** ...and this many consecutive bad windows drop a rung. */
+    unsigned lostRecordsWindows = 5;
+    /** Windows with fewer records than this are not judged. */
+    std::uint64_t lostRecordsMinSamples = 16;
+    /// @}
+
+    bool operator==(const RobustnessConfig &) const = default;
+};
+
+} // namespace tmi
+
+#endif // TMI_RUNTIME_ROBUSTNESS_HH

@@ -5,8 +5,11 @@ namespace tmi
 
 namespace
 {
-/// Scheduler whose thread is currently executing; single host thread.
-SimScheduler *activeScheduler = nullptr;
+/// Scheduler whose thread is currently executing. thread_local so the
+/// sweep driver can run independent machines on concurrent host
+/// threads: each worker owns its machine's fibers end to end, and a
+/// fiber only ever resumes on the host thread that created it.
+thread_local SimScheduler *activeScheduler = nullptr;
 } // namespace
 
 SimThread::SimThread(ThreadId tid, std::string name, Func fn,
@@ -114,6 +117,10 @@ SimScheduler::run(Cycles max_cycles)
     while (true) {
         if (liveNonDaemonThreads() == 0) {
             outcome = RunOutcome::Completed;
+            break;
+        }
+        if (_abort && _abort->load(std::memory_order_relaxed)) {
+            outcome = RunOutcome::Timeout;
             break;
         }
         Cycles runner_up = 0;

@@ -18,6 +18,7 @@
 
 #include <ucontext.h>
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -122,6 +123,14 @@ class SimScheduler
     Cycles maxClock() const { return _maxClock; }
 
     /**
+     * Install a host-side cancellation token. When @p flag becomes
+     * true (set by another host thread, e.g. the sweep driver's
+     * timeout watchdog), run() stops at the next fiber switch and
+     * returns RunOutcome::Timeout. Pass nullptr to clear.
+     */
+    void setAbortFlag(const std::atomic<bool> *flag) { _abort = flag; }
+
+    /**
      * Charge @p cycles to the current thread and yield if its
      * quantum expired. This is the only way simulated time advances.
      */
@@ -179,6 +188,7 @@ class SimScheduler
     ucontext_t _schedCtx{};
     bool _running = false;
     Cycles _maxClock = 0;
+    const std::atomic<bool> *_abort = nullptr;
 
     stats::Scalar _statSwitches;
     stats::Scalar _statSpawns;

@@ -108,6 +108,53 @@ TEST(Laser, DeclinesRepairOnSyncHeavyMicrobenchmarks)
     EXPECT_FALSE(res.repairActive);
 }
 
+TEST(SheriffLadder, CloneFailureExhaustionDropsToPartialIsolation)
+{
+    // Every cloneAddressSpace call fails: each thread burns its full
+    // retry budget, stays plain, and the runtime lands on the
+    // partial-isolation rung -- but the program still finishes with
+    // correct results.
+    ExperimentConfig cfg =
+        cfgFor("histogramfs", Treatment::SheriffProtect, 2);
+    cfg.faults.emplace_back(faultpoint::memCloneFail,
+                            FaultSpec::always());
+    RunResult res = runExperiment(cfg);
+    EXPECT_TRUE(res.compatible);
+    EXPECT_EQ(res.ladderRung, "partial-isolation");
+    EXPECT_GE(res.t2pAborts, 1u);
+    EXPECT_EQ(res.faultFires, res.t2pAborts);
+}
+
+TEST(SheriffLadder, SingleCloneFailureIsRetriedAway)
+{
+    // One transient clone failure: the retry succeeds and isolation
+    // stays fully engaged.
+    ExperimentConfig cfg =
+        cfgFor("histogramfs", Treatment::SheriffProtect, 2);
+    cfg.faults.emplace_back(faultpoint::memCloneFail,
+                            FaultSpec::once());
+    RunResult res = runExperiment(cfg);
+    EXPECT_TRUE(res.compatible);
+    EXPECT_EQ(res.ladderRung, "full-isolation");
+    EXPECT_EQ(res.t2pAborts, 1u);
+}
+
+TEST(SheriffLadder, MonitorDissolvesUnprofitableIsolation)
+{
+    // "reverse" commits constantly (fine-grained locks over a big
+    // array), so isolation overhead dwarfs the merge benefit. The
+    // effectiveness monitor must dissolve -- and the dissolution must
+    // not lose buffered writes, even when threads are created while
+    // the dissolve is in flight.
+    ExperimentConfig cfg =
+        cfgFor("reverse", Treatment::SheriffProtect, 2);
+    cfg.monitor = 1;
+    RunResult res = runExperiment(cfg);
+    EXPECT_TRUE(res.compatible);
+    EXPECT_EQ(res.ladderRung, "dissolved");
+    EXPECT_GE(res.unrepairs, 1u);
+}
+
 TEST(Table1, TmiOverheadLowWithoutContention)
 {
     RunResult base =
