@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Host-performance harness: how many host nanoseconds one simulated
+ * memory operation costs, per workload x treatment.
+ *
+ * This is the simulator's own perf trajectory (the simulated-cycle
+ * outputs are pinned by the cycle-identity golden; this file tracks
+ * the *host* cost of producing them). Emits BENCH_hostperf.json:
+ * each cell carries the current measurement plus the pre-refactor
+ * baseline compiled in from hostperf_baseline.inc, so the speedup is
+ * recorded in the same file.
+ *
+ * Usage:
+ *   host_perf [--out FILE] [--record]
+ *
+ * --record prints hostperf_baseline.inc rows for the current build
+ * (run it before a hot-path change to re-baseline). Scale comes from
+ * TMI_BENCH_SCALE (default 4); reps from TMI_HOSTPERF_REPS (default
+ * 3, best-of). Baselines only apply when the scale matches the one
+ * they were recorded at.
+ */
+
+#include <chrono>
+#include <cstring>
+#include <string>
+
+#include "bench_util.hh"
+
+namespace
+{
+
+using namespace tmi;
+using namespace tmi::bench;
+
+struct BaselineRow
+{
+    const char *workload;
+    const char *treatment;
+    double nsPerMemOp;
+};
+
+/** Recorded with --record at the commit immediately before the
+ *  AccessPipeline refactor (scale 4, threads 4, best of 3). */
+constexpr BaselineRow baselineRows[] = {
+#include "hostperf_baseline.inc"
+};
+
+/** Scale the baseline table was recorded at. */
+constexpr std::uint64_t baselineScale = 4;
+
+struct Cell
+{
+    const char *workload;
+    const char *treatment;
+};
+
+/** Access-heavy workloads x the treatments whose hot paths differ:
+ *  no hooks (pthreads), full Tmi (COW + CCC), LASER (interception). */
+constexpr Cell cells[] = {
+    {"histogramfs", "pthreads"},
+    {"histogramfs", "tmi-protect"},
+    {"histogramfs", "laser"},
+    {"lreg", "pthreads"},
+    {"lreg", "tmi-protect"},
+    {"lreg", "laser"},
+    {"streamcluster", "pthreads"},
+    {"streamcluster", "tmi-protect"},
+    {"streamcluster", "laser"},
+    {"lu-ncb", "pthreads"},
+    {"spinlockpool", "pthreads"},
+};
+
+double
+baselineFor(const Cell &cell, std::uint64_t scale)
+{
+    if (scale != baselineScale)
+        return 0.0;
+    for (const BaselineRow &row : baselineRows) {
+        if (std::strcmp(row.workload, cell.workload) == 0 &&
+            std::strcmp(row.treatment, cell.treatment) == 0) {
+            return row.nsPerMemOp;
+        }
+    }
+    return 0.0;
+}
+
+unsigned
+reps()
+{
+    if (const char *env = std::getenv("TMI_HOSTPERF_REPS")) {
+        long v = std::strtol(env, nullptr, 10);
+        if (v >= 1)
+            return static_cast<unsigned>(v);
+    }
+    return 3;
+}
+
+struct Measurement
+{
+    std::uint64_t memOps = 0;
+    std::uint64_t hostNs = 0; //!< best (minimum) across reps
+};
+
+Measurement
+measure(const Cell &cell, std::uint64_t scale, unsigned n)
+{
+    const Treatment *t = tryParseTreatment(cell.treatment);
+    if (!t)
+        fatal("host_perf: unknown treatment %s", cell.treatment);
+    ExperimentConfig cfg = benchConfig(cell.workload, *t, scale);
+
+    Measurement m;
+    for (unsigned rep = 0; rep < n; ++rep) {
+        auto t0 = std::chrono::steady_clock::now();
+        RunResult res = runExperiment(cfg);
+        auto t1 = std::chrono::steady_clock::now();
+        if (!res.compatible) {
+            fatal("host_perf: %s x %s did not complete correctly",
+                  cell.workload, cell.treatment);
+        }
+        auto ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                t1 - t0)
+                .count());
+        if (rep == 0 || ns < m.hostNs)
+            m.hostNs = ns;
+        m.memOps = res.memOps;
+    }
+    return m;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *out_path = "BENCH_hostperf.json";
+    bool record = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--record") == 0) {
+            record = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--out FILE] [--record]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    std::uint64_t scale = benchScale(4);
+    unsigned n = reps();
+
+    header("host-ns per simulated mem-op");
+    std::printf("%-14s %-14s %12s %10s %10s %8s\n", "workload",
+                "treatment", "mem-ops", "ns/op", "Mop/s", "speedup");
+
+    std::FILE *out = std::fopen(out_path, "w");
+    if (!out)
+        fatal("host_perf: cannot open %s", out_path);
+    std::fprintf(out,
+                 "{\n  \"schema\": \"tmi-hostperf-v1\",\n"
+                 "  \"scale\": %llu,\n  \"threads\": 4,\n"
+                 "  \"reps\": %u,\n  \"baseline_scale\": %llu,\n"
+                 "  \"cells\": [\n",
+                 static_cast<unsigned long long>(scale), n,
+                 static_cast<unsigned long long>(baselineScale));
+
+    bool first = true;
+    for (const Cell &cell : cells) {
+        Measurement m = measure(cell, scale, n);
+        double ns_per_op =
+            static_cast<double>(m.hostNs) /
+            static_cast<double>(m.memOps ? m.memOps : 1);
+        double mops_per_sec =
+            static_cast<double>(m.memOps) * 1e9 /
+            static_cast<double>(m.hostNs ? m.hostNs : 1);
+        double base = baselineFor(cell, scale);
+        double speedup = base > 0.0 ? base / ns_per_op : 0.0;
+
+        char speedup_str[16] = "-";
+        if (speedup > 0.0)
+            std::snprintf(speedup_str, sizeof(speedup_str), "%.2fx",
+                          speedup);
+        std::printf("%-14s %-14s %12llu %10.2f %10.2f %8s\n",
+                    cell.workload, cell.treatment,
+                    static_cast<unsigned long long>(m.memOps),
+                    ns_per_op, mops_per_sec / 1e6, speedup_str);
+        if (record) {
+            std::printf("{\"%s\", \"%s\", %.4f},\n", cell.workload,
+                        cell.treatment, ns_per_op);
+        }
+
+        std::fprintf(out,
+                     "%s    {\"workload\": \"%s\", "
+                     "\"treatment\": \"%s\", \"mem_ops\": %llu, "
+                     "\"host_ns\": %llu, \"ns_per_memop\": %.4f, "
+                     "\"memops_per_sec\": %.1f, "
+                     "\"baseline_ns_per_memop\": %.4f, "
+                     "\"speedup_vs_baseline\": %.4f}",
+                     first ? "" : ",\n", cell.workload,
+                     cell.treatment,
+                     static_cast<unsigned long long>(m.memOps),
+                     static_cast<unsigned long long>(m.hostNs),
+                     ns_per_op, mops_per_sec, base, speedup);
+        first = false;
+    }
+    std::fprintf(out, "\n  ]\n}\n");
+    std::fclose(out);
+    std::printf("\nwrote %s\n", out_path);
+    return 0;
+}

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_hostperf.json emitted by bench/host_perf.
+
+The host-perf harness (bench/host_perf.cc) writes one JSON document
+with a cell per workload x treatment: host nanoseconds per simulated
+memory operation, plus the compiled-in pre-refactor baseline and the
+resulting speedup. This checker keeps that contract honest from the
+outside -- CI runs the benchmark at smoke scale and pipes the file
+through here, so schema drift (a renamed key, a cell that silently
+stopped measuring, an inconsistent derived value) fails the build
+instead of someone's dashboard.
+
+Usage:
+    scripts/check_hostperf.py BENCH_hostperf.json
+    scripts/check_hostperf.py BENCH_hostperf.json --expect-cells 11
+    scripts/check_hostperf.py BENCH_hostperf.json \
+        --min-speedup 1.5 --min-cells 3
+
+--min-speedup requires at least --min-cells cells (default 1) with a
+recorded baseline to meet the given speedup; it only makes sense at
+the scale the baseline table was recorded at.
+
+Exit status is non-zero on any schema violation or unmet requirement.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "tmi-hostperf-v1"
+
+TOP_KEYS = ["schema", "scale", "threads", "reps", "baseline_scale",
+            "cells"]
+
+CELL_KEYS = ["workload", "treatment", "mem_ops", "host_ns",
+             "ns_per_memop", "memops_per_sec",
+             "baseline_ns_per_memop", "speedup_vs_baseline"]
+
+
+def check(path, expect_cells, min_speedup, min_cells):
+    errors = []
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        return ["%s: unreadable or not JSON: %s" % (path, exc)]
+
+    for key in TOP_KEYS:
+        if key not in doc:
+            errors.append("missing top-level key %r" % key)
+    if errors:
+        return errors
+    if doc["schema"] != SCHEMA:
+        return ["schema %r, want %r" % (doc["schema"], SCHEMA)]
+    for key in ("scale", "threads", "reps", "baseline_scale"):
+        if not isinstance(doc[key], int) or doc[key] < 1:
+            errors.append("%s=%r is not a positive integer"
+                          % (key, doc[key]))
+
+    cells = doc["cells"]
+    if not isinstance(cells, list) or not cells:
+        return errors + ["cells is not a non-empty list"]
+    if expect_cells is not None and len(cells) != expect_cells:
+        errors.append("%d cells, want %d" % (len(cells), expect_cells))
+
+    seen = set()
+    fast_enough = 0
+    baselined = 0
+    for i, cell in enumerate(cells):
+        where = "cell %d" % i
+        if not isinstance(cell, dict):
+            errors.append("%s: not an object" % where)
+            continue
+        missing = [k for k in CELL_KEYS if k not in cell]
+        if missing:
+            errors.append("%s: missing keys %s" % (where, missing))
+            continue
+        where = "cell %d (%s x %s)" % (i, cell["workload"],
+                                       cell["treatment"])
+        key = (cell["workload"], cell["treatment"])
+        if key in seen:
+            errors.append("%s: duplicate cell" % where)
+        seen.add(key)
+        for k in ("mem_ops", "host_ns"):
+            if not isinstance(cell[k], int) or cell[k] <= 0:
+                errors.append("%s: %s=%r is not a positive integer"
+                              % (where, k, cell[k]))
+                break
+        else:
+            ns = cell["host_ns"] / cell["mem_ops"]
+            if abs(ns - cell["ns_per_memop"]) > max(0.01, ns * 0.01):
+                errors.append("%s: ns_per_memop=%r inconsistent with "
+                              "host_ns/mem_ops=%.4f"
+                              % (where, cell["ns_per_memop"], ns))
+        base = cell["baseline_ns_per_memop"]
+        speedup = cell["speedup_vs_baseline"]
+        if base > 0:
+            baselined += 1
+            want = base / cell["ns_per_memop"]
+            if abs(speedup - want) > max(0.01, want * 0.01):
+                errors.append("%s: speedup=%r inconsistent with "
+                              "baseline/ns_per_memop=%.4f"
+                              % (where, speedup, want))
+            if min_speedup is not None and speedup >= min_speedup:
+                fast_enough += 1
+        elif speedup != 0:
+            errors.append("%s: speedup=%r without a baseline"
+                          % (where, speedup))
+
+    if min_speedup is not None:
+        if baselined == 0:
+            errors.append("--min-speedup given but no cell has a "
+                          "baseline (scale %r vs baseline_scale %r)"
+                          % (doc["scale"], doc["baseline_scale"]))
+        elif fast_enough < min_cells:
+            errors.append("only %d cells reach %.2fx, want >= %d"
+                          % (fast_enough, min_speedup, min_cells))
+    return errors
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("json", help="BENCH_hostperf.json to validate")
+    ap.add_argument("--expect-cells", type=int, default=None,
+                    help="require exactly this many cells")
+    ap.add_argument("--min-speedup", type=float, default=None,
+                    help="require cells to reach this speedup")
+    ap.add_argument("--min-cells", type=int, default=1,
+                    help="cells that must meet --min-speedup")
+    args = ap.parse_args()
+
+    errors = check(args.json, args.expect_cells, args.min_speedup,
+                   args.min_cells)
+    for err in errors:
+        print("check_hostperf: %s" % err, file=sys.stderr)
+    if not errors:
+        print("check_hostperf: %s ok" % args.json)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

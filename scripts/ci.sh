@@ -58,4 +58,18 @@ sweep_args=(--workloads histogramfs,spinlockpool
 python3 scripts/check_sweep.py "$sweep1" --expect-rows 8 --expect-ok
 cmp "$sweep1" "$sweep2"
 
+# Access-path smoke: the cycle-identity golden (simulated outputs are
+# byte-identical across hot-path changes; also run under ctest, pinned
+# here explicitly because the AccessPipeline depends on it) plus one
+# host-perf pass at smoke scale through the schema checker. Speedup
+# gating only applies at the baseline scale, so CI checks schema, not
+# throughput.
+echo "=== cycle-identity golden + host-perf smoke ==="
+./build/tests/integration_cycle_identity_test
+hostperf="$(mktemp -t tmi_hostperf.XXXXXX.json)"
+trap 'rm -f "$trace_out" "$sweep1" "$sweep2" "$hostperf"' EXIT
+TMI_BENCH_SCALE=1 TMI_HOSTPERF_REPS=1 \
+    ./build/bench/host_perf --out "$hostperf"
+python3 scripts/check_hostperf.py "$hostperf" --expect-cells 11
+
 echo "=== CI green ==="

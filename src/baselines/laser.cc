@@ -146,6 +146,8 @@ LaserRuntime::detectionLoop(ThreadApi &api)
         }
         for (VPage vpage : res.pagesToRepair)
             _repairedPages.insert(vpage);
+        // The store buffer just armed: un-snapshot interceptArmed.
+        _m.accessEpoch().bump();
     }
 }
 
@@ -230,6 +232,7 @@ LaserRuntime::unrepair(const char *reason)
     // a memory operation: no pages move, no twins exist, so unlike
     // Tmi's PTSB dissolution it carries no simulated commit cost.
     _repairedPages.clear();
+    _m.accessEpoch().bump();
     _regressStreak = 0;
     _windowsSinceRepair = 0;
     _windowsSinceUnrepair = 0;
@@ -254,6 +257,7 @@ LaserRuntime::degradeToDetectOnly(const char *reason)
     if (_trace)
         _trace->recordHere(obs::EventKind::LadderDrop, 1, 0, reason);
     _repairAllowed = false;
+    _m.accessEpoch().bump();
     ++_statLadderDrops;
 }
 

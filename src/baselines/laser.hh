@@ -76,6 +76,7 @@ class LaserRuntime : public RuntimeHooks
 
     bool interceptAccess(ThreadId tid, Addr va, bool is_write,
                          Cycles &cost) override;
+    bool interceptArmed() override { return !_repairedPages.empty(); }
     void onSyncAcquire(ThreadId tid) override;
     void onSyncRelease(ThreadId tid) override;
     void onAtomicOp(ThreadId tid, MemOrder order,

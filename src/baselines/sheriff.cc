@@ -297,6 +297,8 @@ SheriffRuntime::degradeTo(SheriffRung rung, const char *reason)
     }
     _rung = rung;
     ++_statLadderDrops;
+    // Rung changes alter hook behaviour: kill the access-path caches.
+    _m.accessEpoch().bump();
 }
 
 std::uint64_t

@@ -1,0 +1,12 @@
+#include "access_path.hh"
+
+namespace tmi
+{
+
+AccessPipeline::AccessPipeline(unsigned cores)
+    : _pcs(static_cast<std::size_t>(cores) * pcWays),
+      _frames(static_cast<std::size_t>(cores) * frameWays)
+{
+}
+
+} // namespace tmi

@@ -48,7 +48,7 @@ validateConfig(const MachineConfig &config,
 }
 
 Machine::Machine(const MachineConfig &config)
-    : _config(config), _mmu(config.pageShift),
+    : _config(config), _pipeline(config.cores), _mmu(config.pageShift),
       _heap("tmi_heap", _mmu.phys()),
       _internal("tmi_internal", _mmu.phys()), _heapBrk(heapBase),
       _internalBrk(internalBase), _sched(config.quantum),
@@ -66,6 +66,9 @@ Machine::Machine(const MachineConfig &config)
 
     for (unsigned c = 0; c < config.cores; ++c)
         _tlbs.emplace_back(config.tlb, config.pageShift);
+
+    // The access-path caches die whenever a mapping mutates.
+    _mmu.setEpoch(&_pipeline.epoch());
 
     // Fault injection: arm the configured points and wire the
     // injector into the layers that can fail. With no armed points
@@ -192,6 +195,8 @@ Machine::spawnCommon(std::string name,
         if (_hooks)
             _hooks->onThreadCreate(tid);
     }
+    _pipeline.setBypassPrivate(tid,
+                               _hooks && _hooks->bypassPrivate(tid));
     return tid;
 }
 
@@ -240,6 +245,22 @@ Machine::setThreadProcess(ThreadId tid, ProcessId pid)
 {
     TMI_ASSERT(tid < _threadProcess.size());
     _threadProcess[tid] = pid;
+    // T2P rebind: cached (pid, vpage) translations stay keyed by the
+    // old pid but the hook answers may shift with the rebind.
+    _pipeline.epoch().bump();
+}
+
+void
+Machine::setHooks(RuntimeHooks *hooks)
+{
+    _hooks = hooks;
+    _pipeline.epoch().bump();
+    // The bypass flags are push-updated, not epoch-checked, so a new
+    // runtime must recompute them for every thread spawned so far.
+    for (ThreadId tid = 0; tid < _threadProcess.size(); ++tid) {
+        _pipeline.setBypassPrivate(tid,
+                                   _hooks && _hooks->bypassPrivate(tid));
+    }
 }
 
 Rng &
@@ -336,40 +357,64 @@ Machine::faultCost() const
     return c;
 }
 
+void
+Machine::revalidatePipeline()
+{
+    _pipeline.revalidate(_hooks && _hooks->interceptArmed(),
+                         !_hooks || _hooks->atomicsBypassPrivate());
+}
+
 Addr
 Machine::accessPath(ThreadId tid, Addr pc, Addr va, bool is_write,
                     bool bypass_private)
 {
-    const InstrInfo &info = _instrs.lookup(pc);
-    TMI_ASSERT((info.kind == MemKind::Store) == is_write,
+    CoreId core = coreOf(tid);
+    AccessPipeline::CachedInstr info =
+        _pipeline.instr(core, pc, _instrs);
+    TMI_ASSERT(info.isStore == is_write,
                "instruction kind does not match access");
     ++_statMemOps;
 
-    CoreId core = coreOf(tid);
     ProcessId pid = _threadProcess[tid];
     Cycles lat = _tlbs[core].lookup(va);
 
+    if (_pipeline.stale())
+        revalidatePipeline();
+
     // LASER-style interception: the runtime services the access from
-    // its software store buffer, with no coherence traffic.
+    // its software store buffer, with no coherence traffic. While the
+    // snapshot says nothing is armed, the call would return false
+    // with no side effects, so it is skipped outright.
     Cycles intercept_cost = 0;
-    if (_hooks &&
+    if (_pipeline.interceptArmed() && _hooks &&
         _hooks->interceptAccess(tid, va, is_write, intercept_cost)) {
         _sched.advance(lat + intercept_cost);
         return sharedPaddr(pid, va);
     }
 
-    if (!bypass_private && _hooks && _hooks->bypassPrivate(tid))
+    if (!bypass_private && _pipeline.bypassPrivate(tid))
         bypass_private = true;
 
     Addr paddr;
     if (bypass_private) {
         paddr = sharedPaddr(pid, va);
     } else {
-        TranslateResult tr = _mmu.translate(pid, va, is_write);
-        paddr = tr.paddr;
-        if (tr.softFault)
-            lat += faultCost();
-        lat += tr.extraCost;
+        VPage vpage = va >> _mmu.pageShift();
+        Addr page_mask = _mmu.pageBytes() - 1;
+        Addr frame_base;
+        if (_pipeline.frameLookup(core, pid, vpage, frame_base)) {
+            paddr = frame_base | (va & page_mask);
+        } else {
+            TranslateResult tr = _mmu.translate(pid, va, is_write);
+            paddr = tr.paddr;
+            if (tr.softFault)
+                lat += faultCost();
+            lat += tr.extraCost;
+            if (tr.cacheable) {
+                _pipeline.frameInsert(core, pid, vpage,
+                                      tr.paddr & ~page_mask);
+            }
+        }
     }
 
     AccessContext ctx;
@@ -403,12 +448,28 @@ Machine::memOp(ThreadId tid, Addr pc, Addr va, bool is_write,
                std::uint64_t store_value, bool bypass_private)
 {
     Addr paddr = accessPath(tid, pc, va, is_write, bypass_private);
-    unsigned width = _instrs.lookup(pc).width;
+    unsigned width = _pipeline.instr(coreOf(tid), pc, _instrs).width;
     if (is_write) {
         writePhys(paddr, store_value, width);
         return 0;
     }
     return readPhys(paddr, width);
+}
+
+void
+Machine::memOpStream(ThreadId tid, Addr pc, Addr va,
+                     std::uint64_t count, Addr stride,
+                     std::uint64_t value, std::uint64_t value_step)
+{
+    // Width is immutable once a PC is defined, so it can be hoisted
+    // even though every accessPath below may yield.
+    unsigned width = _pipeline.instr(coreOf(tid), pc, _instrs).width;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        Addr paddr = accessPath(tid, pc, va, true, false);
+        writePhys(paddr, value, width);
+        va += stride;
+        value += value_step;
+    }
 }
 
 void
@@ -438,11 +499,20 @@ void
 Machine::bulkFill(ThreadId tid, Addr va, std::uint8_t byte,
                   std::size_t size)
 {
-    std::vector<std::uint8_t> chunk(
-        std::min<std::size_t>(size, smallPageBytes), byte);
+    if (_bulkScratch.size() <= tid)
+        _bulkScratch.resize(tid + 1);
+    std::vector<std::uint8_t> &chunk = _bulkScratch[tid];
+    std::size_t want = std::min<std::size_t>(size, smallPageBytes);
+    if (chunk.size() < want)
+        chunk.resize(want);
+    std::memset(chunk.data(), byte, want);
+    // Hold the heap buffer, not the vector: a concurrent bulkFill by
+    // a later tid can resize _bulkScratch across bulkWrite's yields,
+    // moving the inner vector objects (their buffers stay put).
+    const std::uint8_t *data = chunk.data();
     while (size > 0) {
-        std::size_t n = std::min(size, chunk.size());
-        bulkWrite(tid, va, chunk.data(), n);
+        std::size_t n = std::min(size, want);
+        bulkWrite(tid, va, data, n);
         va += n;
         size -= n;
     }
@@ -489,6 +559,9 @@ Machine::flushTlbs()
 {
     for (auto &tlb : _tlbs)
         tlb.flush();
+    // Callers flush because a mapping changed; kill the software
+    // translation cache too even if the mutation site forgot.
+    _pipeline.epoch().bump();
 }
 
 // ---------------------------------------------------------------------
@@ -500,8 +573,9 @@ Machine::atomicLoad(ThreadId tid, Addr pc, Addr va, MemOrder order)
     if (_hooks)
         _hooks->onAtomicOp(tid, order, false);
     ++_statAtomicOps;
-    bool bypass = !_hooks || _hooks->atomicsBypassPrivate();
-    return memOp(tid, pc, va, false, 0, bypass);
+    if (_pipeline.stale())
+        revalidatePipeline();
+    return memOp(tid, pc, va, false, 0, _pipeline.atomicsBypass());
 }
 
 void
@@ -511,8 +585,9 @@ Machine::atomicStore(ThreadId tid, Addr pc, Addr va, std::uint64_t v,
     if (_hooks)
         _hooks->onAtomicOp(tid, order, false);
     ++_statAtomicOps;
-    bool bypass = !_hooks || _hooks->atomicsBypassPrivate();
-    memOp(tid, pc, va, true, v, bypass);
+    if (_pipeline.stale())
+        revalidatePipeline();
+    memOp(tid, pc, va, true, v, _pipeline.atomicsBypass());
 }
 
 std::uint64_t
@@ -522,8 +597,10 @@ Machine::atomicFetchAdd(ThreadId tid, Addr pc, Addr va,
     if (_hooks)
         _hooks->onAtomicOp(tid, order, true);
     ++_statAtomicOps;
-    bool bypass = !_hooks || _hooks->atomicsBypassPrivate();
-    unsigned width = _instrs.lookup(pc).width;
+    if (_pipeline.stale())
+        revalidatePipeline();
+    bool bypass = _pipeline.atomicsBypass();
+    unsigned width = _pipeline.instr(coreOf(tid), pc, _instrs).width;
 
     // Charge one RFO write access; then perform the whole
     // read-modify-write on the resolved frame without yielding, so
@@ -541,8 +618,10 @@ Machine::atomicCas(ThreadId tid, Addr pc, Addr va, std::uint64_t expect,
     if (_hooks)
         _hooks->onAtomicOp(tid, order, true);
     ++_statAtomicOps;
-    bool bypass = !_hooks || _hooks->atomicsBypassPrivate();
-    unsigned width = _instrs.lookup(pc).width;
+    if (_pipeline.stale())
+        revalidatePipeline();
+    bool bypass = _pipeline.atomicsBypass();
+    unsigned width = _pipeline.instr(coreOf(tid), pc, _instrs).width;
 
     Addr paddr = accessPath(tid, pc, va, true, bypass);
     std::uint64_t old = readPhys(paddr, width);
@@ -559,16 +638,23 @@ void
 Machine::regionEnter(ThreadId tid, RegionKind kind)
 {
     _sched.advance(_config.regionCallbackCost);
-    if (_hooks)
+    if (_hooks) {
         _hooks->onRegionEnter(tid, kind);
+        // Region transitions are the only frequent event that can
+        // change bypassPrivate's answer; push the new value instead
+        // of churning the epoch.
+        _pipeline.setBypassPrivate(tid, _hooks->bypassPrivate(tid));
+    }
 }
 
 void
 Machine::regionExit(ThreadId tid)
 {
     _sched.advance(_config.regionCallbackCost);
-    if (_hooks)
+    if (_hooks) {
         _hooks->onRegionExit(tid);
+        _pipeline.setBypassPrivate(tid, _hooks->bypassPrivate(tid));
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -26,6 +26,7 @@
 #include "cache/cache_sim.hh"
 #include "cache/tlb.hh"
 #include "common/rng.hh"
+#include "core/access_path.hh"
 #include "detect/address_map.hh"
 #include "fault/fault_injector.hh"
 #include "isa/instructions.hh"
@@ -193,6 +194,15 @@ class RuntimeHooks
         return false;
     }
 
+    /**
+     * Could interceptAccess currently return true for any access?
+     * While false, the machine skips the per-access interceptAccess
+     * call entirely (the AccessPipeline snapshots this answer); the
+     * runtime must bump the machine's access epoch whenever the
+     * answer changes.
+     */
+    virtual bool interceptArmed() { return false; }
+
     /** The heap grew: pages [first, first+n) are now mapped. */
     virtual void onHeapGrow(VPage first, std::uint64_t n)
     {
@@ -234,8 +244,18 @@ class Machine : public MemoryProvider
     /// @}
 
     /** Install the runtime (may be null for plain pthreads). */
-    void setHooks(RuntimeHooks *hooks) { _hooks = hooks; }
+    void setHooks(RuntimeHooks *hooks);
     RuntimeHooks *hooks() { return _hooks; }
+
+    /**
+     * The access-path invalidation epoch. Any component whose state
+     * change can alter a translation or a snapshotted hook answer
+     * must bump() this (see common/epoch.hh for the full rule).
+     */
+    InvalidationEpoch &accessEpoch() { return _pipeline.epoch(); }
+
+    /** The cached access fast path (tests and diagnostics). */
+    AccessPipeline &pipeline() { return _pipeline; }
 
     /** Sink for sampled accesses under instrumentation mode. */
     using AccessSampler = std::function<void(const AccessContext &)>;
@@ -319,6 +339,18 @@ class Machine : public MemoryProvider
      */
     std::uint64_t memOp(ThreadId tid, Addr pc, Addr va, bool is_write,
                         std::uint64_t store_value, bool bypass_private);
+
+    /**
+     * A run of @p count stores at the same @p pc, walking @p va by
+     * @p stride and storing value, value + value_step, ... Issues the
+     * exact access stream of the equivalent memOp loop (every element
+     * takes the full per-access path and may yield), but inside one
+     * Machine call so workload inner loops avoid per-element
+     * dispatch.
+     */
+    void memOpStream(ThreadId tid, Addr pc, Addr va,
+                     std::uint64_t count, Addr stride,
+                     std::uint64_t value, std::uint64_t value_step);
 
     /**
      * Bulk initialization write: page-chunked, charged at line
@@ -419,6 +451,8 @@ class Machine : public MemoryProvider
      */
     Addr accessPath(ThreadId tid, Addr pc, Addr va, bool is_write,
                     bool bypass_private);
+    /** Re-query the hooks for the pipeline's snapshot (epoch miss). */
+    void revalidatePipeline();
     /** Physical address of @p va through the always-shared mapping. */
     Addr sharedPaddr(ProcessId pid, Addr va) const;
     ThreadId spawnCommon(std::string name,
@@ -428,6 +462,7 @@ class Machine : public MemoryProvider
     Addr syncAddr(ThreadId tid, Addr va);
 
     MachineConfig _config;
+    AccessPipeline _pipeline;
     Mmu _mmu;
     ShmRegion _heap;
     ShmRegion _internal;
@@ -449,6 +484,10 @@ class Machine : public MemoryProvider
     std::uint64_t _accessSampleCounter = 0;
     std::vector<ProcessId> _threadProcess;
     std::vector<std::unique_ptr<Rng>> _threadRngs;
+    /** Per-thread bulkFill scratch: bulkWrite yields between page
+     *  chunks, so a shared buffer could be refilled with another
+     *  thread's byte mid-copy. */
+    std::vector<std::vector<std::uint8_t>> _bulkScratch;
     std::vector<ThreadId> _appThreads;
     std::unordered_map<ThreadId, std::vector<ThreadId>> _joiners;
     std::unordered_map<Addr, Addr> _syncRedirect;
@@ -493,6 +532,17 @@ class ThreadApi
     store(Addr pc, Addr va, std::uint64_t value)
     {
         _machine.memOp(_tid, pc, va, true, value, false);
+    }
+
+    /** @p count stores at @p pc, va walking by @p stride, values
+     *  value, value + value_step, ... -- one Machine call issuing
+     *  the identical access stream to the equivalent store() loop. */
+    void
+    storeStream(Addr pc, Addr va, std::uint64_t count, Addr stride,
+                std::uint64_t value = 0, std::uint64_t value_step = 0)
+    {
+        _machine.memOpStream(_tid, pc, va, count, stride, value,
+                             value_step);
     }
     /// @}
 

@@ -37,6 +37,7 @@ Mmu::cloneAddressSpace(ProcessId src)
         dst.install(vpage, copy);
     }
     ++_statClones;
+    bumpEpoch();
     return pid;
 }
 
@@ -69,6 +70,7 @@ Mmu::mapShared(ProcessId pid, Addr vbase, ShmRegion &region,
         entry.kind = MapKind::SharedRW;
         as.install(base + i, entry);
     }
+    bumpEpoch();
 }
 
 void
@@ -81,6 +83,7 @@ Mmu::protectPrivateCow(ProcessId pid, VPage vpage)
     entry->kind = MapKind::PrivateCow;
     entry->privateFrame = invalidPPage;
     ++_statProtects;
+    bumpEpoch();
 }
 
 void
@@ -96,6 +99,7 @@ Mmu::unprotect(ProcessId pid, VPage vpage)
     }
     entry->kind = MapKind::SharedRW;
     ++_statUnprotects;
+    bumpEpoch();
 }
 
 bool
@@ -114,6 +118,7 @@ Mmu::dropPrivateFrame(ProcessId pid, VPage vpage)
         _phys.freeFrame(entry->privateFrame);
         entry->privateFrame = invalidPPage;
     }
+    bumpEpoch();
 }
 
 PageEntry &
@@ -137,6 +142,7 @@ Mmu::abandonCow(ProcessId pid, VPage vpage, PageEntry &entry)
     entry.kind = MapKind::SharedRW;
     entry.privateFrame = invalidPPage;
     ++_statCowAborts;
+    bumpEpoch();
     if (_cowAbortCallback)
         _cowAbortCallback(pid, vpage);
 }
@@ -185,6 +191,10 @@ Mmu::translate(ProcessId pid, Addr vaddr, bool is_write)
         }
     }
     Addr off = vaddr & (pageBytes() - 1);
+    // The page is touched by now; SharedRW means no future access can
+    // fault or diverge, so the translation is safe to cache until the
+    // next epoch bump.
+    res.cacheable = entry.kind == MapKind::SharedRW;
     res.paddr = (entry.activeFrame() << pageShift()) | off;
     return res;
 }

@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/epoch.hh"
 #include "mem/address_space.hh"
 
 namespace tmi
@@ -37,6 +38,10 @@ struct TranslateResult
     bool cowFault = false;   //!< write hit a PrivateCow page
     bool cowAborted = false; //!< COW failed; page reverted to SharedRW
     Cycles extraCost = 0;    //!< cost reported by the COW callback
+    /** True when the page ended this translation touched and
+     *  SharedRW: for such pages translate() is pure (no faults, no
+     *  stats, no RNG), so the AccessPipeline may cache the frame. */
+    bool cacheable = false;
 };
 
 /** What the COW-fault callback did. */
@@ -144,6 +149,14 @@ class Mmu
     /** Wire the fault injector (null disables injection). */
     void setFaultInjector(FaultInjector *faults) { _faults = faults; }
 
+    /**
+     * Wire the access-path invalidation epoch (null disables). Every
+     * mapping mutation -- protect/unprotect, COW service or abort,
+     * private-frame drop, clone, mapShared -- bumps it so cached
+     * translations die before they can go stale.
+     */
+    void setEpoch(InvalidationEpoch *epoch) { _epoch = epoch; }
+
     /** Wire the trace recorder: serviced COW faults emit CowFault
      *  events (null disables). */
     void setTrace(obs::TraceRecorder *trace) { _trace = trace; }
@@ -197,12 +210,20 @@ class Mmu
     /** Revert @p entry to SharedRW after an unserviceable COW fault. */
     void abandonCow(ProcessId pid, VPage vpage, PageEntry &entry);
 
+    void
+    bumpEpoch()
+    {
+        if (_epoch)
+            _epoch->bump();
+    }
+
     PhysicalMemory _phys;
     std::vector<std::unique_ptr<AddressSpace>> _spaces;
     CowCallback _cowCallback;
     CowAbortCallback _cowAbortCallback;
     FaultInjector *_faults = nullptr;
     obs::TraceRecorder *_trace = nullptr;
+    InvalidationEpoch *_epoch = nullptr;
 
     stats::Scalar _statSoftFaults;
     stats::Scalar _statCowFaults;

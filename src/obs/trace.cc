@@ -35,6 +35,8 @@ eventKindName(EventKind kind)
         return "repair.unrepair";
       case EventKind::LadderDrop:
         return "ladder.drop";
+      case EventKind::LadderRecover:
+        return "ladder.recover";
       case EventKind::FaultFire:
         return "fault.fire";
       case EventKind::AnalysisWindow:

@@ -61,6 +61,7 @@ namespace tmi::obs
  *  - PageProtect:    a0 = vpage
  *  - Unrepair:       a0 = un-repair ordinal, detail = reason
  *  - LadderDrop:     a0 = from rung, a1 = to rung, detail = reason
+ *  - LadderRecover:  a0 = from rung, a1 = to rung, detail = reason
  *  - FaultFire:      a0 = fire ordinal for that point,
  *                    detail = fault-point name
  *  - AnalysisWindow: a0 = records drained, a1 = pages nominated
@@ -81,12 +82,13 @@ enum class EventKind : std::uint8_t
     PageProtect,
     Unrepair,
     LadderDrop,
+    LadderRecover,
     FaultFire,
     AnalysisWindow,
     AllocFallback,
 };
 
-inline constexpr unsigned numEventKinds = 16;
+inline constexpr unsigned numEventKinds = 17;
 
 /** Dotted event name for exporters ("t2p.rollback", "ladder.drop"). */
 const char *eventKindName(EventKind kind);

@@ -52,6 +52,17 @@ struct RobustnessConfig
     unsigned maxUnrepairs = 2;
     /// @}
 
+    /** @name Ladder recovery (RecoverUp) */
+    /// @{
+    /** Consecutive clean monitor windows on a degraded rung before
+     *  climbing one rung back toward the configured mode, resetting
+     *  the failure budgets. 0 disables recovery (drops are
+     *  permanent, the pre-RecoverUp behaviour). A window is clean
+     *  when nothing fired: no rung drop, un-repair, watchdog flush,
+     *  regressed-effectiveness window, or lossy perf window. */
+    unsigned recoverUpWindows = 0;
+    /// @}
+
     /** @name PTSB livelock watchdog (cholesky, Figure 12) */
     /// @{
     bool watchdogEnabled = true;

@@ -370,6 +370,7 @@ TmiRuntime::unrepair(const char *reason)
     _watchdogFires = 0;
     ++_unrepairs;
     ++_statUnrepairs;
+    _dirtyWindow = true;
     if (_trace) {
         _trace->recordHere(obs::EventKind::Unrepair, _unrepairs, 0,
                            reason);
@@ -397,6 +398,48 @@ TmiRuntime::degradeTo(TmiMode mode, const char *reason)
     }
     _rung = mode;
     ++_statLadderDrops;
+    _dirtyWindow = true;
+    _cleanWindows = 0;
+    // Rung changes alter hook behaviour: kill the access-path caches.
+    _m.accessEpoch().bump();
+}
+
+void
+TmiRuntime::maybeRecoverUp()
+{
+    const RobustnessConfig &rc = _cfg.robust;
+    bool dirty = _dirtyWindow;
+    _dirtyWindow = false;
+    if (rc.recoverUpWindows == 0)
+        return;
+    if (static_cast<int>(_rung) >= static_cast<int>(_cfg.mode))
+        return; // not degraded; nothing to recover
+    if (dirty) {
+        _cleanWindows = 0;
+        return;
+    }
+    if (++_cleanWindows < rc.recoverUpWindows)
+        return;
+    _cleanWindows = 0;
+    TmiMode from = _rung;
+    _rung = static_cast<TmiMode>(static_cast<int>(_rung) + 1);
+    // A recovered rung starts with fresh failure budgets; otherwise
+    // the first post-recovery hiccup would instantly re-drop.
+    _unrepairs = 0;
+    _watchdogFires = 0;
+    _regressStreak = 0;
+    _lossStreak = 0;
+    ++_statLadderRecovers;
+    warn("tmi: recovering %s -> %s after %u clean windows",
+         tmiModeName(from), tmiModeName(_rung), rc.recoverUpWindows);
+    if (_trace) {
+        _trace->recordHere(obs::EventKind::LadderRecover,
+                           static_cast<std::uint64_t>(from),
+                           static_cast<std::uint64_t>(_rung),
+                           "clean-window streak");
+    }
+    // Re-armed hooks change access behaviour: kill the caches.
+    _m.accessEpoch().bump();
 }
 
 void
@@ -416,10 +459,12 @@ TmiRuntime::checkPerfHealth(Cycles window)
     double frac =
         static_cast<double>(d_lost) /
         static_cast<double>(d_lost + d_kept);
-    if (frac > rc.lostRecordsFraction)
+    if (frac > rc.lostRecordsFraction) {
         ++_lossStreak;
-    else
+        _dirtyWindow = true;
+    } else {
         _lossStreak = 0;
+    }
     if (_lossStreak < rc.lostRecordsWindows)
         return;
     _lossStreak = 0;
@@ -481,6 +526,8 @@ TmiRuntime::updateEffectiveness(Cycles window)
         static_cast<double>(overhead) >
             benefit * rc.regressFactor;
     _regressStreak = regressed ? _regressStreak + 1 : 0;
+    if (regressed)
+        _dirtyWindow = true;
     if (_regressStreak >= rc.regressWindows) {
         _m.sched().advance(
             unrepair("repair overhead dwarfs its HITM benefit"));
@@ -522,6 +569,7 @@ TmiRuntime::runWatchdog(Cycles window)
         return;
     ++_watchdogFires;
     ++_statWatchdogFlushes;
+    _dirtyWindow = true;
     warn("tmi: watchdog force-committed stalled PTSB(s), fire %u "
          "of %u",
          _watchdogFires, rc.watchdogMaxFlushes);
@@ -552,6 +600,9 @@ TmiRuntime::detectionLoop(ThreadApi &api)
             // redirection (which need no thread) keep working.
             records.clear();
             m.perf().drainAll(records);
+            // Floor windows are trivially clean (nothing can fire);
+            // RecoverUp is the only way off the floor.
+            maybeRecoverUp();
             continue;
         }
 
@@ -573,6 +624,7 @@ TmiRuntime::detectionLoop(ThreadApi &api)
         checkPerfHealth(window);
         updateEffectiveness(window);
         runWatchdog(window);
+        maybeRecoverUp();
 
         if (_rung != TmiMode::DetectAndRepair)
             continue;
@@ -664,6 +716,8 @@ TmiRuntime::regStats(stats::StatGroup &group)
                     "watchdog force-commits of stalled PTSBs");
     group.addScalar("ladderDrops", &_statLadderDrops,
                     "degradation-ladder transitions");
+    group.addScalar("ladderRecovers", &_statLadderRecovers,
+                    "rungs climbed back by the RecoverUp policy");
     group.addScalar("cowFallbacks", &_statCowFallbacks,
                     "COW faults degraded to shared writes");
     _detector.regStats(group);

@@ -190,6 +190,13 @@ class TmiRuntime : public RuntimeHooks
     {
         return static_cast<std::uint64_t>(_statLadderDrops.value());
     }
+
+    /** Rungs climbed back by the RecoverUp policy. */
+    std::uint64_t ladderRecovers() const
+    {
+        return static_cast<std::uint64_t>(
+            _statLadderRecovers.value());
+    }
     /// @}
 
     /** Register stats under @p group. */
@@ -246,6 +253,14 @@ class TmiRuntime : public RuntimeHooks
     /** Force-commit PTSBs stuck with old dirty twins (livelock). */
     void runWatchdog(Cycles window);
 
+    /**
+     * RecoverUp: after robust.recoverUpWindows consecutive clean
+     * windows on a degraded rung, climb one rung back toward the
+     * configured mode and reset the failure budgets. Called once per
+     * analysis window, after all the health checks have judged it.
+     */
+    void maybeRecoverUp();
+
     Machine &_m;
     TmiConfig _cfg;
     /** The machine's recorder, or null when tracing is off. */
@@ -284,6 +299,10 @@ class TmiRuntime : public RuntimeHooks
     std::unordered_map<ProcessId, PtsbWatch> _watch;
     unsigned _watchdogFires = 0;
 
+    // RecoverUp state.
+    unsigned _cleanWindows = 0; //!< consecutive clean windows
+    bool _dirtyWindow = false;  //!< health event hit this window
+
     stats::Scalar _statConversions;
     stats::Scalar _statPageProtections;
     stats::Scalar _statSyncRedirects;
@@ -292,6 +311,7 @@ class TmiRuntime : public RuntimeHooks
     stats::Scalar _statUnrepairs;
     stats::Scalar _statWatchdogFlushes;
     stats::Scalar _statLadderDrops;
+    stats::Scalar _statLadderRecovers;
     stats::Scalar _statCowFallbacks;
 };
 

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Minimal stackful-fiber context switching.
+ *
+ * glibc's swapcontext performs a rt_sigprocmask syscall on every
+ * switch to save the signal mask. The simulator switches fibers every
+ * few simulated accesses (the scheduler quantum is tens of cycles),
+ * so that syscall dominated host time. Simulated threads never touch
+ * signal masks, so on x86-64 ELF targets we switch with a handful of
+ * instructions instead: save the callee-saved registers and the FP
+ * control state, swap stack pointers, restore, return. Other targets
+ * fall back to ucontext.
+ *
+ * The choice of mechanism cannot affect simulated results: it changes
+ * how a switch is performed, never when one happens.
+ */
+
+#ifndef TMI_SCHED_FIBER_HH
+#define TMI_SCHED_FIBER_HH
+
+#include <cstddef>
+
+#if defined(__x86_64__) && defined(__ELF__) && !defined(TMI_FORCE_UCONTEXT)
+#define TMI_FAST_FIBERS 1
+#else
+#define TMI_FAST_FIBERS 0
+#include <ucontext.h>
+#endif
+
+namespace tmi
+{
+
+/** One suspended fiber: everything needed to resume it. */
+struct FiberContext
+{
+#if TMI_FAST_FIBERS
+    /** Stack pointer below the saved register frame. */
+    void *sp = nullptr;
+#else
+    ucontext_t ctx{};
+#endif
+};
+
+/** Fiber entry point. Must never return. */
+using FiberEntry = void (*)(void *arg);
+
+/**
+ * Prepare @p ctx so the first switch into it runs entry(arg) on the
+ * given stack.
+ */
+void fiberInit(FiberContext &ctx, void *stack_base,
+               std::size_t stack_bytes, FiberEntry entry, void *arg);
+
+/** Suspend the current fiber into @p from and resume @p to. */
+void fiberSwitch(FiberContext &from, FiberContext &to);
+
+} // namespace tmi
+
+#endif // TMI_SCHED_FIBER_HH

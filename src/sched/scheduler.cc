@@ -36,16 +36,11 @@ SimScheduler::spawn(std::string name, SimThread::Func fn, bool daemon)
     if (_current)
         thread->_clock = _current->_clock;
 
-    getcontext(&thread->_ctx);
-    thread->_ctx.uc_stack.ss_sp = thread->_stack.get();
-    thread->_ctx.uc_stack.ss_size = thread->_stackBytes;
-    thread->_ctx.uc_link = nullptr;
-    auto ptr = reinterpret_cast<std::uintptr_t>(thread.get());
-    makecontext(&thread->_ctx,
-                reinterpret_cast<void (*)()>(&SimScheduler::trampoline),
-                2, static_cast<unsigned>(ptr >> 32),
-                static_cast<unsigned>(ptr & 0xffffffffu));
+    fiberInit(thread->_ctx, thread->_stack.get(), thread->_stackBytes,
+              &SimScheduler::trampoline, thread.get());
 
+    if (!daemon)
+        ++_liveNonDaemon;
     _threads.push_back(std::move(thread));
     ++_statSpawns;
     // A freshly spawned thread is runnable at the creator's clock:
@@ -59,11 +54,9 @@ SimScheduler::spawn(std::string name, SimThread::Func fn, bool daemon)
 }
 
 void
-SimScheduler::trampoline(unsigned hi, unsigned lo)
+SimScheduler::trampoline(void *arg)
 {
-    auto ptr = (static_cast<std::uintptr_t>(hi) << 32) |
-               static_cast<std::uintptr_t>(lo);
-    auto *thread = reinterpret_cast<SimThread *>(ptr);
+    auto *thread = static_cast<SimThread *>(arg);
     thread->_fn();
     activeScheduler->finishCurrent();
     panic("resumed a finished SimThread");
@@ -115,7 +108,7 @@ SimScheduler::run(Cycles max_cycles)
 
     RunOutcome outcome = RunOutcome::Completed;
     while (true) {
-        if (liveNonDaemonThreads() == 0) {
+        if (_liveNonDaemon == 0) {
             outcome = RunOutcome::Completed;
             break;
         }
@@ -139,7 +132,7 @@ SimScheduler::run(Cycles max_cycles)
         next->_state = SimThread::State::Running;
         _current = next;
         ++_statSwitches;
-        swapcontext(&_schedCtx, &next->_ctx);
+        fiberSwitch(_schedCtx, next->_ctx);
         _current = nullptr;
     }
 
@@ -167,7 +160,7 @@ SimScheduler::yield()
     TMI_ASSERT(_current);
     SimThread *self = _current;
     self->_state = SimThread::State::Ready;
-    swapcontext(&self->_ctx, &_schedCtx);
+    fiberSwitch(self->_ctx, _schedCtx);
 }
 
 void
@@ -182,7 +175,7 @@ SimScheduler::block()
         return;
     }
     self->_state = SimThread::State::Blocked;
-    swapcontext(&self->_ctx, &_schedCtx);
+    fiberSwitch(self->_ctx, _schedCtx);
 }
 
 void
@@ -237,9 +230,13 @@ SimScheduler::finishCurrent()
 {
     SimThread *self = _current;
     self->_state = SimThread::State::Finished;
+    if (!self->_daemon) {
+        TMI_ASSERT(_liveNonDaemon > 0);
+        --_liveNonDaemon;
+    }
     // The stack stays allocated until the scheduler is destroyed: we
     // are still executing on it until the swap below completes.
-    swapcontext(&self->_ctx, &_schedCtx);
+    fiberSwitch(self->_ctx, _schedCtx);
 }
 
 void

@@ -16,8 +16,6 @@
 #ifndef TMI_SCHED_SCHEDULER_HH
 #define TMI_SCHED_SCHEDULER_HH
 
-#include <ucontext.h>
-
 #include <atomic>
 #include <functional>
 #include <memory>
@@ -27,6 +25,7 @@
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "sched/fiber.hh"
 
 namespace tmi
 {
@@ -79,7 +78,7 @@ class SimThread
     Cycles _wakeClock = 0;
     std::unique_ptr<std::uint8_t[]> _stack;
     std::size_t _stackBytes;
-    ucontext_t _ctx{};
+    FiberContext _ctx;
 };
 
 /** Min-clock-first cooperative scheduler over SimThreads. */
@@ -177,7 +176,7 @@ class SimScheduler
     void regStats(stats::StatGroup &group);
 
   private:
-    static void trampoline(unsigned hi, unsigned lo);
+    static void trampoline(void *arg);
     void finishCurrent();
     void switchToScheduler();
     SimThread *pickNext(Cycles &runner_up) const;
@@ -185,8 +184,11 @@ class SimScheduler
     Cycles _quantum;
     std::vector<std::unique_ptr<SimThread>> _threads;
     SimThread *_current = nullptr;
-    ucontext_t _schedCtx{};
+    FiberContext _schedCtx;
     bool _running = false;
+    /** Cached liveNonDaemonThreads(): the run loop consults it every
+     *  switch, and the O(threads) scan showed up in host profiles. */
+    std::size_t _liveNonDaemon = 0;
     Cycles _maxClock = 0;
     const std::atomic<bool> *_abort = nullptr;
 

@@ -80,10 +80,16 @@ GenericKernelWorkload::worker(ThreadApi &api, unsigned t)
                 api.load(_pcRead, part + rng.below(part_slots) * 8);
             }
         }
-        for (unsigned w = 0; w < _spec.partitionWrites; ++w) {
-            Addr slot = part + (wr_cursor % part_slots) * 8;
-            ++wr_cursor;
-            api.store(_pcWrite, slot, i);
+        // Sequential partition stores, split only where the cursor
+        // wraps so each run is a fixed-stride storeStream.
+        for (std::uint64_t w = 0; w < _spec.partitionWrites;) {
+            std::uint64_t start = wr_cursor % part_slots;
+            std::uint64_t n =
+                std::min<std::uint64_t>(_spec.partitionWrites - w,
+                                        part_slots - start);
+            api.storeStream(_pcWrite, part + start * 8, n, 8, i, 0);
+            wr_cursor += n;
+            w += n;
         }
         for (unsigned w = 0; w < _spec.hotWrites; ++w) {
             std::uint64_t idx = rng.below(hot_slots);

@@ -124,9 +124,11 @@ HistogramWorkload::worker(ThreadApi &api, unsigned t)
             }
         }
         // Emit this chunk's intermediate results into the private
-        // staging buffer (map-reduce style), then synchronize.
-        for (std::uint64_t s = 0; s < stage_slots; s += 8)
-            api.store(_pcStageStore, my_stage + s * 8, c + s);
+        // staging buffer (map-reduce style), then synchronize. One
+        // store per 8th slot, value c + s: a fixed-stride run the
+        // bulk-issue helper can drive.
+        api.storeStream(_pcStageStore, my_stage, (stage_slots + 7) / 8,
+                        64, c, 8);
         api.barrierWait(_barrier);
     }
 }

@@ -19,11 +19,15 @@ namespace
 /** Same shape as the TmiFixture in tmi_runtime_test.cc. */
 struct RobustFixture : public ::testing::Test
 {
-    RobustFixture()
+    RobustFixture() { makeMachine(false); }
+
+    void
+    makeMachine(bool trace)
     {
         MachineConfig mc;
         mc.shmBackedHeap = true;
         mc.tmiModifiedAllocator = true;
+        mc.trace.enabled = trace;
         machine = std::make_unique<Machine>(mc);
         pc_load = machine->instructions().define("t.load",
                                                  MemKind::Load, 8);
@@ -226,6 +230,53 @@ TEST_F(RobustFixture, WatchdogBreaksPtsbLivelock)
     EXPECT_EQ(fsTotal(), 120000u);
     EXPECT_EQ(machine->peekShared(flag_a, 8), 1u);
     EXPECT_EQ(machine->peekShared(flag_b, 8), 1u);
+}
+
+TEST_F(RobustFixture, RecoverUpReArmsRepairAfterCleanWindows)
+{
+    makeMachine(true); // trace on: the recovery event is asserted
+    TmiConfig cfg;
+    cfg.robust.recoverUpWindows = 2;
+    TmiRuntime &tmi = makeRuntime(cfg);
+    // The clone fails exactly as often as one engage's retry budget:
+    // the first engage exhausts its attempts and drops the ladder,
+    // then the fault is spent and the machine is healthy again.
+    FaultSpec clone_fail;
+    clone_fail.probability = 1.0;
+    clone_fail.maxFires = 4;
+    machine->faults().arm(faultpoint::memCloneFail, clone_fail);
+    runFalseSharing(200000);
+    EXPECT_EQ(tmi.t2pAborts(), 4u);
+    EXPECT_GE(tmi.ladderDrops(), 1u);
+    // Two clean windows later the ladder climbed back and the next
+    // engage succeeded.
+    EXPECT_GE(tmi.ladderRecovers(), 1u);
+    EXPECT_EQ(tmi.rung(), TmiMode::DetectAndRepair);
+    EXPECT_TRUE(tmi.repairActive());
+    // The climb reset the rollback budget.
+    EXPECT_EQ(tmi.unrepairs(), 0u);
+    std::size_t recover_events = 0;
+    for (const auto &ev : machine->trace()->drain())
+        recover_events += ev.kind == obs::EventKind::LadderRecover;
+    EXPECT_EQ(recover_events, tmi.ladderRecovers());
+    EXPECT_EQ(fsTotal(), 400000u);
+}
+
+TEST_F(RobustFixture, RecoverUpDisabledKeepsDropPermanent)
+{
+    TmiRuntime &tmi = makeRuntime(); // recoverUpWindows = 0
+    FaultSpec clone_fail;
+    clone_fail.probability = 1.0;
+    clone_fail.maxFires = 4;
+    machine->faults().arm(faultpoint::memCloneFail, clone_fail);
+    runFalseSharing(200000);
+    // The faults were spent long before the run ended, but with
+    // recovery disabled the drop is permanent.
+    EXPECT_EQ(machine->faults().fires(faultpoint::memCloneFail), 4u);
+    EXPECT_EQ(tmi.rung(), TmiMode::DetectOnly);
+    EXPECT_FALSE(tmi.repairActive());
+    EXPECT_EQ(tmi.ladderRecovers(), 0u);
+    EXPECT_EQ(fsTotal(), 400000u);
 }
 
 TEST_F(RobustFixture, FaultFreeRunIsUnperturbed)
