@@ -10,7 +10,7 @@
  *       [--threads 4] [--scale 4] [--period 100] [--huge-pages]
  *       [--threshold 100000] [--interval 2000000] [--seed 42]
  *       [--budget N] [--glibc-allocator] [--stats]
- *       [--list-workloads] [--list-treatments]
+ *       [--list-workloads] [--list-treatments] [--list-fault-points]
  *       [--fault point:SPEC]... [--fault-seed N]
  *       [--watchdog 0|1] [--monitor 0|1] [--watchdog-timeout N]
  *       [--trace] [--ring N] [--trace-out run.json]
@@ -93,6 +93,13 @@ parseFault(const std::string &arg)
                  "p=0.5, every=N\n",
                  spec.c_str());
     std::exit(2);
+}
+
+void
+listFaultPoints()
+{
+    for (const FaultPointInfo &info : FaultInjector::allPoints())
+        std::printf("%-26s %s\n", info.name, info.summary);
 }
 
 void
@@ -198,6 +205,9 @@ main(int argc, char **argv)
             return 0;
         } else if (arg == "--list-treatments") {
             listTreatments();
+            return 0;
+        } else if (arg == "--list-fault-points") {
+            listFaultPoints();
             return 0;
         } else {
             std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());

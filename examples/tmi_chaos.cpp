@@ -1,0 +1,366 @@
+/**
+ * @file
+ * tmi-chaos: the chaos campaign front-end.
+ *
+ * Three subcommands over src/chaos/:
+ *
+ *   tmi-chaos campaign --workloads histogramfs,lreg \
+ *       --treatments tmi-protect,sheriff-protect \
+ *       [--schedules N] [--campaign-seed S] [--threads N]
+ *       [--scale N] [--budget N] [--min-events N] [--max-events N]
+ *       [--watchdog 0|1] [--monitor 0|1] [--recover-up N]
+ *       [--no-minimize] [--minimize-limit N] [--repro-dir DIR]
+ *       [--workers N] [--retries N] [--timeout-ms N]
+ *       [--csv out.csv] [--no-progress] [--verbose]
+ *
+ *     Runs goldens + N generated fault schedules per cell, streams
+ *     the campaign CSV (schema: scripts/check_chaos.py), and shrinks
+ *     failures to minimal reproducer spec files under --repro-dir.
+ *     The CSV is byte-identical for any --workers value.
+ *
+ *   tmi-chaos replay <spec-file> [--expect-fail] [--verbose]
+ *
+ *     Re-runs one schedule spec (fresh golden + faulted run) and
+ *     prints the verdict. Exit 0 when the verdict is pass -- or,
+ *     with --expect-fail, when the oracle (still) catches the
+ *     failure, which is how CI pins checked-in regression
+ *     reproducers.
+ *
+ *   tmi-chaos minimize <spec-file> [--out file.spec] [--verbose]
+ *
+ *     Delta-debugs a failing spec to a 1-minimal reproducer.
+ *
+ *   tmi-chaos --list-fault-points
+ *
+ *     The full fault-point registry schedules are drawn from.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "chaos/campaign.hh"
+#include "common/logging.hh"
+#include "fault/fault_injector.hh"
+
+using namespace tmi;
+
+namespace
+{
+
+[[noreturn]] void
+usageError(const std::string &message)
+{
+    std::fprintf(stderr, "tmi-chaos: %s\n", message.c_str());
+    std::exit(2);
+}
+
+void
+listFaultPoints()
+{
+    for (const FaultPointInfo &info : FaultInjector::allPoints())
+        std::printf("%-26s %s\n", info.name, info.summary);
+}
+
+chaos::ChaosSchedule
+loadSchedule(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        usageError("cannot read spec file '" + path + "'");
+    std::ostringstream text;
+    text << is.rdbuf();
+    chaos::ChaosSchedule sched;
+    std::string err;
+    if (!chaos::parseScheduleSpec(text.str(), sched, err))
+        usageError(path + ": " + err);
+    return sched;
+}
+
+void
+printRow(const chaos::CampaignRow &row)
+{
+    std::fprintf(stderr,
+                 "[chaos] %s: %s (%s) rung=%s fires=%llu "
+                 "slowdown=%.2f\n",
+                 row.schedule.summary().c_str(),
+                 chaos::verdictName(row.judgement.verdict),
+                 row.judgement.reason.c_str(),
+                 row.run.ladderRung.empty()
+                     ? "-"
+                     : row.run.ladderRung.c_str(),
+                 static_cast<unsigned long long>(row.run.faultFires),
+                 row.slowdown);
+}
+
+int
+cmdCampaign(int argc, char **argv)
+{
+    chaos::CampaignSpec spec;
+    driver::RunnerOptions opts;
+    opts.workers = 1;
+    opts.progress = true;
+    std::string csv_path;
+    std::string repro_dir;
+    bool verbose = false;
+
+    for (int i = 0; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usageError("'" + arg + "' needs a value");
+            return argv[++i];
+        };
+        std::string err;
+        if (arg == "--workloads") {
+            spec.workloads = driver::splitList(next());
+        } else if (arg == "--treatments") {
+            if (!driver::parseTreatmentList(next(), spec.treatments,
+                                            err)) {
+                usageError(err);
+            }
+        } else if (arg == "--schedules") {
+            spec.schedules = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--campaign-seed") {
+            spec.campaignSeed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--threads") {
+            spec.base.run.threads =
+                static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--scale") {
+            spec.base.run.scale = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--budget") {
+            spec.base.run.budget = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--watchdog") {
+            spec.base.run.watchdog = std::atoi(next());
+        } else if (arg == "--monitor") {
+            spec.base.run.monitor = std::atoi(next());
+        } else if (arg == "--recover-up") {
+            spec.base.tmi.robust.recoverUpWindows =
+                static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--min-events") {
+            spec.generator.minEvents =
+                static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--max-events") {
+            spec.generator.maxEvents =
+                static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--no-minimize") {
+            spec.minimizeFailures = false;
+        } else if (arg == "--minimize-limit") {
+            spec.minimizeLimit =
+                static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--buggy-dissolve") {
+            spec.sheriffBuggyDissolve = true;
+        } else if (arg == "--repro-dir") {
+            repro_dir = next();
+        } else if (arg == "--workers") {
+            opts.workers = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--retries") {
+            opts.maxAttempts =
+                static_cast<unsigned>(std::atoi(next())) + 1;
+        } else if (arg == "--timeout-ms") {
+            opts.jobTimeout = std::chrono::milliseconds(
+                std::strtoll(next(), nullptr, 10));
+        } else if (arg == "--csv") {
+            csv_path = next();
+        } else if (arg == "--no-progress") {
+            opts.progress = false;
+        } else if (arg == "--verbose") {
+            verbose = true;
+        } else {
+            usageError("unknown campaign flag '" + arg + "'");
+        }
+    }
+    if (!verbose)
+        setLogLevel(LogLevel::Quiet);
+
+    std::vector<ConfigError> errors = spec.validate();
+    if (!errors.empty()) {
+        for (const ConfigError &e : errors) {
+            std::fprintf(stderr, "tmi-chaos: %s: %s\n",
+                         e.field.c_str(), e.message.c_str());
+        }
+        return 2;
+    }
+
+    std::ofstream csv_file;
+    if (!csv_path.empty()) {
+        csv_file.open(csv_path);
+        if (!csv_file)
+            usageError("cannot write '" + csv_path + "'");
+    }
+    std::ostream &os = csv_path.empty() ? std::cout : csv_file;
+    if (csv_path.empty())
+        opts.progress = false;
+
+    driver::Runner runner(opts);
+    chaos::CampaignOutcome outcome =
+        chaos::runCampaign(spec, runner, &os);
+
+    for (const auto &repro : outcome.reproducers) {
+        std::fprintf(
+            stderr,
+            "[chaos] minimized %s: %zu -> %zu events in %u probes "
+            "(%s)\n",
+            repro.minimized.summary().c_str(),
+            repro.stats.originalEvents, repro.stats.minimizedEvents,
+            repro.stats.probes,
+            chaos::verdictName(repro.judgement.verdict));
+        if (repro_dir.empty())
+            continue;
+        std::filesystem::create_directories(repro_dir);
+        std::ostringstream name;
+        name << repro_dir << "/repro_" << repro.minimized.workload
+             << "_" << treatmentName(repro.minimized.treatment)
+             << "_" << repro.minimized.index << ".spec";
+        std::ofstream rf(name.str());
+        if (!rf) {
+            std::fprintf(stderr, "tmi-chaos: cannot write '%s'\n",
+                         name.str().c_str());
+            continue;
+        }
+        rf << chaos::writeScheduleSpec(repro.minimized);
+        std::fprintf(stderr, "[chaos] wrote %s\n",
+                     name.str().c_str());
+    }
+
+    std::fprintf(stderr,
+                 "[chaos] campaign seed %llu: %llu judged, %llu "
+                 "passed, %llu failed, %llu skipped\n",
+                 static_cast<unsigned long long>(spec.campaignSeed),
+                 static_cast<unsigned long long>(outcome.judged),
+                 static_cast<unsigned long long>(outcome.passed),
+                 static_cast<unsigned long long>(outcome.failed),
+                 static_cast<unsigned long long>(outcome.skipped));
+    return outcome.allPassed() ? 0 : 1;
+}
+
+int
+cmdReplay(int argc, char **argv)
+{
+    std::string path;
+    bool expect_fail = false;
+    bool verbose = false;
+    for (int i = 0; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--expect-fail")
+            expect_fail = true;
+        else if (arg == "--verbose")
+            verbose = true;
+        else if (!arg.empty() && arg[0] != '-')
+            path = arg;
+        else
+            usageError("unknown replay flag '" + arg + "'");
+    }
+    if (path.empty())
+        usageError("replay needs a spec file");
+    if (!verbose)
+        setLogLevel(LogLevel::Quiet);
+
+    chaos::CampaignRow row =
+        chaos::replaySchedule(loadSchedule(path));
+    printRow(row);
+    bool caught = row.judgement.fail();
+    if (expect_fail) {
+        std::fprintf(stderr,
+                     caught ? "[chaos] reproducer still caught\n"
+                            : "[chaos] reproducer NO LONGER FAILS\n");
+        return caught ? 0 : 1;
+    }
+    return row.judgement.pass() ? 0 : 1;
+}
+
+int
+cmdMinimize(int argc, char **argv)
+{
+    std::string path;
+    std::string out_path;
+    bool verbose = false;
+    for (int i = 0; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usageError("'" + arg + "' needs a value");
+            return argv[++i];
+        };
+        if (arg == "--out")
+            out_path = next();
+        else if (arg == "--verbose")
+            verbose = true;
+        else if (!arg.empty() && arg[0] != '-')
+            path = arg;
+        else
+            usageError("unknown minimize flag '" + arg + "'");
+    }
+    if (path.empty())
+        usageError("minimize needs a spec file");
+    if (!verbose)
+        setLogLevel(LogLevel::Quiet);
+
+    chaos::ChaosSchedule sched = loadSchedule(path);
+    Config base;
+    Config golden_cfg = sched.toConfig(base);
+    golden_cfg.run.faults.clear();
+    RunResult golden = runExperiment(golden_cfg);
+
+    if (!chaos::judge(golden, runExperiment(sched.toConfig(base)))
+             .fail()) {
+        std::fprintf(stderr,
+                     "tmi-chaos: '%s' does not fail; nothing to "
+                     "minimize\n",
+                     path.c_str());
+        return 1;
+    }
+
+    chaos::MinimizeStats stats;
+    chaos::ChaosSchedule minimal = chaos::minimizeSchedule(
+        sched,
+        [&](const chaos::ChaosSchedule &s) {
+            return chaos::judge(golden,
+                                runExperiment(s.toConfig(base)))
+                .fail();
+        },
+        &stats);
+
+    std::fprintf(stderr,
+                 "[chaos] minimized %zu -> %zu events in %u probes\n",
+                 stats.originalEvents, stats.minimizedEvents,
+                 stats.probes);
+    std::string text = chaos::writeScheduleSpec(minimal);
+    if (out_path.empty()) {
+        std::fputs(text.c_str(), stdout);
+    } else {
+        std::ofstream os(out_path);
+        if (!os)
+            usageError("cannot write '" + out_path + "'");
+        os << text;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usageError("need a subcommand: campaign, replay, minimize, "
+                   "or --list-fault-points");
+    }
+    std::string cmd = argv[1];
+    if (cmd == "--list-fault-points") {
+        listFaultPoints();
+        return 0;
+    }
+    if (cmd == "campaign")
+        return cmdCampaign(argc - 2, argv + 2);
+    if (cmd == "replay")
+        return cmdReplay(argc - 2, argv + 2);
+    if (cmd == "minimize")
+        return cmdMinimize(argc - 2, argv + 2);
+    usageError("unknown subcommand '" + cmd + "'");
+}

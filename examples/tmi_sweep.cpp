@@ -18,7 +18,7 @@
  *       [--threads N] [--budget N] [--spec sweep.conf] \
  *       [--workers N] [--retries N] [--timeout-ms N] \
  *       [--csv out.csv] [--no-progress] [--dry-run] [--verbose] \
- *       [--list-workloads] [--list-treatments]
+ *       [--list-workloads] [--list-treatments] [--list-fault-points]
  *
  * --spec reads the same keys from a key=value file (one per line,
  * #-comments); flags apply after the file, appending to axis lists.
@@ -144,6 +144,12 @@ main(int argc, char **argv)
         } else if (arg == "--list-treatments") {
             for (Treatment t : allTreatments())
                 std::printf("%s\n", treatmentName(t));
+            return 0;
+        } else if (arg == "--list-fault-points") {
+            for (const FaultPointInfo &info :
+                 FaultInjector::allPoints()) {
+                std::printf("%-26s %s\n", info.name, info.summary);
+            }
             return 0;
         } else {
             usageError("unknown flag '" + arg + "'");

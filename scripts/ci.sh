@@ -58,6 +58,26 @@ sweep_args=(--workloads histogramfs,spinlockpool
 python3 scripts/check_sweep.py "$sweep1" --expect-rows 8 --expect-ok
 cmp "$sweep1" "$sweep2"
 
+# Chaos smoke: a fixed-seed campaign over two cells must produce a
+# schema-valid CSV, byte-identical on 1 and 4 workers, with every
+# surviving run converging to its cell's fault-free digest; and the
+# checked-in minimized reproducer for the Sheriff dissolve-ordering
+# regression must still be caught by the differential oracle.
+echo "=== tmi-chaos campaign smoke + golden reproducer replay ==="
+chaos1="$(mktemp -t tmi_chaos1.XXXXXX.csv)"
+chaos4="$(mktemp -t tmi_chaos4.XXXXXX.csv)"
+trap 'rm -f "$trace_out" "$sweep1" "$sweep2" "$chaos1" "$chaos4"' EXIT
+chaos_args=(--workloads histogramfs --treatments tmi-protect,laser
+    --schedules 8 --campaign-seed 2026 --no-minimize --no-progress)
+./build/examples/tmi-chaos campaign "${chaos_args[@]}" \
+    --workers 1 --csv "$chaos1"
+./build/examples/tmi-chaos campaign "${chaos_args[@]}" \
+    --workers 4 --csv "$chaos4"
+python3 scripts/check_chaos.py "$chaos1" --expect-rows 18 --expect-pass
+cmp "$chaos1" "$chaos4"
+./build/examples/tmi-chaos replay \
+    goldens/chaos/sheriff_dissolve_order.spec --expect-fail
+
 # Access-path smoke: the cycle-identity golden (simulated outputs are
 # byte-identical across hot-path changes; also run under ctest, pinned
 # here explicitly because the AccessPipeline depends on it) plus one
@@ -67,7 +87,8 @@ cmp "$sweep1" "$sweep2"
 echo "=== cycle-identity golden + host-perf smoke ==="
 ./build/tests/integration_cycle_identity_test
 hostperf="$(mktemp -t tmi_hostperf.XXXXXX.json)"
-trap 'rm -f "$trace_out" "$sweep1" "$sweep2" "$hostperf"' EXIT
+trap 'rm -f "$trace_out" "$sweep1" "$sweep2" "$chaos1" "$chaos4" \
+    "$hostperf"' EXIT
 TMI_BENCH_SCALE=1 TMI_HOSTPERF_REPS=1 \
     ./build/bench/host_perf --out "$hostperf"
 python3 scripts/check_hostperf.py "$hostperf" --expect-cells 11

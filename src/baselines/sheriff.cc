@@ -19,7 +19,8 @@ sheriffRungName(SheriffRung rung)
 
 SheriffRuntime::SheriffRuntime(Machine &machine,
                                const SheriffConfig &config)
-    : _m(machine), _cfg(config), _trace(machine.trace())
+    : _m(machine), _cfg(config), _invariants(machine),
+      _trace(machine.trace())
 {
 }
 
@@ -262,6 +263,24 @@ SheriffRuntime::updateEffectiveness(Cycles window)
 void
 SheriffRuntime::dissolve(const char *reason)
 {
+    if (_cfg.buggyDissolveOrder) {
+        // TEST-ONLY: the pre-fix ordering. Paying the dissolution
+        // cost first yields this fiber while the rung still reads
+        // FullIsolation; a thread spawned in that window is converted
+        // and its PTSB never commits again (lost writes). Kept behind
+        // the flag so the chaos oracle's regression test can prove it
+        // catches exactly this bug.
+        Cycles cost = 0;
+        for (auto &[pid, ptsb] : _ptsbs) {
+            (void)pid;
+            cost += ptsb->dissolve();
+        }
+        if (_m.sched().current())
+            _m.sched().advance(cost);
+        degradeTo(SheriffRung::Dissolved, reason);
+        finishDissolve(reason);
+        return;
+    }
     // Drop the rung BEFORE paying the dissolution cost: advance()
     // yields this fiber, and a thread created during that window
     // must see Dissolved and stay plain -- converting it would leave
@@ -272,15 +291,26 @@ SheriffRuntime::dissolve(const char *reason)
         (void)pid;
         cost += ptsb->dissolve();
     }
+    finishDissolve(reason);
+    if (_m.sched().current())
+        _m.sched().advance(cost);
+}
+
+void
+SheriffRuntime::finishDissolve(const char *reason)
+{
     _m.flushTlbs();
+    for (const auto &[pid, ptsb] : _ptsbs) {
+        (void)pid;
+        _invariants.afterDissolve("sheriff dissolve", *ptsb);
+    }
+    _invariants.afterUnrepair("sheriff dissolve");
     _watch.clear();
     _regressStreak = 0;
     ++_statUnrepairs;
     if (_trace)
         _trace->recordHere(obs::EventKind::Unrepair, 1, 0, reason);
     warn("sheriff: isolation dissolved (%s)", reason);
-    if (_m.sched().current())
-        _m.sched().advance(cost);
 }
 
 void
@@ -340,6 +370,7 @@ SheriffRuntime::regStats(stats::StatGroup &group)
                     "degradation-ladder transitions");
     group.addScalar("cowFallbacks", &_statCowFallbacks,
                     "COW faults degraded to shared writes");
+    _invariants.regStats(group);
 }
 
 } // namespace tmi

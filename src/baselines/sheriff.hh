@@ -41,6 +41,7 @@
 
 #include "core/machine.hh"
 #include "ptsb/ptsb.hh"
+#include "runtime/invariants.hh"
 #include "runtime/robustness.hh"
 
 namespace tmi
@@ -71,6 +72,16 @@ struct SheriffConfig
                             .watchdogEnabled = false};
     /** Watchdog/monitor daemon cadence in simulated cycles. */
     Cycles monitorInterval = 2'000'000;
+
+    /**
+     * TEST-ONLY: reintroduce the dissolve-ordering bug this runtime
+     * originally shipped with (the dissolution cost was paid --
+     * yielding -- before the rung flipped, so a thread spawned inside
+     * that window was converted and its PTSB never committed again:
+     * lost writes). Exists so the chaos oracle's regression test can
+     * prove it catches the bug; never set it outside tests.
+     */
+    bool buggyDissolveOrder = false;
 };
 
 /** Threads-as-processes, PTSB-everywhere runtime. */
@@ -130,6 +141,9 @@ class SheriffRuntime : public RuntimeHooks
     {
         return static_cast<std::uint64_t>(_statLadderDrops.value());
     }
+
+    /** Ladder-transition invariant probe (chaos oracle). */
+    const InvariantProbe &invariants() const { return _invariants; }
     /// @}
 
     /** Register stats under @p group. */
@@ -150,11 +164,15 @@ class SheriffRuntime : public RuntimeHooks
     /** Tear every PTSB down and fall to the Dissolved rung. */
     void dissolve(const char *reason);
 
+    /** Shared dissolve bookkeeping + invariant probes. */
+    void finishDissolve(const char *reason);
+
     /** One-way ladder transition with logging. */
     void degradeTo(SheriffRung rung, const char *reason);
 
     Machine &_m;
     SheriffConfig _cfg;
+    InvariantProbe _invariants;
     /** The machine's recorder, or null when tracing is off. */
     obs::TraceRecorder *_trace;
     std::unordered_map<ProcessId, std::unique_ptr<Ptsb>> _ptsbs;

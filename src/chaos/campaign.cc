@@ -1,0 +1,358 @@
+#include "campaign.hh"
+
+#include <cstdio>
+#include <ostream>
+
+namespace tmi::chaos
+{
+
+namespace
+{
+
+/** The fault-free config for one (workload, treatment) cell. */
+Config
+cellConfig(const CampaignSpec &spec, const std::string &workload,
+           Treatment treatment)
+{
+    Config config = spec.base;
+    config.run.workload = workload;
+    config.run.treatment = treatment;
+    config.run.faults.clear();
+    config.run.sheriffBuggyDissolve = spec.sheriffBuggyDissolve;
+    return config;
+}
+
+/** The run-cell fields of a schedule, from a cell config. */
+void
+fillCell(ChaosSchedule &sched, const Config &config)
+{
+    sched.workload = config.run.workload;
+    sched.treatment = config.run.treatment;
+    sched.threads = config.run.threads;
+    sched.scale = config.run.scale;
+    sched.seed = config.run.seed;
+    sched.budget = config.run.budget;
+    sched.sheriffBuggyDissolve = config.run.sheriffBuggyDissolve;
+    // Capture the self-healing arming too: a reproducer spec must
+    // replay the exact ladder the run failed under, not whatever the
+    // replaying binary's base config happens to arm.
+    sched.watchdog = config.run.watchdog;
+    sched.monitor = config.run.monitor;
+    sched.watchdogTimeout = config.run.watchdogTimeout;
+    sched.analysisInterval = config.run.analysisInterval;
+    sched.recoverUpWindows = config.tmi.robust.recoverUpWindows;
+}
+
+/** CSV cells must not sprout new columns or rows. */
+std::string
+sanitize(std::string s)
+{
+    for (char &c : s) {
+        if (c == ',' || c == '\n' || c == '\r')
+            c = ';';
+    }
+    return s;
+}
+
+const char *
+outcomeStr(RunOutcome outcome)
+{
+    switch (outcome) {
+      case RunOutcome::Completed:
+        return "completed";
+      case RunOutcome::Timeout:
+        return "timeout";
+      case RunOutcome::Deadlock:
+        return "deadlock";
+    }
+    return "?";
+}
+
+/** Judge a delivered job against its golden (host failures too). */
+Judgement
+judgeJob(const driver::JobResult &jr, const RunResult &golden)
+{
+    switch (jr.status) {
+      case driver::JobStatus::Ok:
+        return judge(golden, jr.run);
+      case driver::JobStatus::TimedOut:
+        return {Verdict::Livelock, "killed by the host-side timeout"};
+      case driver::JobStatus::Failed:
+        return {Verdict::RunFailed,
+                jr.error.empty() ? "job failed" : jr.error};
+      case driver::JobStatus::Cancelled:
+        break;
+    }
+    return {Verdict::NoDigest, "cancelled before running"};
+}
+
+} // namespace
+
+std::vector<ConfigError>
+CampaignSpec::validate() const
+{
+    std::vector<ConfigError> errors;
+    if (workloads.empty()) {
+        errors.push_back({"CampaignSpec.workloads",
+                          "a campaign needs at least one workload"});
+    }
+    if (treatments.empty()) {
+        errors.push_back({"CampaignSpec.treatments",
+                          "a campaign needs at least one treatment"});
+    }
+    if (schedules == 0) {
+        errors.push_back({"CampaignSpec.schedules",
+                          "a campaign of zero schedules per cell "
+                          "judges nothing"});
+    }
+    if (generator.minEvents < 1 ||
+        generator.maxEvents < generator.minEvents) {
+        errors.push_back({"CampaignSpec.generator",
+                          "event range [min, max] is invalid"});
+    }
+    // Every cell must be a runnable config (bad workload names and
+    // template inconsistencies surface here, not mid-campaign).
+    for (const std::string &wl : workloads) {
+        for (Treatment t : treatments) {
+            for (ConfigError &e :
+                 cellConfig(*this, wl, t).validate()) {
+                e.field = wl + "/" + treatmentName(t) + ": " + e.field;
+                errors.push_back(std::move(e));
+            }
+        }
+    }
+    return errors;
+}
+
+std::uint64_t
+CampaignSpec::totalRuns() const
+{
+    std::uint64_t cells = static_cast<std::uint64_t>(
+                              workloads.size()) *
+                          treatments.size();
+    return cells * (1 + schedules);
+}
+
+const char *
+chaosCsvHeader()
+{
+    return "row_id,kind,workload,treatment,threads,scale,seed,"
+           "campaign_seed,schedule_index,fault_seed,events,status,"
+           "outcome,verdict,reason,rung,cycles,slowdown,fault_fires,"
+           "t2p_aborts,unrepairs,watchdog_flushes,ladder_drops,"
+           "ladder_recovers,invariant_violations,digest,"
+           "golden_digest";
+}
+
+std::string
+chaosCsvRow(const CampaignRow &row)
+{
+    bool ok = row.status == driver::JobStatus::Ok;
+    const RunResult &r = row.run;
+    char buf[768];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%llu,%s,%s,%s,%u,%llu,%llu,%llu,%llu,%llu,%zu,%s,%s,%s,%s,"
+        "%s,%llu,%.4f,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
+        "%016llx,%016llx",
+        static_cast<unsigned long long>(row.id),
+        row.golden ? "golden" : "chaos",
+        row.schedule.workload.c_str(),
+        treatmentName(row.schedule.treatment), row.schedule.threads,
+        static_cast<unsigned long long>(row.schedule.scale),
+        static_cast<unsigned long long>(row.schedule.seed),
+        static_cast<unsigned long long>(row.schedule.campaignSeed),
+        static_cast<unsigned long long>(row.schedule.index),
+        static_cast<unsigned long long>(row.schedule.faultSeed),
+        row.schedule.events.size(),
+        driver::jobStatusName(row.status),
+        ok ? outcomeStr(r.outcome) : "-",
+        row.golden ? "golden" : verdictName(row.judgement.verdict),
+        row.judgement.reason.empty()
+            ? "-"
+            : sanitize(row.judgement.reason).c_str(),
+        ok && !r.ladderRung.empty() ? r.ladderRung.c_str() : "-",
+        static_cast<unsigned long long>(ok ? r.cycles : 0),
+        row.slowdown,
+        static_cast<unsigned long long>(ok ? r.faultFires : 0),
+        static_cast<unsigned long long>(ok ? r.t2pAborts : 0),
+        static_cast<unsigned long long>(ok ? r.unrepairs : 0),
+        static_cast<unsigned long long>(ok ? r.watchdogFlushes : 0),
+        static_cast<unsigned long long>(ok ? r.ladderDrops : 0),
+        static_cast<unsigned long long>(ok ? r.ladderRecovers : 0),
+        static_cast<unsigned long long>(ok ? r.invariantViolations
+                                           : 0),
+        static_cast<unsigned long long>(ok ? r.resultDigest : 0),
+        static_cast<unsigned long long>(row.goldenDigest));
+    return buf;
+}
+
+CampaignOutcome
+runCampaign(const CampaignSpec &spec, driver::Runner &runner,
+            std::ostream *csv)
+{
+    CampaignOutcome out;
+    if (csv)
+        *csv << chaosCsvHeader() << "\n";
+
+    struct Cell
+    {
+        Config config;
+        RunResult golden;
+        bool goldenOk = false;
+    };
+    std::vector<Cell> cells;
+    for (const std::string &wl : spec.workloads) {
+        for (Treatment t : spec.treatments)
+            cells.push_back({cellConfig(spec, wl, t), {}, false});
+    }
+
+    // Phase 1: golden fault-free runs, one job per cell. Delivered
+    // in job-id (== cell) order, so the golden rows stream first and
+    // in a stable order for any worker count.
+    std::vector<driver::Job> golden_jobs;
+    for (const Cell &cell : cells)
+        golden_jobs.push_back({0, cell.config, "", 0.0});
+
+    std::uint64_t next_id = 0;
+    driver::FunctionSink golden_sink([&](const driver::JobResult &jr) {
+        Cell &cell = cells[jr.job.id];
+        CampaignRow row;
+        row.id = next_id++;
+        row.golden = true;
+        fillCell(row.schedule, cell.config);
+        row.schedule.campaignSeed = spec.campaignSeed;
+        row.status = jr.status;
+        row.run = jr.run;
+        if (jr.status == driver::JobStatus::Ok) {
+            cell.golden = jr.run;
+            cell.goldenOk = jr.run.outcome == RunOutcome::Completed;
+            row.goldenDigest = jr.run.resultDigest;
+            row.slowdown = 1.0;
+            row.judgement = {Verdict::Pass, "golden baseline"};
+        } else {
+            row.judgement = judgeJob(jr, {});
+        }
+        if (csv)
+            *csv << chaosCsvRow(row) << "\n";
+        out.rows.push_back(std::move(row));
+    });
+    runner.run(std::move(golden_jobs), &golden_sink);
+
+    // Phase 2: the chaos matrix. Schedule (cell c, draw k) is drawn
+    // from the campaign seed at global index c * schedules + k with
+    // the cell's fault-free makespan as the window horizon -- all
+    // pure functions of the spec, so the job list (and the CSV) is
+    // reproducible no matter how the runner interleaves execution.
+    ScheduleGenerator gen(spec.campaignSeed, spec.generator);
+    std::vector<driver::Job> chaos_jobs;
+    std::vector<ChaosSchedule> schedules;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        Cycles horizon =
+            cells[c].goldenOk ? cells[c].golden.cycles : 0;
+        for (std::uint64_t k = 0; k < spec.schedules; ++k) {
+            ChaosSchedule sched =
+                gen.generate(c * spec.schedules + k, horizon);
+            fillCell(sched, cells[c].config);
+            // fillCell resets provenance inputs to the cell's; keep
+            // the draw identity.
+            sched.campaignSeed = spec.campaignSeed;
+            chaos_jobs.push_back(
+                {0, sched.toConfig(spec.base), "chaos", 0.0});
+            schedules.push_back(std::move(sched));
+        }
+    }
+
+    driver::FunctionSink chaos_sink([&](const driver::JobResult &jr) {
+        const Cell &cell = cells[jr.job.id / spec.schedules];
+        CampaignRow row;
+        row.id = next_id++;
+        row.schedule = schedules[jr.job.id];
+        row.status = jr.status;
+        row.run = jr.run;
+        row.goldenDigest =
+            cell.goldenOk ? cell.golden.resultDigest : 0;
+        row.judgement = judgeJob(jr, cell.golden);
+        if (jr.status == driver::JobStatus::Ok && cell.goldenOk &&
+            cell.golden.cycles != 0) {
+            row.slowdown = static_cast<double>(jr.run.cycles) /
+                           static_cast<double>(cell.golden.cycles);
+        }
+        ++out.judged;
+        if (row.judgement.pass())
+            ++out.passed;
+        else if (row.judgement.fail())
+            ++out.failed;
+        else
+            ++out.skipped;
+        if (csv)
+            *csv << chaosCsvRow(row) << "\n";
+        out.rows.push_back(std::move(row));
+    });
+    runner.run(std::move(chaos_jobs), &chaos_sink);
+
+    // Phase 3: shrink the first few failures to 1-minimal
+    // reproducers. Probes replay synchronously (deterministically)
+    // in this thread; the CSV is already complete.
+    if (!spec.minimizeFailures)
+        return out;
+    unsigned minimized = 0;
+    for (const CampaignRow &row : out.rows) {
+        if (minimized >= spec.minimizeLimit)
+            break;
+        if (row.golden || !row.judgement.fail() ||
+            row.status != driver::JobStatus::Ok) {
+            continue;
+        }
+        std::size_t cell_index = 0;
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (cells[c].config.run.workload ==
+                    row.schedule.workload &&
+                cells[c].config.run.treatment ==
+                    row.schedule.treatment) {
+                cell_index = c;
+                break;
+            }
+        }
+        const Cell &cell = cells[cell_index];
+        auto still_fails = [&](const ChaosSchedule &s) {
+            RunResult probe = runExperiment(s.toConfig(spec.base));
+            return judge(cell.golden, probe).fail();
+        };
+        CampaignOutcome::Reproducer repro;
+        repro.minimized =
+            minimizeSchedule(row.schedule, still_fails, &repro.stats);
+        RunResult replay =
+            runExperiment(repro.minimized.toConfig(spec.base));
+        repro.judgement = judge(cell.golden, replay);
+        out.reproducers.push_back(std::move(repro));
+        ++minimized;
+    }
+    return out;
+}
+
+CampaignRow
+replaySchedule(const ChaosSchedule &schedule, const Config &base)
+{
+    Config faulted_cfg = schedule.toConfig(base);
+    Config golden_cfg = faulted_cfg;
+    golden_cfg.run.faults.clear();
+
+    CampaignRow row;
+    row.schedule = schedule;
+    row.status = driver::JobStatus::Ok;
+
+    RunResult golden = runExperiment(golden_cfg);
+    row.goldenDigest = golden.resultDigest;
+    row.run = runExperiment(faulted_cfg);
+    row.judgement = judge(golden, row.run);
+    if (golden.outcome == RunOutcome::Completed &&
+        golden.cycles != 0) {
+        row.slowdown = static_cast<double>(row.run.cycles) /
+                       static_cast<double>(golden.cycles);
+    }
+    annotateTrace(row.run, schedule, row.judgement);
+    return row;
+}
+
+} // namespace tmi::chaos

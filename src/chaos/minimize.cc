@@ -1,0 +1,102 @@
+#include "minimize.hh"
+
+#include <algorithm>
+
+namespace tmi::chaos
+{
+
+namespace
+{
+
+/** @p sched with only the events whose indices are in @p keep. */
+ChaosSchedule
+withEvents(const ChaosSchedule &sched,
+           const std::vector<std::size_t> &keep)
+{
+    ChaosSchedule out = sched;
+    out.events.clear();
+    for (std::size_t i : keep)
+        out.events.push_back(sched.events[i]);
+    return out;
+}
+
+} // namespace
+
+ChaosSchedule
+minimizeSchedule(const ChaosSchedule &failing,
+                 const std::function<bool(const ChaosSchedule &)>
+                     &stillFails,
+                 MinimizeStats *stats)
+{
+    MinimizeStats local;
+    MinimizeStats &st = stats ? *stats : local;
+    st.probes = 0;
+    st.originalEvents = failing.events.size();
+
+    // Working set: indices into failing.events still believed
+    // necessary. ddmin with granularity n: try each of the n chunks
+    // alone, then each complement; on a hit, restart with the
+    // smaller set, else refine granularity until chunks are single
+    // events.
+    std::vector<std::size_t> live(failing.events.size());
+    for (std::size_t i = 0; i < live.size(); ++i)
+        live[i] = i;
+
+    std::size_t granularity = 2;
+    while (live.size() >= 2) {
+        std::size_t n = std::min(granularity, live.size());
+        std::size_t chunk = (live.size() + n - 1) / n;
+        bool reduced = false;
+
+        // Subsets first: a single chunk that still fails is the
+        // biggest possible reduction.
+        for (std::size_t c = 0; c < n && !reduced; ++c) {
+            std::size_t begin = c * chunk;
+            std::size_t end = std::min(begin + chunk, live.size());
+            if (begin >= end)
+                continue;
+            std::vector<std::size_t> subset(live.begin() + begin,
+                                            live.begin() + end);
+            ++st.probes;
+            if (stillFails(withEvents(failing, subset))) {
+                live = std::move(subset);
+                granularity = 2;
+                reduced = true;
+            }
+        }
+
+        // Complements: drop one chunk at a time.
+        for (std::size_t c = 0; c < n && !reduced && n > 1; ++c) {
+            std::size_t begin = c * chunk;
+            std::size_t end = std::min(begin + chunk, live.size());
+            if (begin >= end)
+                continue;
+            std::vector<std::size_t> rest;
+            rest.reserve(live.size() - (end - begin));
+            rest.insert(rest.end(), live.begin(),
+                        live.begin() + begin);
+            rest.insert(rest.end(), live.begin() + end, live.end());
+            if (rest.empty())
+                continue;
+            ++st.probes;
+            if (stillFails(withEvents(failing, rest))) {
+                live = std::move(rest);
+                granularity = std::max<std::size_t>(granularity - 1,
+                                                    2);
+                reduced = true;
+            }
+        }
+
+        if (!reduced) {
+            if (n >= live.size())
+                break; // single events tried; 1-minimal
+            granularity = std::min(granularity * 2, live.size());
+        }
+    }
+
+    ChaosSchedule out = withEvents(failing, live);
+    st.minimizedEvents = out.events.size();
+    return out;
+}
+
+} // namespace tmi::chaos

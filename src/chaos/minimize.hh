@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Failing-schedule minimization (delta debugging).
+ *
+ * A campaign failure usually arrives wrapped in noise: the generated
+ * schedule armed four points with windows and bursts, but the bug
+ * needs only one of them. minimizeSchedule() is classic ddmin over
+ * the schedule's event list: it repeatedly re-runs the scenario with
+ * subsets (and complements of subsets) of the events, keeping any
+ * smaller schedule that still fails, until the result is 1-minimal --
+ * removing any single remaining event makes the failure disappear.
+ *
+ * The predicate is a callback so the minimizer is policy-free: the
+ * campaign passes "re-run through runExperiment and judge against
+ * the golden", tests pass synthetic predicates. Every probe the
+ * minimizer makes is deterministic (the scenario replays from its
+ * seeds), so minimization itself is reproducible.
+ */
+
+#ifndef TMI_CHAOS_MINIMIZE_HH
+#define TMI_CHAOS_MINIMIZE_HH
+
+#include <functional>
+
+#include "chaos/schedule.hh"
+
+namespace tmi::chaos
+{
+
+/** Bookkeeping from one minimization. */
+struct MinimizeStats
+{
+    /** Predicate evaluations (each one is a full re-run). */
+    unsigned probes = 0;
+    /** Events in the schedule before / after. */
+    std::size_t originalEvents = 0;
+    std::size_t minimizedEvents = 0;
+};
+
+/**
+ * Shrink @p failing to a 1-minimal reproducer.
+ *
+ * @p stillFails must return true when the given schedule reproduces
+ * the failure. It is assumed (and not re-checked) that
+ * stillFails(failing) is true; if it is not, the original schedule
+ * comes back unchanged once every probe returns false.
+ */
+ChaosSchedule
+minimizeSchedule(const ChaosSchedule &failing,
+                 const std::function<bool(const ChaosSchedule &)>
+                     &stillFails,
+                 MinimizeStats *stats = nullptr);
+
+} // namespace tmi::chaos
+
+#endif // TMI_CHAOS_MINIMIZE_HH

@@ -1,0 +1,121 @@
+#include "oracle.hh"
+
+#include <cstdio>
+
+#include "obs/trace.hh"
+
+namespace tmi::chaos
+{
+
+const char *
+verdictName(Verdict verdict)
+{
+    switch (verdict) {
+      case Verdict::DigestMismatch:
+        return "digest.mismatch";
+      case Verdict::InvariantViolation:
+        return "invariant.violation";
+      case Verdict::Livelock:
+        return "livelock";
+      case Verdict::RunFailed:
+        return "run.failed";
+      case Verdict::NoDigest:
+        return "no.digest";
+      case Verdict::Pass:
+        return "pass";
+    }
+    return "?";
+}
+
+Judgement
+judge(const RunResult &golden, const RunResult &faulted)
+{
+    Judgement j;
+    char buf[160];
+
+    if (golden.outcome != RunOutcome::Completed ||
+        golden.resultDigest == 0) {
+        j.verdict = Verdict::NoDigest;
+        j.reason = golden.outcome != RunOutcome::Completed
+                       ? "golden run did not complete"
+                       : "workload defines no result digest";
+        return j;
+    }
+
+    // Liveness first: a run that never finished has no end state to
+    // compare. A watchdog that fired and recovered still completes,
+    // so it lands in the checks below, which is the intended "fired
+    // but recovered is OK, livelock is not" line.
+    if (faulted.outcome == RunOutcome::Timeout) {
+        j.verdict = Verdict::Livelock;
+        std::snprintf(buf, sizeof(buf),
+                      "exceeded the cycle budget on rung %s",
+                      faulted.ladderRung.empty()
+                          ? "-"
+                          : faulted.ladderRung.c_str());
+        j.reason = buf;
+        return j;
+    }
+    if (faulted.outcome != RunOutcome::Completed) {
+        j.verdict = Verdict::RunFailed;
+        j.reason = "faulted run deadlocked";
+        return j;
+    }
+
+    if (faulted.invariantViolations != 0) {
+        j.verdict = Verdict::InvariantViolation;
+        std::snprintf(
+            buf, sizeof(buf),
+            "%llu ladder-transition invariant violation(s)",
+            static_cast<unsigned long long>(
+                faulted.invariantViolations));
+        j.reason = buf;
+        return j;
+    }
+
+    if (faulted.resultDigest != golden.resultDigest) {
+        j.verdict = Verdict::DigestMismatch;
+        std::snprintf(buf, sizeof(buf),
+                      "end state %016llx != golden %016llx",
+                      static_cast<unsigned long long>(
+                          faulted.resultDigest),
+                      static_cast<unsigned long long>(
+                          golden.resultDigest));
+        j.reason = buf;
+        return j;
+    }
+
+    j.verdict = Verdict::Pass;
+    j.reason = "-";
+    return j;
+}
+
+void
+annotateTrace(RunResult &result, const ChaosSchedule &schedule,
+              const Judgement &judgement)
+{
+    if (result.traceEvents.empty() && result.traceRecorded == 0)
+        return;
+
+    obs::TraceEvent begin;
+    begin.time = 0;
+    begin.kind = obs::EventKind::ChaosSchedule;
+    begin.a0 = schedule.campaignSeed;
+    begin.a1 = schedule.events.size();
+    begin.setDetail(schedule.workload.c_str());
+
+    obs::TraceEvent end;
+    end.time = result.cycles;
+    end.kind = obs::EventKind::ChaosVerdict;
+    end.a0 = judgement.pass() ? 1 : 0;
+    end.a1 = result.resultDigest;
+    end.setDetail(verdictName(judgement.verdict));
+
+    // The timeline is time-sorted; the schedule event belongs at the
+    // front, the verdict (stamped with the makespan) at the back.
+    result.traceEvents.insert(result.traceEvents.begin(), begin);
+    result.traceEvents.push_back(end);
+    result.traceRecorded += 2;
+}
+
+} // namespace tmi::chaos

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The differential end-state oracle.
+ *
+ * The chaos campaign's correctness claim is differential: whatever a
+ * workload computes fault-free under a treatment, it must compute
+ * the same thing under any injected fault schedule -- the runtime may
+ * retry, degrade down its ladder, un-repair, or flush watchdogs, but
+ * it must never trade results for survival. The oracle encodes that
+ * as three checks against the fault-free golden run:
+ *
+ *  1. liveness: the faulted run completes within the same simulated
+ *     budget. A watchdog that fired and recovered is fine; a run
+ *     that timed out (livelock) or deadlocked is a failure.
+ *  2. invariants: the runtime's ladder-transition probes
+ *     (runtime/invariants.hh) reported no violations -- dissolving
+ *     with uncommitted twins or orphaning a private mapping fails
+ *     the run even when the digest happens to survive.
+ *  3. end state: the workload's resultDigest() equals the golden's.
+ *
+ * Verdicts are ordered most- to least-severe; judge() reports the
+ * first failing check so a CSV row always names the strongest signal.
+ */
+
+#ifndef TMI_CHAOS_ORACLE_HH
+#define TMI_CHAOS_ORACLE_HH
+
+#include "chaos/schedule.hh"
+#include "core/experiment.hh"
+
+namespace tmi::chaos
+{
+
+/** Oracle outcome for one faulted run (severity order). */
+enum class Verdict
+{
+    DigestMismatch,     //!< end state diverged from the golden
+    InvariantViolation, //!< a ladder-transition probe tripped
+    Livelock,           //!< faulted run exceeded the golden's budget
+    RunFailed,          //!< host-level failure (no RunResult)
+    NoDigest,           //!< golden defines no digest: not judged
+    Pass,               //!< converged to the golden end state
+};
+
+/** Lower-case dotted verdict name ("digest.mismatch", "pass"). */
+const char *verdictName(Verdict verdict);
+
+/** judge()'s full answer: the verdict plus a one-line reason. */
+struct Judgement
+{
+    Verdict verdict = Verdict::Pass;
+    std::string reason; //!< human-readable; "-" when passing
+
+    bool pass() const { return verdict == Verdict::Pass; }
+    /** NoDigest is neither pass nor fail: the cell is unjudgeable. */
+    bool fail() const
+    {
+        return verdict != Verdict::Pass && verdict != Verdict::NoDigest;
+    }
+};
+
+/**
+ * Judge @p faulted against its fault-free @p golden. The golden must
+ * come from the identical cell (same workload, treatment, threads,
+ * scale, seed) with no faults armed; the caller owns that pairing.
+ */
+Judgement judge(const RunResult &golden, const RunResult &faulted);
+
+/**
+ * Append the chaos trace events to a traced result's timeline: one
+ * ChaosSchedule event at time 0 describing the scenario and one
+ * ChaosVerdict event at the run's end carrying the judgement. No-op
+ * when the run captured no trace.
+ */
+void annotateTrace(RunResult &result, const ChaosSchedule &schedule,
+                   const Judgement &judgement);
+
+} // namespace tmi::chaos
+
+#endif // TMI_CHAOS_ORACLE_HH

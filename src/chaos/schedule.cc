@@ -1,0 +1,385 @@
+#include "schedule.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "fault/fault_injector.hh"
+
+namespace tmi::chaos
+{
+
+Config
+ChaosSchedule::toConfig(const Config &base) const
+{
+    Config config = base;
+    config.run.workload = workload;
+    config.run.treatment = treatment;
+    config.run.threads = threads;
+    config.run.scale = scale;
+    config.run.seed = seed;
+    config.run.budget = budget;
+    config.run.faultSeed = faultSeed;
+    config.run.sheriffBuggyDissolve = sheriffBuggyDissolve;
+    if (watchdog != -1)
+        config.run.watchdog = watchdog;
+    if (monitor != -1)
+        config.run.monitor = monitor;
+    if (watchdogTimeout != 0)
+        config.run.watchdogTimeout = watchdogTimeout;
+    if (analysisInterval != 0)
+        config.run.analysisInterval = analysisInterval;
+    if (recoverUpWindows != 0)
+        config.tmi.robust.recoverUpWindows = recoverUpWindows;
+    config.run.faults.clear();
+    for (const ChaosEvent &ev : events)
+        config.run.faults.emplace_back(ev.point, ev.spec);
+    return config;
+}
+
+std::string
+ChaosSchedule::summary() const
+{
+    std::ostringstream os;
+    os << workload << "/" << treatmentName(treatment) << " #" << index
+       << ": " << events.size()
+       << (events.size() == 1 ? " event" : " events");
+    return os.str();
+}
+
+ScheduleGenerator::ScheduleGenerator(std::uint64_t campaignSeed,
+                                     const GeneratorOptions &options)
+    : _seed(campaignSeed), _opts(options)
+{
+    if (_opts.minEvents < 1 || _opts.maxEvents < _opts.minEvents) {
+        fatal("ScheduleGenerator: event range [%u, %u] is invalid",
+              _opts.minEvents, _opts.maxEvents);
+    }
+}
+
+namespace
+{
+
+/** FNV-1a over the index, mixed into the campaign seed, so that
+ *  schedule k depends on nothing but (seed, k). */
+std::uint64_t
+drawSeed(std::uint64_t campaign_seed, std::uint64_t index)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned byte = 0; byte < 8; ++byte) {
+        h ^= (index >> (byte * 8)) & 0xff;
+        h *= 0x100000001b3ULL;
+    }
+    return campaign_seed ^ h;
+}
+
+} // namespace
+
+ChaosSchedule
+ScheduleGenerator::generate(std::uint64_t index, Cycles horizon) const
+{
+    Rng rng(drawSeed(_seed, index));
+    ChaosSchedule sched;
+    sched.campaignSeed = _seed;
+    sched.index = index;
+    sched.faultSeed = rng.next();
+
+    auto points = FaultInjector::allPoints();
+    unsigned max_events = std::min<unsigned>(
+        _opts.maxEvents, static_cast<unsigned>(points.size()));
+    unsigned min_events = std::min(_opts.minEvents, max_events);
+    unsigned n = static_cast<unsigned>(
+        rng.range(min_events, max_events));
+
+    // Draw n distinct points: partial Fisher-Yates over the registry
+    // indices. One spec per point keeps arm() semantics simple and
+    // makes every event independently removable by the minimizer.
+    std::vector<unsigned> order(points.size());
+    for (unsigned i = 0; i < order.size(); ++i)
+        order[i] = i;
+    for (unsigned i = 0; i < n; ++i) {
+        unsigned j = static_cast<unsigned>(
+            rng.range(i, order.size() - 1));
+        std::swap(order[i], order[j]);
+    }
+
+    for (unsigned i = 0; i < n; ++i) {
+        ChaosEvent ev;
+        ev.point = points[order[i]].name;
+
+        // Trigger mix: mostly random-rate faults, with every-Nth,
+        // burst, and one-shot flavors to exercise clustered and
+        // point-in-time failures too.
+        std::uint64_t mode = rng.below(10);
+        if (mode < 5) {
+            // Log-uniform rate: chaos cares as much about rare
+            // faults as about storms.
+            double lo = std::log(_opts.minProbability);
+            double hi = std::log(_opts.maxProbability);
+            ev.spec.probability =
+                std::exp(lo + (hi - lo) * rng.uniform());
+        } else if (mode < 7) {
+            ev.spec.everyNth = rng.range(8, 512);
+        } else if (mode < 9) {
+            ev.spec.burstPeriod = rng.range(16, 256);
+            ev.spec.burstLen =
+                rng.range(2, std::min<std::uint64_t>(
+                                 8, ev.spec.burstPeriod));
+        } else {
+            ev.spec.fireAt = rng.range(1, 64);
+            ev.spec.maxFires = 1;
+        }
+
+        // A capped point models a transient failure that clears up.
+        if (ev.spec.maxFires == 0 && rng.chance(0.25))
+            ev.spec.maxFires = rng.range(1, 8);
+
+        if (horizon != 0 && rng.chance(_opts.windowFraction)) {
+            // Window somewhere inside the fault-free makespan; start
+            // can be 0 ("from the beginning") but end stays bounded
+            // so the run gets a clean tail to recover in.
+            std::uint64_t start = rng.below(horizon / 2 + 1);
+            std::uint64_t len =
+                rng.range(horizon / 8 + 1, horizon / 2 + 1);
+            ev.spec.windowStart = start;
+            ev.spec.windowEnd = start + len;
+        }
+
+        sched.events.push_back(std::move(ev));
+    }
+    return sched;
+}
+
+std::string
+writeScheduleSpec(const ChaosSchedule &sched)
+{
+    std::ostringstream os;
+    os << "# tmi-chaos schedule (replay: tmi-chaos replay <file>)\n";
+    os << "workload = " << sched.workload << "\n";
+    os << "treatment = " << treatmentName(sched.treatment) << "\n";
+    os << "threads = " << sched.threads << "\n";
+    os << "scale = " << sched.scale << "\n";
+    os << "seed = " << sched.seed << "\n";
+    os << "budget = " << sched.budget << "\n";
+    os << "fault_seed = " << sched.faultSeed << "\n";
+    if (sched.sheriffBuggyDissolve)
+        os << "buggy_dissolve = 1\n";
+    if (sched.watchdog != -1)
+        os << "watchdog = " << sched.watchdog << "\n";
+    if (sched.monitor != -1)
+        os << "monitor = " << sched.monitor << "\n";
+    if (sched.watchdogTimeout != 0)
+        os << "watchdog_timeout = " << sched.watchdogTimeout << "\n";
+    if (sched.analysisInterval != 0)
+        os << "interval = " << sched.analysisInterval << "\n";
+    if (sched.recoverUpWindows != 0)
+        os << "recover_up = " << sched.recoverUpWindows << "\n";
+    if (sched.campaignSeed != 0)
+        os << "campaign_seed = " << sched.campaignSeed << "\n";
+    if (sched.index != 0)
+        os << "index = " << sched.index << "\n";
+    for (const ChaosEvent &ev : sched.events) {
+        os << "event = " << ev.point;
+        const FaultSpec &s = ev.spec;
+        char buf[160];
+        if (s.probability != 0) {
+            // %.17g round-trips any double exactly.
+            std::snprintf(buf, sizeof(buf), " p=%.17g",
+                          s.probability);
+            os << buf;
+        }
+        if (s.fireAt != 0)
+            os << " at=" << s.fireAt;
+        if (s.everyNth != 0)
+            os << " every=" << s.everyNth;
+        if (s.maxFires != 0)
+            os << " max=" << s.maxFires;
+        if (s.burstPeriod != 0) {
+            os << " burst=" << s.burstLen << "/" << s.burstPeriod;
+        }
+        if (s.windowStart != 0 || s.windowEnd != 0) {
+            os << " window=" << s.windowStart << ":" << s.windowEnd;
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+namespace
+{
+
+/** Strip leading/trailing whitespace. */
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = s.find_first_not_of(" \t\r");
+    if (b == std::string::npos)
+        return "";
+    std::size_t e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+}
+
+bool
+parseU64(const std::string &s, std::uint64_t &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtoull(s.c_str(), &end, 10);
+    return end && *end == '\0';
+}
+
+/** Parse one "event = point k=v k=v ..." value. */
+bool
+parseEvent(const std::string &value, ChaosEvent &ev, std::string &err)
+{
+    std::istringstream is(value);
+    std::string token;
+    if (!(is >> token)) {
+        err = "event needs a fault-point name";
+        return false;
+    }
+    ev.point = token;
+    while (is >> token) {
+        auto eq = token.find('=');
+        if (eq == std::string::npos) {
+            err = "bad event attribute '" + token + "'";
+            return false;
+        }
+        std::string key = token.substr(0, eq);
+        std::string val = token.substr(eq + 1);
+        std::uint64_t u = 0;
+        if (key == "p") {
+            char *end = nullptr;
+            ev.spec.probability = std::strtod(val.c_str(), &end);
+            if (!end || *end != '\0') {
+                err = "bad probability '" + val + "'";
+                return false;
+            }
+        } else if (key == "at" && parseU64(val, u)) {
+            ev.spec.fireAt = u;
+        } else if (key == "every" && parseU64(val, u)) {
+            ev.spec.everyNth = u;
+        } else if (key == "max" && parseU64(val, u)) {
+            ev.spec.maxFires = u;
+        } else if (key == "burst") {
+            auto slash = val.find('/');
+            std::uint64_t len = 0, period = 0;
+            if (slash == std::string::npos ||
+                !parseU64(val.substr(0, slash), len) ||
+                !parseU64(val.substr(slash + 1), period)) {
+                err = "bad burst '" + val + "' (want len/period)";
+                return false;
+            }
+            ev.spec.burstLen = len;
+            ev.spec.burstPeriod = period;
+        } else if (key == "window") {
+            auto colon = val.find(':');
+            std::uint64_t start = 0, end = 0;
+            if (colon == std::string::npos ||
+                !parseU64(val.substr(0, colon), start) ||
+                !parseU64(val.substr(colon + 1), end)) {
+                err = "bad window '" + val + "' (want start:end)";
+                return false;
+            }
+            ev.spec.windowStart = start;
+            ev.spec.windowEnd = end;
+        } else {
+            err = "bad event attribute '" + token + "'";
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+parseScheduleSpec(const std::string &text, ChaosSchedule &sched,
+                  std::string &err)
+{
+    sched = ChaosSchedule{};
+    std::istringstream is(text);
+    std::string line;
+    unsigned lineno = 0;
+    bool saw_workload = false;
+    while (std::getline(is, line)) {
+        ++lineno;
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        auto eq = line.find('=');
+        if (eq == std::string::npos) {
+            err = "line " + std::to_string(lineno) +
+                  ": expected 'key = value'";
+            return false;
+        }
+        std::string key = trim(line.substr(0, eq));
+        std::string value = trim(line.substr(eq + 1));
+        std::string detail;
+        std::uint64_t u = 0;
+        if (key == "workload") {
+            sched.workload = value;
+            saw_workload = true;
+        } else if (key == "treatment") {
+            const Treatment *t = tryParseTreatment(value);
+            if (!t) {
+                err = "line " + std::to_string(lineno) +
+                      ": unknown treatment '" + value + "'";
+                return false;
+            }
+            sched.treatment = *t;
+        } else if (key == "threads" && parseU64(value, u)) {
+            sched.threads = static_cast<unsigned>(u);
+        } else if (key == "scale" && parseU64(value, u)) {
+            sched.scale = u;
+        } else if (key == "seed" && parseU64(value, u)) {
+            sched.seed = u;
+        } else if (key == "budget" && parseU64(value, u)) {
+            sched.budget = u;
+        } else if (key == "fault_seed" && parseU64(value, u)) {
+            sched.faultSeed = u;
+        } else if (key == "buggy_dissolve" && parseU64(value, u)) {
+            sched.sheriffBuggyDissolve = u != 0;
+        } else if (key == "watchdog" && parseU64(value, u)) {
+            sched.watchdog = static_cast<int>(u);
+        } else if (key == "monitor" && parseU64(value, u)) {
+            sched.monitor = static_cast<int>(u);
+        } else if (key == "watchdog_timeout" && parseU64(value, u)) {
+            sched.watchdogTimeout = u;
+        } else if (key == "interval" && parseU64(value, u)) {
+            sched.analysisInterval = u;
+        } else if (key == "recover_up" && parseU64(value, u)) {
+            sched.recoverUpWindows = static_cast<unsigned>(u);
+        } else if (key == "campaign_seed" && parseU64(value, u)) {
+            sched.campaignSeed = u;
+        } else if (key == "index" && parseU64(value, u)) {
+            sched.index = u;
+        } else if (key == "event") {
+            ChaosEvent ev;
+            if (!parseEvent(value, ev, detail)) {
+                err = "line " + std::to_string(lineno) + ": " +
+                      detail;
+                return false;
+            }
+            sched.events.push_back(std::move(ev));
+        } else {
+            err = "line " + std::to_string(lineno) +
+                  ": bad key or value in '" + line + "'";
+            return false;
+        }
+    }
+    if (!saw_workload) {
+        err = "schedule spec never set 'workload'";
+        return false;
+    }
+    return true;
+}
+
+} // namespace tmi::chaos

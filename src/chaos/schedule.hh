@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Chaos schedules: randomized-but-replayable fault scenarios.
+ *
+ * A ChaosSchedule is one complete fault scenario for one run cell:
+ * which fault points are armed, with what triggers (probability,
+ * every-Nth, bursts, one-shots), over which simulated-cycle windows,
+ * plus the run scalars (workload, treatment, seeds) needed to replay
+ * it bit-for-bit. The ScheduleGenerator draws schedules from the full
+ * fault-point registry (FaultInjector::allPoints()) such that
+ * schedule k of a campaign is a pure function of (campaign seed, k):
+ * re-running a campaign -- or replaying one schedule out of it --
+ * reproduces the exact same injections.
+ *
+ * Schedules round-trip through a small `key = value` spec text
+ * (writeScheduleSpec / parseScheduleSpec) so a failing schedule,
+ * once minimized, can be checked in as a replayable reproducer and
+ * re-run by `tmi-chaos replay` long after the campaign that found it.
+ */
+
+#ifndef TMI_CHAOS_SCHEDULE_HH
+#define TMI_CHAOS_SCHEDULE_HH
+
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+
+namespace tmi::chaos
+{
+
+/** One armed fault point of a schedule. */
+struct ChaosEvent
+{
+    std::string point; //!< registry name ("mem.clone_fail", ...)
+    FaultSpec spec;
+
+    bool operator==(const ChaosEvent &) const = default;
+};
+
+/** A complete replayable fault scenario for one run cell. */
+struct ChaosSchedule
+{
+    /** @name Run cell (what the faults are injected into) */
+    /// @{
+    std::string workload;
+    Treatment treatment = Treatment::TmiProtect;
+    unsigned threads = 4;
+    std::uint64_t scale = 1;
+    std::uint64_t seed = 42;      //!< workload/run seed
+    Cycles budget = 400'000'000'000ULL;
+    /** TEST-ONLY regression hook: replay against the Sheriff
+     *  dissolve-ordering bug (ExperimentConfig::sheriffBuggyDissolve). */
+    bool sheriffBuggyDissolve = false;
+    /** Self-healing arming, captured so a reproducer spec replays
+     *  the exact ladder it failed under (-1/0/1 convention and 0 =
+     *  keep, matching ExperimentConfig). */
+    int watchdog = -1;
+    int monitor = -1;
+    Cycles watchdogTimeout = 0;
+    /** Analysis/supervision cadence (0 = keep the base default). */
+    Cycles analysisInterval = 0;
+    /** Clean windows before the ladder climbs back up (0 = keep). */
+    unsigned recoverUpWindows = 0;
+    /// @}
+
+    /** @name Fault scenario */
+    /// @{
+    std::uint64_t faultSeed = 0xfa17u; //!< per-point stream seed
+    std::vector<ChaosEvent> events;    //!< one armed point each
+    /// @}
+
+    /** Provenance echo: the campaign seed and draw index this
+     *  schedule came from (0/0 for hand-written specs). */
+    std::uint64_t campaignSeed = 0;
+    std::uint64_t index = 0;
+
+    bool operator==(const ChaosSchedule &) const = default;
+
+    /** Overlay this schedule onto @p base: run cell scalars, the
+     *  fault list, and the regression hook. Deep machine/runtime
+     *  templates in @p base are kept. */
+    Config toConfig(const Config &base) const;
+
+    /** "histogramfs/tmi-protect #12: 3 events" (logs, CSV labels). */
+    std::string summary() const;
+};
+
+/** Knobs for schedule drawing (defaults suit the FS workloads). */
+struct GeneratorOptions
+{
+    /** Events per schedule, drawn uniformly in [min, max], capped at
+     *  the registry size (points are drawn without replacement). */
+    unsigned minEvents = 1;
+    unsigned maxEvents = 4;
+    /** Chance an event is restricted to a firing window (needs a
+     *  nonzero horizon at generate() time). */
+    double windowFraction = 0.5;
+    /** Random-trigger probability range (log-uniform draw). */
+    double minProbability = 0.005;
+    double maxProbability = 0.5;
+};
+
+/**
+ * Draws ChaosSchedules deterministically from a campaign seed.
+ *
+ * generate(k, horizon) uses a throwaway RNG seeded from
+ * (campaignSeed, k) only, so schedules can be drawn in any order, in
+ * parallel, or individually re-drawn for replay -- the result is
+ * always byte-identical. @p horizon (typically the cell's fault-free
+ * makespan in cycles) bounds firing windows; 0 disables windows.
+ */
+class ScheduleGenerator
+{
+  public:
+    explicit ScheduleGenerator(std::uint64_t campaignSeed,
+                               const GeneratorOptions &options = {});
+
+    /** Draw schedule @p index (run-cell fields left at defaults;
+     *  the caller overlays its cell). */
+    ChaosSchedule generate(std::uint64_t index,
+                           Cycles horizon = 0) const;
+
+    std::uint64_t campaignSeed() const { return _seed; }
+    const GeneratorOptions &options() const { return _opts; }
+
+  private:
+    std::uint64_t _seed;
+    GeneratorOptions _opts;
+};
+
+/** @name Schedule spec text (replayable reproducer files)
+ *  One `key = value` per line, #-comments; `event =` lines carry the
+ *  armed points. parse(write(s)) == s for any schedule. */
+/// @{
+/** Serialize @p schedule as spec text (ends with a newline). */
+std::string writeScheduleSpec(const ChaosSchedule &schedule);
+
+/** Parse spec text; false + @p err (with line number) on the first
+ *  bad line. @p schedule is default-initialized first. */
+bool parseScheduleSpec(const std::string &text,
+                       ChaosSchedule &schedule, std::string &err);
+/// @}
+
+} // namespace tmi::chaos
+
+#endif // TMI_CHAOS_SCHEDULE_HH

@@ -149,6 +149,22 @@ validateConfig(const ExperimentConfig &config,
             errors.push_back({prefix + ".faults[" + point + "]",
                               "probability must be in [0, 1]"});
         }
+        if (spec.windowEnd != 0 &&
+            spec.windowEnd <= spec.windowStart) {
+            errors.push_back({prefix + ".faults[" + point + "]",
+                              "windowEnd must be 0 (unbounded) or "
+                              "> windowStart"});
+        }
+        if (spec.burstLen != 0 && spec.burstPeriod == 0) {
+            errors.push_back({prefix + ".faults[" + point + "]",
+                              "burstLen needs a nonzero "
+                              "burstPeriod"});
+        }
+        if (spec.burstLen > spec.burstPeriod) {
+            errors.push_back({prefix + ".faults[" + point + "]",
+                              "burstLen must be <= burstPeriod "
+                              "(the burst must fit its period)"});
+        }
     }
     obs::validateConfig(config.trace, errors, prefix + ".trace");
 }
@@ -255,8 +271,10 @@ runExperiment(const Config &full)
         // apples-to-apples ladder comparisons against Tmi.
         sc.robust.watchdogEnabled = config.watchdog == 1;
         sc.robust.monitorEnabled = config.monitor == 1;
+        sc.monitorInterval = config.analysisInterval;
         if (config.watchdogTimeout != 0)
             sc.robust.watchdogTimeout = config.watchdogTimeout;
+        sc.buggyDissolveOrder = config.sheriffBuggyDissolve;
         sheriff = std::make_unique<SheriffRuntime>(machine, sc);
         sheriff->attach();
         break;
@@ -288,6 +306,10 @@ runExperiment(const Config &full)
     res.valid = res.outcome == RunOutcome::Completed &&
                 workload->validate(machine);
     res.compatible = res.valid;
+    // A digest of an incomplete run would hash half-written state;
+    // the chaos oracle judges those by outcome instead.
+    if (res.outcome == RunOutcome::Completed)
+        res.resultDigest = workload->resultDigest(machine);
 
     res.cycles = machine.elapsed();
     res.seconds = static_cast<double>(res.cycles) /
@@ -315,6 +337,8 @@ runExperiment(const Config &full)
         res.watchdogFlushes = tmi->watchdogFires();
         res.cowFallbacks = tmi->cowFallbacks();
         res.ladderDrops = tmi->ladderDrops();
+        res.ladderRecovers = tmi->ladderRecovers();
+        res.invariantViolations = tmi->invariants().violations();
     } else if (sheriff) {
         res.repairActive = true;
         res.commits = sheriff->totalCommits();
@@ -326,6 +350,7 @@ runExperiment(const Config &full)
         res.watchdogFlushes = sheriff->watchdogFires();
         res.cowFallbacks = sheriff->cowFallbacks();
         res.ladderDrops = sheriff->ladderDrops();
+        res.invariantViolations = sheriff->invariants().violations();
     } else if (laser) {
         res.repairActive = laser->repairActive();
         res.fsEventsEstimated = laser->detector().fsEventsEstimated();
@@ -341,8 +366,11 @@ runExperiment(const Config &full)
 
     // Observability harvest: the stats dump and the metrics registry
     // are two views over the same StatGroup tree, so one registration
-    // pass serves both.
-    if (config.dumpStats || machine.trace()) {
+    // pass serves both. Keyed on trace.enabled (the request), not
+    // machine.trace() (the recorder): on TMI_TRACING=OFF builds the
+    // recorder is compiled out but the stats-derived metrics -- fault
+    // fires above all -- must still land.
+    if (config.dumpStats || config.trace.enabled) {
         stats::StatGroup machine_group("machine");
         machine.regStats(machine_group);
         stats::StatGroup runtime_group("runtime");
@@ -363,6 +391,23 @@ runExperiment(const Config &full)
         res.metrics = std::make_shared<obs::MetricsRegistry>();
         res.metrics->importStats(machine_group, "machine");
         res.metrics->importStats(runtime_group, "runtime");
+
+        // Fault-fire accounting straight from the injector, never
+        // from the trace: obs.event.fault.fire below only exists when
+        // the recorder does, and chaos verdicts need these counts on
+        // every build.
+        res.metrics
+            ->counter("fault.fires",
+                      "fault-point fires (trace-independent)")
+            .add(static_cast<double>(machine.faults().totalFires()));
+        for (const std::string &point :
+             machine.faults().armedPoints()) {
+            res.metrics
+                ->counter("fault.fires." + point,
+                          "fires at this point")
+                .add(static_cast<double>(
+                    machine.faults().fires(point)));
+        }
     }
 
     if (obs::TraceRecorder *rec = machine.trace()) {

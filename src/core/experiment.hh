@@ -83,6 +83,10 @@ struct ExperimentConfig
     Cycles watchdogTimeout = 0;
     /** Post-repair effectiveness monitor: same -1/0/1 convention. */
     int monitor = -1;
+    /** TEST-ONLY: reintroduce Sheriff's dissolve-ordering bug (see
+     *  SheriffConfig::buggyDissolveOrder). Exists so chaos regression
+     *  runs can replay the bug through the normal experiment path. */
+    bool sheriffBuggyDissolve = false;
 
     /** Host-side cancellation token (not owned; null = none). When it
      *  becomes true the scheduler stops at the next fiber switch and
@@ -111,6 +115,10 @@ struct RunResult
     bool valid = false;
     /** Completed with correct results. */
     bool compatible = false;
+    /** Workload end-state digest (chaos oracle): the workload's
+     *  resultDigest() over the shared committed view. Zero when the
+     *  run did not complete or the workload defines no digest. */
+    std::uint64_t resultDigest = 0;
 
     Cycles cycles = 0;   //!< simulated makespan
     double seconds = 0;  //!< cycles / cyclesPerSecond
@@ -148,6 +156,11 @@ struct RunResult
     std::uint64_t watchdogFlushes = 0; //!< livelock force-commits
     std::uint64_t cowFallbacks = 0;    //!< pages degraded to shared
     std::uint64_t ladderDrops = 0;     //!< rung transitions taken
+    std::uint64_t ladderRecovers = 0;  //!< rungs climbed back up
+    /** Ladder-transition invariant probe failures (see
+     *  runtime/invariants.hh); nonzero means the runtime broke its
+     *  own transition contract even if results happen to be right. */
+    std::uint64_t invariantViolations = 0;
     /// @}
 
     /** Full stats dump (only when ExperimentConfig::dumpStats). */

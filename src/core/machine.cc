@@ -77,6 +77,11 @@ Machine::Machine(const MachineConfig &config)
         _faults.arm(point, spec);
     _mmu.setFaultInjector(&_faults);
     _perf.setFaultInjector(&_faults);
+    // Windowed specs fire by simulated time; outside any thread (e.g.
+    // init-time queries) the makespan stands in for the clock.
+    _faults.setClock([this] {
+        return _sched.current() ? _sched.now() : _sched.maxClock();
+    });
 
     // Observability: the recorder exists only when tracing is on, so
     // the disabled path costs one null-pointer check per emit site.
@@ -439,7 +444,19 @@ Machine::accessPath(ThreadId tid, Addr pc, Addr va, bool is_write,
         }
     }
 
+    std::uint64_t xlate_epoch = _pipeline.epoch().value();
     _sched.advance(lat + res.latency);
+    if (!bypass_private && _pipeline.epoch().value() != xlate_epoch) {
+        // The advance yielded, and some other fiber changed a mapping
+        // meanwhile -- e.g. a watchdog force-commit dropped the
+        // private frame this paddr points into, which the caller is
+        // about to read or write. Functionally the access completes
+        // now, so re-resolve against the live page tables; its
+        // timing was already charged above, and any fresh divergence
+        // cost is forgiven (the pathological-commit corner is not a
+        // place to model twin costs precisely).
+        paddr = _mmu.translate(pid, va, is_write).paddr;
+    }
     return paddr;
 }
 

@@ -1,10 +1,54 @@
 #include "fault_injector.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "obs/trace.hh"
 
 namespace tmi
 {
+
+namespace
+{
+
+/**
+ * The canonical registry, in documentation order (perf, mem, ptsb,
+ * sched, alloc). Adding a fault point means adding a faultpoint::
+ * constant, an entry here, and the call-site query -- tests assert
+ * the three stay in sync.
+ */
+constexpr FaultPointInfo kAllPoints[] = {
+    {faultpoint::perfRingOverflow,
+     "PEBS ring full: record dropped and counted lost"},
+    {faultpoint::perfDropRecord,
+     "PEBS assist loses the record entirely"},
+    {faultpoint::perfCorruptAddr,
+     "sampled data address corrupted beyond normal skid"},
+    {faultpoint::perfWildPc,
+     "sampled PC misses the instruction table"},
+    {faultpoint::memFrameExhausted,
+     "no physical frame for a COW fault"},
+    {faultpoint::memCloneFail,
+     "fork() fails while cloning an address space mid-T2P"},
+    {faultpoint::ptsbTwinAllocFail,
+     "twin snapshot allocation fails at a COW fault"},
+    {faultpoint::ptsbOversizeCommit,
+     "a PTSB commit degenerates and its cost inflates"},
+    {faultpoint::schedStopTimeout,
+     "a thread refuses to stop at the T2P stop point"},
+    {faultpoint::allocMetadataCorrupt,
+     "allocator per-object metadata corrupted at free()"},
+    {faultpoint::allocSizeClassExhausted,
+     "a size class cannot refill its slab"},
+};
+
+} // namespace
+
+std::span<const FaultPointInfo>
+FaultInjector::allPoints()
+{
+    return kAllPoints;
+}
 
 namespace
 {
@@ -35,11 +79,15 @@ FaultInjector::arm(std::string_view point, const FaultSpec &spec)
     _points.insert_or_assign(std::string(point),
                              Point(spec, stream_seed));
     inform("fault: armed %s (p=%.3g fireAt=%lu everyNth=%lu "
-           "maxFires=%lu)",
+           "maxFires=%lu window=[%lu,%lu) burst=%lu/%lu)",
            std::string(point).c_str(), spec.probability,
            static_cast<unsigned long>(spec.fireAt),
            static_cast<unsigned long>(spec.everyNth),
-           static_cast<unsigned long>(spec.maxFires));
+           static_cast<unsigned long>(spec.maxFires),
+           static_cast<unsigned long>(spec.windowStart),
+           static_cast<unsigned long>(spec.windowEnd),
+           static_cast<unsigned long>(spec.burstLen),
+           static_cast<unsigned long>(spec.burstPeriod));
 }
 
 void
@@ -69,6 +117,22 @@ FaultInjector::shouldFail(std::string_view point)
         fired = true;
     if (p.spec.everyNth != 0 && p.queries % p.spec.everyNth == 0)
         fired = true;
+    if (p.spec.burstPeriod != 0 &&
+        (p.queries - 1) % p.spec.burstPeriod < p.spec.burstLen) {
+        fired = true;
+    }
+    // The firing window gates the composed triggers but never the
+    // draw above: a windowed point's stream position stays a pure
+    // function of its query index.
+    if (fired &&
+        (p.spec.windowStart != 0 || p.spec.windowEnd != 0)) {
+        std::uint64_t now = _clock ? _clock() : 0;
+        bool inside = now >= p.spec.windowStart &&
+                      (p.spec.windowEnd == 0 ||
+                       now < p.spec.windowEnd);
+        if (!inside || !_clock)
+            fired = false;
+    }
     if (fired && p.spec.maxFires != 0 && p.fires >= p.spec.maxFires)
         fired = false;
     if (!fired)
@@ -102,6 +166,17 @@ FaultInjector::fires(std::string_view point) const
 {
     const Point *p = findPoint(point);
     return p ? p->fires : 0;
+}
+
+std::vector<std::string>
+FaultInjector::armedPoints() const
+{
+    std::vector<std::string> names;
+    names.reserve(_points.size());
+    for (const auto &[name, point] : _points)
+        names.push_back(name);
+    std::sort(names.begin(), names.end());
+    return names;
 }
 
 void

@@ -23,9 +23,12 @@
 #ifndef TMI_FAULT_FAULT_INJECTOR_HH
 #define TMI_FAULT_FAULT_INJECTOR_HH
 
+#include <functional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "common/rng.hh"
 #include "common/stats.hh"
@@ -70,9 +73,17 @@ inline constexpr const char *allocSizeClassExhausted =
     "alloc.size_class_exhausted";
 } // namespace faultpoint
 
+/** One entry of the canonical fault-point registry. */
+struct FaultPointInfo
+{
+    const char *name;    //!< e.g. "perf.ring_overflow"
+    const char *summary; //!< one-line description for --list output
+};
+
 /**
  * When an armed point fires. Triggers compose: a query fires if ANY
- * armed trigger matches, subject to the @ref maxFires cap.
+ * armed trigger matches, subject to the @ref maxFires cap and -- when
+ * a firing window is set -- only while simulated time is inside it.
  */
 struct FaultSpec
 {
@@ -84,6 +95,25 @@ struct FaultSpec
     std::uint64_t everyNth = 0;
     /** Stop firing after this many fires (0 = unlimited). */
     std::uint64_t maxFires = 0;
+
+    /**
+     * Scheduled firing: gate every trigger on simulated time being in
+     * [windowStart, windowEnd) cycles. Both zero = always eligible;
+     * windowEnd zero alone = unbounded window from windowStart. The
+     * per-point random stream still advances outside the window, so a
+     * windowed point's draw sequence stays a pure function of its
+     * query index (replayable byte-for-byte from the seed).
+     */
+    std::uint64_t windowStart = 0;
+    std::uint64_t windowEnd = 0;
+
+    /**
+     * Burst trigger: fire on @ref burstLen consecutive queries out of
+     * every @ref burstPeriod (0 disables). Models clustered failures
+     * such as a perf ring overflowing for a stretch of samples.
+     */
+    std::uint64_t burstLen = 0;
+    std::uint64_t burstPeriod = 0;
 
     /** A point that always fires. */
     static FaultSpec
@@ -113,6 +143,16 @@ struct FaultSpec
         return spec;
     }
 
+    /** Restrict this spec to the cycle window [start, end). */
+    FaultSpec
+    inWindow(std::uint64_t start, std::uint64_t end) const
+    {
+        FaultSpec spec = *this;
+        spec.windowStart = start;
+        spec.windowEnd = end;
+        return spec;
+    }
+
     bool operator==(const FaultSpec &) const = default;
 };
 
@@ -121,6 +161,14 @@ class FaultInjector
 {
   public:
     explicit FaultInjector(std::uint64_t seed = 0xfa17u);
+
+    /**
+     * The canonical fault-point registry: every injectable point with
+     * a one-line summary, in a stable documented order. This is the
+     * single source of truth for `--list-fault-points` and for chaos
+     * schedule generation over "all points".
+     */
+    static std::span<const FaultPointInfo> allPoints();
 
     /** Arm (or re-arm, resetting counters) @p point with @p spec. */
     void arm(std::string_view point, const FaultSpec &spec);
@@ -145,6 +193,9 @@ class FaultInjector
     /** Times @p point has fired. */
     std::uint64_t fires(std::string_view point) const;
 
+    /** Names of currently armed points, sorted (introspection). */
+    std::vector<std::string> armedPoints() const;
+
     /** Total fires across all points. */
     std::uint64_t
     totalFires() const
@@ -158,6 +209,16 @@ class FaultInjector
     /** Wire the trace recorder: every fire emits a FaultFire event
      *  carrying the point name and fire ordinal (null disables). */
     void setTrace(obs::TraceRecorder *trace) { _trace = trace; }
+
+    /**
+     * Wire the simulated clock used to evaluate firing windows. Specs
+     * with a window never fire until a clock is wired (the Machine
+     * wires its scheduler at construction).
+     */
+    void setClock(std::function<std::uint64_t()> clock)
+    {
+        _clock = std::move(clock);
+    }
 
     /** Register stats under @p group. */
     void regStats(stats::StatGroup &group);
@@ -180,6 +241,7 @@ class FaultInjector
     std::uint64_t _seed;
     std::unordered_map<std::string, Point> _points;
     obs::TraceRecorder *_trace = nullptr;
+    std::function<std::uint64_t()> _clock;
 
     stats::Scalar _statQueries;
     stats::Scalar _statFires;

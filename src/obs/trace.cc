@@ -43,6 +43,10 @@ eventKindName(EventKind kind)
         return "detect.window";
       case EventKind::AllocFallback:
         return "alloc.fallback";
+      case EventKind::ChaosSchedule:
+        return "chaos.schedule";
+      case EventKind::ChaosVerdict:
+        return "chaos.verdict";
     }
     return "unknown";
 }

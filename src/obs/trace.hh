@@ -66,6 +66,9 @@ namespace tmi::obs
  *                    detail = fault-point name
  *  - AnalysisWindow: a0 = records drained, a1 = pages nominated
  *  - AllocFallback:  a0 = requested bytes, detail = which fallback
+ *  - ChaosSchedule:  a0 = campaign seed, a1 = events in the schedule
+ *  - ChaosVerdict:   a0 = 1 pass / 0 fail, a1 = end-state digest,
+ *                    detail = verdict reason
  */
 enum class EventKind : std::uint8_t
 {
@@ -86,9 +89,11 @@ enum class EventKind : std::uint8_t
     FaultFire,
     AnalysisWindow,
     AllocFallback,
+    ChaosSchedule,
+    ChaosVerdict,
 };
 
-inline constexpr unsigned numEventKinds = 17;
+inline constexpr unsigned numEventKinds = 19;
 
 /** Dotted event name for exporters ("t2p.rollback", "ladder.drop"). */
 const char *eventKindName(EventKind kind);

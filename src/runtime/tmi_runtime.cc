@@ -33,8 +33,8 @@ tmiModeName(TmiMode mode)
 }
 
 TmiRuntime::TmiRuntime(Machine &machine, const TmiConfig &config)
-    : _m(machine), _cfg(config), _trace(machine.trace()),
-      _ccc(config.cccEnabled),
+    : _m(machine), _cfg(config), _invariants(machine),
+      _trace(machine.trace()), _ccc(config.cccEnabled),
       _detector(machine.instructions(), machine.addressMap(),
                 detectorConfigFor(machine, config)),
       _rung(config.mode)
@@ -363,6 +363,11 @@ TmiRuntime::unrepair(const char *reason)
     }
     _protectedPages.clear();
     _m.flushTlbs();
+    for (const auto &[pid, ptsb] : _ptsbs) {
+        (void)pid;
+        _invariants.afterDissolve("tmi un-repair", *ptsb);
+    }
+    _invariants.afterUnrepair("tmi un-repair");
     _watch.clear();
     _regressStreak = 0;
     _windowsSinceRepair = 0;
@@ -389,6 +394,7 @@ TmiRuntime::degradeTo(TmiMode mode, const char *reason)
 {
     if (static_cast<int>(mode) >= static_cast<int>(_rung))
         return;
+    std::uint64_t epoch_before = _invariants.epochBefore();
     warn("tmi: degrading %s -> %s (%s)", tmiModeName(_rung),
          tmiModeName(mode), reason);
     if (_trace) {
@@ -402,6 +408,7 @@ TmiRuntime::degradeTo(TmiMode mode, const char *reason)
     _cleanWindows = 0;
     // Rung changes alter hook behaviour: kill the access-path caches.
     _m.accessEpoch().bump();
+    _invariants.checkEpochBumped("tmi ladder drop", epoch_before);
 }
 
 void
@@ -421,6 +428,7 @@ TmiRuntime::maybeRecoverUp()
     if (++_cleanWindows < rc.recoverUpWindows)
         return;
     _cleanWindows = 0;
+    std::uint64_t epoch_before = _invariants.epochBefore();
     TmiMode from = _rung;
     _rung = static_cast<TmiMode>(static_cast<int>(_rung) + 1);
     // A recovered rung starts with fresh failure budgets; otherwise
@@ -440,6 +448,7 @@ TmiRuntime::maybeRecoverUp()
     }
     // Re-armed hooks change access behaviour: kill the caches.
     _m.accessEpoch().bump();
+    _invariants.checkEpochBumped("tmi ladder recover", epoch_before);
 }
 
 void
@@ -720,6 +729,7 @@ TmiRuntime::regStats(stats::StatGroup &group)
                     "rungs climbed back by the RecoverUp policy");
     group.addScalar("cowFallbacks", &_statCowFallbacks,
                     "COW faults degraded to shared writes");
+    _invariants.regStats(group);
     _detector.regStats(group);
     _ccc.regStats(group);
 }

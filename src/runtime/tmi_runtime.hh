@@ -38,6 +38,7 @@
 #include "core/machine.hh"
 #include "detect/detector.hh"
 #include "ptsb/ptsb.hh"
+#include "runtime/invariants.hh"
 #include "runtime/robustness.hh"
 
 namespace tmi
@@ -197,6 +198,9 @@ class TmiRuntime : public RuntimeHooks
         return static_cast<std::uint64_t>(
             _statLadderRecovers.value());
     }
+
+    /** Ladder-transition invariant probe (chaos oracle). */
+    const InvariantProbe &invariants() const { return _invariants; }
     /// @}
 
     /** Register stats under @p group. */
@@ -263,6 +267,7 @@ class TmiRuntime : public RuntimeHooks
 
     Machine &_m;
     TmiConfig _cfg;
+    InvariantProbe _invariants;
     /** The machine's recorder, or null when tracing is off. */
     obs::TraceRecorder *_trace;
     CodeCentricConsistency _ccc;

@@ -77,6 +77,16 @@ SpinlockPoolWorkload::validate(Machine &machine)
     return total == writes_per_thread * _params.threads;
 }
 
+std::uint64_t
+SpinlockPoolWorkload::resultDigest(Machine &machine)
+{
+    std::uint64_t h = digestSeed;
+    for (unsigned t = 0; t < _params.threads; ++t)
+        h = digestWord(h, machine.peekShared(_data + t * lineBytes,
+                                             8));
+    return digestFinalize(h);
+}
+
 // ---------------------------------------------------------------------
 // shptr-relaxed / shptr-lock
 
@@ -160,6 +170,18 @@ SharedPtrWorkload::validate(Machine &machine)
     std::uint64_t expected =
         ((_opsPerThread + refPeriod - 1) / refPeriod) * _params.threads;
     return refs == expected;
+}
+
+std::uint64_t
+SharedPtrWorkload::resultDigest(Machine &machine)
+{
+    std::uint64_t h = digestSeed;
+    for (unsigned t = 0; t < _params.threads; ++t)
+        h = digestWord(h,
+                       machine.peekShared(_fsArray + t * _slotBytes,
+                                          8));
+    h = digestWord(h, machine.peekShared(_refcount, 8));
+    return digestFinalize(h);
 }
 
 } // namespace tmi

@@ -36,6 +36,7 @@ class SpinlockPoolWorkload : public Workload
     void init(Machine &machine) override;
     void main(ThreadApi &api) override;
     bool validate(Machine &machine) override;
+    std::uint64_t resultDigest(Machine &machine) override;
 
   private:
     void worker(ThreadApi &api, unsigned t);
@@ -67,6 +68,7 @@ class SharedPtrWorkload : public Workload
     void init(Machine &machine) override;
     void main(ThreadApi &api) override;
     bool validate(Machine &machine) override;
+    std::uint64_t resultDigest(Machine &machine) override;
 
   private:
     void worker(ThreadApi &api, unsigned t);

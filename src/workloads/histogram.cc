@@ -147,4 +147,20 @@ HistogramWorkload::validate(Machine &machine)
     return total == _totalPixels * 3;
 }
 
+std::uint64_t
+HistogramWorkload::resultDigest(Machine &machine)
+{
+    // The per-bin counts are the program's answer; validate() only
+    // checks their sum, the digest pins every bin exactly.
+    std::uint64_t h = digestSeed;
+    for (unsigned t = 0; t < _params.threads; ++t) {
+        for (unsigned idx = 0; idx < 768; ++idx) {
+            h = digestWord(h, machine.peekShared(
+                                  _counts + t * _rowBytes + idx * 4,
+                                  4));
+        }
+    }
+    return digestFinalize(h);
+}
+
 } // namespace tmi

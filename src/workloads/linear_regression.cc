@@ -96,4 +96,20 @@ LinearRegressionWorkload::validate(Machine &machine)
     return count == _expectedCount;
 }
 
+std::uint64_t
+LinearRegressionWorkload::resultDigest(Machine &machine)
+{
+    // All six accumulator fields per thread: the regression's inputs
+    // to the closed-form solve, exact to the last partial sum.
+    std::uint64_t h = digestSeed;
+    for (unsigned t = 0; t < _params.threads; ++t) {
+        for (unsigned field = 0; field < 6; ++field) {
+            h = digestWord(h, machine.peekShared(
+                                  _args + t * _slotBytes + field * 8,
+                                  8));
+        }
+    }
+    return digestFinalize(h);
+}
+
 } // namespace tmi

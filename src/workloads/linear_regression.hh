@@ -30,6 +30,7 @@ class LinearRegressionWorkload : public Workload
     void init(Machine &machine) override;
     void main(ThreadApi &api) override;
     bool validate(Machine &machine) override;
+    std::uint64_t resultDigest(Machine &machine) override;
 
   private:
     void worker(ThreadApi &api, unsigned t);

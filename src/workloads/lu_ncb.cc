@@ -94,4 +94,17 @@ LuNcbWorkload::validate(Machine &machine)
     return got == expected;
 }
 
+std::uint64_t
+LuNcbWorkload::resultDigest(Machine &machine)
+{
+    std::uint64_t h = digestSeed;
+    for (unsigned t = 0; t < _params.threads; ++t) {
+        for (unsigned s = 0; s < 4; ++s)
+            h = digestWord(h,
+                           machine.peekShared(_accBufs[t] + s * 8,
+                                              8));
+    }
+    return digestFinalize(h);
+}
+
 } // namespace tmi

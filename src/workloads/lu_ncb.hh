@@ -34,6 +34,7 @@ class LuNcbWorkload : public Workload
     void init(Machine &machine) override;
     void main(ThreadApi &api) override;
     bool validate(Machine &machine) override;
+    std::uint64_t resultDigest(Machine &machine) override;
 
   private:
     void worker(ThreadApi &api, unsigned t);

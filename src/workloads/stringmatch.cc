@@ -115,4 +115,15 @@ StringMatchWorkload::validate(Machine &machine)
     return total == _expectedMatches;
 }
 
+std::uint64_t
+StringMatchWorkload::resultDigest(Machine &machine)
+{
+    std::uint64_t h = digestSeed;
+    for (unsigned t = 0; t < _params.threads; ++t)
+        h = digestWord(h,
+                       machine.peekShared(_matches + t * lineBytes,
+                                          8));
+    return digestFinalize(h);
+}
+
 } // namespace tmi

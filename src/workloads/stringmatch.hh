@@ -29,6 +29,7 @@ class StringMatchWorkload : public Workload
     void init(Machine &machine) override;
     void main(ThreadApi &api) override;
     bool validate(Machine &machine) override;
+    std::uint64_t resultDigest(Machine &machine) override;
 
   private:
     void worker(ThreadApi &api, unsigned t);

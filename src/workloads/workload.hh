@@ -34,6 +34,27 @@ struct WorkloadParams
     std::uint64_t seed = 7;
 };
 
+/** Initial value for resultDigest() accumulation (FNV-1a offset). */
+inline constexpr std::uint64_t digestSeed = 0xcbf29ce484222325ULL;
+
+/** Fold one 64-bit output word into a running FNV-1a digest. */
+inline std::uint64_t
+digestWord(std::uint64_t h, std::uint64_t v)
+{
+    for (unsigned byte = 0; byte < 8; ++byte) {
+        h ^= (v >> (byte * 8)) & 0xff;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/** Map an accumulated digest away from 0 ("no digest defined"). */
+inline std::uint64_t
+digestFinalize(std::uint64_t h)
+{
+    return h == 0 ? 1 : h;
+}
+
 /** Base class for all evaluation programs. */
 class Workload
 {
@@ -61,6 +82,20 @@ class Workload
     {
         (void)machine;
         return true;
+    }
+
+    /**
+     * Digest of the program's semantically meaningful final state
+     * (its output arrays), read through the shared committed view
+     * after the run. Two runs with equal params must digest equal iff
+     * their results are equal -- the chaos oracle compares faulted
+     * runs against a fault-free golden through this. Zero means the
+     * workload defines no digest and differential checks skip it.
+     */
+    virtual std::uint64_t resultDigest(Machine &machine)
+    {
+        (void)machine;
+        return 0;
     }
 
     const WorkloadParams &params() const { return _params; }

@@ -210,6 +210,35 @@ TEST(BuilderRun, TracingOffCostsNothingAndCapturesNothing)
     EXPECT_EQ(res.metrics, nullptr);
 }
 
+TEST(BuilderRun, FaultFireCountsNeedNoTracing)
+{
+    // The chaos oracle consumes fault.fires from the metrics
+    // registry; those counts must exist on every build, including
+    // TMI_TRACING=0, as long as stats are requested -- they come from
+    // the injector itself, not from FaultFire trace events.
+    FaultSpec clone_fail;
+    clone_fail.probability = 1.0;
+    clone_fail.maxFires = 2;
+    RunResult res = Experiment::builder()
+                        .workload("histogramfs")
+                        .treatment(Treatment::TmiProtect)
+                        .threads(2)
+                        .scale(1)
+                        .fault(faultpoint::memCloneFail, clone_fail)
+                        .dumpStats(true)
+                        .run();
+    EXPECT_TRUE(res.traceEvents.empty());
+    ASSERT_NE(res.metrics, nullptr);
+    double fires = 0;
+    ASSERT_TRUE(res.metrics->value("fault.fires", fires));
+    EXPECT_EQ(fires, 2.0);
+    double point_fires = 0;
+    ASSERT_TRUE(res.metrics->value("fault.fires.mem.clone_fail",
+                                   point_fires));
+    EXPECT_EQ(point_fires, 2.0);
+    EXPECT_EQ(res.faultFires, 2u);
+}
+
 TEST(BuilderRun, TracedRunIsCycleIdenticalToUntraced)
 {
     if (!obs::TraceRecorder::compiledIn)

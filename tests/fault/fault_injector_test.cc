@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "fault/fault_injector.hh"
@@ -175,6 +178,109 @@ TEST(FaultInjector, StatsCountAcrossPoints)
     EXPECT_TRUE(g.lookupScalar("faultFires", fired));
     EXPECT_EQ(queries, 3.0);
     EXPECT_EQ(fired, 2.0);
+}
+
+TEST(FaultInjector, RegistryListsEveryInjectablePoint)
+{
+    auto points = FaultInjector::allPoints();
+    ASSERT_EQ(points.size(), 11u);
+    // Every name is unique, has a summary, and round-trips through
+    // arm(): the registry IS the set of armable points.
+    std::set<std::string> names;
+    FaultInjector inj;
+    for (const FaultPointInfo &info : points) {
+        EXPECT_TRUE(names.insert(info.name).second)
+            << info.name << " listed twice";
+        ASSERT_NE(info.summary, nullptr);
+        EXPECT_GT(std::string_view(info.summary).size(), 10u)
+            << info.name;
+        inj.arm(info.name, FaultSpec::always());
+        EXPECT_TRUE(inj.shouldFail(info.name)) << info.name;
+    }
+    // The namespace constants all appear in the registry.
+    for (const char *p :
+         {faultpoint::perfRingOverflow, faultpoint::perfDropRecord,
+          faultpoint::perfCorruptAddr, faultpoint::perfWildPc,
+          faultpoint::memFrameExhausted, faultpoint::memCloneFail,
+          faultpoint::ptsbTwinAllocFail,
+          faultpoint::ptsbOversizeCommit,
+          faultpoint::schedStopTimeout,
+          faultpoint::allocMetadataCorrupt,
+          faultpoint::allocSizeClassExhausted}) {
+        EXPECT_TRUE(names.count(p)) << p << " missing from registry";
+    }
+}
+
+TEST(FaultInjector, WindowedSpecNeverFiresWithoutAClock)
+{
+    FaultInjector inj;
+    inj.arm(faultpoint::memCloneFail,
+            FaultSpec::always().inWindow(0, 1'000'000));
+    for (unsigned i = 0; i < 50; ++i)
+        EXPECT_FALSE(inj.shouldFail(faultpoint::memCloneFail));
+    EXPECT_EQ(inj.totalFires(), 0u);
+}
+
+TEST(FaultInjector, WindowGatesFiringOnSimulatedTime)
+{
+    FaultInjector inj;
+    std::uint64_t now = 0;
+    inj.setClock([&] { return now; });
+    inj.arm(faultpoint::memCloneFail,
+            FaultSpec::always().inWindow(100, 200));
+
+    now = 99; // before the window
+    EXPECT_FALSE(inj.shouldFail(faultpoint::memCloneFail));
+    now = 100; // inclusive start
+    EXPECT_TRUE(inj.shouldFail(faultpoint::memCloneFail));
+    now = 199;
+    EXPECT_TRUE(inj.shouldFail(faultpoint::memCloneFail));
+    now = 200; // exclusive end
+    EXPECT_FALSE(inj.shouldFail(faultpoint::memCloneFail));
+    EXPECT_EQ(inj.fires(faultpoint::memCloneFail), 2u);
+}
+
+TEST(FaultInjector, BurstFiresLenOutOfEveryPeriod)
+{
+    FaultInjector inj;
+    FaultSpec spec;
+    spec.burstLen = 3;
+    spec.burstPeriod = 10;
+    inj.arm(faultpoint::perfRingOverflow, spec);
+
+    std::vector<bool> fires;
+    for (unsigned i = 0; i < 30; ++i)
+        fires.push_back(inj.shouldFail(faultpoint::perfRingOverflow));
+    // 3 fires at the head of every 10-query period.
+    for (unsigned i = 0; i < 30; ++i)
+        EXPECT_EQ(fires[i], i % 10 < 3) << "query " << i;
+    EXPECT_EQ(inj.fires(faultpoint::perfRingOverflow), 9u);
+}
+
+TEST(FaultInjector, WindowDoesNotPerturbTheRandomStream)
+{
+    // A windowed point must consume its random draws even while the
+    // window is closed, so fire positions inside the window are a
+    // pure function of the query index -- replay depends on it.
+    FaultInjector open(7), gated(7);
+    std::uint64_t now = 0;
+    gated.setClock([&] { return now; });
+    open.arm(faultpoint::perfWildPc, FaultSpec::withProbability(0.3));
+    gated.arm(faultpoint::perfWildPc,
+              FaultSpec::withProbability(0.3).inWindow(1000, 2000));
+
+    std::vector<bool> open_fires, gated_fires;
+    for (unsigned i = 0; i < 400; ++i) {
+        now = i * 10; // queries 100..199 land inside the window
+        open_fires.push_back(open.shouldFail(faultpoint::perfWildPc));
+        gated_fires.push_back(
+            gated.shouldFail(faultpoint::perfWildPc));
+    }
+    for (unsigned i = 0; i < 400; ++i) {
+        bool in_window = i >= 100 && i < 200;
+        EXPECT_EQ(gated_fires[i], in_window && open_fires[i])
+            << "query " << i;
+    }
 }
 
 } // namespace tmi

@@ -87,11 +87,12 @@ TEST(ExportGolden, CsvTimeSeries)
         "t2p.commit,t2p.rollback,cow.fault,cow.fallback,ptsb.commit,"
         "watchdog.flush,repair.engage,repair.page_protect,"
         "repair.unrepair,ladder.drop,ladder.recover,fault.fire,"
-        "detect.window,alloc.fallback\n"
+        "detect.window,alloc.fallback,chaos.schedule,"
+        "chaos.verdict\n"
         // Empty windows are emitted too: rows stay uniformly spaced.
-        "0,0.000,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0\n"
-        "1,1.000,1,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0\n"
-        "2,2.000,0,0,0,0,0,0,0,0,0,0,0,0,1,0,0,0,0\n";
+        "0,0.000,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0\n"
+        "1,1.000,1,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0\n"
+        "2,2.000,0,0,0,0,0,0,0,0,0,0,0,0,1,0,0,0,0,0,0\n";
     EXPECT_EQ(os.str(), expected);
 }
 
