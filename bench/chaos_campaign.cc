@@ -16,8 +16,15 @@
  *    reproducer specs instead of a seed number and a shrug.
  *
  * Env knobs: TMI_BENCH_SCALE (default 2), TMI_BENCH_WORKERS,
- * TMI_CHAOS_SCHEDULES (default 64), TMI_CHAOS_SEED (default 1).
+ * TMI_CHAOS_SCHEDULES (default 64), TMI_CHAOS_SEED (default 1),
+ * TMI_CHAOS_SHARDS (worker processes; only with --journal-dir).
  * Usage: chaos_campaign [--csv out.csv] [--repro-dir DIR]
+ *                       [--journal-dir DIR] [--resume]
+ *
+ * --journal-dir runs the campaign on the crash-safe shard
+ * supervisor: results are journaled as they land, a killed run
+ * continues with --resume, and the CSV is byte-identical to the
+ * in-process campaign's.
  */
 
 #include <fstream>
@@ -47,16 +54,23 @@ main(int argc, char **argv)
 {
     std::string csv_path;
     std::string repro_dir;
+    std::string journal_dir;
+    bool resume = false;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--csv" && i + 1 < argc) {
             csv_path = argv[++i];
         } else if (arg == "--repro-dir" && i + 1 < argc) {
             repro_dir = argv[++i];
+        } else if (arg == "--journal-dir" && i + 1 < argc) {
+            journal_dir = argv[++i];
+        } else if (arg == "--resume") {
+            resume = true;
         } else {
             std::fprintf(stderr,
                          "usage: chaos_campaign [--csv out.csv] "
-                         "[--repro-dir DIR]\n");
+                         "[--repro-dir DIR] [--journal-dir DIR] "
+                         "[--resume]\n");
             return 2;
         }
     }
@@ -77,7 +91,6 @@ main(int argc, char **argv)
 
     driver::RunnerOptions opts;
     opts.workers = benchWorkers();
-    driver::Runner runner(opts);
 
     std::ofstream csv_file;
     if (!csv_path.empty()) {
@@ -92,8 +105,32 @@ main(int argc, char **argv)
                            ? static_cast<std::ostream &>(std::cout)
                            : csv_file;
 
-    chaos::CampaignOutcome outcome =
-        chaos::runCampaign(spec, runner, &os);
+    chaos::CampaignOutcome outcome;
+    if (!journal_dir.empty()) {
+        chaos::ShardedCampaignOptions sharded;
+        sharded.shard.journalDir = journal_dir;
+        sharded.shard.resume = resume;
+        sharded.shard.shards = static_cast<unsigned>(
+            envU64("TMI_CHAOS_SHARDS", 2));
+        sharded.shard.runner = opts;
+        driver::ShardRunStats stats;
+        try {
+            outcome =
+                chaos::runCampaignSharded(spec, sharded, &os, &stats);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "chaos_campaign: %s\n", e.what());
+            return 2;
+        }
+        std::fprintf(
+            stderr,
+            "[chaos] %llu shard(s), %llu crash(es), %llu resumed\n",
+            static_cast<unsigned long long>(stats.shards),
+            static_cast<unsigned long long>(stats.crashes),
+            static_cast<unsigned long long>(stats.resumedJobs));
+    } else {
+        driver::Runner runner(opts);
+        outcome = chaos::runCampaign(spec, runner, &os);
+    }
 
     for (const auto &repro : outcome.reproducers) {
         std::fprintf(stderr, "[chaos] minimized reproducer:\n%s",
@@ -118,5 +155,5 @@ main(int argc, char **argv)
                  static_cast<unsigned long long>(outcome.failed),
                  static_cast<unsigned long long>(outcome.skipped),
                  static_cast<unsigned long long>(spec.campaignSeed));
-    return outcome.allPassed() ? 0 : 1;
+    return outcome.clean() ? 0 : 1;
 }

@@ -12,11 +12,22 @@
  *       [--no-minimize] [--minimize-limit N] [--repro-dir DIR]
  *       [--workers N] [--retries N] [--timeout-ms N]
  *       [--csv out.csv] [--no-progress] [--verbose]
+ *       [--journal-dir DIR] [--shards N] [--resume]
+ *       [--checkpoint-every K] [--kill-budget N]
  *
  *     Runs goldens + N generated fault schedules per cell, streams
  *     the campaign CSV (schema: scripts/check_chaos.py), and shrinks
  *     failures to minimal reproducer spec files under --repro-dir.
  *     The CSV is byte-identical for any --workers value.
+ *
+ *     --journal-dir turns on crash-safe orchestration: schedules run
+ *     in --shards worker processes journaling every result, a
+ *     schedule that kills its worker twice is quarantined
+ *     (status=poisoned) instead of sinking the campaign, and a
+ *     killed campaign continues with --resume, reproducing the
+ *     uninterrupted CSV byte for byte. Exit status: 0 = every run
+ *     executed and passed its oracle, 1 = an oracle failure OR any
+ *     job that failed/crashed/was quarantined, 2 = usage error.
  *
  *   tmi-chaos replay <spec-file> [--expect-fail] [--verbose]
  *
@@ -108,6 +119,12 @@ cmdCampaign(int argc, char **argv)
     std::string csv_path;
     std::string repro_dir;
     bool verbose = false;
+    std::string journal_dir;
+    unsigned shards = 1;
+    bool resume = false;
+    unsigned kill_budget = 2;
+    std::uint64_t checkpoint_every = 16;
+    bool sharded_flags = false;
 
     for (int i = 0; i < argc; ++i) {
         std::string arg = argv[i];
@@ -167,6 +184,21 @@ cmdCampaign(int argc, char **argv)
                 std::strtoll(next(), nullptr, 10));
         } else if (arg == "--csv") {
             csv_path = next();
+        } else if (arg == "--journal-dir") {
+            journal_dir = next();
+        } else if (arg == "--shards") {
+            shards = static_cast<unsigned>(std::atoi(next()));
+            sharded_flags = true;
+        } else if (arg == "--resume") {
+            resume = true;
+            sharded_flags = true;
+        } else if (arg == "--checkpoint-every") {
+            checkpoint_every = static_cast<std::uint64_t>(
+                std::strtoull(next(), nullptr, 10));
+            sharded_flags = true;
+        } else if (arg == "--kill-budget") {
+            kill_budget = static_cast<unsigned>(std::atoi(next()));
+            sharded_flags = true;
         } else if (arg == "--no-progress") {
             opts.progress = false;
         } else if (arg == "--verbose") {
@@ -177,6 +209,10 @@ cmdCampaign(int argc, char **argv)
     }
     if (!verbose)
         setLogLevel(LogLevel::Quiet);
+    if (sharded_flags && journal_dir.empty()) {
+        usageError("--shards/--resume/--checkpoint-every/"
+                   "--kill-budget need --journal-dir");
+    }
 
     std::vector<ConfigError> errors = spec.validate();
     if (!errors.empty()) {
@@ -197,9 +233,38 @@ cmdCampaign(int argc, char **argv)
     if (csv_path.empty())
         opts.progress = false;
 
-    driver::Runner runner(opts);
-    chaos::CampaignOutcome outcome =
-        chaos::runCampaign(spec, runner, &os);
+    chaos::CampaignOutcome outcome;
+    driver::ShardRunStats shard_stats;
+    if (!journal_dir.empty()) {
+        chaos::ShardedCampaignOptions sharded;
+        sharded.shard.shards = shards;
+        sharded.shard.journalDir = journal_dir;
+        sharded.shard.resume = resume;
+        sharded.shard.killBudget = kill_budget;
+        sharded.shard.checkpointEvery = checkpoint_every;
+        sharded.shard.runner = opts;
+        sharded.shard.runner.progress = false;
+        try {
+            outcome = chaos::runCampaignSharded(spec, sharded, &os,
+                                                &shard_stats);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "tmi-chaos: %s\n", e.what());
+            return 2;
+        }
+        std::fprintf(
+            stderr,
+            "[chaos] %llu shard(s): %llu crash(es), %llu "
+            "respawn(s), %llu poisoned, %llu job(s) resumed from "
+            "journals\n",
+            static_cast<unsigned long long>(shard_stats.shards),
+            static_cast<unsigned long long>(shard_stats.crashes),
+            static_cast<unsigned long long>(shard_stats.respawns),
+            static_cast<unsigned long long>(shard_stats.poisoned),
+            static_cast<unsigned long long>(shard_stats.resumedJobs));
+    } else {
+        driver::Runner runner(opts);
+        outcome = chaos::runCampaign(spec, runner, &os);
+    }
 
     for (const auto &repro : outcome.reproducers) {
         std::fprintf(
@@ -236,7 +301,19 @@ cmdCampaign(int argc, char **argv)
                  static_cast<unsigned long long>(outcome.passed),
                  static_cast<unsigned long long>(outcome.failed),
                  static_cast<unsigned long long>(outcome.skipped));
-    return outcome.allPassed() ? 0 : 1;
+    // A campaign is only a success when every run executed AND
+    // passed: a crashed or quarantined job must not be laundered
+    // into "skipped" silence.
+    if (!outcome.clean()) {
+        std::fprintf(
+            stderr,
+            "[chaos] FAILED: %llu oracle failure(s), %llu job(s) "
+            "did not execute (crashed/failed/quarantined)\n",
+            static_cast<unsigned long long>(outcome.failed),
+            static_cast<unsigned long long>(outcome.jobFailures));
+        return 1;
+    }
+    return 0;
 }
 
 int

@@ -18,13 +18,22 @@
  *       [--threads N] [--budget N] [--spec sweep.conf] \
  *       [--workers N] [--retries N] [--timeout-ms N] \
  *       [--csv out.csv] [--no-progress] [--dry-run] [--verbose] \
+ *       [--journal-dir DIR] [--shards N] [--resume] \
+ *       [--checkpoint-every K] [--kill-budget N] \
  *       [--list-workloads] [--list-treatments] [--list-fault-points]
  *
  * --spec reads the same keys from a key=value file (one per line,
  * #-comments); flags apply after the file, appending to axis lists.
  * CSV goes to stdout unless --csv is given; progress and the summary
- * go to stderr. Exit status: 0 = every job ok, 1 = some job failed
- * or timed out, 2 = usage error.
+ * go to stderr.
+ *
+ * --journal-dir turns on crash-safe orchestration: the matrix is
+ * split over --shards worker *processes*, every result is journaled
+ * before it counts, a crashing job is retried and then quarantined
+ * (status=poisoned) instead of killing the campaign, and a killed
+ * run continues with --resume -- the merged CSV is byte-identical
+ * to an uninterrupted run. Exit status: 0 = every job ok, 1 = some
+ * job failed, timed out or was quarantined, 2 = usage error.
  */
 
 #include <cstdio>
@@ -32,11 +41,13 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "common/logging.hh"
 #include "driver/runner.hh"
+#include "driver/supervisor.hh"
 #include "workloads/workload.hh"
 
 using namespace tmi;
@@ -85,6 +96,12 @@ main(int argc, char **argv)
     std::string csv_path;
     bool dry_run = false;
     bool verbose = false;
+    std::string journal_dir;
+    unsigned shards = 1;
+    bool resume = false;
+    unsigned kill_budget = 2;
+    std::uint64_t checkpoint_every = 16;
+    bool sharded_flags = false; //!< any orchestration flag given
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -131,6 +148,21 @@ main(int argc, char **argv)
                 std::strtoll(next(), nullptr, 10));
         } else if (arg == "--csv") {
             csv_path = next();
+        } else if (arg == "--journal-dir") {
+            journal_dir = next();
+        } else if (arg == "--shards") {
+            shards = static_cast<unsigned>(std::atoi(next()));
+            sharded_flags = true;
+        } else if (arg == "--resume") {
+            resume = true;
+            sharded_flags = true;
+        } else if (arg == "--checkpoint-every") {
+            checkpoint_every = static_cast<std::uint64_t>(
+                std::strtoull(next(), nullptr, 10));
+            sharded_flags = true;
+        } else if (arg == "--kill-budget") {
+            kill_budget = static_cast<unsigned>(std::atoi(next()));
+            sharded_flags = true;
         } else if (arg == "--no-progress") {
             opts.progress = false;
         } else if (arg == "--verbose") {
@@ -187,32 +219,86 @@ main(int argc, char **argv)
         return 0;
     }
 
-    std::ofstream csv_file;
-    if (!csv_path.empty()) {
-        csv_file.open(csv_path);
-        if (!csv_file)
-            usageError("cannot write '" + csv_path + "'");
+    if (sharded_flags && journal_dir.empty()) {
+        usageError("--shards/--resume/--checkpoint-every/"
+                   "--kill-budget need --journal-dir");
     }
-    std::ostream &os = csv_path.empty() ? std::cout : csv_file;
-    // Progress uses \r; keep it off a terminal that is also
-    // receiving the CSV.
-    if (csv_path.empty())
+
+    // The path sink owns its FILE and fsyncs on checkpoint
+    // boundaries: a killed orchestrator never leaves a torn row.
+    std::unique_ptr<driver::SweepCsvSink> sink;
+    if (!csv_path.empty()) {
+        sink = std::make_unique<driver::SweepCsvSink>(
+            csv_path, checkpoint_every);
+        if (!sink->ok())
+            usageError("cannot write '" + csv_path + "'");
+    } else {
+        // Progress uses \r; keep it off a terminal that is also
+        // receiving the CSV.
         opts.progress = false;
+        sink = std::make_unique<driver::SweepCsvSink>(std::cout);
+    }
 
-    driver::SweepCsvSink sink(os);
-    driver::Runner runner(opts);
-    runner.run(spec, &sink);
+    driver::SweepStats stats;
+    std::uint64_t crashes = 0, resumed = 0;
+    if (!journal_dir.empty()) {
+        driver::ShardOptions shard_opts;
+        shard_opts.shards = shards;
+        shard_opts.journalDir = journal_dir;
+        shard_opts.resume = resume;
+        shard_opts.killBudget = kill_budget;
+        shard_opts.checkpointEvery = checkpoint_every;
+        shard_opts.runner = opts;
+        shard_opts.runner.progress = false; // children share stderr
+        driver::ShardSupervisor supervisor(std::move(shard_opts));
+        driver::ShardRunStats shard_stats;
+        try {
+            shard_stats = supervisor.run(spec.expand(), sink.get());
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "tmi-sweep: %s\n", e.what());
+            return 2;
+        }
+        stats = shard_stats.sweep;
+        crashes = shard_stats.crashes;
+        resumed = shard_stats.resumedJobs;
+        std::fprintf(
+            stderr,
+            "[sweep] %llu shard(s): %llu crash(es), %llu respawn(s),"
+            " %llu job(s) resumed from journals\n",
+            static_cast<unsigned long long>(shard_stats.shards),
+            static_cast<unsigned long long>(crashes),
+            static_cast<unsigned long long>(shard_stats.respawns),
+            static_cast<unsigned long long>(resumed));
+    } else {
+        driver::Runner runner(opts);
+        runner.run(spec, sink.get());
+        stats = runner.stats();
+    }
+    sink->sync();
 
-    const driver::SweepStats &stats = runner.stats();
-    std::fprintf(stderr,
-                 "[sweep] %llu jobs: %llu ok, %llu failed, %llu "
-                 "timed out, %llu cancelled; %llu retries; %.1fs\n",
-                 static_cast<unsigned long long>(stats.total),
-                 static_cast<unsigned long long>(stats.ok),
-                 static_cast<unsigned long long>(stats.failed),
-                 static_cast<unsigned long long>(stats.timedOut),
-                 static_cast<unsigned long long>(stats.cancelled),
-                 static_cast<unsigned long long>(stats.retries),
-                 stats.wallSeconds);
-    return stats.ok == stats.total ? 0 : 1;
+    std::fprintf(
+        stderr,
+        "[sweep] %llu jobs: %llu ok, %llu failed, %llu "
+        "timed out, %llu cancelled, %llu poisoned; %llu retries; "
+        "%.1fs\n",
+        static_cast<unsigned long long>(stats.total),
+        static_cast<unsigned long long>(stats.ok),
+        static_cast<unsigned long long>(stats.failed),
+        static_cast<unsigned long long>(stats.timedOut),
+        static_cast<unsigned long long>(stats.cancelled),
+        static_cast<unsigned long long>(stats.poisoned),
+        static_cast<unsigned long long>(stats.retries),
+        stats.wallSeconds);
+    if (stats.ok != stats.total) {
+        std::fprintf(
+            stderr,
+            "[sweep] FAILED: %llu of %llu job(s) did not finish ok"
+            " (%llu quarantined as poison, %llu worker crash(es))\n",
+            static_cast<unsigned long long>(stats.total - stats.ok),
+            static_cast<unsigned long long>(stats.total),
+            static_cast<unsigned long long>(stats.poisoned),
+            static_cast<unsigned long long>(crashes));
+        return 1;
+    }
+    return 0;
 }

@@ -14,11 +14,20 @@ Usage:
     scripts/check_chaos.py chaos.csv
     scripts/check_chaos.py chaos.csv --expect-rows 195
     scripts/check_chaos.py chaos.csv --expect-pass
+    scripts/check_chaos.py chaos.csv --manifest journal-dir/
+
+--manifest validates the sharded campaign's journal directory: the
+goldens/ and chaos/ phase subdirectories each carry a supervisor
+MANIFEST plus one journal per shard, and their job counts must sum
+to the CSV row count. Shard identity deliberately does NOT appear as
+a CSV column (the CSV is byte-identical for any shard count), so
+this is where the shard bookkeeping gets audited.
 
 Exit status is non-zero on any schema violation or unmet requirement.
 """
 
 import argparse
+import os
 import sys
 
 # Keep in lockstep with chaosCsvHeader() in src/chaos/campaign.cc.
@@ -32,7 +41,7 @@ COLUMNS = [
 ]
 
 KINDS = {"golden", "chaos"}
-STATUSES = {"ok", "failed", "timeout", "cancelled"}
+STATUSES = {"ok", "failed", "timeout", "cancelled", "poisoned"}
 VERDICTS = {
     "golden", "pass", "digest.mismatch", "invariant.violation",
     "livelock", "run.failed", "no.digest",
@@ -51,6 +60,58 @@ HEX16 = ["digest", "golden_digest"]
 def is_hex16(cell):
     return len(cell) == 16 and all(
         c in "0123456789abcdef" for c in cell)
+
+
+def read_manifest(journal_dir):
+    """Parse one supervisor journal dir. Returns (errors, jobs)."""
+    errors = []
+    mpath = os.path.join(journal_dir, "MANIFEST")
+    try:
+        with open(mpath, "r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+    except OSError as exc:
+        return ["%s: not readable: %s" % (mpath, exc)], 0
+
+    if not lines or lines[0] != "tmi-campaign-manifest v1":
+        return ["%s: bad header %r" % (mpath, lines[:1])], 0
+    kv = dict(line.split("=", 1) for line in lines[1:] if "=" in line)
+    for key in ("jobs", "shards", "fingerprint"):
+        if key not in kv:
+            errors.append("%s: missing %s=" % (mpath, key))
+    if errors:
+        return errors, 0
+    if not kv["jobs"].isdigit() or not kv["shards"].isdigit():
+        return ["%s: jobs/shards are not unsigned integers"
+                % mpath], 0
+    fp = kv["fingerprint"]
+    if len(fp) != 16 or any(c not in "0123456789abcdef" for c in fp):
+        errors.append("%s: fingerprint=%r is not 16-digit hex"
+                      % (mpath, fp))
+    jobs, shards = int(kv["jobs"]), int(kv["shards"])
+    if shards < 1:
+        errors.append("%s: shards=%d < 1" % (mpath, shards))
+    for s in range(shards):
+        jpath = os.path.join(journal_dir, "shard-%03d.journal" % s)
+        if not os.path.exists(jpath):
+            errors.append("%s: missing journal for shard %d (%s)"
+                          % (journal_dir, s, jpath))
+    return errors, jobs
+
+
+def check_manifest(campaign_dir, expect_rows):
+    """Validate both phase journal dirs of a sharded campaign."""
+    errors = []
+    total_jobs = 0
+    for phase in ("goldens", "chaos"):
+        phase_errors, jobs = read_manifest(
+            os.path.join(campaign_dir, phase))
+        errors += phase_errors
+        total_jobs += jobs
+    if not errors and expect_rows is not None \
+            and total_jobs != expect_rows:
+        errors.append("%s: goldens+chaos jobs=%d != %d CSV data rows"
+                      % (campaign_dir, total_jobs, expect_rows))
+    return errors
 
 
 def check(path, expect_rows, expect_pass):
@@ -165,9 +226,16 @@ def main():
     ap.add_argument("--expect-pass", action="store_true",
                     help="require every judged run to pass the "
                          "differential oracle")
+    ap.add_argument("--manifest", default=None, metavar="DIR",
+                    help="also validate the sharded campaign's "
+                         "journal directory (goldens/ and chaos/ "
+                         "supervisor MANIFESTs + per-shard journals)")
     args = ap.parse_args()
 
     errors, rows = check(args.csv, args.expect_rows, args.expect_pass)
+    if args.manifest is not None:
+        errors += check_manifest(args.manifest,
+                                 rows if not errors else None)
     if errors:
         for err in errors:
             print("check_chaos: %s" % err, file=sys.stderr)

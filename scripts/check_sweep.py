@@ -13,11 +13,20 @@ Usage:
     scripts/check_sweep.py sweep.csv
     scripts/check_sweep.py sweep.csv --expect-rows 40
     scripts/check_sweep.py sweep.csv --expect-ok
+    scripts/check_sweep.py sweep.csv --manifest journal-dir/
+
+--manifest validates the sharded-orchestration metadata the CSV came
+from (the supervisor's MANIFEST plus one journal per shard) and
+cross-checks its job count against the CSV row count. Shard identity
+deliberately does NOT appear as a CSV column -- the merged CSV must
+be byte-identical for any shard count -- so this is where the shard
+bookkeeping gets audited.
 
 Exit status is non-zero on any schema violation or unmet requirement.
 """
 
 import argparse
+import os
 import sys
 
 # Keep in lockstep with sweepCsvHeader() in src/driver/sink.cc.
@@ -30,7 +39,7 @@ COLUMNS = [
     "watchdog_flushes", "cow_fallbacks", "ladder_drops",
 ]
 
-STATUSES = {"ok", "failed", "timeout", "cancelled"}
+STATUSES = {"ok", "failed", "timeout", "cancelled", "poisoned"}
 
 NUMERIC = [
     "job_id", "threads", "scale", "period", "seed", "attempts",
@@ -38,6 +47,45 @@ NUMERIC = [
     "commits", "conflict_bytes", "fault_fires", "t2p_aborts",
     "unrepairs", "watchdog_flushes", "cow_fallbacks", "ladder_drops",
 ]
+
+
+def check_manifest(journal_dir, expect_jobs):
+    """Validate one supervisor journal directory (MANIFEST + one
+    journal file per shard). Returns a list of errors."""
+    errors = []
+    mpath = os.path.join(journal_dir, "MANIFEST")
+    try:
+        with open(mpath, "r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+    except OSError as exc:
+        return ["%s: not readable: %s" % (mpath, exc)]
+
+    if not lines or lines[0] != "tmi-campaign-manifest v1":
+        return ["%s: bad header %r" % (mpath, lines[:1])]
+    kv = dict(line.split("=", 1) for line in lines[1:] if "=" in line)
+    for key in ("jobs", "shards", "fingerprint"):
+        if key not in kv:
+            errors.append("%s: missing %s=" % (mpath, key))
+    if errors:
+        return errors
+    if not kv["jobs"].isdigit() or not kv["shards"].isdigit():
+        return ["%s: jobs/shards are not unsigned integers" % mpath]
+    fp = kv["fingerprint"]
+    if len(fp) != 16 or any(c not in "0123456789abcdef" for c in fp):
+        errors.append("%s: fingerprint=%r is not 16-digit hex"
+                      % (mpath, fp))
+    jobs, shards = int(kv["jobs"]), int(kv["shards"])
+    if shards < 1:
+        errors.append("%s: shards=%d < 1" % (mpath, shards))
+    if expect_jobs is not None and jobs != expect_jobs:
+        errors.append("%s: jobs=%d != %d CSV data rows"
+                      % (mpath, jobs, expect_jobs))
+    for s in range(shards):
+        jpath = os.path.join(journal_dir, "shard-%03d.journal" % s)
+        if not os.path.exists(jpath):
+            errors.append("%s: missing journal for shard %d (%s)"
+                          % (journal_dir, s, jpath))
+    return errors
 
 
 def check(path, expect_rows, expect_ok):
@@ -107,9 +155,16 @@ def main():
                          "(the matrix size)")
     ap.add_argument("--expect-ok", action="store_true",
                     help="require every row to have status=ok")
+    ap.add_argument("--manifest", default=None, metavar="DIR",
+                    help="also validate the shard supervisor's "
+                         "journal directory (MANIFEST + per-shard "
+                         "journals) this CSV was merged from")
     args = ap.parse_args()
 
     errors, rows = check(args.csv, args.expect_rows, args.expect_ok)
+    if args.manifest is not None:
+        errors += check_manifest(args.manifest,
+                                 rows if not errors else None)
     if errors:
         for err in errors:
             print("check_sweep: %s" % err, file=sys.stderr)

@@ -78,6 +78,64 @@ cmp "$chaos1" "$chaos4"
 ./build/examples/tmi-chaos replay \
     goldens/chaos/sheriff_dissolve_order.spec --expect-fail
 
+# Crash-safe orchestration smoke: the same workloads on the shard
+# supervisor (worker processes + journals) must merge to CSVs
+# byte-identical to the in-process runs, the checkers must validate
+# the shard metadata the CSVs deliberately omit, and a supervisor
+# SIGKILLed mid-campaign must resume from its journals into the same
+# bytes as an uninterrupted run.
+echo "=== crash-safe orchestration smoke (kill -9 + resume) ==="
+shard_dir="$(mktemp -d -t tmi_shards.XXXXXX)"
+sweep3="$(mktemp -t tmi_sweep3.XXXXXX.csv)"
+sweep4="$(mktemp -t tmi_sweep4.XXXXXX.csv)"
+kill_gold="$(mktemp -t tmi_killgold.XXXXXX.csv)"
+chaos_sh="$(mktemp -t tmi_chaos_sh.XXXXXX.csv)"
+trap 'rm -f "$trace_out" "$sweep1" "$sweep2" "$chaos1" "$chaos4" \
+    "$sweep3" "$sweep4" "$kill_gold" "$chaos_sh"; \
+    rm -rf "$shard_dir"' EXIT
+
+./build/examples/tmi-sweep "${sweep_args[@]}" --csv "$sweep3" \
+    --journal-dir "$shard_dir/full" --shards 3 --checkpoint-every 2
+python3 scripts/check_sweep.py "$sweep3" --expect-rows 8 --expect-ok \
+    --manifest "$shard_dir/full"
+cmp "$sweep1" "$sweep3"
+
+./build/examples/tmi-chaos campaign "${chaos_args[@]}" \
+    --csv "$chaos_sh" --journal-dir "$shard_dir/chaos" --shards 2
+python3 scripts/check_chaos.py "$chaos_sh" --expect-rows 18 \
+    --expect-pass --manifest "$shard_dir/chaos"
+cmp "$chaos1" "$chaos_sh"
+
+# SIGKILL the supervisor once at least one result has been journaled.
+# setsid gives it its own session, so the process-group kill takes
+# the forked shard workers with it and leaves ci.sh alone. If the
+# small campaign wins the race and finishes before the kill lands,
+# resume is a no-op over complete journals -- the byte comparison is
+# meaningful either way.
+kill_args=(--workloads histogramfs,spinlockpool
+    --treatments pthreads,tmi-protect --scales 2
+    --fault-points mem.frame_exhausted --fault-rates 0,0.25,0.5,0.75
+    --no-progress)
+./build/examples/tmi-sweep "${kill_args[@]}" --workers 1 \
+    --csv "$kill_gold"
+setsid ./build/examples/tmi-sweep "${kill_args[@]}" --csv "$sweep4" \
+    --journal-dir "$shard_dir/killed" --shards 2 \
+    --checkpoint-every 1 &
+victim=$!
+for _ in $(seq 1 200); do
+    size="$(stat -c%s "$shard_dir/killed/shard-000.journal" \
+        2>/dev/null || echo 0)"
+    if [ "$size" -gt 8 ]; then break; fi # past the journal magic
+    sleep 0.02
+done
+kill -9 -- "-$victim" 2>/dev/null || true
+wait "$victim" 2>/dev/null || true
+./build/examples/tmi-sweep "${kill_args[@]}" --csv "$sweep4" \
+    --journal-dir "$shard_dir/killed" --resume
+cmp "$kill_gold" "$sweep4"
+python3 scripts/check_sweep.py "$sweep4" --expect-rows 16 \
+    --expect-ok --manifest "$shard_dir/killed"
+
 # Access-path smoke: the cycle-identity golden (simulated outputs are
 # byte-identical across hot-path changes; also run under ctest, pinned
 # here explicitly because the AccessPipeline depends on it) plus one

@@ -1,5 +1,6 @@
 #include "campaign.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <ostream>
 
@@ -80,6 +81,10 @@ judgeJob(const driver::JobResult &jr, const RunResult &golden)
       case driver::JobStatus::Failed:
         return {Verdict::RunFailed,
                 jr.error.empty() ? "job failed" : jr.error};
+      case driver::JobStatus::Poisoned:
+        return {Verdict::RunFailed,
+                jr.error.empty() ? "quarantined as a poison job"
+                                 : jr.error};
       case driver::JobStatus::Cancelled:
         break;
     }
@@ -232,6 +237,7 @@ runCampaign(const CampaignSpec &spec, driver::Runner &runner,
             row.judgement = {Verdict::Pass, "golden baseline"};
         } else {
             row.judgement = judgeJob(jr, {});
+            ++out.jobFailures;
         }
         if (csv)
             *csv << chaosCsvRow(row) << "\n";
@@ -278,6 +284,8 @@ runCampaign(const CampaignSpec &spec, driver::Runner &runner,
             row.slowdown = static_cast<double>(jr.run.cycles) /
                            static_cast<double>(cell.golden.cycles);
         }
+        if (jr.status != driver::JobStatus::Ok)
+            ++out.jobFailures;
         ++out.judged;
         if (row.judgement.pass())
             ++out.passed;
@@ -327,6 +335,197 @@ runCampaign(const CampaignSpec &spec, driver::Runner &runner,
         repro.judgement = judge(cell.golden, replay);
         out.reproducers.push_back(std::move(repro));
         ++minimized;
+    }
+    return out;
+}
+
+namespace
+{
+
+/** Sum the supervisor stats of one phase into the campaign total. */
+void
+accumulateStats(driver::ShardRunStats &total,
+                const driver::ShardRunStats &phase)
+{
+    total.shards = std::max(total.shards, phase.shards);
+    total.crashes += phase.crashes;
+    total.respawns += phase.respawns;
+    total.poisoned += phase.poisoned;
+    total.resumedJobs += phase.resumedJobs;
+    total.tornRecords += phase.tornRecords;
+    total.sweep.total += phase.sweep.total;
+    total.sweep.ok += phase.sweep.ok;
+    total.sweep.failed += phase.sweep.failed;
+    total.sweep.timedOut += phase.sweep.timedOut;
+    total.sweep.cancelled += phase.sweep.cancelled;
+    total.sweep.poisoned += phase.sweep.poisoned;
+    total.sweep.retries += phase.sweep.retries;
+    total.sweep.wallSeconds += phase.sweep.wallSeconds;
+}
+
+} // namespace
+
+CampaignOutcome
+runCampaignSharded(const CampaignSpec &spec,
+                   const ShardedCampaignOptions &opts,
+                   std::ostream *csv,
+                   driver::ShardRunStats *orchestration)
+{
+    CampaignOutcome out;
+    driver::ShardRunStats total;
+    if (csv)
+        *csv << chaosCsvHeader() << "\n";
+
+    struct Cell
+    {
+        Config config;
+        RunResult golden;
+        bool goldenOk = false;
+    };
+    std::vector<Cell> cells;
+    for (const std::string &wl : spec.workloads) {
+        for (Treatment t : spec.treatments)
+            cells.push_back({cellConfig(spec, wl, t), {}, false});
+    }
+
+    // Each phase runs under its own supervisor and journals into its
+    // own subdirectory: the two job lists have different shapes, so
+    // they must not share a MANIFEST.
+    auto phaseOptions = [&](const char *phase) {
+        driver::ShardOptions so = opts.shard;
+        so.journalDir = opts.shard.journalDir + "/" + phase;
+        return so;
+    };
+
+    // Phase 1: goldens, one process-isolated job per cell. The
+    // merged journal stream arrives in cell order, so the golden
+    // rows are identical to an in-process runCampaign's.
+    std::vector<driver::Job> golden_jobs;
+    for (const Cell &cell : cells)
+        golden_jobs.push_back({0, cell.config, "", 0.0});
+
+    std::uint64_t next_id = 0;
+    driver::FunctionSink golden_sink([&](const driver::JobResult &jr) {
+        Cell &cell = cells[jr.job.id];
+        CampaignRow row;
+        row.id = next_id++;
+        row.golden = true;
+        fillCell(row.schedule, cell.config);
+        row.schedule.campaignSeed = spec.campaignSeed;
+        row.status = jr.status;
+        row.run = jr.run;
+        if (jr.status == driver::JobStatus::Ok) {
+            cell.golden = jr.run;
+            cell.goldenOk = jr.run.outcome == RunOutcome::Completed;
+            row.goldenDigest = jr.run.resultDigest;
+            row.slowdown = 1.0;
+            row.judgement = {Verdict::Pass, "golden baseline"};
+        } else {
+            row.judgement = judgeJob(jr, {});
+            ++out.jobFailures;
+        }
+        if (csv)
+            *csv << chaosCsvRow(row) << "\n";
+        if (opts.collectRows)
+            out.rows.push_back(std::move(row));
+    });
+    {
+        driver::ShardSupervisor sup(phaseOptions("goldens"));
+        accumulateStats(
+            total, sup.run(std::move(golden_jobs), &golden_sink));
+    }
+
+    // Phase 2: the chaos matrix under process isolation. Schedule
+    // draw k of cell c is a pure function of (campaign seed,
+    // c * schedules + k, the cell's golden makespan), so the sink
+    // re-draws each delivered job's schedule on demand instead of
+    // buffering all of them -- with collectRows off the campaign
+    // holds one row at a time no matter how many schedules run.
+    ScheduleGenerator gen(spec.campaignSeed, spec.generator);
+    auto drawSchedule = [&](std::uint64_t globalIndex) {
+        const Cell &cell = cells[globalIndex / spec.schedules];
+        ChaosSchedule sched = gen.generate(
+            globalIndex, cell.goldenOk ? cell.golden.cycles : 0);
+        fillCell(sched, cell.config);
+        sched.campaignSeed = spec.campaignSeed;
+        return sched;
+    };
+
+    std::vector<driver::Job> chaos_jobs;
+    for (std::uint64_t i = 0; i < cells.size() * spec.schedules; ++i) {
+        chaos_jobs.push_back(
+            {0, drawSchedule(i).toConfig(spec.base), "chaos", 0.0});
+    }
+
+    // Failures queued for phase 3 (bounded by minimizeLimit).
+    struct PendingFailure
+    {
+        ChaosSchedule schedule;
+        std::size_t cell;
+    };
+    std::vector<PendingFailure> to_minimize;
+
+    driver::FunctionSink chaos_sink([&](const driver::JobResult &jr) {
+        std::size_t c = jr.job.id / spec.schedules;
+        const Cell &cell = cells[c];
+        CampaignRow row;
+        row.id = next_id++;
+        row.schedule = drawSchedule(jr.job.id);
+        row.status = jr.status;
+        row.run = jr.run;
+        row.goldenDigest =
+            cell.goldenOk ? cell.golden.resultDigest : 0;
+        row.judgement = judgeJob(jr, cell.golden);
+        if (jr.status == driver::JobStatus::Ok && cell.goldenOk &&
+            cell.golden.cycles != 0) {
+            row.slowdown = static_cast<double>(jr.run.cycles) /
+                           static_cast<double>(cell.golden.cycles);
+        }
+        if (jr.status != driver::JobStatus::Ok)
+            ++out.jobFailures;
+        ++out.judged;
+        if (row.judgement.pass())
+            ++out.passed;
+        else if (row.judgement.fail())
+            ++out.failed;
+        else
+            ++out.skipped;
+        if (spec.minimizeFailures &&
+            to_minimize.size() < spec.minimizeLimit &&
+            row.judgement.fail() &&
+            jr.status == driver::JobStatus::Ok) {
+            to_minimize.push_back({row.schedule, c});
+        }
+        if (csv)
+            *csv << chaosCsvRow(row) << "\n";
+        if (opts.collectRows)
+            out.rows.push_back(std::move(row));
+    });
+    {
+        driver::ShardSupervisor sup(phaseOptions("chaos"));
+        accumulateStats(
+            total, sup.run(std::move(chaos_jobs), &chaos_sink));
+    }
+
+    if (orchestration)
+        *orchestration = total;
+
+    // Phase 3: shrink, exactly as runCampaign does -- probes replay
+    // in-process (each probe is the deterministic simulation the
+    // journals already proved out).
+    for (const PendingFailure &pf : to_minimize) {
+        const Cell &cell = cells[pf.cell];
+        auto still_fails = [&](const ChaosSchedule &s) {
+            RunResult probe = runExperiment(s.toConfig(spec.base));
+            return judge(cell.golden, probe).fail();
+        };
+        CampaignOutcome::Reproducer repro;
+        repro.minimized =
+            minimizeSchedule(pf.schedule, still_fails, &repro.stats);
+        RunResult replay =
+            runExperiment(repro.minimized.toConfig(spec.base));
+        repro.judgement = judge(cell.golden, replay);
+        out.reproducers.push_back(std::move(repro));
     }
     return out;
 }

@@ -31,6 +31,7 @@
 #include "chaos/oracle.hh"
 #include "chaos/schedule.hh"
 #include "driver/runner.hh"
+#include "driver/supervisor.hh"
 
 namespace tmi::chaos
 {
@@ -94,6 +95,13 @@ struct CampaignOutcome
     std::uint64_t skipped = 0; //!< NoDigest / cancelled cells
     /// @}
 
+    /** Rows (goldens included) whose job did not end status=ok:
+     *  host failures, timeouts, quarantined poison jobs, cancelled
+     *  cells. Chaos-run failures also show up in `failed` (they are
+     *  judged RunFailed); golden failures and cancellations appear
+     *  only here -- a healthy campaign needs both at zero. */
+    std::uint64_t jobFailures = 0;
+
     /** A minimized failure, ready to serialize and check in. */
     struct Reproducer
     {
@@ -103,7 +111,13 @@ struct CampaignOutcome
     };
     std::vector<Reproducer> reproducers;
 
+    /** Every executed run satisfied its oracle. */
     bool allPassed() const { return failed == 0; }
+
+    /** allPassed *and* every job actually ran: the exit-status
+     *  predicate (a campaign whose jobs crashed must not report
+     *  success just because the survivors passed). */
+    bool clean() const { return failed == 0 && jobFailures == 0; }
 };
 
 /** @name Campaign CSV schema */
@@ -123,6 +137,35 @@ std::string chaosCsvRow(const CampaignRow &row);
 CampaignOutcome runCampaign(const CampaignSpec &spec,
                             driver::Runner &runner,
                             std::ostream *csv = nullptr);
+
+/** Orchestration policy for a crash-safe sharded campaign. */
+struct ShardedCampaignOptions
+{
+    /** Shards, journal dir (required), resume, kill budget... The
+     *  goldens and chaos phases journal into the `goldens/` and
+     *  `chaos/` subdirectories of ShardOptions::journalDir. */
+    driver::ShardOptions shard;
+    /** Retain every CampaignRow in the outcome (tests, benches).
+     *  Off (the default) keeps campaign memory flat: rows stream to
+     *  the CSV and the tallies, and only the few failures queued for
+     *  minimization are held. */
+    bool collectRows = false;
+};
+
+/**
+ * runCampaign on the shard supervisor: worker processes instead of
+ * worker threads, per-shard journals instead of in-memory buffering.
+ * A crashing schedule costs its shard generation, not the campaign;
+ * a supervisor killed at any point resumes (opts.shard.resume) from
+ * the journals and still produces a CSV byte-identical to an
+ * uninterrupted runCampaign of the same spec. @p orchestration (may
+ * be null) receives the summed supervisor stats of both phases.
+ */
+CampaignOutcome
+runCampaignSharded(const CampaignSpec &spec,
+                   const ShardedCampaignOptions &opts,
+                   std::ostream *csv = nullptr,
+                   driver::ShardRunStats *orchestration = nullptr);
 
 /**
  * Replay one schedule: run its cell fault-free for the golden, then

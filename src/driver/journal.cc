@@ -1,0 +1,558 @@
+#include "journal.hh"
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace tmi::driver
+{
+
+namespace
+{
+
+/** File magic: format name + version byte. Bumping the version is a
+ *  clean break -- old journals recover as empty, jobs just re-run. */
+constexpr char kMagic[8] = {'T', 'M', 'I', 'J', 'R', 'N', 'L', '1'};
+
+/** Frames larger than this are treated as corruption, not records;
+ *  a real record is a few hundred bytes of scalars and short
+ *  strings. */
+constexpr std::uint32_t kMaxPayload = 1u << 20;
+
+/** @name Little-endian primitive (de)serializers */
+/// @{
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putU64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putDouble(std::string &out, double v)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    putU64(out, bits);
+}
+
+void
+putString(std::string &out, const std::string &s)
+{
+    putU32(out, static_cast<std::uint32_t>(s.size()));
+    out.append(s);
+}
+
+struct Cursor
+{
+    const std::string &buf;
+    std::size_t pos = 0;
+    bool ok = true;
+
+    bool
+    take(void *dst, std::size_t n)
+    {
+        if (!ok || pos + n > buf.size()) {
+            ok = false;
+            return false;
+        }
+        std::memcpy(dst, buf.data() + pos, n);
+        pos += n;
+        return true;
+    }
+
+    std::uint32_t
+    u32()
+    {
+        unsigned char b[4] = {};
+        take(b, 4);
+        return static_cast<std::uint32_t>(b[0]) | (b[1] << 8) |
+               (b[2] << 16) | (static_cast<std::uint32_t>(b[3]) << 24);
+    }
+
+    std::uint64_t
+    u64()
+    {
+        unsigned char b[8] = {};
+        take(b, 8);
+        std::uint64_t v = 0;
+        for (int i = 7; i >= 0; --i)
+            v = (v << 8) | b[i];
+        return v;
+    }
+
+    double
+    f64()
+    {
+        std::uint64_t bits = u64();
+        double v = 0;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        std::uint32_t n = u32();
+        if (!ok || n > kMaxPayload || pos + n > buf.size()) {
+            ok = false;
+            return {};
+        }
+        std::string s(buf, pos, n);
+        pos += n;
+        return s;
+    }
+};
+/// @}
+
+/** Full write() with EINTR retry. */
+bool
+writeAll(int fd, const void *data, std::size_t size)
+{
+    const char *p = static_cast<const char *>(data);
+    while (size > 0) {
+        ssize_t n = ::write(fd, p, size);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += n;
+        size -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const void *data, std::size_t size)
+{
+    // Table-driven CRC-32 (IEEE 802.3, reflected 0xEDB88320),
+    // computed once on first use.
+    static const auto table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    std::uint32_t crc = 0xFFFFFFFFu;
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < size; ++i)
+        crc = table[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+    return crc ^ 0xFFFFFFFFu;
+}
+
+void
+JournalRecord::restore(JobResult &out) const
+{
+    out.status = status;
+    out.attempts = attempts;
+    out.error = error;
+    out.run = run;
+}
+
+JournalRecord
+JournalRecord::capture(std::uint64_t globalId, const JobResult &r)
+{
+    JournalRecord rec;
+    rec.jobId = globalId;
+    rec.status = r.status;
+    rec.attempts = r.attempts;
+    rec.error = r.error;
+    rec.run = r.run;
+    // Strip the non-durable debugging payloads (see file comment).
+    rec.run.traceEvents.clear();
+    rec.run.statsText.clear();
+    rec.run.metrics.reset();
+    return rec;
+}
+
+std::string
+encodeRecord(const JournalRecord &rec)
+{
+    const RunResult &r = rec.run;
+    std::string out;
+    out.reserve(256);
+    putU64(out, rec.jobId);
+    out.push_back(static_cast<char>(rec.status));
+    putU32(out, rec.attempts);
+    putString(out, rec.error);
+
+    putString(out, r.workload);
+    out.push_back(static_cast<char>(r.treatment));
+    out.push_back(static_cast<char>(r.outcome));
+    out.push_back(r.valid ? 1 : 0);
+    out.push_back(r.compatible ? 1 : 0);
+    out.push_back(r.repairActive ? 1 : 0);
+    putU64(out, r.resultDigest);
+    putU64(out, r.cycles);
+    putDouble(out, r.seconds);
+    putU64(out, r.hitmEvents);
+    putU64(out, r.pebsRecords);
+    putDouble(out, r.fsEventsEstimated);
+    putDouble(out, r.tsEventsEstimated);
+    putU64(out, r.repairStartCycles);
+    putU64(out, r.t2pCycles);
+    putU64(out, r.commits);
+    putDouble(out, r.commitsPerSec);
+    putU64(out, r.pagesProtected);
+    putU64(out, r.conflictBytes);
+    putU64(out, r.appBytesPeak);
+    putU64(out, r.overheadBytes);
+    putU64(out, r.softFaults);
+    putU64(out, r.memOps);
+    putString(out, r.ladderRung);
+    putU64(out, r.faultFires);
+    putU64(out, r.t2pAborts);
+    putU64(out, r.unrepairs);
+    putU64(out, r.watchdogFlushes);
+    putU64(out, r.cowFallbacks);
+    putU64(out, r.ladderDrops);
+    putU64(out, r.ladderRecovers);
+    putU64(out, r.invariantViolations);
+    putU64(out, r.traceRecorded);
+    putU64(out, r.traceOverwritten);
+    return out;
+}
+
+bool
+decodeRecord(const std::string &payload, JournalRecord &out)
+{
+    Cursor c{payload};
+    out = {};
+    out.jobId = c.u64();
+    char status = 0;
+    c.take(&status, 1);
+    if (status < 0 ||
+        status > static_cast<char>(JobStatus::Poisoned)) {
+        return false;
+    }
+    out.status = static_cast<JobStatus>(status);
+    out.attempts = c.u32();
+    out.error = c.str();
+
+    RunResult &r = out.run;
+    r.workload = c.str();
+    char treatment = 0, outcome = 0, flag = 0;
+    c.take(&treatment, 1);
+    r.treatment = static_cast<Treatment>(treatment);
+    c.take(&outcome, 1);
+    r.outcome = static_cast<RunOutcome>(outcome);
+    c.take(&flag, 1);
+    r.valid = flag != 0;
+    c.take(&flag, 1);
+    r.compatible = flag != 0;
+    c.take(&flag, 1);
+    r.repairActive = flag != 0;
+    r.resultDigest = c.u64();
+    r.cycles = c.u64();
+    r.seconds = c.f64();
+    r.hitmEvents = c.u64();
+    r.pebsRecords = c.u64();
+    r.fsEventsEstimated = c.f64();
+    r.tsEventsEstimated = c.f64();
+    r.repairStartCycles = c.u64();
+    r.t2pCycles = c.u64();
+    r.commits = c.u64();
+    r.commitsPerSec = c.f64();
+    r.pagesProtected = c.u64();
+    r.conflictBytes = c.u64();
+    r.appBytesPeak = c.u64();
+    r.overheadBytes = c.u64();
+    r.softFaults = c.u64();
+    r.memOps = c.u64();
+    r.ladderRung = c.str();
+    r.faultFires = c.u64();
+    r.t2pAborts = c.u64();
+    r.unrepairs = c.u64();
+    r.watchdogFlushes = c.u64();
+    r.cowFallbacks = c.u64();
+    r.ladderDrops = c.u64();
+    r.ladderRecovers = c.u64();
+    r.invariantViolations = c.u64();
+    r.traceRecorded = c.u64();
+    r.traceOverwritten = c.u64();
+    // The payload must be exactly one record: trailing bytes mean a
+    // framing bug or a foreign format, both grounds for rejection.
+    return c.ok && c.pos == payload.size();
+}
+
+namespace
+{
+
+/** Read exactly @p size bytes at @p offset; false on a short read. */
+bool
+preadAll(int fd, void *dst, std::size_t size, std::uint64_t offset)
+{
+    char *p = static_cast<char *>(dst);
+    while (size > 0) {
+        ssize_t n = ::pread(fd, p, size, static_cast<off_t>(offset));
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            return false;
+        p += n;
+        offset += static_cast<std::uint64_t>(n);
+        size -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** Decode the frame at @p offset; false on tear/corruption.
+ *  @p frameBytes reports the full frame length on success. */
+bool
+readFrame(int fd, std::uint64_t offset, std::uint64_t fileSize,
+          JournalRecord &out, std::uint64_t &frameBytes)
+{
+    if (offset + 8 > fileSize)
+        return false;
+    unsigned char hdr[8];
+    if (!preadAll(fd, hdr, sizeof(hdr), offset))
+        return false;
+    std::uint32_t len = static_cast<std::uint32_t>(hdr[0]) |
+                        (hdr[1] << 8) | (hdr[2] << 16) |
+                        (static_cast<std::uint32_t>(hdr[3]) << 24);
+    std::uint32_t crc = static_cast<std::uint32_t>(hdr[4]) |
+                        (hdr[5] << 8) | (hdr[6] << 16) |
+                        (static_cast<std::uint32_t>(hdr[7]) << 24);
+    if (len == 0 || len > kMaxPayload || offset + 8 + len > fileSize)
+        return false;
+    std::string payload(len, '\0');
+    if (!preadAll(fd, payload.data(), len, offset + 8))
+        return false;
+    if (crc32(payload.data(), payload.size()) != crc)
+        return false; // bit rot or a mid-payload tear
+    if (!decodeRecord(payload, out))
+        return false;
+    frameBytes = 8 + len;
+    return true;
+}
+
+} // namespace
+
+JournalRecovery
+scanJournal(const std::string &path,
+            const std::function<void(const JournalRecord &,
+                                     std::uint64_t)> &fn)
+{
+    JournalRecovery rec;
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return rec;
+    rec.existed = true;
+    off_t end = ::lseek(fd, 0, SEEK_END);
+    std::uint64_t size = end > 0 ? static_cast<std::uint64_t>(end) : 0;
+
+    char magic[sizeof(kMagic)];
+    if (size < sizeof(kMagic) ||
+        !preadAll(fd, magic, sizeof(magic), 0) ||
+        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+        // Wrong/zero-length magic: the whole file is torn.
+        rec.tornBytes = size;
+        ::close(fd);
+        return rec;
+    }
+    rec.validBytes = sizeof(kMagic);
+
+    JournalRecord record;
+    std::uint64_t frame = 0;
+    std::uint64_t count = 0;
+    while (readFrame(fd, rec.validBytes, size, record, frame)) {
+        if (fn)
+            fn(record, rec.validBytes);
+        rec.validBytes += frame;
+        ++count;
+    }
+    rec.tornBytes = size - rec.validBytes;
+    ::close(fd);
+
+    // Cross-check the advisory checkpoint: it may lag (appends since
+    // the last sync) but claiming *more* records than the journal
+    // holds marks it stale.
+    int mfd = ::open(JournalWriter::checkpointPath(path).c_str(),
+                     O_RDONLY);
+    if (mfd >= 0) {
+        char buf[128];
+        ssize_t n = ::read(mfd, buf, sizeof(buf) - 1);
+        ::close(mfd);
+        if (n > 0) {
+            buf[n] = '\0';
+            unsigned long long claimed = 0;
+            if (std::sscanf(buf, "records=%llu", &claimed) == 1 &&
+                claimed > count) {
+                rec.checkpointStale = true;
+            }
+        }
+    }
+    return rec;
+}
+
+JournalRecovery
+recoverJournal(const std::string &path)
+{
+    std::vector<JournalRecord> records;
+    JournalRecovery rec = scanJournal(
+        path, [&](const JournalRecord &r, std::uint64_t) {
+            records.push_back(r);
+        });
+    rec.records = std::move(records);
+    return rec;
+}
+
+bool
+readRecordAt(const std::string &path, std::uint64_t offset,
+             JournalRecord &out)
+{
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return false;
+    off_t end = ::lseek(fd, 0, SEEK_END);
+    std::uint64_t frame = 0;
+    bool ok = end > 0 &&
+              readFrame(fd, offset, static_cast<std::uint64_t>(end),
+                        out, frame);
+    ::close(fd);
+    return ok;
+}
+
+std::string
+JournalWriter::checkpointPath(const std::string &path)
+{
+    return path + ".ckpt";
+}
+
+JournalWriter::JournalWriter(std::string path,
+                             std::uint64_t checkpointEvery)
+    : _path(std::move(path)),
+      _checkpointEvery(checkpointEvery ? checkpointEvery : 1)
+{
+}
+
+JournalWriter::~JournalWriter()
+{
+    close();
+}
+
+bool
+JournalWriter::open()
+{
+    close();
+    _recovered = recoverJournal(_path);
+    _fd = ::open(_path.c_str(), O_WRONLY | O_CREAT, 0644);
+    if (_fd < 0) {
+        _error = _path + ": " + std::strerror(errno);
+        return false;
+    }
+    if (!_recovered.existed || _recovered.validBytes == 0) {
+        // Fresh file (or one torn before the magic survived).
+        if (::ftruncate(_fd, 0) != 0 ||
+            !writeAll(_fd, kMagic, sizeof(kMagic))) {
+            _error = _path + ": " + std::strerror(errno);
+            close();
+            return false;
+        }
+        _recovered.records.clear();
+        _recovered.validBytes = sizeof(kMagic);
+    } else if (_recovered.tornBytes > 0) {
+        // Drop the torn tail so new records never follow garbage.
+        if (::ftruncate(_fd,
+                        static_cast<off_t>(_recovered.validBytes)) !=
+            0) {
+            _error = _path + ": " + std::strerror(errno);
+            close();
+            return false;
+        }
+    }
+    if (::lseek(_fd, 0, SEEK_END) < 0) {
+        _error = _path + ": " + std::strerror(errno);
+        close();
+        return false;
+    }
+    _count = _recovered.records.size();
+    _sinceCheckpoint = 0;
+    return true;
+}
+
+bool
+JournalWriter::append(const JournalRecord &record)
+{
+    if (_fd < 0)
+        return false;
+    std::string payload = encodeRecord(record);
+    std::string frame;
+    frame.reserve(payload.size() + 8);
+    putU32(frame, static_cast<std::uint32_t>(payload.size()));
+    putU32(frame, crc32(payload.data(), payload.size()));
+    frame.append(payload);
+    if (!writeAll(_fd, frame.data(), frame.size())) {
+        _error = _path + ": " + std::strerror(errno);
+        return false;
+    }
+    ++_count;
+    if (++_sinceCheckpoint >= _checkpointEvery)
+        return checkpoint();
+    return true;
+}
+
+bool
+JournalWriter::checkpoint()
+{
+    if (_fd < 0)
+        return false;
+    if (::fsync(_fd) != 0) {
+        _error = _path + ": fsync: " + std::strerror(errno);
+        return false;
+    }
+    // Publish the meta atomically: a reader sees either the old
+    // checkpoint or the new one, never a torn half-write.
+    std::string meta_path = checkpointPath(_path);
+    std::string tmp_path = meta_path + ".tmp";
+    int mfd = ::open(tmp_path.c_str(),
+                     O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (mfd < 0) {
+        _error = tmp_path + ": " + std::strerror(errno);
+        return false;
+    }
+    char buf[64];
+    int n = std::snprintf(buf, sizeof(buf), "records=%llu\n",
+                          static_cast<unsigned long long>(_count));
+    bool ok = writeAll(mfd, buf, static_cast<std::size_t>(n)) &&
+              ::fsync(mfd) == 0;
+    ::close(mfd);
+    ok = ok && ::rename(tmp_path.c_str(), meta_path.c_str()) == 0;
+    if (!ok) {
+        _error = meta_path + ": " + std::strerror(errno);
+        return false;
+    }
+    _sinceCheckpoint = 0;
+    return true;
+}
+
+void
+JournalWriter::close()
+{
+    if (_fd < 0)
+        return;
+    checkpoint();
+    ::close(_fd);
+    _fd = -1;
+}
+
+} // namespace tmi::driver

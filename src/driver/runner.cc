@@ -74,7 +74,8 @@ Runner::run(std::vector<Job> jobs, ResultSink *sink)
     _pending.clear();
     _nextId = 0;
     _ordered.clear();
-    _ordered.reserve(jobs.size());
+    if (_opts.collectResults)
+        _ordered.reserve(jobs.size());
     _stats = {};
     _stats.total = jobs.size();
     _startedAt = std::chrono::steady_clock::now();
@@ -293,6 +294,9 @@ Runner::deliver(JobResult &&result)
       case JobStatus::Cancelled:
         ++_stats.cancelled;
         break;
+      case JobStatus::Poisoned:
+        ++_stats.poisoned;
+        break;
     }
     if (result.attempts > 1)
         _stats.retries += result.attempts - 1;
@@ -302,7 +306,8 @@ Runner::deliver(JobResult &&result)
         JobResult &front = _pending.begin()->second;
         if (_sink)
             _sink->onResult(front);
-        _ordered.push_back(std::move(front));
+        if (_opts.collectResults)
+            _ordered.push_back(std::move(front));
         _pending.erase(_pending.begin());
         ++_nextId;
     }

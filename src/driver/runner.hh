@@ -59,6 +59,10 @@ struct RunnerOptions
     /** Emit a \r-progress line (done/failed/retried, ETA) to
      *  @ref progressStream as results are delivered. */
     bool progress = false;
+    /** Buffer every JobResult and return the vector from run().
+     *  Turn off for big campaigns that consume results through the
+     *  sink only: memory stays flat instead of O(matrix). */
+    bool collectResults = true;
     /** Defaults to stderr when null. */
     std::FILE *progressStream = nullptr;
     /** Test hook: pretend attempt @p attempt of @p job failed
@@ -74,6 +78,9 @@ struct SweepStats
     std::uint64_t failed = 0;
     std::uint64_t timedOut = 0;
     std::uint64_t cancelled = 0;
+    /** Quarantined poison jobs (only the shard supervisor makes
+     *  these; an in-process Runner never does). */
+    std::uint64_t poisoned = 0;
     /** Extra executions beyond each job's first. */
     std::uint64_t retries = 0;
     double wallSeconds = 0;

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include <unistd.h>
+
 namespace tmi::driver
 {
 
@@ -86,15 +88,50 @@ sweepCsvRow(const JobResult &r)
     return buf;
 }
 
-SweepCsvSink::SweepCsvSink(std::ostream &os) : _os(os)
+SweepCsvSink::SweepCsvSink(std::ostream &os) : _os(&os)
 {
-    _os << sweepCsvHeader() << '\n';
+    *_os << sweepCsvHeader() << '\n';
+}
+
+SweepCsvSink::SweepCsvSink(const std::string &path,
+                           std::uint64_t flushEvery)
+    : _flushEvery(flushEvery ? flushEvery : 1)
+{
+    _file = std::fopen(path.c_str(), "w");
+    if (_file)
+        std::fprintf(_file, "%s\n", sweepCsvHeader());
+}
+
+SweepCsvSink::~SweepCsvSink()
+{
+    if (_file) {
+        sync();
+        std::fclose(_file);
+    }
 }
 
 void
 SweepCsvSink::onResult(const JobResult &result)
 {
-    _os << sweepCsvRow(result) << '\n';
+    if (_os) {
+        *_os << sweepCsvRow(result) << '\n';
+        return;
+    }
+    if (!_file)
+        return;
+    std::fprintf(_file, "%s\n", sweepCsvRow(result).c_str());
+    if (++_sinceFlush >= _flushEvery)
+        sync();
+}
+
+void
+SweepCsvSink::sync()
+{
+    if (!_file)
+        return;
+    std::fflush(_file);
+    ::fsync(fileno(_file));
+    _sinceFlush = 0;
 }
 
 } // namespace tmi::driver

@@ -16,6 +16,7 @@
 #ifndef TMI_DRIVER_SINK_HH
 #define TMI_DRIVER_SINK_HH
 
+#include <cstdio>
 #include <functional>
 #include <ostream>
 
@@ -42,15 +43,38 @@ const char *sweepCsvHeader();
 std::string sweepCsvRow(const JobResult &result);
 /// @}
 
-/** Streams the canonical CSV; writes the header on construction. */
+/**
+ * Streams the canonical CSV; writes the header on construction.
+ *
+ * Two flavors: the ostream constructor streams without durability
+ * guarantees (tests, stdout), while the path constructor owns a
+ * stdio stream and fflush+fsyncs it every @p flushEvery rows and on
+ * destruction -- a crashed orchestrator never leaves a torn final
+ * row, and everything written before the last sync boundary survives
+ * even a power cut.
+ */
 class SweepCsvSink : public ResultSink
 {
   public:
     explicit SweepCsvSink(std::ostream &os);
+    /** Open @p path for writing (truncates). ok() reports failure. */
+    explicit SweepCsvSink(const std::string &path,
+                          std::uint64_t flushEvery = 64);
+    ~SweepCsvSink() override;
+
     void onResult(const JobResult &result) override;
 
+    /** fflush + fsync the owned file (no-op in ostream mode). */
+    void sync();
+
+    /** False when the path constructor could not open the file. */
+    bool ok() const { return _os != nullptr || _file != nullptr; }
+
   private:
-    std::ostream &_os;
+    std::ostream *_os = nullptr;
+    std::FILE *_file = nullptr; //!< owned; null in ostream mode
+    std::uint64_t _flushEvery = 64;
+    std::uint64_t _sinceFlush = 0;
 };
 
 /** Adapts a lambda (benches, tests). */

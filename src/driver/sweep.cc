@@ -22,6 +22,8 @@ jobStatusName(JobStatus status)
         return "timeout";
       case JobStatus::Cancelled:
         return "cancelled";
+      case JobStatus::Poisoned:
+        return "poisoned";
     }
     return "?";
 }

@@ -49,6 +49,7 @@ enum class JobStatus
     Failed,    //!< invalid config or exhausted its retry budget
     TimedOut,  //!< killed by the host-side per-job timeout
     Cancelled, //!< sweep stopped before the job ran
+    Poisoned,  //!< quarantined: killed its shard process twice
 };
 
 /** Lower-case status name as written to the sweep CSV. */

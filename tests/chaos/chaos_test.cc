@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <filesystem>
 #include <set>
 #include <sstream>
 
@@ -412,6 +414,137 @@ TEST(Campaign, CsvIsByteIdenticalAcrossWorkerCounts)
     EXPECT_EQ(csv_by_workers[0].substr(
                   0, csv_by_workers[0].find('\n')),
               chaosCsvHeader());
+}
+
+// ---------------------------------------------------------------------
+// Sharded campaign (process isolation + journals + resume)
+
+namespace
+{
+
+/** RAII temp journal dir for the sharded-campaign tests. */
+struct TempDir
+{
+    TempDir()
+    {
+        char tmpl[] = "/tmp/tmi_chaos_shard_XXXXXX";
+        path = ::mkdtemp(tmpl) ? tmpl : "";
+    }
+    ~TempDir()
+    {
+        std::error_code ec;
+        if (!path.empty())
+            std::filesystem::remove_all(path, ec);
+    }
+    std::string path;
+};
+
+ShardedCampaignOptions
+shardedOptions(const std::string &dir, unsigned shards)
+{
+    ShardedCampaignOptions opts;
+    opts.shard.journalDir = dir;
+    opts.shard.shards = shards;
+    opts.shard.runner.workers = 1;
+    opts.shard.onEvent = [](const std::string &) {};
+    opts.collectRows = true;
+    return opts;
+}
+
+} // namespace
+
+TEST(ShardedCampaign, CsvMatchesTheInProcessCampaign)
+{
+    CampaignSpec spec = smallSpec();
+
+    driver::RunnerOptions ro;
+    ro.workers = 1;
+    ro.progress = false;
+    driver::Runner runner(ro);
+    std::ostringstream inproc;
+    CampaignOutcome golden = runCampaign(spec, runner, &inproc);
+
+    TempDir dir;
+    ASSERT_FALSE(dir.path.empty());
+    std::ostringstream sharded;
+    driver::ShardRunStats stats;
+    CampaignOutcome out = runCampaignSharded(
+        spec, shardedOptions(dir.path, 2), &sharded, &stats);
+
+    // Worker processes + journal merge leave no trace in the CSV.
+    EXPECT_EQ(sharded.str(), inproc.str());
+    EXPECT_EQ(out.judged, golden.judged);
+    EXPECT_EQ(out.passed, golden.passed);
+    EXPECT_EQ(out.failed, golden.failed);
+    EXPECT_EQ(out.jobFailures, 0u);
+    EXPECT_TRUE(out.clean());
+    EXPECT_EQ(stats.crashes, 0u);
+    EXPECT_TRUE(stats.allOk());
+    ASSERT_EQ(out.rows.size(), golden.rows.size());
+    for (std::size_t i = 0; i < out.rows.size(); ++i) {
+        EXPECT_EQ(out.rows[i].run.resultDigest,
+                  golden.rows[i].run.resultDigest);
+    }
+}
+
+TEST(ShardedCampaign, ResumeReplaysOnlyTheLostShard)
+{
+    CampaignSpec spec = smallSpec();
+
+    TempDir dir;
+    ASSERT_FALSE(dir.path.empty());
+    std::ostringstream first;
+    CampaignOutcome a = runCampaignSharded(
+        spec, shardedOptions(dir.path, 2), &first);
+    EXPECT_TRUE(a.clean());
+
+    // A kill mid-campaign, modeled by its on-disk aftermath: one
+    // chaos shard's journal never made it.
+    std::filesystem::remove(
+        driver::ShardSupervisor::journalPath(dir.path + "/chaos", 1));
+
+    ShardedCampaignOptions resume = shardedOptions(dir.path, 2);
+    resume.shard.resume = true;
+    std::ostringstream second;
+    driver::ShardRunStats stats;
+    CampaignOutcome b = runCampaignSharded(
+        spec, resume, &second, &stats);
+
+    EXPECT_EQ(second.str(), first.str()); // byte-identical resume
+    EXPECT_TRUE(b.clean());
+    // Goldens (1) + chaos shard 0 (2 jobs) were already journaled.
+    EXPECT_EQ(stats.resumedJobs, 3u);
+}
+
+TEST(ShardedCampaign, PoisonedScheduleFailsTheCampaignVisibly)
+{
+    CampaignSpec spec = smallSpec();
+
+    TempDir dir;
+    ASSERT_FALSE(dir.path.empty());
+    ShardedCampaignOptions opts = shardedOptions(dir.path, 2);
+    // Chaos job 2 (goldens run fault-free, so keying on the armed
+    // fault list spares the golden phase) kills its worker on every
+    // attempt until the supervisor quarantines it.
+    opts.shard.childFaultHook =
+        [](const driver::Job &job, std::uint64_t globalId, unsigned) {
+            if (globalId == 2 && !job.config.run.faults.empty())
+                std::abort();
+        };
+
+    std::ostringstream csv;
+    driver::ShardRunStats stats;
+    CampaignOutcome out =
+        runCampaignSharded(spec, opts, &csv, &stats);
+
+    EXPECT_EQ(stats.poisoned, 1u);
+    EXPECT_EQ(stats.crashes, 2u);
+    EXPECT_EQ(out.jobFailures, 1u);
+    EXPECT_EQ(out.failed, 1u); // judged RunFailed, not dropped
+    EXPECT_FALSE(out.clean());
+    EXPECT_NE(csv.str().find(",poisoned,"), std::string::npos);
+    // The other three schedules still ran and passed.
+    EXPECT_EQ(out.passed, 3u);
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Journal format tests: encode/decode round-trips, CRC rejection of
+ * torn and corrupted tails, truncated-checkpoint recovery, and the
+ * writer's reopen-truncate-append contract. The journal is the
+ * supervisor's source of truth, so these run against raw files with
+ * hand-made damage, not through the orchestration layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "driver/journal.hh"
+
+namespace tmi::driver
+{
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+class JournalTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        char tmpl[] = "/tmp/tmi_journal_XXXXXX";
+        ASSERT_NE(::mkdtemp(tmpl), nullptr);
+        _dir = tmpl;
+        _path = _dir + "/shard-000.journal";
+    }
+
+    void
+    TearDown() override
+    {
+        std::error_code ec;
+        fs::remove_all(_dir, ec);
+    }
+
+    std::string _dir;
+    std::string _path;
+};
+
+/** A record with every field class populated (strings, doubles,
+ *  flags, counters) so round-trips cover the whole codec. */
+JournalRecord
+sampleRecord(std::uint64_t id)
+{
+    JournalRecord rec;
+    rec.jobId = id;
+    rec.status = id % 2 ? JobStatus::Failed : JobStatus::Ok;
+    rec.attempts = static_cast<unsigned>(1 + id % 3);
+    rec.error = id % 2 ? "some, error\nwith noise" : "";
+    rec.run.workload = "histogramfs";
+    rec.run.treatment = Treatment::TmiProtect;
+    rec.run.outcome = RunOutcome::Completed;
+    rec.run.valid = true;
+    rec.run.compatible = true;
+    rec.run.resultDigest = 0xdeadbeef00ull + id;
+    rec.run.cycles = 123456789 + id;
+    rec.run.seconds = 0.125 * static_cast<double>(id + 1);
+    rec.run.hitmEvents = 42 + id;
+    rec.run.pebsRecords = 7;
+    rec.run.fsEventsEstimated = 3.5;
+    rec.run.ladderRung = "detect-and-repair";
+    rec.run.faultFires = id;
+    rec.run.watchdogFlushes = 2;
+    rec.run.invariantViolations = 0;
+    return rec;
+}
+
+void
+expectEqual(const JournalRecord &a, const JournalRecord &b)
+{
+    EXPECT_EQ(a.jobId, b.jobId);
+    EXPECT_EQ(a.status, b.status);
+    EXPECT_EQ(a.attempts, b.attempts);
+    EXPECT_EQ(a.error, b.error);
+    EXPECT_EQ(a.run.workload, b.run.workload);
+    EXPECT_EQ(a.run.treatment, b.run.treatment);
+    EXPECT_EQ(a.run.outcome, b.run.outcome);
+    EXPECT_EQ(a.run.valid, b.run.valid);
+    EXPECT_EQ(a.run.resultDigest, b.run.resultDigest);
+    EXPECT_EQ(a.run.cycles, b.run.cycles);
+    EXPECT_EQ(a.run.seconds, b.run.seconds);
+    EXPECT_EQ(a.run.hitmEvents, b.run.hitmEvents);
+    EXPECT_EQ(a.run.fsEventsEstimated, b.run.fsEventsEstimated);
+    EXPECT_EQ(a.run.ladderRung, b.run.ladderRung);
+    EXPECT_EQ(a.run.faultFires, b.run.faultFires);
+    EXPECT_EQ(a.run.watchdogFlushes, b.run.watchdogFlushes);
+}
+
+/** Write @p n sample records through the writer and close. */
+void
+writeJournal(const std::string &path, std::uint64_t n,
+             std::uint64_t checkpointEvery = 2)
+{
+    JournalWriter w(path, checkpointEvery);
+    ASSERT_TRUE(w.open()) << w.lastError();
+    for (std::uint64_t i = 0; i < n; ++i)
+        ASSERT_TRUE(w.append(sampleRecord(i)));
+    w.close();
+}
+
+std::uint64_t
+fileSize(const std::string &path)
+{
+    return static_cast<std::uint64_t>(fs::file_size(path));
+}
+
+} // namespace
+
+TEST_F(JournalTest, EncodeDecodeRoundTrip)
+{
+    JournalRecord rec = sampleRecord(17);
+    std::string payload = encodeRecord(rec);
+    JournalRecord back;
+    ASSERT_TRUE(decodeRecord(payload, back));
+    expectEqual(back, rec);
+}
+
+TEST_F(JournalTest, DecodeRejectsShortAndPaddedPayloads)
+{
+    std::string payload = encodeRecord(sampleRecord(3));
+    JournalRecord out;
+    EXPECT_FALSE(decodeRecord(payload.substr(0, 10), out));
+    EXPECT_FALSE(decodeRecord(payload + "x", out));
+    EXPECT_FALSE(decodeRecord("", out));
+}
+
+TEST_F(JournalTest, WriteThenRecoverRoundTrips)
+{
+    writeJournal(_path, 5);
+    JournalRecovery rec = recoverJournal(_path);
+    EXPECT_TRUE(rec.existed);
+    EXPECT_EQ(rec.tornBytes, 0u);
+    ASSERT_EQ(rec.records.size(), 5u);
+    for (std::uint64_t i = 0; i < 5; ++i)
+        expectEqual(rec.records[i], sampleRecord(i));
+}
+
+TEST_F(JournalTest, MissingJournalRecoversEmpty)
+{
+    JournalRecovery rec = recoverJournal(_path);
+    EXPECT_FALSE(rec.existed);
+    EXPECT_TRUE(rec.records.empty());
+    EXPECT_EQ(rec.validBytes, 0u);
+}
+
+TEST_F(JournalTest, TornTailIsDroppedNotInterpreted)
+{
+    writeJournal(_path, 3);
+    std::uint64_t clean = fileSize(_path);
+    {
+        // A crash mid-append: garbage that never got its frame.
+        std::ofstream os(_path, std::ios::app | std::ios::binary);
+        os << "\x13\x00\x00\x00gargbage-torn-tail";
+    }
+    JournalRecovery rec = recoverJournal(_path);
+    ASSERT_EQ(rec.records.size(), 3u);
+    EXPECT_EQ(rec.validBytes, clean);
+    EXPECT_GT(rec.tornBytes, 0u);
+}
+
+TEST_F(JournalTest, TruncatedMidRecordDropsOnlyTheTornRecord)
+{
+    writeJournal(_path, 3);
+    fs::resize_file(_path, fileSize(_path) - 5);
+    JournalRecovery rec = recoverJournal(_path);
+    ASSERT_EQ(rec.records.size(), 2u);
+    expectEqual(rec.records[1], sampleRecord(1));
+    EXPECT_GT(rec.tornBytes, 0u);
+}
+
+TEST_F(JournalTest, CorruptedPayloadByteFailsItsCrc)
+{
+    writeJournal(_path, 3);
+    // Flip one byte inside the middle record's payload.
+    std::fstream f(_path,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    std::uint64_t frame0_end = 0;
+    {
+        JournalRecovery rec = recoverJournal(_path);
+        ASSERT_EQ(rec.records.size(), 3u);
+        // Offset of record 1's payload: scan reports frame starts.
+        std::uint64_t offset1 = 0;
+        int seen = 0;
+        scanJournal(_path, [&](const JournalRecord &,
+                               std::uint64_t off) {
+            if (seen++ == 1)
+                offset1 = off;
+        });
+        frame0_end = offset1;
+    }
+    f.seekp(static_cast<std::streamoff>(frame0_end + 8 + 4));
+    f.put('\xff');
+    f.close();
+
+    // Recovery keeps the valid prefix (record 0) and drops the
+    // corrupt record *and everything after it*: a CRC break means
+    // the file can no longer be trusted past that point.
+    JournalRecovery rec = recoverJournal(_path);
+    ASSERT_EQ(rec.records.size(), 1u);
+    expectEqual(rec.records[0], sampleRecord(0));
+    EXPECT_GT(rec.tornBytes, 0u);
+}
+
+TEST_F(JournalTest, ForeignFileRecoversAsFullyTorn)
+{
+    {
+        std::ofstream os(_path, std::ios::binary);
+        os << "not a journal at all, just some text\n";
+    }
+    JournalRecovery rec = recoverJournal(_path);
+    EXPECT_TRUE(rec.existed);
+    EXPECT_TRUE(rec.records.empty());
+    EXPECT_EQ(rec.validBytes, 0u);
+    EXPECT_GT(rec.tornBytes, 0u);
+}
+
+TEST_F(JournalTest, ReopenTruncatesTornTailBeforeAppending)
+{
+    writeJournal(_path, 2);
+    std::uint64_t clean = fileSize(_path);
+    {
+        std::ofstream os(_path, std::ios::app | std::ios::binary);
+        os << "torn";
+    }
+    JournalWriter w(_path, 1);
+    ASSERT_TRUE(w.open());
+    EXPECT_EQ(w.recovered().records.size(), 2u);
+    EXPECT_EQ(fileSize(_path), clean); // tail gone before append
+    ASSERT_TRUE(w.append(sampleRecord(2)));
+    w.close();
+
+    JournalRecovery rec = recoverJournal(_path);
+    ASSERT_EQ(rec.records.size(), 3u);
+    expectEqual(rec.records[2], sampleRecord(2));
+    EXPECT_EQ(rec.tornBytes, 0u);
+}
+
+TEST_F(JournalTest, StaleCheckpointIsAdvisoryOnly)
+{
+    // Checkpoint meta claims 4 records; the journal then loses two
+    // (disk rollback / truncation after the checkpoint was cut).
+    writeJournal(_path, 4, /*checkpointEvery=*/1);
+    JournalRecovery before = recoverJournal(_path);
+    ASSERT_EQ(before.records.size(), 4u);
+    // Truncate to exactly two records' worth of bytes.
+    std::uint64_t offset2 = 0;
+    int seen = 0;
+    scanJournal(_path, [&](const JournalRecord &, std::uint64_t off) {
+        if (seen++ == 2)
+            offset2 = off;
+    });
+    fs::resize_file(_path, offset2);
+
+    JournalRecovery rec = recoverJournal(_path);
+    ASSERT_EQ(rec.records.size(), 2u);
+    EXPECT_TRUE(rec.checkpointStale);
+    EXPECT_EQ(rec.tornBytes, 0u); // clean cut, just shorter
+
+    // And the writer resumes from the scan, not the stale meta.
+    JournalWriter w(_path, 1);
+    ASSERT_TRUE(w.open());
+    EXPECT_EQ(w.recordCount(), 2u);
+    w.close();
+}
+
+TEST_F(JournalTest, ReadRecordAtRandomAccess)
+{
+    writeJournal(_path, 4);
+    std::vector<std::uint64_t> offsets;
+    scanJournal(_path, [&](const JournalRecord &, std::uint64_t off) {
+        offsets.push_back(off);
+    });
+    ASSERT_EQ(offsets.size(), 4u);
+    JournalRecord rec;
+    ASSERT_TRUE(readRecordAt(_path, offsets[2], rec));
+    expectEqual(rec, sampleRecord(2));
+    EXPECT_FALSE(readRecordAt(_path, offsets[2] + 1, rec));
+}
+
+TEST_F(JournalTest, CheckpointMetaIsPublishedAtomically)
+{
+    JournalWriter w(_path, 2);
+    ASSERT_TRUE(w.open());
+    ASSERT_TRUE(w.append(sampleRecord(0)));
+    // Below the cadence: no checkpoint yet.
+    EXPECT_FALSE(fs::exists(JournalWriter::checkpointPath(_path)));
+    ASSERT_TRUE(w.append(sampleRecord(1)));
+    EXPECT_TRUE(fs::exists(JournalWriter::checkpointPath(_path)));
+    // The tempfile must never linger.
+    EXPECT_FALSE(
+        fs::exists(JournalWriter::checkpointPath(_path) + ".tmp"));
+    w.close();
+}
+
+} // namespace tmi::driver
