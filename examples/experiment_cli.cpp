@@ -10,6 +10,7 @@
  *       [--threads 4] [--scale 4] [--period 100] [--huge-pages]
  *       [--threshold 100000] [--interval 2000000] [--seed 42]
  *       [--budget N] [--glibc-allocator] [--stats]
+ *       [--param key=value]... [--family NAME]
  *       [--list-workloads] [--list-treatments] [--list-fault-points]
  *       [--fault point:SPEC]... [--fault-seed N]
  *       [--watchdog 0|1] [--monitor 0|1] [--watchdog-timeout N]
@@ -21,6 +22,11 @@
  * --trace-out writes Chrome trace_event JSON: load it in
  * chrome://tracing or https://ui.perfetto.dev to scrub through the
  * detect -> repair -> fault -> ladder-drop timeline.
+ *
+ * --param passes one typed workload knob (repeatable); run
+ * --list-workloads to see each workload's schema (knob names, types,
+ * defaults). --family NAME restricts --list-workloads to one family;
+ * give it before --list-workloads (flags apply in order).
  */
 
 #include <cstdio>
@@ -103,15 +109,32 @@ listFaultPoints()
 }
 
 void
-listWorkloads()
+listWorkloads(const std::string &family)
 {
-    std::printf("%-16s %-6s %-10s %s\n", "name", "fs?", "overhead?",
-                "atomics/asm?");
+    std::printf("%-16s %-8s %-6s %-10s %s\n", "name", "family",
+                "fs?", "overhead?", "atomics/asm?");
+    bool any = false;
     for (const auto &info : workloadRegistry()) {
-        std::printf("%-16s %-6s %-10s %s\n", info.name.c_str(),
+        if (!family.empty() && info.family != family)
+            continue;
+        any = true;
+        std::printf("%-16s %-8s %-6s %-10s %s\n", info.name.c_str(),
+                    info.family.c_str(),
                     info.knownFalseSharing ? "yes" : "-",
                     info.inOverheadSet ? "yes" : "-",
                     info.usesAtomicsOrAsm ? "yes" : "-");
+        for (const ParamSpec &p : info.schema.specs()) {
+            std::printf("    --param %-16s %-7s default=%-8s %s\n",
+                        p.name.c_str(), paramTypeName(p.type),
+                        p.defaultText().c_str(), p.desc.c_str());
+        }
+    }
+    if (!any && !family.empty()) {
+        std::fprintf(stderr, "no workloads in family '%s'; one of:\n",
+                     family.c_str());
+        for (const std::string &f : workloadFamilies())
+            std::fprintf(stderr, "  %s\n", f.c_str());
+        std::exit(2);
     }
 }
 
@@ -137,6 +160,7 @@ main(int argc, char **argv)
     bool stats = false;
     bool report = false;
     std::string trace_out, trace_csv, csv_out;
+    std::string family_filter;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -167,6 +191,16 @@ main(int argc, char **argv)
             builder.seed(std::strtoull(next(), nullptr, 10));
         } else if (arg == "--budget") {
             builder.budget(std::strtoull(next(), nullptr, 10));
+        } else if (arg == "--param") {
+            std::pair<std::string, std::string> kv;
+            std::string perr;
+            if (!parseParamAssignment(next(), kv, perr)) {
+                std::fprintf(stderr, "--param: %s\n", perr.c_str());
+                return 2;
+            }
+            builder.param(kv.first, kv.second);
+        } else if (arg == "--family") {
+            family_filter = next();
         } else if (arg == "--huge-pages") {
             builder.pageShift(hugePageShift);
         } else if (arg == "--glibc-allocator") {
@@ -201,7 +235,7 @@ main(int argc, char **argv)
         } else if (arg == "--stats") {
             stats = true;
         } else if (arg == "--list" || arg == "--list-workloads") {
-            listWorkloads();
+            listWorkloads(family_filter);
             return 0;
         } else if (arg == "--list-treatments") {
             listTreatments();
@@ -245,6 +279,12 @@ main(int argc, char **argv)
                 "overhead)\n",
                 res.appBytesPeak / 1048576.0,
                 res.overheadBytes / 1048576.0);
+    if (res.requests) {
+        std::printf("sojourn       : %llu requests; p50 %.0f / p99 "
+                    "%.0f / p999 %.0f cycles\n",
+                    static_cast<unsigned long long>(res.requests),
+                    res.sojournP50, res.sojournP99, res.sojournP999);
+    }
     if (res.repairActive) {
         std::printf("repair        : engaged at %.3f ms; T2P %.1f us; "
                     "%llu pages; %llu commits (%.0f/s)\n",

@@ -15,17 +15,23 @@
  *       [--periods 100,1000] [--seeds 1,2,3] \
  *       [--fault-points mem.frame_exhausted] \
  *       [--fault-rates 0,0.1,0.5] \
- *       [--threads N] [--budget N] [--spec sweep.conf] \
+ *       [--threads N] [--budget N] [--param key=value]... \
+ *       [--spec sweep.conf] \
  *       [--workers N] [--retries N] [--timeout-ms N] \
  *       [--csv out.csv] [--no-progress] [--dry-run] [--verbose] \
  *       [--journal-dir DIR] [--shards N] [--resume] \
  *       [--checkpoint-every K] [--kill-budget N] \
- *       [--list-workloads] [--list-treatments] [--list-fault-points]
+ *       [--family NAME] [--list-workloads] [--list-treatments] \
+ *       [--list-fault-points]
  *
  * --spec reads the same keys from a key=value file (one per line,
  * #-comments); flags apply after the file, appending to axis lists.
- * CSV goes to stdout unless --csv is given; progress and the summary
- * go to stderr.
+ * A --workloads item of the form family:NAME expands to every
+ * workload tagged with that family; --param appends one typed
+ * workload knob (validated against each workload's schema).
+ * --family NAME restricts --list-workloads to one family (give it
+ * before --list-workloads; flags apply in order). CSV goes to stdout
+ * unless --csv is given; progress and the summary go to stderr.
  *
  * --journal-dir turns on crash-safe orchestration: the matrix is
  * split over --shards worker *processes*, every result is journaled
@@ -102,6 +108,7 @@ main(int argc, char **argv)
     unsigned kill_budget = 2;
     std::uint64_t checkpoint_every = 16;
     bool sharded_flags = false; //!< any orchestration flag given
+    std::string family_filter;  //!< --family for --list-workloads
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -130,6 +137,8 @@ main(int argc, char **argv)
             applyOrDie(spec, "threads", next());
         } else if (arg == "--budget") {
             applyOrDie(spec, "budget", next());
+        } else if (arg == "--param") {
+            applyOrDie(spec, "param", next());
         } else if (arg == "--interval") {
             applyOrDie(spec, "interval", next());
         } else if (arg == "--watchdog") {
@@ -169,9 +178,35 @@ main(int argc, char **argv)
             verbose = true;
         } else if (arg == "--dry-run") {
             dry_run = true;
+        } else if (arg == "--family") {
+            family_filter = next();
         } else if (arg == "--list-workloads") {
-            for (const auto &info : workloadRegistry())
-                std::printf("%s\n", info.name.c_str());
+            bool any = false;
+            for (const auto &info : workloadRegistry()) {
+                if (!family_filter.empty() &&
+                    info.family != family_filter)
+                    continue;
+                any = true;
+                std::printf("%-16s %s\n", info.name.c_str(),
+                            info.family.c_str());
+                for (const ParamSpec &p : info.schema.specs()) {
+                    std::printf("    %-16s %-7s default=%-8s %s\n",
+                                p.name.c_str(),
+                                paramTypeName(p.type),
+                                p.defaultText().c_str(),
+                                p.desc.c_str());
+                }
+            }
+            if (!any && !family_filter.empty()) {
+                std::fprintf(stderr,
+                             "tmi-sweep: no workloads in family "
+                             "'%s' (known:",
+                             family_filter.c_str());
+                for (const std::string &f : workloadFamilies())
+                    std::fprintf(stderr, " %s", f.c_str());
+                std::fprintf(stderr, ")\n");
+                return 2;
+            }
             return 0;
         } else if (arg == "--list-treatments") {
             for (Treatment t : allTreatments())

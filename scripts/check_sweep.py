@@ -2,7 +2,7 @@
 """Validate a sweep CSV against the canonical driver schema.
 
 The sweep driver (src/driver/sink.cc) writes one header plus one row
-per job, in job-id order, with the same 28 columns for every row.
+per job, in job-id order, with the same 33 columns for every row.
 This checker keeps that contract honest from the outside -- CI runs a
 small sweep through tmi-sweep and pipes the file through here, so a
 schema drift (a renamed column, a duplicated or dropped job, a row
@@ -36,7 +36,8 @@ COLUMNS = [
     "error", "outcome", "valid", "rung", "cycles", "seconds",
     "hitm_events", "pebs_records", "pages_protected", "commits",
     "conflict_bytes", "fault_fires", "t2p_aborts", "unrepairs",
-    "watchdog_flushes", "cow_fallbacks", "ladder_drops",
+    "watchdog_flushes", "cow_fallbacks", "ladder_drops", "params",
+    "requests", "sojourn_p50", "sojourn_p99", "sojourn_p999",
 ]
 
 STATUSES = {"ok", "failed", "timeout", "cancelled", "poisoned"}
@@ -46,6 +47,7 @@ NUMERIC = [
     "cycles", "hitm_events", "pebs_records", "pages_protected",
     "commits", "conflict_bytes", "fault_fires", "t2p_aborts",
     "unrepairs", "watchdog_flushes", "cow_fallbacks", "ladder_drops",
+    "requests",
 ]
 
 
@@ -115,7 +117,8 @@ def check(path, expect_rows, expect_ok):
             if not row[col].isdigit():
                 errors.append("line %d: %s=%r is not an unsigned "
                               "integer" % (lineno, col, row[col]))
-        for col in ("fault_rate", "seconds"):
+        for col in ("fault_rate", "seconds", "sojourn_p50",
+                    "sojourn_p99", "sojourn_p999"):
             try:
                 float(row[col])
             except ValueError:

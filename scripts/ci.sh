@@ -151,4 +151,38 @@ TMI_BENCH_SCALE=1 TMI_HOSTPERF_REPS=1 \
     ./build/bench/host_perf --out "$hostperf"
 python3 scripts/check_hostperf.py "$hostperf" --expect-cells 11
 
+# Server-family smoke: the feed-handler workloads through the
+# family:server spec expansion with --param knobs must produce a
+# schema-valid CSV carrying per-row tail latency (nonzero requests,
+# p50 <= p99 <= p999), byte-identical on 1 and 4 workers; and a
+# misspelled --param key must fail fast (exit 2) naming the valid
+# knobs instead of silently running the default.
+echo "=== server-family latency sweep + --param validation ==="
+server1="$(mktemp -t tmi_server1.XXXXXX.csv)"
+server4="$(mktemp -t tmi_server4.XXXXXX.csv)"
+param_err="$(mktemp -t tmi_paramerr.XXXXXX.txt)"
+trap 'rm -f "$trace_out" "$sweep1" "$sweep2" "$chaos1" "$chaos4" \
+    "$hostperf" "$server1" "$server4" "$param_err"' EXIT
+server_args=(--workloads family:server
+    --treatments pthreads,tmi-protect --scales 1
+    --param requests=96 --param arrival_gap=300 --no-progress)
+./build/examples/tmi-sweep "${server_args[@]}" --workers 1 \
+    --csv "$server1"
+./build/examples/tmi-sweep "${server_args[@]}" --workers 4 \
+    --csv "$server4"
+python3 scripts/check_sweep.py "$server1" --expect-rows 4 --expect-ok
+cmp "$server1" "$server4"
+awk -F, 'NR > 1 && ($30 + 0 == 0 || $31 + 0 > $32 + 0 \
+    || $32 + 0 > $33 + 0) \
+    { print "bad latency row: " $0; bad = 1 } END { exit bad }' \
+    "$server1"
+
+rc=0
+./build/examples/tmi-sweep --workloads feed-spsc \
+    --treatments pthreads --param bogus_knob=7 --no-progress \
+    --dry-run 2> "$param_err" || rc=$?
+[ "$rc" -eq 2 ]
+grep -q "bogus_knob" "$param_err"
+grep -q "arrival_gap" "$param_err"
+
 echo "=== CI green ==="

@@ -109,6 +109,14 @@ ExperimentBuilder::dumpStats(bool on)
 }
 
 ExperimentBuilder &
+ExperimentBuilder::param(const std::string &key,
+                         const std::string &value)
+{
+    _config.run.params.emplace_back(key, value);
+    return *this;
+}
+
+ExperimentBuilder &
 ExperimentBuilder::fault(const std::string &point, const FaultSpec &spec)
 {
     _config.run.faults.emplace_back(point, spec);

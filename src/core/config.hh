@@ -96,6 +96,9 @@ class ExperimentBuilder
     ExperimentBuilder &budget(Cycles cycles);
     ExperimentBuilder &seed(std::uint64_t s);
     ExperimentBuilder &dumpStats(bool on = true);
+    /** Append one workload knob (raw; validated at build/run). */
+    ExperimentBuilder &param(const std::string &key,
+                             const std::string &value);
     /** Arm one fault point (repeatable; appends). */
     ExperimentBuilder &fault(const std::string &point,
                              const FaultSpec &spec);

@@ -89,13 +89,22 @@ validateConfig(const ExperimentConfig &config,
                std::vector<ConfigError> &errors,
                const std::string &prefix)
 {
+    const WorkloadInfo *winfo = nullptr;
     if (config.workload.empty()) {
         errors.push_back({prefix + ".workload",
                           "must name a registered workload"});
-    } else if (!tryFindWorkload(config.workload)) {
+    } else if (!(winfo = tryFindWorkload(config.workload))) {
         errors.push_back({prefix + ".workload",
                           "unknown workload '" + config.workload +
                               "'"});
+    }
+    if (winfo && !config.params.empty()) {
+        ParamValues resolved;
+        std::string perr;
+        if (!resolveParams(winfo->schema, config.params, resolved,
+                           perr)) {
+            errors.push_back({prefix + ".params", perr});
+        }
     }
     if (config.threads == 0) {
         errors.push_back({prefix + ".threads", "must be >= 1"});
@@ -212,6 +221,16 @@ runExperiment(const Config &full)
     params.scale = config.scale;
     params.manualFix = config.treatment == Treatment::Manual;
     params.seed = config.seed;
+    {
+        // Defaults plus the validated overrides; validateOrDie
+        // already rejected unknown or ill-typed keys above.
+        std::string perr;
+        if (!resolveParams(info.schema, config.params, params.extra,
+                           perr)) {
+            fatal("workload params failed late validation: %s",
+                  perr.c_str());
+        }
+    }
     std::unique_ptr<Workload> workload = info.make(params);
     workload->init(machine);
 
@@ -321,6 +340,15 @@ runExperiment(const Config &full)
     res.faultFires = machine.faults().totalFires();
     res.appBytesPeak = machine.allocator().allocStats().bytesPeak;
 
+    // Tail latency: harvested even on timeout -- a run that wedged
+    // after serving half its requests still measured those.
+    if (const obs::Histogram *lat = workload->latencyHistogram()) {
+        res.requests = lat->count();
+        res.sojournP50 = lat->p50();
+        res.sojournP99 = lat->p99();
+        res.sojournP999 = lat->p999();
+    }
+
     if (tmi) {
         res.repairActive = tmi->repairActive();
         res.repairStartCycles = tmi->repairStartCycles();
@@ -391,6 +419,13 @@ runExperiment(const Config &full)
         res.metrics = std::make_shared<obs::MetricsRegistry>();
         res.metrics->importStats(machine_group, "machine");
         res.metrics->importStats(runtime_group, "runtime");
+
+        if (const obs::Histogram *lat = workload->latencyHistogram()) {
+            res.metrics
+                ->histogram("workload.sojourn.cycles",
+                            "request sojourn time, simulated cycles")
+                .merge(*lat);
+        }
 
         // Fault-fire accounting straight from the injector, never
         // from the trace: obs.event.fault.fire below only exists when

@@ -71,6 +71,12 @@ struct ExperimentConfig
     /** Capture the full component statistics dump in the result. */
     bool dumpStats = false;
 
+    /** Workload-specific knobs as raw key=value pairs, validated
+     *  against the workload's ParamSchema (workloads/params.hh) by
+     *  validateConfig() and resolved into WorkloadParams::extra at
+     *  run start. Order is the order given; later duplicates win. */
+    std::vector<std::pair<std::string, std::string>> params;
+
     /** Fault points to arm on the machine (robustness experiments;
      *  empty = no injection anywhere on the hot path). */
     std::vector<std::pair<std::string, FaultSpec>> faults;
@@ -161,6 +167,15 @@ struct RunResult
      *  runtime/invariants.hh); nonzero means the runtime broke its
      *  own transition contract even if results happen to be right. */
     std::uint64_t invariantViolations = 0;
+    /// @}
+
+    /** @name Tail latency (workloads with a latencyHistogram();
+     *  zero for the batch kernels) */
+    /// @{
+    std::uint64_t requests = 0; //!< completed requests recorded
+    double sojournP50 = 0;      //!< median sojourn, simulated cycles
+    double sojournP99 = 0;
+    double sojournP999 = 0;
     /// @}
 
     /** Full stats dump (only when ExperimentConfig::dumpStats). */

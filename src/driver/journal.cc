@@ -16,7 +16,7 @@ namespace
 
 /** File magic: format name + version byte. Bumping the version is a
  *  clean break -- old journals recover as empty, jobs just re-run. */
-constexpr char kMagic[8] = {'T', 'M', 'I', 'J', 'R', 'N', 'L', '1'};
+constexpr char kMagic[8] = {'T', 'M', 'I', 'J', 'R', 'N', 'L', '2'};
 
 /** Frames larger than this are treated as corruption, not records;
  *  a real record is a few hundred bytes of scalars and short
@@ -229,6 +229,10 @@ encodeRecord(const JournalRecord &rec)
     putU64(out, r.invariantViolations);
     putU64(out, r.traceRecorded);
     putU64(out, r.traceOverwritten);
+    putU64(out, r.requests);
+    putDouble(out, r.sojournP50);
+    putDouble(out, r.sojournP99);
+    putDouble(out, r.sojournP999);
     return out;
 }
 
@@ -289,6 +293,10 @@ decodeRecord(const std::string &payload, JournalRecord &out)
     r.invariantViolations = c.u64();
     r.traceRecorded = c.u64();
     r.traceOverwritten = c.u64();
+    r.requests = c.u64();
+    r.sojournP50 = c.f64();
+    r.sojournP99 = c.f64();
+    r.sojournP999 = c.f64();
     // The payload must be exactly one record: trailing bytes mean a
     // framing bug or a foreign format, both grounds for rejection.
     return c.ok && c.pos == payload.size();

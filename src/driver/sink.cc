@@ -4,6 +4,8 @@
 
 #include <unistd.h>
 
+#include "workloads/params.hh"
+
 namespace tmi::driver
 {
 
@@ -15,7 +17,8 @@ sweepCsvHeader()
            "outcome,valid,rung,cycles,seconds,hitm_events,"
            "pebs_records,pages_protected,commits,conflict_bytes,"
            "fault_fires,t2p_aborts,unrepairs,watchdog_flushes,"
-           "cow_fallbacks,ladder_drops";
+           "cow_fallbacks,ladder_drops,params,requests,"
+           "sojourn_p50,sojourn_p99,sojourn_p999";
 }
 
 namespace
@@ -53,12 +56,16 @@ sweepCsvRow(const JobResult &r)
 {
     const ExperimentConfig &run = r.job.config.run;
     bool ok = r.status == JobStatus::Ok;
-    char buf[512];
+    // The params cell comes from the job config, not the journaled
+    // result, so shards reproduce it bit-for-bit without journaling
+    // the strings.
+    std::string params = sanitize(canonicalParamText(run.params));
+    char buf[768];
     std::snprintf(
         buf, sizeof(buf),
         "%llu,%s,%s,%u,%llu,%llu,%s,%.4f,%llu,%s,%u,%s,"
         "%s,%d,%s,%llu,%.9f,%llu,%llu,%llu,%llu,%llu,"
-        "%llu,%llu,%llu,%llu,%llu,%llu",
+        "%llu,%llu,%llu,%llu,%llu,%llu,%s,%llu,%.3f,%.3f,%.3f",
         static_cast<unsigned long long>(r.job.id),
         run.workload.c_str(), treatmentName(run.treatment),
         run.threads, static_cast<unsigned long long>(run.scale),
@@ -84,7 +91,11 @@ sweepCsvRow(const JobResult &r)
         static_cast<unsigned long long>(ok ? r.run.watchdogFlushes
                                            : 0),
         static_cast<unsigned long long>(ok ? r.run.cowFallbacks : 0),
-        static_cast<unsigned long long>(ok ? r.run.ladderDrops : 0));
+        static_cast<unsigned long long>(ok ? r.run.ladderDrops : 0),
+        params.c_str(),
+        static_cast<unsigned long long>(ok ? r.run.requests : 0),
+        ok ? r.run.sojournP50 : 0.0, ok ? r.run.sojournP99 : 0.0,
+        ok ? r.run.sojournP999 : 0.0);
     return buf;
 }
 

@@ -285,8 +285,48 @@ applySpecEntry(SweepSpec &spec, const std::string &key,
     std::string k = trim(key);
     std::string v = trim(value);
     if (k == "workloads") {
-        for (std::string &w : splitList(v))
+        for (std::string &w : splitList(v)) {
+            // "family:NAME" expands to every workload tagged with
+            // that family, in registry order, at parse time -- so
+            // matrixSize()/expand() and the spec echo all see the
+            // concrete list.
+            if (w.rfind("family:", 0) == 0) {
+                std::string fam = trim(w.substr(7));
+                std::vector<std::string> members =
+                    workloadsInFamily(fam);
+                if (members.empty()) {
+                    err = "unknown workload family '" + fam +
+                          "' (known:";
+                    for (const std::string &f : workloadFamilies())
+                        err += " " + f;
+                    err += ")";
+                    return false;
+                }
+                for (std::string &m : members)
+                    spec.workloads.push_back(std::move(m));
+                continue;
+            }
             spec.workloads.push_back(std::move(w));
+        }
+        return true;
+    }
+    if (k == "param") {
+        // One workload knob: "param = key=value". The spec parser
+        // split the line at its FIRST '=', so the remainder of the
+        // assignment arrives intact in @p value here.
+        std::size_t eq = v.find('=');
+        if (eq == std::string::npos) {
+            err = "param wants key=value, got '" + v + "'";
+            return false;
+        }
+        std::string pk = trim(v.substr(0, eq));
+        std::string pv = trim(v.substr(eq + 1));
+        if (pk.empty()) {
+            err = "param wants key=value, got '" + v + "'";
+            return false;
+        }
+        spec.base.run.params.emplace_back(std::move(pk),
+                                          std::move(pv));
         return true;
     }
     if (k == "treatments")

@@ -109,7 +109,11 @@ struct SweepSpec
  *  One `key = value` per line; blank lines and #-comments ignored.
  *  List values are comma-separated. Keys: workloads, treatments,
  *  scales, periods, fault_points, fault_rates, seeds, threads,
- *  budget, interval, period, watchdog, monitor, seed. */
+ *  budget, interval, period, watchdog, monitor, seed, param.
+ *  A workloads item of the form `family:NAME` expands to every
+ *  registered workload tagged with that family. `param = key=value`
+ *  appends one workload knob to the base config (repeatable; applies
+ *  to every job, validated against each workload's schema). */
 /// @{
 /** Apply one entry; false + @p err on unknown key or bad value. */
 bool applySpecEntry(SweepSpec &spec, const std::string &key,

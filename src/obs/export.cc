@@ -186,4 +186,33 @@ writeTraceReport(std::ostream &os,
     }
 }
 
+void
+writeMetricsCsv(std::ostream &os, const MetricsRegistry &metrics)
+{
+    os << "kind,name,value,count,mean,min,max,p50,p99,p999\n";
+    char buf[96];
+    auto num = [&buf](double v) -> const char * {
+        std::snprintf(buf, sizeof(buf), "%.6g", v);
+        return buf;
+    };
+    for (const std::string &name : metrics.names()) {
+        if (const Counter *c = metrics.findCounter(name)) {
+            os << "counter," << name << "," << num(c->value())
+               << ",,,,,,,\n";
+        } else if (const Gauge *g = metrics.findGauge(name)) {
+            os << "gauge," << name << "," << num(g->value())
+               << ",,,,,,,\n";
+        } else if (const Histogram *h = metrics.findHistogram(name)) {
+            os << "histogram," << name << ",," << h->count();
+            os << "," << num(h->mean());
+            os << "," << num(h->min());
+            os << "," << num(h->max());
+            os << "," << num(h->p50());
+            os << "," << num(h->p99());
+            os << "," << num(h->p999());
+            os << "\n";
+        }
+    }
+}
+
 } // namespace tmi::obs

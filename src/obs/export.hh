@@ -82,6 +82,16 @@ void writeTraceReport(std::ostream &os,
                       const std::vector<TraceEvent> &events,
                       double cyclesPerSecond);
 
+/**
+ * Write every registered metric as CSV, one row per name in
+ * lexicographic order: "kind,name,value,count,mean,min,max,p50,p99,
+ * p999". Counters and gauges fill `value` and leave the distribution
+ * columns empty; histograms do the reverse (quantiles from
+ * Histogram::quantile). Deterministic for a given registry -- the
+ * export goldens byte-pin the format.
+ */
+void writeMetricsCsv(std::ostream &os, const MetricsRegistry &metrics);
+
 } // namespace tmi::obs
 
 #endif // TMI_OBS_EXPORT_HH

@@ -41,6 +41,60 @@ Histogram::sample(double v)
     ++_buckets[bucket];
 }
 
+double
+Histogram::quantile(double q) const
+{
+    if (_count == 0)
+        return 0.0;
+    if (q <= 0.0)
+        return _min;
+    if (q >= 1.0)
+        return _max;
+
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(_count)));
+    if (rank < 1)
+        rank = 1;
+    if (rank > _count)
+        rank = _count;
+
+    std::uint64_t cum = 0;
+    for (unsigned i = 0; i < numBuckets; ++i) {
+        if (cum + _buckets[i] < rank) {
+            cum += _buckets[i];
+            continue;
+        }
+        // Rank falls in bucket i: interpolate inside [lo, hi).
+        double lo = i == 0 ? 0.0 : std::ldexp(1.0, int(i) - 1);
+        double hi = std::ldexp(1.0, int(i));
+        double frac = static_cast<double>(rank - cum) /
+                      static_cast<double>(_buckets[i]);
+        double est = lo + frac * (hi - lo);
+        // The bucket bounds are coarser than the tracked extremes.
+        if (est < _min)
+            est = _min;
+        if (est > _max)
+            est = _max;
+        return est;
+    }
+    return _max;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other._count == 0)
+        return;
+    if (_count == 0 || other._min < _min)
+        _min = other._min;
+    if (_count == 0 || other._max > _max)
+        _max = other._max;
+    _count += other._count;
+    _sum += other._sum;
+    for (unsigned i = 0; i < numBuckets; ++i)
+        _buckets[i] += other._buckets[i];
+}
+
 MetricsRegistry::Entry *
 MetricsRegistry::find(const std::string &name, MetricKind want)
 {
@@ -148,6 +202,35 @@ MetricsRegistry::names() const
     return out; // std::map iterates in lexicographic order
 }
 
+const Counter *
+MetricsRegistry::findCounter(const std::string &name) const
+{
+    auto it = _entries.find(name);
+    if (it == _entries.end() || it->second.kind != MetricKind::Counter)
+        return nullptr;
+    return it->second.counter;
+}
+
+const Gauge *
+MetricsRegistry::findGauge(const std::string &name) const
+{
+    auto it = _entries.find(name);
+    if (it == _entries.end() || it->second.kind != MetricKind::Gauge)
+        return nullptr;
+    return it->second.gauge;
+}
+
+const Histogram *
+MetricsRegistry::findHistogram(const std::string &name) const
+{
+    auto it = _entries.find(name);
+    if (it == _entries.end() ||
+        it->second.kind != MetricKind::Histogram) {
+        return nullptr;
+    }
+    return it->second.histogram;
+}
+
 void
 MetricsRegistry::importStats(const stats::StatGroup &group,
                              const std::string &prefix)
@@ -183,7 +266,10 @@ MetricsRegistry::dump(std::ostream &os) const
           case MetricKind::Histogram:
             os << "n=" << e.histogram->count()
                << " mean=" << e.histogram->mean()
-               << " max=" << e.histogram->max();
+               << " max=" << e.histogram->max()
+               << " p50=" << e.histogram->p50()
+               << " p99=" << e.histogram->p99()
+               << " p999=" << e.histogram->p999();
             break;
         }
         if (!e.desc.empty())

@@ -85,6 +85,20 @@ class Histogram
     double max() const { return _count ? _max : 0.0; }
     std::uint64_t bucket(unsigned i) const { return _buckets[i]; }
 
+    /**
+     * Estimated value at quantile @p q in [0, 1]: rank
+     * ceil(q * count) is located in its log2 bucket and interpolated
+     * linearly inside [2^(i-1), 2^i), then clamped to the exact
+     * [min, max] the histogram tracked. Empty histograms report 0.
+     */
+    double quantile(double q) const;
+    double p50() const { return quantile(0.50); }
+    double p99() const { return quantile(0.99); }
+    double p999() const { return quantile(0.999); }
+
+    /** Fold @p other into this histogram, bucket- and moment-wise. */
+    void merge(const Histogram &other);
+
   private:
     std::uint64_t _buckets[numBuckets] = {};
     std::uint64_t _count = 0;
@@ -133,6 +147,14 @@ class MetricsRegistry
 
     /** Registered names in lexicographic (= hierarchical) order. */
     std::vector<std::string> names() const;
+
+    /** @name Typed read-only lookup (null when absent or another
+     *  kind) -- what the CSV exporter walks. */
+    ///@{
+    const Counter *findCounter(const std::string &name) const;
+    const Gauge *findGauge(const std::string &name) const;
+    const Histogram *findHistogram(const std::string &name) const;
+    ///@}
 
     /** Metrics registered so far. */
     std::size_t size() const { return _entries.size(); }

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Typed per-workload parameter schema.
+ *
+ * `scale` used to be the only input knob, so workloads overloaded it
+ * (array length here, iteration count there). Server workloads need
+ * genuinely independent knobs -- arrival gap, burst size, ring
+ * capacity -- so each WorkloadInfo now declares a ParamSchema of
+ * named, typed knobs with defaults, and WorkloadParams carries the
+ * validated values. Raw key=value pairs flow in from `experiment_cli
+ * --param k=v` and sweep spec files; resolveParams() checks them
+ * against the schema (unknown or ill-typed keys fail with the list
+ * of valid keys) and fills defaults for everything unset. Workloads
+ * without a schema reject every key, so the legacy surface is
+ * unchanged.
+ */
+
+#ifndef TMI_WORKLOADS_PARAMS_HH
+#define TMI_WORKLOADS_PARAMS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tmi
+{
+
+/** Value type of one declared workload knob. */
+enum class ParamType
+{
+    Int,    //!< unsigned 64-bit integer
+    Double, //!< floating point
+    Bool,   //!< true/false (also accepts 1/0)
+    Enum,   //!< one of a fixed set of strings
+};
+
+/** Type name for messages and --list-workloads ("int", "enum", ...). */
+const char *paramTypeName(ParamType type);
+
+/** One declared knob: name, type, default, one-line description. */
+struct ParamSpec
+{
+    std::string name;
+    ParamType type = ParamType::Int;
+    std::string desc;
+    std::uint64_t defaultInt = 0;
+    double defaultDouble = 0.0;
+    bool defaultBool = false;
+    std::string defaultEnum;
+    /** Legal values when type == ParamType::Enum. */
+    std::vector<std::string> enumValues;
+
+    /** Default value rendered as spec-file text ("600", "steady"). */
+    std::string defaultText() const;
+};
+
+/** A workload's declared knobs, in declaration order. */
+class ParamSchema
+{
+  public:
+    ParamSchema &intKnob(std::string name, std::uint64_t def,
+                         std::string desc);
+    ParamSchema &doubleKnob(std::string name, double def,
+                            std::string desc);
+    ParamSchema &boolKnob(std::string name, bool def, std::string desc);
+    ParamSchema &enumKnob(std::string name, std::string def,
+                          std::vector<std::string> values,
+                          std::string desc);
+
+    const std::vector<ParamSpec> &specs() const { return _specs; }
+    bool empty() const { return _specs.empty(); }
+
+    /** Spec for @p name, or null if undeclared. */
+    const ParamSpec *find(const std::string &name) const;
+
+    /** Comma-joined knob names for "valid keys are ..." messages. */
+    std::string validKeyList() const;
+
+  private:
+    std::vector<ParamSpec> _specs;
+};
+
+/** One validated value; carries the slot for each possible type. */
+struct ParamValue
+{
+    ParamType type = ParamType::Int;
+    std::uint64_t i = 0;
+    double d = 0.0;
+    bool b = false;
+    std::string e;
+
+    bool operator==(const ParamValue &) const = default;
+};
+
+/** Validated knob values, defaults included for every declared knob. */
+class ParamValues
+{
+  public:
+    bool empty() const { return _values.empty(); }
+
+    std::uint64_t getInt(const std::string &name) const;
+    double getDouble(const std::string &name) const;
+    bool getBool(const std::string &name) const;
+    const std::string &getEnum(const std::string &name) const;
+
+    void set(const std::string &name, ParamValue value);
+
+    bool operator==(const ParamValues &) const = default;
+
+  private:
+    std::map<std::string, ParamValue> _values;
+};
+
+/** Raw, unvalidated key=value pairs in the order they were given. */
+using RawParams = std::vector<std::pair<std::string, std::string>>;
+
+/**
+ * Split one "key=value" assignment (as given to --param). Leading and
+ * trailing whitespace around both halves is trimmed.
+ * @retval false with @p err set when there is no '=' or an empty key.
+ */
+bool parseParamAssignment(const std::string &text,
+                          std::pair<std::string, std::string> &out,
+                          std::string &err);
+
+/**
+ * Validate @p raw against @p schema and produce the full value set:
+ * every declared knob gets its default, then raw pairs overlay in
+ * order (later duplicates win). Unknown keys and ill-typed values
+ * fail with a message naming the valid keys (or legal enum values).
+ * A workload with an empty schema rejects any key.
+ */
+bool resolveParams(const ParamSchema &schema, const RawParams &raw,
+                   ParamValues &out, std::string &err);
+
+/**
+ * Canonical text form of a raw param list: "k=v;k=v" sorted by key
+ * (stable for equal keys), or "-" when empty. This is what the sweep
+ * CSV's `params` column holds, and parsing each ';'-separated
+ * assignment back yields an equivalent list -- the round-trip the
+ * param tests pin.
+ */
+std::string canonicalParamText(const RawParams &raw);
+
+} // namespace tmi
+
+#endif // TMI_WORKLOADS_PARAMS_HH

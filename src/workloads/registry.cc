@@ -13,7 +13,10 @@
 #include "workloads/leveldb.hh"
 #include "workloads/linear_regression.hh"
 #include "workloads/lu_ncb.hh"
+#include "workloads/server/feed_handler.hh"
 #include "workloads/stringmatch.hh"
+
+#include <tuple>
 
 namespace tmi
 {
@@ -21,12 +24,25 @@ namespace tmi
 namespace
 {
 
+/**
+ * Factory binding constructor arguments. The arguments are captured
+ * once in a shared tuple instead of a by-value lambda capture, so
+ * copying the std::function (registry lookups hand WorkloadInfo
+ * around by value in the driver) shares the bound state rather than
+ * deep-copying it per copy.
+ */
 template <typename T, typename... Args>
 WorkloadFactory
-makeFactory(Args... args)
+makeFactory(Args &&...args)
 {
-    return [args...](const WorkloadParams &params) {
-        return std::make_unique<T>(params, args...);
+    auto held = std::make_shared<std::tuple<std::decay_t<Args>...>>(
+        std::forward<Args>(args)...);
+    return [held](const WorkloadParams &params) {
+        return std::apply(
+            [&params](const auto &...a) {
+                return std::make_unique<T>(params, a...);
+            },
+            *held);
     };
 }
 
@@ -113,6 +129,26 @@ buildRegistry()
     reg.push_back({"cholesky", makeFactory<CholeskyWorkload>(), false,
                    false, true});
 
+    // The server family: request/response feed handlers driven by
+    // the open-loop traffic generator. Not part of the paper's
+    // 35-workload overhead set; not in the Figure 9 set either (the
+    // repairable cell -- packed stat counters -- is deliberate, but
+    // the figure list is pinned to the paper). Atomics-based ring
+    // protocols make them Sheriff-incompatible by design.
+    auto add_feed = [&reg](const char *fname, bool spmc) {
+        WorkloadInfo info;
+        info.name = fname;
+        info.make = makeFactory<FeedHandlerWorkload>(spmc);
+        info.knownFalseSharing = false;
+        info.inOverheadSet = false;
+        info.usesAtomicsOrAsm = true;
+        info.family = "server";
+        info.schema = FeedHandlerWorkload::schema();
+        reg.push_back(std::move(info));
+    };
+    add_feed("feed-spsc", false);
+    add_feed("feed-spmc", true);
+
     return reg;
 }
 
@@ -141,6 +177,31 @@ findWorkload(const std::string &name)
     if (const WorkloadInfo *info = tryFindWorkload(name))
         return *info;
     fatal("unknown workload '%s'", name.c_str());
+}
+
+std::vector<std::string>
+workloadFamilies()
+{
+    std::vector<std::string> out;
+    for (const auto &info : workloadRegistry()) {
+        bool seen = false;
+        for (const auto &f : out)
+            seen = seen || f == info.family;
+        if (!seen)
+            out.push_back(info.family);
+    }
+    return out;
+}
+
+std::vector<std::string>
+workloadsInFamily(const std::string &family)
+{
+    std::vector<std::string> out;
+    for (const auto &info : workloadRegistry()) {
+        if (info.family == family)
+            out.push_back(info.name);
+    }
+    return out;
 }
 
 } // namespace tmi

@@ -1,0 +1,453 @@
+#include "workloads/server/feed_handler.hh"
+
+#include <algorithm>
+
+namespace tmi
+{
+
+namespace
+{
+
+/** Request record layout (one cache line per record). */
+constexpr Addr recSeqOff = 0;      //!< sequence number (plain)
+constexpr Addr recEnqOff = 8;      //!< enqueue cycle stamp (plain)
+constexpr Addr recPayloadOff = 16; //!< checksummed payload (plain)
+constexpr Addr recNextOff = 56;    //!< free-list link (atomic)
+
+/** Per-worker stat counter slots within a block. */
+constexpr unsigned statEnqueued = 0;  //!< producer: requests enqueued
+constexpr unsigned statProcessed = 0; //!< consumer: requests completed
+constexpr unsigned statChecksum = 1;  //!< consumer: payload sum
+constexpr unsigned statSojourn = 2;   //!< consumer: sojourn cycle sum
+constexpr unsigned statScratch = 3;   //!< extra per-request updates
+
+/** Simulated cycles burned per empty-poll iteration. */
+constexpr Cycles idleStep = 256;
+
+/** Cumulative idle budget per thread before declaring the run
+ *  wedged (a Sheriff-buffered ring protocol stalls; a correct one
+ *  never gets near this). */
+constexpr Cycles spinBudget = 100'000'000;
+
+/** popFree() bail-out sentinel. */
+constexpr std::uint64_t noSlot = ~std::uint64_t{0};
+
+} // namespace
+
+FeedHandlerWorkload::FeedHandlerWorkload(const WorkloadParams &params,
+                                         bool spmc)
+    : Workload(params), _spmc(spmc)
+{
+    // Direct construction (tests, benches) skips the driver's param
+    // resolution; fall back to the schema defaults.
+    if (_params.extra.empty()) {
+        std::string err;
+        resolveParams(schema(), {}, _params.extra, err);
+    }
+    const ParamValues &v = _params.extra;
+    parseArrivalProfile(v.getEnum("profile"), _profile);
+    _gap = std::max<std::uint64_t>(1, v.getInt("arrival_gap"));
+    _requests = std::max<std::uint64_t>(1, v.getInt("requests"));
+    _capacity = std::max<std::uint64_t>(2, v.getInt("ring_capacity"));
+    _service = v.getInt("service_cycles");
+    _burst = std::max<std::uint64_t>(1, v.getInt("burst"));
+    _diurnalPeriod =
+        std::max<std::uint64_t>(4, v.getInt("diurnal_period"));
+    _statRounds = static_cast<unsigned>(v.getInt("stat_rounds"));
+}
+
+ParamSchema
+FeedHandlerWorkload::schema()
+{
+    ParamSchema s;
+    s.enumKnob("profile", "steady", {"steady", "bursty", "diurnal"},
+               "arrival process shape");
+    s.intKnob("arrival_gap", 600,
+              "mean cycles between arrivals per producer");
+    s.intKnob("requests", 64,
+              "requests per producer, multiplied by scale");
+    s.intKnob("ring_capacity", 64, "ring buffer slots per lane");
+    s.intKnob("service_cycles", 150,
+              "compute cycles per request at the consumer");
+    s.intKnob("burst", 8, "bursty profile: arrivals per burst");
+    s.intKnob("diurnal_period", 1024,
+              "diurnal profile: requests per simulated day");
+    s.intKnob("stat_rounds", 4,
+              "extra stat counter touches per request (false-sharing "
+              "intensity)");
+    return s;
+}
+
+void
+FeedHandlerWorkload::init(Machine &machine)
+{
+    InstructionTable &instrs = machine.instructions();
+    _pcReqLoad = instrs.define("feed.req.load", MemKind::Load, 8);
+    _pcReqStore = instrs.define("feed.req.store", MemKind::Store, 8);
+    _pcStatLoad = instrs.define("feed.stat.load", MemKind::Load, 8);
+    _pcStatStore = instrs.define("feed.stat.store", MemKind::Store, 8);
+    _pcRingLoad = instrs.define("feed.ring.load", MemKind::Load, 8);
+    _pcRingStore = instrs.define("feed.ring.store", MemKind::Store, 8);
+    _pcFreeLoad = instrs.define("feed.free.load", MemKind::Load, 8);
+    _pcFreeStore = instrs.define("feed.free.store", MemKind::Store, 8);
+}
+
+Addr
+FeedHandlerWorkload::recAddr(const Lane &lane, std::uint64_t slot) const
+{
+    return lane.slab + slot * lineBytes;
+}
+
+Addr
+FeedHandlerWorkload::statAddr(unsigned worker, unsigned counter) const
+{
+    return _statBase + worker * _statStride + counter * 8;
+}
+
+void
+FeedHandlerWorkload::bumpStat(ThreadApi &api, unsigned worker,
+                              unsigned counter, std::uint64_t delta)
+{
+    Addr slot = statAddr(worker, counter);
+    std::uint64_t v = api.load(_pcStatLoad, slot);
+    api.store(_pcStatStore, slot, v + delta);
+}
+
+std::uint64_t
+FeedHandlerWorkload::popFree(ThreadApi &api, const Lane &lane,
+                             Cycles &waited)
+{
+    // Treiber stack with a single popper (the lane's producer), so
+    // there is no ABA window. Cells hold slot+1; 0 means empty.
+    for (;;) {
+        std::uint64_t top = api.atomicLoad(_pcFreeLoad, lane.freeTop);
+        if (top == 0) {
+            api.compute(idleStep);
+            waited += idleStep;
+            if (waited > spinBudget)
+                return noSlot;
+            continue;
+        }
+        std::uint64_t slot = top - 1;
+        std::uint64_t next = api.atomicLoad(
+            _pcFreeLoad, recAddr(lane, slot) + recNextOff);
+        if (api.cas(_pcFreeStore, lane.freeTop, top, next))
+            return slot;
+    }
+}
+
+void
+FeedHandlerWorkload::pushFree(ThreadApi &api, const Lane &lane,
+                              std::uint64_t slot)
+{
+    for (;;) {
+        std::uint64_t top = api.atomicLoad(_pcFreeLoad, lane.freeTop);
+        api.atomicStore(_pcFreeStore,
+                        recAddr(lane, slot) + recNextOff, top);
+        if (api.cas(_pcFreeStore, lane.freeTop, top, slot + 1))
+            return;
+    }
+}
+
+void
+FeedHandlerWorkload::main(ThreadApi &api)
+{
+    const unsigned threads = std::max(1u, _params.threads);
+    unsigned producers, consumersPerLane;
+    if (_spmc) {
+        _lanes = 1;
+        producers = 1;
+        consumersPerLane = std::max(1u, threads - 1);
+    } else {
+        _lanes = std::max(1u, threads / 2);
+        producers = _lanes;
+        consumersPerLane = 1;
+    }
+    _workers = producers + _lanes * consumersPerLane;
+    _perProducer = _requests * _params.scale;
+    // In-flight requests are bounded by the ring, so capacity + a
+    // small margin of records per lane never runs dry.
+    _slabSlots = _capacity + 2;
+
+    // Every region lives on its own pages so a repair of one cell
+    // cannot be masked (or caused) by a neighbour from a different
+    // structure sharing its page.
+    //
+    // Stat counter blocks: 4 u64 per worker. Packed, two workers per
+    // line -- the repairable false-sharing cell -- or one line each
+    // under the manual fix.
+    _statStride = _params.manualFix ? lineBytes : 32;
+    Addr stat_bytes = roundUp(_workers * _statStride, smallPageBytes);
+    _statBase = api.memalign(smallPageBytes, stat_bytes);
+    api.fill(_statBase, 0, stat_bytes);
+
+    // Ring index cells (head, tail, done per lane). Packed, a lane's
+    // producer- and consumer-owned cursors share a line (and lanes
+    // pack together); padded, every cell gets its own line. These are
+    // atomics: TMI cannot repair this cell even when the detector
+    // sees it -- the realistic residual the manual fix removes.
+    Addr idx_stride = _params.manualFix ? 3 * lineBytes : 24;
+    Addr idx_bytes = roundUp(_lanes * idx_stride, smallPageBytes);
+    Addr idx_base = api.memalign(smallPageBytes, idx_bytes);
+    api.fill(idx_base, 0, idx_bytes);
+
+    // Slab free-stack tops, one atomic cell per lane: packed on one
+    // line vs one line each.
+    Addr free_stride = _params.manualFix ? lineBytes : 8;
+    Addr free_bytes = roundUp(_lanes * free_stride, smallPageBytes);
+    Addr free_base = api.memalign(smallPageBytes, free_bytes);
+    api.fill(free_base, 0, free_bytes);
+
+    // Ring slot cells (atomic, slot+1 or 0) and the slab records
+    // (one line per record: producer writes and consumer reads the
+    // same offsets, so these pages only ever see true sharing).
+    Addr slots_bytes =
+        roundUp(_lanes * _capacity * 8, smallPageBytes);
+    Addr slots_base = api.memalign(smallPageBytes, slots_bytes);
+    api.fill(slots_base, 0, slots_bytes);
+    Addr slab_bytes =
+        roundUp(_lanes * _slabSlots * lineBytes, smallPageBytes);
+    Addr slab_base = api.memalign(smallPageBytes, slab_bytes);
+    api.fill(slab_base, 0, slab_bytes);
+
+    _lane.assign(_lanes, Lane{});
+    for (unsigned l = 0; l < _lanes; ++l) {
+        Lane &lane = _lane[l];
+        Addr hstep = _params.manualFix ? lineBytes : 8;
+        lane.head = idx_base + l * idx_stride;
+        lane.tail = lane.head + hstep;
+        lane.done = lane.head + 2 * hstep;
+        lane.freeTop = free_base + l * free_stride;
+        lane.slots = slots_base + l * _capacity * 8;
+        lane.slab = slab_base + l * _slabSlots * lineBytes;
+        lane.seed = trafficHash(_params.seed, l);
+
+        // Seed the free stack so pops come out 0, 1, 2, ...
+        std::uint64_t top = 0;
+        for (std::uint64_t s = _slabSlots; s-- > 0;) {
+            api.atomicStore(_pcFreeStore,
+                            recAddr(lane, s) + recNextOff, top);
+            top = s + 1;
+        }
+        api.atomicStore(_pcFreeStore, lane.freeTop, top);
+    }
+
+    std::vector<ThreadId> workers;
+    unsigned worker_id = 0;
+    for (unsigned l = 0; l < _lanes; ++l) {
+        // Producer first, its consumer(s) next: packed 32-byte stat
+        // blocks put each lane's producer and consumer on one line.
+        unsigned pw = worker_id++;
+        workers.push_back(api.spawn(
+            "feed-prod-" + std::to_string(l),
+            [this, l, pw](ThreadApi &w) { producer(w, _lane[l], pw); }));
+        for (unsigned c = 0; c < consumersPerLane; ++c) {
+            unsigned cw = worker_id++;
+            workers.push_back(api.spawn(
+                "feed-cons-" + std::to_string(l) + "-" +
+                    std::to_string(c),
+                [this, l, cw](ThreadApi &w) {
+                    consumer(w, _lane[l], cw);
+                }));
+        }
+    }
+    for (ThreadId t : workers)
+        api.join(t);
+}
+
+void
+FeedHandlerWorkload::producer(ThreadApi &api, const Lane &lane,
+                              unsigned worker)
+{
+    SimScheduler &sched = api.machine().sched();
+    TrafficConfig cfg;
+    cfg.profile = _profile;
+    cfg.seed = lane.seed;
+    cfg.gap = _gap;
+    cfg.burst = _burst;
+    cfg.period = _diurnalPeriod;
+
+    Cycles waited = 0;
+    for (std::uint64_t i = 0; i < _perProducer; ++i) {
+        // Open loop: arrivals do not wait for the service pipeline.
+        Cycles at = arrivalAt(cfg, i);
+        if (at > sched.now())
+            sched.sleepUntil(at);
+
+        std::uint64_t slot = popFree(api, lane, waited);
+        if (slot == noSlot) {
+            _bailed = true;
+            break;
+        }
+
+        // Stamp and fill the record (plain stores; the slab page is
+        // only ever truly shared, so these propagate normally).
+        Addr rec = recAddr(lane, slot);
+        api.store(_pcReqStore, rec + recSeqOff, i);
+        api.store(_pcReqStore, rec + recEnqOff, sched.now());
+        api.store(_pcReqStore, rec + recPayloadOff,
+                  payloadAt(lane.seed, i));
+
+        // Publish: wait for ring space, write the slot cell, bump
+        // tail. Single producer, so tail is only contended as a
+        // *reader* on the consumer side.
+        for (;;) {
+            std::uint64_t head = api.atomicLoad(_pcRingLoad, lane.head);
+            std::uint64_t tail = api.atomicLoad(_pcRingLoad, lane.tail);
+            if (tail - head < _capacity) {
+                api.atomicStore(_pcRingStore,
+                                lane.slots + (tail % _capacity) * 8,
+                                slot + 1);
+                api.atomicStore(_pcRingStore, lane.tail, tail + 1);
+                break;
+            }
+            api.compute(idleStep);
+            waited += idleStep;
+            if (waited > spinBudget) {
+                _bailed = true;
+                return;
+            }
+        }
+
+        // Per-request bookkeeping, interleaved with the remaining
+        // framing work: each touch lands on the packed stat line
+        // while the lane's consumer is touching its own half, which
+        // is what keeps the line ping-ponging.
+        bumpStat(api, worker, statEnqueued, 1);
+        for (unsigned r = 0; r < _statRounds; ++r) {
+            api.compute(idleStep / 8);
+            bumpStat(api, worker, statScratch, 1);
+        }
+    }
+    api.atomicStore(_pcRingStore, lane.done, 1);
+}
+
+void
+FeedHandlerWorkload::consumer(ThreadApi &api, const Lane &lane,
+                              unsigned worker)
+{
+    SimScheduler &sched = api.machine().sched();
+    Cycles waited = 0;
+    for (;;) {
+        std::uint64_t head = api.atomicLoad(_pcRingLoad, lane.head);
+        std::uint64_t tail = api.atomicLoad(_pcRingLoad, lane.tail);
+        if (head == tail) {
+            if (api.atomicLoad(_pcRingLoad, lane.done) &&
+                api.atomicLoad(_pcRingLoad, lane.tail) == head) {
+                return;
+            }
+            api.compute(idleStep);
+            waited += idleStep;
+            if (waited > spinBudget) {
+                _bailed = true;
+                return;
+            }
+            continue;
+        }
+
+        // Read the slot cell *before* claiming head: a successful
+        // claim proves head still equalled `head` at the read, and
+        // the producer cannot have lapped a cell whose index it
+        // still saw as unconsumed.
+        std::uint64_t cell = api.atomicLoad(
+            _pcRingLoad, lane.slots + (head % _capacity) * 8);
+        if (cell == 0)
+            continue;
+        std::uint64_t slot = cell - 1;
+        if (_spmc) {
+            if (!api.cas(_pcRingStore, lane.head, head, head + 1))
+                continue;
+        }
+
+        // The record cannot be reused until we push it back to the
+        // free stack, so plain reads after the claim are stable.
+        Addr rec = recAddr(lane, slot);
+        std::uint64_t seq = api.load(_pcReqLoad, rec + recSeqOff);
+        std::uint64_t enq = api.load(_pcReqLoad, rec + recEnqOff);
+        std::uint64_t payload =
+            api.load(_pcReqLoad, rec + recPayloadOff);
+        (void)seq;
+        if (!_spmc)
+            api.atomicStore(_pcRingStore, lane.head, head + 1);
+        pushFree(api, lane, slot);
+
+        // Service, with the per-event bookkeeping woven through it
+        // the way production metrics code updates counters inside
+        // the processing loop -- that interleaving is what makes the
+        // packed stat line a continuously hot false-sharing cell.
+        unsigned slices = std::max(1u, _statRounds);
+        Cycles slice = std::max<Cycles>(1, _service / slices);
+        for (unsigned r = 0; r < slices; ++r) {
+            api.compute(slice);
+            bumpStat(api, worker, statScratch, 1);
+        }
+        std::uint64_t done_at = sched.now();
+        bumpStat(api, worker, statProcessed, 1);
+        bumpStat(api, worker, statChecksum, payload);
+        // min-clock scheduling can let a consumer observe a publish
+        // from slightly ahead of its own clock; clamp, the skew is
+        // bounded by the scheduler quantum.
+        std::uint64_t sojourn = done_at > enq ? done_at - enq : 0;
+        bumpStat(api, worker, statSojourn, sojourn);
+
+        // Host-side latency recording: zero simulated cost.
+        _sojourn.sample(static_cast<double>(sojourn));
+    }
+}
+
+bool
+FeedHandlerWorkload::validate(Machine &machine)
+{
+    if (_bailed)
+        return false;
+
+    std::uint64_t enqueued = 0, processed = 0, checksum = 0;
+    unsigned worker_id = 0;
+    for (unsigned l = 0; l < _lanes; ++l) {
+        enqueued += machine.peekShared(
+            statAddr(worker_id++, statEnqueued), 8);
+        unsigned consumers = _spmc ? _workers - 1 : 1;
+        for (unsigned c = 0; c < consumers; ++c) {
+            processed += machine.peekShared(
+                statAddr(worker_id, statProcessed), 8);
+            checksum += machine.peekShared(
+                statAddr(worker_id, statChecksum), 8);
+            ++worker_id;
+        }
+    }
+
+    std::uint64_t want_total = _perProducer * _lanes;
+    std::uint64_t want_checksum = 0;
+    for (unsigned l = 0; l < _lanes; ++l) {
+        for (std::uint64_t i = 0; i < _perProducer; ++i)
+            want_checksum += payloadAt(_lane[l].seed, i);
+    }
+    return enqueued == want_total && processed == want_total &&
+           checksum == want_checksum &&
+           _sojourn.count() == want_total;
+}
+
+std::uint64_t
+FeedHandlerWorkload::resultDigest(Machine &machine)
+{
+    // Aggregate, commutative end state only: which consumer served
+    // which request is schedule-dependent (SPMC work stealing), but
+    // the totals are not -- so a faulted run that still completed
+    // correctly digests equal to its fault-free golden.
+    // statEnqueued and statProcessed share slot 0 (producers write
+    // one, consumers the other), so summing slot 0 over every worker
+    // yields enqueued + processed in one number -- still commutative
+    // and still zero-sensitive to a lost request on either side.
+    std::uint64_t completed = 0, checksum = 0;
+    for (unsigned w = 0; w < _workers; ++w) {
+        completed += machine.peekShared(statAddr(w, statEnqueued), 8);
+        checksum += machine.peekShared(statAddr(w, statChecksum), 8);
+    }
+    std::uint64_t h = digestSeed;
+    h = digestWord(h, completed);
+    h = digestWord(h, checksum);
+    h = digestWord(h, _bailed ? 1 : 0);
+    return digestFinalize(h);
+}
+
+} // namespace tmi

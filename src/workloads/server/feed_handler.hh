@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Simulated feed-handler service: the server workload family.
+ *
+ * A market-data-style pipeline built from the three structures where
+ * production false sharing hides: lock-free ring buffers whose
+ * head/tail indices pack onto one cache line, a slab pool of request
+ * records with per-lane free-list tops packed together, and per-worker
+ * stat counter blocks packed two to a line (SNIPPETS.md snippet 1's
+ * `PackedCounters` layout). Under `manualFix` every index, free-list
+ * top, and counter block gets its own line -- the repaired layout.
+ *
+ * Traffic is open-loop (workloads/server/traffic.hh): each producer
+ * sleeps to arrivalAt(seed, i), stamps the request with its enqueue
+ * cycle, and the completing consumer records the sojourn time
+ * (completion - enqueue) into a host-side log2 histogram the driver
+ * reads p50/p99/p999 from. Queueing amplifies the per-request cost of
+ * the counter false sharing into the latency tail, which is exactly
+ * what TMI's repair should pull back.
+ *
+ * Correctness under page privatization is by construction:
+ *  - ring indices, slot cells, and free-list links are atomics, which
+ *    bypass privatization (RuntimeHooks::atomicsBypassPrivate);
+ *  - slab records are line-aligned and only ever truly shared
+ *    (producer writes and consumer reads the same offsets), so the
+ *    detector never classifies their pages as false sharing;
+ *  - the falsely-shared counter blocks are single-writer, so
+ *    privatize-and-merge commits reconstruct the exact totals.
+ * Sheriff, which buffers atomics too, can stall the ring protocol --
+ * so every spin loop carries a bounded idle budget and a stalled run
+ * completes as an invalid measurement instead of hanging the host
+ * (the workloads are usesAtomicsOrAsm for this reason).
+ */
+
+#ifndef TMI_WORKLOADS_SERVER_FEED_HANDLER_HH
+#define TMI_WORKLOADS_SERVER_FEED_HANDLER_HH
+
+#include "workloads/server/traffic.hh"
+#include "workloads/workload.hh"
+
+namespace tmi
+{
+
+/** SPSC ("feed-spsc") or SPMC ("feed-spmc") feed handler. */
+class FeedHandlerWorkload : public Workload
+{
+  public:
+    FeedHandlerWorkload(const WorkloadParams &params, bool spmc);
+
+    /** The declared knobs (registered in WorkloadInfo::schema). */
+    static ParamSchema schema();
+
+    const char *name() const override
+    {
+        return _spmc ? "feed-spmc" : "feed-spsc";
+    }
+
+    void init(Machine &machine) override;
+    void main(ThreadApi &api) override;
+    bool validate(Machine &machine) override;
+    std::uint64_t resultDigest(Machine &machine) override;
+
+    const obs::Histogram *latencyHistogram() const override
+    {
+        return &_sojourn;
+    }
+
+  private:
+    struct Lane
+    {
+        Addr head = 0;    //!< consumer cursor (atomic cell)
+        Addr tail = 0;    //!< producer cursor (atomic cell)
+        Addr done = 0;    //!< producer-finished flag (atomic cell)
+        Addr freeTop = 0; //!< slab free-stack top (atomic cell)
+        Addr slots = 0;   //!< ring slot cells, _capacity x 8 bytes
+        Addr slab = 0;    //!< request records, line-sized each
+        std::uint64_t seed = 0;
+    };
+
+    Addr recAddr(const Lane &lane, std::uint64_t slot) const;
+    Addr statAddr(unsigned worker, unsigned counter) const;
+    void bumpStat(ThreadApi &api, unsigned worker, unsigned counter,
+                  std::uint64_t delta);
+    /** Pop a slab slot (single popper per lane); ~0 on bail-out. */
+    std::uint64_t popFree(ThreadApi &api, const Lane &lane,
+                          Cycles &waited);
+    void pushFree(ThreadApi &api, const Lane &lane, std::uint64_t slot);
+
+    void producer(ThreadApi &api, const Lane &lane, unsigned worker);
+    void consumer(ThreadApi &api, const Lane &lane, unsigned worker);
+
+    const bool _spmc;
+
+    // Knobs (resolved from the schema in the constructor).
+    ArrivalProfile _profile = ArrivalProfile::Steady;
+    std::uint64_t _gap = 600;
+    std::uint64_t _requests = 64;
+    std::uint64_t _capacity = 64;
+    std::uint64_t _service = 150;
+    std::uint64_t _burst = 8;
+    std::uint64_t _diurnalPeriod = 1024;
+    unsigned _statRounds = 4;
+
+    // Topology, fixed in main().
+    unsigned _lanes = 1;
+    unsigned _workers = 0;
+    std::uint64_t _perProducer = 0; //!< requests per producer
+    std::uint64_t _slabSlots = 0;
+
+    // Layout, fixed in main().
+    Addr _statBase = 0;
+    Addr _statStride = 0;
+    std::vector<Lane> _lane;
+
+    // Instruction PCs.
+    Addr _pcReqLoad = 0, _pcReqStore = 0;
+    Addr _pcStatLoad = 0, _pcStatStore = 0;
+    Addr _pcRingLoad = 0, _pcRingStore = 0;
+    Addr _pcFreeLoad = 0, _pcFreeStore = 0;
+
+    // Host-side results.
+    obs::Histogram _sojourn;
+    bool _bailed = false;
+};
+
+} // namespace tmi
+
+#endif // TMI_WORKLOADS_SERVER_FEED_HANDLER_HH

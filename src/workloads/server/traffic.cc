@@ -1,0 +1,93 @@
+#include "workloads/server/traffic.hh"
+
+namespace tmi
+{
+
+const char *
+arrivalProfileName(ArrivalProfile profile)
+{
+    switch (profile) {
+      case ArrivalProfile::Steady: return "steady";
+      case ArrivalProfile::Bursty: return "bursty";
+      case ArrivalProfile::Diurnal: return "diurnal";
+    }
+    return "?";
+}
+
+bool
+parseArrivalProfile(const std::string &name, ArrivalProfile &out)
+{
+    if (name == "steady") {
+        out = ArrivalProfile::Steady;
+    } else if (name == "bursty") {
+        out = ArrivalProfile::Bursty;
+    } else if (name == "diurnal") {
+        out = ArrivalProfile::Diurnal;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+std::uint64_t
+trafficHash(std::uint64_t seed, std::uint64_t index)
+{
+    // splitmix64 finalizer over a golden-ratio combination of the
+    // two inputs; the combination keeps (seed, index) pairs distinct
+    // enough for jitter even when seeds are small consecutive ints.
+    std::uint64_t z = seed ^ (index * 0x9e3779b97f4a7c15ULL +
+                              0x632be59bd9b4e019ULL);
+    z ^= z >> 30;
+    z *= 0xbf58476d1ce4e5b9ULL;
+    z ^= z >> 27;
+    z *= 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return z;
+}
+
+Cycles
+arrivalAt(const TrafficConfig &config, std::uint64_t index)
+{
+    const Cycles gap = config.gap < 1 ? 1 : config.gap;
+    switch (config.profile) {
+      case ArrivalProfile::Steady: {
+        // Jitter < gap, so consecutive arrivals stay ordered:
+        // delta >= gap - gap/2 > 0.
+        Cycles jitter = trafficHash(config.seed, index) % (gap / 2 + 1);
+        return index * gap + jitter;
+      }
+      case ArrivalProfile::Bursty: {
+        // One group of `burst` back-to-back arrivals per burst*gap
+        // window; the group start is jittered by at most gap/2, which
+        // can never push the group's tail past the next window.
+        const std::uint64_t burst = config.burst < 1 ? 1 : config.burst;
+        std::uint64_t group = index / burst;
+        std::uint64_t within = index % burst;
+        Cycles start = group * burst * gap +
+                       trafficHash(config.seed, group) % (gap / 2 + 1);
+        return start + within;
+      }
+      case ArrivalProfile::Diurnal: {
+        // Triangle wave over `period` requests: the phase offset
+        // advances by 0 or +/-1 gap/2 steps per request, so the
+        // effective inter-arrival gap swings between ~gap/2 and
+        // ~3*gap/2 while staying strictly positive.
+        const std::uint64_t period =
+            config.period < 4 ? 4 : config.period;
+        std::uint64_t phase = index % period;
+        std::uint64_t off =
+            phase <= period / 2 ? phase : period - phase;
+        Cycles jitter = trafficHash(config.seed, index) % (gap / 4 + 1);
+        return index * gap + off * (gap / 2) + jitter;
+      }
+    }
+    return index * gap;
+}
+
+std::uint64_t
+payloadAt(std::uint64_t seed, std::uint64_t index)
+{
+    return trafficHash(seed ^ 0xfeedULL, index) | 1;
+}
+
+} // namespace tmi

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Open-loop synthetic traffic for the server workload family.
+ *
+ * Arrival times are a pure function of (config, index): no state, no
+ * host randomness, so any shard or chaos replay regenerates the exact
+ * same request stream, and a consumer never perturbs the arrivals it
+ * is late for (open-loop, the property closed-loop load generators
+ * famously lack -- coordinated omission). Three profiles:
+ *
+ *  - steady:  fixed mean gap with bounded per-request jitter;
+ *  - bursty:  groups of `burst` back-to-back arrivals, one group per
+ *             burst*gap window, start jittered within the window;
+ *  - diurnal: the effective gap swings between gap/2 and 3*gap/2
+ *             over a `period`-request triangle wave -- rush hour and
+ *             dead of night in miniature.
+ *
+ * All three are non-decreasing in the index, so a producer can sleep
+ * to arrivalAt(i) in order.
+ */
+
+#ifndef TMI_WORKLOADS_SERVER_TRAFFIC_HH
+#define TMI_WORKLOADS_SERVER_TRAFFIC_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace tmi
+{
+
+/** Arrival-process shape. */
+enum class ArrivalProfile
+{
+    Steady,
+    Bursty,
+    Diurnal,
+};
+
+/** Profile name as it appears in the `profile` enum knob. */
+const char *arrivalProfileName(ArrivalProfile profile);
+
+/** Parse a profile name; @retval false when unknown. */
+bool parseArrivalProfile(const std::string &name, ArrivalProfile &out);
+
+/** Everything arrivalAt() depends on. */
+struct TrafficConfig
+{
+    ArrivalProfile profile = ArrivalProfile::Steady;
+    std::uint64_t seed = 7;
+    /** Mean cycles between arrivals (clamped to >= 1). */
+    Cycles gap = 600;
+    /** Bursty: arrivals per burst group (clamped to >= 1). */
+    std::uint64_t burst = 8;
+    /** Diurnal: requests per day (clamped to >= 4). */
+    std::uint64_t period = 1024;
+};
+
+/** Stateless splitmix64-style mix of (seed, index). */
+std::uint64_t trafficHash(std::uint64_t seed, std::uint64_t index);
+
+/**
+ * Simulated-cycle arrival time of request @p index. Pure in
+ * (config, index) and non-decreasing in index.
+ */
+Cycles arrivalAt(const TrafficConfig &config, std::uint64_t index);
+
+/** Deterministic nonzero payload word for request @p index; the
+ *  workloads checksum these end to end. */
+std::uint64_t payloadAt(std::uint64_t seed, std::uint64_t index);
+
+} // namespace tmi
+
+#endif // TMI_WORKLOADS_SERVER_TRAFFIC_HH

@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "core/machine.hh"
+#include "obs/metrics.hh"
+#include "workloads/params.hh"
 
 namespace tmi
 {
@@ -32,6 +34,14 @@ struct WorkloadParams
     /** Apply the manual source-level fix (padding/alignment). */
     bool manualFix = false;
     std::uint64_t seed = 7;
+    /**
+     * Workload-specific knobs, validated against the workload's
+     * ParamSchema with defaults filled in. Empty for workloads that
+     * declare no schema -- and possibly for direct construction in
+     * tests, so workloads re-resolve defaults when handed an empty
+     * set.
+     */
+    ParamValues extra;
 };
 
 /** Initial value for resultDigest() accumulation (FNV-1a offset). */
@@ -98,6 +108,17 @@ class Workload
         return 0;
     }
 
+    /**
+     * Completed-request sojourn times in simulated cycles, or null
+     * for workloads that do not measure latency. The experiment
+     * driver reads p50/p99/p999 out of this for the sweep CSV.
+     * Recorded host-side: sampling costs no simulated cycles.
+     */
+    virtual const obs::Histogram *latencyHistogram() const
+    {
+        return nullptr;
+    }
+
     const WorkloadParams &params() const { return _params; }
 
   protected:
@@ -119,6 +140,12 @@ struct WorkloadInfo
     bool inOverheadSet = true;
     /** Uses atomics or inline asm (Sheriff-incompatible risk). */
     bool usesAtomicsOrAsm = false;
+    /** Workload family ("batch" = paper kernels, "server" = the
+     *  request/response feed handlers). Sweep specs select whole
+     *  families with the `family:<name>` workload token. */
+    std::string family = "batch";
+    /** Declared knobs beyond threads/scale (see params.hh). */
+    ParamSchema schema;
 };
 
 /** All registered workloads, in the paper's figure order. */
@@ -129,6 +156,12 @@ const WorkloadInfo &findWorkload(const std::string &name);
 
 /** Look up one workload by name; null if unknown (validation). */
 const WorkloadInfo *tryFindWorkload(const std::string &name);
+
+/** Distinct family tags, in registry order. */
+std::vector<std::string> workloadFamilies();
+
+/** Names of the workloads in @p family; empty when unknown. */
+std::vector<std::string> workloadsInFamily(const std::string &family);
 
 } // namespace tmi
 

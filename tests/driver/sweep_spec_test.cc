@@ -142,6 +142,78 @@ TEST(SweepSpec, SpecTextReportsLineNumbers)
     EXPECT_NE(err.find("wibble"), std::string::npos) << err;
 }
 
+TEST(SweepSpec, ParamKeyAppendsToBaseConfig)
+{
+    SweepSpec spec;
+    std::string err;
+    // The spec parser splits at the FIRST '=', so the param's own
+    // assignment survives in the value.
+    ASSERT_TRUE(parseSpecText(spec,
+                              "workloads = feed-spsc\n"
+                              "param = arrival_gap=900\n"
+                              "param = profile = bursty\n",
+                              err))
+        << err;
+    ASSERT_EQ(spec.base.run.params.size(), 2u);
+    EXPECT_EQ(spec.base.run.params[0].first, "arrival_gap");
+    EXPECT_EQ(spec.base.run.params[0].second, "900");
+    EXPECT_EQ(spec.base.run.params[1].first, "profile");
+    EXPECT_EQ(spec.base.run.params[1].second, "bursty");
+    EXPECT_TRUE(spec.validate().empty());
+
+    // Every expanded job inherits the base params.
+    std::vector<Job> jobs = spec.expand();
+    ASSERT_EQ(jobs.size(), 1u);
+    EXPECT_EQ(jobs[0].config.run.params, spec.base.run.params);
+
+    err.clear();
+    EXPECT_FALSE(parseSpecText(spec, "param = no-assignment\n", err));
+    EXPECT_NE(err.find("key=value"), std::string::npos) << err;
+}
+
+TEST(SweepSpec, UnknownParamFailsValidateWithValidKeys)
+{
+    SweepSpec spec;
+    spec.workloads = {"feed-spsc"};
+    spec.base.run.params = {{"bogus_knob", "7"}};
+    std::vector<ConfigError> errors = spec.validate();
+    ASSERT_FALSE(errors.empty());
+    bool mentions_key = false, mentions_valid = false;
+    for (const ConfigError &e : errors) {
+        mentions_key |=
+            e.message.find("bogus_knob") != std::string::npos;
+        mentions_valid |=
+            e.message.find("arrival_gap") != std::string::npos;
+    }
+    EXPECT_TRUE(mentions_key);
+    EXPECT_TRUE(mentions_valid);
+
+    // Workloads without a schema reject any key.
+    spec.workloads = {"histogramfs"};
+    spec.base.run.params = {{"arrival_gap", "900"}};
+    EXPECT_FALSE(spec.validate().empty());
+}
+
+TEST(SweepSpec, FamilyTokenExpandsInWorkloadsList)
+{
+    SweepSpec spec;
+    std::string err;
+    ASSERT_TRUE(parseSpecText(spec,
+                              "workloads = histogramfs, family:server\n",
+                              err))
+        << err;
+    EXPECT_EQ(spec.workloads,
+              (std::vector<std::string>{"histogramfs", "feed-spsc",
+                                        "feed-spmc"}));
+
+    err.clear();
+    SweepSpec bad;
+    EXPECT_FALSE(
+        parseSpecText(bad, "workloads = family:nope\n", err));
+    EXPECT_NE(err.find("nope"), std::string::npos) << err;
+    EXPECT_NE(err.find("server"), std::string::npos) << err;
+}
+
 TEST(SweepSpec, ListParsersRejectGarbage)
 {
     std::string err;

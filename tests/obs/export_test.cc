@@ -103,6 +103,27 @@ TEST(ExportGolden, CsvZeroBucketDoesNotDivideByZero)
     EXPECT_NE(os.str().find("window,start_ms"), std::string::npos);
 }
 
+TEST(ExportGolden, MetricsCsv)
+{
+    MetricsRegistry reg;
+    reg.counter("runtime.commits").add(3);
+    reg.gauge("mem.pages").set(2.5);
+    Histogram &h = reg.histogram("workload.sojourn.cycles");
+    for (int i = 0; i < 4; ++i)
+        h.sample(1.0);
+    h.sample(100.0);
+
+    std::ostringstream os;
+    writeMetricsCsv(os, reg);
+    EXPECT_EQ(
+        os.str(),
+        "kind,name,value,count,mean,min,max,p50,p99,p999\n"
+        "gauge,mem.pages,2.5,,,,,,,\n"
+        "counter,runtime.commits,3,,,,,,,\n"
+        "histogram,workload.sojourn.cycles,,5,20.8,1,100,"
+        "1.75,100,100\n");
+}
+
 TEST(Export, SummarizeCountsAndSpan)
 {
     TraceSummary sum = summarizeTrace(tinyTimeline());

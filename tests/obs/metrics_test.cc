@@ -128,6 +128,73 @@ TEST(Metrics, ScopePrefixesAndNests)
     EXPECT_EQ(t2p.prefix(), "runtime.t2p");
 }
 
+TEST(Metrics, HistogramQuantileEmptyAndSingleSample)
+{
+    Histogram h;
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0); // empty -> 0
+
+    // One sample: every quantile clamps to the one tracked value.
+    h.sample(5);
+    EXPECT_DOUBLE_EQ(h.p50(), 5.0);
+    EXPECT_DOUBLE_EQ(h.p99(), 5.0);
+    EXPECT_DOUBLE_EQ(h.p999(), 5.0);
+}
+
+TEST(Metrics, HistogramQuantileInterpolatesAndClamps)
+{
+    Histogram h;
+    for (int i = 0; i < 4; ++i)
+        h.sample(1.0); // bucket [1, 2)
+    h.sample(100.0);   // bucket [64, 128)
+
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);   // q <= 0 -> min
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0); // q >= 1 -> max
+    // rank ceil(0.5 * 5) = 3 of the 4 samples in [1, 2):
+    // 1 + (3/4) * (2 - 1).
+    EXPECT_DOUBLE_EQ(h.p50(), 1.75);
+    // rank 5 interpolates to the top of [64, 128); the clamp pulls
+    // it back to the exact tracked max.
+    EXPECT_DOUBLE_EQ(h.p99(), 100.0);
+    EXPECT_LE(h.p50(), h.p99());
+    EXPECT_LE(h.p99(), h.p999());
+}
+
+TEST(Metrics, HistogramMergeFoldsMomentsAndBuckets)
+{
+    Histogram a, b;
+    a.sample(1);
+    a.sample(1);
+    b.sample(100);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 100.0);
+    EXPECT_DOUBLE_EQ(a.sum(), 102.0);
+    EXPECT_DOUBLE_EQ(a.quantile(1.0), 100.0);
+
+    // Merging an empty histogram is a no-op; merging into an empty
+    // one copies the extremes.
+    Histogram empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 3u);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 3u);
+    EXPECT_DOUBLE_EQ(empty.min(), 1.0);
+    EXPECT_DOUBLE_EQ(empty.max(), 100.0);
+}
+
+TEST(Metrics, FindAccessorsRespectKind)
+{
+    MetricsRegistry reg;
+    reg.counter("c").add(1);
+    reg.histogram("h").sample(2);
+    EXPECT_NE(reg.findCounter("c"), nullptr);
+    EXPECT_EQ(reg.findGauge("c"), nullptr);
+    EXPECT_EQ(reg.findHistogram("c"), nullptr);
+    EXPECT_EQ(reg.findCounter("missing"), nullptr);
+    EXPECT_NE(reg.findHistogram("h"), nullptr);
+}
+
 TEST(Metrics, DumpListsEveryMetric)
 {
     MetricsRegistry reg;

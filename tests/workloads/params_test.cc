@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Typed workload-parameter unit tests: schema declaration, assignment
+ * parsing, resolution against the schema (defaults, overlays, the
+ * error messages the CLIs surface), and the canonical-text round-trip
+ * the sweep CSV's params column depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/params.hh"
+
+namespace tmi
+{
+
+namespace
+{
+
+ParamSchema
+feedLikeSchema()
+{
+    ParamSchema s;
+    s.enumKnob("profile", "steady", {"steady", "bursty", "diurnal"},
+               "arrival process shape");
+    s.intKnob("arrival_gap", 600, "mean inter-arrival gap");
+    s.doubleKnob("load", 0.5, "target utilisation");
+    s.boolKnob("strict", false, "fail on overflow");
+    return s;
+}
+
+} // namespace
+
+TEST(ParamSchema, DeclaresKnobsInOrderWithDefaults)
+{
+    ParamSchema s = feedLikeSchema();
+    ASSERT_EQ(s.specs().size(), 4u);
+    EXPECT_EQ(s.specs()[0].name, "profile");
+    EXPECT_EQ(s.specs()[0].defaultText(), "steady");
+    EXPECT_EQ(s.specs()[1].defaultText(), "600");
+    EXPECT_EQ(s.specs()[3].defaultText(), "false");
+    EXPECT_NE(s.find("arrival_gap"), nullptr);
+    EXPECT_EQ(s.find("nope"), nullptr);
+    EXPECT_NE(s.validKeyList().find("arrival_gap"),
+              std::string::npos);
+}
+
+TEST(ParamParse, AssignmentSplitsAtFirstEqualsAndTrims)
+{
+    std::pair<std::string, std::string> kv;
+    std::string err;
+    ASSERT_TRUE(parseParamAssignment(" arrival_gap = 900 ", kv, err));
+    EXPECT_EQ(kv.first, "arrival_gap");
+    EXPECT_EQ(kv.second, "900");
+
+    ASSERT_TRUE(parseParamAssignment("k=a=b", kv, err));
+    EXPECT_EQ(kv.second, "a=b");
+
+    EXPECT_FALSE(parseParamAssignment("no-equals", kv, err));
+    EXPECT_FALSE(parseParamAssignment("=value", kv, err));
+}
+
+TEST(ParamResolve, DefaultsFillEverythingWhenRawIsEmpty)
+{
+    ParamValues out;
+    std::string err;
+    ASSERT_TRUE(resolveParams(feedLikeSchema(), {}, out, err)) << err;
+    EXPECT_EQ(out.getEnum("profile"), "steady");
+    EXPECT_EQ(out.getInt("arrival_gap"), 600u);
+    EXPECT_DOUBLE_EQ(out.getDouble("load"), 0.5);
+    EXPECT_FALSE(out.getBool("strict"));
+}
+
+TEST(ParamResolve, OverlaysInOrderWithLaterDuplicatesWinning)
+{
+    ParamValues out;
+    std::string err;
+    RawParams raw = {{"arrival_gap", "100"},
+                     {"profile", "bursty"},
+                     {"arrival_gap", "900"},
+                     {"strict", "true"},
+                     {"load", "0.75"}};
+    ASSERT_TRUE(resolveParams(feedLikeSchema(), raw, out, err)) << err;
+    EXPECT_EQ(out.getInt("arrival_gap"), 900u);
+    EXPECT_EQ(out.getEnum("profile"), "bursty");
+    EXPECT_TRUE(out.getBool("strict"));
+    EXPECT_DOUBLE_EQ(out.getDouble("load"), 0.75);
+}
+
+TEST(ParamResolve, UnknownKeyNamesTheValidOnes)
+{
+    ParamValues out;
+    std::string err;
+    EXPECT_FALSE(resolveParams(feedLikeSchema(), {{"bogus", "1"}},
+                               out, err));
+    EXPECT_NE(err.find("bogus"), std::string::npos) << err;
+    EXPECT_NE(err.find("arrival_gap"), std::string::npos) << err;
+
+    // An empty schema rejects any key with a distinct message.
+    err.clear();
+    EXPECT_FALSE(
+        resolveParams(ParamSchema{}, {{"anything", "1"}}, out, err));
+    EXPECT_NE(err.find("no parameters"), std::string::npos) << err;
+}
+
+TEST(ParamResolve, TypeErrorsNameExpectedAndGot)
+{
+    ParamValues out;
+    std::string err;
+    EXPECT_FALSE(resolveParams(feedLikeSchema(),
+                               {{"arrival_gap", "fast"}}, out, err));
+    EXPECT_NE(err.find("arrival_gap"), std::string::npos) << err;
+
+    err.clear();
+    EXPECT_FALSE(resolveParams(feedLikeSchema(),
+                               {{"profile", "square"}}, out, err));
+    // Enum errors list the legal values.
+    EXPECT_NE(err.find("bursty"), std::string::npos) << err;
+
+    err.clear();
+    EXPECT_FALSE(resolveParams(feedLikeSchema(), {{"load", "x"}},
+                               out, err));
+    err.clear();
+    EXPECT_FALSE(resolveParams(feedLikeSchema(), {{"strict", "2"}},
+                               out, err));
+}
+
+TEST(ParamText, CanonicalFormSortsAndRoundTrips)
+{
+    EXPECT_EQ(canonicalParamText({}), "-");
+    RawParams raw = {{"b", "2"}, {"a", "1"}, {"c", "3"}};
+    std::string text = canonicalParamText(raw);
+    EXPECT_EQ(text, "a=1;b=2;c=3");
+
+    // Parse each ';'-separated assignment back and re-canonicalise:
+    // the round trip is the identity.
+    RawParams back;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        std::size_t semi = text.find(';', start);
+        std::string item =
+            text.substr(start, semi == std::string::npos
+                                   ? std::string::npos
+                                   : semi - start);
+        std::pair<std::string, std::string> kv;
+        std::string err;
+        ASSERT_TRUE(parseParamAssignment(item, kv, err)) << err;
+        back.push_back(kv);
+        if (semi == std::string::npos)
+            break;
+        start = semi + 1;
+    }
+    EXPECT_EQ(canonicalParamText(back), text);
+
+    // Equal keys keep their relative order (stable sort), so the
+    // later-wins overlay semantics survive the round trip.
+    EXPECT_EQ(canonicalParamText({{"k", "2"}, {"k", "1"}}),
+              "k=2;k=1");
+}
+
+} // namespace tmi

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Server-family tests: the open-loop traffic generator's purity and
+ * monotonicity, and the feed-handler workloads' determinism, latency
+ * reporting, knob plumbing, and schedule-independent digest.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/config.hh"
+#include "core/experiment.hh"
+#include "workloads/server/traffic.hh"
+#include "workloads/workload.hh"
+
+namespace tmi
+{
+
+namespace
+{
+
+const ArrivalProfile kProfiles[] = {ArrivalProfile::Steady,
+                                    ArrivalProfile::Bursty,
+                                    ArrivalProfile::Diurnal};
+
+} // namespace
+
+TEST(Traffic, ArrivalsArePureInConfigAndIndex)
+{
+    TrafficConfig cfg;
+    cfg.profile = ArrivalProfile::Bursty;
+    cfg.seed = 42;
+    // Same (config, index) twice, out of order: identical times --
+    // a shard or chaos replay regenerates the exact stream.
+    for (std::uint64_t i : {std::uint64_t(500), std::uint64_t(0),
+                            std::uint64_t(77)}) {
+        EXPECT_EQ(arrivalAt(cfg, i), arrivalAt(cfg, i));
+    }
+    TrafficConfig again = cfg;
+    EXPECT_EQ(arrivalAt(cfg, 123), arrivalAt(again, 123));
+}
+
+TEST(Traffic, ArrivalsAreMonotoneForEveryProfileAndGap)
+{
+    for (ArrivalProfile p : kProfiles) {
+        for (Cycles gap : {Cycles(1), Cycles(5), Cycles(600)}) {
+            TrafficConfig cfg;
+            cfg.profile = p;
+            cfg.gap = gap;
+            cfg.seed = 9;
+            Cycles prev = arrivalAt(cfg, 0);
+            for (std::uint64_t i = 1; i < 3000; ++i) {
+                Cycles at = arrivalAt(cfg, i);
+                ASSERT_GE(at, prev)
+                    << arrivalProfileName(p) << " gap=" << gap
+                    << " index=" << i;
+                prev = at;
+            }
+        }
+    }
+}
+
+TEST(Traffic, SeedsProduceDistinctStreams)
+{
+    TrafficConfig a, b;
+    a.seed = 1;
+    b.seed = 2;
+    unsigned differing = 0;
+    for (std::uint64_t i = 0; i < 64; ++i)
+        differing += arrivalAt(a, i) != arrivalAt(b, i);
+    EXPECT_GT(differing, 0u);
+    EXPECT_NE(payloadAt(1, 0), payloadAt(2, 0));
+}
+
+TEST(Traffic, PayloadsAreNonzeroAndDeterministic)
+{
+    for (std::uint64_t i = 0; i < 256; ++i) {
+        ASSERT_NE(payloadAt(7, i), 0u);
+        ASSERT_EQ(payloadAt(7, i), payloadAt(7, i));
+    }
+}
+
+TEST(Traffic, ProfileNamesRoundTrip)
+{
+    for (ArrivalProfile p : kProfiles) {
+        ArrivalProfile back = ArrivalProfile::Steady;
+        ASSERT_TRUE(parseArrivalProfile(arrivalProfileName(p), back));
+        EXPECT_EQ(back, p);
+    }
+    ArrivalProfile out = ArrivalProfile::Steady;
+    EXPECT_FALSE(parseArrivalProfile("square-wave", out));
+}
+
+class FeedHandler : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(FeedHandler, DeterministicWithLatencyReport)
+{
+    ExperimentConfig cfg;
+    cfg.workload = GetParam();
+    cfg.threads = 4;
+    cfg.scale = 1;
+    RunResult a = runExperiment(cfg);
+    RunResult b = runExperiment(cfg);
+
+    EXPECT_EQ(a.outcome, RunOutcome::Completed);
+    EXPECT_TRUE(a.valid);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.resultDigest, b.resultDigest);
+    EXPECT_NE(a.resultDigest, 0u);
+
+    // Every completed request is a latency sample.
+    EXPECT_GT(a.requests, 0u);
+    EXPECT_EQ(a.requests, b.requests);
+    EXPECT_LE(a.sojournP50, a.sojournP99);
+    EXPECT_LE(a.sojournP99, a.sojournP999);
+    EXPECT_GT(a.sojournP999, 0.0);
+}
+
+TEST_P(FeedHandler, DigestIsScheduleIndependent)
+{
+    // The commutative end-state digest must not move when the PEBS
+    // sampling period perturbs the interleaving (the chaos oracle's
+    // contract); wall cycles may differ.
+    ExperimentConfig cfg;
+    cfg.workload = GetParam();
+    cfg.threads = 4;
+    cfg.scale = 1;
+    cfg.perfPeriod = 100;
+    RunResult a = runExperiment(cfg);
+    cfg.perfPeriod = 997;
+    RunResult b = runExperiment(cfg);
+    EXPECT_TRUE(a.valid);
+    EXPECT_TRUE(b.valid);
+    EXPECT_EQ(a.resultDigest, b.resultDigest);
+}
+
+TEST_P(FeedHandler, EveryProfileKnobRunsValid)
+{
+    for (const char *profile : {"steady", "bursty", "diurnal"}) {
+        ExperimentConfig cfg;
+        cfg.workload = GetParam();
+        cfg.threads = 4;
+        cfg.scale = 1;
+        cfg.params = {{"profile", profile}, {"requests", "32"}};
+        RunResult res = runExperiment(cfg);
+        EXPECT_TRUE(res.valid) << GetParam() << " " << profile;
+        EXPECT_GT(res.requests, 0u) << GetParam() << " " << profile;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Server, FeedHandler,
+                         ::testing::Values("feed-spsc", "feed-spmc"),
+                         [](const auto &info) {
+                             return std::string(info.param) ==
+                                            "feed-spsc"
+                                        ? "spsc"
+                                        : "spmc";
+                         });
+
+TEST(FeedHandlerKnobs, RequestsKnobSetsTheCompletedCount)
+{
+    // feed-spsc at 4 threads runs 2 lanes, one producer each, so the
+    // completed total is 2 * requests * scale.
+    ExperimentConfig cfg;
+    cfg.workload = "feed-spsc";
+    cfg.threads = 4;
+    cfg.scale = 1;
+    cfg.params = {{"requests", "32"}};
+    RunResult small = runExperiment(cfg);
+    EXPECT_EQ(small.requests, 64u);
+
+    cfg.params = {{"requests", "48"}};
+    RunResult big = runExperiment(cfg);
+    EXPECT_EQ(big.requests, 96u);
+    EXPECT_NE(small.resultDigest, big.resultDigest);
+}
+
+TEST(FeedHandlerKnobs, BadParamsFailValidationNotTheRun)
+{
+    std::vector<ConfigError> errors = Experiment::builder()
+                                          .workload("feed-spsc")
+                                          .param("bogus_knob", "7")
+                                          .check();
+    ASSERT_FALSE(errors.empty());
+    bool lists_valid = false;
+    for (const ConfigError &e : errors) {
+        lists_valid |=
+            e.message.find("arrival_gap") != std::string::npos;
+    }
+    EXPECT_TRUE(lists_valid);
+
+    errors = Experiment::builder()
+                 .workload("feed-spsc")
+                 .param("profile", "square-wave")
+                 .check();
+    EXPECT_FALSE(errors.empty());
+
+    // A workload with no schema rejects every key.
+    errors = Experiment::builder()
+                 .workload("histogramfs")
+                 .param("requests", "32")
+                 .check();
+    EXPECT_FALSE(errors.empty());
+}
+
+} // namespace tmi

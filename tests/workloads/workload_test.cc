@@ -84,7 +84,23 @@ TEST(WorkloadRegistry, HasThePapersThirtyFiveWorkloadsPlusCholesky)
     for (const auto &info : workloadRegistry())
         overhead_set += info.inOverheadSet;
     EXPECT_EQ(overhead_set, 35u);
-    EXPECT_EQ(workloadRegistry().size(), 36u);
+    // 35 overhead-set entries + cholesky + the two server-family
+    // feed handlers (not in the paper's overhead set).
+    EXPECT_EQ(workloadRegistry().size(), 38u);
+}
+
+TEST(WorkloadRegistry, FamiliesPartitionTheRegistry)
+{
+    std::vector<std::string> fams = workloadFamilies();
+    ASSERT_EQ(fams.size(), 2u);
+    EXPECT_EQ(fams[0], "batch");
+    EXPECT_EQ(fams[1], "server");
+    std::vector<std::string> server = workloadsInFamily("server");
+    std::vector<std::string> expected = {"feed-spsc", "feed-spmc"};
+    EXPECT_EQ(server, expected);
+    EXPECT_EQ(workloadsInFamily("batch").size(),
+              workloadRegistry().size() - server.size());
+    EXPECT_TRUE(workloadsInFamily("no-such-family").empty());
 }
 
 TEST(WorkloadRegistry, FalseSharingSetMatchesFigure9)
