@@ -1,9 +1,15 @@
 /**
  * @file
- * The acceptance chaos campaign: 64 generated fault schedules per
- * cell over the false-sharing workload set under the three repairing
- * treatments (tmi-protect, sheriff-protect, laser), judged by the
- * differential end-state oracle.
+ * The acceptance chaos campaign: generated fault schedules per cell,
+ * judged by the differential end-state oracle, over two families:
+ *
+ *  - batch: the false-sharing workload set (histogramfs, lreg,
+ *    stringmatch, lu-ncb) under the three repairing treatments
+ *    (tmi-protect, sheriff-protect, laser), 64 schedules per cell;
+ *  - server: the long-running stateful feed handlers (feed-spsc,
+ *    feed-spmc) with typed workload params under tmi-protect and
+ *    laser (sheriff-protect cannot validate the ring atomics),
+ *    16 schedules per cell.
  *
  * The claims under test:
  *
@@ -16,12 +22,18 @@
  *    reproducer specs instead of a seed number and a shrug.
  *
  * Env knobs: TMI_BENCH_SCALE (default 2), TMI_BENCH_WORKERS,
- * TMI_CHAOS_SCHEDULES (default 64), TMI_CHAOS_SEED (default 1),
- * TMI_CHAOS_SHARDS (worker processes; only with --journal-dir).
+ * TMI_CHAOS_SCHEDULES (default 64), TMI_CHAOS_SERVER_SCHEDULES
+ * (default 16), TMI_CHAOS_SEED (default 1), TMI_CHAOS_SHARDS
+ * (worker processes; only with --journal-dir).
  * Usage: chaos_campaign [--csv out.csv] [--repro-dir DIR]
  *                       [--journal-dir DIR] [--resume]
  *
- * --journal-dir runs the campaign on the crash-safe shard
+ * The server campaign writes its CSV next to the batch one as
+ * "<out.csv>.server" (or to stdout after the batch CSV when no
+ * --csv was given); with --journal-dir its journals live in
+ * "<DIR>-server" so the two manifests never collide.
+ *
+ * --journal-dir runs the campaigns on the crash-safe shard
  * supervisor: results are journaled as they land, a killed run
  * continues with --resume, and the CSV is byte-identical to the
  * in-process campaign's.
@@ -47,25 +59,108 @@ envU64(const char *name, std::uint64_t fallback)
     return fallback;
 }
 
+struct CampaignIo
+{
+    std::string csvPath;
+    std::string reproDir;
+    std::string journalDir;
+    bool resume = false;
+};
+
+/** Run one campaign (in-process or sharded per io.journalDir) and
+ *  report its reproducers; returns false on an unclean outcome. */
+bool
+runOne(const char *label, const chaos::CampaignSpec &spec,
+       const CampaignIo &io)
+{
+    std::ofstream csv_file;
+    if (!io.csvPath.empty()) {
+        csv_file.open(io.csvPath);
+        if (!csv_file) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         io.csvPath.c_str());
+            return false;
+        }
+    }
+    std::ostream &os = io.csvPath.empty()
+                           ? static_cast<std::ostream &>(std::cout)
+                           : csv_file;
+
+    driver::RunnerOptions opts;
+    opts.workers = benchWorkers();
+
+    chaos::CampaignOutcome outcome;
+    if (!io.journalDir.empty()) {
+        chaos::ShardedCampaignOptions sharded;
+        sharded.shard.journalDir = io.journalDir;
+        sharded.shard.resume = io.resume;
+        sharded.shard.shards = static_cast<unsigned>(
+            envU64("TMI_CHAOS_SHARDS", 2));
+        sharded.shard.runner = opts;
+        driver::ShardRunStats stats;
+        try {
+            outcome =
+                chaos::runCampaignSharded(spec, sharded, &os, &stats);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "chaos_campaign: %s: %s\n", label,
+                         e.what());
+            return false;
+        }
+        std::fprintf(
+            stderr,
+            "[chaos:%s] %llu shard(s), %llu crash(es), %llu resumed\n",
+            label, static_cast<unsigned long long>(stats.shards),
+            static_cast<unsigned long long>(stats.crashes),
+            static_cast<unsigned long long>(stats.resumedJobs));
+    } else {
+        driver::Runner runner(opts);
+        outcome = chaos::runCampaign(spec, runner, &os);
+    }
+
+    for (const auto &repro : outcome.reproducers) {
+        std::fprintf(stderr, "[chaos:%s] minimized reproducer:\n%s",
+                     label,
+                     chaos::writeScheduleSpec(repro.minimized)
+                         .c_str());
+        if (io.reproDir.empty())
+            continue;
+        std::string name = io.reproDir + "/repro_" +
+                           repro.minimized.workload + "_" +
+                           std::to_string(repro.minimized.index) +
+                           ".spec";
+        std::ofstream rf(name);
+        if (rf)
+            rf << chaos::writeScheduleSpec(repro.minimized);
+    }
+
+    std::fprintf(stderr,
+                 "[chaos:%s] %llu judged, %llu passed, %llu failed, "
+                 "%llu skipped (seed %llu)\n",
+                 label,
+                 static_cast<unsigned long long>(outcome.judged),
+                 static_cast<unsigned long long>(outcome.passed),
+                 static_cast<unsigned long long>(outcome.failed),
+                 static_cast<unsigned long long>(outcome.skipped),
+                 static_cast<unsigned long long>(spec.campaignSeed));
+    return outcome.clean();
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    std::string csv_path;
-    std::string repro_dir;
-    std::string journal_dir;
-    bool resume = false;
+    CampaignIo io;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--csv" && i + 1 < argc) {
-            csv_path = argv[++i];
+            io.csvPath = argv[++i];
         } else if (arg == "--repro-dir" && i + 1 < argc) {
-            repro_dir = argv[++i];
+            io.reproDir = argv[++i];
         } else if (arg == "--journal-dir" && i + 1 < argc) {
-            journal_dir = argv[++i];
+            io.journalDir = argv[++i];
         } else if (arg == "--resume") {
-            resume = true;
+            io.resume = true;
         } else {
             std::fprintf(stderr,
                          "usage: chaos_campaign [--csv out.csv] "
@@ -76,84 +171,42 @@ main(int argc, char **argv)
     }
     setLogLevel(LogLevel::Quiet);
 
-    chaos::CampaignSpec spec;
-    spec.base.run = benchConfig("histogramfs", Treatment::TmiProtect,
-                                benchScale(2));
+    chaos::CampaignSpec batch;
+    batch.base.run = benchConfig("histogramfs", Treatment::TmiProtect,
+                                 benchScale(2));
     // The FS set minus the atomics-reliant cells Sheriff/LASER
     // cannot validate anyway is still >= 4 workloads; use the
     // digest-bearing Phoenix/Splash subset for apples-to-apples
     // judging across all three treatments.
-    spec.workloads = {"histogramfs", "lreg", "stringmatch", "lu-ncb"};
-    spec.treatments = {Treatment::TmiProtect,
-                       Treatment::SheriffProtect, Treatment::Laser};
-    spec.schedules = envU64("TMI_CHAOS_SCHEDULES", 64);
-    spec.campaignSeed = envU64("TMI_CHAOS_SEED", 1);
+    batch.workloads = {"histogramfs", "lreg", "stringmatch",
+                       "lu-ncb"};
+    batch.treatments = {Treatment::TmiProtect,
+                        Treatment::SheriffProtect, Treatment::Laser};
+    batch.schedules = envU64("TMI_CHAOS_SCHEDULES", 64);
+    batch.campaignSeed = envU64("TMI_CHAOS_SEED", 1);
 
-    driver::RunnerOptions opts;
-    opts.workers = benchWorkers();
+    // The server family keeps per-request state alive across the
+    // whole run, so fault recovery is judged against a stateful
+    // end-state digest, not a one-shot reduction. Sheriff-protect is
+    // out: it cannot validate the SPSC/MPMC ring atomics.
+    chaos::CampaignSpec server;
+    server.base.run = benchConfig("feed-spsc", Treatment::TmiProtect,
+                                  benchScale(2));
+    server.base.run.params = {{"requests", "256"},
+                              {"stat_rounds", "4"},
+                              {"burst", "4"}};
+    server.workloads = {"feed-spsc", "feed-spmc"};
+    server.treatments = {Treatment::TmiProtect, Treatment::Laser};
+    server.schedules = envU64("TMI_CHAOS_SERVER_SCHEDULES", 16);
+    server.campaignSeed = envU64("TMI_CHAOS_SEED", 1);
 
-    std::ofstream csv_file;
-    if (!csv_path.empty()) {
-        csv_file.open(csv_path);
-        if (!csv_file) {
-            std::fprintf(stderr, "cannot write '%s'\n",
-                         csv_path.c_str());
-            return 2;
-        }
-    }
-    std::ostream &os = csv_path.empty()
-                           ? static_cast<std::ostream &>(std::cout)
-                           : csv_file;
+    CampaignIo server_io = io;
+    if (!io.csvPath.empty())
+        server_io.csvPath = io.csvPath + ".server";
+    if (!io.journalDir.empty())
+        server_io.journalDir = io.journalDir + "-server";
 
-    chaos::CampaignOutcome outcome;
-    if (!journal_dir.empty()) {
-        chaos::ShardedCampaignOptions sharded;
-        sharded.shard.journalDir = journal_dir;
-        sharded.shard.resume = resume;
-        sharded.shard.shards = static_cast<unsigned>(
-            envU64("TMI_CHAOS_SHARDS", 2));
-        sharded.shard.runner = opts;
-        driver::ShardRunStats stats;
-        try {
-            outcome =
-                chaos::runCampaignSharded(spec, sharded, &os, &stats);
-        } catch (const std::exception &e) {
-            std::fprintf(stderr, "chaos_campaign: %s\n", e.what());
-            return 2;
-        }
-        std::fprintf(
-            stderr,
-            "[chaos] %llu shard(s), %llu crash(es), %llu resumed\n",
-            static_cast<unsigned long long>(stats.shards),
-            static_cast<unsigned long long>(stats.crashes),
-            static_cast<unsigned long long>(stats.resumedJobs));
-    } else {
-        driver::Runner runner(opts);
-        outcome = chaos::runCampaign(spec, runner, &os);
-    }
-
-    for (const auto &repro : outcome.reproducers) {
-        std::fprintf(stderr, "[chaos] minimized reproducer:\n%s",
-                     chaos::writeScheduleSpec(repro.minimized)
-                         .c_str());
-        if (repro_dir.empty())
-            continue;
-        std::string name = repro_dir + "/repro_" +
-                           repro.minimized.workload + "_" +
-                           std::to_string(repro.minimized.index) +
-                           ".spec";
-        std::ofstream rf(name);
-        if (rf)
-            rf << chaos::writeScheduleSpec(repro.minimized);
-    }
-
-    std::fprintf(stderr,
-                 "[chaos] %llu judged, %llu passed, %llu failed, "
-                 "%llu skipped (seed %llu)\n",
-                 static_cast<unsigned long long>(outcome.judged),
-                 static_cast<unsigned long long>(outcome.passed),
-                 static_cast<unsigned long long>(outcome.failed),
-                 static_cast<unsigned long long>(outcome.skipped),
-                 static_cast<unsigned long long>(spec.campaignSeed));
-    return outcome.clean() ? 0 : 1;
+    bool ok = runOne("batch", batch, io);
+    ok = runOne("server", server, server_io) && ok;
+    return ok ? 0 : 1;
 }

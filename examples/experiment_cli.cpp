@@ -16,8 +16,15 @@
  *       [--watchdog 0|1] [--monitor 0|1] [--watchdog-timeout N]
  *       [--trace] [--ring N] [--trace-out run.json]
  *       [--trace-csv run.csv] [--report] [--csv-out row.csv]
+ *       [--plan-in plan.txt] [--plan-out plan.txt]
  *
  * Fault SPECs: always | once | once=N | p=0.5 | every=N.
+ *
+ * --plan-in / --plan-out serve the huron-static treatment: --plan-out
+ * saves the layout plan the profiling phase synthesized, --plan-in
+ * replays a saved plan directly (profiling is skipped). Together they
+ * split the offline pipeline across invocations, which is what lets
+ * CI pin a golden plan.
  *
  * --trace-out writes Chrome trace_event JSON: load it in
  * chrome://tracing or https://ui.perfetto.dev to scrub through the
@@ -34,6 +41,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "core/config.hh"
@@ -60,8 +68,10 @@ parseTreatment(const std::string &name)
 void
 listTreatments()
 {
-    for (Treatment t : allTreatments())
-        std::printf("%s\n", treatmentName(t));
+    for (Treatment t : allTreatments()) {
+        std::printf("%-18s %s\n", treatmentName(t),
+                    treatmentDescription(t));
+    }
 }
 
 /** Parse "point:SPEC" (SPEC: always|once|once=N|p=0.5|every=N). */
@@ -150,6 +160,20 @@ openOut(const std::string &path)
     return os;
 }
 
+/** Slurp @p path or die. */
+std::string
+readAll(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is) {
+        std::fprintf(stderr, "cannot read '%s'\n", path.c_str());
+        std::exit(2);
+    }
+    std::ostringstream text;
+    text << is.rdbuf();
+    return text.str();
+}
+
 } // namespace
 
 int
@@ -160,6 +184,7 @@ main(int argc, char **argv)
     bool stats = false;
     bool report = false;
     std::string trace_out, trace_csv, csv_out;
+    std::string plan_out;
     std::string family_filter;
 
     for (int i = 1; i < argc; ++i) {
@@ -230,6 +255,10 @@ main(int argc, char **argv)
             trace_csv = next();
         } else if (arg == "--csv-out") {
             csv_out = next();
+        } else if (arg == "--plan-in") {
+            builder.planIn(readAll(next()));
+        } else if (arg == "--plan-out") {
+            plan_out = next();
         } else if (arg == "--report") {
             report = true;
         } else if (arg == "--stats") {
@@ -284,6 +313,20 @@ main(int argc, char **argv)
                     "%.0f / p999 %.0f cycles\n",
                     static_cast<unsigned long long>(res.requests),
                     res.sojournP50, res.sojournP99, res.sojournP999);
+    }
+    if (res.treatment == Treatment::HuronStatic) {
+        std::printf("static plan   : %llu site(s), %llu applied, "
+                    "%llu redirected, %llu bytes padding; profile "
+                    "saw %llu HITM\n",
+                    static_cast<unsigned long long>(res.planSites),
+                    static_cast<unsigned long long>(
+                        res.planAppliedSites),
+                    static_cast<unsigned long long>(
+                        res.planRedirectedSites),
+                    static_cast<unsigned long long>(
+                        res.planPaddingBytes),
+                    static_cast<unsigned long long>(
+                        res.planProfileHitms));
     }
     if (res.repairActive) {
         std::printf("repair        : engaged at %.3f ms; T2P %.1f us; "
@@ -340,6 +383,20 @@ main(int argc, char **argv)
         os << robustnessCsvHeader() << "\n"
            << robustnessCsvRow(res, "cli", 1.0) << "\n";
         std::printf("csv-out       : %s\n", csv_out.c_str());
+    }
+    if (!plan_out.empty()) {
+        if (res.planText.empty()) {
+            std::fprintf(stderr,
+                         "--plan-out: no plan to save (treatment "
+                         "'%s' does not synthesize one)\n",
+                         treatmentName(res.treatment));
+            return 2;
+        }
+        std::ofstream os = openOut(plan_out);
+        os << res.planText;
+        std::printf("plan-out      : %s (%llu site(s))\n",
+                    plan_out.c_str(),
+                    static_cast<unsigned long long>(res.planSites));
     }
     if (report) {
         std::printf("\n");

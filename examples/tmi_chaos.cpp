@@ -7,7 +7,8 @@
  *   tmi-chaos campaign --workloads histogramfs,lreg \
  *       --treatments tmi-protect,sheriff-protect \
  *       [--schedules N] [--campaign-seed S] [--threads N]
- *       [--scale N] [--budget N] [--min-events N] [--max-events N]
+ *       [--scale N] [--budget N] [--param key=value]...
+ *       [--min-events N] [--max-events N]
  *       [--watchdog 0|1] [--monitor 0|1] [--recover-up N]
  *       [--no-minimize] [--minimize-limit N] [--repro-dir DIR]
  *       [--workers N] [--retries N] [--timeout-ms N]
@@ -58,6 +59,7 @@
 #include "chaos/campaign.hh"
 #include "common/logging.hh"
 #include "fault/fault_injector.hh"
+#include "workloads/params.hh"
 
 using namespace tmi;
 
@@ -152,6 +154,11 @@ cmdCampaign(int argc, char **argv)
             spec.base.run.scale = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--budget") {
             spec.base.run.budget = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--param") {
+            std::pair<std::string, std::string> kv;
+            if (!parseParamAssignment(next(), kv, err))
+                usageError("--param: " + err);
+            spec.base.run.params.push_back(kv);
         } else if (arg == "--watchdog") {
             spec.base.run.watchdog = std::atoi(next());
         } else if (arg == "--monitor") {

@@ -16,13 +16,17 @@
  *       [--fault-points mem.frame_exhausted] \
  *       [--fault-rates 0,0.1,0.5] \
  *       [--threads N] [--budget N] [--param key=value]... \
- *       [--spec sweep.conf] \
+ *       [--plan-in plan.txt] [--spec sweep.conf] \
  *       [--workers N] [--retries N] [--timeout-ms N] \
  *       [--csv out.csv] [--no-progress] [--dry-run] [--verbose] \
  *       [--journal-dir DIR] [--shards N] [--resume] \
  *       [--checkpoint-every K] [--kill-budget N] \
  *       [--family NAME] [--list-workloads] [--list-treatments] \
  *       [--list-fault-points]
+ *
+ * --plan-in loads a saved huron-static layout plan into the base
+ * config: every huron-static cell replays it directly instead of
+ * profiling first (other treatments ignore it).
  *
  * --spec reads the same keys from a key=value file (one per line,
  * #-comments); flags apply after the file, appending to axis lists.
@@ -139,6 +143,13 @@ main(int argc, char **argv)
             applyOrDie(spec, "budget", next());
         } else if (arg == "--param") {
             applyOrDie(spec, "param", next());
+        } else if (arg == "--plan-in") {
+            std::ifstream is(next());
+            if (!is)
+                usageError("cannot read plan file");
+            std::ostringstream text;
+            text << is.rdbuf();
+            spec.base.run.planIn = text.str();
         } else if (arg == "--interval") {
             applyOrDie(spec, "interval", next());
         } else if (arg == "--watchdog") {
@@ -209,8 +220,10 @@ main(int argc, char **argv)
             }
             return 0;
         } else if (arg == "--list-treatments") {
-            for (Treatment t : allTreatments())
-                std::printf("%s\n", treatmentName(t));
+            for (Treatment t : allTreatments()) {
+                std::printf("%-18s %s\n", treatmentName(t),
+                            treatmentDescription(t));
+            }
             return 0;
         } else if (arg == "--list-fault-points") {
             for (const FaultPointInfo &info :

@@ -2,7 +2,7 @@
 """Validate a sweep CSV against the canonical driver schema.
 
 The sweep driver (src/driver/sink.cc) writes one header plus one row
-per job, in job-id order, with the same 33 columns for every row.
+per job, in job-id order, with the same 38 columns for every row.
 This checker keeps that contract honest from the outside -- CI runs a
 small sweep through tmi-sweep and pipes the file through here, so a
 schema drift (a renamed column, a duplicated or dropped job, a row
@@ -38,6 +38,8 @@ COLUMNS = [
     "conflict_bytes", "fault_fires", "t2p_aborts", "unrepairs",
     "watchdog_flushes", "cow_fallbacks", "ladder_drops", "params",
     "requests", "sojourn_p50", "sojourn_p99", "sojourn_p999",
+    "plan_sites", "plan_applied", "plan_padding_bytes",
+    "plan_redirected", "plan_profile_hitms",
 ]
 
 STATUSES = {"ok", "failed", "timeout", "cancelled", "poisoned"}
@@ -47,7 +49,8 @@ NUMERIC = [
     "cycles", "hitm_events", "pebs_records", "pages_protected",
     "commits", "conflict_bytes", "fault_fires", "t2p_aborts",
     "unrepairs", "watchdog_flushes", "cow_fallbacks", "ladder_drops",
-    "requests",
+    "requests", "plan_sites", "plan_applied", "plan_padding_bytes",
+    "plan_redirected", "plan_profile_hitms",
 ]
 
 

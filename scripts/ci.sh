@@ -185,4 +185,79 @@ rc=0
 grep -q "bogus_knob" "$param_err"
 grep -q "arrival_gap" "$param_err"
 
+# Static-repair smoke: the fixed-seed profile phase must synthesize
+# exactly the checked-in golden layout plan (profile -> plan is
+# deterministic), and a huron-static sweep -- both the self-profiling
+# cells and a pure replay of the golden plan via --plan-in -- must be
+# byte-identical on 1 and 4 workers, cut each workload's HITMs at
+# least 5x against its pthreads row, and report zero profile HITMs on
+# the pure replay (profiling really was skipped).
+echo "=== huron-static golden plan + profile->plan->replay smoke ==="
+plan_out="$(mktemp -t tmi_plan.XXXXXX.txt)"
+huron1="$(mktemp -t tmi_huron1.XXXXXX.csv)"
+huron4="$(mktemp -t tmi_huron4.XXXXXX.csv)"
+replay1="$(mktemp -t tmi_replay1.XXXXXX.csv)"
+trap 'rm -f "$trace_out" "$sweep1" "$sweep2" "$chaos1" "$chaos4" \
+    "$hostperf" "$server1" "$server4" "$param_err" "$plan_out" \
+    "$huron1" "$huron4" "$replay1"' EXIT
+./build/examples/experiment_cli --workload histogramfs \
+    --treatment huron-static --scale 4 --interval 500000 \
+    --plan-out "$plan_out"
+cmp goldens/staticrepair/histogramfs.plan "$plan_out"
+
+huron_args=(--workloads histogramfs,lreg,spinlockpool
+    --treatments pthreads,huron-static --scales 4 --interval 500000
+    --no-progress)
+./build/examples/tmi-sweep "${huron_args[@]}" --workers 1 \
+    --csv "$huron1"
+./build/examples/tmi-sweep "${huron_args[@]}" --workers 4 \
+    --csv "$huron4"
+python3 scripts/check_sweep.py "$huron1" --expect-rows 6 --expect-ok
+cmp "$huron1" "$huron4"
+awk -F, 'NR > 1 { hitm[$2 "," $3] = $18
+        if ($3 == "huron-static" && ($34 + 0 < 1 || $35 != $34)) {
+            print "huron row without applied plan: " $0; bad = 1 } }
+    END { for (k in hitm) { split(k, a, ",")
+            if (a[2] != "huron-static") continue
+            base = hitm[a[1] ",pthreads"]
+            if (hitm[k] * 5 > base) {
+                print "weak repair on " a[1] ": " hitm[k] \
+                    " vs " base; bad = 1 } }
+        exit bad }' "$huron1"
+
+./build/examples/tmi-sweep --workloads histogramfs \
+    --treatments pthreads,huron-static --scales 4 --interval 500000 \
+    --plan-in goldens/staticrepair/histogramfs.plan \
+    --no-progress --workers 1 --csv "$replay1"
+python3 scripts/check_sweep.py "$replay1" --expect-rows 2 --expect-ok
+awk -F, 'NR > 1 && $3 == "huron-static" \
+    && ($38 + 0 != 0 || $34 + 0 < 1 || $18 * 5 > base) \
+    { print "bad replay row: " $0; bad = 1 }
+    NR > 1 && $3 == "pthreads" { base = $18 }
+    END { exit bad }' "$replay1"
+
+# Long-running stateful server chaos smoke: fault schedules against
+# the feed handlers (typed --param knobs, requests scaled well past
+# the default so per-worker stat state stays live across many ring
+# generations) must all converge to the fault-free end-state digest,
+# byte-identical on 1 and 4 workers. sheriff-protect is excluded:
+# it cannot validate the ring atomics.
+echo "=== server-family chaos campaign smoke ==="
+schaos1="$(mktemp -t tmi_schaos1.XXXXXX.csv)"
+schaos4="$(mktemp -t tmi_schaos4.XXXXXX.csv)"
+trap 'rm -f "$trace_out" "$sweep1" "$sweep2" "$chaos1" "$chaos4" \
+    "$hostperf" "$server1" "$server4" "$param_err" "$plan_out" \
+    "$huron1" "$huron4" "$replay1" "$schaos1" "$schaos4"' EXIT
+schaos_args=(--workloads feed-spsc,feed-spmc
+    --treatments tmi-protect,laser --schedules 4 --campaign-seed 2026
+    --param requests=384 --param stat_rounds=8
+    --no-minimize --no-progress)
+./build/examples/tmi-chaos campaign "${schaos_args[@]}" \
+    --workers 1 --csv "$schaos1"
+./build/examples/tmi-chaos campaign "${schaos_args[@]}" \
+    --workers 4 --csv "$schaos4"
+python3 scripts/check_chaos.py "$schaos1" --expect-rows 20 \
+    --expect-pass
+cmp "$schaos1" "$schaos4"
+
 echo "=== CI green ==="

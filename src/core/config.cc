@@ -109,6 +109,13 @@ ExperimentBuilder::dumpStats(bool on)
 }
 
 ExperimentBuilder &
+ExperimentBuilder::planIn(const std::string &text)
+{
+    _config.run.planIn = text;
+    return *this;
+}
+
+ExperimentBuilder &
 ExperimentBuilder::param(const std::string &key,
                          const std::string &value)
 {

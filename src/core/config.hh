@@ -96,6 +96,8 @@ class ExperimentBuilder
     ExperimentBuilder &budget(Cycles cycles);
     ExperimentBuilder &seed(std::uint64_t s);
     ExperimentBuilder &dumpStats(bool on = true);
+    /** Layout-plan text for huron-static replay (skips profiling). */
+    ExperimentBuilder &planIn(const std::string &text);
     /** Append one workload knob (raw; validated at build/run). */
     ExperimentBuilder &param(const std::string &key,
                              const std::string &value);

@@ -1,12 +1,16 @@
 #include "experiment.hh"
 
 #include <cstdio>
+#include <functional>
 #include <sstream>
 
 #include "baselines/laser.hh"
 #include "baselines/sheriff.hh"
 #include "core/config.hh"
 #include "runtime/tmi_runtime.hh"
+#include "staticrepair/applier.hh"
+#include "staticrepair/planner.hh"
+#include "staticrepair/profiler.hh"
 #include "workloads/workload.hh"
 
 namespace tmi
@@ -36,6 +40,39 @@ treatmentName(Treatment t)
         return "sheriff-protect";
       case Treatment::Laser:
         return "laser";
+      case Treatment::HuronStatic:
+        return "huron-static";
+    }
+    return "?";
+}
+
+const char *
+treatmentDescription(Treatment t)
+{
+    switch (t) {
+      case Treatment::Pthreads:
+        return "plain execution, stock allocator (baseline)";
+      case Treatment::Manual:
+        return "source-level fix: hand padding/alignment";
+      case Treatment::TmiAlloc:
+        return "TMI's process-shared allocator only";
+      case Treatment::TmiDetect:
+        return "TMI allocator + HITM sampling and detection thread";
+      case Treatment::TmiProtect:
+        return "full TMI: detection + online page privatization";
+      case Treatment::TmiProtectNoCcc:
+        return "ablation: PTSB everywhere with CCC off (Fig. 11/12)";
+      case Treatment::PtsbEverywhere:
+        return "ablation: repair protects the whole heap";
+      case Treatment::SheriffDetect:
+        return "Sheriff detection tool (prior work)";
+      case Treatment::SheriffProtect:
+        return "Sheriff repair tool (buffers atomics too)";
+      case Treatment::Laser:
+        return "LASER detection + software store-buffer repair";
+      case Treatment::HuronStatic:
+        return "Huron-style offline repair: profile, plan layout, "
+               "replay with apply-at-alloc";
     }
     return "?";
 }
@@ -49,6 +86,7 @@ allTreatments()
         Treatment::TmiProtect,      Treatment::TmiProtectNoCcc,
         Treatment::PtsbEverywhere,  Treatment::SheriffDetect,
         Treatment::SheriffProtect,  Treatment::Laser,
+        Treatment::HuronStatic,
     };
     return all;
 }
@@ -175,6 +213,13 @@ validateConfig(const ExperimentConfig &config,
                               "(the burst must fit its period)"});
         }
     }
+    if (!config.planIn.empty()) {
+        staticrepair::LayoutPlan plan;
+        std::string perr;
+        if (!staticrepair::parsePlan(config.planIn, plan, perr)) {
+            errors.push_back({prefix + ".planIn", perr});
+        }
+    }
     obs::validateConfig(config.trace, errors, prefix + ".trace");
 }
 
@@ -186,10 +231,20 @@ runExperiment(const ExperimentConfig &config)
     return runExperiment(full);
 }
 
-RunResult
-runExperiment(const Config &full)
+namespace
 {
-    full.validateOrDie();
+
+/**
+ * Run one machine+workload cell. @p prepare runs right after machine
+ * construction (install alloc hooks / profilers); @p finish runs
+ * before the machine dies (harvest anything that needs live machine
+ * state). Both may be null.
+ */
+RunResult
+runCell(const Config &full,
+        const std::function<void(Machine &)> &prepare,
+        const std::function<void(Machine &, RunResult &)> &finish)
+{
     const ExperimentConfig &config = full.run;
     const WorkloadInfo &info = findWorkload(config.workload);
 
@@ -215,6 +270,8 @@ runExperiment(const Config &full)
     mc.trace = config.trace;
 
     Machine machine(mc);
+    if (prepare)
+        prepare(machine);
 
     WorkloadParams params;
     params.threads = config.threads;
@@ -241,6 +298,10 @@ runExperiment(const Config &full)
     switch (config.treatment) {
       case Treatment::Pthreads:
       case Treatment::Manual:
+        break;
+      case Treatment::HuronStatic:
+        // No runtime: both static-repair phases run plain machines;
+        // the profiler/applier arrive through the prepare callback.
         break;
       case Treatment::TmiAlloc:
       case Treatment::TmiDetect:
@@ -463,7 +524,99 @@ runExperiment(const Config &full)
             .add(static_cast<double>(rec->overwritten()));
         res.traceEvents = rec->drain();
     }
+    if (finish)
+        finish(machine, res);
     return res;
+}
+
+/**
+ * The huron-static treatment: a two-phase offline repair.
+ *
+ * Phase 1 (skipped when a plan is supplied via planIn) runs the
+ * workload on a plain pthreads-configured machine with the profiling
+ * daemon attached, harvests the contended-line evidence into a
+ * LayoutProfile, and plans the layout. Phase 2 replays the workload
+ * on a fresh identical machine with the PlanApplier intercepting
+ * allocation. The returned result is the replay's; the profiling
+ * phase contributes only planProfileHitms and the plan itself.
+ */
+RunResult
+runHuronStatic(const Config &full)
+{
+    const ExperimentConfig &config = full.run;
+    staticrepair::LayoutPlan plan;
+    std::uint64_t profileHitms = 0;
+
+    if (!config.planIn.empty()) {
+        std::string perr;
+        if (!staticrepair::parsePlan(config.planIn, plan, perr))
+            fatal("bad planIn: %s", perr.c_str());
+    } else {
+        Config pcfg = full;
+        // The profiling phase exists to produce the plan; its own
+        // stats/trace capture would only be discarded.
+        pcfg.run.dumpStats = false;
+        pcfg.run.trace = obs::TraceConfig{};
+        staticrepair::ProfilerConfig prof_cfg;
+        prof_cfg.detector.samplePeriod = config.perfPeriod;
+        prof_cfg.detector.repairThreshold = config.repairThreshold;
+        prof_cfg.detector.pageShift = config.pageShift;
+        prof_cfg.analysisInterval = config.analysisInterval;
+        std::unique_ptr<staticrepair::StaticProfiler> profiler;
+        staticrepair::LayoutProfile profile;
+        RunResult pres = runCell(
+            pcfg,
+            [&](Machine &m) {
+                profiler =
+                    std::make_unique<staticrepair::StaticProfiler>(
+                        m, prof_cfg);
+                profiler->attach();
+            },
+            [&](Machine &m, RunResult &) {
+                (void)m;
+                profile = profiler->harvest();
+            });
+        profileHitms = pres.hitmEvents;
+        profiler.reset();
+        if (pres.outcome != RunOutcome::Completed) {
+            // The profiling run wedged: report it as the cell's
+            // outcome rather than replaying from garbage evidence.
+            pres.planProfileHitms = profileHitms;
+            return pres;
+        }
+        plan = staticrepair::LayoutPlanner().plan(profile);
+    }
+
+    std::unique_ptr<staticrepair::PlanApplier> applier;
+    RunResult res = runCell(
+        full,
+        [&](Machine &m) {
+            applier = std::make_unique<staticrepair::PlanApplier>(
+                m, plan);
+            m.setAllocHook(applier.get());
+        },
+        [&](Machine &m, RunResult &r) {
+            (void)m;
+            r.planSites = plan.sites.size();
+            r.planAppliedSites = applier->appliedSites();
+            r.planPaddingBytes = applier->paddingBytes();
+            r.planRedirectedSites = applier->redirectedSites();
+            r.overheadBytes += applier->paddingBytes();
+        });
+    res.planProfileHitms = profileHitms;
+    res.planText = staticrepair::writePlan(plan);
+    return res;
+}
+
+} // namespace
+
+RunResult
+runExperiment(const Config &full)
+{
+    full.validateOrDie();
+    if (full.run.treatment == Treatment::HuronStatic)
+        return runHuronStatic(full);
+    return runCell(full, nullptr, nullptr);
 }
 
 const char *

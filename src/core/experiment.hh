@@ -40,10 +40,14 @@ enum class Treatment
     SheriffDetect,   //!< Sheriff detection tool
     SheriffProtect,  //!< Sheriff repair tool
     Laser,           //!< LASER detection + store-buffer repair
+    HuronStatic,     //!< Huron-style offline profile -> layout replay
 };
 
 /** Name as used in reports. */
 const char *treatmentName(Treatment t);
+
+/** One-line description (CLI --list-treatments output). */
+const char *treatmentDescription(Treatment t);
 
 /** Every treatment, in declaration (= report) order. */
 const std::vector<Treatment> &allTreatments();
@@ -93,6 +97,11 @@ struct ExperimentConfig
      *  SheriffConfig::buggyDissolveOrder). Exists so chaos regression
      *  runs can replay the bug through the normal experiment path. */
     bool sheriffBuggyDissolve = false;
+
+    /** huron-static: a pre-computed layout plan (text format). When
+     *  non-empty the profiling phase is skipped and the replay runs
+     *  under this plan; other treatments ignore it. */
+    std::string planIn;
 
     /** Host-side cancellation token (not owned; null = none). When it
      *  becomes true the scheduler stops at the next fiber switch and
@@ -176,6 +185,20 @@ struct RunResult
     double sojournP50 = 0;      //!< median sojourn, simulated cycles
     double sojournP99 = 0;
     double sojournP999 = 0;
+    /// @}
+
+    /** @name Static repair (huron-static; zero/empty otherwise).
+     *  Residual false sharing after the repair is hitmEvents -- the
+     *  replay's coherence HITM count -- against planProfileHitms
+     *  from the unrepaired profiling phase. */
+    /// @{
+    std::uint64_t planSites = 0;          //!< directives in the plan
+    std::uint64_t planAppliedSites = 0;   //!< allocations placed
+    std::uint64_t planPaddingBytes = 0;   //!< extra bytes of layout
+    std::uint64_t planRedirectedSites = 0; //!< with redirection tables
+    std::uint64_t planProfileHitms = 0;   //!< profiling-phase HITMs
+    /** The plan the replay ran under (text format; --plan-out). */
+    std::string planText;
     /// @}
 
     /** Full stats dump (only when ExperimentConfig::dumpStats). */

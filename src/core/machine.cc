@@ -1,5 +1,6 @@
 #include "machine.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "alloc/glibc_like.hh"
@@ -7,6 +8,82 @@
 
 namespace tmi
 {
+
+// ---------------------------------------------------------------------
+// StaticLayoutTable
+
+void
+StaticLayoutTable::install(Addr key, std::vector<LayoutSegment> segs)
+{
+    auto &slot = _byKey[key];
+    slot.clear();
+    for (const LayoutSegment &s : segs) {
+        if (s.end > s.begin)
+            slot.push_back(s);
+    }
+    if (slot.empty())
+        _byKey.erase(key);
+    rebuild();
+}
+
+void
+StaticLayoutTable::remove(Addr key)
+{
+    if (_byKey.erase(key))
+        rebuild();
+}
+
+void
+StaticLayoutTable::rebuild()
+{
+    _flat.clear();
+    for (const auto &[key, segs] : _byKey)
+        _flat.insert(_flat.end(), segs.begin(), segs.end());
+    std::sort(_flat.begin(), _flat.end(),
+              [](const LayoutSegment &a, const LayoutSegment &b) {
+                  return a.begin < b.begin;
+              });
+}
+
+Addr
+StaticLayoutTable::redirect(Addr va, bool &hit) const
+{
+    auto it = std::upper_bound(
+        _flat.begin(), _flat.end(), va,
+        [](Addr v, const LayoutSegment &s) { return v < s.begin; });
+    if (it != _flat.begin()) {
+        --it;
+        if (va < it->end) {
+            hit = true;
+            return static_cast<Addr>(
+                static_cast<std::int64_t>(va) + it->shift);
+        }
+    }
+    hit = false;
+    return va;
+}
+
+std::uint64_t
+StaticLayoutTable::span(Addr va, std::uint64_t max_len,
+                        std::int64_t &shift) const
+{
+    shift = 0;
+    if (_flat.empty() || max_len == 0)
+        return max_len;
+    auto it = std::upper_bound(
+        _flat.begin(), _flat.end(), va,
+        [](Addr v, const LayoutSegment &s) { return v < s.begin; });
+    if (it != _flat.begin()) {
+        auto prev = std::prev(it);
+        if (va < prev->end) {
+            shift = prev->shift;
+            return std::min<std::uint64_t>(max_len, prev->end - va);
+        }
+    }
+    if (it == _flat.end())
+        return max_len;
+    return std::min<std::uint64_t>(max_len, it->begin - va);
+}
 
 void
 validateConfig(const MachineConfig &config,
@@ -321,6 +398,109 @@ Machine::internalAlloc(std::uint64_t bytes)
     return addr;
 }
 
+// ---------------------------------------------------------------------
+// Application allocation
+
+std::string
+Machine::makeSiteKey(ThreadId tid, const char *site)
+{
+    std::string name;
+    if (site && *site) {
+        name = site;
+    } else {
+        // Untagged: key by app-thread creation index, not raw tid --
+        // runtimes add system threads that shift tids, and a profile
+        // must match its replay regardless of what was attached.
+        std::size_t idx = _appThreads.size();
+        for (std::size_t i = 0; i < _appThreads.size(); ++i) {
+            if (_appThreads[i] == tid) {
+                idx = i;
+                break;
+            }
+        }
+        name = idx < _appThreads.size()
+                   ? "a" + std::to_string(idx)
+                   : "sys" + std::to_string(tid);
+    }
+    std::uint32_t n = _siteInstances[name]++;
+    return n == 0 ? name : name + "#" + std::to_string(n);
+}
+
+void
+Machine::recordAllocation(Addr base, std::uint64_t bytes,
+                          std::string site)
+{
+    _liveAllocs[base] = _allocLog.size();
+    _allocLog.push_back({base, bytes, std::move(site), true});
+}
+
+Addr
+Machine::appMalloc(ThreadId tid, std::uint64_t bytes, const char *site)
+{
+    std::string key = makeSiteKey(tid, site);
+    Addr addr = 0;
+    if (_allocHook)
+        addr = _allocHook->onAlloc(tid, key, bytes, 0);
+    if (!addr)
+        addr = _alloc->malloc(tid, bytes);
+    recordAllocation(addr, bytes, std::move(key));
+    return addr;
+}
+
+Addr
+Machine::appMemalign(ThreadId tid, Addr alignment, std::uint64_t bytes,
+                     const char *site)
+{
+    std::string key = makeSiteKey(tid, site);
+    Addr addr = 0;
+    if (_allocHook)
+        addr = _allocHook->onAlloc(tid, key, bytes, alignment);
+    if (!addr)
+        addr = _alloc->memalign(tid, alignment, bytes);
+    recordAllocation(addr, bytes, std::move(key));
+    return addr;
+}
+
+void
+Machine::appFree(ThreadId tid, Addr addr)
+{
+    auto it = _liveAllocs.find(addr);
+    if (it != _liveAllocs.end()) {
+        _allocLog[it->second].live = false;
+        _liveAllocs.erase(it);
+    }
+    if (_allocHook)
+        _allocHook->onFree(tid, addr);
+    _alloc->free(tid, addr);
+}
+
+void
+Machine::describeArraySite(const char *site, std::uint64_t base_off,
+                           std::uint64_t elem_bytes,
+                           std::uint64_t count)
+{
+    TMI_ASSERT(site && *site, "array sites must be named");
+    _arraySites[site] = {base_off, elem_bytes, count};
+}
+
+const ArraySiteGeom *
+Machine::arraySite(const std::string &site) const
+{
+    auto it = _arraySites.find(site);
+    return it == _arraySites.end() ? nullptr : &it->second;
+}
+
+const AllocationRecord *
+Machine::findAllocation(Addr va) const
+{
+    auto it = _liveAllocs.upper_bound(va);
+    if (it == _liveAllocs.begin())
+        return nullptr;
+    --it;
+    const AllocationRecord &rec = _allocLog[it->second];
+    return va < rec.base + rec.bytes ? &rec : nullptr;
+}
+
 std::uint64_t
 Machine::readPhys(Addr paddr, unsigned width) const
 {
@@ -380,8 +560,21 @@ Machine::accessPath(ThreadId tid, Addr pc, Addr va, bool is_write,
                "instruction kind does not match access");
     ++_statMemOps;
 
+    // Static layout repair: redirect through the plan's segment table
+    // before translation, so TLBs, frame caches, coherence state and
+    // detection all key on the repaired layout. One branch when empty.
+    Cycles redirect_lat = 0;
+    if (!_layout.empty()) {
+        bool hit = false;
+        Addr nva = _layout.redirect(va, hit);
+        if (hit) {
+            va = nva;
+            redirect_lat = _config.staticRedirectCost;
+        }
+    }
+
     ProcessId pid = _threadProcess[tid];
-    Cycles lat = _tlbs[core].lookup(va);
+    Cycles lat = _tlbs[core].lookup(va) + redirect_lat;
 
     if (_pipeline.stale())
         revalidatePipeline();
@@ -497,10 +690,21 @@ Machine::bulkWrite(ThreadId tid, Addr va, const void *buf,
     const auto *in = static_cast<const std::uint8_t *>(buf);
     std::uint64_t page_bytes = _mmu.pageBytes();
     while (size > 0) {
-        Addr off = va & (page_bytes - 1);
+        // Clamp the chunk to the current constant-shift layout run,
+        // then redirect; a span straddling a segment boundary would
+        // otherwise copy to the wrong placement.
+        std::uint64_t run = size;
+        Addr eff = va;
+        if (!_layout.empty()) {
+            std::int64_t shift = 0;
+            run = _layout.span(va, size, shift);
+            eff = static_cast<Addr>(
+                static_cast<std::int64_t>(va) + shift);
+        }
+        Addr off = eff & (page_bytes - 1);
         std::size_t chunk =
-            std::min<std::size_t>(size, page_bytes - off);
-        TranslateResult tr = _mmu.translate(pid, va, true);
+            std::min<std::size_t>(run, page_bytes - off);
+        TranslateResult tr = _mmu.translate(pid, eff, true);
         Cycles lat = tr.extraCost + (tr.softFault ? faultCost() : 0);
         lat += 2 * (chunk / lineBytes + 1);
         _mmu.phys().write(tr.paddr, in, chunk);
@@ -542,10 +746,18 @@ Machine::bulkRead(ThreadId tid, Addr va, void *buf, std::size_t size)
     auto *out = static_cast<std::uint8_t *>(buf);
     std::uint64_t page_bytes = _mmu.pageBytes();
     while (size > 0) {
-        Addr off = va & (page_bytes - 1);
+        std::uint64_t run = size;
+        Addr eff = va;
+        if (!_layout.empty()) {
+            std::int64_t shift = 0;
+            run = _layout.span(va, size, shift);
+            eff = static_cast<Addr>(
+                static_cast<std::int64_t>(va) + shift);
+        }
+        Addr off = eff & (page_bytes - 1);
         std::size_t chunk =
-            std::min<std::size_t>(size, page_bytes - off);
-        TranslateResult tr = _mmu.translate(pid, va, false);
+            std::min<std::size_t>(run, page_bytes - off);
+        TranslateResult tr = _mmu.translate(pid, eff, false);
         Cycles lat = tr.softFault ? faultCost() : 0;
         lat += 2 * (chunk / lineBytes + 1);
         _mmu.phys().read(tr.paddr, out, chunk);
@@ -559,6 +771,10 @@ Machine::bulkRead(ThreadId tid, Addr va, void *buf, std::size_t size)
 std::uint64_t
 Machine::peek(Addr va, unsigned width) const
 {
+    if (!_layout.empty()) {
+        bool hit = false;
+        va = _layout.redirect(va, hit);
+    }
     Addr paddr = 0;
     bool ok = _mmu.translatePeek(0, va, paddr);
     TMI_ASSERT(ok, "peek of unmapped address");
@@ -568,6 +784,10 @@ Machine::peek(Addr va, unsigned width) const
 std::uint64_t
 Machine::peekShared(Addr va, unsigned width) const
 {
+    if (!_layout.empty()) {
+        bool hit = false;
+        va = _layout.redirect(va, hit);
+    }
     return readPhys(sharedPaddr(0, va), width);
 }
 

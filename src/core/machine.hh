@@ -17,6 +17,7 @@
 #ifndef TMI_CORE_MACHINE_HH
 #define TMI_CORE_MACHINE_HH
 
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -78,6 +79,11 @@ struct MachineConfig
     Cycles hugeFaultExtra = 1500; //!< per-fault extra for a 2 MB fill
 
     Cycles regionCallbackCost = 4; //!< NOP CCC callback (section 3.4.2)
+    /** Per-access tax when a static layout segment redirects the
+     *  address (Huron-style index-redirection table lookup). Accesses
+     *  outside any installed segment -- and every access when no
+     *  layout is installed -- pay nothing. */
+    Cycles staticRedirectCost = 1;
     /**
      * Predator-style compiler instrumentation: when nonzero, every
      * Nth data access is reported to the access sampler and every
@@ -208,6 +214,106 @@ class RuntimeHooks
     {
         (void)first;
         (void)n;
+    }
+};
+
+/**
+ * One piece of a static layout transformation: virtual addresses in
+ * [begin, end) are redirected by @p shift before translation. Segments
+ * describe *original* addresses; the redirected address begin + shift
+ * is where the replay run actually places those bytes.
+ */
+struct LayoutSegment
+{
+    Addr begin = 0;
+    Addr end = 0;
+    std::int64_t shift = 0;
+
+    bool operator==(const LayoutSegment &) const = default;
+};
+
+/**
+ * The machine-level address redirection table for static (Huron-style)
+ * layout repair. Keyed by allocation base so a free can drop exactly
+ * the segments its allocation installed. The empty() fast path keeps
+ * the access pipeline untouched when no plan is active.
+ */
+class StaticLayoutTable
+{
+  public:
+    bool empty() const { return _flat.empty(); }
+
+    std::size_t segmentCount() const { return _flat.size(); }
+
+    /** Install @p segs (original-address ranges) under @p key. */
+    void install(Addr key, std::vector<LayoutSegment> segs);
+
+    /** Drop every segment installed under @p key. */
+    void remove(Addr key);
+
+    /** Redirected address for @p va; @p hit reports table coverage. */
+    Addr redirect(Addr va, bool &hit) const;
+
+    /**
+     * Length of the longest run starting at @p va (capped at
+     * @p max_len) over which the redirection shift is constant;
+     * that constant is returned through @p shift (0 when uncovered).
+     */
+    std::uint64_t span(Addr va, std::uint64_t max_len,
+                       std::int64_t &shift) const;
+
+  private:
+    void rebuild();
+
+    std::map<Addr, std::vector<LayoutSegment>> _byKey;
+    std::vector<LayoutSegment> _flat; //!< sorted by begin, disjoint
+};
+
+/** One application allocation, as recorded by the machine. */
+struct AllocationRecord
+{
+    Addr base = 0;
+    std::uint64_t bytes = 0;
+    /** Deterministic allocation-site key: the workload-supplied tag,
+     *  or "a<appThreadIndex>" with "#<n>" suffixed for repeats. */
+    std::string site;
+    bool live = true;
+};
+
+/** Workload-declared geometry of an array-like allocation site. */
+struct ArraySiteGeom
+{
+    std::uint64_t baseOff = 0;   //!< first element's allocation offset
+    std::uint64_t elemBytes = 0; //!< element stride
+    std::uint64_t count = 0;     //!< element count
+};
+
+/**
+ * Allocation interception for static layout repair: a PlanApplier
+ * implements this to place profiled sites according to a LayoutPlan.
+ * Hooks see every application allocation (ThreadApi::malloc and
+ * friends); runtime internalAlloc traffic is not routed here.
+ */
+class AllocHook
+{
+  public:
+    virtual ~AllocHook() = default;
+
+    /**
+     * Place the allocation for site @p key (@p alignment 0 for plain
+     * malloc). Return the base address, or 0 to decline and let the
+     * stock allocator serve it. An implementation that places the
+     * allocation must obtain memory from the machine's allocator so
+     * a later free(base) remains valid.
+     */
+    virtual Addr onAlloc(ThreadId tid, const std::string &key,
+                         std::uint64_t bytes, Addr alignment) = 0;
+
+    /** @p base is about to be freed (drop any installed segments). */
+    virtual void onFree(ThreadId tid, Addr base)
+    {
+        (void)tid;
+        (void)base;
     }
 };
 
@@ -376,6 +482,49 @@ class Machine : public MemoryProvider
     void flushTlbs();
     /// @}
 
+    /** @name Application allocation (site-tracked) */
+    /// @{
+    /**
+     * Application malloc: consults the AllocHook (static repair),
+     * falls back to the stock allocator, and records the allocation
+     * under a deterministic site key (@p site, or a generated
+     * per-app-thread sequence key when null).
+     */
+    Addr appMalloc(ThreadId tid, std::uint64_t bytes,
+                   const char *site = nullptr);
+
+    /** Application memalign with the same hook/record path. */
+    Addr appMemalign(ThreadId tid, Addr alignment, std::uint64_t bytes,
+                     const char *site = nullptr);
+
+    /** Application free: retires the record and any layout segments. */
+    void appFree(ThreadId tid, Addr addr);
+
+    /** Declare array geometry for @p site (enables Spread repair). */
+    void describeArraySite(const char *site, std::uint64_t base_off,
+                           std::uint64_t elem_bytes,
+                           std::uint64_t count);
+
+    /** Geometry declared for @p site, or null. */
+    const ArraySiteGeom *arraySite(const std::string &site) const;
+
+    /** Install the allocation hook (may be null). */
+    void setAllocHook(AllocHook *hook) { _allocHook = hook; }
+
+    /** The static layout redirection table. */
+    StaticLayoutTable &staticLayout() { return _layout; }
+    const StaticLayoutTable &staticLayout() const { return _layout; }
+
+    /** Live allocation covering @p va, or null. */
+    const AllocationRecord *findAllocation(Addr va) const;
+
+    /** Append-only log of every application allocation. */
+    const std::vector<AllocationRecord> &allocationLog() const
+    {
+        return _allocLog;
+    }
+    /// @}
+
     /** @name Synchronization (pthread-like, with simulated traffic) */
     /// @{
     void mutexInit(ThreadId tid, Addr va);
@@ -460,6 +609,11 @@ class Machine : public MemoryProvider
                          bool daemon, bool app_thread);
     /** Canonical sync address, issuing redirection load traffic. */
     Addr syncAddr(ThreadId tid, Addr va);
+    /** Deterministic site key for an allocation by @p tid. */
+    std::string makeSiteKey(ThreadId tid, const char *site);
+    /** Record an application allocation in the log. */
+    void recordAllocation(Addr base, std::uint64_t bytes,
+                          std::string site);
 
     MachineConfig _config;
     AccessPipeline _pipeline;
@@ -491,6 +645,13 @@ class Machine : public MemoryProvider
     std::vector<ThreadId> _appThreads;
     std::unordered_map<ThreadId, std::vector<ThreadId>> _joiners;
     std::unordered_map<Addr, Addr> _syncRedirect;
+
+    AllocHook *_allocHook = nullptr;
+    StaticLayoutTable _layout;
+    std::vector<AllocationRecord> _allocLog;
+    std::map<Addr, std::size_t> _liveAllocs; //!< base -> log index
+    std::unordered_map<std::string, std::uint32_t> _siteInstances;
+    std::unordered_map<std::string, ArraySiteGeom> _arraySites;
 
     /** Machine-registered instruction PCs for sync-object traffic. */
     Addr _pcLockCas = 0;
@@ -605,14 +766,34 @@ class ThreadApi
     /// @{
     Addr malloc(std::uint64_t bytes)
     {
-        return _machine.allocator().malloc(_tid, bytes);
+        return _machine.appMalloc(_tid, bytes);
     }
 
-    void free(Addr addr) { _machine.allocator().free(_tid, addr); }
+    /** malloc under a named allocation site (static repair). */
+    Addr mallocAt(const char *site, std::uint64_t bytes)
+    {
+        return _machine.appMalloc(_tid, bytes, site);
+    }
+
+    void free(Addr addr) { _machine.appFree(_tid, addr); }
 
     Addr memalign(Addr alignment, std::uint64_t bytes)
     {
-        return _machine.allocator().memalign(_tid, alignment, bytes);
+        return _machine.appMemalign(_tid, alignment, bytes);
+    }
+
+    /** memalign under a named allocation site (static repair). */
+    Addr memalignAt(const char *site, Addr alignment,
+                    std::uint64_t bytes)
+    {
+        return _machine.appMemalign(_tid, alignment, bytes, site);
+    }
+
+    /** Declare array geometry for @p site (enables Spread repair). */
+    void describeArray(const char *site, std::uint64_t base_off,
+                       std::uint64_t elem_bytes, std::uint64_t count)
+    {
+        _machine.describeArraySite(site, base_off, elem_bytes, count);
     }
     /// @}
 

@@ -104,11 +104,13 @@ Detector::consume(const PebsRecord &rec)
     LineStats &line = _lines[lineNumber(rec.vaddr)];
     Verdict verdict = classify(line, sig);
 
-    // Remember this signature if it is new and there is room.
+    // Remember this signature if it is new and there is room; count
+    // repeats so consumers can separate hot accesses from strays.
     bool known = false;
-    for (const auto &other : line.sigs) {
+    for (auto &other : line.sigs) {
         if (other.tid == sig.tid && other.offset == sig.offset &&
             other.width == sig.width && other.isWrite == sig.isWrite) {
+            ++other.samples;
             known = true;
             break;
         }
@@ -189,9 +191,10 @@ Detector::consumeAccess(ThreadId tid, Addr vaddr, Addr pc)
     sig.isWrite = info.kind == MemKind::Store;
 
     LineStats &line = _lines[lineNumber(vaddr)];
-    for (const auto &other : line.sigs) {
+    for (auto &other : line.sigs) {
         if (other.tid == sig.tid && other.offset == sig.offset &&
             other.width == sig.width && other.isWrite == sig.isWrite) {
+            ++other.samples;
             return;
         }
     }
@@ -270,7 +273,7 @@ Detector::topContendedLines(std::size_t n) const
         rep.tsEvents = line.tsEventsTotal;
         for (const auto &sig : line.sigs) {
             rep.accesses.push_back({sig.tid, sig.offset, sig.width,
-                                    sig.isWrite});
+                                    sig.isWrite, sig.samples});
         }
         reports.push_back(std::move(rep));
     }

@@ -67,6 +67,10 @@ struct ReportedAccess
     unsigned offset; //!< within the 64-byte line
     unsigned width;
     bool isWrite;
+    /** Times this exact signature was sampled. Downstream consumers
+     *  (the static-repair planner) use this to tell hot program
+     *  accesses from PEBS address-noise strays. */
+    std::uint64_t samples = 1;
 };
 
 /** Diagnostic summary of one contended cache line. */
@@ -182,6 +186,7 @@ class Detector
         std::uint8_t offset; //!< within the 64-byte line
         std::uint8_t width;
         bool isWrite;
+        std::uint32_t samples = 1; //!< times sampled
     };
 
     struct LineStats

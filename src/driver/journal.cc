@@ -16,7 +16,7 @@ namespace
 
 /** File magic: format name + version byte. Bumping the version is a
  *  clean break -- old journals recover as empty, jobs just re-run. */
-constexpr char kMagic[8] = {'T', 'M', 'I', 'J', 'R', 'N', 'L', '2'};
+constexpr char kMagic[8] = {'T', 'M', 'I', 'J', 'R', 'N', 'L', '3'};
 
 /** Frames larger than this are treated as corruption, not records;
  *  a real record is a few hundred bytes of scalars and short
@@ -233,6 +233,12 @@ encodeRecord(const JournalRecord &rec)
     putDouble(out, r.sojournP50);
     putDouble(out, r.sojournP99);
     putDouble(out, r.sojournP999);
+    putU64(out, r.planSites);
+    putU64(out, r.planAppliedSites);
+    putU64(out, r.planPaddingBytes);
+    putU64(out, r.planRedirectedSites);
+    putU64(out, r.planProfileHitms);
+    putString(out, r.planText);
     return out;
 }
 
@@ -297,6 +303,12 @@ decodeRecord(const std::string &payload, JournalRecord &out)
     r.sojournP50 = c.f64();
     r.sojournP99 = c.f64();
     r.sojournP999 = c.f64();
+    r.planSites = c.u64();
+    r.planAppliedSites = c.u64();
+    r.planPaddingBytes = c.u64();
+    r.planRedirectedSites = c.u64();
+    r.planProfileHitms = c.u64();
+    r.planText = c.str();
     // The payload must be exactly one record: trailing bytes mean a
     // framing bug or a foreign format, both grounds for rejection.
     return c.ok && c.pos == payload.size();

@@ -18,7 +18,9 @@ sweepCsvHeader()
            "pebs_records,pages_protected,commits,conflict_bytes,"
            "fault_fires,t2p_aborts,unrepairs,watchdog_flushes,"
            "cow_fallbacks,ladder_drops,params,requests,"
-           "sojourn_p50,sojourn_p99,sojourn_p999";
+           "sojourn_p50,sojourn_p99,sojourn_p999,plan_sites,"
+           "plan_applied,plan_padding_bytes,plan_redirected,"
+           "plan_profile_hitms";
 }
 
 namespace
@@ -65,7 +67,8 @@ sweepCsvRow(const JobResult &r)
         buf, sizeof(buf),
         "%llu,%s,%s,%u,%llu,%llu,%s,%.4f,%llu,%s,%u,%s,"
         "%s,%d,%s,%llu,%.9f,%llu,%llu,%llu,%llu,%llu,"
-        "%llu,%llu,%llu,%llu,%llu,%llu,%s,%llu,%.3f,%.3f,%.3f",
+        "%llu,%llu,%llu,%llu,%llu,%llu,%s,%llu,%.3f,%.3f,%.3f,"
+        "%llu,%llu,%llu,%llu,%llu",
         static_cast<unsigned long long>(r.job.id),
         run.workload.c_str(), treatmentName(run.treatment),
         run.threads, static_cast<unsigned long long>(run.scale),
@@ -95,7 +98,16 @@ sweepCsvRow(const JobResult &r)
         params.c_str(),
         static_cast<unsigned long long>(ok ? r.run.requests : 0),
         ok ? r.run.sojournP50 : 0.0, ok ? r.run.sojournP99 : 0.0,
-        ok ? r.run.sojournP999 : 0.0);
+        ok ? r.run.sojournP999 : 0.0,
+        static_cast<unsigned long long>(ok ? r.run.planSites : 0),
+        static_cast<unsigned long long>(ok ? r.run.planAppliedSites
+                                           : 0),
+        static_cast<unsigned long long>(ok ? r.run.planPaddingBytes
+                                           : 0),
+        static_cast<unsigned long long>(ok ? r.run.planRedirectedSites
+                                           : 0),
+        static_cast<unsigned long long>(ok ? r.run.planProfileHitms
+                                           : 0));
     return buf;
 }
 

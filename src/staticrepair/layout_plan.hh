@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The serializable layout plan a Huron-style static repair produces.
+ *
+ * A plan is a list of per-allocation-site directives synthesized from
+ * a profiling run: Pad (line-align and round up), Split (pull each
+ * thread's byte range onto its own line), and Spread (per-element
+ * line spacing for array-like sites, snippet-2 style index
+ * redirection). Plans round-trip through a stable text format so CI
+ * can pin goldens: parsePlan(writePlan(p)) == p.
+ *
+ * Directives are expressed against *allocation offsets*; lowerSite()
+ * turns one into the machine-level LayoutSegment table relative to a
+ * concrete base address at apply time.
+ */
+
+#ifndef TMI_STATICREPAIR_LAYOUT_PLAN_HH
+#define TMI_STATICREPAIR_LAYOUT_PLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/machine.hh"
+
+namespace tmi::staticrepair
+{
+
+/** How one allocation site is repaired. */
+enum class RepairKind
+{
+    Pad,    //!< line-align the base, round the size up to a line
+    Split,  //!< line-align each thread's partition of the object
+    Spread, //!< one cache line per array element (index redirection)
+};
+
+/** Stable lowercase token for the plan text format. */
+const char *repairKindName(RepairKind kind);
+
+/** One per-site directive. */
+struct PlanSite
+{
+    /** Allocation-site key (Machine::allocationLog site string). */
+    std::string key;
+    /** Allocation size the directive applies to; other sizes at the
+     *  same site are left alone (the profile may be stale). */
+    std::uint64_t bytes = 0;
+    RepairKind kind = RepairKind::Pad;
+
+    /** Split: strictly increasing interior cut offsets; part i spans
+     *  [cut[i-1], cut[i]) with an implicit leading cut at 0. */
+    std::vector<std::uint64_t> cuts;
+
+    /** Spread: element geometry within the allocation. */
+    std::uint64_t arrayBase = 0;
+    std::uint64_t arrayStride = 0;
+    std::uint64_t arrayCount = 0;
+
+    bool operator==(const PlanSite &) const = default;
+};
+
+/** The full plan: one directive per repaired site. */
+struct LayoutPlan
+{
+    std::vector<PlanSite> sites;
+
+    bool operator==(const LayoutPlan &) const = default;
+
+    /** Directive for (@p key, @p bytes), or null. */
+    const PlanSite *find(const std::string &key,
+                         std::uint64_t bytes) const;
+};
+
+/** Serialize @p plan to the versioned text format. */
+std::string writePlan(const LayoutPlan &plan);
+
+/**
+ * Parse the text format. Returns false and sets @p err on malformed
+ * input (bad header, unknown directive, non-increasing cuts, ...).
+ */
+bool parsePlan(const std::string &text, LayoutPlan &out,
+               std::string &err);
+
+/** A directive lowered against offset 0 (add the base at apply). */
+struct LoweredSite
+{
+    /** Offset-relative redirection segments (empty for Pad). */
+    std::vector<LayoutSegment> segments;
+    /** Placement size after the repair (>= the original bytes). */
+    std::uint64_t newBytes = 0;
+    /** Required placement alignment. */
+    std::uint64_t alignment = lineBytes;
+};
+
+/** Lower @p site's directive to segments and a placement size. */
+LoweredSite lowerSite(const PlanSite &site);
+
+/** Number of plan sites that install redirection (Split + Spread). */
+std::size_t redirectedSiteCount(const LayoutPlan &plan);
+
+} // namespace tmi::staticrepair
+
+#endif // TMI_STATICREPAIR_LAYOUT_PLAN_HH

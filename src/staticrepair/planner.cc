@@ -1,0 +1,131 @@
+#include "planner.hh"
+
+#include <algorithm>
+#include <map>
+
+namespace tmi::staticrepair
+{
+
+namespace
+{
+
+struct ThreadRange
+{
+    std::uint64_t begin;
+    std::uint64_t end;
+};
+
+/** Per-thread [min, max+width) touch ranges, sorted by begin. */
+std::vector<ThreadRange>
+threadRanges(const SiteProfile &site, const PlannerConfig &cfg)
+{
+    // PEBS address noise scatters near-unique one-off signatures
+    // into other threads' territory; only repeated signatures shape
+    // the ranges.
+    std::uint64_t maxSamples = 0;
+    for (const ProfileAccess &acc : site.accesses)
+        maxSamples = std::max(maxSamples, acc.samples);
+    double floor = std::max(
+        static_cast<double>(cfg.minSigSamples),
+        cfg.sigNoiseFraction * static_cast<double>(maxSamples));
+
+    std::map<ThreadId, ThreadRange> byTid;
+    for (const ProfileAccess &acc : site.accesses) {
+        if (static_cast<double>(acc.samples) < floor)
+            continue;
+        auto [it, fresh] = byTid.try_emplace(
+            acc.tid,
+            ThreadRange{acc.offset, acc.offset + acc.width});
+        if (!fresh) {
+            it->second.begin = std::min(it->second.begin, acc.offset);
+            it->second.end =
+                std::max(it->second.end, acc.offset + acc.width);
+        }
+    }
+    std::vector<ThreadRange> ranges;
+    ranges.reserve(byTid.size());
+    for (const auto &[tid, range] : byTid)
+        ranges.push_back(range);
+    std::sort(ranges.begin(), ranges.end(),
+              [](const ThreadRange &a, const ThreadRange &b) {
+                  return a.begin < b.begin;
+              });
+    return ranges;
+}
+
+bool
+disjoint(const std::vector<ThreadRange> &ranges)
+{
+    for (std::size_t i = 1; i < ranges.size(); ++i) {
+        if (ranges[i].begin < ranges[i - 1].end)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+LayoutPlan
+LayoutPlanner::plan(const LayoutProfile &profile) const
+{
+    LayoutPlan out;
+    for (const SiteProfile &site : profile.sites) {
+        if (site.fsEvents < _cfg.minSiteFsEvents)
+            continue;
+        PlanSite ps;
+        ps.key = site.key;
+        ps.bytes = site.bytes;
+        ps.kind = RepairKind::Pad;
+
+        if (site.hasGeometry && site.geometry.elemBytes > 0 &&
+            site.geometry.count > 0 &&
+            site.geometry.baseOff +
+                    site.geometry.elemBytes * site.geometry.count <=
+                site.bytes) {
+            ps.kind = RepairKind::Spread;
+            ps.arrayBase = site.geometry.baseOff;
+            ps.arrayStride = site.geometry.elemBytes;
+            ps.arrayCount = site.geometry.count;
+        } else {
+            std::vector<ThreadRange> ranges =
+                threadRanges(site, _cfg);
+            if (ranges.size() >= 2 && disjoint(ranges)) {
+                // Cut just below each later thread's first touched
+                // byte (8-byte rounded so a field straddle stays
+                // whole), clamped above the previous range.
+                std::vector<std::uint64_t> cuts;
+                bool ok = true;
+                std::uint64_t prevEnd = ranges[0].end;
+                std::uint64_t prevCut = 0;
+                for (std::size_t i = 1; i < ranges.size(); ++i) {
+                    std::uint64_t cut = std::max(
+                        prevEnd, roundDown(ranges[i].begin, 8));
+                    if (cut <= prevCut || cut >= site.bytes) {
+                        ok = false;
+                        break;
+                    }
+                    cuts.push_back(cut);
+                    prevCut = cut;
+                    prevEnd = ranges[i].end;
+                }
+                if (ok) {
+                    ps.kind = RepairKind::Split;
+                    ps.cuts = std::move(cuts);
+                }
+            }
+        }
+
+        if (lowerSite(ps).newBytes > _cfg.maxSiteBytes) {
+            // Too costly to expand: fall back to plain padding.
+            ps.kind = RepairKind::Pad;
+            ps.cuts.clear();
+            ps.arrayBase = ps.arrayStride = ps.arrayCount = 0;
+            if (lowerSite(ps).newBytes > _cfg.maxSiteBytes)
+                continue;
+        }
+        out.sites.push_back(std::move(ps));
+    }
+    return out;
+}
+
+} // namespace tmi::staticrepair

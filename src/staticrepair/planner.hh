@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The layout planner: turns a LayoutProfile into a LayoutPlan.
+ *
+ * Directive choice per site, in preference order:
+ *  - Spread when the workload declared array geometry (snippet-2
+ *    style per-element index redirection);
+ *  - Split when the profiled threads touch pairwise-disjoint byte
+ *    ranges (each range gets its own line run);
+ *  - Pad otherwise (line-align and round up -- fixes packing-induced
+ *    false sharing between neighboring allocations).
+ *
+ * Planning is deterministic: the same profile yields a byte-identical
+ * plan, which is what lets CI pin golden plans.
+ */
+
+#ifndef TMI_STATICREPAIR_PLANNER_HH
+#define TMI_STATICREPAIR_PLANNER_HH
+
+#include "staticrepair/layout_plan.hh"
+#include "staticrepair/profile.hh"
+
+namespace tmi::staticrepair
+{
+
+/** Planner tuning. */
+struct PlannerConfig
+{
+    /** Sites below this many estimated FS events are noise (PEBS
+     *  address jitter lands a few records on innocent lines). */
+    double minSiteFsEvents = 500.0;
+    /** Cap on a repaired site's expanded size. */
+    std::uint64_t maxSiteBytes = std::uint64_t{1} << 22;
+    /** Signatures sampled fewer times than this are ignored when
+     *  deriving per-thread ranges (PEBS address-noise strays are
+     *  near-unique, hot program accesses repeat). */
+    std::uint64_t minSigSamples = 2;
+    /** ... and also ignored below this fraction of the site's
+     *  hottest signature. */
+    double sigNoiseFraction = 0.04;
+
+    bool operator==(const PlannerConfig &) const = default;
+};
+
+class LayoutPlanner
+{
+  public:
+    explicit LayoutPlanner(const PlannerConfig &config = {})
+        : _cfg(config)
+    {}
+
+    /** Synthesize the plan (profile sites must be sorted by key). */
+    LayoutPlan plan(const LayoutProfile &profile) const;
+
+  private:
+    PlannerConfig _cfg;
+};
+
+} // namespace tmi::staticrepair
+
+#endif // TMI_STATICREPAIR_PLANNER_HH

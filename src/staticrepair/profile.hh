@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The layout profile a static-repair profiling run harvests.
+ *
+ * Phase 1 of Huron-style repair runs the workload under the detector
+ * with repair disabled and attributes each contended line back to the
+ * live allocation(s) covering it, producing per-allocation-site
+ * access evidence the planner turns into layout directives.
+ */
+
+#ifndef TMI_STATICREPAIR_PROFILE_HH
+#define TMI_STATICREPAIR_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/machine.hh"
+
+namespace tmi::staticrepair
+{
+
+/** One distinct access signature, re-based to allocation offsets. */
+struct ProfileAccess
+{
+    ThreadId tid = 0;
+    std::uint64_t offset = 0; //!< within the allocation
+    unsigned width = 0;
+    bool isWrite = false;
+    /** Times sampled; PEBS address noise shows up as one-off strays
+     *  and the planner filters on this. */
+    std::uint64_t samples = 1;
+};
+
+/** Evidence for one allocation site. */
+struct SiteProfile
+{
+    std::string key;          //!< allocation-site key
+    std::uint64_t bytes = 0;  //!< allocation size observed
+    double fsEvents = 0;      //!< estimated false-sharing events
+    double tsEvents = 0;      //!< estimated true-sharing events
+    std::vector<ProfileAccess> accesses;
+    bool hasGeometry = false; //!< workload declared array geometry
+    ArraySiteGeom geometry;
+};
+
+/** The full profile: sites sorted by key for determinism. */
+struct LayoutProfile
+{
+    std::vector<SiteProfile> sites;
+    /** Contended lines that matched no live allocation. */
+    std::size_t unattributedLines = 0;
+    /** Total contended lines the detector reported. */
+    std::size_t contendedLines = 0;
+};
+
+} // namespace tmi::staticrepair
+
+#endif // TMI_STATICREPAIR_PROFILE_HH

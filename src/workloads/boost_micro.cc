@@ -26,9 +26,17 @@ SpinlockPoolWorkload::main(ThreadApi &api)
     // of 4 bytes each -- sixteen locks per cache line, so distinct
     // locks false-share heavily. The manual fix pads each to 64 B.
     _lockStride = _params.manualFix ? lineBytes : 4;
-    _locks = _params.manualFix
-                 ? api.memalign(lineBytes, _lockStride * poolSize)
-                 : api.malloc(_lockStride * poolSize + 8) + 8;
+    if (_params.manualFix) {
+        _locks = api.memalign(lineBytes, _lockStride * poolSize);
+    } else {
+        // Tagged with array geometry: a static-repair plan can
+        // spread the packed locks one per line (index redirection)
+        // instead of just splitting the blob.
+        _locks = api.mallocAt("spinlock.pool",
+                              _lockStride * poolSize + 8) +
+                 8;
+        api.describeArray("spinlock.pool", 8, 4, poolSize);
+    }
     for (unsigned i = 0; i < poolSize; ++i)
         api.mutexInit(_locks + i * _lockStride);
 
@@ -110,10 +118,12 @@ SharedPtrWorkload::main(ThreadApi &api)
     // The false sharing page: packed 8-byte per-thread slots, all on
     // one line for up to 8 threads.
     _slotBytes = 8;
-    _fsArray = api.malloc(_slotBytes * threads);
     if (_params.manualFix) {
         _slotBytes = lineBytes;
         _fsArray = api.memalign(lineBytes, _slotBytes * threads);
+    } else {
+        _fsArray = api.mallocAt("shptr.slots", _slotBytes * threads);
+        api.describeArray("shptr.slots", 0, _slotBytes, threads);
     }
     api.fill(_fsArray, 0, _slotBytes * threads);
 

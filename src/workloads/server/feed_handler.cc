@@ -178,7 +178,16 @@ FeedHandlerWorkload::main(ThreadApi &api)
     // under the manual fix.
     _statStride = _params.manualFix ? lineBytes : 32;
     Addr stat_bytes = roundUp(_workers * _statStride, smallPageBytes);
-    _statBase = api.memalign(smallPageBytes, stat_bytes);
+    if (_params.manualFix) {
+        _statBase = api.memalign(smallPageBytes, stat_bytes);
+    } else {
+        // Tagged with per-worker geometry so a static-repair plan
+        // can spread the packed blocks one per line (the applier
+        // keeps the page alignment).
+        _statBase = api.memalignAt("feed.stats", smallPageBytes,
+                                   stat_bytes);
+        api.describeArray("feed.stats", 0, _statStride, _workers);
+    }
     api.fill(_statBase, 0, stat_bytes);
 
     // Ring index cells (head, tail, done per lane). Packed, a lane's

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit tests for the layout planner: directive choice, PEBS-noise
+ * filtering, and determinism (same profile -> byte-identical plan).
+ */
+
+#include <gtest/gtest.h>
+
+#include "staticrepair/planner.hh"
+
+namespace tmi::staticrepair
+{
+
+namespace
+{
+
+/** A site where @p threads each hammer their own @p widthBytes
+ *  partition of a @p bytes blob, @p samples times per signature. */
+SiteProfile
+partitionedSite(const std::string &key, unsigned threads,
+                std::uint64_t bytes, std::uint64_t samples)
+{
+    SiteProfile site;
+    site.key = key;
+    site.bytes = bytes;
+    site.fsEvents = 10'000;
+    std::uint64_t part = bytes / threads;
+    for (unsigned t = 0; t < threads; ++t) {
+        site.accesses.push_back(
+            {static_cast<ThreadId>(t + 2), t * part, 8, true,
+             samples});
+        site.accesses.push_back(
+            {static_cast<ThreadId>(t + 2), t * part + part - 8, 8,
+             false, samples});
+    }
+    return site;
+}
+
+} // namespace
+
+TEST(Planner, DisjointRangesSplit)
+{
+    LayoutProfile profile;
+    profile.sites.push_back(partitionedSite("a0", 4, 4096, 50));
+    LayoutPlan plan = LayoutPlanner().plan(profile);
+    ASSERT_EQ(plan.sites.size(), 1u);
+    EXPECT_EQ(plan.sites[0].kind, RepairKind::Split);
+    EXPECT_EQ(plan.sites[0].cuts,
+              (std::vector<std::uint64_t>{1024, 2048, 3072}));
+}
+
+TEST(Planner, NoiseStraysDoNotBreakSplit)
+{
+    LayoutProfile profile;
+    SiteProfile site = partitionedSite("a0", 4, 4096, 50);
+    // A PEBS skid stray: thread 5 appears once inside thread 4's
+    // partition. One sample out of 50 is far below the noise floor.
+    site.accesses.push_back({5, 2100, 8, false, 1});
+    profile.sites.push_back(site);
+    LayoutPlan plan = LayoutPlanner().plan(profile);
+    ASSERT_EQ(plan.sites.size(), 1u);
+    EXPECT_EQ(plan.sites[0].kind, RepairKind::Split);
+    EXPECT_EQ(plan.sites[0].cuts,
+              (std::vector<std::uint64_t>{1024, 2048, 3072}));
+}
+
+TEST(Planner, OverlappingRangesFallBackToPad)
+{
+    LayoutProfile profile;
+    SiteProfile site;
+    site.key = "a0";
+    site.bytes = 256;
+    site.fsEvents = 10'000;
+    // Two threads interleave over the same bytes: no clean cut.
+    site.accesses.push_back({2, 0, 8, true, 40});
+    site.accesses.push_back({2, 128, 8, true, 40});
+    site.accesses.push_back({3, 64, 8, true, 40});
+    site.accesses.push_back({3, 192, 8, true, 40});
+    profile.sites.push_back(site);
+    LayoutPlan plan = LayoutPlanner().plan(profile);
+    ASSERT_EQ(plan.sites.size(), 1u);
+    EXPECT_EQ(plan.sites[0].kind, RepairKind::Pad);
+    EXPECT_TRUE(plan.sites[0].cuts.empty());
+}
+
+TEST(Planner, DeclaredGeometryWinsAsSpread)
+{
+    LayoutProfile profile;
+    SiteProfile site = partitionedSite("pool", 4, 164, 50);
+    site.hasGeometry = true;
+    site.geometry = {0, 4, 41};
+    profile.sites.push_back(site);
+    LayoutPlan plan = LayoutPlanner().plan(profile);
+    ASSERT_EQ(plan.sites.size(), 1u);
+    EXPECT_EQ(plan.sites[0].kind, RepairKind::Spread);
+    EXPECT_EQ(plan.sites[0].arrayStride, 4u);
+    EXPECT_EQ(plan.sites[0].arrayCount, 41u);
+}
+
+TEST(Planner, ColdSitesAreSkipped)
+{
+    LayoutProfile profile;
+    SiteProfile site = partitionedSite("a0", 4, 4096, 50);
+    site.fsEvents = 10; // below minSiteFsEvents
+    profile.sites.push_back(site);
+    EXPECT_TRUE(LayoutPlanner().plan(profile).sites.empty());
+}
+
+TEST(Planner, OversizedExpansionFallsBackToPad)
+{
+    PlannerConfig cfg;
+    cfg.maxSiteBytes = 8192;
+    LayoutProfile profile;
+    SiteProfile site = partitionedSite("pool", 4, 4096, 50);
+    // Spreading 1024 elements over a line each would need 64 KiB;
+    // the cap forces plain padding instead.
+    site.hasGeometry = true;
+    site.geometry = {0, 4, 1024};
+    profile.sites.push_back(site);
+    LayoutPlan plan = LayoutPlanner(cfg).plan(profile);
+    ASSERT_EQ(plan.sites.size(), 1u);
+    EXPECT_EQ(plan.sites[0].kind, RepairKind::Pad);
+}
+
+TEST(Planner, SameProfileYieldsByteIdenticalPlan)
+{
+    LayoutProfile profile;
+    profile.sites.push_back(partitionedSite("a0", 4, 4096, 50));
+    SiteProfile pool = partitionedSite("pool", 2, 164, 30);
+    pool.hasGeometry = true;
+    pool.geometry = {0, 4, 41};
+    profile.sites.push_back(pool);
+
+    std::string first = writePlan(LayoutPlanner().plan(profile));
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(writePlan(LayoutPlanner().plan(profile)), first);
+    EXPECT_FALSE(first.empty());
+}
+
+} // namespace tmi::staticrepair
