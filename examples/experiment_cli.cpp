@@ -10,6 +10,7 @@
  *       [--threads 4] [--scale 4] [--period 100] [--huge-pages]
  *       [--threshold 100000] [--interval 2000000] [--seed 42]
  *       [--budget N] [--glibc-allocator] [--stats]
+ *       [--placement default|pack|arena|isolate]
  *       [--param key=value]... [--family NAME]
  *       [--list-workloads] [--list-treatments] [--list-fault-points]
  *       [--fault point:SPEC]... [--fault-seed N]
@@ -230,6 +231,18 @@ main(int argc, char **argv)
             builder.pageShift(hugePageShift);
         } else if (arg == "--glibc-allocator") {
             builder.allocator(AllocatorKind::GlibcLike);
+        } else if (arg == "--placement") {
+            std::string name = next();
+            const PlacementPolicy *p = tryParsePlacement(name);
+            if (!p) {
+                std::fprintf(stderr,
+                             "unknown placement '%s'; one of:\n",
+                             name.c_str());
+                for (PlacementPolicy pp : allPlacements())
+                    std::fprintf(stderr, "  %s\n", placementName(pp));
+                return 2;
+            }
+            builder.placement(*p);
         } else if (arg == "--fault") {
             auto [point, spec] = parseFault(next());
             builder.fault(point, spec);
@@ -328,7 +341,18 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(
                         res.planProfileHitms));
     }
-    if (res.repairActive) {
+    if (res.treatment == Treatment::HtmElide) {
+        std::uint64_t tries = res.txnCommits + res.txnAborts;
+        std::printf("htm           : %llu commits, %llu aborts "
+                    "(%.1f%% abort rate), %llu lock fallbacks; "
+                    "rung %s\n",
+                    static_cast<unsigned long long>(res.txnCommits),
+                    static_cast<unsigned long long>(res.txnAborts),
+                    tries ? 100.0 * res.txnAborts / tries : 0.0,
+                    static_cast<unsigned long long>(
+                        res.txnFallbackLocks),
+                    res.ladderRung.c_str());
+    } else if (res.repairActive) {
         std::printf("repair        : engaged at %.3f ms; T2P %.1f us; "
                     "%llu pages; %llu commits (%.0f/s)\n",
                     res.repairStartCycles / (cps / 1e3),

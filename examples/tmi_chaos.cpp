@@ -31,14 +31,19 @@
  *     job that failed/crashed/was quarantined, 2 = usage error.
  *
  *   tmi-chaos replay <spec-file> [--expect-fail] [--verbose]
+ *       [--param key=value]...
  *
  *     Re-runs one schedule spec (fresh golden + faulted run) and
  *     prints the verdict. Exit 0 when the verdict is pass -- or,
  *     with --expect-fail, when the oracle (still) catches the
  *     failure, which is how CI pins checked-in regression
- *     reproducers.
+ *     reproducers. --param passes workload knobs into the base
+ *     config exactly as the campaign subcommand does, so a
+ *     reproducer minimized from a parameterized campaign replays
+ *     under the same knobs.
  *
  *   tmi-chaos minimize <spec-file> [--out file.spec] [--verbose]
+ *       [--param key=value]...
  *
  *     Delta-debugs a failing spec to a 1-minimal reproducer.
  *
@@ -329,11 +334,23 @@ cmdReplay(int argc, char **argv)
     std::string path;
     bool expect_fail = false;
     bool verbose = false;
+    Config base;
     for (int i = 0; i < argc; ++i) {
         std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usageError("'" + arg + "' needs a value");
+            return argv[++i];
+        };
         if (arg == "--expect-fail")
             expect_fail = true;
-        else if (arg == "--verbose")
+        else if (arg == "--param") {
+            std::pair<std::string, std::string> kv;
+            std::string err;
+            if (!parseParamAssignment(next(), kv, err))
+                usageError("--param: " + err);
+            base.run.params.push_back(std::move(kv));
+        } else if (arg == "--verbose")
             verbose = true;
         else if (!arg.empty() && arg[0] != '-')
             path = arg;
@@ -346,7 +363,7 @@ cmdReplay(int argc, char **argv)
         setLogLevel(LogLevel::Quiet);
 
     chaos::CampaignRow row =
-        chaos::replaySchedule(loadSchedule(path));
+        chaos::replaySchedule(loadSchedule(path), base);
     printRow(row);
     bool caught = row.judgement.fail();
     if (expect_fail) {
@@ -364,6 +381,7 @@ cmdMinimize(int argc, char **argv)
     std::string path;
     std::string out_path;
     bool verbose = false;
+    Config base;
     for (int i = 0; i < argc; ++i) {
         std::string arg = argv[i];
         auto next = [&]() -> const char * {
@@ -373,7 +391,13 @@ cmdMinimize(int argc, char **argv)
         };
         if (arg == "--out")
             out_path = next();
-        else if (arg == "--verbose")
+        else if (arg == "--param") {
+            std::pair<std::string, std::string> kv;
+            std::string err;
+            if (!parseParamAssignment(next(), kv, err))
+                usageError("--param: " + err);
+            base.run.params.push_back(std::move(kv));
+        } else if (arg == "--verbose")
             verbose = true;
         else if (!arg.empty() && arg[0] != '-')
             path = arg;
@@ -386,7 +410,6 @@ cmdMinimize(int argc, char **argv)
         setLogLevel(LogLevel::Quiet);
 
     chaos::ChaosSchedule sched = loadSchedule(path);
-    Config base;
     Config golden_cfg = sched.toConfig(base);
     golden_cfg.run.faults.clear();
     RunResult golden = runExperiment(golden_cfg);

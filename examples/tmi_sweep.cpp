@@ -12,6 +12,7 @@
  * Usage:
  *   tmi-sweep --workloads histogramfs,counterarray \
  *       --treatments pthreads,tmi-protect [--scales 2,4] \
+ *       [--placements default,pack,arena,isolate] \
  *       [--periods 100,1000] [--seeds 1,2,3] \
  *       [--fault-points mem.frame_exhausted] \
  *       [--fault-rates 0,0.1,0.5] \
@@ -127,6 +128,8 @@ main(int argc, char **argv)
             applyOrDie(spec, "workloads", next());
         } else if (arg == "--treatments") {
             applyOrDie(spec, "treatments", next());
+        } else if (arg == "--placements") {
+            applyOrDie(spec, "placements", next());
         } else if (arg == "--scales") {
             applyOrDie(spec, "scales", next());
         } else if (arg == "--periods") {

@@ -2,7 +2,7 @@
 """Validate a sweep CSV against the canonical driver schema.
 
 The sweep driver (src/driver/sink.cc) writes one header plus one row
-per job, in job-id order, with the same 38 columns for every row.
+per job, in job-id order, with the same 43 columns for every row.
 This checker keeps that contract honest from the outside -- CI runs a
 small sweep through tmi-sweep and pipes the file through here, so a
 schema drift (a renamed column, a duplicated or dropped job, a row
@@ -39,8 +39,11 @@ COLUMNS = [
     "watchdog_flushes", "cow_fallbacks", "ladder_drops", "params",
     "requests", "sojourn_p50", "sojourn_p99", "sojourn_p999",
     "plan_sites", "plan_applied", "plan_padding_bytes",
-    "plan_redirected", "plan_profile_hitms",
+    "plan_redirected", "plan_profile_hitms", "placement",
+    "txn_commits", "txn_aborts", "abort_rate", "fallback_locks",
 ]
+
+PLACEMENTS = {"default", "pack", "arena", "isolate"}
 
 STATUSES = {"ok", "failed", "timeout", "cancelled", "poisoned"}
 
@@ -50,7 +53,8 @@ NUMERIC = [
     "commits", "conflict_bytes", "fault_fires", "t2p_aborts",
     "unrepairs", "watchdog_flushes", "cow_fallbacks", "ladder_drops",
     "requests", "plan_sites", "plan_applied", "plan_padding_bytes",
-    "plan_redirected", "plan_profile_hitms",
+    "plan_redirected", "plan_profile_hitms", "txn_commits",
+    "txn_aborts", "fallback_locks",
 ]
 
 
@@ -121,7 +125,7 @@ def check(path, expect_rows, expect_ok):
                 errors.append("line %d: %s=%r is not an unsigned "
                               "integer" % (lineno, col, row[col]))
         for col in ("fault_rate", "seconds", "sojourn_p50",
-                    "sojourn_p99", "sojourn_p999"):
+                    "sojourn_p99", "sojourn_p999", "abort_rate"):
             try:
                 float(row[col])
             except ValueError:
@@ -133,6 +137,10 @@ def check(path, expect_rows, expect_ok):
         if row["valid"] not in ("0", "1"):
             errors.append("line %d: valid=%r not 0/1"
                           % (lineno, row["valid"]))
+        if row["placement"] not in PLACEMENTS:
+            errors.append("line %d: placement=%r not in %s"
+                          % (lineno, row["placement"],
+                             sorted(PLACEMENTS)))
         if row["job_id"].isdigit():
             seen_ids.append(int(row["job_id"]))
         n_ok += row["status"] == "ok"

@@ -260,4 +260,82 @@ python3 scripts/check_chaos.py "$schaos1" --expect-rows 20 \
     --expect-pass
 cmp "$schaos1" "$schaos4"
 
+# htm-elide smoke: the elision sweep must be byte-identical on 1 and
+# 4 workers and show the backend doing its job -- spinlockpool's
+# packed-lock HITMs collapse at least 10x with zero fallbacks, and
+# the lock-free shptr-relaxed rows prove the txn hooks are a no-op
+# (identical hitm and cycle counts against pthreads). The placement
+# axis must keep its monotone abort-rate response (pack > arena >=
+# isolate on per-worker malloc'd slots): elision cannot fix what the
+# allocator broke, and CI pins that ordering.
+echo "=== htm-elide sweep + malloc-placement gate ==="
+htm1="$(mktemp -t tmi_htm1.XXXXXX.csv)"
+htm4="$(mktemp -t tmi_htm4.XXXXXX.csv)"
+place1="$(mktemp -t tmi_place1.XXXXXX.csv)"
+trap 'rm -f "$trace_out" "$sweep1" "$sweep2" "$chaos1" "$chaos4" \
+    "$hostperf" "$server1" "$server4" "$param_err" "$plan_out" \
+    "$huron1" "$huron4" "$replay1" "$schaos1" "$schaos4" \
+    "$htm1" "$htm4" "$place1"' EXIT
+htm_args=(--workloads spinlockpool,shptr-lock,shptr-relaxed
+    --treatments pthreads,htm-elide --scales 2 --no-progress)
+./build/examples/tmi-sweep "${htm_args[@]}" --workers 1 --csv "$htm1"
+./build/examples/tmi-sweep "${htm_args[@]}" --workers 4 --csv "$htm4"
+python3 scripts/check_sweep.py "$htm1" --expect-rows 6 --expect-ok
+cmp "$htm1" "$htm4"
+awk -F, 'NR > 1 { hitm[$2 "," $3] = $18; cyc[$2 "," $3] = $16
+        if ($3 == "htm-elide" && $2 == "spinlockpool" \
+            && ($40 + 0 < 1 || $43 + 0 != 0)) {
+            print "spinlockpool must elide commit-clean: " $0
+            bad = 1 } }
+    END { if (hitm["spinlockpool,htm-elide"] * 10 > \
+              hitm["spinlockpool,pthreads"]) {
+            print "weak elision on spinlockpool: " \
+                hitm["spinlockpool,htm-elide"] " vs " \
+                hitm["spinlockpool,pthreads"]; bad = 1 }
+        if (hitm["shptr-relaxed,htm-elide"] != \
+                hitm["shptr-relaxed,pthreads"] ||
+            cyc["shptr-relaxed,htm-elide"] != \
+                cyc["shptr-relaxed,pthreads"]) {
+            print "txn hooks must be a no-op on lock-free code"
+            bad = 1 }
+        exit bad }' "$htm1"
+
+./build/examples/tmi-sweep --workloads spinlockpool \
+    --treatments htm-elide --placements pack,arena,isolate \
+    --param small_slots=1 --scales 2 --no-progress \
+    --workers 1 --csv "$place1"
+python3 scripts/check_sweep.py "$place1" --expect-rows 3 --expect-ok
+awk -F, 'NR > 1 { rate[$39] = $42 + 0 }
+    END { if (!(rate["pack"] > rate["arena"] &&
+               rate["arena"] >= rate["isolate"])) {
+            print "placement abort-rate not monotone: pack=" \
+                rate["pack"] " arena=" rate["arena"] \
+                " isolate=" rate["isolate"]; bad = 1 }
+        exit bad }' "$place1"
+
+# Abort-storm chaos smoke: a fixed-seed campaign whose schedules arm
+# all three htm.* fault points (spurious-abort storms included) must
+# pass -- the armed watchdog bounds every storm -- with verdicts
+# byte-identical on 1 and 4 workers; and the checked-in minimized
+# livelock-by-abort reproducer (watchdog disarmed, stuck fallback)
+# must still be caught by the oracle.
+echo "=== htm abort-storm chaos smoke + livelock reproducer ==="
+hchaos1="$(mktemp -t tmi_hchaos1.XXXXXX.csv)"
+hchaos4="$(mktemp -t tmi_hchaos4.XXXXXX.csv)"
+trap 'rm -f "$trace_out" "$sweep1" "$sweep2" "$chaos1" "$chaos4" \
+    "$hostperf" "$server1" "$server4" "$param_err" "$plan_out" \
+    "$huron1" "$huron4" "$replay1" "$schaos1" "$schaos4" \
+    "$htm1" "$htm4" "$place1" "$hchaos1" "$hchaos4"' EXIT
+hchaos_args=(--workloads spinlockpool --treatments htm-elide
+    --schedules 8 --campaign-seed 2026 --no-minimize --no-progress)
+./build/examples/tmi-chaos campaign "${hchaos_args[@]}" \
+    --workers 1 --csv "$hchaos1"
+./build/examples/tmi-chaos campaign "${hchaos_args[@]}" \
+    --workers 4 --csv "$hchaos4"
+python3 scripts/check_chaos.py "$hchaos1" --expect-rows 9 \
+    --expect-pass
+cmp "$hchaos1" "$hchaos4"
+./build/examples/tmi-chaos replay \
+    goldens/chaos/htm_abort_storm.spec --expect-fail
+
 echo "=== CI green ==="

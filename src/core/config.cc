@@ -67,6 +67,13 @@ ExperimentBuilder::allocator(AllocatorKind kind)
 }
 
 ExperimentBuilder &
+ExperimentBuilder::placement(PlacementPolicy p)
+{
+    _config.run.placement = p;
+    return *this;
+}
+
+ExperimentBuilder &
 ExperimentBuilder::perfPeriod(std::uint64_t period)
 {
     _config.run.perfPeriod = period;

@@ -90,6 +90,8 @@ class ExperimentBuilder
     ExperimentBuilder &scale(std::uint64_t s);
     ExperimentBuilder &pageShift(unsigned shift);
     ExperimentBuilder &allocator(AllocatorKind kind);
+    /** Malloc-placement sensitivity axis (htm-elide / baselines). */
+    ExperimentBuilder &placement(PlacementPolicy p);
     ExperimentBuilder &perfPeriod(std::uint64_t period);
     ExperimentBuilder &repairThreshold(double threshold);
     ExperimentBuilder &analysisInterval(Cycles interval);

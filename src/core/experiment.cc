@@ -4,6 +4,7 @@
 #include <functional>
 #include <sstream>
 
+#include "baselines/htm.hh"
 #include "baselines/laser.hh"
 #include "baselines/sheriff.hh"
 #include "core/config.hh"
@@ -42,6 +43,8 @@ treatmentName(Treatment t)
         return "laser";
       case Treatment::HuronStatic:
         return "huron-static";
+      case Treatment::HtmElide:
+        return "htm-elide";
     }
     return "?";
 }
@@ -73,6 +76,9 @@ treatmentDescription(Treatment t)
       case Treatment::HuronStatic:
         return "Huron-style offline repair: profile, plan layout, "
                "replay with apply-at-alloc";
+      case Treatment::HtmElide:
+        return "HTM lock elision: bounded txns with retry/fallback "
+               "and an abort-storm watchdog";
     }
     return "?";
 }
@@ -86,7 +92,7 @@ allTreatments()
         Treatment::TmiProtect,      Treatment::TmiProtectNoCcc,
         Treatment::PtsbEverywhere,  Treatment::SheriffDetect,
         Treatment::SheriffProtect,  Treatment::Laser,
-        Treatment::HuronStatic,
+        Treatment::HuronStatic,     Treatment::HtmElide,
     };
     return all;
 }
@@ -97,6 +103,44 @@ tryParseTreatment(const std::string &name)
     for (const Treatment &t : allTreatments()) {
         if (name == treatmentName(t))
             return &t;
+    }
+    return nullptr;
+}
+
+const char *
+placementName(PlacementPolicy p)
+{
+    switch (p) {
+      case PlacementPolicy::Default:
+        return "default";
+      case PlacementPolicy::Pack:
+        return "pack";
+      case PlacementPolicy::Arena:
+        return "arena";
+      case PlacementPolicy::Isolate:
+        return "isolate";
+    }
+    return "?";
+}
+
+const std::vector<PlacementPolicy> &
+allPlacements()
+{
+    static const std::vector<PlacementPolicy> all = {
+        PlacementPolicy::Default,
+        PlacementPolicy::Pack,
+        PlacementPolicy::Arena,
+        PlacementPolicy::Isolate,
+    };
+    return all;
+}
+
+const PlacementPolicy *
+tryParsePlacement(const std::string &name)
+{
+    for (const PlacementPolicy &p : allPlacements()) {
+        if (name == placementName(p))
+            return &p;
     }
     return nullptr;
 }
@@ -156,6 +200,15 @@ validateConfig(const ExperimentConfig &config,
         config.pageShift > hugePageShift) {
         errors.push_back({prefix + ".pageShift",
                           "must be between 12 (4 KB) and 21 (2 MB)"});
+    }
+    if (config.placement != PlacementPolicy::Default &&
+        (isTmiTreatment(config.treatment) ||
+         isSheriffTreatment(config.treatment))) {
+        errors.push_back({prefix + ".placement",
+                          "the shm-backed treatments own their "
+                          "allocator policy; the placement axis "
+                          "applies to pthreads/manual/laser/"
+                          "huron-static/htm-elide"});
     }
     if (config.perfPeriod == 0) {
         errors.push_back({prefix + ".perfPeriod",
@@ -265,6 +318,30 @@ runCell(const Config &full,
         isTmiTreatment(config.treatment) ||
         isSheriffTreatment(config.treatment);
     mc.tmiModifiedAllocator = mc.shmBackedHeap;
+    // The malloc-placement axis overrides the treatment's allocator
+    // defaults (validateConfig rejects it for the shm-backed
+    // treatments, whose repair machinery owns the layout policy).
+    switch (config.placement) {
+      case PlacementPolicy::Default:
+        break;
+      case PlacementPolicy::Pack:
+        // Dense shared-arena packing: 16-byte granules plus the 8-byte
+        // header skew mean small objects from different threads share
+        // lines routinely.
+        mc.allocator = AllocatorKind::GlibcLike;
+        mc.tmiModifiedAllocator = false;
+        break;
+      case PlacementPolicy::Arena:
+        mc.allocator = AllocatorKind::Lockless;
+        mc.tmiModifiedAllocator = false;
+        break;
+      case PlacementPolicy::Isolate:
+        // Per-thread arenas plus the line-granular small-object floor:
+        // no two threads' small objects ever share a cache line.
+        mc.allocator = AllocatorKind::Lockless;
+        mc.tmiModifiedAllocator = true;
+        break;
+    }
     mc.faults = config.faults;
     mc.faultSeed = config.faultSeed;
     mc.trace = config.trace;
@@ -294,6 +371,7 @@ runCell(const Config &full,
     std::unique_ptr<TmiRuntime> tmi;
     std::unique_ptr<SheriffRuntime> sheriff;
     std::unique_ptr<LaserRuntime> laser;
+    std::unique_ptr<HtmRuntime> htm;
 
     switch (config.treatment) {
       case Treatment::Pthreads:
@@ -369,6 +447,18 @@ runCell(const Config &full,
         lc.robust.monitorEnabled = config.monitor == 1;
         laser = std::make_unique<LaserRuntime>(machine, lc);
         laser->attach();
+        break;
+      }
+      case Treatment::HtmElide: {
+        HtmConfig hc;
+        hc.robust = full.tmi.robust;
+        hc.robust.monitorEnabled = false; // no repair to judge
+        // The abort-storm watchdog is this backend's livelock
+        // defence, so unlike the ablations it defaults on.
+        hc.robust.watchdogEnabled =
+            config.watchdog == -1 ? true : config.watchdog != 0;
+        htm = std::make_unique<HtmRuntime>(machine, hc);
+        htm->attach();
         break;
       }
     }
@@ -447,6 +537,17 @@ runCell(const Config &full,
         res.ladderRung = laser->rungName();
         res.unrepairs = laser->unrepairs();
         res.ladderDrops = laser->ladderDrops();
+    } else if (htm) {
+        res.repairActive = htm->elisionActive();
+        res.txnCommits = machine.txnCommitCount();
+        res.txnAborts = machine.txnAbortCount();
+        res.txnFallbackLocks = htm->fallbackLocks();
+        res.commits = res.txnCommits; // commits/s column analogue
+        res.ladderRung = htm->rungName();
+        res.watchdogFlushes = htm->watchdogFlushes();
+        res.ladderDrops = htm->ladderDrops();
+        res.ladderRecovers = htm->ladderRecovers();
+        res.invariantViolations = htm->probe().violations();
     }
     if (res.seconds > 0) {
         res.commitsPerSec =
@@ -469,6 +570,8 @@ runCell(const Config &full,
             sheriff->regStats(runtime_group);
         else if (laser)
             laser->regStats(runtime_group);
+        else if (htm)
+            htm->regStats(runtime_group);
 
         if (config.dumpStats) {
             std::ostringstream os;

@@ -41,6 +41,7 @@ enum class Treatment
     SheriffProtect,  //!< Sheriff repair tool
     Laser,           //!< LASER detection + store-buffer repair
     HuronStatic,     //!< Huron-style offline profile -> layout replay
+    HtmElide,        //!< speculative lock elision over the MESI sim
 };
 
 /** Name as used in reports. */
@@ -55,6 +56,31 @@ const std::vector<Treatment> &allTreatments();
 /** Parse a report-style name ("tmi-protect"); null on no match. */
 const Treatment *tryParseTreatment(const std::string &name);
 
+/**
+ * Malloc-placement policy: a sensitivity axis over where the
+ * allocator puts small objects, orthogonal to the treatment. Under
+ * htm-elide it moves the abort rate (objects packed onto shared lines
+ * conflict; isolated ones commit); under pthreads it moves the HITM
+ * count the same direction. Default leaves the treatment's own
+ * allocator settings alone.
+ */
+enum class PlacementPolicy
+{
+    Default, //!< treatment's own allocator configuration
+    Pack,    //!< glibc-like shared arena: dense 16B packing
+    Arena,   //!< per-thread size-class arenas
+    Isolate, //!< per-thread arenas + line-aligned small objects
+};
+
+/** Name as used in reports/CSV ("default", "pack", ...). */
+const char *placementName(PlacementPolicy p);
+
+/** Every placement policy, in declaration order. */
+const std::vector<PlacementPolicy> &allPlacements();
+
+/** Parse a placement name; null on no match. */
+const PlacementPolicy *tryParsePlacement(const std::string &name);
+
 /** One cell of the evaluation matrix. */
 struct ExperimentConfig
 {
@@ -64,6 +90,9 @@ struct ExperimentConfig
     std::uint64_t scale = 1;
     unsigned pageShift = smallPageShift;
     AllocatorKind allocator = AllocatorKind::Lockless;
+    /** Malloc-placement sensitivity axis; Default = leave the
+     *  treatment's allocator configuration alone. */
+    PlacementPolicy placement = PlacementPolicy::Default;
     std::uint64_t perfPeriod = 100;
     /** Detector repair threshold (estimated FS events/sec/page). */
     double repairThreshold = 100000.0;
@@ -176,6 +205,13 @@ struct RunResult
      *  runtime/invariants.hh); nonzero means the runtime broke its
      *  own transition contract even if results happen to be right. */
     std::uint64_t invariantViolations = 0;
+    /// @}
+
+    /** @name Transactional telemetry (htm-elide; zero otherwise) */
+    /// @{
+    std::uint64_t txnCommits = 0;       //!< speculative commits
+    std::uint64_t txnAborts = 0;        //!< aborts, all causes
+    std::uint64_t txnFallbackLocks = 0; //!< entries on the real lock
     /// @}
 
     /** @name Tail latency (workloads with a latencyHistogram();

@@ -615,6 +615,12 @@ Machine::accessPath(ThreadId tid, Addr pc, Addr va, bool is_write,
         }
     }
 
+    // Transactional conflict detection (lock elision). One counter
+    // test when no txn is live anywhere, so elision-off runs charge
+    // and trace exactly as before this path existed.
+    if (_activeTxns != 0)
+        txnPreAccess(tid, va, is_write);
+
     AccessContext ctx;
     ctx.core = core;
     ctx.tid = tid;
@@ -624,6 +630,9 @@ Machine::accessPath(ThreadId tid, Addr pc, Addr va, bool is_write,
     ctx.width = info.width;
     ctx.isWrite = is_write;
     AccessResult res = _cache.access(ctx);
+
+    if (_activeTxns != 0)
+        txnPostAccess(tid, res.hitm);
 
     if (_config.instrumentationSampling) {
         // Predator-style instrumentation: every access pays the tax;
@@ -660,6 +669,8 @@ Machine::memOp(ThreadId tid, Addr pc, Addr va, bool is_write,
     Addr paddr = accessPath(tid, pc, va, is_write, bypass_private);
     unsigned width = _pipeline.instr(coreOf(tid), pc, _instrs).width;
     if (is_write) {
+        if (_activeTxns != 0)
+            txnTrackWrite(tid, paddr, width);
         writePhys(paddr, store_value, width);
         return 0;
     }
@@ -676,6 +687,8 @@ Machine::memOpStream(ThreadId tid, Addr pc, Addr va,
     unsigned width = _pipeline.instr(coreOf(tid), pc, _instrs).width;
     for (std::uint64_t i = 0; i < count; ++i) {
         Addr paddr = accessPath(tid, pc, va, true, false);
+        if (_activeTxns != 0)
+            txnTrackWrite(tid, paddr, width);
         writePhys(paddr, value, width);
         va += stride;
         value += value_step;
@@ -686,6 +699,9 @@ void
 Machine::bulkWrite(ThreadId tid, Addr va, const void *buf,
                    std::size_t size)
 {
+    // Bulk traffic bypasses the per-access path, so a txn could
+    // neither track nor roll it back: treat it as a capacity abort.
+    txnAbortIfActive(tid, TxnAbortReason::Capacity);
     ProcessId pid = _threadProcess[tid];
     const auto *in = static_cast<const std::uint8_t *>(buf);
     std::uint64_t page_bytes = _mmu.pageBytes();
@@ -742,6 +758,8 @@ Machine::bulkFill(ThreadId tid, Addr va, std::uint8_t byte,
 void
 Machine::bulkRead(ThreadId tid, Addr va, void *buf, std::size_t size)
 {
+    // Untracked reads would escape conflict detection (see bulkWrite).
+    txnAbortIfActive(tid, TxnAbortReason::Capacity);
     ProcessId pid = _threadProcess[tid];
     auto *out = static_cast<std::uint8_t *>(buf);
     std::uint64_t page_bytes = _mmu.pageBytes();
@@ -844,6 +862,8 @@ Machine::atomicFetchAdd(ThreadId tid, Addr pc, Addr va,
     // the operation is indivisible.
     Addr paddr = accessPath(tid, pc, va, true, bypass);
     std::uint64_t old = readPhys(paddr, width);
+    if (_activeTxns != 0)
+        txnTrackWrite(tid, paddr, width);
     writePhys(paddr, old + delta, width);
     return old;
 }
@@ -864,6 +884,8 @@ Machine::atomicCas(ThreadId tid, Addr pc, Addr va, std::uint64_t expect,
     std::uint64_t old = readPhys(paddr, width);
     if (old != expect)
         return false;
+    if (_activeTxns != 0)
+        txnTrackWrite(tid, paddr, width);
     writePhys(paddr, desired, width);
     return true;
 }
@@ -892,6 +914,207 @@ Machine::regionExit(ThreadId tid)
         _hooks->onRegionExit(tid);
         _pipeline.setBypassPrivate(tid, _hooks->bypassPrivate(tid));
     }
+}
+
+// ---------------------------------------------------------------------
+// Bounded transactions (lock elision)
+
+const char *
+txnAbortReasonName(TxnAbortReason reason)
+{
+    switch (reason) {
+      case TxnAbortReason::None:
+        return "none";
+      case TxnAbortReason::Conflict:
+        return "conflict";
+      case TxnAbortReason::RemoteConflict:
+        return "remote-conflict";
+      case TxnAbortReason::Capacity:
+        return "capacity";
+      case TxnAbortReason::Spurious:
+        return "spurious";
+      case TxnAbortReason::Nested:
+        return "nested";
+    }
+    return "?";
+}
+
+bool
+Machine::txnBegin(ThreadId tid, unsigned read_lines,
+                  unsigned write_lines)
+{
+    TMI_ASSERT(_sched.current() && _sched.current()->tid() == tid,
+               "txnBegin outside its own simulated thread");
+    if (_txns.size() <= tid)
+        _txns.resize(tid + 1);
+    TMI_ASSERT(!_txns[tid].active, "nested txnBegin");
+    // The latch lives in THIS frame, so it is part of the snapshot: a
+    // rollback restores it while the heap-resident counter keeps its
+    // bump, which is how an abort arrival is recognized.
+    std::uint64_t before = _txns[tid].ck.resumes;
+    _sched.checkpointCurrent(_txns[tid].ck);
+    TxnState &tx = _txns[tid]; // re-resolve: rollbacks arrive late
+    if (tx.ck.resumes != before)
+        return false; // aborted; reason in lastAbort
+    tx.active = true;
+    tx.readCap = read_lines;
+    tx.writeCap = write_lines;
+    tx.readLines.clear();
+    tx.writeLines.clear();
+    tx.readCount = 0;
+    tx.writeCount = 0;
+    tx.undo.clear();
+    tx.conflictObserved = false;
+    ++_activeTxns;
+    return true;
+}
+
+void
+Machine::txnCommit(ThreadId tid)
+{
+    TMI_ASSERT(tid < _txns.size() && _txns[tid].active,
+               "txnCommit outside a txn");
+    TxnState &tx = _txns[tid];
+    tx.active = false;
+    tx.lastAbort = TxnAbortReason::None;
+    tx.undo.clear();
+    TMI_ASSERT(_activeTxns > 0);
+    --_activeTxns;
+    ++_statTxnCommits;
+}
+
+void
+Machine::txnMarkAborted(TxnState &tx, TxnAbortReason why)
+{
+    txnRollbackMemory(tx);
+    tx.active = false;
+    tx.lastAbort = why;
+    TMI_ASSERT(_activeTxns > 0);
+    --_activeTxns;
+    ++_statTxnAborts;
+}
+
+void
+Machine::txnAbortSelf(ThreadId tid, TxnAbortReason why)
+{
+    TMI_ASSERT(tid < _txns.size() && _txns[tid].active,
+               "txnAbortSelf outside a txn");
+    TxnState &tx = _txns[tid];
+    txnMarkAborted(tx, why);
+    _sched.restoreCurrent(tx.ck);
+}
+
+void
+Machine::txnRollbackMemory(TxnState &tx)
+{
+    // Reverse order, so overlapping writes restore the oldest bytes.
+    for (auto it = tx.undo.rbegin(); it != tx.undo.rend(); ++it)
+        writePhys(it->paddr, it->old, it->width);
+    // Speculative stores left lines Modified in the aborting core's
+    // cache; drop them so no later access takes a HITM (or a dirty
+    // forward) from state that never architecturally existed.
+    for (const TxnState::Undo &u : tx.undo)
+        _cache.invalidateLine(u.paddr);
+    tx.undo.clear();
+}
+
+bool
+Machine::txnActive(ThreadId tid) const
+{
+    return tid < _txns.size() && _txns[tid].active;
+}
+
+TxnAbortReason
+Machine::txnAbortReason(ThreadId tid) const
+{
+    return tid < _txns.size() ? _txns[tid].lastAbort
+                              : TxnAbortReason::None;
+}
+
+bool
+Machine::txnConflictObserved(ThreadId tid) const
+{
+    return tid < _txns.size() && _txns[tid].conflictObserved;
+}
+
+void
+Machine::txnAbortIfActive(ThreadId tid, TxnAbortReason why)
+{
+    if (_activeTxns != 0 && tid < _txns.size() && _txns[tid].active)
+        txnAbortSelf(tid, why);
+}
+
+void
+Machine::txnPreAccess(ThreadId tid, Addr va, bool is_write)
+{
+    Addr line = va >> lineShift;
+    // Requester wins: any other txn holding this line in a
+    // conflicting set is aborted *now*, so its undo restore lands
+    // before this access reads or overwrites the data. The same rule
+    // makes non-speculative accesses always defeat speculation.
+    for (std::size_t victim = 0; victim < _txns.size(); ++victim) {
+        if (victim == tid)
+            continue;
+        TxnState &vx = _txns[victim];
+        if (!vx.active)
+            continue;
+        bool conflict =
+            std::find(vx.writeLines.begin(), vx.writeLines.end(),
+                      line) != vx.writeLines.end();
+        if (!conflict && is_write) {
+            conflict = std::find(vx.readLines.begin(),
+                                 vx.readLines.end(),
+                                 line) != vx.readLines.end();
+        }
+        if (conflict) {
+            txnMarkAborted(vx, TxnAbortReason::RemoteConflict);
+            _sched.hijackThread(static_cast<ThreadId>(victim), vx.ck);
+        }
+    }
+
+    if (tid >= _txns.size() || !_txns[tid].active)
+        return;
+    TxnState &tx = _txns[tid];
+    if (_faults.enabled() &&
+        _faults.shouldFail(faultpoint::htmSpuriousAbort))
+        txnAbortSelf(tid, TxnAbortReason::Spurious);
+    // Capacity accounting. htm.capacity_misaccount books the line
+    // twice, modeling the set-estimation errata real HTM ships with:
+    // the txn aborts earlier than its true footprint warrants.
+    unsigned weight = 1;
+    if (_faults.enabled() &&
+        _faults.shouldFail(faultpoint::htmCapacityMisaccount))
+        weight = 2;
+    std::vector<Addr> &lines = is_write ? tx.writeLines : tx.readLines;
+    unsigned &count = is_write ? tx.writeCount : tx.readCount;
+    unsigned cap = is_write ? tx.writeCap : tx.readCap;
+    if (std::find(lines.begin(), lines.end(), line) == lines.end()) {
+        lines.push_back(line);
+        count += weight;
+    }
+    if (count > cap)
+        txnAbortSelf(tid, TxnAbortReason::Capacity);
+}
+
+void
+Machine::txnPostAccess(ThreadId tid, bool hitm)
+{
+    if (!hitm || tid >= _txns.size() || !_txns[tid].active)
+        return;
+    // A remote-Modified hit inside a txn IS the conflict signal.
+    // Record the observation before aborting so the commit-time
+    // oracle can catch any path that forgets to abort.
+    _txns[tid].conflictObserved = true;
+    txnAbortSelf(tid, TxnAbortReason::Conflict);
+}
+
+void
+Machine::txnTrackWrite(ThreadId tid, Addr paddr, unsigned width)
+{
+    if (tid >= _txns.size() || !_txns[tid].active)
+        return;
+    TxnState &tx = _txns[tid];
+    tx.undo.push_back({paddr, readPhys(paddr, width), width});
 }
 
 // ---------------------------------------------------------------------
@@ -924,6 +1147,15 @@ void
 Machine::mutexLock(ThreadId tid, Addr va)
 {
     Addr caddr = syncAddr(tid, va);
+    // Lock elision: the runtime may open a speculative region instead
+    // of acquiring. The lock word is then only *read* (the runtime
+    // subscribes it to the txn), so a real acquirer's CAS aborts the
+    // speculation through the normal conflict path.
+    if (_hooks && _hooks->onMutexLock(tid, caddr))
+        return;
+    // A real acquisition inside a txn -- a nested lock the runtime
+    // declined to elide -- may block; it cannot stay speculative.
+    txnAbortIfActive(tid, TxnAbortReason::Nested);
     memOp(tid, _pcLockCas, caddr, true, 1, true);
     _sync.mutexLock(caddr);
     if (_hooks)
@@ -934,6 +1166,9 @@ bool
 Machine::mutexTryLock(ThreadId tid, Addr va)
 {
     Addr caddr = syncAddr(tid, va);
+    // Trylock is never elided: its return value must reflect the real
+    // lock word, which a speculative region cannot promise.
+    txnAbortIfActive(tid, TxnAbortReason::Nested);
     memOp(tid, _pcLockCas, caddr, true, 1, true);
     bool got = _sync.mutexTryLock(caddr);
     if (got && _hooks)
@@ -945,6 +1180,10 @@ void
 Machine::mutexUnlock(ThreadId tid, Addr va)
 {
     Addr caddr = syncAddr(tid, va);
+    // Elided unlock: the speculative region commits here -- no
+    // lock-word store, no SyncManager release.
+    if (_hooks && _hooks->onMutexUnlock(tid, caddr))
+        return;
     if (_hooks)
         _hooks->onSyncRelease(tid);
     memOp(tid, _pcLockStore, caddr, true, 0, true);
@@ -965,6 +1204,7 @@ void
 Machine::barrierWait(ThreadId tid, Addr va)
 {
     Addr caddr = syncAddr(tid, va);
+    txnAbortIfActive(tid, TxnAbortReason::Nested);
     if (_hooks)
         _hooks->onSyncRelease(tid);
     memOp(tid, _pcLockCas, caddr, true, 1, true);
@@ -988,6 +1228,7 @@ Machine::condWait(ThreadId tid, Addr va, Addr mutex_va)
 {
     Addr caddr = syncAddr(tid, va);
     Addr cmutex = syncAddr(tid, mutex_va);
+    txnAbortIfActive(tid, TxnAbortReason::Nested);
     if (_hooks)
         _hooks->onSyncRelease(tid);
     memOp(tid, _pcLockCas, caddr, true, 1, true);
@@ -1000,6 +1241,7 @@ void
 Machine::condSignal(ThreadId tid, Addr va)
 {
     Addr caddr = syncAddr(tid, va);
+    txnAbortIfActive(tid, TxnAbortReason::Nested);
     memOp(tid, _pcLockStore, caddr, true, 0, true);
     _sync.condSignal(caddr);
 }
@@ -1008,6 +1250,7 @@ void
 Machine::condBroadcast(ThreadId tid, Addr va)
 {
     Addr caddr = syncAddr(tid, va);
+    txnAbortIfActive(tid, TxnAbortReason::Nested);
     memOp(tid, _pcLockStore, caddr, true, 0, true);
     _sync.condBroadcast(caddr);
 }
@@ -1023,6 +1266,10 @@ Machine::regStats(stats::StatGroup &group)
                     "simulated atomic operations");
     group.addScalar("bulkBytes", &_statBulkBytes,
                     "bytes moved by bulk operations");
+    group.addScalar("txnCommits", &_statTxnCommits,
+                    "speculative regions committed");
+    group.addScalar("txnAborts", &_statTxnAborts,
+                    "speculative regions aborted");
     _mmu.regStats(group);
     _cache.regStats(group);
     _sched.regStats(group);

@@ -17,6 +17,7 @@
 #ifndef TMI_CORE_MACHINE_HH
 #define TMI_CORE_MACHINE_HH
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
@@ -42,6 +43,20 @@ namespace tmi
 
 class Machine;
 class ThreadApi;
+
+/** Why a speculative region (lock elision, baselines/htm) aborted. */
+enum class TxnAbortReason : std::uint8_t
+{
+    None,           //!< no abort recorded
+    Conflict,       //!< remote-Modified hit observed inside the txn
+    RemoteConflict, //!< another thread's access hit this txn's sets
+    Capacity,       //!< bounded read/write set overflowed
+    Spurious,       //!< injected htm.spurious_abort fired
+    Nested,         //!< sync / bulk operation inside the txn
+};
+
+/** Human-readable name for @p reason. */
+const char *txnAbortReasonName(TxnAbortReason reason);
 
 /** Which allocator serves application memory. */
 enum class AllocatorKind
@@ -214,6 +229,31 @@ class RuntimeHooks
     {
         (void)first;
         (void)n;
+    }
+
+    /**
+     * A mutex at canonical address @p caddr is about to be acquired.
+     * Return true to ELIDE the acquisition: the runtime has opened a
+     * speculative region for @p tid and the machine skips both the
+     * lock-word traffic and the SyncManager acquire (baselines/htm).
+     */
+    virtual bool onMutexLock(ThreadId tid, Addr caddr)
+    {
+        (void)tid;
+        (void)caddr;
+        return false;
+    }
+
+    /**
+     * The matching unlock for @p caddr. Return true when the unlock
+     * is elided too -- i.e. the speculative region committed and no
+     * lock-word store or SyncManager release must happen.
+     */
+    virtual bool onMutexUnlock(ThreadId tid, Addr caddr)
+    {
+        (void)tid;
+        (void)caddr;
+        return false;
     }
 };
 
@@ -557,6 +597,66 @@ class Machine : public MemoryProvider
     void regionExit(ThreadId tid);
     /// @}
 
+    /** @name Bounded transactional execution (lock elision)
+     *
+     *  A transaction speculatively executes a lock-protected region:
+     *  every plain access inside it is tracked in bounded va-line
+     *  read/write sets, every store is undo-logged, and the fiber
+     *  stack is checkpointed at begin. Conflicts come from the MESI
+     *  simulator: a remote-Modified hit inside the txn, or any other
+     *  thread touching a line in the txn's sets (requester wins, so a
+     *  non-speculative access always defeats a speculative one),
+     *  aborts the txn -- memory is rolled back from the undo log and
+     *  control re-emerges from txnBegin() returning false. With no
+     *  transaction ever begun, every hook below is a single counter
+     *  test, so non-elision runs stay cycle-identical. */
+    /// @{
+    /**
+     * Open a speculative region for @p tid with the given set
+     * capacities (in cache lines).
+     *
+     * @retval true  fresh begin: the caller is now speculating.
+     * @retval false control arrived here via a rollback -- the txn
+     *               aborted (see txnAbortReason()); memory and the
+     *               fiber stack are back at their begin-time state.
+     */
+    bool txnBegin(ThreadId tid, unsigned read_lines,
+                  unsigned write_lines);
+
+    /** Commit @p tid's txn: speculative state becomes permanent. */
+    void txnCommit(ThreadId tid);
+
+    /**
+     * Abort @p tid's txn from inside it. Rolls back memory and
+     * rewinds the fiber; control re-emerges from txnBegin().
+     */
+    [[noreturn]] void txnAbortSelf(ThreadId tid, TxnAbortReason why);
+
+    /** Is @p tid currently speculating? */
+    bool txnActive(ThreadId tid) const;
+
+    /** Why @p tid's last txn aborted (None after a commit). */
+    TxnAbortReason txnAbortReason(ThreadId tid) const;
+
+    /**
+     * Did @p tid's current/last txn observe a conflicting remote
+     * store? By construction an observing txn aborts before commit;
+     * the chaos oracle checks this at commit time (liveness probes
+     * must not mask a safety regression).
+     */
+    bool txnConflictObserved(ThreadId tid) const;
+
+    /** Transactions committed / aborted machine-wide. */
+    std::uint64_t txnCommitCount() const
+    {
+        return static_cast<std::uint64_t>(_statTxnCommits.value());
+    }
+    std::uint64_t txnAbortCount() const
+    {
+        return static_cast<std::uint64_t>(_statTxnAborts.value());
+    }
+    /// @}
+
     /** Pure compute time on @p tid. */
     void compute(ThreadId tid, Cycles cycles)
     {
@@ -609,6 +709,15 @@ class Machine : public MemoryProvider
                          bool daemon, bool app_thread);
     /** Canonical sync address, issuing redirection load traffic. */
     Addr syncAddr(ThreadId tid, Addr va);
+    /** Abort @p tid's txn if one is active (sync/bulk inside it). */
+    void txnAbortIfActive(ThreadId tid, TxnAbortReason why);
+    /** Pre-access txn work: remote-abort conflicting txns, track the
+     *  line in @p tid's sets, fire capacity/spurious self-aborts. */
+    void txnPreAccess(ThreadId tid, Addr va, bool is_write);
+    /** Post-access txn work: a remote-Modified hit aborts the txn. */
+    void txnPostAccess(ThreadId tid, bool hitm);
+    /** Undo-log @p paddr's old bytes before an in-txn store. */
+    void txnTrackWrite(ThreadId tid, Addr paddr, unsigned width);
     /** Deterministic site key for an allocation by @p tid. */
     std::string makeSiteKey(ThreadId tid, const char *site);
     /** Record an application allocation in the log. */
@@ -646,6 +755,44 @@ class Machine : public MemoryProvider
     std::unordered_map<ThreadId, std::vector<ThreadId>> _joiners;
     std::unordered_map<Addr, Addr> _syncRedirect;
 
+    /** Per-thread speculative-execution state (lock elision). */
+    struct TxnState
+    {
+        struct Undo
+        {
+            Addr paddr = 0;
+            std::uint64_t old = 0;
+            unsigned width = 0;
+        };
+
+        bool active = false;
+        unsigned readCap = 0;
+        unsigned writeCap = 0;
+        /** Tracked va-lines (va >> lineShift); bounded, so linear. */
+        std::vector<Addr> readLines;
+        std::vector<Addr> writeLines;
+        /** Accounted line counts; htm.capacity_misaccount can make
+         *  these exceed the real set sizes. */
+        unsigned readCount = 0;
+        unsigned writeCount = 0;
+        std::vector<Undo> undo;
+        FiberCheckpoint ck;
+        TxnAbortReason lastAbort = TxnAbortReason::None;
+        bool conflictObserved = false;
+    };
+
+    /** Roll @p tx's undo log back (reverse order) and invalidate the
+     *  speculatively written lines from every private cache. */
+    void txnRollbackMemory(TxnState &tx);
+    /** Tear @p tx down as aborted (shared by self/remote aborts). */
+    void txnMarkAborted(TxnState &tx, TxnAbortReason why);
+
+    /** Indexed by tid; deque so references survive growth. */
+    std::deque<TxnState> _txns;
+    /** Machine-wide active-txn count: the single gate every txn hook
+     *  tests, so elision-off runs take no new work anywhere. */
+    unsigned _activeTxns = 0;
+
     AllocHook *_allocHook = nullptr;
     StaticLayoutTable _layout;
     std::vector<AllocationRecord> _allocLog;
@@ -664,6 +811,8 @@ class Machine : public MemoryProvider
     stats::Scalar _statMemOps;
     stats::Scalar _statAtomicOps;
     stats::Scalar _statBulkBytes;
+    stats::Scalar _statTxnCommits;
+    stats::Scalar _statTxnAborts;
 };
 
 /**

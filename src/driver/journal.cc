@@ -16,7 +16,7 @@ namespace
 
 /** File magic: format name + version byte. Bumping the version is a
  *  clean break -- old journals recover as empty, jobs just re-run. */
-constexpr char kMagic[8] = {'T', 'M', 'I', 'J', 'R', 'N', 'L', '3'};
+constexpr char kMagic[8] = {'T', 'M', 'I', 'J', 'R', 'N', 'L', '4'};
 
 /** Frames larger than this are treated as corruption, not records;
  *  a real record is a few hundred bytes of scalars and short
@@ -239,6 +239,9 @@ encodeRecord(const JournalRecord &rec)
     putU64(out, r.planRedirectedSites);
     putU64(out, r.planProfileHitms);
     putString(out, r.planText);
+    putU64(out, r.txnCommits);
+    putU64(out, r.txnAborts);
+    putU64(out, r.txnFallbackLocks);
     return out;
 }
 
@@ -309,6 +312,9 @@ decodeRecord(const std::string &payload, JournalRecord &out)
     r.planRedirectedSites = c.u64();
     r.planProfileHitms = c.u64();
     r.planText = c.str();
+    r.txnCommits = c.u64();
+    r.txnAborts = c.u64();
+    r.txnFallbackLocks = c.u64();
     // The payload must be exactly one record: trailing bytes mean a
     // framing bug or a foreign format, both grounds for rejection.
     return c.ok && c.pos == payload.size();

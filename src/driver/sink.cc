@@ -20,7 +20,8 @@ sweepCsvHeader()
            "cow_fallbacks,ladder_drops,params,requests,"
            "sojourn_p50,sojourn_p99,sojourn_p999,plan_sites,"
            "plan_applied,plan_padding_bytes,plan_redirected,"
-           "plan_profile_hitms";
+           "plan_profile_hitms,placement,txn_commits,txn_aborts,"
+           "abort_rate,fallback_locks";
 }
 
 namespace
@@ -62,13 +63,21 @@ sweepCsvRow(const JobResult &r)
     // result, so shards reproduce it bit-for-bit without journaling
     // the strings.
     std::string params = sanitize(canonicalParamText(run.params));
-    char buf[768];
+    // Abort rate as a fraction of txn attempts: the placement
+    // sensitivity tables compare this across policies.
+    std::uint64_t txn_tries =
+        ok ? r.run.txnCommits + r.run.txnAborts : 0;
+    double abort_rate =
+        txn_tries ? static_cast<double>(r.run.txnAborts) /
+                        static_cast<double>(txn_tries)
+                  : 0.0;
+    char buf[896];
     std::snprintf(
         buf, sizeof(buf),
         "%llu,%s,%s,%u,%llu,%llu,%s,%.4f,%llu,%s,%u,%s,"
         "%s,%d,%s,%llu,%.9f,%llu,%llu,%llu,%llu,%llu,"
         "%llu,%llu,%llu,%llu,%llu,%llu,%s,%llu,%.3f,%.3f,%.3f,"
-        "%llu,%llu,%llu,%llu,%llu",
+        "%llu,%llu,%llu,%llu,%llu,%s,%llu,%llu,%.4f,%llu",
         static_cast<unsigned long long>(r.job.id),
         run.workload.c_str(), treatmentName(run.treatment),
         run.threads, static_cast<unsigned long long>(run.scale),
@@ -107,6 +116,12 @@ sweepCsvRow(const JobResult &r)
         static_cast<unsigned long long>(ok ? r.run.planRedirectedSites
                                            : 0),
         static_cast<unsigned long long>(ok ? r.run.planProfileHitms
+                                           : 0),
+        placementName(run.placement),
+        static_cast<unsigned long long>(ok ? r.run.txnCommits : 0),
+        static_cast<unsigned long long>(ok ? r.run.txnAborts : 0),
+        abort_rate,
+        static_cast<unsigned long long>(ok ? r.run.txnFallbackLocks
                                            : 0));
     return buf;
 }

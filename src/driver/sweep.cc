@@ -62,6 +62,7 @@ SweepSpec::matrixSize() const
         return 0;
     std::uint64_t n = workloads.size();
     n *= treatments.empty() ? 1 : treatments.size();
+    n *= placements.empty() ? 1 : placements.size();
     n *= scales.empty() ? 1 : scales.size();
     n *= periods.empty() ? 1 : periods.size();
     n *= faultPoints.empty() ? 1 : faultPoints.size();
@@ -122,6 +123,8 @@ SweepSpec::validate() const
         probe.run.workload = workloads.front();
     if (!treatments.empty())
         probe.run.treatment = treatments.front();
+    if (!placements.empty())
+        probe.run.placement = placements.front();
     if (!scales.empty())
         probe.run.scale = scales.front();
     if (!periods.empty())
@@ -136,6 +139,7 @@ SweepSpec::expand() const
 {
     const auto wls = workloads;
     const auto trs = axisOr(treatments, base.run.treatment);
+    const auto pls = axisOr(placements, base.run.placement);
     const auto scs = axisOr(scales, base.run.scale);
     const auto pds = axisOr(periods, base.run.perfPeriod);
     const auto fps = axisOr(faultPoints, std::string{});
@@ -145,7 +149,8 @@ SweepSpec::expand() const
     std::vector<Job> jobs;
     jobs.reserve(matrixSize());
     for (const std::string &w : wls) {
-        for (Treatment t : trs) {
+      for (Treatment t : trs) {
+        for (PlacementPolicy pl : pls) {
             for (std::uint64_t sc : scs) {
                 for (std::uint64_t pd : pds) {
                     for (const std::string &fp : fps) {
@@ -156,6 +161,7 @@ SweepSpec::expand() const
                                 job.config = base;
                                 job.config.run.workload = w;
                                 job.config.run.treatment = t;
+                                job.config.run.placement = pl;
                                 job.config.run.scale = sc;
                                 job.config.run.perfPeriod = pd;
                                 job.config.run.seed = sd;
@@ -174,6 +180,7 @@ SweepSpec::expand() const
                 }
             }
         }
+      }
     }
     return jobs;
 }
@@ -279,6 +286,22 @@ parseTreatmentList(const std::string &csv,
 }
 
 bool
+parsePlacementList(const std::string &csv,
+                   std::vector<PlacementPolicy> &out, std::string &err)
+{
+    for (const std::string &item : splitList(csv)) {
+        const PlacementPolicy *p = tryParsePlacement(item);
+        if (!p) {
+            err = "unknown placement '" + item +
+                  "' (default, pack, arena, isolate)";
+            return false;
+        }
+        out.push_back(*p);
+    }
+    return true;
+}
+
+bool
 applySpecEntry(SweepSpec &spec, const std::string &key,
                const std::string &value, std::string &err)
 {
@@ -331,6 +354,8 @@ applySpecEntry(SweepSpec &spec, const std::string &key,
     }
     if (k == "treatments")
         return parseTreatmentList(v, spec.treatments, err);
+    if (k == "placements")
+        return parsePlacementList(v, spec.placements, err);
     if (k == "scales")
         return parseU64List(v, spec.scales, err);
     if (k == "periods")

@@ -78,6 +78,8 @@ struct SweepSpec
     std::vector<std::string> workloads;
     /** Empty = just base.run.treatment. */
     std::vector<Treatment> treatments;
+    /** Malloc-placement policies; empty = just base.run.placement. */
+    std::vector<PlacementPolicy> placements;
     /** Empty = just base.run.scale. */
     std::vector<std::uint64_t> scales;
     /** PEBS periods; empty = just base.run.perfPeriod. */
@@ -98,9 +100,9 @@ struct SweepSpec
 
     /**
      * Cross product in row-major axis order (workload outermost,
-     * then treatment, scale, period, fault point, fault rate, seed
-     * innermost), ids dense from 0. Call validate() first; expansion
-     * of an invalid spec is allowed but its jobs may fail.
+     * then treatment, placement, scale, period, fault point, fault
+     * rate, seed innermost), ids dense from 0. Call validate() first;
+     * expansion of an invalid spec is allowed but its jobs may fail.
      */
     std::vector<Job> expand() const;
 };
@@ -108,8 +110,8 @@ struct SweepSpec
 /** @name Spec text format
  *  One `key = value` per line; blank lines and #-comments ignored.
  *  List values are comma-separated. Keys: workloads, treatments,
- *  scales, periods, fault_points, fault_rates, seeds, threads,
- *  budget, interval, period, watchdog, monitor, seed, param.
+ *  placements, scales, periods, fault_points, fault_rates, seeds,
+ *  threads, budget, interval, period, watchdog, monitor, seed, param.
  *  A workloads item of the form `family:NAME` expands to every
  *  registered workload tagged with that family. `param = key=value`
  *  appends one workload knob to the base config (repeatable; applies
@@ -141,6 +143,11 @@ bool parseDoubleList(const std::string &csv, std::vector<double> &out,
 /** Parse a comma list of treatment names; false on an unknown one. */
 bool parseTreatmentList(const std::string &csv,
                         std::vector<Treatment> &out, std::string &err);
+
+/** Parse a comma list of placement names; false on an unknown one. */
+bool parsePlacementList(const std::string &csv,
+                        std::vector<PlacementPolicy> &out,
+                        std::string &err);
 /// @}
 
 } // namespace tmi::driver

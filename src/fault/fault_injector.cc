@@ -13,9 +13,9 @@ namespace
 
 /**
  * The canonical registry, in documentation order (perf, mem, ptsb,
- * sched, alloc). Adding a fault point means adding a faultpoint::
- * constant, an entry here, and the call-site query -- tests assert
- * the three stay in sync.
+ * sched, alloc, htm). Adding a fault point means adding a
+ * faultpoint:: constant, an entry here, and the call-site query --
+ * tests assert the three stay in sync.
  */
 constexpr FaultPointInfo kAllPoints[] = {
     {faultpoint::perfRingOverflow,
@@ -40,6 +40,12 @@ constexpr FaultPointInfo kAllPoints[] = {
      "allocator per-object metadata corrupted at free()"},
     {faultpoint::allocSizeClassExhausted,
      "a size class cannot refill its slab"},
+    {faultpoint::htmSpuriousAbort,
+     "a speculative region aborts with no architectural cause"},
+    {faultpoint::htmCapacityMisaccount,
+     "txn capacity accounting books a touched line twice"},
+    {faultpoint::htmFallbackStuck,
+     "the fallback path refuses the real lock and re-enters retry"},
 };
 
 } // namespace

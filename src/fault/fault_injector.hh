@@ -71,6 +71,16 @@ inline constexpr const char *allocMetadataCorrupt =
  *  exhaustion); the request falls back to the large-object path. */
 inline constexpr const char *allocSizeClassExhausted =
     "alloc.size_class_exhausted";
+/** A speculative region aborts with no architectural cause (the
+ *  hardware reserves the right; firmware erratas exercise it). */
+inline constexpr const char *htmSpuriousAbort = "htm.spurious_abort";
+/** Capacity accounting books a touched line twice: the txn aborts
+ *  earlier than its true read/write footprint warrants. */
+inline constexpr const char *htmCapacityMisaccount =
+    "htm.capacity_misaccount";
+/** The fallback path refuses the real lock and re-enters retry --
+ *  the livelock-by-abort failure the abort-storm watchdog guards. */
+inline constexpr const char *htmFallbackStuck = "htm.fallback_stuck";
 } // namespace faultpoint
 
 /** One entry of the canonical fault-point registry. */

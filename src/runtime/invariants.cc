@@ -41,6 +41,15 @@ InvariantProbe::afterUnrepair(const char *who)
     }
 }
 
+void
+InvariantProbe::afterTxnCommit(const char *who, bool conflict_observed)
+{
+    if (conflict_observed) {
+        violation(who, "txn committed after observing a conflicting "
+                       "remote store");
+    }
+}
+
 std::uint64_t
 InvariantProbe::epochBefore() const
 {

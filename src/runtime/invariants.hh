@@ -51,6 +51,16 @@ class InvariantProbe
      */
     void afterUnrepair(const char *who);
 
+    /**
+     * After a transactional commit: the region must not have observed
+     * a conflicting remote store (an observing txn aborts instead; a
+     * commit that saw one published state another thread raced on).
+     * The htm runtime probes this on every commit -- it is the safety
+     * half of a backend whose chaos verdicts are otherwise about
+     * liveness.
+     */
+    void afterTxnCommit(const char *who, bool conflict_observed);
+
     /** Epoch value to capture before a ladder transition... */
     std::uint64_t epochBefore() const;
 

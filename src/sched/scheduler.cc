@@ -1,5 +1,24 @@
 #include "scheduler.hh"
 
+#include <cstring>
+
+// Checkpoint capture/apply copy raw fiber stacks. Under ASan those
+// slices straddle stack redzones -- the poison lives in shadow
+// memory, not in the bytes themselves -- so the intercepted memcpy
+// would flag the copy, and a restored stack would run against stale
+// shadow describing the aborted execution's frames. Unpoison around
+// the copies; resumed frames re-poison themselves on entry.
+#ifndef __has_feature
+#define __has_feature(x) 0
+#endif
+#if defined(__SANITIZE_ADDRESS__) || __has_feature(address_sanitizer)
+#include <sanitizer/asan_interface.h>
+#define TMI_ASAN_UNPOISON(ptr, bytes)                                  \
+    __asan_unpoison_memory_region((ptr), (bytes))
+#else
+#define TMI_ASAN_UNPOISON(ptr, bytes) ((void)0)
+#endif
+
 namespace tmi
 {
 
@@ -133,6 +152,19 @@ SimScheduler::run(Cycles max_cycles)
         _current = next;
         ++_statSwitches;
         fiberSwitch(_schedCtx, next->_ctx);
+        // Fiber services: the thread switched out asking us to copy
+        // its (now suspended) stack, then be resumed immediately --
+        // no scheduling decision, no time charge.
+        while (_service != FiberService::None) {
+            FiberService svc = _service;
+            _service = FiberService::None;
+            if (svc == FiberService::Checkpoint)
+                captureCheckpoint(*next, *_serviceCk);
+            else
+                applyCheckpoint(*next, *_serviceCk);
+            _serviceCk = nullptr;
+            fiberSwitch(_schedCtx, next->_ctx);
+        }
         _current = nullptr;
     }
 
@@ -226,6 +258,88 @@ SimScheduler::penalize(ThreadId tid, Cycles cycles)
 }
 
 void
+SimScheduler::checkpointCurrent(FiberCheckpoint &ck)
+{
+    TMI_ASSERT(_current, "checkpoint outside a simulated thread");
+    SimThread *self = _current;
+    _service = FiberService::Checkpoint;
+    _serviceCk = &ck;
+    // The run loop captures while this frame is suspended, then
+    // switches straight back here. A later restore of @p ck resumes
+    // at exactly this point too -- callers disambiguate via
+    // ck.resumes (see FiberCheckpoint).
+    fiberSwitch(self->_ctx, _schedCtx);
+}
+
+void
+SimScheduler::restoreCurrent(FiberCheckpoint &ck)
+{
+    TMI_ASSERT(_current, "restore outside a simulated thread");
+    TMI_ASSERT(ck.valid(), "restore from an empty checkpoint");
+    _service = FiberService::Restore;
+    _serviceCk = &ck;
+    // This frame is abandoned: the run loop rewinds the stack and
+    // resumes the checkpoint's capture point instead.
+    fiberSwitch(_current->_ctx, _schedCtx);
+    panic("resumed past a fiber restore");
+}
+
+void
+SimScheduler::hijackThread(ThreadId tid, FiberCheckpoint &ck)
+{
+    SimThread &t = thread(tid);
+    TMI_ASSERT(&t != _current, "self-hijack; use restoreCurrent");
+    TMI_ASSERT(t._state == SimThread::State::Ready ||
+                   t._state == SimThread::State::Blocked,
+               "hijack of a thread that is not suspended");
+    TMI_ASSERT(ck.valid(), "hijack from an empty checkpoint");
+    // The victim is suspended: its register frame lives inside the
+    // saved slice, so overwriting stack + context is a complete
+    // rewind. It resumes at its capture point when next scheduled.
+    applyCheckpoint(t, ck);
+}
+
+void
+SimScheduler::captureCheckpoint(SimThread &t, FiberCheckpoint &ck)
+{
+    std::uint8_t *base = t._stack.get();
+#if TMI_FAST_FIBERS
+    // Live slice: [saved sp, stack top). Everything below sp is dead.
+    auto *sp = static_cast<std::uint8_t *>(t._ctx.sp);
+    TMI_ASSERT(sp >= base && sp <= base + t._stackBytes,
+               "fiber sp outside its stack");
+    std::size_t offset = static_cast<std::size_t>(sp - base);
+#else
+    // ucontext gives no portable stack pointer: save the whole stack.
+    std::size_t offset = 0;
+#endif
+    std::size_t bytes = t._stackBytes - offset;
+    if (!ck.data || bytes > ck.bytes)
+        ck.data = std::make_unique<std::uint8_t[]>(bytes);
+    TMI_ASAN_UNPOISON(base + offset, bytes);
+    std::memcpy(ck.data.get(), base + offset, bytes);
+    ck.bytes = bytes;
+    ck.offset = offset;
+    ck.ctx = t._ctx;
+    ++_statCheckpoints;
+}
+
+void
+SimScheduler::applyCheckpoint(SimThread &t, FiberCheckpoint &ck)
+{
+    TMI_ASSERT(ck.offset + ck.bytes == t._stackBytes,
+               "checkpoint does not fit this thread's stack");
+    // The whole stack, not just the restored slice: frames the
+    // aborted execution formed below the capture point left stale
+    // poison in the dead zone too.
+    TMI_ASAN_UNPOISON(t._stack.get(), t._stackBytes);
+    std::memcpy(t._stack.get() + ck.offset, ck.data.get(), ck.bytes);
+    t._ctx = ck.ctx;
+    ++ck.resumes;
+    ++_statRestores;
+}
+
+void
 SimScheduler::finishCurrent()
 {
     SimThread *self = _current;
@@ -246,6 +360,10 @@ SimScheduler::regStats(stats::StatGroup &group)
                     "fiber switches performed");
     group.addScalar("threadsSpawned", &_statSpawns,
                     "simulated threads created");
+    group.addScalar("checkpoints", &_statCheckpoints,
+                    "fiber continuations captured");
+    group.addScalar("restores", &_statRestores,
+                    "fiber rollbacks applied");
 }
 
 } // namespace tmi

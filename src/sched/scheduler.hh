@@ -38,6 +38,41 @@ enum class RunOutcome
     Deadlock,  //!< every live thread is blocked
 };
 
+/**
+ * A captured fiber continuation: the register frame plus the live
+ * slice of the thread's stack at capture time. Restoring one rewinds
+ * the thread to the capture point with every local intact -- the
+ * rollback primitive behind transactional aborts (baselines/htm).
+ *
+ * Arrival detection: a caller that latches `resumes` in a LOCAL
+ * variable before capturing can tell a rollback from a plain return,
+ * because the local is part of the snapshot (and therefore rewound)
+ * while the heap-resident counter is not:
+ *
+ *   std::uint64_t before = ck.resumes;   // saved in the snapshot
+ *   sched.checkpointCurrent(ck);
+ *   bool rolled_back = ck.resumes != before;
+ */
+struct FiberCheckpoint
+{
+    FiberContext ctx;                     //!< suspended register frame
+    std::unique_ptr<std::uint8_t[]> data; //!< saved stack slice
+    std::size_t bytes = 0;                //!< slice length
+    std::size_t offset = 0;               //!< slice start from stack base
+    /** Restores performed from this checkpoint (see above). */
+    std::uint64_t resumes = 0;
+
+    bool valid() const { return bytes != 0; }
+
+    void
+    reset()
+    {
+        data.reset();
+        bytes = 0;
+        offset = 0;
+    }
+};
+
 /** One simulated thread (a ucontext fiber with a cycle clock). */
 class SimThread
 {
@@ -157,6 +192,33 @@ class SimScheduler
      */
     void penalize(ThreadId tid, Cycles cycles);
 
+    /** @name Fiber checkpoint / rollback (transactional aborts)
+     *  The scheduler performs the stack copies itself, on the host
+     *  stack, while the fiber is suspended -- a thread can therefore
+     *  snapshot or rewind its *own* stack safely. None of these
+     *  advance simulated time; callers charge costs explicitly. */
+    /// @{
+    /**
+     * Capture the current thread's continuation into @p ck and
+     * return. Call only from inside a simulated thread.
+     */
+    void checkpointCurrent(FiberCheckpoint &ck);
+
+    /**
+     * Rewind the current thread to @p ck. Control resumes at the
+     * checkpointCurrent() capture point (with `ck.resumes` bumped),
+     * never at this call site.
+     */
+    [[noreturn]] void restoreCurrent(FiberCheckpoint &ck);
+
+    /**
+     * Rewind suspended thread @p tid to @p ck (a remote abort). The
+     * victim must not be the current thread (use restoreCurrent) or
+     * Finished; when next scheduled it resumes at its capture point.
+     */
+    void hijackThread(ThreadId tid, FiberCheckpoint &ck);
+    /// @}
+
     /** Thread accessor (valid for any spawned tid). */
     SimThread &thread(ThreadId tid);
 
@@ -176,10 +238,22 @@ class SimScheduler
     void regStats(stats::StatGroup &group);
 
   private:
+    /** What a suspended thread asked the run loop to do before being
+     *  resumed (fiber services run on the host stack, where copying
+     *  the requester's own stack is safe). */
+    enum class FiberService : std::uint8_t
+    {
+        None,
+        Checkpoint, //!< capture into _serviceCk, switch straight back
+        Restore,    //!< rewind to _serviceCk, resume at its capture
+    };
+
     static void trampoline(void *arg);
     void finishCurrent();
     void switchToScheduler();
     SimThread *pickNext(Cycles &runner_up) const;
+    void captureCheckpoint(SimThread &t, FiberCheckpoint &ck);
+    void applyCheckpoint(SimThread &t, FiberCheckpoint &ck);
 
     Cycles _quantum;
     std::vector<std::unique_ptr<SimThread>> _threads;
@@ -191,9 +265,13 @@ class SimScheduler
     std::size_t _liveNonDaemon = 0;
     Cycles _maxClock = 0;
     const std::atomic<bool> *_abort = nullptr;
+    FiberService _service = FiberService::None;
+    FiberCheckpoint *_serviceCk = nullptr;
 
     stats::Scalar _statSwitches;
     stats::Scalar _statSpawns;
+    stats::Scalar _statCheckpoints;
+    stats::Scalar _statRestores;
 };
 
 } // namespace tmi

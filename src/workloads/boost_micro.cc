@@ -6,6 +6,30 @@ namespace tmi
 // ---------------------------------------------------------------------
 // spinlockpool
 
+SpinlockPoolWorkload::SpinlockPoolWorkload(
+    const WorkloadParams &params)
+    : Workload(params)
+{
+    // Direct construction (tests, benches) skips the driver's param
+    // resolution; fall back to the schema defaults.
+    if (_params.extra.empty()) {
+        std::string err;
+        resolveParams(schema(), {}, _params.extra, err);
+    }
+    _smallSlots = _params.extra.getInt("small_slots") != 0;
+}
+
+ParamSchema
+SpinlockPoolWorkload::schema()
+{
+    ParamSchema s;
+    s.intKnob("small_slots", 0,
+              "1 = each worker mallocs its own 8-byte payload slot, "
+              "letting the allocator's placement policy decide line "
+              "sharing (malloc-placement sweeps)");
+    return s;
+}
+
 void
 SpinlockPoolWorkload::init(Machine &machine)
 {
@@ -40,10 +64,18 @@ SpinlockPoolWorkload::main(ThreadApi &api)
     for (unsigned i = 0; i < poolSize; ++i)
         api.mutexInit(_locks + i * _lockStride);
 
-    // The data the locks protect: padded, so the contention under
-    // study is purely the lock array's.
-    _data = api.memalign(lineBytes, lineBytes * threads);
-    api.fill(_data, 0, lineBytes * threads);
+    // The data the locks protect. Default: padded, so the contention
+    // under study is purely the lock array's. small_slots mode skips
+    // this -- each worker mallocs its own 8-byte slot instead, and
+    // whether those slots share lines is entirely the allocator's
+    // placement decision (pack vs arena vs isolate).
+    _slots.assign(threads, 0);
+    if (!_smallSlots) {
+        _data = api.memalign(lineBytes, lineBytes * threads);
+        api.fill(_data, 0, lineBytes * threads);
+        for (unsigned t = 0; t < threads; ++t)
+            _slots[t] = _data + t * lineBytes;
+    }
 
     std::vector<ThreadId> workers;
     for (unsigned t = 0; t < threads; ++t) {
@@ -63,7 +95,15 @@ SpinlockPoolWorkload::worker(ThreadApi &api, unsigned t)
     // makes neighbouring locks' CAS traffic collide.
     unsigned my_lock = (t * 7) % poolSize;
     Addr lock = _locks + my_lock * _lockStride;
-    Addr slot = _data + t * lineBytes;
+    if (_smallSlots) {
+        // Worker-side allocation is the point: a per-thread-arena
+        // allocator serves this from the worker's own slab (isolated
+        // lines), a shared-arena allocator packs the slots together.
+        Addr slot = api.malloc(8);
+        api.fill(slot, 0, 8);
+        _slots[t] = slot;
+    }
+    Addr slot = _slots[t];
     for (std::uint64_t i = 0; i < _opsPerThread; ++i) {
         api.mutexLock(lock);
         // Mostly-read critical sections (weak_ptr lock checks);
@@ -80,7 +120,7 @@ SpinlockPoolWorkload::validate(Machine &machine)
 {
     std::uint64_t total = 0;
     for (unsigned t = 0; t < _params.threads; ++t)
-        total += machine.peekShared(_data + t * lineBytes, 8);
+        total += machine.peekShared(_slots[t], 8);
     std::uint64_t writes_per_thread = (_opsPerThread + 15) / 16;
     return total == writes_per_thread * _params.threads;
 }
@@ -90,8 +130,7 @@ SpinlockPoolWorkload::resultDigest(Machine &machine)
 {
     std::uint64_t h = digestSeed;
     for (unsigned t = 0; t < _params.threads; ++t)
-        h = digestWord(h, machine.peekShared(_data + t * lineBytes,
-                                             8));
+        h = digestWord(h, machine.peekShared(_slots[t], 8));
     return digestFinalize(h);
 }
 

@@ -29,9 +29,12 @@ namespace tmi
 class SpinlockPoolWorkload : public Workload
 {
   public:
-    using Workload::Workload;
+    explicit SpinlockPoolWorkload(const WorkloadParams &params);
 
     const char *name() const override { return "spinlockpool"; }
+
+    /** The declared knobs (registered in WorkloadInfo::schema). */
+    static ParamSchema schema();
 
     void init(Machine &machine) override;
     void main(ThreadApi &api) override;
@@ -48,6 +51,15 @@ class SpinlockPoolWorkload : public Workload
     Addr _data = 0;      //!< per-thread payload slots (padded)
     std::uint64_t _lockStride = 0;
     std::uint64_t _opsPerThread = 0;
+    /** small_slots=1: each worker mallocs its own 8-byte payload
+     *  slot, so the allocator's placement policy decides whether
+     *  slots share cache lines (the malloc-placement sweep's knob;
+     *  0 keeps the padded static layout and the legacy goldens). */
+    bool _smallSlots = false;
+    /** Worker-allocated slot addresses, indexed by worker (host
+     *  bookkeeping for validate/digest; written before any lock
+     *  traffic starts). */
+    std::vector<Addr> _slots;
     static constexpr unsigned poolSize = 41;
 };
 

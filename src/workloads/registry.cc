@@ -117,8 +117,19 @@ buildRegistry()
 
     reg.push_back({"leveldb", makeFactory<LevelDbWorkload>(), true,
                    true, true});
-    reg.push_back({"spinlockpool", makeFactory<SpinlockPoolWorkload>(),
-                   true, true, false});
+    {
+        // Declares small_slots (the malloc-placement sweep's knob),
+        // so it needs the schema field the aggregate inits leave
+        // defaulted.
+        WorkloadInfo info;
+        info.name = "spinlockpool";
+        info.make = makeFactory<SpinlockPoolWorkload>();
+        info.knownFalseSharing = true;
+        info.inOverheadSet = true;
+        info.usesAtomicsOrAsm = false;
+        info.schema = SpinlockPoolWorkload::schema();
+        reg.push_back(std::move(info));
+    }
     reg.push_back({"shptr-relaxed", makeFactory<SharedPtrWorkload>(false),
                    true, true, true});
     reg.push_back({"shptr-lock", makeFactory<SharedPtrWorkload>(true),

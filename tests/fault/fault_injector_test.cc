@@ -183,7 +183,7 @@ TEST(FaultInjector, StatsCountAcrossPoints)
 TEST(FaultInjector, RegistryListsEveryInjectablePoint)
 {
     auto points = FaultInjector::allPoints();
-    ASSERT_EQ(points.size(), 11u);
+    ASSERT_EQ(points.size(), 14u);
     // Every name is unique, has a summary, and round-trips through
     // arm(): the registry IS the set of armable points.
     std::set<std::string> names;
@@ -206,7 +206,10 @@ TEST(FaultInjector, RegistryListsEveryInjectablePoint)
           faultpoint::ptsbOversizeCommit,
           faultpoint::schedStopTimeout,
           faultpoint::allocMetadataCorrupt,
-          faultpoint::allocSizeClassExhausted}) {
+          faultpoint::allocSizeClassExhausted,
+          faultpoint::htmSpuriousAbort,
+          faultpoint::htmCapacityMisaccount,
+          faultpoint::htmFallbackStuck}) {
         EXPECT_TRUE(names.count(p)) << p << " missing from registry";
     }
 }

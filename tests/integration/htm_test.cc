@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Integration tests for the htm-elide baseline: speculative lock
+ * elision over the MESI simulator, the abort/retry/fallback state
+ * machine, the abort-storm watchdog with RecoverUp, and the
+ * malloc-placement sensitivity axis.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/config.hh"
+#include "core/experiment.hh"
+
+namespace tmi
+{
+
+namespace
+{
+
+ExperimentBuilder
+htmCell(const std::string &workload, unsigned threads = 4)
+{
+    ExperimentBuilder b;
+    b.workload(workload)
+        .treatment(Treatment::HtmElide)
+        .threads(threads)
+        .scale(4)
+        .analysisInterval(500'000)
+        .budget(30'000'000'000ULL);
+    return b;
+}
+
+RunResult
+pthreadsRun(const std::string &workload, unsigned threads = 4)
+{
+    ExperimentBuilder b;
+    b.workload(workload)
+        .treatment(Treatment::Pthreads)
+        .threads(threads)
+        .scale(4)
+        .analysisInterval(500'000)
+        .budget(30'000'000'000ULL);
+    return b.run();
+}
+
+} // namespace
+
+TEST(HtmElide, ElidesSpinlockPoolAndRemovesTheHitms)
+{
+    // The packed spinlock array false-shares on every CAS; with the
+    // locks elided nobody ever writes a lock word, and the padded
+    // payload slots are thread-private -- coherence traffic vanishes.
+    RunResult base = pthreadsRun("spinlockpool");
+    RunResult htm = htmCell("spinlockpool").run();
+    ASSERT_EQ(htm.outcome, RunOutcome::Completed);
+    ASSERT_TRUE(htm.valid);
+    EXPECT_GT(htm.txnCommits, 0u);
+    EXPECT_EQ(htm.txnFallbackLocks, 0u);
+    EXPECT_LT(htm.hitmEvents * 10, base.hitmEvents)
+        << "elision should remove nearly all HITM traffic";
+    EXPECT_EQ(htm.resultDigest, base.resultDigest)
+        << "elision must not change the computation";
+}
+
+TEST(HtmElide, ContendedLockDegradesThatSiteAndStaysCorrect)
+{
+    // shptr-lock's refcount mutex is truly (not falsely) shared:
+    // speculation on it aborts, the fallback rung engages, and the
+    // storm watchdog eventually pins that one site to lock-only.
+    // The answer must stay byte-correct throughout, and eliding the
+    // uncontended stretches still cuts coherence traffic.
+    RunResult base = pthreadsRun("shptr-lock");
+    RunResult htm = htmCell("shptr-lock").run();
+    ASSERT_EQ(htm.outcome, RunOutcome::Completed);
+    ASSERT_TRUE(htm.valid);
+    EXPECT_GT(htm.txnCommits, 0u);
+    EXPECT_GT(htm.txnAborts, 0u);
+    EXPECT_GT(htm.txnFallbackLocks, 0u);
+    EXPECT_LE(htm.hitmEvents, base.hitmEvents);
+    EXPECT_EQ(htm.resultDigest, base.resultDigest);
+    EXPECT_EQ(htm.invariantViolations, 0u)
+        << "no txn may commit after observing a conflict";
+}
+
+TEST(HtmElide, SpuriousAbortBurstsAreRetriedWithoutLivelock)
+{
+    // Clustered spurious aborts (the TSX errata model): short bursts
+    // kill a few consecutive attempts, then clear. Bursts below the
+    // retry budget must be absorbed by backoff-and-retry alone --
+    // commits keep flowing, the run finishes, and the answer is
+    // byte-correct. Livelock-by-abort is the failure mode under test.
+    RunResult base = pthreadsRun("spinlockpool");
+    FaultSpec burst;
+    burst.burstLen = 6;
+    burst.burstPeriod = 3000;
+    RunResult htm = htmCell("spinlockpool")
+                        .fault(faultpoint::htmSpuriousAbort, burst)
+                        .run();
+    ASSERT_EQ(htm.outcome, RunOutcome::Completed) << "no livelock";
+    ASSERT_TRUE(htm.valid);
+    EXPECT_GT(htm.txnAborts, 0u);
+    EXPECT_GT(htm.txnCommits, 0u) << "clear stretches still elide";
+    EXPECT_EQ(htm.resultDigest, base.resultDigest);
+}
+
+TEST(HtmElide, AbortStormTripsTheWatchdogThenRecoversUp)
+{
+    // A hard spurious-abort window early in the run: every entry
+    // burns its retry budget, falls back, and the watchdog trips the
+    // site to lock-only (bounded work per entry -- no livelock).
+    // After the window ends and the site stays quiet for the
+    // configured number of storm windows, RecoverUp re-arms elision
+    // and commits resume.
+    RobustnessConfig rc;
+    rc.recoverUpWindows = 1;
+    RunResult htm = htmCell("spinlockpool", 2)
+                        .scale(8)
+                        .robustness(rc)
+                        .fault(faultpoint::htmSpuriousAbort,
+                               FaultSpec::always().inWindow(0, 400'000))
+                        .run();
+    ASSERT_EQ(htm.outcome, RunOutcome::Completed);
+    ASSERT_TRUE(htm.valid);
+    EXPECT_GT(htm.txnFallbackLocks, 0u) << "fallback rung engaged";
+    EXPECT_GE(htm.watchdogFlushes, 1u) << "storm watchdog tripped";
+    EXPECT_GE(htm.ladderDrops, 1u);
+    EXPECT_GE(htm.ladderRecovers, 1u) << "quiet site must recover";
+    EXPECT_GT(htm.txnCommits, 0u) << "elision resumed after recovery";
+}
+
+TEST(HtmElide, WatchdogOffIsBoundedByRetriesAlone)
+{
+    // With the watchdog disabled the same storm still terminates:
+    // maxRetries bounds every entry, each falls back to the real
+    // lock. Degraded throughput, never livelock.
+    RunResult htm = htmCell("spinlockpool", 2)
+                        .watchdog(0)
+                        .fault(faultpoint::htmSpuriousAbort,
+                               FaultSpec::always().inWindow(0, 400'000))
+                        .run();
+    ASSERT_EQ(htm.outcome, RunOutcome::Completed);
+    ASSERT_TRUE(htm.valid);
+    EXPECT_GT(htm.txnFallbackLocks, 0u);
+    EXPECT_EQ(htm.watchdogFlushes, 0u);
+}
+
+TEST(HtmElide, PlacementPolicyDrivesTheAbortRate)
+{
+    // The malloc-placement axis: with each worker malloc'ing its own
+    // 8-byte slot, a packed shared arena puts the slots on common
+    // lines (txn conflicts -> aborts) while per-thread arenas keep
+    // them apart. The abort-rate response must be monotone:
+    // pack >= arena >= isolate.
+    auto run = [](PlacementPolicy p) {
+        return htmCell("spinlockpool")
+            .param("small_slots", "1")
+            .placement(p)
+            .run();
+    };
+    RunResult pack = run(PlacementPolicy::Pack);
+    RunResult arena = run(PlacementPolicy::Arena);
+    RunResult isolate = run(PlacementPolicy::Isolate);
+    for (const RunResult *r : {&pack, &arena, &isolate}) {
+        ASSERT_EQ(r->outcome, RunOutcome::Completed);
+        ASSERT_TRUE(r->valid);
+    }
+    auto rate = [](const RunResult &r) {
+        std::uint64_t tries = r.txnCommits + r.txnAborts;
+        return tries ? static_cast<double>(r.txnAborts) / tries : 0.0;
+    };
+    EXPECT_GT(rate(pack), rate(arena));
+    EXPECT_GE(rate(arena), rate(isolate));
+    EXPECT_GT(pack.txnFallbackLocks, 0u)
+        << "packed slots should contend hard enough to fall back";
+}
+
+TEST(HtmElide, PlacementAxisIsRejectedForShmTreatments)
+{
+    // The shm-backed treatments own their allocator policy; the
+    // placement axis must not silently fight it.
+    ExperimentBuilder b;
+    b.workload("spinlockpool")
+        .treatment(Treatment::TmiProtect)
+        .placement(PlacementPolicy::Pack);
+    EXPECT_FALSE(b.check().empty());
+}
+
+} // namespace tmi

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Unit tests for the Machine's bounded-transaction engine: commit
+ * permanence, abort rollback (memory and stack), the MESI-derived
+ * conflict signals, capacity accounting, and the commit-time safety
+ * oracle. The htm-elide backend is built entirely on this surface.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/machine.hh"
+#include "runtime/invariants.hh"
+
+namespace tmi
+{
+
+namespace
+{
+
+struct TxnFixture : public ::testing::Test
+{
+    TxnFixture() : machine(MachineConfig{})
+    {
+        pc_load = machine.instructions().define("txn.load",
+                                                MemKind::Load, 8);
+        pc_store = machine.instructions().define("txn.store",
+                                                 MemKind::Store, 8);
+    }
+
+    RunOutcome
+    runAs(std::function<void(ThreadApi &)> fn)
+    {
+        machine.spawnThread("test", std::move(fn));
+        return machine.sched().run(10'000'000'000ULL);
+    }
+
+    Machine machine;
+    Addr pc_load = 0, pc_store = 0;
+};
+
+} // namespace
+
+TEST_F(TxnFixture, CommitMakesSpeculativeStoresPermanent)
+{
+    runAs([&](ThreadApi &api) {
+        Addr a = api.malloc(64);
+        api.store(pc_store, a, 7);
+        ASSERT_TRUE(api.machine().txnBegin(api.tid(), 8, 8));
+        api.store(pc_store, a, 42);
+        api.machine().txnCommit(api.tid());
+        EXPECT_EQ(api.load(pc_load, a), 42u);
+    });
+    EXPECT_EQ(machine.txnCommitCount(), 1u);
+    EXPECT_EQ(machine.txnAbortCount(), 0u);
+}
+
+TEST_F(TxnFixture, SelfAbortRollsBackMemoryAndRewindsTheStack)
+{
+    runAs([&](ThreadApi &api) {
+        Addr a = api.malloc(64);
+        api.store(pc_store, a, 7);
+        // `tries` is on the fiber stack, so the rollback rewinds it
+        // to its begin-time value -- progress across retries must be
+        // made on the abort path, the way the htm retry loop bumps
+        // its attempt counter only after txnBegin returns false.
+        unsigned tries = 0;
+        if (api.machine().txnBegin(api.tid(), 8, 8)) {
+            ++tries;
+            api.store(pc_store, a, 42);
+            api.machine().txnAbortSelf(api.tid(),
+                                       TxnAbortReason::Spurious);
+            FAIL() << "txnAbortSelf must not return";
+        }
+        EXPECT_EQ(api.machine().txnAbortReason(api.tid()),
+                  TxnAbortReason::Spurious);
+        EXPECT_EQ(tries, 0u) << "stack locals rewind to begin time";
+        EXPECT_EQ(api.load(pc_load, a), 7u)
+            << "speculative store must be undone";
+    });
+    EXPECT_EQ(machine.txnCommitCount(), 0u);
+    EXPECT_EQ(machine.txnAbortCount(), 1u);
+}
+
+TEST_F(TxnFixture, RemoteStoreAbortsTheSpeculatingReader)
+{
+    // Requester wins: a plain store into a speculative read set
+    // hijacks the speculator back to its begin point.
+    Addr a = 0;
+    bool aborted = false;
+    runAs([&](ThreadApi &api) {
+        a = api.malloc(64);
+        api.store(pc_store, a, 1);
+        ThreadId reader = api.spawn("reader", [&](ThreadApi &rapi) {
+            // Warm the line to Shared first: a transactional hit on
+            // the writer's still-Modified copy would be a Conflict
+            // abort of our own making, not the remote kill under
+            // test.
+            rapi.load(pc_load, a);
+            if (rapi.machine().txnBegin(rapi.tid(), 8, 8)) {
+                rapi.load(pc_load, a);
+                // Spin inside the txn until the writer's store lands.
+                for (int i = 0; i < 1000; ++i)
+                    rapi.machine().compute(rapi.tid(), 50);
+                rapi.machine().txnCommit(rapi.tid());
+                return;
+            }
+            aborted = true;
+            EXPECT_EQ(rapi.machine().txnAbortReason(rapi.tid()),
+                      TxnAbortReason::RemoteConflict);
+        });
+        api.machine().compute(api.tid(), 500);
+        api.store(pc_store, a, 2);
+        api.join(reader);
+    });
+    EXPECT_TRUE(aborted);
+}
+
+TEST_F(TxnFixture, WriteSetOverflowAbortsWithCapacity)
+{
+    runAs([&](ThreadApi &api) {
+        Addr a = api.malloc(4096);
+        api.fill(a, 0, 4096);
+        if (api.machine().txnBegin(api.tid(), 8, 2)) {
+            api.store(pc_store, a, 1);
+            api.store(pc_store, a + 64, 2);
+            api.store(pc_store, a + 128, 3); // third line: over cap
+            api.machine().txnCommit(api.tid());
+            FAIL() << "capacity overflow must abort";
+        }
+        EXPECT_EQ(api.machine().txnAbortReason(api.tid()),
+                  TxnAbortReason::Capacity);
+        EXPECT_EQ(api.load(pc_load, a), 0u);
+        EXPECT_EQ(api.load(pc_load, a + 64), 0u);
+    });
+}
+
+TEST_F(TxnFixture, NestedSyncInsideATxnAborts)
+{
+    runAs([&](ThreadApi &api) {
+        Addr lock = api.malloc(64);
+        api.mutexInit(lock);
+        if (api.machine().txnBegin(api.tid(), 8, 8)) {
+            api.mutexLock(lock); // no hooks installed: plain lock
+            FAIL() << "nested sync must abort the txn";
+        }
+        EXPECT_EQ(api.machine().txnAbortReason(api.tid()),
+                  TxnAbortReason::Nested);
+    });
+}
+
+TEST_F(TxnFixture, CommitAfterObservedConflictTripsTheOracle)
+{
+    // The safety invariant behind the chaos liveness cells: a txn
+    // that saw a conflicting remote store must never commit. The
+    // machine's own paths always abort first, so drive the probe
+    // directly with the contradictory claim.
+    InvariantProbe probe(machine);
+    probe.afterTxnCommit("test", false);
+    EXPECT_EQ(probe.violations(), 0u);
+    probe.afterTxnCommit("test", true);
+    EXPECT_EQ(probe.violations(), 1u);
+}
+
+} // namespace tmi

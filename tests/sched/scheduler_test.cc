@@ -163,6 +163,81 @@ TEST(Scheduler, PenalizeAddsTime)
     EXPECT_GE(sched.maxClock(), 9000u);
 }
 
+TEST(Scheduler, CheckpointRestoreRewindsTheStackNotTheHeap)
+{
+    SimScheduler sched;
+    FiberCheckpoint ck;
+    int passes = 0; // host-resident: survives the rewind
+    sched.spawn("t", [&] {
+        int local = 0; // fiber-stack resident: rewound
+        std::uint64_t before = ck.resumes;
+        sched.checkpointCurrent(ck);
+        bool rolled_back = ck.resumes != before;
+        ++passes;
+        ++local;
+        if (!rolled_back) {
+            EXPECT_EQ(local, 1);
+            sched.restoreCurrent(ck);
+            FAIL() << "restoreCurrent must not return";
+        }
+        EXPECT_EQ(local, 1) << "stack locals must rewind to capture";
+    });
+    EXPECT_EQ(sched.run(), RunOutcome::Completed);
+    EXPECT_EQ(passes, 2) << "heap state must survive the rewind";
+    EXPECT_EQ(ck.resumes, 1u);
+}
+
+TEST(Scheduler, HijackRewindsASuspendedThread)
+{
+    SimScheduler sched;
+    FiberCheckpoint ck;
+    bool rewound = false;
+    ThreadId victim = sched.spawn("victim", [&] {
+        std::uint64_t before = ck.resumes;
+        sched.checkpointCurrent(ck);
+        if (ck.resumes != before) {
+            rewound = true; // the remote abort landed
+            return;
+        }
+        // First pass: yield forever; only the hijack ends the spin.
+        for (int i = 0; i < 1'000'000; ++i)
+            sched.advance(10);
+        FAIL() << "victim was never hijacked";
+    });
+    sched.spawn("attacker", [&] {
+        sched.advance(100); // victim captures, then spins
+        sched.hijackThread(victim, ck);
+    });
+    EXPECT_EQ(sched.run(), RunOutcome::Completed);
+    EXPECT_TRUE(rewound);
+    EXPECT_EQ(ck.resumes, 1u);
+}
+
+TEST(Scheduler, RestoreKeepsAbortedWorkOnTheClock)
+{
+    // Rollback rewinds state, never time: cycles burned inside an
+    // aborted txn stay burned (that is what makes livelock-by-abort
+    // visible to the timeout verdicts).
+    SimScheduler sched;
+    FiberCheckpoint ck;
+    Cycles at_capture = 0, at_resume = 0;
+    sched.spawn("t", [&] {
+        sched.advance(500);
+        std::uint64_t before = ck.resumes;
+        at_capture = sched.now();
+        sched.checkpointCurrent(ck);
+        if (ck.resumes != before) {
+            at_resume = sched.now();
+            return;
+        }
+        sched.advance(250); // doomed speculative work
+        sched.restoreCurrent(ck);
+    });
+    EXPECT_EQ(sched.run(), RunOutcome::Completed);
+    EXPECT_EQ(at_capture, 500u);
+    EXPECT_EQ(at_resume, 750u);
+}
+
 TEST(Scheduler, ManyThreadsAllComplete)
 {
     SimScheduler sched;
